@@ -1,0 +1,215 @@
+//! The hotel reservation application (paper Figure 10).
+//!
+//! A DeathStarBench-like hotel reservation system with 12 stateless and 6
+//! stateful components offering five user-facing APIs: `/homeAPI`,
+//! `/hotelsAPI`, `/recommendationsAPI`, `/userAPI` and `/reservationAPI`.
+
+use atlas_sim::{
+    ApiSpec, AppTopology, CallEdge, CallNode, ComponentId, ComponentSpec, SizeDist, TimeDist,
+};
+
+/// Component names in index order.
+pub mod components {
+    /// Ordered list of the 18 component names.
+    pub const NAMES: [&str; 18] = [
+        "FrontendService",    // 0
+        "SearchService",      // 1
+        "GeoService",         // 2
+        "RateService",        // 3
+        "RecommendService",   // 4
+        "UserService",        // 5
+        "ProfileService",     // 6
+        "ReserveService",     // 7
+        "ProfileMemcached",   // 8
+        "RateMemcached",      // 9
+        "ReserveMemcached",   // 10
+        "GeoCache",           // 11
+        "ProfileMongoDB",     // 12 (stateful)
+        "GeoMongoDB",         // 13 (stateful)
+        "RateMongoDB",        // 14 (stateful)
+        "RecommendMongoDB",   // 15 (stateful)
+        "ReserveMongoDB",     // 16 (stateful)
+        "UserMongoDB",        // 17 (stateful)
+    ];
+
+    /// Index of `FrontendService`.
+    pub const FRONTEND: usize = 0;
+    /// Index of `ReserveMongoDB`.
+    pub const RESERVE_MONGODB: usize = 16;
+    /// Index of `UserMongoDB`.
+    pub const USER_MONGODB: usize = 17;
+}
+
+fn cid(i: usize) -> ComponentId {
+    ComponentId(i)
+}
+
+fn leaf(i: usize, op: &str, us: f64) -> CallNode {
+    CallNode::leaf(cid(i), op, TimeDist::new(us))
+}
+
+fn sedge(child: CallNode, req: f64, resp: f64) -> CallEdge {
+    CallEdge::sync(child, SizeDist::new(req), SizeDist::new(resp))
+}
+
+fn component_specs() -> Vec<ComponentSpec> {
+    components::NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| {
+            if i >= 12 {
+                ComponentSpec::stateful(name, 0.12, 1.2, 15.0)
+            } else if (8..=11).contains(&i) {
+                ComponentSpec::stateless(name, 0.06, 1.5)
+            } else {
+                ComponentSpec::stateless(name, 0.10, 0.6)
+            }
+        })
+        .collect()
+}
+
+/// Build the hotel reservation topology.
+pub fn hotel_reservation() -> AppTopology {
+    let apis = vec![
+        api_home(),
+        api_hotels(),
+        api_recommendations(),
+        api_user(),
+        api_reservation(),
+    ];
+    AppTopology::new("hotel-reservation", component_specs(), apis)
+        .expect("hotel reservation topology is statically valid")
+}
+
+/// `/homeAPI`: a light profile-backed landing page.
+fn api_home() -> ApiSpec {
+    let profile_memcached = leaf(8, "GetProfiles", 400.0);
+    let profile_mongo = leaf(12, "FindProfiles", 1_500.0);
+    let profile = leaf(6, "FeaturedProfiles", 900.0)
+        .with_stage(vec![sedge(profile_memcached, 120.0, 2_600.0)])
+        .with_stage(vec![sedge(profile_mongo, 180.0, 3_200.0)]);
+    let root =
+        leaf(components::FRONTEND, "/homeAPI", 700.0).with_stage(vec![sedge(profile, 130.0, 3_600.0)]);
+    ApiSpec::new("/homeAPI", root)
+}
+
+/// `/hotelsAPI` (search): Frontend → SearchService → {GeoService, RateService}
+/// in parallel, then ProfileService sequentially for hotel details.
+fn api_hotels() -> ApiSpec {
+    let geo_mongo = leaf(13, "NearbyQuery", 1_800.0);
+    let geo_cache = leaf(11, "CachedCells", 300.0);
+    let geo = leaf(2, "Nearby", 1_400.0)
+        .with_stage(vec![sedge(geo_cache, 90.0, 450.0)])
+        .with_stage(vec![sedge(geo_mongo, 210.0, 1_400.0)]);
+    let rate_memcached = leaf(9, "GetRates", 350.0);
+    let rate_mongo = leaf(14, "FindRates", 1_600.0);
+    let rate = leaf(3, "GetRatePlans", 1_200.0)
+        .with_stage(vec![sedge(rate_memcached, 110.0, 900.0)])
+        .with_stage(vec![sedge(rate_mongo, 190.0, 1_200.0)]);
+    let profile_memcached = leaf(8, "GetProfiles", 420.0);
+    let profile_mongo = leaf(12, "FindProfiles", 1_700.0);
+    let profile = leaf(6, "HotelProfiles", 1_000.0)
+        .with_stage(vec![sedge(profile_memcached, 140.0, 2_400.0)])
+        .with_stage(vec![sedge(profile_mongo, 200.0, 2_900.0)]);
+    let search = leaf(1, "SearchNearby", 1_300.0)
+        .with_stage(vec![sedge(geo, 260.0, 1_500.0), sedge(rate, 240.0, 1_300.0)]);
+    let root = leaf(components::FRONTEND, "/hotelsAPI", 800.0)
+        .with_stage(vec![sedge(search, 280.0, 2_100.0)])
+        .with_stage(vec![sedge(profile, 260.0, 3_000.0)]);
+    ApiSpec::new("/hotelsAPI", root)
+}
+
+/// `/recommendationsAPI`: Frontend → RecommendService → RecommendMongoDB,
+/// then ProfileService for details.
+fn api_recommendations() -> ApiSpec {
+    let rec_mongo = leaf(15, "FindRecommendations", 1_900.0);
+    let recommend = leaf(4, "Recommend", 1_300.0).with_stage(vec![sedge(rec_mongo, 170.0, 1_100.0)]);
+    let profile_memcached = leaf(8, "GetProfiles", 380.0);
+    let profile = leaf(6, "RecommendedProfiles", 900.0)
+        .with_stage(vec![sedge(profile_memcached, 130.0, 2_200.0)]);
+    let root = leaf(components::FRONTEND, "/recommendationsAPI", 750.0)
+        .with_stage(vec![sedge(recommend, 210.0, 900.0)])
+        .with_stage(vec![sedge(profile, 220.0, 2_500.0)]);
+    ApiSpec::new("/recommendationsAPI", root)
+}
+
+/// `/userAPI`: Frontend → UserService → UserMongoDB (credential check).
+fn api_user() -> ApiSpec {
+    let user_mongo = leaf(components::USER_MONGODB, "FindUser", 1_500.0);
+    let user = leaf(5, "CheckUser", 1_000.0).with_stage(vec![sedge(user_mongo, 320.0, 180.0)]);
+    let root =
+        leaf(components::FRONTEND, "/userAPI", 600.0).with_stage(vec![sedge(user, 190.0, 64.0)]);
+    ApiSpec::new("/userAPI", root)
+}
+
+/// `/reservationAPI`: Frontend → {UserService, ReserveService} where the
+/// reservation path checks availability and writes the booking.
+fn api_reservation() -> ApiSpec {
+    let user_mongo = leaf(components::USER_MONGODB, "FindUser", 1_400.0);
+    let user = leaf(5, "CheckUser", 950.0).with_stage(vec![sedge(user_mongo, 310.0, 170.0)]);
+    let reserve_memcached = leaf(10, "CheckAvailability", 420.0);
+    let reserve_mongo = leaf(components::RESERVE_MONGODB, "InsertReservation", 2_100.0);
+    let reserve = leaf(7, "MakeReservation", 1_500.0)
+        .with_stage(vec![sedge(reserve_memcached, 150.0, 240.0)])
+        .with_stage(vec![sedge(reserve_mongo, 540.0, 96.0)]);
+    let root = leaf(components::FRONTEND, "/reservationAPI", 850.0)
+        .with_stage(vec![sedge(user, 200.0, 72.0)])
+        .with_stage(vec![sedge(reserve, 460.0, 128.0)]);
+    ApiSpec::new("/reservationAPI", root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_paper_component_and_api_counts() {
+        let app = hotel_reservation();
+        assert_eq!(app.component_count(), 18);
+        assert_eq!(app.api_count(), 5);
+        assert_eq!(app.stateful_components().len(), 6);
+    }
+
+    #[test]
+    fn all_figure10_apis_exist() {
+        let app = hotel_reservation();
+        for api in [
+            "/homeAPI",
+            "/hotelsAPI",
+            "/recommendationsAPI",
+            "/userAPI",
+            "/reservationAPI",
+        ] {
+            assert!(app.api(api).is_some(), "missing {api}");
+        }
+    }
+
+    #[test]
+    fn search_fans_out_to_geo_and_rate_in_parallel() {
+        let app = hotel_reservation();
+        let hotels = app.api("/hotelsAPI").unwrap();
+        let search = &hotels.root.stages[0][0].child;
+        assert_eq!(search.stages[0].len(), 2, "geo and rate run in parallel");
+    }
+
+    #[test]
+    fn reservation_touches_user_and_reserve_databases() {
+        let app = hotel_reservation();
+        let stateful = app.stateful_components_of_api("/reservationAPI");
+        let names: Vec<&str> = stateful.iter().map(|&c| app.component_name(c)).collect();
+        assert!(names.contains(&"UserMongoDB"));
+        assert!(names.contains(&"ReserveMongoDB"));
+    }
+
+    #[test]
+    fn all_components_are_reachable_from_some_api() {
+        let app = hotel_reservation();
+        let mut reachable = std::collections::HashSet::new();
+        for api in app.apis() {
+            for c in api.root.reachable_components() {
+                reachable.insert(c.0);
+            }
+        }
+        assert_eq!(reachable.len(), app.component_count());
+    }
+}

@@ -1,0 +1,344 @@
+//! Locust-like open-loop workload generation.
+//!
+//! The paper's generator simulates one day of traffic in five minutes with
+//! two daily peaks (lunchtime and late evening), sends API requests
+//! following realistic per-API mixes, and varies the rate from day to day
+//! (§5.1). This module reproduces that behaviour as a deterministic
+//! generator of [`RequestSchedule`]s.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use atlas_sim::{AppTopology, RequestSchedule};
+
+/// Shape of the compressed diurnal curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Length of one compressed "day" in seconds (the paper compresses one
+    /// day into five minutes = 300 s).
+    pub day_seconds: u64,
+    /// Position of the first peak as a fraction of the day (e.g. lunch).
+    pub first_peak: f64,
+    /// Position of the second peak as a fraction of the day (late evening).
+    pub second_peak: f64,
+    /// Ratio between peak and off-peak request rates.
+    pub peak_to_trough: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        Self {
+            day_seconds: 300,
+            first_peak: 0.45,
+            second_peak: 0.85,
+            peak_to_trough: 4.0,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Relative intensity (≥ `1 / peak_to_trough`, ≤ 1.0) at a point of the
+    /// day expressed as a fraction in `[0, 1)`.
+    pub fn intensity(&self, day_fraction: f64) -> f64 {
+        let f = day_fraction.rem_euclid(1.0);
+        // Two Gaussian bumps on a constant base.
+        let bump = |center: f64| {
+            let d = (f - center).abs().min(1.0 - (f - center).abs());
+            (-d * d / (2.0 * 0.012)).exp()
+        };
+        let base = 1.0 / self.peak_to_trough;
+        let value = base + (1.0 - base) * (bump(self.first_peak) + bump(self.second_peak)).min(1.0);
+        value.clamp(base, 1.0)
+    }
+}
+
+/// Options of a workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadOptions {
+    /// Number of compressed days to generate.
+    pub days: u32,
+    /// Peak request rate (requests per second) at intensity 1.0.
+    pub peak_rps: f64,
+    /// Multiplier applied on top of the profile, used for the paper's 5×
+    /// burst scenario.
+    pub burst_factor: f64,
+    /// Per-API share of the traffic as `(endpoint, weight)`. Weights are
+    /// normalised internally; APIs missing from the topology are rejected.
+    pub api_mix: Vec<(String, f64)>,
+    /// Relative day-to-day jitter on the rate (e.g. 0.1 = ±10 %).
+    pub day_jitter: f64,
+    /// Diurnal shape.
+    pub profile: DiurnalProfile,
+    /// Seed controlling arrival sampling.
+    pub seed: u64,
+}
+
+impl WorkloadOptions {
+    /// The default mix for the social network, weighted toward reads as in
+    /// real social platforms (reads dominate writes).
+    pub fn social_network_default() -> Self {
+        Self {
+            days: 1,
+            peak_rps: 60.0,
+            burst_factor: 1.0,
+            api_mix: vec![
+                ("/homeTimelineAPI".to_string(), 0.30),
+                ("/userTimelineAPI".to_string(), 0.15),
+                ("/composeAPI".to_string(), 0.15),
+                ("/getMediaAPI".to_string(), 0.12),
+                ("/uploadMediaAPI".to_string(), 0.05),
+                ("/loginAPI".to_string(), 0.08),
+                ("/registerAPI".to_string(), 0.03),
+                ("/followAPI".to_string(), 0.07),
+                ("/unfollowAPI".to_string(), 0.05),
+            ],
+            day_jitter: 0.1,
+            profile: DiurnalProfile::default(),
+            seed: 97,
+        }
+    }
+
+    /// The default mix for the hotel reservation system, following the
+    /// DeathStarBench mixture (search-dominated).
+    pub fn hotel_reservation_default() -> Self {
+        Self {
+            days: 1,
+            peak_rps: 45.0,
+            burst_factor: 1.0,
+            api_mix: vec![
+                ("/hotelsAPI".to_string(), 0.60),
+                ("/recommendationsAPI".to_string(), 0.38),
+                ("/userAPI".to_string(), 0.005),
+                ("/reservationAPI".to_string(), 0.005),
+                ("/homeAPI".to_string(), 0.01),
+            ],
+            day_jitter: 0.1,
+            profile: DiurnalProfile::default(),
+            seed: 131,
+        }
+    }
+
+    /// Scale the workload by a burst factor (builder style), e.g. the 5×
+    /// user surge of the paper's hybrid-cloud scenario.
+    pub fn with_burst(mut self, factor: f64) -> Self {
+        self.burst_factor = factor;
+        self
+    }
+
+    /// Replace the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the number of days (builder style).
+    pub fn with_days(mut self, days: u32) -> Self {
+        self.days = days;
+        self
+    }
+}
+
+/// Error raised when the workload options do not match the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An API in the mix does not exist in the topology.
+    UnknownApi(String),
+    /// The mix is empty or has non-positive total weight.
+    EmptyMix,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::UnknownApi(a) => write!(f, "API {a} not offered by the application"),
+            WorkloadError::EmptyMix => write!(f, "the API mix is empty"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// The workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    options: WorkloadOptions,
+}
+
+impl WorkloadGenerator {
+    /// Create a generator from options.
+    pub fn new(options: WorkloadOptions) -> Self {
+        Self { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &WorkloadOptions {
+        &self.options
+    }
+
+    /// Generate the request schedule for `topology`.
+    pub fn generate(&self, topology: &AppTopology) -> Result<RequestSchedule, WorkloadError> {
+        let opts = &self.options;
+        let total_weight: f64 = opts.api_mix.iter().map(|(_, w)| *w).sum();
+        if opts.api_mix.is_empty() || total_weight <= 0.0 {
+            return Err(WorkloadError::EmptyMix);
+        }
+        for (api, _) in &opts.api_mix {
+            if topology.api(api).is_none() {
+                return Err(WorkloadError::UnknownApi(api.clone()));
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut schedule = RequestSchedule::new();
+        let day_s = opts.profile.day_seconds;
+        for day in 0..opts.days {
+            let day_scale = if opts.day_jitter > 0.0 {
+                1.0 + rng.gen_range(-opts.day_jitter..=opts.day_jitter)
+            } else {
+                1.0
+            };
+            for second in 0..day_s {
+                let fraction = second as f64 / day_s as f64;
+                let rate = opts.peak_rps
+                    * opts.profile.intensity(fraction)
+                    * opts.burst_factor
+                    * day_scale;
+                // Poisson-ish arrivals: the number of requests in this second
+                // is the integer part plus a Bernoulli remainder.
+                let expected = rate.max(0.0);
+                let mut count = expected.floor() as u64;
+                if rng.gen::<f64>() < expected - count as f64 {
+                    count += 1;
+                }
+                let base_us = (day as u64 * day_s + second) * 1_000_000;
+                let mut offsets: Vec<u64> =
+                    (0..count).map(|_| rng.gen_range(0..1_000_000)).collect();
+                offsets.sort_unstable();
+                for off in offsets {
+                    let api = Self::pick_api(&mut rng, &opts.api_mix, total_weight);
+                    schedule.push(base_us + off, api);
+                }
+            }
+        }
+        Ok(schedule)
+    }
+
+    fn pick_api(rng: &mut StdRng, mix: &[(String, f64)], total: f64) -> String {
+        let mut pick = rng.gen::<f64>() * total;
+        for (api, w) in mix {
+            if pick <= *w {
+                return api.clone();
+            }
+            pick -= *w;
+        }
+        mix.last().expect("mix checked non-empty").0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social_network::{social_network, SocialNetworkOptions};
+
+    fn app() -> AppTopology {
+        social_network(SocialNetworkOptions::default())
+    }
+
+    #[test]
+    fn diurnal_profile_peaks_where_configured() {
+        let p = DiurnalProfile::default();
+        let at_peak = p.intensity(p.first_peak);
+        let at_trough = p.intensity(0.1);
+        assert!(at_peak > 0.95);
+        assert!(at_trough < at_peak);
+        assert!(at_trough >= 1.0 / p.peak_to_trough - 1e-9);
+        // Periodicity.
+        assert!((p.intensity(1.25) - p.intensity(0.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generates_traffic_matching_the_mix() {
+        let gen = WorkloadGenerator::new(WorkloadOptions::social_network_default());
+        let schedule = gen.generate(&app()).unwrap();
+        assert!(schedule.len() > 1_000, "expected a busy day, got {}", schedule.len());
+        let counts = schedule.counts_per_api();
+        // The read-heavy APIs must dominate the write APIs.
+        assert!(counts["/homeTimelineAPI"] > counts["/registerAPI"]);
+        assert!(counts["/homeTimelineAPI"] > counts["/uploadMediaAPI"]);
+        // Every API in the mix appears.
+        assert_eq!(counts.len(), 9);
+    }
+
+    #[test]
+    fn burst_factor_scales_the_volume() {
+        let base = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_seed(3),
+        )
+        .generate(&app())
+        .unwrap();
+        let burst = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default()
+                .with_seed(3)
+                .with_burst(5.0),
+        )
+        .generate(&app())
+        .unwrap();
+        let ratio = burst.len() as f64 / base.len() as f64;
+        assert!(
+            (4.0..6.0).contains(&ratio),
+            "5x burst should roughly quintuple the requests (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts = WorkloadOptions::social_network_default().with_seed(9);
+        let a = WorkloadGenerator::new(opts.clone()).generate(&app()).unwrap();
+        let b = WorkloadGenerator::new(opts).generate(&app()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_day_schedules_extend_in_time() {
+        let one = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_days(1),
+        )
+        .generate(&app())
+        .unwrap();
+        let two = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_days(2),
+        )
+        .generate(&app())
+        .unwrap();
+        assert!(two.duration_s() > one.duration_s());
+        assert!(two.len() > one.len());
+    }
+
+    #[test]
+    fn unknown_api_and_empty_mix_are_rejected() {
+        let mut opts = WorkloadOptions::social_network_default();
+        opts.api_mix.push(("/bogusAPI".to_string(), 0.5));
+        let err = WorkloadGenerator::new(opts).generate(&app()).unwrap_err();
+        assert_eq!(err, WorkloadError::UnknownApi("/bogusAPI".to_string()));
+
+        let empty = WorkloadOptions {
+            api_mix: vec![],
+            ..WorkloadOptions::social_network_default()
+        };
+        assert_eq!(
+            WorkloadGenerator::new(empty).generate(&app()).unwrap_err(),
+            WorkloadError::EmptyMix
+        );
+    }
+
+    #[test]
+    fn hotel_defaults_match_its_topology() {
+        let app = crate::hotel_reservation::hotel_reservation();
+        let gen = WorkloadGenerator::new(WorkloadOptions::hotel_reservation_default());
+        let schedule = gen.generate(&app).unwrap();
+        assert!(schedule.len() > 500);
+        let counts = schedule.counts_per_api();
+        assert!(counts["/hotelsAPI"] > counts["/reservationAPI"]);
+    }
+}

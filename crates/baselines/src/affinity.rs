@@ -1,0 +1,271 @@
+//! Affinity-based single-plan advisors: REMaP [68] and IntMA [57].
+//!
+//! Both manage placement by minimising the interaction between components
+//! that end up in different locations. IntMA considers the overall traffic
+//! size between component pairs; REMaP additionally considers the number of
+//! message exchanges. Neither looks at how components serve end-to-end API
+//! requests — the gap Atlas exploits.
+
+use atlas_core::MigrationPlan;
+use atlas_telemetry::{Direction, TelemetryStore};
+
+use crate::context::BaselineContext;
+
+/// Pairwise affinity between components: total bytes and message counts
+/// observed over the learning period (symmetric).
+#[derive(Debug, Clone, Default)]
+pub struct AffinityMatrix {
+    bytes: Vec<Vec<f64>>,
+    messages: Vec<Vec<f64>>,
+}
+
+impl AffinityMatrix {
+    /// Build the affinity matrix from the pairwise network metrics.
+    pub fn from_store(store: &TelemetryStore, component_index: &[String]) -> Self {
+        let n = component_index.len();
+        let mut bytes = vec![vec![0.0; n]; n];
+        let mut messages = vec![vec![0.0; n]; n];
+        let traffic = store.traffic();
+        for edge in traffic.edges() {
+            let from = component_index.iter().position(|c| *c == edge.from);
+            let to = component_index.iter().position(|c| *c == edge.to);
+            let (Some(from), Some(to)) = (from, to) else {
+                continue;
+            };
+            let req = traffic.total_bytes(&edge, Direction::Request);
+            let resp = traffic.total_bytes(&edge, Direction::Response);
+            bytes[from][to] += req + resp;
+            bytes[to][from] += req + resp;
+            let req_msgs = traffic
+                .samples(&edge, Direction::Request)
+                .map(|s| s.len() as f64)
+                .unwrap_or(0.0);
+            messages[from][to] += req_msgs;
+            messages[to][from] += req_msgs;
+        }
+        Self { bytes, messages }
+    }
+
+    /// Number of components covered.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Bytes exchanged between two components (symmetric).
+    pub fn bytes_between(&self, a: usize, b: usize) -> f64 {
+        self.bytes[a][b]
+    }
+
+    /// Messages exchanged between two components (symmetric).
+    pub fn messages_between(&self, a: usize, b: usize) -> f64 {
+        self.messages[a][b]
+    }
+
+    /// Total bytes crossing the on-prem/cloud boundary for a placement.
+    pub fn cross_boundary_bytes(&self, in_cloud: &[bool]) -> f64 {
+        let n = self.len().min(in_cloud.len());
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if in_cloud[i] != in_cloud[j] {
+                    total += self.bytes[i][j];
+                }
+            }
+        }
+        total
+    }
+
+    /// Total messages crossing the boundary for a placement.
+    pub fn cross_boundary_messages(&self, in_cloud: &[bool]) -> f64 {
+        let n = self.len().min(in_cloud.len());
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if in_cloud[i] != in_cloud[j] {
+                    total += self.messages[i][j];
+                }
+            }
+        }
+        total
+    }
+}
+
+/// The affinity score the two advisors minimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AffinityObjective {
+    /// Traffic size only (IntMA).
+    Bytes,
+    /// Traffic size plus message exchanges (REMaP).
+    BytesAndMessages,
+}
+
+fn affinity_score(ctx: &BaselineContext, in_cloud: &[bool], objective: AffinityObjective) -> f64 {
+    let bytes = ctx.affinity.cross_boundary_bytes(in_cloud);
+    match objective {
+        AffinityObjective::Bytes => bytes,
+        AffinityObjective::BytesAndMessages => {
+            // Normalise messages to a byte-comparable scale using the mean
+            // message size so that neither term vanishes.
+            let messages = ctx.affinity.cross_boundary_messages(in_cloud);
+            bytes + messages * 1_000.0
+        }
+    }
+}
+
+/// Greedy affinity-minimising placement: offload components one by one,
+/// always picking the component whose offloading yields the smallest
+/// cross-boundary affinity, until the on-prem constraints are satisfied;
+/// then keep offloading while it strictly reduces the affinity.
+fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> MigrationPlan {
+    let n = ctx.component_count();
+    let mut in_cloud = vec![false; n];
+    ctx.apply_pins(&mut in_cloud);
+
+    let movable: Vec<usize> = (0..n)
+        .filter(|&i| {
+            !ctx.preferences
+                .pinned
+                .contains_key(&atlas_sim::ComponentId(i))
+        })
+        .collect();
+
+    // Phase 1: reach feasibility.
+    let mut guard = 0;
+    while !ctx.satisfies_constraints(&in_cloud) && guard < n {
+        guard += 1;
+        let candidate = movable
+            .iter()
+            .copied()
+            .filter(|&i| !in_cloud[i])
+            .min_by(|&a, &b| {
+                let mut with_a = in_cloud.clone();
+                with_a[a] = true;
+                let mut with_b = in_cloud.clone();
+                with_b[b] = true;
+                affinity_score(ctx, &with_a, objective)
+                    .partial_cmp(&affinity_score(ctx, &with_b, objective))
+                    .expect("finite affinity")
+            });
+        match candidate {
+            Some(c) => in_cloud[c] = true,
+            None => break,
+        }
+    }
+
+    // Phase 2: local improvement — move any component (either direction) if
+    // it strictly reduces the affinity while staying feasible.
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 2 * n {
+        improved = false;
+        rounds += 1;
+        let current = affinity_score(ctx, &in_cloud, objective);
+        for &i in &movable {
+            let mut flipped = in_cloud.clone();
+            flipped[i] = !flipped[i];
+            if ctx.satisfies_constraints(&flipped)
+                && affinity_score(ctx, &flipped, objective) + 1e-9 < current
+            {
+                in_cloud = flipped;
+                improved = true;
+                break;
+            }
+        }
+    }
+
+    MigrationPlan::from_bits(&BaselineContext::to_bits(&in_cloud))
+}
+
+/// REMaP-style advisor: minimise cross-datacenter traffic size and message
+/// exchanges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemapAdvisor;
+
+impl RemapAdvisor {
+    /// Recommend a single placement.
+    pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
+        affinity_search(ctx, AffinityObjective::BytesAndMessages)
+    }
+}
+
+/// IntMA-style advisor: minimise cross-datacenter traffic size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntMaAdvisor;
+
+impl IntMaAdvisor {
+    /// Recommend a single placement.
+    pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
+        affinity_search(ctx, AffinityObjective::Bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_context;
+
+    #[test]
+    fn affinity_matrix_is_symmetric_and_counts_both_directions() {
+        let ctx = test_context(7.0);
+        let m = &ctx.affinity;
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.bytes_between(0, 1), m.bytes_between(1, 0));
+        assert!(m.bytes_between(0, 1) > m.bytes_between(1, 2));
+        assert!(m.messages_between(0, 1) > 0.0);
+        assert_eq!(m.bytes_between(0, 2), 0.0);
+    }
+
+    #[test]
+    fn advisors_produce_feasible_plans() {
+        let ctx = test_context(7.0);
+        for plan in [RemapAdvisor.recommend(&ctx), IntMaAdvisor.recommend(&ctx)] {
+            let in_cloud: Vec<bool> = plan.to_bits().iter().map(|&b| b == 1).collect();
+            assert!(ctx.satisfies_constraints(&in_cloud), "plan {:?}", plan.to_bits());
+            assert!(plan.cloud_components().len() >= 1, "the CPU limit forces offloading");
+        }
+    }
+
+    #[test]
+    fn affinity_advisors_avoid_cutting_the_chatty_edge() {
+        // A-B exchange 100× more data than B-C; with a limit that forces one
+        // offload, both advisors should prefer cutting B-C (offload C) or
+        // moving A+B together rather than splitting A and B.
+        let ctx = test_context(8.5); // needs ≥ 3 cores offloaded
+        let plan = IntMaAdvisor.recommend(&ctx);
+        let in_cloud: Vec<bool> = plan.to_bits().iter().map(|&b| b == 1).collect();
+        assert!(
+            in_cloud[0] == in_cloud[1],
+            "IntMA should keep the chatty A-B pair collocated: {in_cloud:?}"
+        );
+        let remap = RemapAdvisor.recommend(&ctx);
+        let in_cloud: Vec<bool> = remap.to_bits().iter().map(|&b| b == 1).collect();
+        assert!(in_cloud[0] == in_cloud[1]);
+    }
+
+    #[test]
+    fn unconstrained_context_keeps_everything_onprem() {
+        let ctx = test_context(1_000.0);
+        let plan = IntMaAdvisor.recommend(&ctx);
+        assert!(plan.cloud_components().is_empty());
+    }
+
+    #[test]
+    fn pinned_components_are_respected() {
+        let mut ctx = test_context(7.0);
+        ctx.preferences = ctx
+            .preferences
+            .clone()
+            .pin(atlas_sim::ComponentId(1), atlas_sim::Location::OnPrem);
+        let plan = RemapAdvisor.recommend(&ctx);
+        assert_eq!(
+            plan.location(atlas_sim::ComponentId(1)),
+            atlas_sim::Location::OnPrem
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared inputs of all baseline advisors.
+
+use atlas_cloud::{CostModel, ResourceDemand};
+use atlas_core::MigrationPreferences;
+use atlas_sim::Location;
+use atlas_telemetry::TelemetryStore;
+
+use crate::affinity::AffinityMatrix;
+
+/// Everything a baseline advisor needs: the component index, the expected
+/// resource demand, the pairwise affinity observed by the network metrics,
+/// the owner's preferences and the cloud cost model.
+#[derive(Debug, Clone)]
+pub struct BaselineContext {
+    /// Component names in plan-index order.
+    pub component_index: Vec<String>,
+    /// Expected resource demand over the period of interest.
+    pub demand: ResourceDemand,
+    /// Pairwise affinity (bytes and message counts).
+    pub affinity: AffinityMatrix,
+    /// The owner's constraints (the same ones Atlas receives).
+    pub preferences: MigrationPreferences,
+    /// Cloud cost model (the paper gives the affinity GA the same cost model
+    /// as Atlas).
+    pub cost_model: CostModel,
+}
+
+impl BaselineContext {
+    /// Build a context from the telemetry store and the shared inputs.
+    pub fn from_store(
+        store: &TelemetryStore,
+        component_index: Vec<String>,
+        demand: ResourceDemand,
+        preferences: MigrationPreferences,
+        cost_model: CostModel,
+    ) -> Self {
+        let affinity = AffinityMatrix::from_store(store, &component_index);
+        Self {
+            component_index,
+            demand,
+            affinity,
+            preferences,
+            cost_model,
+        }
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.component_index.len()
+    }
+
+    /// Peak expected CPU (cores) of one component over the horizon.
+    pub fn peak_cpu_of(&self, c: usize) -> f64 {
+        self.demand.peak_cpu(&[c])
+    }
+
+    /// Whether a placement (as cloud flags) satisfies the on-prem limits and
+    /// placement pins of the preferences.
+    pub fn satisfies_constraints(&self, in_cloud: &[bool]) -> bool {
+        // Pins.
+        for (&c, &loc) in &self.preferences.pinned {
+            if c.0 < in_cloud.len() {
+                let is_cloud = in_cloud[c.0];
+                if (loc == Location::OnPrem && is_cloud) || (loc == Location::Cloud && !is_cloud) {
+                    return false;
+                }
+            }
+        }
+        // On-prem resource limits.
+        let onprem: Vec<usize> = (0..in_cloud.len()).filter(|&i| !in_cloud[i]).collect();
+        if self.demand.peak_cpu(&onprem) > self.preferences.onprem_cpu_limit {
+            return false;
+        }
+        if self.demand.peak_memory_gb(&onprem) > self.preferences.onprem_memory_limit_gb {
+            return false;
+        }
+        if self.demand.peak_storage_gb(&onprem) > self.preferences.onprem_storage_limit_gb {
+            return false;
+        }
+        // Budget.
+        if let Some(budget) = self.preferences.budget {
+            if self.cost_model.evaluate(&self.demand, in_cloud).total() > budget {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Cross-datacenter traffic (bytes over the learning period) of a
+    /// placement: the affinity objective of REMaP/IntMA and the affinity GA.
+    pub fn cross_dc_bytes(&self, in_cloud: &[bool]) -> f64 {
+        self.affinity.cross_boundary_bytes(in_cloud)
+    }
+
+    /// Cloud cost of a placement under the shared cost model.
+    pub fn cost(&self, in_cloud: &[bool]) -> f64 {
+        self.cost_model.evaluate(&self.demand, in_cloud).total()
+    }
+
+    /// Apply the placement pins to a cloud-flag vector.
+    pub fn apply_pins(&self, in_cloud: &mut [bool]) {
+        for (&c, &loc) in &self.preferences.pinned {
+            if c.0 < in_cloud.len() {
+                in_cloud[c.0] = loc == Location::Cloud;
+            }
+        }
+    }
+
+    /// Convert cloud flags to a plan bit vector.
+    pub fn to_bits(in_cloud: &[bool]) -> Vec<u8> {
+        in_cloud.iter().map(|&b| u8::from(b)).collect()
+    }
+}
+
+/// Helper shared by the tests of this crate: ingest a tiny three-component
+/// store with known traffic.
+#[cfg(test)]
+pub(crate) fn test_context(cpu_limit: f64) -> BaselineContext {
+    use atlas_cloud::PricingModel;
+    use atlas_telemetry::Direction;
+
+    let store = TelemetryStore::new();
+    let names = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+    for t in 0..20u64 {
+        store.record_traffic("A", "B", Direction::Request, t, 10_000.0);
+        store.record_traffic("A", "B", Direction::Response, t, 5_000.0);
+        store.record_traffic("B", "C", Direction::Request, t, 100.0);
+        store.record_traffic("B", "C", Direction::Response, t, 50.0);
+    }
+    let mut demand = ResourceDemand::zeros(names.clone(), 4, 600);
+    demand.fill_cpu(0, 2.0);
+    demand.fill_cpu(1, 6.0);
+    demand.fill_cpu(2, 3.0);
+    demand.fill_memory(0, 1.0);
+    demand.fill_memory(1, 2.0);
+    demand.fill_memory(2, 1.0);
+    demand.fill_edge(0, 1, 1.0e7);
+    demand.fill_edge(1, 2, 1.0e5);
+    let preferences = MigrationPreferences::with_cpu_limit(cpu_limit);
+    BaselineContext::from_store(
+        &store,
+        names,
+        demand,
+        preferences,
+        CostModel::new(PricingModel::default()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_sim::ComponentId as Cid;
+
+    #[test]
+    fn constraint_checks_cover_cpu_and_pins() {
+        let ctx = test_context(7.0);
+        // All on-prem: 11 cores > 7 → infeasible.
+        assert!(!ctx.satisfies_constraints(&[false, false, false]));
+        // Offload B (6 cores): 5 remain → feasible.
+        assert!(ctx.satisfies_constraints(&[false, true, false]));
+
+        let mut pinned = test_context(100.0);
+        pinned.preferences = pinned.preferences.pin(Cid(1), Location::OnPrem);
+        assert!(!pinned.satisfies_constraints(&[false, true, false]));
+        assert!(pinned.satisfies_constraints(&[true, false, false]));
+    }
+
+    #[test]
+    fn cross_dc_bytes_reflects_the_heavy_edge() {
+        let ctx = test_context(7.0);
+        let split_heavy = ctx.cross_dc_bytes(&[false, true, true]); // cuts A-B
+        let split_light = ctx.cross_dc_bytes(&[false, false, true]); // cuts B-C
+        assert!(split_heavy > split_light);
+        assert_eq!(ctx.cross_dc_bytes(&[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn pins_are_applied_and_bits_convert() {
+        let mut ctx = test_context(7.0);
+        ctx.preferences = ctx.preferences.clone().pin(Cid(0), Location::Cloud);
+        let mut flags = vec![false, false, false];
+        ctx.apply_pins(&mut flags);
+        assert_eq!(flags, vec![true, false, false]);
+        assert_eq!(BaselineContext::to_bits(&flags), vec![1, 0, 0]);
+        assert_eq!(ctx.component_count(), 3);
+        assert!(ctx.peak_cpu_of(1) > ctx.peak_cpu_of(0));
+        assert!(ctx.cost(&[false, true, false]) > 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Network-footprint learning time over the full learning telemetry.
+use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::FootprintLearner;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_footprint(c: &mut Criterion) {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let mut group = c.benchmark_group("footprint");
+    group.sample_size(10);
+    group.bench_function("learn_social_network", |b| {
+        b.iter(|| FootprintLearner::default().learn(std::hint::black_box(&exp.store)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_footprint);
+criterion_main!(benches);

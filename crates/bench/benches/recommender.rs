@@ -1,0 +1,29 @@
+//! Scalability of the recommendation pipeline (paper §6): time to produce a
+//! set of recommended plans and to evaluate a single candidate.
+use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::{MigrationPlan, Recommender, RecommenderConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_recommender(c: &mut Criterion) {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let mut group = c.benchmark_group("recommender");
+    group.sample_size(10);
+
+    let plan = MigrationPlan::from_bits(&vec![1u8; 29]);
+    group.bench_function("evaluate_single_plan", |b| {
+        b.iter(|| exp.quality.evaluate(std::hint::black_box(&plan)))
+    });
+
+    let tiny = RecommenderConfig {
+        population: 16,
+        max_visited: 200,
+        ..RecommenderConfig::fast()
+    };
+    group.bench_function("recommend_200_visits", |b| {
+        b.iter(|| Recommender::new(&exp.quality, tiny.clone()).recommend())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recommender);
+criterion_main!(benches);

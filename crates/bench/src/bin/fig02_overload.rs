@@ -1,0 +1,26 @@
+//! Figure 2: latency spikes and failures when the on-prem cluster cannot
+//! absorb the burst.
+use atlas_bench::{Experiment, ExperimentOptions};
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# Figure 2: inelastic on-prem cluster under a 5x burst");
+    let overloaded = exp.measure_overloaded_baseline(24.0);
+    let relaxed = exp.measure_plan(&atlas_core::MigrationPlan::all_onprem(29), 1.0);
+    println!(
+        "peak on-prem utilization: {:.2} (a)",
+        overloaded.peak_onprem_utilization()
+    );
+    for api in ["/homeTimelineAPI", "/composeAPI"] {
+        println!(
+            "{api}: normal {:.1} ms -> overloaded {:.1} ms (b)",
+            relaxed.api_mean_latency_ms(api).unwrap_or(0.0),
+            overloaded.api_mean_latency_ms(api).unwrap_or(0.0)
+        );
+    }
+    println!(
+        "failed requests during the burst: {} of {} (c)",
+        overloaded.failed_count(),
+        overloaded.outcomes.len()
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 3: a poor choice of offloaded components degrades APIs by an
+//! order of magnitude more than Atlas's recommendation.
+use atlas_baselines::GreedyAdvisor;
+use atlas_bench::{print_row, Experiment, ExperimentOptions};
+use atlas_core::Recommender;
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# Figure 3: poor offload choice vs Atlas (latency ratio vs no-stress baseline)");
+    let atlas_report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let atlas_plan = &atlas_report.performance_optimized().expect("plans").plan;
+    let poor_plan = GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx);
+    for (label, plan) in [("atlas", atlas_plan), ("poor-choice (greedy largest)", &poor_plan)] {
+        let per_api: Vec<f64> = exp
+            .api_names()
+            .iter()
+            .map(|api| {
+                exp.quality.estimate_api_latency_ms(api, plan)
+                    / exp.atlas.profile().apis[api].mean_latency_ms
+            })
+            .collect();
+        let worst = per_api.iter().cloned().fold(0.0, f64::max);
+        let mean = per_api.iter().sum::<f64>() / per_api.len() as f64;
+        print_row(label, &[("mean_ratio", mean), ("worst_ratio", worst)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 11: Atlas vs single-plan approaches (REMaP, IntMA, greedy) on
+//! per-API latency and cost per day.
+use atlas_baselines::{GreedyAdvisor, IntMaAdvisor, RemapAdvisor};
+use atlas_bench::{print_row, Experiment, ExperimentOptions};
+use atlas_core::Recommender;
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# Figure 11: single-plan comparison (per-API latency in ms, cost per day in $)");
+    let atlas_report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let plans = vec![
+        ("atlas".to_string(), atlas_report.performance_optimized().expect("plans").plan.clone()),
+        ("remap".to_string(), RemapAdvisor.recommend(&exp.baseline_ctx)),
+        ("intma".to_string(), IntMaAdvisor.recommend(&exp.baseline_ctx)),
+        ("greedy-largest".to_string(), GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx)),
+        ("greedy-smallest".to_string(), GreedyAdvisor::smallest_first().recommend(&exp.baseline_ctx)),
+    ];
+    for (name, plan) in &plans {
+        let mut values: Vec<(&str, f64)> = Vec::new();
+        let apis = exp.api_names();
+        let mut latencies = Vec::new();
+        for api in &apis {
+            latencies.push(exp.quality.estimate_api_latency_ms(api, plan));
+        }
+        let mean_latency = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let cost = exp.quality.cost_per_day(plan);
+        values.push(("mean_api_latency_ms", mean_latency));
+        values.push(("cost_per_day", cost));
+        values.push(("q_perf", exp.quality.performance(plan)));
+        print_row(name, &values);
+    }
+}

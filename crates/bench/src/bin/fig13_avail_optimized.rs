@@ -1,0 +1,5 @@
+//! Figure 13: availability-optimized plans across all seven methods.
+use atlas_bench::multiplan::compare;
+fn main() {
+    compare("Figure 13: availability-optimized plans", |q, plan| q.availability(plan));
+}

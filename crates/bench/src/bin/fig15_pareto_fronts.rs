@@ -1,0 +1,32 @@
+//! Figure 15: Pareto fronts (performance impact vs cost) of Atlas, the
+//! affinity GA and random search on both applications.
+use atlas_baselines::{AffinityGaAdvisor, RandomSearchAdvisor};
+use atlas_bench::harness::Application;
+use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::Recommender;
+
+fn main() {
+    for app in [Application::SocialNetwork, Application::HotelReservation] {
+        let mut options = ExperimentOptions::quick();
+        options.application = app;
+        if app == Application::HotelReservation {
+            options.onprem_cpu_limit = 6.0;
+        }
+        let exp = Experiment::set_up(options);
+        println!("# Figure 15 ({app:?}): Pareto front points (q_perf, cost_per_day)");
+        let atlas_report =
+            Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+        println!("atlas:");
+        for p in &atlas_report.plans {
+            println!("  ({:.3}, {:.2})", p.quality.performance, exp.quality.cost_per_day(&p.plan));
+        }
+        println!("affinity-ga:");
+        for plan in AffinityGaAdvisor::fast().recommend(&exp.baseline_ctx) {
+            println!("  ({:.3}, {:.2})", exp.quality.performance(&plan), exp.quality.cost_per_day(&plan));
+        }
+        println!("random-search:");
+        for plan in RandomSearchAdvisor::fast().recommend(&exp.baseline_ctx) {
+            println!("  ({:.3}, {:.2})", exp.quality.performance(&plan), exp.quality.cost_per_day(&plan));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 17: post-migration monitoring detects a user-behaviour change.
+use atlas_apps::{social_network, SocialNetworkOptions};
+use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::Recommender;
+use atlas_sim::{ClusterSpec, OverloadModel, SimConfig, Simulator};
+use atlas_telemetry::TelemetryStore;
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let plan = report.performance_optimized().expect("plans").plan.clone();
+    println!("# Figure 17: drift detection on /composeAPI after a behaviour change");
+
+    // Measured latency right after the migration (no mentions yet).
+    let after = exp.measure_plan(&plan, 1.0);
+    let measured: Vec<f64> = after
+        .outcomes
+        .iter()
+        .filter(|o| o.api == "/composeAPI")
+        .filter_map(|o| o.latency_ms)
+        .collect();
+    let detector = exp
+        .atlas
+        .drift_detector("/composeAPI", &plan, &exp.current, measured);
+    println!("baseline KL divergence: {:.3}", detector.baseline_kl());
+
+    // At 12:00 users start tagging friends: rebuild the app with active
+    // mentions and replay the workload under the same placement.
+    let drifted_app = social_network(SocialNetworkOptions {
+        active_user_mentions: true,
+        ..SocialNetworkOptions::default()
+    });
+    let sim = Simulator::new(
+        drifted_app.clone(),
+        plan.placement().clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 77,
+        },
+    );
+    let schedule = exp.burst_schedule(1.0, 77);
+    let store = TelemetryStore::new();
+    let drift_report_run = sim.run(&schedule, &store);
+    let recent: Vec<f64> = drift_report_run
+        .outcomes
+        .iter()
+        .filter(|o| o.api == "/composeAPI")
+        .filter_map(|o| o.latency_ms)
+        .collect();
+    let check = detector.check(&recent);
+    println!(
+        "recent KL divergence: {:.3} (information loss {:.1}x) drift_detected={}",
+        check.recent_kl, check.information_loss_factor, check.drifted
+    );
+}

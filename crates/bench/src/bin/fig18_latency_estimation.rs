@@ -1,0 +1,26 @@
+//! Figure 18: delay-injection estimates vs measured latency for the
+//! performance- and cost-optimized plans.
+use atlas_bench::{print_row, Experiment, ExperimentOptions};
+use atlas_core::Recommender;
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    for (label, plan) in [
+        ("performance-optimized", report.performance_optimized().expect("plans").plan.clone()),
+        ("cost-optimized", report.cost_optimized().expect("plans").plan.clone()),
+    ] {
+        println!("# Figure 18 ({label}): estimated vs measured API latency (ms)");
+        let measured = exp.measure_plan(&plan, 1.0);
+        let mut errors = Vec::new();
+        for api in exp.api_names() {
+            let estimate = exp.quality.estimate_api_latency_ms(&api, &plan);
+            let real = measured.api_mean_latency_ms(&api).unwrap_or(0.0);
+            errors.push((estimate - real).abs());
+            print_row(&api, &[("estimated", estimate), ("measured", real)]);
+        }
+        let mean_error = errors.iter().sum::<f64>() / errors.len() as f64;
+        println!("mean absolute error: {mean_error:.2} ms");
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 19: the learned network footprint of /registerAPI vs the real
+//! request/response sizes.
+use atlas_bench::{Experiment, ExperimentOptions};
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# Figure 19: learned vs real footprint of /registerAPI (bytes)");
+    let truth = exp.topology.ground_truth_footprints();
+    for (api, from, to, real_req, real_resp) in truth {
+        if api != "/registerAPI" {
+            continue;
+        }
+        let from_name = exp.topology.component_name(from).to_string();
+        let to_name = exp.topology.component_name(to).to_string();
+        let (est_req, est_resp) = exp
+            .atlas
+            .footprint()
+            .get_or_zero("/registerAPI", &from_name, &to_name);
+        println!(
+            "{from_name} -> {to_name}: request est {est_req:.0} / real {real_req:.0}, response est {est_resp:.0} / real {real_resp:.0}"
+        );
+    }
+}

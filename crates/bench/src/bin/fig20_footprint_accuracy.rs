@@ -1,0 +1,23 @@
+//! Figure 20: footprint accuracy for all nine social-network APIs.
+use atlas_bench::{print_row, Experiment, ExperimentOptions};
+use std::collections::HashMap;
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# Figure 20: network footprint accuracy per API (%)");
+    let mut per_api: HashMap<String, Vec<(String, String, f64, f64)>> = HashMap::new();
+    for (api, from, to, req, resp) in exp.topology.ground_truth_footprints() {
+        per_api.entry(api).or_default().push((
+            exp.topology.component_name(from).to_string(),
+            exp.topology.component_name(to).to_string(),
+            req,
+            resp,
+        ));
+    }
+    let mut apis: Vec<&String> = per_api.keys().collect();
+    apis.sort();
+    for api in apis {
+        let acc = exp.atlas.footprint().accuracy_against(api, &per_api[api]);
+        print_row(api, &[("accuracy_pct", acc)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 21: the DRL-based GA vs a plain NSGA-II variant, plus the reward
+//! progression of the crossover agent.
+use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::{Recommender, RecommenderConfig};
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let base: RecommenderConfig = exp.atlas.config().recommender.clone();
+    println!("# Figure 21a: Pareto fronts (q_perf, q_avai, cost) of the DRL GA vs NSGA-II");
+    let rl = Recommender::new(&exp.quality, base.clone()).recommend();
+    let nsga = Recommender::new(&exp.quality, base.with_uniform_crossover()).recommend();
+    for (label, report) in [("atlas-drl-ga", &rl), ("nsga2-uniform", &nsga)] {
+        println!("{label}: {} plans", report.plans.len());
+        for p in &report.plans {
+            println!(
+                "  ({:.3}, {:.1}, {:.2})",
+                p.quality.performance, p.quality.availability, p.quality.cost
+            );
+        }
+    }
+    println!("# Figure 21b: reward progression (mean per 10% chunk)");
+    let rewards = &rl.reward_progression;
+    let chunk = (rewards.len() / 10).max(1);
+    for (i, window) in rewards.chunks(chunk).enumerate() {
+        let mean = window.iter().sum::<f64>() / window.len() as f64;
+        println!("chunk {i}: mean reward {mean:.3}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Shared experiment set-up: simulate, learn, compare.
+
+use atlas_apps::{
+    hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
+};
+use atlas_baselines::BaselineContext;
+use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
+use atlas_core::{
+    Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, QualityModel, RecommenderConfig,
+};
+use atlas_sim::{
+    AppTopology, ClusterSpec, OverloadModel, Placement, RequestSchedule, SimConfig, SimReport,
+    Simulator,
+};
+use atlas_telemetry::TelemetryStore;
+
+/// Which application an experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Application {
+    /// The social network (default in the paper).
+    SocialNetwork,
+    /// The hotel reservation system.
+    HotelReservation,
+}
+
+/// Options of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Which application to use.
+    pub application: Application,
+    /// Seed for the workload and the simulator.
+    pub seed: u64,
+    /// Burst factor of the *expected* traffic relative to the learning
+    /// workload (the paper evaluates a 5× surge).
+    pub burst: f64,
+    /// On-prem CPU cores available during the burst (forces offloading).
+    pub onprem_cpu_limit: f64,
+    /// Search budget: candidate plans visited by the multi-plan methods.
+    pub max_visited: usize,
+    /// Population size of the genetic methods.
+    pub population: usize,
+    /// Whether to mark the user MongoDBs as non-relocatable (the paper pins
+    /// user-generated data on-prem for regulatory compliance).
+    pub pin_user_data: bool,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            application: Application::SocialNetwork,
+            seed: 7,
+            burst: 5.0,
+            onprem_cpu_limit: 14.0,
+            max_visited: 1_500,
+            population: 40,
+            pin_user_data: true,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// A configuration small enough for CI-style runs.
+    pub fn quick() -> Self {
+        Self {
+            max_visited: 600,
+            population: 24,
+            ..Self::default()
+        }
+    }
+}
+
+/// A fully set-up experiment: simulated telemetry, learned Atlas, baseline
+/// context and the quality model used to compare plans.
+pub struct Experiment {
+    /// The application topology.
+    pub topology: AppTopology,
+    /// The telemetry collected during the learning period.
+    pub store: TelemetryStore,
+    /// The learned Atlas advisor.
+    pub atlas: Atlas,
+    /// The current (all on-prem) placement.
+    pub current: Placement,
+    /// The owner's preferences used throughout the comparison.
+    pub preferences: MigrationPreferences,
+    /// Quality model shared by all method comparisons.
+    pub quality: QualityModel,
+    /// Context consumed by the baseline advisors.
+    pub baseline_ctx: BaselineContext,
+    /// The experiment options.
+    pub options: ExperimentOptions,
+}
+
+impl Experiment {
+    /// Simulate the learning period, learn Atlas, and prepare the baselines.
+    pub fn set_up(options: ExperimentOptions) -> Self {
+        let topology = match options.application {
+            Application::SocialNetwork => social_network(SocialNetworkOptions::default()),
+            Application::HotelReservation => hotel_reservation(),
+        };
+        let workload = match options.application {
+            Application::SocialNetwork => WorkloadOptions::social_network_default(),
+            Application::HotelReservation => WorkloadOptions::hotel_reservation_default(),
+        }
+        .with_seed(options.seed);
+
+        let n = topology.component_count();
+        let current = Placement::all_onprem(n);
+        let store = TelemetryStore::new();
+        let sim = Simulator::new(
+            topology.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: options.seed,
+            },
+        );
+        let schedule = WorkloadGenerator::new(workload)
+            .generate(&topology)
+            .expect("workload matches the topology");
+        sim.run(&schedule, &store);
+
+        let component_index: Vec<String> = topology
+            .components()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let stateful: Vec<String> = topology
+            .stateful_components()
+            .into_iter()
+            .map(|c| topology.component_name(c).to_string())
+            .collect();
+
+        let mut config = AtlasConfig::new(component_index.clone(), stateful);
+        config.expected_traffic_scale = options.burst;
+        config.traces_per_api = 40;
+        config.horizon_steps = 12;
+        config.recommender = RecommenderConfig {
+            population: options.population,
+            max_visited: options.max_visited,
+            ..RecommenderConfig::fast()
+        };
+        let mut atlas = Atlas::new(config);
+        atlas.learn(&store);
+
+        let mut preferences = MigrationPreferences::with_cpu_limit(options.onprem_cpu_limit);
+        if options.pin_user_data {
+            for name in ["UserMongoDB", "PostStorageMongoDB", "MediaMongoDB", "ReserveMongoDB"] {
+                if let Some(c) = topology.component_id(name) {
+                    preferences = preferences.pin(c, atlas_sim::Location::OnPrem);
+                }
+            }
+        }
+
+        let quality = atlas.quality_model(current.clone(), preferences.clone());
+        let demand = ScalingEstimator::with_scale(options.burst).estimate(
+            &store,
+            &component_index,
+            12,
+            600,
+        );
+        let baseline_ctx = BaselineContext::from_store(
+            &store,
+            component_index,
+            demand,
+            preferences.clone(),
+            CostModel::new(PricingModel::default()),
+        );
+
+        Self {
+            topology,
+            store,
+            atlas,
+            current,
+            preferences,
+            quality,
+            baseline_ctx,
+            options,
+        }
+    }
+
+    /// Names of the user-facing APIs of the application.
+    pub fn api_names(&self) -> Vec<String> {
+        self.topology
+            .apis()
+            .iter()
+            .map(|a| a.endpoint.clone())
+            .collect()
+    }
+
+    /// "Ground truth" latency of each API under a candidate plan: re-run the
+    /// simulator with the placement applied and a burst workload, standing
+    /// in for the paper's actual migration + measurement.
+    pub fn measure_plan(&self, plan: &MigrationPlan, burst: f64) -> SimReport {
+        let sim = Simulator::new(
+            self.topology.clone(),
+            plan.placement().clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: self.options.seed + 1,
+            },
+        );
+        let workload = match self.options.application {
+            Application::SocialNetwork => WorkloadOptions::social_network_default(),
+            Application::HotelReservation => WorkloadOptions::hotel_reservation_default(),
+        }
+        .with_seed(self.options.seed + 1)
+        .with_burst(burst);
+        let schedule = WorkloadGenerator::new(workload)
+            .generate(&self.topology)
+            .expect("workload matches the topology");
+        let throwaway = TelemetryStore::new();
+        sim.run(&schedule, &throwaway)
+    }
+
+    /// The burst workload replayed against the *current* (all on-prem)
+    /// placement with the real on-prem capacity, reproducing the overload of
+    /// paper Figure 2.
+    pub fn measure_overloaded_baseline(&self, onprem_cores: f64) -> SimReport {
+        let sim = Simulator::new(
+            self.topology.clone(),
+            self.current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::small(onprem_cores),
+                overload: OverloadModel::default(),
+                metric_window_s: 5,
+                seed: self.options.seed + 2,
+            },
+        );
+        let workload = WorkloadOptions::social_network_default()
+            .with_seed(self.options.seed + 2)
+            .with_burst(self.options.burst);
+        let schedule = WorkloadGenerator::new(workload)
+            .generate(&self.topology)
+            .expect("workload matches the topology");
+        let throwaway = TelemetryStore::new();
+        sim.run(&schedule, &throwaway)
+    }
+
+    /// Run the full burst schedule used for drift experiments.
+    pub fn burst_schedule(&self, burst: f64, seed: u64) -> RequestSchedule {
+        let workload = WorkloadOptions::social_network_default()
+            .with_seed(seed)
+            .with_burst(burst);
+        WorkloadGenerator::new(workload)
+            .generate(&self.topology)
+            .expect("workload matches the topology")
+    }
+}
+
+/// Print one row of a figure table: a label followed by named values.
+pub fn print_row(label: &str, values: &[(&str, f64)]) {
+    let mut row = format!("{label:<28}");
+    for (name, value) in values {
+        row.push_str(&format!("  {name}={value:.3}"));
+    }
+    println!("{row}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_sets_up_consistently() {
+        let exp = Experiment::set_up(ExperimentOptions {
+            max_visited: 200,
+            population: 12,
+            ..ExperimentOptions::quick()
+        });
+        assert_eq!(exp.api_names().len(), 9);
+        assert_eq!(exp.quality.component_count(), 29);
+        assert_eq!(exp.baseline_ctx.component_count(), 29);
+        assert!(exp.atlas.is_learned());
+        // The identity plan violates the CPU limit under the 5× burst.
+        let identity = MigrationPlan::all_onprem(29);
+        assert!(!exp.quality.is_feasible(&identity));
+    }
+
+    #[test]
+    fn measuring_a_plan_returns_latencies_for_every_api() {
+        let exp = Experiment::set_up(ExperimentOptions {
+            max_visited: 200,
+            population: 12,
+            ..ExperimentOptions::quick()
+        });
+        let plan = MigrationPlan::all_onprem(29);
+        let report = exp.measure_plan(&plan, 1.0);
+        for api in exp.api_names() {
+            assert!(report.api_mean_latency_ms(&api).unwrap_or(0.0) > 0.0, "{api}");
+        }
+    }
+}

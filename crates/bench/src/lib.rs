@@ -1,0 +1,14 @@
+//! Experiment harness regenerating the figures of the Atlas evaluation.
+//!
+//! Every figure of the paper's §5 has a corresponding binary in `src/bin/`
+//! (see `DESIGN.md` for the index). The binaries share the set-up code in
+//! [`harness`]: simulate the application under the learning workload,
+//! let Atlas learn, build the baseline context, and evaluate candidate
+//! plans either with Atlas's quality model or by re-running the simulator
+//! under the candidate placement (the "ground truth" substitute for an
+//! actual migration).
+
+pub mod harness;
+pub mod multiplan;
+
+pub use harness::{print_row, Experiment, ExperimentOptions};

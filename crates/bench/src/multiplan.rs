@@ -1,0 +1,63 @@
+//! Shared comparison used by Figures 12–14: pick each method's best plan
+//! under one quality criterion and report all three qualities of that plan.
+
+use atlas_baselines::{
+    AffinityGaAdvisor, GreedyAdvisor, IntMaAdvisor, RandomSearchAdvisor, RemapAdvisor,
+};
+use atlas_core::{MigrationPlan, QualityModel, Recommender};
+
+use crate::harness::{print_row, Experiment, ExperimentOptions};
+
+/// Run the seven-method comparison, selecting each method's best plan by
+/// `criterion` (lower is better) and printing its three quality indicators.
+pub fn compare(title: &str, criterion: impl Fn(&QualityModel, &MigrationPlan) -> f64) {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    println!("# {title}");
+    println!("(q_perf = weighted latency ratio, q_avai = weighted disrupted APIs, cost = $/day)");
+
+    let atlas_report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let methods: Vec<(&str, Vec<MigrationPlan>)> = vec![
+        (
+            "atlas",
+            atlas_report.plans.iter().map(|p| p.plan.clone()).collect(),
+        ),
+        (
+            "affinity-ga",
+            AffinityGaAdvisor::fast().recommend(&exp.baseline_ctx),
+        ),
+        (
+            "random-search",
+            RandomSearchAdvisor::fast().recommend(&exp.baseline_ctx),
+        ),
+        ("remap", vec![RemapAdvisor.recommend(&exp.baseline_ctx)]),
+        ("intma", vec![IntMaAdvisor.recommend(&exp.baseline_ctx)]),
+        (
+            "greedy-largest",
+            vec![GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx)],
+        ),
+        (
+            "greedy-smallest",
+            vec![GreedyAdvisor::smallest_first().recommend(&exp.baseline_ctx)],
+        ),
+    ];
+
+    for (name, plans) in methods {
+        let Some(best) = plans.iter().min_by(|a, b| {
+            criterion(&exp.quality, a)
+                .partial_cmp(&criterion(&exp.quality, b))
+                .expect("finite criterion")
+        }) else {
+            println!("{name:<28}  (no feasible plan)");
+            continue;
+        };
+        print_row(
+            name,
+            &[
+                ("q_perf", exp.quality.performance(best)),
+                ("q_avai", exp.quality.availability(best)),
+                ("cost_per_day", exp.quality.cost_per_day(best)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Cluster-autoscaler simulation (paper Appendix A, Eq. 6 and Eq. 8).
+//!
+//! The cloud side of the hybrid deployment is elastic: a cluster autoscaler
+//! adjusts the number of nodes at minute granularity based on the resource
+//! demand of the components placed there, and cloud storage grows in steps
+//! whenever the free fraction falls below the headroom threshold.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pricing::PricingModel;
+
+/// Computes node counts and storage capacities over time for a given demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Autoscaler {
+    /// Pricing model providing node granularity (`Ω`) and headroom (`δ`).
+    pub pricing: PricingModel,
+}
+
+impl Autoscaler {
+    /// Create an autoscaler for a pricing model.
+    pub fn new(pricing: PricingModel) -> Self {
+        Self { pricing }
+    }
+
+    /// Number of nodes required at one time step (Eq. 6): the maximum over
+    /// CPU and memory of `ceil((1 + δ) * demand / Ω_r)`.
+    pub fn nodes_required(&self, cpu_cores: f64, memory_gb: f64) -> usize {
+        let headroom = 1.0 + self.pricing.headroom;
+        let by_cpu = (headroom * cpu_cores / self.pricing.node_cpu_cores).ceil();
+        let by_mem = (headroom * memory_gb / self.pricing.node_memory_gb).ceil();
+        by_cpu.max(by_mem).max(0.0) as usize
+    }
+
+    /// Node counts for a whole horizon of per-step (cpu, memory) demands.
+    pub fn node_trace(&self, demand: &[(f64, f64)]) -> Vec<usize> {
+        demand
+            .iter()
+            .map(|&(cpu, mem)| self.nodes_required(cpu, mem))
+            .collect()
+    }
+
+    /// Storage capacity trace (Eq. 8): start from `initial_gb` and scale up
+    /// by the headroom factor whenever the free fraction drops to `δ` or
+    /// below.
+    pub fn storage_trace(&self, initial_gb: f64, used_gb_per_step: &[f64]) -> Vec<f64> {
+        let delta = self.pricing.headroom;
+        let mut capacity = initial_gb.max(1.0);
+        let mut out = Vec::with_capacity(used_gb_per_step.len());
+        for &used in used_gb_per_step {
+            let free_fraction = 1.0 - used / capacity;
+            if free_fraction <= delta {
+                capacity = ((1.0 + delta) * capacity).ceil();
+            }
+            out.push(capacity);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::Provider;
+
+    fn scaler() -> Autoscaler {
+        Autoscaler::new(PricingModel::preset(Provider::AwsLike))
+    }
+
+    #[test]
+    fn nodes_follow_eq6() {
+        let a = scaler();
+        // 4-core nodes, 20 % headroom: 3.4 cores → ceil(1.2*3.4/4)=ceil(1.02)=2.
+        assert_eq!(a.nodes_required(3.4, 1.0), 2);
+        assert_eq!(a.nodes_required(3.0, 1.0), 1);
+        assert_eq!(a.nodes_required(0.0, 0.0), 0);
+        // Memory-bound: 40 GB with 16 GB nodes → ceil(1.2*40/16)=3.
+        assert_eq!(a.nodes_required(0.5, 40.0), 3);
+    }
+
+    #[test]
+    fn node_trace_maps_each_step() {
+        let a = scaler();
+        let trace = a.node_trace(&[(0.0, 0.0), (3.0, 1.0), (10.0, 4.0)]);
+        assert_eq!(trace, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn storage_scales_up_when_headroom_exhausted() {
+        let a = scaler();
+        let trace = a.storage_trace(10.0, &[5.0, 8.0, 8.5, 9.0, 9.0]);
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace[0], 10.0);
+        // 8.0/10 leaves 20 % free → trigger (free fraction <= δ).
+        assert!(trace[1] > 10.0);
+        // Capacity never shrinks and always covers usage with headroom.
+        for (i, &cap) in trace.iter().enumerate() {
+            if i > 0 {
+                assert!(cap >= trace[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_never_drops_below_initial() {
+        let a = scaler();
+        let trace = a.storage_trace(50.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(trace, vec![50.0, 50.0, 50.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The cloud hosting cost model `Q_Cost` (paper §4.1.3 and Appendix A).
+//!
+//! Given the expected resource demand and a placement, the model computes
+//! the three cost terms of Eq. 11:
+//!
+//! * **compute** (Eq. 6–7): nodes provisioned by the cluster autoscaler for
+//!   the cloud-placed components, priced per node and time step;
+//! * **storage** (Eq. 8–9): cloud storage capacity scaling with the
+//!   stateful data placed in the cloud;
+//! * **traffic** (Eq. 10): egress traffic leaving the cloud on edges whose
+//!   endpoints sit in different locations (ingress is free).
+
+use serde::{Deserialize, Serialize};
+
+use crate::autoscaler::Autoscaler;
+use crate::demand::ResourceDemand;
+use crate::pricing::PricingModel;
+
+/// Breakdown of the cloud hosting cost of one plan, in dollars over the
+/// demand's horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Compute-induced cost (Eq. 7).
+    pub compute: f64,
+    /// Storage-induced cost (Eq. 9).
+    pub storage: f64,
+    /// Egress-traffic-induced cost (Eq. 10).
+    pub traffic: f64,
+}
+
+impl CostBreakdown {
+    /// Total cost (Eq. 11).
+    pub fn total(&self) -> f64 {
+        self.compute + self.storage + self.traffic
+    }
+
+    /// Scale the breakdown to a per-day figure given the horizon it covers.
+    pub fn per_day(&self, horizon_s: u64) -> CostBreakdown {
+        if horizon_s == 0 {
+            return *self;
+        }
+        let f = 86_400.0 / horizon_s as f64;
+        CostBreakdown {
+            compute: self.compute * f,
+            storage: self.storage * f,
+            traffic: self.traffic * f,
+        }
+    }
+}
+
+/// The cost model: pricing plus the autoscaler it implies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    pricing: PricingModel,
+    autoscaler: Autoscaler,
+}
+
+impl CostModel {
+    /// Create a cost model from a pricing model.
+    pub fn new(pricing: PricingModel) -> Self {
+        let autoscaler = Autoscaler::new(pricing.clone());
+        Self {
+            pricing,
+            autoscaler,
+        }
+    }
+
+    /// The pricing model in use.
+    pub fn pricing(&self) -> &PricingModel {
+        &self.pricing
+    }
+
+    /// Evaluate the cost of placing the components flagged `true` in
+    /// `in_cloud` (indexed like `demand.component_names`) in the cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_cloud.len()` differs from the demand's component count.
+    pub fn evaluate(&self, demand: &ResourceDemand, in_cloud: &[bool]) -> CostBreakdown {
+        assert_eq!(
+            in_cloud.len(),
+            demand.component_count(),
+            "placement must cover every component"
+        );
+        let cloud: Vec<usize> = (0..in_cloud.len()).filter(|&i| in_cloud[i]).collect();
+        let step_seconds = demand.step_s as f64;
+
+        // --- Compute (Eq. 6-7): nodes per step from CPU and memory. ---
+        let mut compute = 0.0;
+        for t in 0..demand.steps {
+            let cpu: f64 = cloud.iter().map(|&c| demand.cpu_cores[c][t]).sum();
+            let mem: f64 = cloud.iter().map(|&c| demand.memory_gb[c][t]).sum();
+            let nodes = self.autoscaler.nodes_required(cpu, mem);
+            compute += self.pricing.compute_cost_for(nodes, step_seconds);
+        }
+
+        // --- Storage (Eq. 8-9): capacity trace from the stateful data. ---
+        let used_per_step: Vec<f64> = (0..demand.steps)
+            .map(|t| cloud.iter().map(|&c| demand.storage_gb[c][t]).sum())
+            .collect();
+        let initial_gb = 2.0 * used_per_step.first().copied().unwrap_or(0.0);
+        let mut storage = 0.0;
+        if used_per_step.iter().any(|&u| u > 0.0) {
+            let capacity = self.autoscaler.storage_trace(initial_gb, &used_per_step);
+            for cap in capacity {
+                storage += self.pricing.storage_cost_for(cap, step_seconds);
+            }
+        }
+
+        // --- Traffic (Eq. 10): egress from the cloud on cross-location edges.
+        let mut egress_bytes = 0.0;
+        for (&(from, to), series) in &demand.edge_bytes {
+            if in_cloud[from] != in_cloud[to] {
+                // The request leg leaves the cloud when the caller is in the
+                // cloud; the response leg leaves when the callee is. The
+                // demand series aggregates both directions of the exchange,
+                // so half of it is attributed to each leg.
+                let total: f64 = series.iter().sum();
+                egress_bytes += total / 2.0;
+            }
+        }
+        let traffic = self.pricing.egress_cost_for(egress_bytes);
+
+        CostBreakdown {
+            compute,
+            storage,
+            traffic,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::new(PricingModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::Provider;
+
+    fn demand() -> ResourceDemand {
+        let names = vec![
+            "Frontend".to_string(),
+            "Service".to_string(),
+            "MongoDB".to_string(),
+        ];
+        let mut d = ResourceDemand::zeros(names, 6, 600); // one hour in 10-minute steps
+        d.fill_cpu(0, 2.0);
+        d.fill_cpu(1, 6.0);
+        d.fill_cpu(2, 1.0);
+        d.fill_memory(0, 1.0);
+        d.fill_memory(1, 4.0);
+        d.fill_memory(2, 8.0);
+        d.fill_storage(2, 40.0);
+        d.fill_edge(0, 1, 5.0e8); // 500 MB per step between Frontend and Service
+        d.fill_edge(1, 2, 2.0e8);
+        d
+    }
+
+    #[test]
+    fn all_onprem_costs_nothing() {
+        let model = CostModel::default();
+        let cost = model.evaluate(&demand(), &[false, false, false]);
+        assert_eq!(cost.total(), 0.0);
+    }
+
+    #[test]
+    fn compute_cost_counts_only_cloud_components() {
+        let model = CostModel::default();
+        let only_service = model.evaluate(&demand(), &[false, true, false]);
+        assert!(only_service.compute > 0.0);
+        assert_eq!(only_service.storage, 0.0, "no stateful component offloaded");
+        let service_and_db = model.evaluate(&demand(), &[false, true, true]);
+        assert!(service_and_db.compute >= only_service.compute);
+        assert!(service_and_db.storage > 0.0);
+    }
+
+    #[test]
+    fn traffic_cost_only_on_cross_location_edges() {
+        let model = CostModel::default();
+        // Frontend on-prem, Service+DB in cloud → only the 0→1 edge crosses.
+        let split = model.evaluate(&demand(), &[false, true, true]);
+        // Everything in cloud → no cross edge, no egress.
+        let all_cloud = model.evaluate(&demand(), &[true, true, true]);
+        assert!(split.traffic > 0.0);
+        assert_eq!(all_cloud.traffic, 0.0);
+    }
+
+    #[test]
+    fn colocating_chatty_components_is_cheaper() {
+        let model = CostModel::default();
+        // Offloading only the Service splits both of its heavy edges.
+        let split_both = model.evaluate(&demand(), &[false, true, false]);
+        // Offloading Service + DB keeps the 1→2 edge local.
+        let keep_pair = model.evaluate(&demand(), &[false, true, true]);
+        assert!(split_both.traffic > keep_pair.traffic);
+    }
+
+    #[test]
+    fn per_day_scaling() {
+        let model = CostModel::default();
+        let cost = model.evaluate(&demand(), &[false, true, true]);
+        let per_day = cost.per_day(3_600);
+        assert!((per_day.total() - cost.total() * 24.0).abs() < 1e-9);
+        // Degenerate horizon returns the original.
+        assert_eq!(cost.per_day(0).total(), cost.total());
+    }
+
+    #[test]
+    fn providers_change_the_price_not_the_structure() {
+        let d = demand();
+        let aws = CostModel::new(PricingModel::preset(Provider::AwsLike))
+            .evaluate(&d, &[false, true, true]);
+        let gcp = CostModel::new(PricingModel::preset(Provider::GcpLike))
+            .evaluate(&d, &[false, true, true]);
+        assert_ne!(aws.total(), gcp.total());
+        assert!(aws.compute > 0.0 && gcp.compute > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must cover every component")]
+    fn mismatched_placement_panics() {
+        let model = CostModel::default();
+        let _ = model.evaluate(&demand(), &[true]);
+    }
+}

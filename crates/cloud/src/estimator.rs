@@ -1,0 +1,210 @@
+//! Resource estimation: deriving the expected demand from telemetry.
+//!
+//! Atlas treats the estimator as a pluggable black box: the paper uses
+//! DeepRest [34] to predict the resources needed to serve the expected API
+//! traffic in the period of interest. DeepRest itself is a learned model on
+//! production traces; this crate provides a [`ScalingEstimator`] that plays
+//! the same role — it derives per-component resource profiles from the
+//! observed telemetry and scales them to the expected traffic level (e.g.
+//! the 5× burst of the evaluation). Anything that implements
+//! [`ResourceEstimator`] can be plugged into Atlas instead.
+
+use atlas_telemetry::{Direction, MetricKind, TelemetryStore};
+
+use crate::demand::ResourceDemand;
+
+/// A resource estimator: telemetry in, expected demand out.
+pub trait ResourceEstimator {
+    /// Estimate the expected resource usage of every component over a
+    /// horizon of `steps` steps of `step_s` seconds each.
+    fn estimate(
+        &self,
+        store: &TelemetryStore,
+        component_names: &[String],
+        steps: usize,
+        step_s: u64,
+    ) -> ResourceDemand;
+}
+
+/// A DeepRest substitute: scales the observed per-component usage to the
+/// expected traffic level and replays the observed diurnal shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingEstimator {
+    /// Expected traffic growth relative to the observation period (the
+    /// paper's burst scenario uses 5×).
+    pub traffic_scale: f64,
+    /// Fraction of the per-component CPU that scales with traffic (the rest
+    /// is the idle baseline).
+    pub cpu_traffic_fraction: f64,
+    /// Fraction of the memory footprint that scales with traffic.
+    pub memory_traffic_fraction: f64,
+}
+
+impl Default for ScalingEstimator {
+    fn default() -> Self {
+        Self {
+            traffic_scale: 1.0,
+            cpu_traffic_fraction: 0.85,
+            memory_traffic_fraction: 0.25,
+        }
+    }
+}
+
+impl ScalingEstimator {
+    /// An estimator expecting `traffic_scale`× the observed traffic.
+    pub fn with_scale(traffic_scale: f64) -> Self {
+        Self {
+            traffic_scale,
+            ..Self::default()
+        }
+    }
+
+    fn scaled(&self, observed: f64, traffic_fraction: f64) -> f64 {
+        let fixed = observed * (1.0 - traffic_fraction);
+        let variable = observed * traffic_fraction * self.traffic_scale;
+        fixed + variable
+    }
+}
+
+impl ResourceEstimator for ScalingEstimator {
+    fn estimate(
+        &self,
+        store: &TelemetryStore,
+        component_names: &[String],
+        steps: usize,
+        step_s: u64,
+    ) -> ResourceDemand {
+        let mut demand = ResourceDemand::zeros(component_names.to_vec(), steps, step_s);
+
+        // The shape of the expected period mirrors the shape of the observed
+        // period: we resample each component's observed series onto the
+        // requested number of steps (stretching or compressing in time), and
+        // scale the traffic-dependent share.
+        for (ci, name) in component_names.iter().enumerate() {
+            let metrics = store.component_metrics(name);
+            let (cpu_obs, mem_obs, storage_obs) = match &metrics {
+                Some(m) => (
+                    m.series(MetricKind::CpuCores).cloned().unwrap_or_default(),
+                    m.series(MetricKind::MemoryGb).cloned().unwrap_or_default(),
+                    m.series(MetricKind::StorageGb).cloned().unwrap_or_default(),
+                ),
+                None => Default::default(),
+            };
+            let resample = |points: &atlas_telemetry::MetricSeries, fallback: f64| -> Vec<f64> {
+                if points.is_empty() {
+                    return vec![fallback; steps];
+                }
+                let src: Vec<f64> = points.points().iter().map(|p| p.value).collect();
+                (0..steps)
+                    .map(|t| {
+                        let idx = t * src.len() / steps.max(1);
+                        src[idx.min(src.len() - 1)]
+                    })
+                    .collect()
+            };
+            let cpu = resample(&cpu_obs, 0.0);
+            let mem = resample(&mem_obs, 0.0);
+            let sto = resample(&storage_obs, 0.0);
+            for t in 0..steps {
+                demand.cpu_cores[ci][t] = self.scaled(cpu[t], self.cpu_traffic_fraction);
+                demand.memory_gb[ci][t] = self.scaled(mem[t], self.memory_traffic_fraction);
+                // Storage does not scale with short-term traffic.
+                demand.storage_gb[ci][t] = sto[t];
+            }
+        }
+
+        // Edge traffic: total observed bytes on each directed edge, spread
+        // uniformly over the horizon and scaled with traffic.
+        let traffic = store.traffic();
+        let observed_duration_s = component_names
+            .iter()
+            .filter_map(|n| store.component_metrics(n))
+            .flat_map(|m| {
+                m.series(MetricKind::CpuCores)
+                    .map(|s| s.points().last().map(|p| p.timestamp_s + 1).unwrap_or(1))
+            })
+            .max()
+            .unwrap_or(1) as f64;
+        for edge in traffic.edges() {
+            let from = component_names.iter().position(|n| *n == edge.from);
+            let to = component_names.iter().position(|n| *n == edge.to);
+            let (Some(from), Some(to)) = (from, to) else {
+                continue;
+            };
+            let total = traffic.total_bytes(&edge, Direction::Request)
+                + traffic.total_bytes(&edge, Direction::Response);
+            let per_second = total / observed_duration_s.max(1.0);
+            let per_step = per_second * step_s as f64 * self.traffic_scale;
+            demand.fill_edge(from, to, per_step);
+        }
+
+        demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_history() -> (TelemetryStore, Vec<String>) {
+        let store = TelemetryStore::new();
+        let names = vec!["A".to_string(), "B".to_string()];
+        for t in 0..100u64 {
+            // A ramps up over time; B is flat.
+            store.record_metric("A", MetricKind::CpuCores, t, 0.5 + t as f64 / 100.0);
+            store.record_metric("A", MetricKind::MemoryGb, t, 2.0);
+            store.record_metric("B", MetricKind::CpuCores, t, 1.0);
+            store.record_metric("B", MetricKind::StorageGb, t, 30.0);
+        }
+        for t in 0..100u64 {
+            store.record_traffic("A", "B", Direction::Request, t, 1_000.0);
+            store.record_traffic("A", "B", Direction::Response, t, 500.0);
+        }
+        (store, names)
+    }
+
+    #[test]
+    fn unscaled_estimate_mirrors_observation() {
+        let (store, names) = store_with_history();
+        let est = ScalingEstimator::default();
+        let d = est.estimate(&store, &names, 10, 60);
+        assert_eq!(d.steps, 10);
+        assert_eq!(d.component_count(), 2);
+        // B's flat 1.0-core series stays ~1.0.
+        assert!((d.cpu_cores[1][0] - 1.0).abs() < 1e-9);
+        assert!((d.cpu_cores[1][9] - 1.0).abs() < 1e-9);
+        // A's ramp is preserved: later steps are larger.
+        assert!(d.cpu_cores[0][9] > d.cpu_cores[0][0]);
+        // Storage follows the observation.
+        assert!((d.storage_gb[1][0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traffic_scale_amplifies_cpu_and_edges() {
+        let (store, names) = store_with_history();
+        let base = ScalingEstimator::default().estimate(&store, &names, 10, 60);
+        let burst = ScalingEstimator::with_scale(5.0).estimate(&store, &names, 10, 60);
+        assert!(burst.cpu_cores[1][0] > 3.0 * base.cpu_cores[1][0]);
+        assert!(burst.cpu_cores[1][0] < 5.0 * base.cpu_cores[1][0] + 1e-9);
+        let base_edge = base.total_edge_bytes(0, 1);
+        let burst_edge = burst.total_edge_bytes(0, 1);
+        assert!((burst_edge / base_edge - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_does_not_scale_with_traffic() {
+        let (store, names) = store_with_history();
+        let burst = ScalingEstimator::with_scale(5.0).estimate(&store, &names, 10, 60);
+        assert!((burst.storage_gb[1][0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_components_get_zero_demand() {
+        let (store, _) = store_with_history();
+        let names = vec!["Ghost".to_string()];
+        let d = ScalingEstimator::default().estimate(&store, &names, 5, 60);
+        assert_eq!(d.cpu_cores[0], vec![0.0; 5]);
+        assert_eq!(d.memory_gb[0], vec![0.0; 5]);
+        assert!(d.edge_bytes.is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! The end-to-end advisor: application learning → recommendation →
+//! post-migration monitoring (paper Figure 5).
+
+use atlas_cloud::{CostModel, PricingModel, ResourceDemand, ResourceEstimator, ScalingEstimator};
+use atlas_sim::{NetworkModel, Placement};
+use atlas_telemetry::TelemetryStore;
+
+use crate::delay::DelayInjector;
+use crate::footprint::{FootprintLearner, NetworkFootprint};
+use crate::hierarchy::Dendrogram;
+use crate::monitor::DriftDetector;
+use crate::plan::MigrationPlan;
+use crate::preferences::MigrationPreferences;
+use crate::profile::ApplicationProfile;
+use crate::quality::QualityModel;
+use crate::recommender::{RecommendationReport, Recommender, RecommenderConfig};
+
+/// Static configuration of an Atlas deployment.
+#[derive(Debug, Clone)]
+pub struct AtlasConfig {
+    /// Component names in plan-index order (from the deployment manifest).
+    pub component_index: Vec<String>,
+    /// Names of the stateful components (those with persistent volumes).
+    pub stateful_components: Vec<String>,
+    /// Network model between and within the two locations.
+    pub network: NetworkModel,
+    /// Cloud pricing.
+    pub pricing: PricingModel,
+    /// Expected traffic growth relative to the learning period (the paper's
+    /// burst scenario uses 5×).
+    pub expected_traffic_scale: f64,
+    /// Number of traces retained per API for delay injection.
+    pub traces_per_api: usize,
+    /// Steps and step length of the cost/constraint horizon.
+    pub horizon_steps: usize,
+    /// Length of one horizon step in seconds.
+    pub horizon_step_s: u64,
+    /// Recommender settings.
+    pub recommender: RecommenderConfig,
+}
+
+impl AtlasConfig {
+    /// A configuration for an application with the given component names and
+    /// stateful subset, using defaults everywhere else.
+    pub fn new(component_index: Vec<String>, stateful_components: Vec<String>) -> Self {
+        Self {
+            component_index,
+            stateful_components,
+            network: NetworkModel::default(),
+            pricing: PricingModel::default(),
+            expected_traffic_scale: 5.0,
+            traces_per_api: 100,
+            horizon_steps: 24,
+            horizon_step_s: 600,
+            recommender: RecommenderConfig::default(),
+        }
+    }
+}
+
+/// The Atlas advisor.
+pub struct Atlas {
+    config: AtlasConfig,
+    profile: Option<ApplicationProfile>,
+    footprint: Option<NetworkFootprint>,
+    demand: Option<ResourceDemand>,
+}
+
+impl Atlas {
+    /// Create an advisor with the given configuration.
+    pub fn new(config: AtlasConfig) -> Self {
+        Self {
+            config,
+            profile: None,
+            footprint: None,
+            demand: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.config
+    }
+
+    /// **Stage 1 — application learning**: query the telemetry store and
+    /// learn the API/component profiles, the network footprints and the
+    /// expected resource demand.
+    pub fn learn(&mut self, store: &TelemetryStore) {
+        self.profile = Some(ApplicationProfile::learn(
+            store,
+            &self.config.stateful_components,
+            self.config.traces_per_api,
+        ));
+        self.footprint = Some(FootprintLearner::default().learn(store));
+        self.demand = Some(
+            ScalingEstimator::with_scale(self.config.expected_traffic_scale).estimate(
+                store,
+                &self.config.component_index,
+                self.config.horizon_steps,
+                self.config.horizon_step_s,
+            ),
+        );
+    }
+
+    /// Whether [`Atlas::learn`] has been called.
+    pub fn is_learned(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The learned application profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Atlas::learn`] has not been called.
+    pub fn profile(&self) -> &ApplicationProfile {
+        self.profile.as_ref().expect("call Atlas::learn first")
+    }
+
+    /// The learned network footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Atlas::learn`] has not been called.
+    pub fn footprint(&self) -> &NetworkFootprint {
+        self.footprint.as_ref().expect("call Atlas::learn first")
+    }
+
+    /// The expected resource demand over the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Atlas::learn`] has not been called.
+    pub fn demand(&self) -> &ResourceDemand {
+        self.demand.as_ref().expect("call Atlas::learn first")
+    }
+
+    /// Build the quality model for a current placement and a set of owner
+    /// preferences (reusable across recommendation rounds).
+    pub fn quality_model(
+        &self,
+        current: Placement,
+        preferences: MigrationPreferences,
+    ) -> QualityModel {
+        QualityModel::new(
+            self.profile().clone(),
+            self.footprint().clone(),
+            DelayInjector::new(self.config.network, self.config.component_index.clone()),
+            CostModel::new(self.config.pricing.clone()),
+            self.demand().clone(),
+            preferences,
+            current,
+            self.config.component_index.clone(),
+        )
+    }
+
+    /// **Stage 2 — migration recommendation**: run the DRL-based genetic
+    /// algorithm and return the Pareto-optimal plans.
+    pub fn recommend(
+        &self,
+        current: Placement,
+        preferences: MigrationPreferences,
+    ) -> RecommendationReport {
+        let quality = self.quality_model(current, preferences);
+        Recommender::new(&quality, self.config.recommender.clone()).recommend()
+    }
+
+    /// Organise a recommendation report as a dendrogram for hierarchical
+    /// plan selection (§4.2.2).
+    pub fn organize(&self, report: &RecommendationReport) -> Dendrogram {
+        let points: Vec<Vec<f64>> = report
+            .plans
+            .iter()
+            .map(|p| p.quality.objectives())
+            .collect();
+        Dendrogram::build(&points)
+    }
+
+    /// **Stage 3 — post-migration monitoring**: build a drift detector for
+    /// one API from the measured post-migration latencies and the estimate
+    /// that was shown when the executed plan was selected.
+    pub fn drift_detector(
+        &self,
+        api: &str,
+        executed_plan: &MigrationPlan,
+        current_before_migration: &Placement,
+        measured_after_migration_ms: Vec<f64>,
+    ) -> DriftDetector {
+        let injector =
+            DelayInjector::new(self.config.network, self.config.component_index.clone());
+        let traces = self
+            .profile()
+            .apis
+            .get(api)
+            .map(|p| p.traces.clone())
+            .unwrap_or_default();
+        let approx = injector.estimate_latency_distribution_ms(
+            &traces,
+            self.footprint(),
+            current_before_migration,
+            executed_plan.placement(),
+        );
+        DriftDetector::new(measured_after_migration_ms, &approx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+    use atlas_sim::{ClusterSpec, OverloadModel, SimConfig, Simulator};
+
+    fn learned_atlas() -> (Atlas, Placement) {
+        let app = social_network(SocialNetworkOptions::default());
+        let n = app.component_count();
+        let current = Placement::all_onprem(n);
+        let sim = Simulator::new(
+            app.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 12,
+            },
+        );
+        let schedule = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_seed(12),
+        )
+        .generate(&app)
+        .unwrap();
+        let store = TelemetryStore::new();
+        sim.run(&schedule, &store);
+
+        let component_index: Vec<String> =
+            app.components().iter().map(|c| c.name.clone()).collect();
+        let stateful: Vec<String> = app
+            .stateful_components()
+            .into_iter()
+            .map(|c| app.component_name(c).to_string())
+            .collect();
+        let mut config = AtlasConfig::new(component_index, stateful);
+        config.recommender = RecommenderConfig::fast();
+        config.traces_per_api = 30;
+        config.horizon_steps = 8;
+        let mut atlas = Atlas::new(config);
+        atlas.learn(&store);
+        (atlas, current)
+    }
+
+    #[test]
+    fn learning_populates_all_stages() {
+        let (atlas, _) = learned_atlas();
+        assert!(atlas.is_learned());
+        assert_eq!(atlas.profile().apis.len(), 9);
+        assert!(!atlas.footprint().is_empty());
+        assert_eq!(atlas.demand().component_count(), 29);
+    }
+
+    #[test]
+    fn end_to_end_recommendation_produces_feasible_pareto_plans() {
+        let (atlas, current) = learned_atlas();
+        let preferences = MigrationPreferences::with_cpu_limit(12.0);
+        let report = atlas.recommend(current, preferences);
+        assert!(!report.plans.is_empty());
+        assert!(report.plans.iter().all(|p| p.quality.feasible));
+        let dendrogram = atlas.organize(&report);
+        assert_eq!(dendrogram.len(), report.plans.len());
+    }
+
+    #[test]
+    fn drift_detector_round_trip() {
+        let (atlas, current) = learned_atlas();
+        let plan = MigrationPlan::all_onprem(29);
+        // Reality matches the approximation → low divergence, no drift.
+        let approx_like: Vec<f64> = atlas.profile().apis["/composeAPI"].latency_samples_ms();
+        let detector = atlas.drift_detector("/composeAPI", &plan, &current, approx_like.clone());
+        assert!(!detector.check(&approx_like).drifted);
+        // A large shift is flagged.
+        let shifted: Vec<f64> = approx_like.iter().map(|l| l * 6.0 + 80.0).collect();
+        assert!(detector.check(&shifted).drifted);
+    }
+
+    #[test]
+    #[should_panic(expected = "call Atlas::learn first")]
+    fn using_an_unlearned_advisor_panics() {
+        let atlas = Atlas::new(AtlasConfig::new(vec!["A".to_string()], vec![]));
+        let _ = atlas.profile();
+    }
+}

@@ -1,0 +1,52 @@
+//! Atlas core: the hybrid-cloud migration advisor.
+//!
+//! This crate implements the paper's contribution (§3–§4): an
+//! observability-driven advisor that learns how every user-facing API uses
+//! the application's components and recommends which components to offload
+//! to the cloud, optimising three quality indicators — API latency, API
+//! availability (migration disruption) and cloud hosting cost — under the
+//! application owner's preferences.
+//!
+//! The pipeline mirrors Figure 5 of the paper:
+//!
+//! 1. **Application learning** — [`profile`] extracts per-API and
+//!    per-component profiles from telemetry; [`footprint`] learns the
+//!    network footprint of every API (Eq. 1).
+//! 2. **Migration recommendation** — [`quality`] models the three quality
+//!    indicators of a candidate plan ([`delay`] performs the delay-injection
+//!    latency estimate of §4.1.1), [`plan`]/[`preferences`] describe plans
+//!    and constraints (Eq. 4), [`rl_crossover`] trains the reward-driven
+//!    crossover agent (Eq. 5) and [`recommender`] runs the DRL-based genetic
+//!    algorithm; [`hierarchy`] organises the Pareto-optimal plans into a
+//!    dendrogram for selection (§4.2.2).
+//! 3. **Post-migration monitoring** — [`monitor`] detects latency-
+//!    distribution drift with KL divergence (§4.3); [`security`] reuses the
+//!    footprints to flag data-exfiltration anomalies (§6).
+//!
+//! [`advisor::Atlas`] wires the stages together behind one entry point.
+
+pub mod advisor;
+pub mod delay;
+pub mod footprint;
+pub mod hierarchy;
+pub mod monitor;
+pub mod plan;
+pub mod preferences;
+pub mod profile;
+pub mod quality;
+pub mod recommender;
+pub mod rl_crossover;
+pub mod security;
+
+pub use advisor::{Atlas, AtlasConfig};
+pub use delay::DelayInjector;
+pub use footprint::{FootprintLearner, NetworkFootprint};
+pub use hierarchy::{Dendrogram, DendrogramNode};
+pub use monitor::{kl_divergence, DriftDetector, DriftReport};
+pub use plan::MigrationPlan;
+pub use preferences::MigrationPreferences;
+pub use profile::{ApiProfile, ApplicationProfile, ComponentProfile};
+pub use quality::{PlanQuality, QualityModel};
+pub use recommender::{RecommendedPlan, Recommender, RecommenderConfig};
+pub use rl_crossover::{CrossoverAgent, RlCrossoverConfig};
+pub use security::{BreachDetector, BreachReport};

@@ -1,0 +1,118 @@
+//! Migration plans: the unit Atlas recommends and evaluates.
+
+use serde::{Deserialize, Serialize};
+
+use atlas_sim::{ComponentId, Location, Placement};
+
+/// A migration plan: a target placement for every component, evaluated
+/// relative to the current (original) placement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    placement: Placement,
+}
+
+impl MigrationPlan {
+    /// Wrap a placement as a plan.
+    pub fn new(placement: Placement) -> Self {
+        Self { placement }
+    }
+
+    /// The "do nothing" plan: every component stays on-prem.
+    pub fn all_onprem(component_count: usize) -> Self {
+        Self::new(Placement::all_onprem(component_count))
+    }
+
+    /// Build from the paper's binary encoding (`0` = on-prem, `1` = cloud).
+    pub fn from_bits(bits: &[u8]) -> Self {
+        Self::new(Placement::from_bits(bits))
+    }
+
+    /// The underlying placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The binary encoding of the plan.
+    pub fn to_bits(&self) -> Vec<u8> {
+        self.placement.to_bits()
+    }
+
+    /// The plan encoded as an `f64` vector, the representation fed to the
+    /// crossover agent (one input per component, 0.0 = on-prem, 1.0 = cloud).
+    pub fn to_features(&self) -> Vec<f64> {
+        self.placement
+            .to_bits()
+            .into_iter()
+            .map(|b| b as f64)
+            .collect()
+    }
+
+    /// Number of components covered by the plan.
+    pub fn len(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Whether the plan covers no components.
+    pub fn is_empty(&self) -> bool {
+        self.placement.is_empty()
+    }
+
+    /// Location assigned to a component.
+    pub fn location(&self, c: ComponentId) -> Location {
+        self.placement.location(c)
+    }
+
+    /// Set a component's location.
+    pub fn set(&mut self, c: ComponentId, loc: Location) {
+        self.placement.set(c, loc);
+    }
+
+    /// Components offloaded to the cloud by this plan.
+    pub fn cloud_components(&self) -> Vec<ComponentId> {
+        self.placement.cloud_components()
+    }
+
+    /// Components that must move given the current placement.
+    pub fn moved_components(&self, current: &Placement) -> Vec<ComponentId> {
+        self.placement.moved_components(current)
+    }
+}
+
+impl From<Placement> for MigrationPlan {
+    fn from(placement: Placement) -> Self {
+        Self::new(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        let plan = MigrationPlan::from_bits(&[0, 1, 0, 1]);
+        assert_eq!(plan.to_bits(), vec![0, 1, 0, 1]);
+        assert_eq!(plan.to_features(), vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(plan.len(), 4);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.location(ComponentId(1)), Location::Cloud);
+        assert_eq!(plan.cloud_components(), vec![ComponentId(1), ComponentId(3)]);
+    }
+
+    #[test]
+    fn all_onprem_is_the_identity_plan() {
+        let plan = MigrationPlan::all_onprem(3);
+        assert!(plan.cloud_components().is_empty());
+        let current = Placement::all_onprem(3);
+        assert!(plan.moved_components(&current).is_empty());
+    }
+
+    #[test]
+    fn mutation_and_conversion() {
+        let mut plan = MigrationPlan::all_onprem(3);
+        plan.set(ComponentId(2), Location::Cloud);
+        assert_eq!(plan.to_bits(), vec![0, 0, 1]);
+        let from_placement: MigrationPlan = Placement::from_bits(&[1, 0]).into();
+        assert_eq!(from_placement.to_bits(), vec![1, 0]);
+    }
+}

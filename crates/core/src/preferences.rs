@@ -1,0 +1,150 @@
+//! Migration preferences: the application owner's constraints and weights
+//! (paper §3 and Eq. 4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use atlas_sim::{ComponentId, Location};
+
+/// The application owner's migration preferences.
+///
+/// These drive both the constraints of Eq. 4 (placement pins, on-prem
+/// resource limits, budget) and the per-API weights `τ_A` used by the
+/// performance and availability models (critical APIs count double by
+/// default).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPreferences {
+    /// APIs that are critical to the business; weighted
+    /// [`MigrationPreferences::critical_weight`]× in the quality models.
+    pub critical_apis: Vec<String>,
+    /// Weight multiplier applied to critical APIs (the paper defaults to 2).
+    pub critical_weight: f64,
+    /// Hard placement constraints, e.g. data that must stay on-prem for
+    /// regulatory compliance (`M_placement`).
+    pub pinned: HashMap<ComponentId, Location>,
+    /// Maximum CPU cores the application may keep using on-prem
+    /// (`M^CPU_onprem-limit`).
+    pub onprem_cpu_limit: f64,
+    /// Maximum memory (GB) the application may keep using on-prem.
+    pub onprem_memory_limit_gb: f64,
+    /// Maximum storage (GB) the application may keep using on-prem.
+    pub onprem_storage_limit_gb: f64,
+    /// Cloud budget over the period of interest (`M_budget`); `None` means
+    /// unlimited (the paper's default).
+    pub budget: Option<f64>,
+}
+
+impl Default for MigrationPreferences {
+    fn default() -> Self {
+        Self {
+            critical_apis: Vec::new(),
+            critical_weight: 2.0,
+            pinned: HashMap::new(),
+            onprem_cpu_limit: f64::INFINITY,
+            onprem_memory_limit_gb: f64::INFINITY,
+            onprem_storage_limit_gb: f64::INFINITY,
+            budget: None,
+        }
+    }
+}
+
+impl MigrationPreferences {
+    /// Preferences with the given on-prem CPU limit and everything else at
+    /// its default.
+    pub fn with_cpu_limit(limit: f64) -> Self {
+        Self {
+            onprem_cpu_limit: limit,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: mark an API as critical.
+    pub fn critical(mut self, api: impl Into<String>) -> Self {
+        self.critical_apis.push(api.into());
+        self
+    }
+
+    /// Builder: pin a component to a location (e.g. regulatory data that
+    /// must stay on-prem).
+    pub fn pin(mut self, component: ComponentId, location: Location) -> Self {
+        self.pinned.insert(component, location);
+        self
+    }
+
+    /// Builder: set the cloud budget.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Builder: set the on-prem memory limit.
+    pub fn with_memory_limit(mut self, gb: f64) -> Self {
+        self.onprem_memory_limit_gb = gb;
+        self
+    }
+
+    /// The weight `τ_A` of an API.
+    pub fn api_weight(&self, api: &str) -> f64 {
+        if self.critical_apis.iter().any(|a| a == api) {
+            self.critical_weight
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether a plan violates any placement pin.
+    pub fn violates_pins(&self, plan: &crate::plan::MigrationPlan) -> bool {
+        self.pinned
+            .iter()
+            .any(|(&c, &loc)| c.0 < plan.len() && plan.location(c) != loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::MigrationPlan;
+
+    #[test]
+    fn defaults_are_unconstrained() {
+        let p = MigrationPreferences::default();
+        assert!(p.critical_apis.is_empty());
+        assert_eq!(p.critical_weight, 2.0);
+        assert!(p.budget.is_none());
+        assert!(p.onprem_cpu_limit.is_infinite());
+        assert_eq!(p.api_weight("/any"), 1.0);
+    }
+
+    #[test]
+    fn critical_apis_get_double_weight() {
+        let p = MigrationPreferences::default()
+            .critical("/composeAPI")
+            .critical("/homeTimelineAPI");
+        assert_eq!(p.api_weight("/composeAPI"), 2.0);
+        assert_eq!(p.api_weight("/loginAPI"), 1.0);
+    }
+
+    #[test]
+    fn pins_are_checked_against_plans() {
+        let p = MigrationPreferences::default()
+            .pin(ComponentId(0), Location::OnPrem)
+            .pin(ComponentId(2), Location::OnPrem);
+        let ok = MigrationPlan::from_bits(&[0, 1, 0]);
+        let bad = MigrationPlan::from_bits(&[0, 0, 1]);
+        assert!(!p.violates_pins(&ok));
+        assert!(p.violates_pins(&bad));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = MigrationPreferences::with_cpu_limit(100.0)
+            .with_budget(50.0)
+            .with_memory_limit(256.0)
+            .critical("/x");
+        assert_eq!(p.onprem_cpu_limit, 100.0);
+        assert_eq!(p.budget, Some(50.0));
+        assert_eq!(p.onprem_memory_limit_gb, 256.0);
+        assert_eq!(p.api_weight("/x"), 2.0);
+    }
+}

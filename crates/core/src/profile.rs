@@ -1,0 +1,262 @@
+//! Application learning: API and component profiling from telemetry
+//! (paper §3, "Application Learning" stage).
+//!
+//! Atlas never looks at application code or configuration beyond what the
+//! telemetry exposes: it discovers the set of user-facing APIs from the
+//! trace roots, the components each API touches (and which of those hold
+//! state) from the trace trees, and each component's resource profile from
+//! the cAdvisor-style metrics.
+
+use std::collections::{HashMap, HashSet};
+
+use atlas_telemetry::{MetricKind, TelemetryStore, Trace};
+
+/// Profile of one user-facing API learned from traces.
+#[derive(Debug, Clone)]
+pub struct ApiProfile {
+    /// Endpoint name (root operation of its traces).
+    pub endpoint: String,
+    /// Sample traces retained for delay injection (the paper keeps ~100 per
+    /// API once the latency stabilises).
+    pub traces: Vec<Trace>,
+    /// Components used by the API (any span in any retained trace).
+    pub components: HashSet<String>,
+    /// Stateful components used by the API (`SC(A)` in Eq. 3).
+    pub stateful_components: HashSet<String>,
+    /// Mean observed end-to-end latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Number of requests observed over the learning period.
+    pub request_count: usize,
+}
+
+impl ApiProfile {
+    /// Observed latency samples (ms) of the retained traces.
+    pub fn latency_samples_ms(&self) -> Vec<f64> {
+        self.traces
+            .iter()
+            .map(|t| atlas_telemetry::us_to_ms(t.end_to_end_latency_us()))
+            .collect()
+    }
+}
+
+/// Resource profile of one component learned from metrics.
+#[derive(Debug, Clone)]
+pub struct ComponentProfile {
+    /// Component name.
+    pub name: String,
+    /// Whether the component holds persistent state (provided by the
+    /// operator's deployment manifest, not inferred from code).
+    pub stateful: bool,
+    /// Mean CPU cores over the learning period.
+    pub mean_cpu_cores: f64,
+    /// Peak CPU cores over the learning period.
+    pub peak_cpu_cores: f64,
+    /// Mean memory (GB).
+    pub mean_memory_gb: f64,
+    /// Mean storage (GB); zero for stateless components.
+    pub mean_storage_gb: f64,
+    /// Total bytes sent plus received over the learning period.
+    pub total_network_bytes: f64,
+}
+
+/// The learned application profile: everything the recommendation stage
+/// needs apart from the network footprints.
+#[derive(Debug, Clone)]
+pub struct ApplicationProfile {
+    /// Per-API profiles keyed by endpoint.
+    pub apis: HashMap<String, ApiProfile>,
+    /// Per-component profiles keyed by name.
+    pub components: HashMap<String, ComponentProfile>,
+}
+
+impl ApplicationProfile {
+    /// Learn the application profile from the telemetry store.
+    ///
+    /// `stateful_components` is deployment-level knowledge (which containers
+    /// have persistent volumes); `traces_per_api` bounds how many traces are
+    /// retained per API for delay injection.
+    pub fn learn(
+        store: &TelemetryStore,
+        stateful_components: &[String],
+        traces_per_api: usize,
+    ) -> Self {
+        let stateful: HashSet<&str> = stateful_components.iter().map(String::as_str).collect();
+
+        let mut apis = HashMap::new();
+        for endpoint in store.apis() {
+            let all = store.traces_for_api(&endpoint);
+            let request_count = all.len();
+            let mean_latency_ms = if all.is_empty() {
+                0.0
+            } else {
+                all.iter()
+                    .map(|t| atlas_telemetry::us_to_ms(t.end_to_end_latency_us()))
+                    .sum::<f64>()
+                    / all.len() as f64
+            };
+            let traces = store.recent_traces_for_api(&endpoint, traces_per_api);
+            let mut components = HashSet::new();
+            let mut stateful_used = HashSet::new();
+            for trace in &traces {
+                for c in trace.components() {
+                    components.insert(c.to_string());
+                    if stateful.contains(c) {
+                        stateful_used.insert(c.to_string());
+                    }
+                }
+            }
+            apis.insert(
+                endpoint.clone(),
+                ApiProfile {
+                    endpoint,
+                    traces,
+                    components,
+                    stateful_components: stateful_used,
+                    mean_latency_ms,
+                    request_count,
+                },
+            );
+        }
+
+        let mut components = HashMap::new();
+        for name in store.components() {
+            let metrics = store.component_metrics(&name);
+            let (mean_cpu, peak_cpu, mean_mem, mean_sto, net) = match metrics {
+                Some(m) => (
+                    m.mean(MetricKind::CpuCores),
+                    m.max(MetricKind::CpuCores),
+                    m.mean(MetricKind::MemoryGb),
+                    m.mean(MetricKind::StorageGb),
+                    m.series(MetricKind::IngressBytes)
+                        .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
+                        .unwrap_or(0.0)
+                        + m.series(MetricKind::EgressBytes)
+                            .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
+                            .unwrap_or(0.0),
+                ),
+                None => (0.0, 0.0, 0.0, 0.0, 0.0),
+            };
+            components.insert(
+                name.clone(),
+                ComponentProfile {
+                    stateful: stateful.contains(name.as_str()),
+                    name,
+                    mean_cpu_cores: mean_cpu,
+                    peak_cpu_cores: peak_cpu,
+                    mean_memory_gb: mean_mem,
+                    mean_storage_gb: mean_sto,
+                    total_network_bytes: net,
+                },
+            );
+        }
+
+        Self { apis, components }
+    }
+
+    /// Endpoints of all learned APIs, sorted.
+    pub fn api_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.apis.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Names of all learned components, sorted.
+    pub fn component_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.components.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The stateful components used by an API (`SC(A)`), empty if unknown.
+    pub fn stateful_components_of(&self, api: &str) -> Vec<String> {
+        self.apis
+            .get(api)
+            .map(|p| {
+                let mut v: Vec<String> = p.stateful_components.iter().cloned().collect();
+                v.sort();
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+    use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
+
+    fn learned_profile() -> ApplicationProfile {
+        let app = social_network(SocialNetworkOptions::default());
+        let sim = Simulator::new(
+            app.clone(),
+            Placement::all_onprem(app.component_count()),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 2,
+            },
+        );
+        let schedule = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_seed(2),
+        )
+        .generate(&app)
+        .unwrap();
+        let store = atlas_telemetry::TelemetryStore::new();
+        sim.run(&schedule, &store);
+        let stateful: Vec<String> = app
+            .stateful_components()
+            .into_iter()
+            .map(|c| app.component_name(c).to_string())
+            .collect();
+        ApplicationProfile::learn(&store, &stateful, 50)
+    }
+
+    #[test]
+    fn learns_every_api_and_component() {
+        let profile = learned_profile();
+        assert_eq!(profile.apis.len(), 9);
+        assert_eq!(profile.components.len(), 29);
+        for api in profile.apis.values() {
+            assert!(api.request_count > 0);
+            assert!(api.mean_latency_ms > 0.0);
+            assert!(!api.traces.is_empty());
+            assert!(api.traces.len() <= 50);
+            assert!(!api.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn stateful_usage_matches_the_application() {
+        let profile = learned_profile();
+        let compose_stateful = profile.stateful_components_of("/composeAPI");
+        assert!(compose_stateful.contains(&"PostStorageMongoDB".to_string()));
+        assert!(compose_stateful.contains(&"UserMongoDB".to_string()));
+        let follow_stateful = profile.stateful_components_of("/followAPI");
+        assert!(follow_stateful.contains(&"SocialGraphMongoDB".to_string()));
+        assert!(!follow_stateful.contains(&"MediaMongoDB".to_string()));
+        assert!(profile.stateful_components_of("/unknown").is_empty());
+    }
+
+    #[test]
+    fn component_profiles_capture_resource_usage() {
+        let profile = learned_profile();
+        let frontend = &profile.components["FrontendNGINX"];
+        assert!(frontend.mean_cpu_cores > 0.0);
+        assert!(frontend.peak_cpu_cores >= frontend.mean_cpu_cores);
+        assert!(!frontend.stateful);
+        let mongo = &profile.components["UserMongoDB"];
+        assert!(mongo.stateful);
+        assert!(mongo.mean_storage_gb > 0.0);
+        assert!(frontend.total_network_bytes > 0.0);
+    }
+
+    #[test]
+    fn latency_samples_match_trace_count() {
+        let profile = learned_profile();
+        let api = &profile.apis["/loginAPI"];
+        assert_eq!(api.latency_samples_ms().len(), api.traces.len());
+        assert!(api.latency_samples_ms().iter().all(|&l| l > 0.0));
+    }
+}

@@ -1,0 +1,406 @@
+//! Migration-quality modeling: `Q_Perf`, `Q_Avai`, `Q_Cost` and the
+//! feasibility constraints of Eq. 4.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use atlas_cloud::{CostModel, ResourceDemand};
+use atlas_sim::{Location, Placement};
+
+use crate::delay::DelayInjector;
+use crate::footprint::NetworkFootprint;
+use crate::plan::MigrationPlan;
+use crate::preferences::MigrationPreferences;
+use crate::profile::ApplicationProfile;
+
+/// The three quality indicators of one plan, plus its feasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanQuality {
+    /// `Q_Perf`: weighted mean latency ratio (new / current) across APIs;
+    /// 1.0 means "as fast as today", larger is worse.
+    pub performance: f64,
+    /// `Q_Avai`: weighted number of APIs disrupted by the migration.
+    pub availability: f64,
+    /// `Q_Cost`: cloud hosting cost (dollars) over the demand horizon.
+    pub cost: f64,
+    /// Whether the plan satisfies all constraints of Eq. 4 (`λ(p)`).
+    pub feasible: bool,
+}
+
+impl PlanQuality {
+    /// The objective vector `[Q_Perf, Q_Avai, Q_Cost]` used by NSGA-II.
+    pub fn objectives(&self) -> Vec<f64> {
+        vec![self.performance, self.availability, self.cost]
+    }
+}
+
+/// Models the quality of candidate plans without executing them.
+#[derive(Debug, Clone)]
+pub struct QualityModel {
+    profile: ApplicationProfile,
+    footprint: NetworkFootprint,
+    injector: DelayInjector,
+    cost_model: CostModel,
+    demand: ResourceDemand,
+    preferences: MigrationPreferences,
+    current: Placement,
+    /// Component names in plan-index order.
+    component_index: Vec<String>,
+    /// Current mean latency per API (ms), the denominator of `Q_Perf`.
+    baseline_latency_ms: HashMap<String, f64>,
+}
+
+impl QualityModel {
+    /// Assemble a quality model.
+    ///
+    /// `component_index` defines the component ordering used by plans and by
+    /// the demand; `current` is the placement the application runs under
+    /// today (all on-prem in the paper's experiments).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        profile: ApplicationProfile,
+        footprint: NetworkFootprint,
+        injector: DelayInjector,
+        cost_model: CostModel,
+        demand: ResourceDemand,
+        preferences: MigrationPreferences,
+        current: Placement,
+        component_index: Vec<String>,
+    ) -> Self {
+        assert_eq!(
+            current.len(),
+            component_index.len(),
+            "current placement must cover every component"
+        );
+        let baseline_latency_ms = profile
+            .apis
+            .iter()
+            .map(|(k, v)| (k.clone(), v.mean_latency_ms.max(1e-6)))
+            .collect();
+        Self {
+            profile,
+            footprint,
+            injector,
+            cost_model,
+            demand,
+            preferences,
+            current,
+            component_index,
+            baseline_latency_ms,
+        }
+    }
+
+    /// Number of components (the plan length this model expects).
+    pub fn component_count(&self) -> usize {
+        self.component_index.len()
+    }
+
+    /// The component names in plan-index order.
+    pub fn component_index(&self) -> &[String] {
+        &self.component_index
+    }
+
+    /// The preferences in effect.
+    pub fn preferences(&self) -> &MigrationPreferences {
+        &self.preferences
+    }
+
+    /// The learned application profile.
+    pub fn profile(&self) -> &ApplicationProfile {
+        &self.profile
+    }
+
+    /// The learned network footprint.
+    pub fn footprint(&self) -> &NetworkFootprint {
+        &self.footprint
+    }
+
+    /// The current placement.
+    pub fn current_placement(&self) -> &Placement {
+        &self.current
+    }
+
+    /// Estimated post-migration mean latency (ms) of one API under a plan.
+    pub fn estimate_api_latency_ms(&self, api: &str, plan: &MigrationPlan) -> f64 {
+        let Some(profile) = self.profile.apis.get(api) else {
+            return 0.0;
+        };
+        self.injector.estimate_api_latency_ms(
+            &profile.traces,
+            &self.footprint,
+            &self.current,
+            plan.placement(),
+        )
+    }
+
+    /// `Q_Perf(p)`: weighted mean of per-API latency ratios.
+    pub fn performance(&self, plan: &MigrationPlan) -> f64 {
+        let apis: Vec<&String> = self.profile.apis.keys().collect();
+        if apis.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        for api in apis {
+            let weight = self.preferences.api_weight(api);
+            let baseline = self.baseline_latency_ms[api];
+            let estimated = self.estimate_api_latency_ms(api, plan).max(1e-9);
+            total += weight * estimated / baseline;
+            weight_sum += weight;
+        }
+        total / weight_sum
+    }
+
+    /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move.
+    pub fn availability(&self, plan: &MigrationPlan) -> f64 {
+        let mut disruption = 0.0;
+        for (api, profile) in &self.profile.apis {
+            let disrupted = profile.stateful_components.iter().any(|c| {
+                self.component_index
+                    .iter()
+                    .position(|n| n == c)
+                    .map(|i| {
+                        plan.location(atlas_sim::ComponentId(i))
+                            != self.current.location(atlas_sim::ComponentId(i))
+                    })
+                    .unwrap_or(false)
+            });
+            if disrupted {
+                disruption += self.preferences.api_weight(api);
+            }
+        }
+        disruption
+    }
+
+    /// `Q_Cost(p)`: cloud hosting cost over the demand horizon (dollars).
+    pub fn cost(&self, plan: &MigrationPlan) -> f64 {
+        let in_cloud: Vec<bool> = (0..self.component_count())
+            .map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud)
+            .collect();
+        self.cost_model.evaluate(&self.demand, &in_cloud).total()
+    }
+
+    /// Cost expressed per day, the unit the paper reports.
+    pub fn cost_per_day(&self, plan: &MigrationPlan) -> f64 {
+        let in_cloud: Vec<bool> = (0..self.component_count())
+            .map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud)
+            .collect();
+        self.cost_model
+            .evaluate(&self.demand, &in_cloud)
+            .per_day(self.demand.duration_s())
+            .total()
+    }
+
+    /// `λ(p)`: whether the plan satisfies every constraint of Eq. 4.
+    pub fn is_feasible(&self, plan: &MigrationPlan) -> bool {
+        self.feasibility(plan).is_none()
+    }
+
+    /// The first violated constraint, if any (useful for diagnostics).
+    pub fn feasibility(&self, plan: &MigrationPlan) -> Option<String> {
+        if plan.len() != self.component_count() {
+            return Some("plan does not cover every component".to_string());
+        }
+        // Placement pins.
+        if self.preferences.violates_pins(plan) {
+            return Some("violates a placement constraint".to_string());
+        }
+        // On-prem resource limits: peak expected usage of on-prem components.
+        let onprem: Vec<usize> = (0..self.component_count())
+            .filter(|&i| plan.location(atlas_sim::ComponentId(i)) == Location::OnPrem)
+            .collect();
+        let peak_cpu = self.demand.peak_cpu(&onprem);
+        if peak_cpu > self.preferences.onprem_cpu_limit {
+            return Some(format!(
+                "on-prem CPU demand {peak_cpu:.1} exceeds limit {:.1}",
+                self.preferences.onprem_cpu_limit
+            ));
+        }
+        let peak_mem = self.demand.peak_memory_gb(&onprem);
+        if peak_mem > self.preferences.onprem_memory_limit_gb {
+            return Some(format!(
+                "on-prem memory demand {peak_mem:.1} GB exceeds limit {:.1} GB",
+                self.preferences.onprem_memory_limit_gb
+            ));
+        }
+        let peak_storage = self.demand.peak_storage_gb(&onprem);
+        if peak_storage > self.preferences.onprem_storage_limit_gb {
+            return Some(format!(
+                "on-prem storage demand {peak_storage:.1} GB exceeds limit {:.1} GB",
+                self.preferences.onprem_storage_limit_gb
+            ));
+        }
+        // Budget.
+        if let Some(budget) = self.preferences.budget {
+            let cost = self.cost(plan);
+            if cost > budget {
+                return Some(format!("cost {cost:.2} exceeds budget {budget:.2}"));
+            }
+        }
+        None
+    }
+
+    /// Evaluate all three qualities plus feasibility of a plan.
+    pub fn evaluate(&self, plan: &MigrationPlan) -> PlanQuality {
+        PlanQuality {
+            performance: self.performance(plan),
+            availability: self.availability(plan),
+            cost: self.cost(plan),
+            feasible: self.is_feasible(plan),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintLearner;
+    use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+    use atlas_cloud::{PricingModel, ResourceEstimator, ScalingEstimator};
+    use atlas_sim::{AppTopology, ClusterSpec, ComponentId, OverloadModel, SimConfig, Simulator};
+    use atlas_telemetry::TelemetryStore;
+
+    /// Build a fully-learned quality model from a short simulated run of the
+    /// social network.
+    fn build_model(preferences: MigrationPreferences) -> (QualityModel, AppTopology) {
+        let app = social_network(SocialNetworkOptions::default());
+        let n = app.component_count();
+        let current = Placement::all_onprem(n);
+        let sim = Simulator::new(
+            app.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 3,
+            },
+        );
+        let schedule = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_seed(3),
+        )
+        .generate(&app)
+        .unwrap();
+        let store = TelemetryStore::new();
+        sim.run(&schedule, &store);
+
+        let component_index: Vec<String> =
+            app.components().iter().map(|c| c.name.clone()).collect();
+        let stateful: Vec<String> = app
+            .stateful_components()
+            .into_iter()
+            .map(|c| app.component_name(c).to_string())
+            .collect();
+        let profile = ApplicationProfile::learn(&store, &stateful, 40);
+        let footprint = FootprintLearner::default().learn(&store);
+        let injector = DelayInjector::new(ClusterSpec::default().network, component_index.clone());
+        let demand = ScalingEstimator::with_scale(5.0).estimate(&store, &component_index, 12, 600);
+        let model = QualityModel::new(
+            profile,
+            footprint,
+            injector,
+            CostModel::new(PricingModel::default()),
+            demand,
+            preferences,
+            current,
+            component_index,
+        );
+        (model, app)
+    }
+
+    #[test]
+    fn identity_plan_is_neutral() {
+        let (model, app) = build_model(MigrationPreferences::default());
+        let identity = MigrationPlan::all_onprem(app.component_count());
+        let q = model.evaluate(&identity);
+        assert!((q.performance - 1.0).abs() < 0.05, "Q_Perf ≈ 1.0, got {}", q.performance);
+        assert_eq!(q.availability, 0.0);
+        assert_eq!(q.cost, 0.0);
+        assert!(q.feasible);
+    }
+
+    #[test]
+    fn offloading_stateful_components_costs_availability() {
+        let (model, app) = build_model(MigrationPreferences::default());
+        let user_db = app.component_id("UserMongoDB").unwrap();
+        let mut plan = MigrationPlan::all_onprem(app.component_count());
+        plan.set(user_db, Location::Cloud);
+        let q = model.evaluate(&plan);
+        // UserMongoDB is used by several APIs → several disrupted APIs.
+        assert!(q.availability >= 2.0, "expected multiple disrupted APIs, got {}", q.availability);
+        assert!(q.cost > 0.0);
+    }
+
+    #[test]
+    fn offloading_a_foreground_service_degrades_performance_more_than_a_background_one() {
+        let (model, app) = build_model(MigrationPreferences::default());
+        let post_storage = app.component_id("PostStorageService").unwrap();
+        let write_ht = app.component_id("WriteHomeTimelineService").unwrap();
+        let mut fg = MigrationPlan::all_onprem(app.component_count());
+        fg.set(post_storage, Location::Cloud);
+        let mut bg = MigrationPlan::all_onprem(app.component_count());
+        bg.set(write_ht, Location::Cloud);
+        let q_fg = model.performance(&fg);
+        let q_bg = model.performance(&bg);
+        assert!(
+            q_fg > q_bg,
+            "foreground offload ({q_fg}) should hurt more than background offload ({q_bg})"
+        );
+        assert!(q_bg < 1.3, "background offload should be nearly free, got {q_bg}");
+    }
+
+    #[test]
+    fn cpu_limit_makes_the_identity_plan_infeasible() {
+        // The 5×-burst demand cannot fit in a tiny on-prem budget unless
+        // enough components are offloaded.
+        let (model, app) = build_model(MigrationPreferences::with_cpu_limit(2.0));
+        let identity = MigrationPlan::all_onprem(app.component_count());
+        assert!(!model.is_feasible(&identity));
+        assert!(model.feasibility(&identity).unwrap().contains("CPU"));
+        // Offloading everything trivially satisfies the on-prem limit.
+        let all_cloud = MigrationPlan::new(Placement::all_cloud(app.component_count()));
+        assert!(model.is_feasible(&all_cloud));
+    }
+
+    #[test]
+    fn placement_pins_and_budget_are_enforced() {
+        let (model, app) = build_model(
+            MigrationPreferences::default()
+                .pin(ComponentId(0), Location::OnPrem)
+                .with_budget(0.000001),
+        );
+        let mut plan = MigrationPlan::all_onprem(app.component_count());
+        plan.set(ComponentId(0), Location::Cloud);
+        assert!(model.feasibility(&plan).unwrap().contains("placement"));
+
+        let mut cheap_violation = MigrationPlan::all_onprem(app.component_count());
+        cheap_violation.set(ComponentId(5), Location::Cloud);
+        assert!(model.feasibility(&cheap_violation).unwrap().contains("budget"));
+    }
+
+    #[test]
+    fn critical_apis_change_the_weighting() {
+        let (plain, app) = build_model(MigrationPreferences::default());
+        let (critical, _) = build_model(
+            MigrationPreferences::default().critical("/homeTimelineAPI"),
+        );
+        // Offload a component heavily used by /homeTimelineAPI.
+        let ht_service = app.component_id("HomeTimelineService").unwrap();
+        let mut plan = MigrationPlan::all_onprem(app.component_count());
+        plan.set(ht_service, Location::Cloud);
+        let q_plain = plain.performance(&plan);
+        let q_critical = critical.performance(&plan);
+        assert!(
+            q_critical > q_plain,
+            "weighting the affected API as critical must increase Q_Perf ({q_critical} vs {q_plain})"
+        );
+    }
+
+    #[test]
+    fn wrong_sized_plans_are_infeasible() {
+        let (model, _) = build_model(MigrationPreferences::default());
+        let tiny = MigrationPlan::all_onprem(3);
+        assert!(!model.is_feasible(&tiny));
+    }
+}

@@ -1,0 +1,419 @@
+//! The DRL-based genetic algorithm producing migration recommendations
+//! (paper §4.2.1, Figure 5 steps ①–⑤).
+//!
+//! The search keeps a small population of plans, evaluates their three
+//! quality indicators, keeps the NSGA-II survivors, pairs parents with a
+//! binary tournament, and creates offspring either with the learned
+//! reward-driven crossover agent (Atlas) or with uniform crossover (the
+//! affinity-style baseline ablation). The search budget is expressed as the
+//! total number of plans visited (the paper caps all multi-plan approaches
+//! at 10,000 ≈ 0.002 % of the space).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use atlas_ga::nsga2::{rank_and_crowding, select_survivors};
+use atlas_ga::{bit_flip_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+
+use crate::plan::MigrationPlan;
+use crate::quality::{PlanQuality, QualityModel};
+use crate::rl_crossover::{CrossoverAgent, RlCrossoverConfig};
+
+/// Which crossover operator the search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossoverStrategy {
+    /// The reward-driven learned crossover (Atlas).
+    ReinforcementLearning,
+    /// Plain uniform crossover + mutation (NSGA-II baseline of Figure 21a).
+    Uniform,
+}
+
+/// Configuration of the recommender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommenderConfig {
+    /// Population size (the paper uses 100).
+    pub population: usize,
+    /// Total number of candidate plans visited, including the initial
+    /// population and the RL training rollouts (the paper caps at 10,000).
+    pub max_visited: usize,
+    /// Mutation rate applied to offspring (keeps diversity).
+    pub mutation_rate: f64,
+    /// Crossover operator.
+    pub strategy: CrossoverStrategy,
+    /// Configuration of the RL crossover agent (ignored for
+    /// [`CrossoverStrategy::Uniform`]).
+    pub rl: RlCrossoverConfig,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for RecommenderConfig {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            max_visited: 10_000,
+            mutation_rate: 0.02,
+            strategy: CrossoverStrategy::ReinforcementLearning,
+            rl: RlCrossoverConfig::default(),
+            seed: 23,
+        }
+    }
+}
+
+impl RecommenderConfig {
+    /// A light-weight configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            population: 24,
+            max_visited: 600,
+            mutation_rate: 0.03,
+            strategy: CrossoverStrategy::ReinforcementLearning,
+            rl: RlCrossoverConfig {
+                iterations: 120,
+                actor_hidden: vec![48, 48],
+                ..RlCrossoverConfig::default()
+            },
+            seed: 23,
+        }
+    }
+
+    /// Switch to plain uniform crossover (builder style).
+    pub fn with_uniform_crossover(mut self) -> Self {
+        self.strategy = CrossoverStrategy::Uniform;
+        self
+    }
+
+    /// Replace the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One recommended plan together with its predicted quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendedPlan {
+    /// The plan itself.
+    pub plan: MigrationPlan,
+    /// Its predicted quality.
+    pub quality: PlanQuality,
+}
+
+/// Summary of one recommendation run.
+#[derive(Debug, Clone)]
+pub struct RecommendationReport {
+    /// The Pareto-optimal plans found, sorted by predicted performance.
+    pub plans: Vec<RecommendedPlan>,
+    /// Number of candidate plans visited (quality evaluations).
+    pub visited: usize,
+    /// Reward progression of the crossover agent (empty for uniform
+    /// crossover) — the curve of paper Figure 21b.
+    pub reward_progression: Vec<f64>,
+}
+
+impl RecommendationReport {
+    /// The plan with the best (lowest) predicted performance impact.
+    pub fn performance_optimized(&self) -> Option<&RecommendedPlan> {
+        self.plans.iter().min_by(|a, b| {
+            a.quality
+                .performance
+                .partial_cmp(&b.quality.performance)
+                .expect("finite")
+        })
+    }
+
+    /// The plan with the least predicted disruption, ties broken by
+    /// performance.
+    pub fn availability_optimized(&self) -> Option<&RecommendedPlan> {
+        self.plans.iter().min_by(|a, b| {
+            (a.quality.availability, a.quality.performance)
+                .partial_cmp(&(b.quality.availability, b.quality.performance))
+                .expect("finite")
+        })
+    }
+
+    /// The cheapest plan, ties broken by performance.
+    pub fn cost_optimized(&self) -> Option<&RecommendedPlan> {
+        self.plans.iter().min_by(|a, b| {
+            (a.quality.cost, a.quality.performance)
+                .partial_cmp(&(b.quality.cost, b.quality.performance))
+                .expect("finite")
+        })
+    }
+}
+
+/// The DRL-based genetic recommender.
+pub struct Recommender<'a> {
+    quality: &'a QualityModel,
+    config: RecommenderConfig,
+}
+
+impl<'a> Recommender<'a> {
+    /// Create a recommender over a quality model.
+    pub fn new(quality: &'a QualityModel, config: RecommenderConfig) -> Self {
+        Self { quality, config }
+    }
+
+    /// Run the search and return the Pareto-optimal recommendations.
+    pub fn recommend(&self) -> RecommendationReport {
+        let n = self.quality.component_count();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut visited = 0usize;
+
+        // ① Population initialisation: random plans that respect the pins
+        // (cheap to enforce up-front) with varying cloud fractions.
+        let mut population: Vec<MigrationPlan> = Vec::with_capacity(self.config.population);
+        while population.len() < self.config.population {
+            let cloud_fraction = rng.gen_range(0.05..0.95);
+            let bits: Vec<u8> = (0..n)
+                .map(|_| u8::from(rng.gen::<f64>() < cloud_fraction))
+                .collect();
+            let mut plan = MigrationPlan::from_bits(&bits);
+            self.apply_pins(&mut plan);
+            population.push(plan);
+        }
+        let mut qualities: Vec<PlanQuality> =
+            population.iter().map(|p| self.quality.evaluate(p)).collect();
+        visited += population.len();
+
+        // Train the RL crossover agent on the initial population (the paper
+        // trains Λ_θ during the application-learning phase). Each training
+        // rollout evaluates one child plan and counts against the budget.
+        let mut agent = None;
+        let mut reward_progression = Vec::new();
+        if self.config.strategy == CrossoverStrategy::ReinforcementLearning {
+            let mut rl_config = self.config.rl.clone();
+            // Keep training within half of the remaining budget.
+            let budget = (self.config.max_visited.saturating_sub(visited)) / 2;
+            rl_config.iterations = rl_config.iterations.min(budget.max(1));
+            let mut a = CrossoverAgent::new(n, rl_config);
+            reward_progression = a.train(self.quality, &population);
+            visited += reward_progression.len();
+            agent = Some(a);
+        }
+
+        // ②–⑤ Generations: evaluate, survive, pair, cross over.
+        while visited < self.config.max_visited {
+            let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
+            let objectives: Vec<Vec<f64>> = qualities.iter().map(|q| q.objectives()).collect();
+            let survivors = select_survivors(&objectives, &feasible, self.config.population);
+            population = survivors.iter().map(|&i| population[i].clone()).collect();
+            qualities = survivors.iter().map(|&i| qualities[i]).collect();
+
+            let (rank, crowding) = {
+                let objectives: Vec<Vec<f64>> =
+                    qualities.iter().map(|q| q.objectives()).collect();
+                let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
+                rank_and_crowding(&objectives, &feasible)
+            };
+
+            let offspring_target = self
+                .config
+                .population
+                .min(self.config.max_visited - visited);
+            let mut offspring = Vec::with_capacity(offspring_target);
+            while offspring.len() < offspring_target {
+                let a = binary_tournament(&mut rng, &rank, &crowding);
+                let b = binary_tournament(&mut rng, &rank, &crowding);
+                let mut child = match (&mut agent, self.config.strategy) {
+                    (Some(agent), CrossoverStrategy::ReinforcementLearning) => {
+                        agent.crossover(&population[a], &population[b])
+                    }
+                    _ => {
+                        let bits = uniform_crossover(
+                            &mut rng,
+                            &population[a].to_bits(),
+                            &population[b].to_bits(),
+                        );
+                        MigrationPlan::from_bits(&bits)
+                    }
+                };
+                let mut bits = child.to_bits();
+                bit_flip_mutation(&mut rng, &mut bits, self.config.mutation_rate);
+                child = MigrationPlan::from_bits(&bits);
+                self.apply_pins(&mut child);
+                offspring.push(child);
+            }
+            let offspring_quality: Vec<PlanQuality> =
+                offspring.iter().map(|p| self.quality.evaluate(p)).collect();
+            visited += offspring.len();
+            population.extend(offspring);
+            qualities.extend(offspring_quality);
+        }
+
+        // Final survival + Pareto extraction over feasible plans only.
+        let feasible_indices: Vec<usize> = (0..population.len())
+            .filter(|&i| qualities[i].feasible)
+            .collect();
+        let candidate_indices: Vec<usize> = if feasible_indices.is_empty() {
+            (0..population.len()).collect()
+        } else {
+            feasible_indices
+        };
+        let objectives: Vec<Vec<f64>> = candidate_indices
+            .iter()
+            .map(|&i| qualities[i].objectives())
+            .collect();
+        let front = pareto_front_indices(&objectives);
+        let mut seen = HashSet::new();
+        let mut plans: Vec<RecommendedPlan> = front
+            .into_iter()
+            .map(|k| candidate_indices[k])
+            .filter(|&i| seen.insert(population[i].to_bits()))
+            .map(|i| RecommendedPlan {
+                plan: population[i].clone(),
+                quality: qualities[i],
+            })
+            .collect();
+        plans.sort_by(|a, b| {
+            a.quality
+                .performance
+                .partial_cmp(&b.quality.performance)
+                .expect("finite")
+        });
+
+        RecommendationReport {
+            plans,
+            visited,
+            reward_progression,
+        }
+    }
+
+    fn apply_pins(&self, plan: &mut MigrationPlan) {
+        for (&c, &loc) in &self.quality.preferences().pinned {
+            if c.0 < plan.len() {
+                plan.set(c, loc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayInjector;
+    use crate::footprint::FootprintLearner;
+    use crate::preferences::MigrationPreferences;
+    use crate::profile::ApplicationProfile;
+    use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+    use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
+    use atlas_sim::{ClusterSpec, ComponentId, Location, OverloadModel, Placement, SimConfig, Simulator};
+    use atlas_telemetry::TelemetryStore;
+
+    fn build_quality(preferences: MigrationPreferences) -> QualityModel {
+        let app = social_network(SocialNetworkOptions::default());
+        let n = app.component_count();
+        let current = Placement::all_onprem(n);
+        let sim = Simulator::new(
+            app.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 8,
+            },
+        );
+        let schedule = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default().with_seed(8),
+        )
+        .generate(&app)
+        .unwrap();
+        let store = TelemetryStore::new();
+        sim.run(&schedule, &store);
+
+        let component_index: Vec<String> =
+            app.components().iter().map(|c| c.name.clone()).collect();
+        let stateful: Vec<String> = app
+            .stateful_components()
+            .into_iter()
+            .map(|c| app.component_name(c).to_string())
+            .collect();
+        let profile = ApplicationProfile::learn(&store, &stateful, 25);
+        let footprint = FootprintLearner::default().learn(&store);
+        let injector = DelayInjector::new(ClusterSpec::default().network, component_index.clone());
+        let demand = ScalingEstimator::with_scale(5.0).estimate(&store, &component_index, 8, 600);
+        QualityModel::new(
+            profile,
+            footprint,
+            injector,
+            CostModel::new(PricingModel::default()),
+            demand,
+            preferences,
+            current,
+            component_index,
+        )
+    }
+
+    /// Preferences forcing some offloading: on-prem CPU may not hold all of
+    /// the burst demand, and user data must stay on-prem.
+    fn burst_preferences(quality_cpu_limit: f64) -> MigrationPreferences {
+        MigrationPreferences::with_cpu_limit(quality_cpu_limit)
+    }
+
+    #[test]
+    fn recommendations_are_feasible_and_pareto_optimal() {
+        let quality = build_quality(burst_preferences(12.0));
+        let report = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        assert!(!report.plans.is_empty(), "should find at least one plan");
+        assert!(report.visited <= RecommenderConfig::fast().max_visited);
+        for plan in &report.plans {
+            assert!(plan.quality.feasible, "recommended plans must be feasible");
+        }
+        // Pareto property: no recommended plan dominates another.
+        for a in &report.plans {
+            for b in &report.plans {
+                if a.plan != b.plan {
+                    assert!(!atlas_ga::dominates(
+                        &a.quality.objectives(),
+                        &b.quality.objectives()
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_components_are_never_offloaded() {
+        let prefs = burst_preferences(12.0)
+            .pin(ComponentId(23), Location::OnPrem) // UserMongoDB
+            .pin(ComponentId(25), Location::OnPrem); // PostStorageMongoDB
+        let quality = build_quality(prefs);
+        let report = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        for plan in &report.plans {
+            assert_eq!(plan.plan.location(ComponentId(23)), Location::OnPrem);
+            assert_eq!(plan.plan.location(ComponentId(25)), Location::OnPrem);
+        }
+    }
+
+    #[test]
+    fn selector_helpers_pick_extremes() {
+        let quality = build_quality(burst_preferences(12.0));
+        let report = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        let perf = report.performance_optimized().unwrap();
+        let cost = report.cost_optimized().unwrap();
+        let avail = report.availability_optimized().unwrap();
+        for p in &report.plans {
+            assert!(perf.quality.performance <= p.quality.performance + 1e-12);
+            assert!(cost.quality.cost <= p.quality.cost + 1e-12);
+            assert!(avail.quality.availability <= p.quality.availability + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rl_strategy_records_reward_progression_and_uniform_does_not() {
+        let quality = build_quality(burst_preferences(12.0));
+        let rl = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        assert!(!rl.reward_progression.is_empty());
+        let uniform = Recommender::new(
+            &quality,
+            RecommenderConfig::fast().with_uniform_crossover(),
+        )
+        .recommend();
+        assert!(uniform.reward_progression.is_empty());
+        assert!(!uniform.plans.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! The reward-driven crossover agent `Λ_θ` (paper §4.2.1, Eq. 5).
+//!
+//! Instead of combining two parent plans uniformly at random, Atlas trains a
+//! small actor-critic network that maps the concatenation of the parents to
+//! a probability distribution over child plans. The reward encourages
+//! children that (i) satisfy every constraint of Eq. 4 and (ii) beat both
+//! parents in as many quality aspects as possible:
+//!
+//! ```text
+//! Reward(p; p_i, p_j) = (−1)^{1−λ(p)} · Σ_Q 𝟙[ min(Q(p_i), Q(p_j)) > Q(p) ]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use atlas_nn::{ActorCritic, ActorCriticConfig};
+
+use crate::plan::MigrationPlan;
+use crate::quality::{PlanQuality, QualityModel};
+
+/// Hyperparameters of the crossover agent and its training loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlCrossoverConfig {
+    /// Training iterations (the paper trains for 1,000).
+    pub iterations: usize,
+    /// Hidden sizes of the actor (the paper uses three ReLU layers of 128).
+    pub actor_hidden: Vec<usize>,
+    /// Whether the feasibility sign-flip of Eq. 5 is applied. Disabling it
+    /// is the ablation exercised by `bench_reward_ablation`.
+    pub feasibility_penalty: bool,
+    /// Seed for sampling parents and actions.
+    pub seed: u64,
+}
+
+impl Default for RlCrossoverConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 1_000,
+            actor_hidden: vec![128, 128, 128],
+            feasibility_penalty: true,
+            seed: 17,
+        }
+    }
+}
+
+/// The trained crossover agent plus its reward bookkeeping.
+#[derive(Debug)]
+pub struct CrossoverAgent {
+    agent: ActorCritic,
+    config: RlCrossoverConfig,
+    rng: StdRng,
+    reward_history: Vec<f64>,
+}
+
+impl CrossoverAgent {
+    /// Create an untrained agent for plans over `component_count` components.
+    pub fn new(component_count: usize, config: RlCrossoverConfig) -> Self {
+        let ac_config = ActorCriticConfig {
+            actor_hidden: config.actor_hidden.clone(),
+            seed: config.seed,
+            ..ActorCriticConfig::default()
+        };
+        let agent = ActorCritic::new(component_count * 2, component_count, ac_config);
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(31).wrapping_add(7));
+        Self {
+            agent,
+            config,
+            rng,
+            reward_history: Vec::new(),
+        }
+    }
+
+    /// Reward of a child given its parents' qualities (Eq. 5).
+    pub fn reward(
+        &self,
+        child: &PlanQuality,
+        parent_a: &PlanQuality,
+        parent_b: &PlanQuality,
+    ) -> f64 {
+        let improvements = [
+            (parent_a.performance.min(parent_b.performance), child.performance),
+            (parent_a.availability.min(parent_b.availability), child.availability),
+            (parent_a.cost.min(parent_b.cost), child.cost),
+        ]
+        .iter()
+        .filter(|(best_parent, child_q)| *best_parent > *child_q)
+        .count() as f64;
+        if self.config.feasibility_penalty && !child.feasible {
+            -improvements.max(1.0)
+        } else {
+            improvements
+        }
+    }
+
+    /// Train the agent on random parent pairs drawn from `dataset` using the
+    /// quality model to compute rewards. Returns the per-iteration rewards
+    /// (the reward-progression curve of paper Figure 21b).
+    pub fn train(&mut self, quality: &QualityModel, dataset: &[MigrationPlan]) -> Vec<f64> {
+        assert!(dataset.len() >= 2, "training needs at least two plans");
+        let qualities: Vec<PlanQuality> = dataset.iter().map(|p| quality.evaluate(p)).collect();
+        let mut rewards = Vec::with_capacity(self.config.iterations);
+        for _ in 0..self.config.iterations {
+            let i = self.rng.gen_range(0..dataset.len());
+            let mut j = self.rng.gen_range(0..dataset.len());
+            if i == j {
+                j = (j + 1) % dataset.len();
+            }
+            let state = Self::state_of(&dataset[i], &dataset[j]);
+            let action = self.agent.sample(&state);
+            let child = Self::plan_of(&action);
+            let child_quality = quality.evaluate(&child);
+            let reward = self.reward(&child_quality, &qualities[i], &qualities[j]);
+            self.agent.update(&state, &action, reward);
+            rewards.push(reward);
+        }
+        self.reward_history.extend_from_slice(&rewards);
+        rewards
+    }
+
+    /// Produce a child plan from two parents by sampling the learned policy.
+    pub fn crossover(&mut self, parent_a: &MigrationPlan, parent_b: &MigrationPlan) -> MigrationPlan {
+        let state = Self::state_of(parent_a, parent_b);
+        let action = self.agent.sample(&state);
+        Self::plan_of(&action)
+    }
+
+    /// Deterministic (greedy) child of two parents.
+    pub fn crossover_greedy(
+        &self,
+        parent_a: &MigrationPlan,
+        parent_b: &MigrationPlan,
+    ) -> MigrationPlan {
+        let state = Self::state_of(parent_a, parent_b);
+        Self::plan_of(&self.agent.greedy(&state))
+    }
+
+    /// All rewards observed during training, in order.
+    pub fn reward_history(&self) -> &[f64] {
+        &self.reward_history
+    }
+
+    /// Mean reward over a window of the most recent training iterations.
+    pub fn recent_mean_reward(&self, window: usize) -> f64 {
+        if self.reward_history.is_empty() {
+            return 0.0;
+        }
+        let n = self.reward_history.len();
+        let slice = &self.reward_history[n.saturating_sub(window)..];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
+    fn state_of(a: &MigrationPlan, b: &MigrationPlan) -> Vec<f64> {
+        let mut state = a.to_features();
+        state.extend(b.to_features());
+        state
+    }
+
+    fn plan_of(action: &[bool]) -> MigrationPlan {
+        MigrationPlan::from_bits(
+            &action
+                .iter()
+                .map(|&b| if b { 1 } else { 0 })
+                .collect::<Vec<u8>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quality(perf: f64, avail: f64, cost: f64, feasible: bool) -> PlanQuality {
+        PlanQuality {
+            performance: perf,
+            availability: avail,
+            cost,
+            feasible,
+        }
+    }
+
+    fn agent(n: usize) -> CrossoverAgent {
+        CrossoverAgent::new(
+            n,
+            RlCrossoverConfig {
+                iterations: 10,
+                actor_hidden: vec![16, 16],
+                feasibility_penalty: true,
+                seed: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn reward_counts_improved_objectives() {
+        let a = agent(4);
+        let pa = quality(2.0, 1.0, 100.0, true);
+        let pb = quality(3.0, 0.0, 80.0, true);
+        // Child beats min(perf)=2.0 and min(cost)=80 but not min(avail)=0.
+        let child = quality(1.5, 0.5, 50.0, true);
+        assert_eq!(a.reward(&child, &pa, &pb), 2.0);
+        // Child worse everywhere → reward 0.
+        let bad = quality(5.0, 2.0, 200.0, true);
+        assert_eq!(a.reward(&bad, &pa, &pb), 0.0);
+        // Child better everywhere → 3.
+        let best = quality(1.0, -1.0, 10.0, true);
+        assert_eq!(a.reward(&best, &pa, &pb), 3.0);
+    }
+
+    #[test]
+    fn infeasible_children_get_negative_reward() {
+        let a = agent(4);
+        let pa = quality(2.0, 1.0, 100.0, true);
+        let pb = quality(3.0, 0.0, 80.0, true);
+        let infeasible_good = quality(1.0, -1.0, 10.0, false);
+        assert!(a.reward(&infeasible_good, &pa, &pb) < 0.0);
+        let infeasible_bad = quality(9.0, 9.0, 900.0, false);
+        assert!(a.reward(&infeasible_bad, &pa, &pb) < 0.0);
+    }
+
+    #[test]
+    fn disabling_the_penalty_keeps_rewards_non_negative() {
+        let mut cfg = RlCrossoverConfig::default();
+        cfg.feasibility_penalty = false;
+        cfg.actor_hidden = vec![8];
+        let a = CrossoverAgent::new(3, cfg);
+        let pa = quality(2.0, 1.0, 100.0, true);
+        let pb = quality(3.0, 0.0, 80.0, true);
+        let infeasible_good = quality(1.0, -1.0, 10.0, false);
+        assert!(a.reward(&infeasible_good, &pa, &pb) >= 0.0);
+    }
+
+    #[test]
+    fn crossover_produces_plans_of_the_right_size() {
+        let mut a = agent(6);
+        let p1 = MigrationPlan::from_bits(&[0, 0, 0, 1, 1, 1]);
+        let p2 = MigrationPlan::from_bits(&[1, 1, 1, 0, 0, 0]);
+        let child = a.crossover(&p1, &p2);
+        assert_eq!(child.len(), 6);
+        let greedy = a.crossover_greedy(&p1, &p2);
+        assert_eq!(greedy.len(), 6);
+        assert!(child.to_bits().iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn recent_mean_reward_of_untrained_agent_is_zero() {
+        let a = agent(4);
+        assert_eq!(a.recent_mean_reward(100), 0.0);
+        assert!(a.reward_history().is_empty());
+    }
+}

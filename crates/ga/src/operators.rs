@@ -1,0 +1,91 @@
+//! Genetic operators for binary placement genomes.
+//!
+//! The baselines and the random initialisation of Atlas's population use the
+//! classic operators: uniform crossover (each gene comes from either parent
+//! with equal probability) and bit-flip mutation. Atlas's own crossover is
+//! the learned agent in `atlas-core::rl_crossover`; these operators are the
+//! "existing approaches create offspring by randomly combining the parents"
+//! the paper compares against (§4.2.1).
+
+use rand::Rng;
+
+/// Uniform crossover: each gene is copied from either parent with equal
+/// probability.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn uniform_crossover<R: Rng + ?Sized>(rng: &mut R, a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "parents must have equal length");
+    a.iter()
+        .zip(b.iter())
+        .map(|(&ga, &gb)| if rng.gen::<bool>() { ga } else { gb })
+        .collect()
+}
+
+/// Bit-flip mutation: each gene is flipped (0 ↔ 1) independently with
+/// probability `rate`.
+pub fn bit_flip_mutation<R: Rng + ?Sized>(rng: &mut R, genome: &mut [u8], rate: f64) {
+    for gene in genome.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            *gene = if *gene == 0 { 1 } else { 0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crossover_genes_come_from_a_parent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = vec![0u8; 32];
+        let b = vec![1u8; 32];
+        let child = uniform_crossover(&mut rng, &a, &b);
+        assert_eq!(child.len(), 32);
+        assert!(child.iter().all(|&g| g == 0 || g == 1));
+        // With 32 genes the child is essentially never a clone of one parent.
+        assert!(child.iter().any(|&g| g == 0));
+        assert!(child.iter().any(|&g| g == 1));
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = vec![0, 1, 1, 0, 1];
+        let child = uniform_crossover(&mut rng, &a, &a);
+        assert_eq!(child, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_parents_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uniform_crossover(&mut rng, &[0, 1], &[0, 1, 1]);
+    }
+
+    #[test]
+    fn mutation_rate_zero_and_one_are_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut genome = vec![0, 1, 0, 1];
+        bit_flip_mutation(&mut rng, &mut genome, 0.0);
+        assert_eq!(genome, vec![0, 1, 0, 1]);
+        bit_flip_mutation(&mut rng, &mut genome, 1.0);
+        assert_eq!(genome, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn mutation_flips_roughly_rate_fraction() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut genome = vec![0u8; 10_000];
+        bit_flip_mutation(&mut rng, &mut genome, 0.1);
+        let flipped = genome.iter().filter(|&&g| g == 1).count();
+        assert!(
+            (800..1_200).contains(&flipped),
+            "expected ~1000 flips, got {flipped}"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Pareto dominance for minimisation problems.
+
+/// Whether objective vector `a` dominates `b` (minimisation): `a` is no
+/// worse than `b` in every objective and strictly better in at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Indices of the Pareto-optimal members of a set of objective vectors
+/// (minimisation). A member is kept if no other member dominates it.
+///
+/// Duplicated objective vectors are all kept (they do not dominate each
+/// other), which matches how the paper counts recommended plans.
+pub fn pareto_front_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, a) in objectives.iter().enumerate() {
+        for (j, b) in objectives.iter().enumerate() {
+            if i != j && dominates(b, a) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal vectors do not dominate");
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "trade-offs do not dominate");
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn pareto_front_of_a_simple_set() {
+        let objs = vec![
+            vec![1.0, 5.0], // front
+            vec![2.0, 4.0], // front
+            vec![3.0, 3.0], // front
+            vec![3.0, 5.0], // dominated by [1,5]? no ([1,5] has 1<3, 5==5 → dominates). dominated
+            vec![5.0, 5.0], // dominated
+            vec![0.5, 9.0], // front (best in first objective)
+        ];
+        let front = pareto_front_indices(&objs);
+        assert_eq!(front, vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let objs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(pareto_front_indices(&objs), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_member_is_trivially_optimal() {
+        assert_eq!(pareto_front_indices(&[vec![3.0, 7.0]]), vec![0]);
+        assert!(pareto_front_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn front_members_do_not_dominate_each_other() {
+        let objs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (20 - i) as f64, ((i * 7) % 5) as f64])
+            .collect();
+        let front = pareto_front_indices(&objs);
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    assert!(!dominates(&objs[i], &objs[j]));
+                }
+            }
+        }
+    }
+}

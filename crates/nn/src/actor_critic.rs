@@ -1,0 +1,289 @@
+//! Actor-critic training for a Bernoulli policy.
+//!
+//! The crossover agent `Λ_θ` of paper §4.2.1 maps the concatenation of two
+//! parent plans to a probability distribution over child plans. Because a
+//! plan is a binary vector (one bit per component: on-prem or cloud), the
+//! natural policy is a product of independent Bernoulli variables: the actor
+//! network outputs one logit per component and the child plan is sampled
+//! bit-by-bit. The reward (Eq. 5) is non-differentiable, so the actor is
+//! trained with a policy gradient whose baseline is provided by a critic
+//! network predicting the expected reward of the state — the standard
+//! actor-critic recipe referenced by the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::adam::Adam;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Hyperparameters of the actor-critic agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorCriticConfig {
+    /// Hidden-layer sizes of the actor (the paper uses three ReLU layers of
+    /// 128 units).
+    pub actor_hidden: Vec<usize>,
+    /// Hidden-layer sizes of the critic.
+    pub critic_hidden: Vec<usize>,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Entropy-bonus coefficient keeping the policy stochastic (the paper
+    /// relies on sampling for GA-style mutation diversity).
+    pub entropy_coeff: f64,
+    /// Seed for parameter initialisation and action sampling.
+    pub seed: u64,
+}
+
+impl Default for ActorCriticConfig {
+    fn default() -> Self {
+        Self {
+            actor_hidden: vec![128, 128, 128],
+            critic_hidden: vec![64, 64],
+            actor_lr: 3e-3,
+            critic_lr: 1e-2,
+            entropy_coeff: 1e-3,
+            seed: 7,
+        }
+    }
+}
+
+/// A Bernoulli-policy actor plus a scalar critic.
+#[derive(Debug, Clone)]
+pub struct ActorCritic {
+    actor: Mlp,
+    critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    config: ActorCriticConfig,
+    rng: StdRng,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl ActorCritic {
+    /// Create an agent mapping `state_dim` inputs to `action_dim` Bernoulli
+    /// probabilities.
+    pub fn new(state_dim: usize, action_dim: usize, config: ActorCriticConfig) -> Self {
+        let mut actor_sizes = vec![state_dim];
+        actor_sizes.extend_from_slice(&config.actor_hidden);
+        actor_sizes.push(action_dim);
+        let mut critic_sizes = vec![state_dim];
+        critic_sizes.extend_from_slice(&config.critic_hidden);
+        critic_sizes.push(1);
+
+        let actor = Mlp::new(&actor_sizes, config.seed);
+        let critic = Mlp::new(&critic_sizes, config.seed.wrapping_add(1));
+        let actor_opt = Adam::new(actor.parameter_count(), config.actor_lr);
+        let critic_opt = Adam::new(critic.parameter_count(), config.critic_lr);
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+        Self {
+            actor,
+            critic,
+            actor_opt,
+            critic_opt,
+            config,
+            rng,
+        }
+    }
+
+    /// Dimensionality of the action (number of Bernoulli bits).
+    pub fn action_dim(&self) -> usize {
+        self.actor.output_dim()
+    }
+
+    /// Dimensionality of the state.
+    pub fn state_dim(&self) -> usize {
+        self.actor.input_dim()
+    }
+
+    /// The per-bit probabilities `P(bit = 1 | state)`.
+    pub fn probabilities(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.predict(state).iter().map(|&l| sigmoid(l)).collect()
+    }
+
+    /// Sample an action (bit vector) from the current policy.
+    pub fn sample(&mut self, state: &[f64]) -> Vec<bool> {
+        let probs = self.probabilities(state);
+        probs.iter().map(|&p| self.rng.gen::<f64>() < p).collect()
+    }
+
+    /// Greedy action: take each bit with probability ≥ 0.5.
+    pub fn greedy(&self, state: &[f64]) -> Vec<bool> {
+        self.probabilities(state).iter().map(|&p| p >= 0.5).collect()
+    }
+
+    /// Critic's estimate of the expected reward of a state.
+    pub fn value(&self, state: &[f64]) -> f64 {
+        self.critic.predict(state)[0]
+    }
+
+    /// One actor-critic update from a single `(state, action, reward)`
+    /// sample. Returns the advantage used for the actor update.
+    pub fn update(&mut self, state: &[f64], action: &[bool], reward: f64) -> f64 {
+        assert_eq!(state.len(), self.state_dim(), "state width mismatch");
+        assert_eq!(action.len(), self.action_dim(), "action width mismatch");
+
+        let input = Matrix::row_vector(state);
+
+        // ---- Critic: minimise 0.5 (V(s) - r)^2. ----
+        let critic_cache = self.critic.forward(&input);
+        let value = critic_cache.output().get(0, 0);
+        let advantage = reward - value;
+        self.critic.zero_grad();
+        self.critic
+            .backward(&critic_cache, &Matrix::row_vector(&[value - reward]));
+        let mut critic_params = self.critic.parameters();
+        let critic_grads = self.critic.gradients();
+        self.critic_opt.step(&mut critic_params, &critic_grads);
+        self.critic.set_parameters(&critic_params);
+
+        // ---- Actor: maximise advantage-weighted log-likelihood + entropy. --
+        // For a Bernoulli policy parameterised by logits z with p = σ(z):
+        //   ∂ log π(a|s) / ∂z_i = a_i - p_i
+        //   ∂ H(π) / ∂z_i       = -z_i · p_i · (1 - p_i)
+        // We minimise  -(A · log π + c · H), so the output gradient is
+        //   -(A · (a_i - p_i)) + c · z_i · p_i · (1 - p_i).
+        let actor_cache = self.actor.forward(&input);
+        let logits = actor_cache.output().data().to_vec();
+        let d_out: Vec<f64> = logits
+            .iter()
+            .zip(action.iter())
+            .map(|(&z, &a)| {
+                let p = sigmoid(z);
+                let a = if a { 1.0 } else { 0.0 };
+                -(advantage * (a - p)) + self.config.entropy_coeff * z * p * (1.0 - p)
+            })
+            .collect();
+        self.actor.zero_grad();
+        self.actor
+            .backward(&actor_cache, &Matrix::row_vector(&d_out));
+        let mut actor_params = self.actor.parameters();
+        let actor_grads = self.actor.gradients();
+        self.actor_opt.step(&mut actor_params, &actor_grads);
+        self.actor.set_parameters(&actor_params);
+
+        advantage
+    }
+
+    /// Log-probability of an action under the current policy (useful for
+    /// diagnostics and tests).
+    pub fn log_prob(&self, state: &[f64], action: &[bool]) -> f64 {
+        self.probabilities(state)
+            .iter()
+            .zip(action.iter())
+            .map(|(&p, &a)| {
+                let p = p.clamp(1e-9, 1.0 - 1e-9);
+                if a {
+                    p.ln()
+                } else {
+                    (1.0 - p).ln()
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> ActorCriticConfig {
+        ActorCriticConfig {
+            actor_hidden: vec![32, 32],
+            critic_hidden: vec![16],
+            actor_lr: 5e-3,
+            critic_lr: 1e-2,
+            entropy_coeff: 1e-4,
+            seed,
+        }
+    }
+
+    #[test]
+    fn shapes_and_probabilities_are_valid() {
+        let agent = ActorCritic::new(6, 3, small_config(1));
+        assert_eq!(agent.state_dim(), 6);
+        assert_eq!(agent.action_dim(), 3);
+        let probs = agent.probabilities(&[0.0; 6]);
+        assert_eq!(probs.len(), 3);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let greedy = agent.greedy(&[0.0; 6]);
+        assert_eq!(greedy.len(), 3);
+    }
+
+    #[test]
+    fn critic_learns_a_constant_reward() {
+        let mut agent = ActorCritic::new(4, 2, small_config(2));
+        let state = [0.3, -0.2, 0.8, 0.1];
+        for _ in 0..400 {
+            let action = agent.sample(&state);
+            agent.update(&state, &action, 1.0);
+        }
+        let v = agent.value(&state);
+        assert!((v - 1.0).abs() < 0.2, "critic should approach 1.0, got {v}");
+    }
+
+    /// The policy must learn to set the bits that are rewarded: reward is
+    /// the number of bits matching a fixed target pattern.
+    #[test]
+    fn policy_learns_a_target_bit_pattern() {
+        let target = [true, false, true, false, true];
+        let mut agent = ActorCritic::new(3, 5, small_config(3));
+        let state = [1.0, 0.5, -0.5];
+        for _ in 0..1_500 {
+            let action = agent.sample(&state);
+            let reward = action
+                .iter()
+                .zip(target.iter())
+                .filter(|(a, t)| a == t)
+                .count() as f64
+                / target.len() as f64;
+            agent.update(&state, &action, reward);
+        }
+        let probs = agent.probabilities(&state);
+        for (i, (&p, &t)) in probs.iter().zip(target.iter()).enumerate() {
+            if t {
+                assert!(p > 0.7, "bit {i} should favour 1, p = {p}");
+            } else {
+                assert!(p < 0.3, "bit {i} should favour 0, p = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_prob_is_higher_for_likely_actions() {
+        let mut agent = ActorCritic::new(2, 4, small_config(4));
+        let state = [0.2, 0.4];
+        let likely = agent.greedy(&state);
+        let unlikely: Vec<bool> = likely.iter().map(|b| !b).collect();
+        assert!(agent.log_prob(&state, &likely) >= agent.log_prob(&state, &unlikely));
+        // Sampling draws valid actions.
+        let s = agent.sample(&state);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width mismatch")]
+    fn mismatched_state_panics() {
+        let mut agent = ActorCritic::new(3, 2, small_config(5));
+        agent.update(&[0.0; 5], &[true, false], 0.0);
+    }
+
+    #[test]
+    fn advantage_reflects_surprise() {
+        let mut agent = ActorCritic::new(2, 2, small_config(6));
+        let state = [0.1, 0.9];
+        // Train the critic towards zero reward first.
+        for _ in 0..200 {
+            let action = agent.sample(&state);
+            agent.update(&state, &action, 0.0);
+        }
+        let action = agent.sample(&state);
+        let advantage = agent.update(&state, &action, 1.0);
+        assert!(advantage > 0.5, "a surprising reward should have positive advantage");
+    }
+}

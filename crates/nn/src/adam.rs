@@ -1,0 +1,115 @@
+//! The Adam optimizer (Kingma & Ba, 2014), used by the paper to train the
+//! actor network for 1,000 iterations.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for one flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay of the first moment.
+    pub beta1: f64,
+    /// Exponential decay of the second moment.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub epsilon: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Create an optimizer for `parameter_count` parameters with the usual
+    /// defaults (`β1 = 0.9`, `β2 = 0.999`, `ε = 1e-8`).
+    pub fn new(parameter_count: usize, learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            m: vec![0.0; parameter_count],
+            v: vec![0.0; parameter_count],
+            t: 0,
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one Adam update in place: `params -= lr * m̂ / (√v̂ + ε)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths of `params` and `grads` differ from the
+    /// parameter count the optimizer was created with.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count mismatch");
+        assert_eq!(grads.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_a_quadratic() {
+        // f(x) = (x - 3)^2, gradient 2(x - 3).
+        let mut params = vec![10.0];
+        let mut adam = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let grads = vec![2.0 * (params[0] - 3.0)];
+            adam.step(&mut params, &grads);
+        }
+        assert!((params[0] - 3.0).abs() < 1e-3, "converged to {}", params[0]);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn minimises_a_multidimensional_bowl() {
+        // f(x) = Σ (x_i - i)^2.
+        let mut params = vec![5.0; 4];
+        let mut adam = Adam::new(4, 0.05);
+        for _ in 0..2_000 {
+            let grads: Vec<f64> = params
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| 2.0 * (x - i as f64))
+                .collect();
+            adam.step(&mut params, &grads);
+        }
+        for (i, &x) in params.iter().enumerate() {
+            assert!((x - i as f64).abs() < 1e-2, "dim {i} converged to {x}");
+        }
+    }
+
+    #[test]
+    fn zero_gradient_leaves_parameters_unchanged() {
+        let mut params = vec![1.0, 2.0];
+        let mut adam = Adam::new(2, 0.1);
+        adam.step(&mut params, &[0.0, 0.0]);
+        assert_eq!(params, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut adam = Adam::new(3, 0.1);
+        let mut params = vec![0.0; 2];
+        adam.step(&mut params, &[0.0, 0.0]);
+    }
+}

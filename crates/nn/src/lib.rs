@@ -1,0 +1,25 @@
+//! Minimal neural-network library for Atlas.
+//!
+//! The DRL-based genetic algorithm of the paper (§4.2.1) trains a small
+//! actor network (three ReLU layers with 128 hidden units) with the
+//! actor-critic algorithm and the Adam optimizer. This crate provides just
+//! enough machinery to do that from scratch:
+//!
+//! * [`matrix`] — dense row-major matrices with the handful of operations
+//!   needed for forward/backward passes;
+//! * [`mlp`] — multi-layer perceptrons with ReLU hidden activations, manual
+//!   backpropagation and access to flattened parameters/gradients;
+//! * [`adam`] — the Adam optimizer;
+//! * [`actor_critic`] — a Bernoulli-policy actor plus a scalar critic with a
+//!   single-sample advantage update, which is exactly what the
+//!   reward-driven crossover agent of Atlas needs.
+
+pub mod actor_critic;
+pub mod adam;
+pub mod matrix;
+pub mod mlp;
+
+pub use actor_critic::{ActorCritic, ActorCriticConfig};
+pub use adam::Adam;
+pub use matrix::Matrix;
+pub use mlp::Mlp;

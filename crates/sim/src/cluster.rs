@@ -1,0 +1,292 @@
+//! Hybrid cluster and network model.
+//!
+//! The paper's testbed spans a ten-node on-prem cluster (Wisconsin) and a
+//! public-cloud datacenter (Massachusetts). The only properties Atlas's
+//! models consume are (i) the capacity of the on-prem cluster, (ii) the node
+//! granularity offered by the cloud provider, and (iii) the latency and
+//! bandwidth inside and between the two locations. Those are captured here
+//! with the paper's measured values as defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a component is placed. Atlas supports multi-cloud, but like the
+/// paper we focus on the two-location case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Location {
+    /// The on-premises cluster (`p_c = 0` in the paper).
+    OnPrem,
+    /// The public cloud (`p_c = 1`).
+    Cloud,
+}
+
+impl Location {
+    /// Encode as the paper's binary plan variable.
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Location::OnPrem => 0,
+            Location::Cloud => 1,
+        }
+    }
+
+    /// Decode from a binary plan variable (anything non-zero is cloud).
+    pub fn from_bit(bit: u8) -> Self {
+        if bit == 0 {
+            Location::OnPrem
+        } else {
+            Location::Cloud
+        }
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Location::OnPrem => f.write_str("on-prem"),
+            Location::Cloud => f.write_str("cloud"),
+        }
+    }
+}
+
+/// Latency/bandwidth description of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way network latency in milliseconds.
+    pub latency_ms: f64,
+    /// Bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+}
+
+impl LinkSpec {
+    /// Time in microseconds to move `bytes` across this link, including the
+    /// propagation latency. This is the `γ + ν·d` term of paper Eq. (2) for
+    /// one direction.
+    pub fn transfer_us(&self, bytes: f64) -> f64 {
+        let propagation_us = self.latency_ms * 1_000.0;
+        let bytes_per_us = self.bandwidth_mbps * 1.0e6 / 8.0 / 1.0e6; // bytes per microsecond
+        let serialization_us = if bytes_per_us > 0.0 {
+            bytes / bytes_per_us
+        } else {
+            0.0
+        };
+        propagation_us + serialization_us
+    }
+}
+
+/// Network characteristics of the hybrid deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Link between two components in the same datacenter.
+    pub intra: LinkSpec,
+    /// Link between a component on-prem and one in the cloud.
+    pub inter: LinkSpec,
+}
+
+impl Default for NetworkModel {
+    /// The paper's measured values (§5.1): 0.168 ms / 941 Mbps collocated,
+    /// 23.015 ms / 921 Mbps across datacenters.
+    fn default() -> Self {
+        Self {
+            intra: LinkSpec {
+                latency_ms: 0.168,
+                bandwidth_mbps: 941.0,
+            },
+            inter: LinkSpec {
+                latency_ms: 23.015,
+                bandwidth_mbps: 921.0,
+            },
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Link spec for a communication between the two given locations.
+    pub fn link(&self, a: Location, b: Location) -> LinkSpec {
+        if a == b {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// One-way transfer time (µs) for `bytes` between the two locations.
+    pub fn transfer_us(&self, from: Location, to: Location, bytes: f64) -> f64 {
+        self.link(from, to).transfer_us(bytes)
+    }
+
+    /// The paper's Δ (Eq. 2): the *additional* delay incurred by one
+    /// request/response exchange when the callee moves from `before` to
+    /// `after` relative to its caller.
+    pub fn delay_delta_us(
+        &self,
+        caller: Location,
+        callee_before: Location,
+        callee_after: Location,
+        request_bytes: f64,
+        response_bytes: f64,
+    ) -> f64 {
+        let before = self.link(caller, callee_before);
+        let after = self.link(caller, callee_after);
+        // One exchange pays two propagation legs (request + response) plus the
+        // serialization of both payloads: `2γ + (d_req + d_resp)/ν`.
+        let exchange_us =
+            |link: LinkSpec| link.transfer_us(request_bytes) + link.transfer_us(response_bytes);
+        exchange_us(after) - exchange_us(before)
+    }
+}
+
+/// Hardware description of one node type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Marketing name of the node type (e.g. `m5.large`).
+    pub name: String,
+    /// CPU cores per node.
+    pub cpu_cores: f64,
+    /// Memory per node in GB.
+    pub memory_gb: f64,
+}
+
+impl NodeSpec {
+    /// Create a node spec.
+    pub fn new(name: impl Into<String>, cpu_cores: f64, memory_gb: f64) -> Self {
+        Self {
+            name: name.into(),
+            cpu_cores,
+            memory_gb,
+        }
+    }
+}
+
+/// The hybrid cluster: a fixed-capacity on-prem side plus an autoscaling
+/// cloud side built from `cloud_node` instances.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Total CPU cores available on-prem.
+    pub onprem_cpu_cores: f64,
+    /// Total memory available on-prem, in GB.
+    pub onprem_memory_gb: f64,
+    /// Total storage available on-prem, in GB.
+    pub onprem_storage_gb: f64,
+    /// Node type the cloud autoscaler provisions.
+    pub cloud_node: NodeSpec,
+    /// Network characteristics between and within the locations.
+    pub network: NetworkModel,
+}
+
+impl Default for ClusterSpec {
+    /// A cluster shaped like the paper's testbed: ten on-prem nodes with two
+    /// 10-core CPUs each (200 cores total), and a 16-core cloud node type.
+    fn default() -> Self {
+        Self {
+            onprem_cpu_cores: 200.0,
+            onprem_memory_gb: 1600.0,
+            onprem_storage_gb: 4800.0,
+            cloud_node: NodeSpec::new("cloud-16c", 16.0, 64.0),
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// A small cluster useful in unit tests and examples: the on-prem side
+    /// holds `cpu_cores` cores and the cloud node type has 8 cores.
+    pub fn small(cpu_cores: f64) -> Self {
+        Self {
+            onprem_cpu_cores: cpu_cores,
+            onprem_memory_gb: cpu_cores * 4.0,
+            onprem_storage_gb: cpu_cores * 20.0,
+            cloud_node: NodeSpec::new("cloud-8c", 8.0, 32.0),
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_bit_round_trip() {
+        assert_eq!(Location::OnPrem.as_bit(), 0);
+        assert_eq!(Location::Cloud.as_bit(), 1);
+        assert_eq!(Location::from_bit(0), Location::OnPrem);
+        assert_eq!(Location::from_bit(1), Location::Cloud);
+        assert_eq!(Location::from_bit(7), Location::Cloud);
+        assert_eq!(Location::OnPrem.to_string(), "on-prem");
+    }
+
+    #[test]
+    fn link_transfer_time_includes_propagation_and_serialization() {
+        let link = LinkSpec {
+            latency_ms: 1.0,
+            bandwidth_mbps: 8.0, // 1 byte per microsecond
+        };
+        // 1 ms propagation + 500 bytes at 1 B/µs = 1500 µs.
+        assert!((link.transfer_us(500.0) - 1_500.0).abs() < 1e-9);
+        assert!((link.transfer_us(0.0) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_network_matches_paper_measurements() {
+        let n = NetworkModel::default();
+        assert!((n.intra.latency_ms - 0.168).abs() < 1e-12);
+        assert!((n.inter.latency_ms - 23.015).abs() < 1e-12);
+        assert!(n.inter.transfer_us(0.0) > n.intra.transfer_us(0.0));
+    }
+
+    #[test]
+    fn link_selection_by_location() {
+        let n = NetworkModel::default();
+        assert_eq!(n.link(Location::OnPrem, Location::OnPrem), n.intra);
+        assert_eq!(n.link(Location::Cloud, Location::Cloud), n.intra);
+        assert_eq!(n.link(Location::OnPrem, Location::Cloud), n.inter);
+        assert_eq!(n.link(Location::Cloud, Location::OnPrem), n.inter);
+    }
+
+    #[test]
+    fn delay_delta_positive_when_offloading_and_negative_when_returning() {
+        let n = NetworkModel::default();
+        let offload = n.delay_delta_us(
+            Location::OnPrem,
+            Location::OnPrem,
+            Location::Cloud,
+            1_000.0,
+            1_000.0,
+        );
+        assert!(offload > 0.0, "offloading must add delay, got {offload}");
+        let restore = n.delay_delta_us(
+            Location::OnPrem,
+            Location::Cloud,
+            Location::OnPrem,
+            1_000.0,
+            1_000.0,
+        );
+        assert!((offload + restore).abs() < 1e-6, "delta must be antisymmetric");
+        let unchanged = n.delay_delta_us(
+            Location::OnPrem,
+            Location::Cloud,
+            Location::Cloud,
+            1_000.0,
+            1_000.0,
+        );
+        assert_eq!(unchanged, 0.0);
+    }
+
+    #[test]
+    fn delay_delta_grows_with_payload() {
+        let n = NetworkModel::default();
+        let small = n.delay_delta_us(Location::OnPrem, Location::OnPrem, Location::Cloud, 100.0, 100.0);
+        let large =
+            n.delay_delta_us(Location::OnPrem, Location::OnPrem, Location::Cloud, 1.0e6, 1.0e6);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn cluster_defaults_are_sane() {
+        let c = ClusterSpec::default();
+        assert_eq!(c.onprem_cpu_cores, 200.0);
+        assert!(c.cloud_node.cpu_cores > 0.0);
+        let s = ClusterSpec::small(10.0);
+        assert_eq!(s.onprem_cpu_cores, 10.0);
+        assert_eq!(s.onprem_memory_gb, 40.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event microservice simulator: the testbed substrate for Atlas.
+//!
+//! The paper evaluates Atlas on DeathStarBench applications deployed on a
+//! real hybrid Kubernetes cluster (CloudLab Wisconsin + Massachusetts). That
+//! testbed is replaced here by a simulator that preserves exactly the
+//! behaviour Atlas depends on:
+//!
+//! * applications are modeled as [`topology::AppTopology`]: a set of
+//!   components plus, for every user-facing API, a *call tree* describing
+//!   which components are invoked, in which order (sequential stages),
+//!   which run in parallel within a stage, and which run in the background
+//!   (paper §4.1.1, Figure 6);
+//! * a hybrid [`cluster::ClusterSpec`] places each component either on-prem
+//!   or in the cloud and a [`cluster::NetworkModel`] provides latency and
+//!   bandwidth between the two locations (defaults match the paper's
+//!   measured 0.168 ms / 941 Mbps intra and 23.015 ms / 921 Mbps inter);
+//! * the [`engine::Simulator`] executes API requests against a
+//!   [`placement::Placement`], producing Jaeger-style traces, Istio-style
+//!   pairwise traffic and cAdvisor-style component metrics into a
+//!   [`atlas_telemetry::TelemetryStore`];
+//! * an [`overload::OverloadModel`] inflates on-prem service times when CPU
+//!   demand exceeds capacity, reproducing the latency spikes and failures of
+//!   paper Figure 2.
+
+pub mod calltree;
+pub mod cluster;
+pub mod component;
+pub mod engine;
+pub mod overload;
+pub mod placement;
+pub mod schedule;
+pub mod topology;
+
+pub use calltree::{CallEdge, CallMode, CallNode, SizeDist, TimeDist};
+pub use cluster::{ClusterSpec, Location, NetworkModel, NodeSpec};
+pub use component::{ComponentId, ComponentSpec};
+pub use engine::{RequestOutcome, SimConfig, SimReport, Simulator};
+pub use overload::OverloadModel;
+pub use placement::Placement;
+pub use schedule::{RequestSchedule, ScheduledRequest};
+pub use topology::{ApiSpec, AppTopology};

@@ -1,0 +1,178 @@
+//! Placements: where every component of an application runs.
+//!
+//! A placement is the object a migration plan describes; Atlas's plan type
+//! (`atlas-core::plan::MigrationPlan`) wraps a placement together with the
+//! preferences used to evaluate it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Location;
+use crate::component::ComponentId;
+
+/// Assignment of every component to a location, indexed by [`ComponentId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    locations: Vec<Location>,
+}
+
+impl Placement {
+    /// A placement with every component on-prem (the pre-migration state in
+    /// the paper's experiments).
+    pub fn all_onprem(component_count: usize) -> Self {
+        Self {
+            locations: vec![Location::OnPrem; component_count],
+        }
+    }
+
+    /// A placement with every component in the cloud.
+    pub fn all_cloud(component_count: usize) -> Self {
+        Self {
+            locations: vec![Location::Cloud; component_count],
+        }
+    }
+
+    /// Build from an explicit location vector.
+    pub fn from_locations(locations: Vec<Location>) -> Self {
+        Self { locations }
+    }
+
+    /// Build from the paper's binary encoding (`0` = on-prem, `1` = cloud).
+    pub fn from_bits(bits: &[u8]) -> Self {
+        Self {
+            locations: bits.iter().map(|&b| Location::from_bit(b)).collect(),
+        }
+    }
+
+    /// The binary encoding of this placement.
+    pub fn to_bits(&self) -> Vec<u8> {
+        self.locations.iter().map(|l| l.as_bit()).collect()
+    }
+
+    /// Number of components covered.
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Whether the placement covers no components.
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Location of a component.
+    pub fn location(&self, c: ComponentId) -> Location {
+        self.locations[c.0]
+    }
+
+    /// Set the location of a component.
+    pub fn set(&mut self, c: ComponentId, loc: Location) {
+        self.locations[c.0] = loc;
+    }
+
+    /// Move a component to the cloud (builder style).
+    pub fn with_cloud(mut self, c: ComponentId) -> Self {
+        self.set(c, Location::Cloud);
+        self
+    }
+
+    /// All locations indexed by component id.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Ids of components placed in the cloud.
+    pub fn cloud_components(&self) -> Vec<ComponentId> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == Location::Cloud)
+            .map(|(i, _)| ComponentId(i))
+            .collect()
+    }
+
+    /// Ids of components placed on-prem.
+    pub fn onprem_components(&self) -> Vec<ComponentId> {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == Location::OnPrem)
+            .map(|(i, _)| ComponentId(i))
+            .collect()
+    }
+
+    /// Number of components placed in the cloud.
+    pub fn cloud_count(&self) -> usize {
+        self.locations
+            .iter()
+            .filter(|&&l| l == Location::Cloud)
+            .count()
+    }
+
+    /// Components whose location differs between `self` (the candidate) and
+    /// `original` (the current deployment): the set that must be migrated.
+    pub fn moved_components(&self, original: &Placement) -> Vec<ComponentId> {
+        assert_eq!(self.len(), original.len(), "placement sizes must match");
+        (0..self.len())
+            .map(ComponentId)
+            .filter(|&c| self.location(c) != original.location(c))
+            .collect()
+    }
+
+    /// Hamming distance to another placement (number of differing components).
+    pub fn distance(&self, other: &Placement) -> usize {
+        self.moved_components(other).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_onprem_and_all_cloud() {
+        let p = Placement::all_onprem(4);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.cloud_count(), 0);
+        assert_eq!(p.onprem_components().len(), 4);
+        let c = Placement::all_cloud(4);
+        assert_eq!(c.cloud_count(), 4);
+    }
+
+    #[test]
+    fn bit_encoding_round_trip() {
+        let p = Placement::from_bits(&[0, 1, 1, 0]);
+        assert_eq!(p.location(ComponentId(0)), Location::OnPrem);
+        assert_eq!(p.location(ComponentId(1)), Location::Cloud);
+        assert_eq!(p.to_bits(), vec![0, 1, 1, 0]);
+        assert_eq!(Placement::from_bits(&p.to_bits()), p);
+    }
+
+    #[test]
+    fn set_and_builder() {
+        let mut p = Placement::all_onprem(3);
+        p.set(ComponentId(1), Location::Cloud);
+        assert_eq!(p.cloud_components(), vec![ComponentId(1)]);
+        let q = Placement::all_onprem(3).with_cloud(ComponentId(2));
+        assert_eq!(q.cloud_components(), vec![ComponentId(2)]);
+    }
+
+    #[test]
+    fn moved_components_and_distance() {
+        let orig = Placement::all_onprem(5);
+        let plan = Placement::from_bits(&[0, 1, 0, 1, 0]);
+        assert_eq!(
+            plan.moved_components(&orig),
+            vec![ComponentId(1), ComponentId(3)]
+        );
+        assert_eq!(plan.distance(&orig), 2);
+        assert_eq!(orig.distance(&orig), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn mismatched_sizes_panic() {
+        let a = Placement::all_onprem(3);
+        let b = Placement::all_onprem(4);
+        let _ = a.moved_components(&b);
+    }
+}

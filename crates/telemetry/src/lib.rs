@@ -1,0 +1,78 @@
+//! Telemetry substrate for Atlas.
+//!
+//! Atlas (EuroSys '24) is an observability-driven migration advisor: every
+//! decision it makes is derived from three telemetry streams that are
+//! standard in production microservice deployments (paper §3, Figure 4):
+//!
+//! 1. **Per-request distributed traces** (Jaeger-style) — a [`trace::Trace`]
+//!    is a tree of [`span::Span`]s, one per operation executed on behalf of a
+//!    single user-facing API request.
+//! 2. **Component-focused resource metrics** (cAdvisor-style) — CPU, memory,
+//!    storage, ingress and egress time series per component, modeled by
+//!    [`metrics::ComponentMetrics`].
+//! 3. **Pairwise network metrics** (Istio-style) — bytes transferred between
+//!    every pair of components during requests and responses, modeled by
+//!    [`network::PairwiseTraffic`].
+//!
+//! The [`store::TelemetryStore`] plays the role of the telemetry server
+//! (Prometheus + Jaeger query service): the rest of the workspace only ever
+//! *queries* it, mirroring the paper's non-intrusive design principle.
+
+pub mod metrics;
+pub mod network;
+pub mod span;
+pub mod store;
+pub mod trace;
+pub mod window;
+
+pub use metrics::{ComponentMetrics, MetricKind, MetricPoint, MetricSeries};
+pub use network::{Direction, PairKey, PairwiseTraffic, TrafficSample};
+pub use span::{IdGenerator, Span, SpanId, TraceId};
+pub use store::TelemetryStore;
+pub use trace::{SiblingRelation, Trace, TraceNode};
+pub use window::{TimeWindow, Windowing};
+
+/// Microseconds since the start of an observation epoch.
+///
+/// All span timestamps and durations in this workspace are expressed in
+/// microseconds, matching the resolution used by Jaeger.
+pub type Micros = u64;
+
+/// Seconds since the start of an observation epoch (used for metric windows).
+pub type Seconds = u64;
+
+/// Convert microseconds to (floating-point) milliseconds.
+#[inline]
+pub fn us_to_ms(us: Micros) -> f64 {
+    us as f64 / 1_000.0
+}
+
+/// Convert (floating-point) milliseconds to microseconds, saturating at zero.
+#[inline]
+pub fn ms_to_us(ms: f64) -> Micros {
+    if ms <= 0.0 {
+        0
+    } else {
+        (ms * 1_000.0).round() as Micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(us_to_ms(1_500), 1.5);
+        assert_eq!(ms_to_us(1.5), 1_500);
+        assert_eq!(ms_to_us(-3.0), 0);
+        assert_eq!(ms_to_us(0.0), 0);
+    }
+
+    #[test]
+    fn conversion_is_inverse_for_integral_milliseconds() {
+        for ms in [0u64, 1, 10, 250, 100_000] {
+            assert_eq!(us_to_ms(ms_to_us(ms as f64)) as u64, ms);
+        }
+    }
+}

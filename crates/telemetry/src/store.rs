@@ -1,0 +1,380 @@
+//! The telemetry store: the "telemetry server" Atlas queries.
+//!
+//! In the paper's deployment this role is played by Jaeger's query service
+//! and Prometheus. Here the store simply holds everything the simulator
+//! emitted and offers the query surface Atlas needs during application
+//! learning (paper §3): traces by API and time range, per-component metric
+//! series, pairwise traffic aggregates, and trace-derived invocation counts
+//! aligned on the same windows as the traffic counters.
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+
+use crate::metrics::{ComponentMetrics, MetricKind};
+use crate::network::{Direction, PairKey, PairwiseTraffic};
+use crate::trace::Trace;
+use crate::window::Windowing;
+use crate::Seconds;
+
+/// In-memory telemetry server.
+///
+/// The store is internally synchronised so that a simulator thread can keep
+/// appending while the advisor reads, mirroring a live telemetry backend.
+#[derive(Debug, Default)]
+pub struct TelemetryStore {
+    inner: RwLock<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    traces: Vec<Trace>,
+    metrics: BTreeMap<String, ComponentMetrics>,
+    traffic: PairwiseTraffic,
+}
+
+impl TelemetryStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion (used by the simulator).
+    // ------------------------------------------------------------------
+
+    /// Ingest a completed trace.
+    pub fn ingest_trace(&self, trace: Trace) {
+        self.inner.write().traces.push(trace);
+    }
+
+    /// Ingest many traces at once.
+    pub fn ingest_traces(&self, traces: impl IntoIterator<Item = Trace>) {
+        let mut inner = self.inner.write();
+        inner.traces.extend(traces);
+    }
+
+    /// Record a component metric observation.
+    pub fn record_metric(
+        &self,
+        component: &str,
+        kind: MetricKind,
+        timestamp_s: Seconds,
+        value: f64,
+    ) {
+        let mut inner = self.inner.write();
+        inner
+            .metrics
+            .entry(component.to_string())
+            .or_insert_with(|| ComponentMetrics::new(component))
+            .record(kind, timestamp_s, value);
+    }
+
+    /// Record pairwise traffic bytes.
+    pub fn record_traffic(
+        &self,
+        from: &str,
+        to: &str,
+        direction: Direction,
+        timestamp_s: Seconds,
+        bytes: f64,
+    ) {
+        self.inner
+            .write()
+            .traffic
+            .record(PairKey::new(from, to), direction, timestamp_s, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Query surface (used by Atlas and the baselines).
+    // ------------------------------------------------------------------
+
+    /// Total number of stored traces.
+    pub fn trace_count(&self) -> usize {
+        self.inner.read().traces.len()
+    }
+
+    /// Names of all user-facing APIs observed (root operations of traces),
+    /// sorted and deduplicated.
+    pub fn apis(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut v: Vec<String> = inner.traces.iter().map(|t| t.api().to_string()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Names of all components observed in traces or metrics, sorted.
+    pub fn components(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut v: Vec<String> = inner.metrics.keys().cloned().collect();
+        for t in &inner.traces {
+            for c in t.components() {
+                v.push(c.to_string());
+            }
+        }
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All traces belonging to a given API, cloned out of the store.
+    pub fn traces_for_api(&self, api: &str) -> Vec<Trace> {
+        self.inner
+            .read()
+            .traces
+            .iter()
+            .filter(|t| t.api() == api)
+            .cloned()
+            .collect()
+    }
+
+    /// Up to `limit` most recent traces of an API (by root start time).
+    pub fn recent_traces_for_api(&self, api: &str, limit: usize) -> Vec<Trace> {
+        let mut traces = self.traces_for_api(api);
+        traces.sort_by_key(|t| t.root().start_us);
+        if traces.len() > limit {
+            traces.split_off(traces.len() - limit)
+        } else {
+            traces
+        }
+    }
+
+    /// All traces of an API whose root span starts inside `[start_s, end_s)`.
+    pub fn traces_for_api_in(&self, api: &str, start_s: Seconds, end_s: Seconds) -> Vec<Trace> {
+        self.inner
+            .read()
+            .traces
+            .iter()
+            .filter(|t| {
+                let root_s = t.root().start_us / 1_000_000;
+                t.api() == api && root_s >= start_s && root_s < end_s
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Metrics of a component, if observed.
+    pub fn component_metrics(&self, component: &str) -> Option<ComponentMetrics> {
+        self.inner.read().metrics.get(component).cloned()
+    }
+
+    /// Convenience: mean of a metric for a component over the whole period.
+    pub fn metric_mean(&self, component: &str, kind: MetricKind) -> f64 {
+        self.inner
+            .read()
+            .metrics
+            .get(component)
+            .map_or(0.0, |m| m.mean(kind))
+    }
+
+    /// Convenience: peak of a metric for a component over the whole period.
+    pub fn metric_max(&self, component: &str, kind: MetricKind) -> f64 {
+        self.inner
+            .read()
+            .metrics
+            .get(component)
+            .map_or(0.0, |m| m.max(kind))
+    }
+
+    /// A clone of the pairwise traffic record.
+    pub fn traffic(&self) -> PairwiseTraffic {
+        self.inner.read().traffic.clone()
+    }
+
+    /// All directed communication edges observed by the network metrics.
+    pub fn traffic_edges(&self) -> Vec<PairKey> {
+        self.inner.read().traffic.edges()
+    }
+
+    /// `U^{req/resp}_{ci→cj}[t]`: bytes per window on an edge (Eq. 1 input).
+    pub fn windowed_traffic(
+        &self,
+        pair: &PairKey,
+        direction: Direction,
+        windowing: &Windowing,
+        window_count: usize,
+    ) -> Vec<f64> {
+        self.inner
+            .read()
+            .traffic
+            .windowed_bytes(pair, direction, windowing, window_count)
+    }
+
+    /// `I^A_{ci→cj}[t]`: per-API invocation counts on an edge, per window
+    /// (Eq. 1 input). Returns a map API → per-window invocation counts.
+    ///
+    /// A trace contributes all its edge invocations to the window containing
+    /// its root start time, matching how the paper aligns traces with the
+    /// network counters.
+    pub fn windowed_invocations(
+        &self,
+        pair: &PairKey,
+        windowing: &Windowing,
+        window_count: usize,
+    ) -> HashMap<String, Vec<f64>> {
+        let inner = self.inner.read();
+        let mut out: HashMap<String, Vec<f64>> = HashMap::new();
+        for trace in &inner.traces {
+            let idx = windowing.index_of_us(trace.root().start_us);
+            if idx >= window_count {
+                continue;
+            }
+            let counts = trace.invocation_counts();
+            let key = (pair.from.clone(), pair.to.clone());
+            if let Some(&n) = counts.get(&key) {
+                out.entry(trace.api().to_string())
+                    .or_insert_with(|| vec![0.0; window_count])[idx] += n as f64;
+            }
+        }
+        out
+    }
+
+    /// Number of requests per API whose root start falls in `[start_s, end_s)`.
+    pub fn api_request_counts_in(&self, start_s: Seconds, end_s: Seconds) -> HashMap<String, u64> {
+        let inner = self.inner.read();
+        let mut out = HashMap::new();
+        for t in &inner.traces {
+            let root_s = t.root().start_us / 1_000_000;
+            if root_s >= start_s && root_s < end_s {
+                *out.entry(t.api().to_string()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// End-to-end latencies (ms) of all traces of an API, in time order.
+    pub fn api_latencies_ms(&self, api: &str) -> Vec<f64> {
+        let mut traces = self.traces_for_api(api);
+        traces.sort_by_key(|t| t.root().start_us);
+        traces
+            .iter()
+            .map(|t| crate::us_to_ms(t.end_to_end_latency_us()))
+            .collect()
+    }
+
+    /// Remove every stored trace, metric, and traffic sample.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.traces.clear();
+        inner.metrics.clear();
+        inner.traffic = PairwiseTraffic::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, SpanId, TraceId};
+
+    fn trace(id: u64, api: &str, start_us: u64, latency_us: u64) -> Trace {
+        let t = TraceId(id);
+        let spans = vec![
+            Span::new(t, SpanId(id * 10), None, "Frontend", api, start_us, latency_us),
+            Span::new(
+                t,
+                SpanId(id * 10 + 1),
+                Some(SpanId(id * 10)),
+                "UserService",
+                "op",
+                start_us + 10,
+                latency_us / 2,
+            ),
+        ];
+        Trace::from_spans(spans).unwrap()
+    }
+
+    #[test]
+    fn ingest_and_query_traces() {
+        let store = TelemetryStore::new();
+        store.ingest_trace(trace(1, "/login", 0, 1000));
+        store.ingest_trace(trace(2, "/login", 5_000_000, 2000));
+        store.ingest_trace(trace(3, "/register", 1_000_000, 3000));
+        assert_eq!(store.trace_count(), 3);
+        assert_eq!(store.apis(), vec!["/login", "/register"]);
+        assert_eq!(store.traces_for_api("/login").len(), 2);
+        assert_eq!(store.traces_for_api("/missing").len(), 0);
+        assert_eq!(store.traces_for_api_in("/login", 0, 5).len(), 1);
+        assert_eq!(store.api_latencies_ms("/login"), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn recent_traces_respects_limit_and_order() {
+        let store = TelemetryStore::new();
+        for i in 0..10 {
+            store.ingest_trace(trace(i, "/x", i * 1_000_000, 100));
+        }
+        let recent = store.recent_traces_for_api("/x", 3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].root().start_us, 7_000_000);
+        assert_eq!(recent[2].root().start_us, 9_000_000);
+        assert_eq!(store.recent_traces_for_api("/x", 100).len(), 10);
+    }
+
+    #[test]
+    fn metric_ingestion_and_queries() {
+        let store = TelemetryStore::new();
+        store.record_metric("A", MetricKind::CpuCores, 0, 1.0);
+        store.record_metric("A", MetricKind::CpuCores, 1, 3.0);
+        store.record_metric("B", MetricKind::MemoryGb, 0, 4.0);
+        assert_eq!(store.metric_mean("A", MetricKind::CpuCores), 2.0);
+        assert_eq!(store.metric_max("A", MetricKind::CpuCores), 3.0);
+        assert_eq!(store.metric_mean("C", MetricKind::CpuCores), 0.0);
+        assert!(store.component_metrics("B").is_some());
+        assert!(store.component_metrics("C").is_none());
+    }
+
+    #[test]
+    fn components_cover_metrics_and_traces() {
+        let store = TelemetryStore::new();
+        store.ingest_trace(trace(1, "/login", 0, 1000));
+        store.record_metric("OnlyMetrics", MetricKind::CpuCores, 0, 1.0);
+        let comps = store.components();
+        assert!(comps.contains(&"Frontend".to_string()));
+        assert!(comps.contains(&"UserService".to_string()));
+        assert!(comps.contains(&"OnlyMetrics".to_string()));
+    }
+
+    #[test]
+    fn traffic_and_invocation_windows_align() {
+        let store = TelemetryStore::new();
+        // Two /login traces in window 0, one in window 1.
+        store.ingest_trace(trace(1, "/login", 0, 1000));
+        store.ingest_trace(trace(2, "/login", 2_000_000, 1000));
+        store.ingest_trace(trace(3, "/login", 6_000_000, 1000));
+        store.record_traffic("Frontend", "UserService", Direction::Request, 0, 600.0);
+        store.record_traffic("Frontend", "UserService", Direction::Request, 6, 300.0);
+
+        let w = Windowing::new(0, 5);
+        let pair = PairKey::new("Frontend", "UserService");
+        let traffic = store.windowed_traffic(&pair, Direction::Request, &w, 2);
+        assert_eq!(traffic, vec![600.0, 300.0]);
+
+        let inv = store.windowed_invocations(&pair, &w, 2);
+        assert_eq!(inv["/login"], vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn api_request_counts_by_window() {
+        let store = TelemetryStore::new();
+        store.ingest_trace(trace(1, "/a", 0, 10));
+        store.ingest_trace(trace(2, "/a", 1_000_000, 10));
+        store.ingest_trace(trace(3, "/b", 9_000_000, 10));
+        let counts = store.api_request_counts_in(0, 5);
+        assert_eq!(counts["/a"], 2);
+        assert!(!counts.contains_key("/b"));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let store = TelemetryStore::new();
+        store.ingest_trace(trace(1, "/a", 0, 10));
+        store.record_metric("A", MetricKind::CpuCores, 0, 1.0);
+        store.record_traffic("A", "B", Direction::Request, 0, 1.0);
+        store.clear();
+        assert_eq!(store.trace_count(), 0);
+        assert!(store.apis().is_empty());
+        assert!(store.traffic_edges().is_empty());
+        assert!(store.component_metrics("A").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Time-window utilities shared by metric and network-traffic series.
+//!
+//! The footprint-learning step of Atlas (paper Eq. 1) aligns two telemetry
+//! streams on common windows: the Istio byte counters and the trace-derived
+//! invocation counts. Both are aggregated over fixed-length windows (the
+//! paper uses 5-second windows), so the same [`Windowing`] description is
+//! used across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Seconds;
+
+/// A half-open time window `[start, end)` expressed in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive start of the window, in seconds since the epoch.
+    pub start_s: Seconds,
+    /// Exclusive end of the window, in seconds since the epoch.
+    pub end_s: Seconds,
+}
+
+impl TimeWindow {
+    /// Create a window; `end_s` must be strictly greater than `start_s`.
+    pub fn new(start_s: Seconds, end_s: Seconds) -> Self {
+        assert!(end_s > start_s, "time window must have positive length");
+        Self { start_s, end_s }
+    }
+
+    /// Length of the window in seconds.
+    pub fn len_s(&self) -> Seconds {
+        self.end_s - self.start_s
+    }
+
+    /// Whether a timestamp (in seconds) falls inside the window.
+    pub fn contains_s(&self, t_s: Seconds) -> bool {
+        t_s >= self.start_s && t_s < self.end_s
+    }
+
+    /// Whether a timestamp in microseconds falls inside the window.
+    pub fn contains_us(&self, t_us: u64) -> bool {
+        self.contains_s(t_us / 1_000_000)
+    }
+}
+
+/// A uniform partition of an observation period into fixed-length windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Windowing {
+    /// Start of the observation period in seconds.
+    pub origin_s: Seconds,
+    /// Window length in seconds (the paper uses 5 s for footprint learning).
+    pub width_s: Seconds,
+}
+
+impl Windowing {
+    /// Create a windowing scheme. `width_s` must be non-zero.
+    pub fn new(origin_s: Seconds, width_s: Seconds) -> Self {
+        assert!(width_s > 0, "window width must be positive");
+        Self { origin_s, width_s }
+    }
+
+    /// Index of the window containing the given timestamp (seconds).
+    ///
+    /// Timestamps before the origin map to window 0.
+    pub fn index_of_s(&self, t_s: Seconds) -> usize {
+        (t_s.saturating_sub(self.origin_s) / self.width_s) as usize
+    }
+
+    /// Index of the window containing the given timestamp (microseconds).
+    pub fn index_of_us(&self, t_us: u64) -> usize {
+        self.index_of_s(t_us / 1_000_000)
+    }
+
+    /// The window with the given index.
+    pub fn window(&self, index: usize) -> TimeWindow {
+        let start = self.origin_s + index as Seconds * self.width_s;
+        TimeWindow::new(start, start + self.width_s)
+    }
+
+    /// Number of windows needed to cover `[origin, end_s)`.
+    pub fn count_until(&self, end_s: Seconds) -> usize {
+        if end_s <= self.origin_s {
+            0
+        } else {
+            ((end_s - self.origin_s) + self.width_s - 1) as usize / self.width_s as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_contains_boundaries_half_open() {
+        let w = TimeWindow::new(10, 15);
+        assert_eq!(w.len_s(), 5);
+        assert!(w.contains_s(10));
+        assert!(w.contains_s(14));
+        assert!(!w.contains_s(15));
+        assert!(!w.contains_s(9));
+        assert!(w.contains_us(12_000_000));
+        assert!(!w.contains_us(15_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_window_panics() {
+        let _ = TimeWindow::new(5, 5);
+    }
+
+    #[test]
+    fn windowing_maps_timestamps_to_indices() {
+        let w = Windowing::new(100, 5);
+        assert_eq!(w.index_of_s(100), 0);
+        assert_eq!(w.index_of_s(104), 0);
+        assert_eq!(w.index_of_s(105), 1);
+        assert_eq!(w.index_of_s(99), 0, "pre-origin timestamps clamp to 0");
+        assert_eq!(w.index_of_us(105_000_000), 1);
+    }
+
+    #[test]
+    fn windowing_index_and_window_are_consistent() {
+        let w = Windowing::new(0, 5);
+        for idx in 0..20 {
+            let win = w.window(idx);
+            assert_eq!(w.index_of_s(win.start_s), idx);
+            assert_eq!(w.index_of_s(win.end_s - 1), idx);
+        }
+    }
+
+    #[test]
+    fn count_until_rounds_up() {
+        let w = Windowing::new(0, 5);
+        assert_eq!(w.count_until(0), 0);
+        assert_eq!(w.count_until(1), 1);
+        assert_eq!(w.count_until(5), 1);
+        assert_eq!(w.count_until(6), 2);
+        assert_eq!(w.count_until(50), 10);
+        let w2 = Windowing::new(100, 10);
+        assert_eq!(w2.count_until(90), 0);
+        assert_eq!(w2.count_until(125), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Seasonal-burst scenario: compare Atlas's performance-optimized plan with
+//! the greedy and affinity baselines under a 5x traffic surge, then preview
+//! the per-API latency of the chosen plan (paper Figures 11-12).
+//!
+//! Run with `cargo run --example burst_migration`.
+
+use atlas::baselines::{GreedyAdvisor, IntMaAdvisor, RemapAdvisor};
+use atlas::core::Recommender;
+use atlas_bench::{Experiment, ExperimentOptions};
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let atlas_report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let atlas_plan = &atlas_report.performance_optimized().expect("plans").plan;
+
+    let candidates = vec![
+        ("atlas (perf-optimized)", atlas_plan.clone()),
+        ("remap", RemapAdvisor.recommend(&exp.baseline_ctx)),
+        ("intma", IntMaAdvisor.recommend(&exp.baseline_ctx)),
+        ("greedy-largest", GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx)),
+    ];
+    println!("method                      q_perf   disrupted_apis   cost_per_day");
+    for (name, plan) in &candidates {
+        println!(
+            "{name:<26}  {:>6.2}   {:>14.1}   ${:>10.2}",
+            exp.quality.performance(plan),
+            exp.quality.availability(plan),
+            exp.quality.cost_per_day(plan)
+        );
+    }
+
+    println!("\nPer-API latency preview of Atlas's plan (ms):");
+    for api in exp.api_names() {
+        println!(
+            "  {api:<20} {:>8.1} -> {:>8.1}",
+            exp.atlas.profile().apis[&api].mean_latency_ms,
+            exp.quality.estimate_api_latency_ms(&api, atlas_plan)
+        );
+    }
+}

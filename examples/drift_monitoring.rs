@@ -1,0 +1,63 @@
+//! Post-migration monitoring: detect a user-behaviour change that
+//! invalidates the executed plan and triggers a new recommendation round
+//! (paper Figure 17).
+//!
+//! Run with `cargo run --example drift_monitoring`.
+
+use atlas::apps::{social_network, SocialNetworkOptions};
+use atlas::core::Recommender;
+use atlas::sim::{ClusterSpec, OverloadModel, SimConfig, Simulator};
+use atlas::telemetry::TelemetryStore;
+use atlas_bench::{Experiment, ExperimentOptions};
+
+fn main() {
+    let exp = Experiment::set_up(ExperimentOptions::quick());
+    let report =
+        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let plan = report.performance_optimized().expect("plans").plan.clone();
+
+    // Right after the migration reality matches the preview.
+    let after = exp.measure_plan(&plan, 1.0);
+    let measured: Vec<f64> = after
+        .outcomes
+        .iter()
+        .filter(|o| o.api == "/composeAPI")
+        .filter_map(|o| o.latency_ms)
+        .collect();
+    let detector = exp
+        .atlas
+        .drift_detector("/composeAPI", &plan, &exp.current, measured);
+    println!("baseline KL divergence: {:.3}", detector.baseline_kl());
+
+    // Users start mentioning friends in posts: /composeAPI slows down.
+    let drifted = social_network(SocialNetworkOptions {
+        active_user_mentions: true,
+        ..SocialNetworkOptions::default()
+    });
+    let sim = Simulator::new(
+        drifted.clone(),
+        plan.placement().clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 99,
+        },
+    );
+    let store = TelemetryStore::new();
+    let run = sim.run(&exp.burst_schedule(1.0, 99), &store);
+    let recent: Vec<f64> = run
+        .outcomes
+        .iter()
+        .filter(|o| o.api == "/composeAPI")
+        .filter_map(|o| o.latency_ms)
+        .collect();
+    let check = detector.check(&recent);
+    println!(
+        "recent KL divergence: {:.3} ({:.1}x information loss) -> drift detected: {}",
+        check.recent_kl, check.information_loss_factor, check.drifted
+    );
+    if check.drifted {
+        println!("triggering a new recommendation round would re-collocate the chatty services");
+    }
+}

@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full Atlas loop on both applications.
+
+use atlas::apps::{
+    hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
+};
+use atlas::core::{Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, RecommenderConfig};
+use atlas::sim::{AppTopology, ClusterSpec, Location, OverloadModel, Placement, SimConfig, Simulator};
+use atlas::telemetry::TelemetryStore;
+
+fn learn(app: &AppTopology, workload: WorkloadOptions, seed: u64) -> (Atlas, Placement, TelemetryStore) {
+    let current = Placement::all_onprem(app.component_count());
+    let store = TelemetryStore::new();
+    let sim = Simulator::new(
+        app.clone(),
+        current.clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed,
+        },
+    );
+    let schedule = WorkloadGenerator::new(workload.with_seed(seed))
+        .generate(app)
+        .expect("workload matches the app");
+    sim.run(&schedule, &store);
+
+    let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
+    let stateful: Vec<String> = app
+        .stateful_components()
+        .into_iter()
+        .map(|c| app.component_name(c).to_string())
+        .collect();
+    let mut config = AtlasConfig::new(component_index, stateful);
+    config.recommender = RecommenderConfig::fast();
+    config.traces_per_api = 25;
+    config.horizon_steps = 8;
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+    (atlas, current, store)
+}
+
+#[test]
+fn social_network_end_to_end_recommendation() {
+    let app = social_network(SocialNetworkOptions::default());
+    let (atlas, current, _store) = learn(&app, WorkloadOptions::social_network_default(), 21);
+
+    let preferences = MigrationPreferences::with_cpu_limit(14.0)
+        .pin(app.component_id("UserMongoDB").unwrap(), Location::OnPrem)
+        .critical("/composeAPI");
+    let report = atlas.recommend(current.clone(), preferences.clone());
+
+    assert!(!report.plans.is_empty(), "Atlas must find feasible plans");
+    for recommended in &report.plans {
+        assert!(recommended.quality.feasible);
+        // Pinned user data never leaves the on-prem cluster.
+        assert_eq!(
+            recommended
+                .plan
+                .location(app.component_id("UserMongoDB").unwrap()),
+            Location::OnPrem
+        );
+        // Something must be offloaded: the 5x burst does not fit in 14 cores.
+        assert!(!recommended.plan.cloud_components().is_empty());
+    }
+
+    // The identity plan is infeasible under the same preferences.
+    let quality = atlas.quality_model(current, preferences);
+    assert!(!quality.is_feasible(&MigrationPlan::all_onprem(app.component_count())));
+
+    // The dendrogram covers every recommended plan.
+    let dendrogram = atlas.organize(&report);
+    assert_eq!(dendrogram.len(), report.plans.len());
+}
+
+#[test]
+fn hotel_reservation_end_to_end_recommendation() {
+    let app = hotel_reservation();
+    let (atlas, current, _store) = learn(&app, WorkloadOptions::hotel_reservation_default(), 33);
+    let preferences = MigrationPreferences::with_cpu_limit(5.0)
+        .pin(app.component_id("ReserveMongoDB").unwrap(), Location::OnPrem);
+    let report = atlas.recommend(current, preferences);
+    assert!(!report.plans.is_empty());
+    for recommended in &report.plans {
+        assert!(recommended.quality.feasible);
+        assert_eq!(
+            recommended
+                .plan
+                .location(app.component_id("ReserveMongoDB").unwrap()),
+            Location::OnPrem
+        );
+    }
+}
+
+#[test]
+fn delay_injection_estimates_track_simulated_migrations() {
+    let app = social_network(SocialNetworkOptions::default());
+    let (atlas, current, _store) = learn(&app, WorkloadOptions::social_network_default(), 55);
+    let quality = atlas.quality_model(current.clone(), MigrationPreferences::default());
+
+    // Offload the media pipeline to the cloud and compare Atlas's preview
+    // with an actual simulated deployment of the same placement.
+    let mut plan = MigrationPlan::all_onprem(app.component_count());
+    for name in ["MediaService", "MediaMongoDB", "MediaNGINX", "MediaMemcached"] {
+        plan.set(app.component_id(name).unwrap(), Location::Cloud);
+    }
+
+    let sim = Simulator::new(
+        app.clone(),
+        plan.placement().clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 56,
+        },
+    );
+    let schedule = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(56))
+        .generate(&app)
+        .unwrap();
+    let throwaway = TelemetryStore::new();
+    let measured = sim.run(&schedule, &throwaway);
+
+    for api in ["/uploadMediaAPI", "/getMediaAPI", "/loginAPI"] {
+        let estimate = quality.estimate_api_latency_ms(api, &plan);
+        let real = measured.api_mean_latency_ms(api).unwrap();
+        let error = (estimate - real).abs() / real;
+        assert!(
+            error < 0.35,
+            "{api}: estimate {estimate:.1} ms vs measured {real:.1} ms (error {:.0}%)",
+            error * 100.0
+        );
+    }
+}
+
+#[test]
+fn footprints_are_accurate_for_most_apis() {
+    let app = social_network(SocialNetworkOptions::default());
+    let (atlas, _current, _store) = learn(&app, WorkloadOptions::social_network_default(), 77);
+    let mut per_api: std::collections::HashMap<String, Vec<(String, String, f64, f64)>> =
+        std::collections::HashMap::new();
+    for (api, from, to, req, resp) in app.ground_truth_footprints() {
+        per_api.entry(api).or_default().push((
+            app.component_name(from).to_string(),
+            app.component_name(to).to_string(),
+            req,
+            resp,
+        ));
+    }
+    let mut good = 0;
+    for (api, truth) in &per_api {
+        let acc = atlas.footprint().accuracy_against(api, truth);
+        if acc > 60.0 {
+            good += 1;
+        }
+    }
+    assert!(
+        good >= 6,
+        "at least two thirds of the APIs should have well-learned footprints, got {good}/9"
+    );
+}

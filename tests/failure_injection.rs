@@ -1,0 +1,203 @@
+//! Failure-injection and degenerate-input integration tests: the advisor
+//! must degrade gracefully when the telemetry is thin, the constraints are
+//! unsatisfiable, or the cluster is saturated.
+
+use atlas::apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+use atlas::core::{
+    Atlas, AtlasConfig, FootprintLearner, MigrationPlan, MigrationPreferences, RecommenderConfig,
+};
+use atlas::sim::{
+    ClusterSpec, Location, OverloadModel, Placement, RequestSchedule, SimConfig, Simulator,
+};
+use atlas::telemetry::TelemetryStore;
+
+fn small_recommender() -> RecommenderConfig {
+    RecommenderConfig {
+        population: 16,
+        max_visited: 300,
+        ..RecommenderConfig::fast()
+    }
+}
+
+/// An overloaded on-prem cluster drops requests; the telemetry collected
+/// under duress must still be learnable.
+#[test]
+fn learning_survives_an_overloaded_collection_period() {
+    let app = social_network(SocialNetworkOptions::default());
+    let store = TelemetryStore::new();
+    let sim = Simulator::new(
+        app.clone(),
+        Placement::all_onprem(app.component_count()),
+        SimConfig {
+            cluster: ClusterSpec::small(4.0), // far too small for the workload
+            overload: OverloadModel::default(),
+            metric_window_s: 5,
+            seed: 91,
+        },
+    );
+    let schedule = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(91))
+        .generate(&app)
+        .unwrap();
+    let report = sim.run(&schedule, &store);
+    assert!(report.failed_count() > 0, "the tiny cluster must drop requests");
+    assert!(store.trace_count() > 0, "surviving requests still produce traces");
+
+    let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
+    let stateful: Vec<String> = app
+        .stateful_components()
+        .into_iter()
+        .map(|c| app.component_name(c).to_string())
+        .collect();
+    let mut config = AtlasConfig::new(component_index, stateful);
+    config.recommender = small_recommender();
+    config.traces_per_api = 20;
+    config.horizon_steps = 6;
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+    assert!(atlas.is_learned());
+    assert!(!atlas.profile().apis.is_empty());
+}
+
+/// With an empty telemetry store the learning stage produces empty profiles
+/// and the footprint learner returns nothing, without panicking.
+#[test]
+fn empty_telemetry_is_handled_gracefully() {
+    let store = TelemetryStore::new();
+    let footprint = FootprintLearner::default().learn(&store);
+    assert!(footprint.is_empty());
+
+    let mut config = AtlasConfig::new(vec!["A".to_string(), "B".to_string()], vec![]);
+    config.recommender = small_recommender();
+    config.horizon_steps = 4;
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+    assert!(atlas.profile().apis.is_empty());
+    assert_eq!(atlas.demand().component_count(), 2);
+}
+
+/// Contradictory constraints (everything pinned on-prem but the on-prem
+/// cluster cannot hold the demand) leave no feasible plan; the recommender
+/// must still terminate and report only what it found.
+#[test]
+fn unsatisfiable_constraints_do_not_hang_the_recommender() {
+    let app = social_network(SocialNetworkOptions::default());
+    let store = TelemetryStore::new();
+    let current = Placement::all_onprem(app.component_count());
+    let sim = Simulator::new(
+        app.clone(),
+        current.clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 92,
+        },
+    );
+    let schedule = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(92))
+        .generate(&app)
+        .unwrap();
+    sim.run(&schedule, &store);
+
+    let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
+    let stateful: Vec<String> = app
+        .stateful_components()
+        .into_iter()
+        .map(|c| app.component_name(c).to_string())
+        .collect();
+    let mut config = AtlasConfig::new(component_index, stateful);
+    config.recommender = small_recommender();
+    config.horizon_steps = 6;
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+
+    // Pin every component on-prem and demand an impossible CPU limit.
+    let mut preferences = MigrationPreferences::with_cpu_limit(0.5);
+    for i in 0..app.component_count() {
+        preferences = preferences.pin(atlas::sim::ComponentId(i), Location::OnPrem);
+    }
+    let report = atlas.recommend(current.clone(), preferences.clone());
+    // Nothing can be feasible; whatever comes back must be marked infeasible.
+    let quality = atlas.quality_model(current, preferences);
+    for plan in &report.plans {
+        assert!(!quality.is_feasible(&plan.plan));
+    }
+}
+
+/// A quality model built from one placement still evaluates plans of the
+/// correct size only; the simulator rejects schedules for unknown APIs.
+#[test]
+fn unknown_apis_in_the_schedule_fail_without_corrupting_telemetry() {
+    let app = social_network(SocialNetworkOptions::default());
+    let store = TelemetryStore::new();
+    let sim = Simulator::new(
+        app.clone(),
+        Placement::all_onprem(app.component_count()),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 93,
+        },
+    );
+    let mut schedule = RequestSchedule::new();
+    schedule.push(0, "/loginAPI");
+    schedule.push(100_000, "/doesNotExist");
+    schedule.push(200_000, "/composeAPI");
+    let report = sim.run(&schedule, &store);
+    assert_eq!(report.failed_count(), 1);
+    assert_eq!(report.success_count(), 2);
+    assert_eq!(store.trace_count(), 2);
+    assert_eq!(store.apis(), vec!["/composeAPI", "/loginAPI"]);
+}
+
+/// The availability model only charges APIs whose stateful dependencies
+/// actually move, even when many stateless components are offloaded.
+#[test]
+fn offloading_only_stateless_components_causes_no_disruption() {
+    let app = social_network(SocialNetworkOptions::default());
+    let store = TelemetryStore::new();
+    let current = Placement::all_onprem(app.component_count());
+    let sim = Simulator::new(
+        app.clone(),
+        current.clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 94,
+        },
+    );
+    let schedule = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(94))
+        .generate(&app)
+        .unwrap();
+    sim.run(&schedule, &store);
+
+    let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
+    let stateful: Vec<String> = app
+        .stateful_components()
+        .into_iter()
+        .map(|c| app.component_name(c).to_string())
+        .collect();
+    let mut config = AtlasConfig::new(component_index, stateful);
+    config.recommender = small_recommender();
+    config.horizon_steps = 6;
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+    let quality = atlas.quality_model(current, MigrationPreferences::default());
+
+    let mut plan = MigrationPlan::all_onprem(app.component_count());
+    for name in [
+        "TextService",
+        "UniqueIDService",
+        "WriteHomeTimelineService",
+        "HomeTimelineRedis",
+        "UserMemcached",
+    ] {
+        plan.set(app.component_id(name).unwrap(), Location::Cloud);
+    }
+    assert_eq!(quality.availability(&plan), 0.0);
+
+    // Moving a MongoDB immediately disrupts the APIs that use it.
+    plan.set(app.component_id("UserTimelineMongoDB").unwrap(), Location::Cloud);
+    assert!(quality.availability(&plan) >= 1.0);
+}

@@ -1,0 +1,99 @@
+//! Footprint-learning recovery test: Eq. (1) must recover per-API payload
+//! sizes from aggregate counters across a range of randomly generated
+//! API mixes and sizes (a randomized, cross-crate complement to the unit
+//! tests in `atlas-core::footprint`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use atlas::core::FootprintLearner;
+use atlas::telemetry::{Direction, Span, SpanId, TelemetryStore, Trace, TraceId};
+
+/// Build a store where `api_count` APIs share one Frontend→Service edge,
+/// each with its own request size, and return the ground-truth sizes.
+fn build_store(seed: u64, api_count: usize) -> (TelemetryStore, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let store = TelemetryStore::new();
+    let sizes: Vec<f64> = (0..api_count)
+        .map(|_| rng.gen_range(100.0..5_000.0))
+        .collect();
+    let mut next_id = 0u64;
+    // 40 windows of 5 seconds; each window has a random mix of requests.
+    for window in 0..40u64 {
+        let base_s = window * 5;
+        let mut bytes_this_window = 0.0;
+        for (api_idx, &size) in sizes.iter().enumerate() {
+            let count = rng.gen_range(0..6usize);
+            for i in 0..count {
+                next_id += 1;
+                let t = TraceId(next_id);
+                let start = (base_s + (i as u64 % 5)) * 1_000_000;
+                let spans = vec![
+                    Span::new(t, SpanId(next_id * 10), None, "Frontend", format!("/api{api_idx}"), start, 3_000),
+                    Span::new(
+                        t,
+                        SpanId(next_id * 10 + 1),
+                        Some(SpanId(next_id * 10)),
+                        "Service",
+                        "op",
+                        start + 200,
+                        1_500,
+                    ),
+                ];
+                store.ingest_trace(Trace::from_spans(spans).unwrap());
+                bytes_this_window += size;
+            }
+        }
+        if bytes_this_window > 0.0 {
+            store.record_traffic("Frontend", "Service", Direction::Request, base_s, bytes_this_window);
+            // Responses are one tenth of the request size for every API.
+            store.record_traffic(
+                "Frontend",
+                "Service",
+                Direction::Response,
+                base_s,
+                bytes_this_window / 10.0,
+            );
+        }
+    }
+    (store, sizes)
+}
+
+#[test]
+fn recovers_request_sizes_across_random_mixes() {
+    let mut checked = 0;
+    for seed in [3u64, 17, 42] {
+        for api_count in [2usize, 3, 4] {
+            let (store, sizes) = build_store(seed, api_count);
+            let footprint = FootprintLearner::default().learn(&store);
+            for (api_idx, &real) in sizes.iter().enumerate() {
+                let api = format!("/api{api_idx}");
+                let (est, _) = footprint.get_or_zero(&api, "Frontend", "Service");
+                let rel_error = (est - real).abs() / real;
+                assert!(
+                    rel_error < 0.30,
+                    "seed {seed}, {api_count} APIs, {api}: estimated {est:.0} B vs real {real:.0} B ({:.0}% error)",
+                    rel_error * 100.0
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 24, "sanity: all configurations were exercised");
+}
+
+#[test]
+fn response_sizes_follow_the_same_regression() {
+    let (store, sizes) = build_store(99, 3);
+    let footprint = FootprintLearner::default().learn(&store);
+    for (api_idx, &real_req) in sizes.iter().enumerate() {
+        let api = format!("/api{api_idx}");
+        let (_, est_resp) = footprint.get_or_zero(&api, "Frontend", "Service");
+        let real_resp = real_req / 10.0;
+        let rel_error = (est_resp - real_resp).abs() / real_resp;
+        assert!(
+            rel_error < 0.30,
+            "{api}: estimated response {est_resp:.0} B vs real {real_resp:.0} B"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use proptest::prelude::*;
+
+use atlas::core::{kl_divergence, MigrationPlan};
+use atlas::ga::{dominates, pareto_front_indices};
+use atlas::sim::{Location, NetworkModel, Placement};
+
+proptest! {
+    /// A placement survives the bits → placement → bits round trip.
+    #[test]
+    fn placement_bit_round_trip(bits in prop::collection::vec(0u8..=1, 1..64)) {
+        let plan = MigrationPlan::from_bits(&bits);
+        prop_assert_eq!(plan.to_bits(), bits);
+    }
+
+    /// Moved components are exactly the positions whose bits differ.
+    #[test]
+    fn moved_components_match_bit_difference(
+        bits_a in prop::collection::vec(0u8..=1, 1..48),
+    ) {
+        let bits_b: Vec<u8> = bits_a.iter().map(|b| 1 - b).collect();
+        let a = Placement::from_bits(&bits_a);
+        let b = Placement::from_bits(&bits_b);
+        prop_assert_eq!(a.moved_components(&b).len(), bits_a.len());
+        prop_assert_eq!(a.moved_components(&a).len(), 0);
+    }
+
+    /// Pareto-front members never dominate each other, and every dominated
+    /// member is excluded.
+    #[test]
+    fn pareto_front_is_mutually_non_dominated(
+        objectives in prop::collection::vec(
+            prop::collection::vec(0.0f64..100.0, 3), 1..40)
+    ) {
+        let front = pareto_front_indices(&objectives);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            for &j in &front {
+                if i != j {
+                    prop_assert!(!dominates(&objectives[i], &objectives[j]));
+                }
+            }
+        }
+        // Everything outside the front is dominated by someone.
+        for k in 0..objectives.len() {
+            if !front.contains(&k) {
+                prop_assert!(objectives.iter().any(|other| dominates(other, &objectives[k])));
+            }
+        }
+    }
+
+    /// The network delay delta of Eq. 2 is antisymmetric in before/after and
+    /// zero when nothing changes.
+    #[test]
+    fn delay_delta_is_antisymmetric(req in 0.0f64..1.0e6, resp in 0.0f64..1.0e6) {
+        let network = NetworkModel::default();
+        let offload = network.delay_delta_us(
+            Location::OnPrem, Location::OnPrem, Location::Cloud, req, resp);
+        let restore = network.delay_delta_us(
+            Location::OnPrem, Location::Cloud, Location::OnPrem, req, resp);
+        prop_assert!((offload + restore).abs() < 1e-6);
+        prop_assert!(offload >= 0.0);
+        let unchanged = network.delay_delta_us(
+            Location::OnPrem, Location::Cloud, Location::Cloud, req, resp);
+        prop_assert_eq!(unchanged, 0.0);
+    }
+
+    /// KL divergence is non-negative and zero for identical sample sets.
+    #[test]
+    fn kl_divergence_is_non_negative(
+        samples in prop::collection::vec(1.0f64..500.0, 10..200),
+        shift in 0.0f64..300.0,
+    ) {
+        let shifted: Vec<f64> = samples.iter().map(|s| s + shift).collect();
+        let d_self = kl_divergence(&samples, &samples, 15);
+        let d_shifted = kl_divergence(&samples, &shifted, 15);
+        prop_assert!(d_self.abs() < 1e-9);
+        prop_assert!(d_shifted >= -1e-12);
+    }
+}
