@@ -1,7 +1,7 @@
 //! Synthetic dataset substitutes.
 //!
 //! The paper initialises the social network with a real Facebook social
-//! graph [66] and serves media from the INRIA person dataset [35]. Neither
+//! graph \[66\] and serves media from the INRIA person dataset \[35\]. Neither
 //! dataset is consumed directly by Atlas — only the traffic they induce
 //! matters — so this module provides synthetic generators with matching
 //! first and second moments: a power-law social graph and a log-normal-ish

@@ -12,24 +12,24 @@ use atlas_sim::{
 pub mod components {
     /// Ordered list of the 18 component names.
     pub const NAMES: [&str; 18] = [
-        "FrontendService",    // 0
-        "SearchService",      // 1
-        "GeoService",         // 2
-        "RateService",        // 3
-        "RecommendService",   // 4
-        "UserService",        // 5
-        "ProfileService",     // 6
-        "ReserveService",     // 7
-        "ProfileMemcached",   // 8
-        "RateMemcached",      // 9
-        "ReserveMemcached",   // 10
-        "GeoCache",           // 11
-        "ProfileMongoDB",     // 12 (stateful)
-        "GeoMongoDB",         // 13 (stateful)
-        "RateMongoDB",        // 14 (stateful)
-        "RecommendMongoDB",   // 15 (stateful)
-        "ReserveMongoDB",     // 16 (stateful)
-        "UserMongoDB",        // 17 (stateful)
+        "FrontendService",  // 0
+        "SearchService",    // 1
+        "GeoService",       // 2
+        "RateService",      // 3
+        "RecommendService", // 4
+        "UserService",      // 5
+        "ProfileService",   // 6
+        "ReserveService",   // 7
+        "ProfileMemcached", // 8
+        "RateMemcached",    // 9
+        "ReserveMemcached", // 10
+        "GeoCache",         // 11
+        "ProfileMongoDB",   // 12 (stateful)
+        "GeoMongoDB",       // 13 (stateful)
+        "RateMongoDB",      // 14 (stateful)
+        "RecommendMongoDB", // 15 (stateful)
+        "ReserveMongoDB",   // 16 (stateful)
+        "UserMongoDB",      // 17 (stateful)
     ];
 
     /// Index of `FrontendService`.
@@ -88,8 +88,8 @@ fn api_home() -> ApiSpec {
     let profile = leaf(6, "FeaturedProfiles", 900.0)
         .with_stage(vec![sedge(profile_memcached, 120.0, 2_600.0)])
         .with_stage(vec![sedge(profile_mongo, 180.0, 3_200.0)]);
-    let root =
-        leaf(components::FRONTEND, "/homeAPI", 700.0).with_stage(vec![sedge(profile, 130.0, 3_600.0)]);
+    let root = leaf(components::FRONTEND, "/homeAPI", 700.0)
+        .with_stage(vec![sedge(profile, 130.0, 3_600.0)]);
     ApiSpec::new("/homeAPI", root)
 }
 
@@ -111,8 +111,10 @@ fn api_hotels() -> ApiSpec {
     let profile = leaf(6, "HotelProfiles", 1_000.0)
         .with_stage(vec![sedge(profile_memcached, 140.0, 2_400.0)])
         .with_stage(vec![sedge(profile_mongo, 200.0, 2_900.0)]);
-    let search = leaf(1, "SearchNearby", 1_300.0)
-        .with_stage(vec![sedge(geo, 260.0, 1_500.0), sedge(rate, 240.0, 1_300.0)]);
+    let search = leaf(1, "SearchNearby", 1_300.0).with_stage(vec![
+        sedge(geo, 260.0, 1_500.0),
+        sedge(rate, 240.0, 1_300.0),
+    ]);
     let root = leaf(components::FRONTEND, "/hotelsAPI", 800.0)
         .with_stage(vec![sedge(search, 280.0, 2_100.0)])
         .with_stage(vec![sedge(profile, 260.0, 3_000.0)]);
@@ -123,10 +125,14 @@ fn api_hotels() -> ApiSpec {
 /// then ProfileService for details.
 fn api_recommendations() -> ApiSpec {
     let rec_mongo = leaf(15, "FindRecommendations", 1_900.0);
-    let recommend = leaf(4, "Recommend", 1_300.0).with_stage(vec![sedge(rec_mongo, 170.0, 1_100.0)]);
+    let recommend =
+        leaf(4, "Recommend", 1_300.0).with_stage(vec![sedge(rec_mongo, 170.0, 1_100.0)]);
     let profile_memcached = leaf(8, "GetProfiles", 380.0);
-    let profile = leaf(6, "RecommendedProfiles", 900.0)
-        .with_stage(vec![sedge(profile_memcached, 130.0, 2_200.0)]);
+    let profile = leaf(6, "RecommendedProfiles", 900.0).with_stage(vec![sedge(
+        profile_memcached,
+        130.0,
+        2_200.0,
+    )]);
     let root = leaf(components::FRONTEND, "/recommendationsAPI", 750.0)
         .with_stage(vec![sedge(recommend, 210.0, 900.0)])
         .with_stage(vec![sedge(profile, 220.0, 2_500.0)]);

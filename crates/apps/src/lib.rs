@@ -5,9 +5,9 @@
 //! social graph and INRIA person images). This crate provides the
 //! corresponding substrate:
 //!
-//! * [`social_network`] — the social network application (23 stateless + 6
+//! * [`social_network()`] — the social network application (23 stateless + 6
 //!   stateful components, 9 user-facing APIs, paper Figure 1);
-//! * [`hotel_reservation`] — the hotel reservation application (12 stateless
+//! * [`hotel_reservation()`] — the hotel reservation application (12 stateless
 //!   + 6 stateful components, 5 user-facing APIs, paper Figure 10);
 //! * [`datasets`] — synthetic substitutes for the Facebook graph and the
 //!   INRIA media corpus, used to parameterise payload sizes and fan-outs;
@@ -15,6 +15,8 @@
 //!   [`atlas_sim::RequestSchedule`]s with a compressed diurnal profile, two
 //!   daily peaks, per-API mixes, day-to-day jitter, burst scaling and the
 //!   behaviour-change event used in the drift experiment (paper §5.4).
+
+#![deny(missing_docs)]
 
 pub mod datasets;
 pub mod hotel_reservation;

@@ -136,7 +136,13 @@ pub fn social_network(options: SocialNetworkOptions) -> AppTopology {
         api_login(),
         api_follow(),
         api_unfollow(),
-        api_compose(post_bytes, media_bytes, fanout, options.active_user_mentions, m),
+        api_compose(
+            post_bytes,
+            media_bytes,
+            fanout,
+            options.active_user_mentions,
+            m,
+        ),
         api_home_timeline(timeline_bytes),
         api_user_timeline(timeline_bytes),
         api_upload_media(media_bytes),
@@ -172,13 +178,15 @@ fn bedge(child: CallNode, req: f64, resp: f64) -> CallEdge {
 fn api_register(post_bytes: f64) -> ApiSpec {
     let user_mongo = leaf(components::USER_MONGODB, "InsertUser", 1_800.0);
     let sg_mongo = leaf(24, "InsertNode", 1_200.0);
-    let sg_service =
-        leaf(9, "RegisterNode", 900.0).with_stage(vec![sedge(sg_mongo, 204.0, 46.0)]);
+    let sg_service = leaf(9, "RegisterNode", 900.0).with_stage(vec![sedge(sg_mongo, 204.0, 46.0)]);
     let user_service = leaf(components::USER_SERVICE, "RegisterUser", 1_500.0)
         .with_stage(vec![sedge(user_mongo, 561.0, 144.0)])
         .with_stage(vec![sedge(sg_service, 131.0, 27.0)]);
-    let root = leaf(components::FRONTEND, "/registerAPI", 700.0)
-        .with_stage(vec![sedge(user_service, 234.0 + post_bytes * 0.0, 35.0)]);
+    let root = leaf(components::FRONTEND, "/registerAPI", 700.0).with_stage(vec![sedge(
+        user_service,
+        234.0 + post_bytes * 0.0,
+        35.0,
+    )]);
     ApiSpec::new("/registerAPI", root)
 }
 
@@ -189,8 +197,11 @@ fn api_login() -> ApiSpec {
     let user_service = leaf(components::USER_SERVICE, "Login", 1_100.0)
         .with_stage(vec![sedge(memcached, 96.0, 210.0)])
         .with_stage(vec![sedge(mongo, 310.0, 420.0)]);
-    let root =
-        leaf(components::FRONTEND, "/loginAPI", 650.0).with_stage(vec![sedge(user_service, 180.0, 64.0)]);
+    let root = leaf(components::FRONTEND, "/loginAPI", 650.0).with_stage(vec![sedge(
+        user_service,
+        180.0,
+        64.0,
+    )]);
     ApiSpec::new("/loginAPI", root)
 }
 
@@ -203,8 +214,8 @@ fn api_follow() -> ApiSpec {
     let sg_service = leaf(9, "Follow", 950.0)
         .with_stage(vec![sedge(redis, 140.0, 40.0), sedge(mongo, 260.0, 52.0)])
         .with_background(bedge(notify, 120.0, 0.0));
-    let root =
-        leaf(components::FRONTEND, "/followAPI", 600.0).with_stage(vec![sedge(sg_service, 150.0, 32.0)]);
+    let root = leaf(components::FRONTEND, "/followAPI", 600.0)
+        .with_stage(vec![sedge(sg_service, 150.0, 32.0)]);
     ApiSpec::new("/followAPI", root)
 }
 
@@ -237,8 +248,10 @@ fn api_compose(
     let unique_id = leaf(4, "GenerateId", 300.0);
     let url_mongo = leaf(27, "InsertUrls", 900.0);
     let url_memcached = leaf(17, "CacheUrls", 220.0);
-    let url_shorten = leaf(5, "ShortenUrls", 1_200.0)
-        .with_stage(vec![sedge(url_mongo, 180.0, 40.0), sedge(url_memcached, 120.0, 24.0)]);
+    let url_shorten = leaf(5, "ShortenUrls", 1_200.0).with_stage(vec![
+        sedge(url_mongo, 180.0, 40.0),
+        sedge(url_memcached, 120.0, 24.0),
+    ]);
     // User-mention lookups: light when users rarely tag friends, heavy (more
     // and larger lookups) once the behaviour change kicks in.
     let (mention_compute, mention_req, mention_resp) = if active_mentions {
@@ -246,7 +259,11 @@ fn api_compose(
     } else {
         (500.0, 90.0, 110.0)
     };
-    let mention_mongo = leaf(components::USER_MONGODB, "FindMentionedUsers", mention_compute * 0.6);
+    let mention_mongo = leaf(
+        components::USER_MONGODB,
+        "FindMentionedUsers",
+        mention_compute * 0.6,
+    );
     let user_mention = leaf(components::USER_MENTION, "ResolveMentions", mention_compute)
         .with_stage(vec![sedge(mention_mongo, mention_req, mention_resp)]);
     let media_mongo = leaf(components::MEDIA_MONGODB, "StoreMediaRef", 800.0);
@@ -263,8 +280,11 @@ fn api_compose(
         .with_stage(vec![sedge(post_mongo, post_bytes * 1.6, 72.0)])
         .with_stage(vec![sedge(post_memcached, post_bytes * 1.2, 24.0)]);
     let user_timeline_mongo = leaf(26, "AppendPost", 1_100.0);
-    let user_timeline = leaf(12, "UpdateUserTimeline", 800.0)
-        .with_stage(vec![sedge(user_timeline_mongo, 240.0, 36.0)]);
+    let user_timeline = leaf(12, "UpdateUserTimeline", 800.0).with_stage(vec![sedge(
+        user_timeline_mongo,
+        240.0,
+        36.0,
+    )]);
 
     // Background home-timeline fan-out through the message queue.
     let ht_redis = leaf(19, "UpdateTimelines", 900.0 + fanout * 40.0);
@@ -272,8 +292,11 @@ fn api_compose(
     let write_home_timeline = leaf(13, "FanOut", 1_500.0 + fanout * 60.0)
         .with_stage(vec![sedge(sg_redis, 110.0, fanout * 8.0)])
         .with_stage(vec![sedge(ht_redis, fanout * 48.0, 30.0)]);
-    let rabbitmq = leaf(21, "Enqueue", 300.0)
-        .with_background(bedge(write_home_timeline, post_bytes * 1.1, 0.0));
+    let rabbitmq = leaf(21, "Enqueue", 300.0).with_background(bedge(
+        write_home_timeline,
+        post_bytes * 1.1,
+        0.0,
+    ));
 
     let compose_redis = leaf(22, "CacheDraft", 200.0);
     let compose = leaf(components::COMPOSE_POST, "ComposePost", 2_000.0)
@@ -295,8 +318,11 @@ fn api_compose(
         .with_stage(vec![sedge(compose_redis, post_bytes * 0.6, 20.0)])
         .with_background(bedge(rabbitmq, post_bytes * 1.2, 0.0));
 
-    let root = leaf(components::FRONTEND, "/composeAPI", 900.0)
-        .with_stage(vec![sedge(compose, post_bytes * 1.3, 85.0)]);
+    let root = leaf(components::FRONTEND, "/composeAPI", 900.0).with_stage(vec![sedge(
+        compose,
+        post_bytes * 1.3,
+        85.0,
+    )]);
     ApiSpec::new("/composeAPI", root)
 }
 
@@ -312,8 +338,11 @@ fn api_home_timeline(timeline_bytes: f64) -> ApiSpec {
     let ht_service = leaf(11, "ReadHomeTimeline", 1_000.0)
         .with_stage(vec![sedge(ht_redis, 130.0, 380.0)])
         .with_stage(vec![sedge(post_storage, 300.0, timeline_bytes)]);
-    let root = leaf(components::FRONTEND, "/homeTimelineAPI", 800.0)
-        .with_stage(vec![sedge(ht_service, 140.0, timeline_bytes)]);
+    let root = leaf(components::FRONTEND, "/homeTimelineAPI", 800.0).with_stage(vec![sedge(
+        ht_service,
+        140.0,
+        timeline_bytes,
+    )]);
     ApiSpec::new("/homeTimelineAPI", root)
 }
 
@@ -323,13 +352,22 @@ fn api_user_timeline(timeline_bytes: f64) -> ApiSpec {
     let ut_redis = leaf(20, "GetTimelineIds", 550.0);
     let ut_mongo = leaf(26, "FindTimeline", 1_900.0);
     let post_memcached = leaf(15, "MGetPosts", 500.0);
-    let post_storage =
-        leaf(10, "ReadPosts", 1_100.0).with_stage(vec![sedge(post_memcached, 240.0, timeline_bytes * 0.7)]);
+    let post_storage = leaf(10, "ReadPosts", 1_100.0).with_stage(vec![sedge(
+        post_memcached,
+        240.0,
+        timeline_bytes * 0.7,
+    )]);
     let ut_service = leaf(12, "ReadUserTimeline", 950.0)
-        .with_stage(vec![sedge(ut_redis, 120.0, 300.0), sedge(ut_mongo, 280.0, timeline_bytes * 0.8)])
+        .with_stage(vec![
+            sedge(ut_redis, 120.0, 300.0),
+            sedge(ut_mongo, 280.0, timeline_bytes * 0.8),
+        ])
         .with_stage(vec![sedge(post_storage, 280.0, timeline_bytes)]);
-    let root = leaf(components::FRONTEND, "/userTimelineAPI", 750.0)
-        .with_stage(vec![sedge(ut_service, 140.0, timeline_bytes)]);
+    let root = leaf(components::FRONTEND, "/userTimelineAPI", 750.0).with_stage(vec![sedge(
+        ut_service,
+        140.0,
+        timeline_bytes,
+    )]);
     ApiSpec::new("/userTimelineAPI", root)
 }
 
@@ -341,8 +379,11 @@ fn api_upload_media(media_bytes: f64) -> ApiSpec {
     let media_service = leaf(7, "UploadMedia", 2_800.0)
         .with_stage(vec![sedge(media_mongo, media_bytes, 64.0)])
         .with_background(bedge(media_memcached, media_bytes * 0.4, 0.0));
-    let root = leaf(1, "/uploadMediaAPI", 1_200.0)
-        .with_stage(vec![sedge(media_service, media_bytes, 48.0)]);
+    let root = leaf(1, "/uploadMediaAPI", 1_200.0).with_stage(vec![sedge(
+        media_service,
+        media_bytes,
+        48.0,
+    )]);
     ApiSpec::new("/uploadMediaAPI", root)
 }
 
@@ -354,8 +395,8 @@ fn api_get_media(media_bytes: f64) -> ApiSpec {
     let media_service = leaf(7, "GetMedia", 1_700.0)
         .with_stage(vec![sedge(media_memcached, 96.0, media_bytes * 0.6)])
         .with_stage(vec![sedge(media_mongo, 140.0, media_bytes)]);
-    let root = leaf(1, "/getMediaAPI", 900.0)
-        .with_stage(vec![sedge(media_service, 120.0, media_bytes)]);
+    let root =
+        leaf(1, "/getMediaAPI", 900.0).with_stage(vec![sedge(media_service, 120.0, media_bytes)]);
     ApiSpec::new("/getMediaAPI", root)
 }
 
@@ -393,7 +434,10 @@ mod tests {
     #[test]
     fn component_names_are_consistent_with_indices() {
         let app = social_network(SocialNetworkOptions::default());
-        assert_eq!(app.component_name(ComponentId(components::FRONTEND)), "FrontendNGINX");
+        assert_eq!(
+            app.component_name(ComponentId(components::FRONTEND)),
+            "FrontendNGINX"
+        );
         assert_eq!(
             app.component_name(ComponentId(components::USER_MONGODB)),
             "UserMongoDB"
@@ -420,10 +464,7 @@ mod tests {
     fn register_reaches_user_and_social_graph_databases() {
         let app = social_network(SocialNetworkOptions::default());
         let stateful = app.stateful_components_of_api("/registerAPI");
-        let names: Vec<&str> = stateful
-            .iter()
-            .map(|&c| app.component_name(c))
-            .collect();
+        let names: Vec<&str> = stateful.iter().map(|&c| app.component_name(c)).collect();
         assert!(names.contains(&"UserMongoDB"));
         assert!(names.contains(&"SocialGraphMongoDB"));
     }

@@ -261,7 +261,11 @@ mod tests {
     fn generates_traffic_matching_the_mix() {
         let gen = WorkloadGenerator::new(WorkloadOptions::social_network_default());
         let schedule = gen.generate(&app()).unwrap();
-        assert!(schedule.len() > 1_000, "expected a busy day, got {}", schedule.len());
+        assert!(
+            schedule.len() > 1_000,
+            "expected a busy day, got {}",
+            schedule.len()
+        );
         let counts = schedule.counts_per_api();
         // The read-heavy APIs must dominate the write APIs.
         assert!(counts["/homeTimelineAPI"] > counts["/registerAPI"]);
@@ -272,11 +276,9 @@ mod tests {
 
     #[test]
     fn burst_factor_scales_the_volume() {
-        let base = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_seed(3),
-        )
-        .generate(&app())
-        .unwrap();
+        let base = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(3))
+            .generate(&app())
+            .unwrap();
         let burst = WorkloadGenerator::new(
             WorkloadOptions::social_network_default()
                 .with_seed(3)
@@ -294,23 +296,21 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let opts = WorkloadOptions::social_network_default().with_seed(9);
-        let a = WorkloadGenerator::new(opts.clone()).generate(&app()).unwrap();
+        let a = WorkloadGenerator::new(opts.clone())
+            .generate(&app())
+            .unwrap();
         let b = WorkloadGenerator::new(opts).generate(&app()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn multi_day_schedules_extend_in_time() {
-        let one = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_days(1),
-        )
-        .generate(&app())
-        .unwrap();
-        let two = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_days(2),
-        )
-        .generate(&app())
-        .unwrap();
+        let one = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_days(1))
+            .generate(&app())
+            .unwrap();
+        let two = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_days(2))
+            .generate(&app())
+            .unwrap();
         assert!(two.duration_s() > one.duration_s());
         assert!(two.len() > one.len());
     }

@@ -1,4 +1,4 @@
-//! Affinity-based single-plan advisors: REMaP [68] and IntMA [57].
+//! Affinity-based single-plan advisors: REMaP \[68\] and IntMA \[57\].
 //!
 //! Both manage placement by minimising the interaction between components
 //! that end up in different locations. IntMA considers the overall traffic
@@ -226,8 +226,15 @@ mod tests {
         let ctx = test_context(7.0);
         for plan in [RemapAdvisor.recommend(&ctx), IntMaAdvisor.recommend(&ctx)] {
             let in_cloud: Vec<bool> = plan.to_bits().iter().map(|&b| b == 1).collect();
-            assert!(ctx.satisfies_constraints(&in_cloud), "plan {:?}", plan.to_bits());
-            assert!(plan.cloud_components().len() >= 1, "the CPU limit forces offloading");
+            assert!(
+                ctx.satisfies_constraints(&in_cloud),
+                "plan {:?}",
+                plan.to_bits()
+            );
+            assert!(
+                plan.cloud_components().len() >= 1,
+                "the CPU limit forces offloading"
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! The affinity-based NSGA-II baseline (paper §5.2, "affinity-based GA").
 //!
-//! A multi-plan approach representative of [29, 39, 44, 47, 53]: NSGA-II
+//! A multi-plan approach representative of \[29, 39, 44, 47, 53\]: NSGA-II
 //! with two objectives — cross-datacenter traffic (a proxy for performance)
 //! and cloud hosting cost (using the same cost model as Atlas) — with
 //! uniform crossover and bit-flip mutation. It has no notion of per-API
@@ -69,10 +69,8 @@ impl AffinityGaAdvisor {
                 flags
             })
             .collect();
-        let mut objectives: Vec<Vec<f64>> = population
-            .iter()
-            .map(|p| self.objectives(ctx, p))
-            .collect();
+        let mut objectives: Vec<Vec<f64>> =
+            population.iter().map(|p| self.objectives(ctx, p)).collect();
         let mut feasible: Vec<bool> = population
             .iter()
             .map(|p| ctx.satisfies_constraints(p))
@@ -147,10 +145,12 @@ mod tests {
                 if a != b {
                     let fa: Vec<bool> = a.to_bits().iter().map(|&x| x == 1).collect();
                     let fb: Vec<bool> = b.to_bits().iter().map(|&x| x == 1).collect();
-                    assert!(!atlas_ga::dominates(
-                        &advisor.objectives(&ctx, &fa),
-                        &advisor.objectives(&ctx, &fb)
-                    ) || a.to_bits() == b.to_bits());
+                    assert!(
+                        !atlas_ga::dominates(
+                            &advisor.objectives(&ctx, &fa),
+                            &advisor.objectives(&ctx, &fb)
+                        ) || a.to_bits() == b.to_bits()
+                    );
                 }
             }
         }

@@ -1,4 +1,4 @@
-//! Greedy cloud-bursting baselines (Seagull-style [45]).
+//! Greedy cloud-bursting baselines (Seagull-style \[45\]).
 //!
 //! The simplest policies in the paper's comparison: offload the busiest (or
 //! the least busy) components one by one until the remaining on-prem demand
@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn no_offloading_when_the_cluster_is_large_enough() {
         let ctx = test_context(100.0);
-        for advisor in [GreedyAdvisor::largest_first(), GreedyAdvisor::smallest_first()] {
+        for advisor in [
+            GreedyAdvisor::largest_first(),
+            GreedyAdvisor::smallest_first(),
+        ] {
             assert!(advisor.recommend(&ctx).cloud_components().is_empty());
         }
     }

@@ -3,16 +3,18 @@
 //! Two families are implemented:
 //!
 //! * **Single-plan approaches** — greedy offloading of the busiest /
-//!   least-busy components (Seagull-style cloud bursting [45]) and the
-//!   affinity-minimising placement managers REMaP [68] (traffic size +
-//!   message count) and IntMA [57] (traffic size only);
+//!   least-busy components (Seagull-style cloud bursting \[45\]) and the
+//!   affinity-minimising placement managers REMaP \[68\] (traffic size +
+//!   message count) and IntMA \[57\] (traffic size only);
 //! * **Multi-plan approaches** — an affinity-based NSGA-II optimising
 //!   cross-datacenter traffic and cloud cost (representative of
-//!   [29, 39, 44, 47, 53]) and a random search, both visiting the same
+//!   \[29, 39, 44, 47, 53\]) and a random search, both visiting the same
 //!   number of candidate plans as Atlas for a fair comparison.
 //!
 //! All baselines consume only the information Atlas itself uses (telemetry,
 //! expected demand, preferences), never the application's call graphs.
+
+#![deny(missing_docs)]
 
 pub mod affinity;
 pub mod affinity_ga;

@@ -1,7 +1,9 @@
 //! Ablation benches for the design choices called out in DESIGN.md:
 //! RL crossover vs uniform crossover, and the feasibility term of Eq. 5.
 use atlas_bench::{Experiment, ExperimentOptions};
-use atlas_core::{CrossoverAgent, MigrationPlan, Recommender, RecommenderConfig, RlCrossoverConfig};
+use atlas_core::{
+    CrossoverAgent, MigrationPlan, Recommender, RecommenderConfig, RlCrossoverConfig,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ablation(c: &mut Criterion) {
@@ -23,9 +25,18 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Reward-ablation: training with and without the feasibility penalty.
     let dataset: Vec<MigrationPlan> = (0..16)
-        .map(|i| MigrationPlan::from_bits(&(0..29).map(|j| ((i + j) % 3 == 0) as u8).collect::<Vec<u8>>()))
+        .map(|i| {
+            MigrationPlan::from_bits(
+                &(0..29)
+                    .map(|j| ((i + j) % 3 == 0) as u8)
+                    .collect::<Vec<u8>>(),
+            )
+        })
         .collect();
-    for (name, penalty) in [("reward_with_feasibility", true), ("reward_without_feasibility", false)] {
+    for (name, penalty) in [
+        ("reward_with_feasibility", true),
+        ("reward_without_feasibility", false),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut agent = CrossoverAgent::new(

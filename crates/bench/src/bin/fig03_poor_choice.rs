@@ -11,7 +11,10 @@ fn main() {
         Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     let atlas_plan = &atlas_report.performance_optimized().expect("plans").plan;
     let poor_plan = GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx);
-    for (label, plan) in [("atlas", atlas_plan), ("poor-choice (greedy largest)", &poor_plan)] {
+    for (label, plan) in [
+        ("atlas", atlas_plan),
+        ("poor-choice (greedy largest)", &poor_plan),
+    ] {
         let per_api: Vec<f64> = exp
             .api_names()
             .iter()

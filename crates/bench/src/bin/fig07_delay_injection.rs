@@ -5,8 +5,7 @@ use atlas_core::{kl_divergence, Recommender};
 
 fn main() {
     let exp = Experiment::set_up(ExperimentOptions::quick());
-    let report =
-        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let report = Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     let plan = &report.performance_optimized().expect("plans").plan;
     println!("# Figure 7: estimated vs measured latency distribution (/homeTimelineAPI)");
     let api = "/homeTimelineAPI";
@@ -24,7 +23,12 @@ fn main() {
                 exp.atlas.config().network,
                 exp.atlas.config().component_index.clone(),
             )
-            .estimate_trace_latency_ms(t, exp.atlas.footprint(), &exp.current, plan.placement())
+            .estimate_trace_latency_ms(
+                t,
+                exp.atlas.footprint(),
+                &exp.current,
+                plan.placement(),
+            )
         })
         .collect();
     let measured_dist: Vec<f64> = {

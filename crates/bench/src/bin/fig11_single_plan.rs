@@ -10,11 +10,30 @@ fn main() {
     let atlas_report =
         Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     let plans = vec![
-        ("atlas".to_string(), atlas_report.performance_optimized().expect("plans").plan.clone()),
-        ("remap".to_string(), RemapAdvisor.recommend(&exp.baseline_ctx)),
-        ("intma".to_string(), IntMaAdvisor.recommend(&exp.baseline_ctx)),
-        ("greedy-largest".to_string(), GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx)),
-        ("greedy-smallest".to_string(), GreedyAdvisor::smallest_first().recommend(&exp.baseline_ctx)),
+        (
+            "atlas".to_string(),
+            atlas_report
+                .performance_optimized()
+                .expect("plans")
+                .plan
+                .clone(),
+        ),
+        (
+            "remap".to_string(),
+            RemapAdvisor.recommend(&exp.baseline_ctx),
+        ),
+        (
+            "intma".to_string(),
+            IntMaAdvisor.recommend(&exp.baseline_ctx),
+        ),
+        (
+            "greedy-largest".to_string(),
+            GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx),
+        ),
+        (
+            "greedy-smallest".to_string(),
+            GreedyAdvisor::smallest_first().recommend(&exp.baseline_ctx),
+        ),
     ];
     for (name, plan) in &plans {
         let mut values: Vec<(&str, f64)> = Vec::new();

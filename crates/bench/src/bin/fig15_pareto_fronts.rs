@@ -18,15 +18,27 @@ fn main() {
             Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
         println!("atlas:");
         for p in &atlas_report.plans {
-            println!("  ({:.3}, {:.2})", p.quality.performance, exp.quality.cost_per_day(&p.plan));
+            println!(
+                "  ({:.3}, {:.2})",
+                p.quality.performance,
+                exp.quality.cost_per_day(&p.plan)
+            );
         }
         println!("affinity-ga:");
         for plan in AffinityGaAdvisor::fast().recommend(&exp.baseline_ctx) {
-            println!("  ({:.3}, {:.2})", exp.quality.performance(&plan), exp.quality.cost_per_day(&plan));
+            println!(
+                "  ({:.3}, {:.2})",
+                exp.quality.performance(&plan),
+                exp.quality.cost_per_day(&plan)
+            );
         }
         println!("random-search:");
         for plan in RandomSearchAdvisor::fast().recommend(&exp.baseline_ctx) {
-            println!("  ({:.3}, {:.2})", exp.quality.performance(&plan), exp.quality.cost_per_day(&plan));
+            println!(
+                "  ({:.3}, {:.2})",
+                exp.quality.performance(&plan),
+                exp.quality.cost_per_day(&plan)
+            );
         }
     }
 }

@@ -6,8 +6,14 @@ fn main() {
     let exp = Experiment::set_up(ExperimentOptions::quick());
     println!("# Figure 16: estimated latency (ms) of APIs under different critical-API settings");
     let scenarios: Vec<(&str, Vec<&str>)> = vec![
-        ("critical: follow/unfollow", vec!["/followAPI", "/unfollowAPI"]),
-        ("critical: homeTimeline/compose", vec!["/homeTimelineAPI", "/composeAPI"]),
+        (
+            "critical: follow/unfollow",
+            vec!["/followAPI", "/unfollowAPI"],
+        ),
+        (
+            "critical: homeTimeline/compose",
+            vec!["/homeTimelineAPI", "/composeAPI"],
+        ),
     ];
     for (label, criticals) in scenarios {
         let mut preferences = exp.preferences.clone();
@@ -15,11 +21,15 @@ fn main() {
             preferences = preferences.critical(*api);
         }
         let quality = exp.atlas.quality_model(exp.current.clone(), preferences);
-        let report =
-            Recommender::new(&quality, exp.atlas.config().recommender.clone()).recommend();
+        let report = Recommender::new(&quality, exp.atlas.config().recommender.clone()).recommend();
         let plan = &report.performance_optimized().expect("plans").plan;
         println!("{label}");
-        for api in ["/followAPI", "/unfollowAPI", "/homeTimelineAPI", "/composeAPI"] {
+        for api in [
+            "/followAPI",
+            "/unfollowAPI",
+            "/homeTimelineAPI",
+            "/composeAPI",
+        ] {
             let baseline = exp.atlas.profile().apis[api].mean_latency_ms;
             print_row(
                 api,

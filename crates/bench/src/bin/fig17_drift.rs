@@ -7,8 +7,7 @@ use atlas_telemetry::TelemetryStore;
 
 fn main() {
     let exp = Experiment::set_up(ExperimentOptions::quick());
-    let report =
-        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let report = Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     let plan = report.performance_optimized().expect("plans").plan.clone();
     println!("# Figure 17: drift detection on /composeAPI after a behaviour change");
 

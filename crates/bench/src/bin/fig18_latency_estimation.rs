@@ -5,11 +5,16 @@ use atlas_core::Recommender;
 
 fn main() {
     let exp = Experiment::set_up(ExperimentOptions::quick());
-    let report =
-        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let report = Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     for (label, plan) in [
-        ("performance-optimized", report.performance_optimized().expect("plans").plan.clone()),
-        ("cost-optimized", report.cost_optimized().expect("plans").plan.clone()),
+        (
+            "performance-optimized",
+            report.performance_optimized().expect("plans").plan.clone(),
+        ),
+        (
+            "cost-optimized",
+            report.cost_optimized().expect("plans").plan.clone(),
+        ),
     ] {
         println!("# Figure 18 ({label}): estimated vs measured API latency (ms)");
         let measured = exp.measure_plan(&plan, 1.0);

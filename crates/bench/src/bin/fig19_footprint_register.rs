@@ -12,10 +12,10 @@ fn main() {
         }
         let from_name = exp.topology.component_name(from).to_string();
         let to_name = exp.topology.component_name(to).to_string();
-        let (est_req, est_resp) = exp
-            .atlas
-            .footprint()
-            .get_or_zero("/registerAPI", &from_name, &to_name);
+        let (est_req, est_resp) =
+            exp.atlas
+                .footprint()
+                .get_or_zero("/registerAPI", &from_name, &to_name);
         println!(
             "{from_name} -> {to_name}: request est {est_req:.0} / real {real_req:.0}, response est {est_resp:.0} / real {real_resp:.0}"
         );

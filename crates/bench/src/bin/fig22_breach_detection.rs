@@ -13,11 +13,32 @@ fn main() {
         window_s: 60,
         ..BreachDetector::default()
     };
-    let clean = detector.check_edge(&exp.store, exp.atlas.footprint(), "UserService", "UserMongoDB", horizon);
-    println!("normal operation: breach_detected={}", clean.breach_detected());
+    let clean = detector.check_edge(
+        &exp.store,
+        exp.atlas.footprint(),
+        "UserService",
+        "UserMongoDB",
+        horizon,
+    );
+    println!(
+        "normal operation: breach_detected={}",
+        clean.breach_detected()
+    );
     // Inject a 100 MB exfiltration into the third minute and re-check.
-    exp.store.record_traffic("UserService", "UserMongoDB", Direction::Response, 299, 1.0e8);
-    let attacked = detector.check_edge(&exp.store, exp.atlas.footprint(), "UserService", "UserMongoDB", horizon);
+    exp.store.record_traffic(
+        "UserService",
+        "UserMongoDB",
+        Direction::Response,
+        299,
+        1.0e8,
+    );
+    let attacked = detector.check_edge(
+        &exp.store,
+        exp.atlas.footprint(),
+        "UserService",
+        "UserMongoDB",
+        horizon,
+    );
     println!(
         "after exfiltration: breach_detected={} anomalous_windows={:?} unexplained_bytes={:.0}",
         attacked.breach_detected(),

@@ -146,7 +146,12 @@ impl Experiment {
 
         let mut preferences = MigrationPreferences::with_cpu_limit(options.onprem_cpu_limit);
         if options.pin_user_data {
-            for name in ["UserMongoDB", "PostStorageMongoDB", "MediaMongoDB", "ReserveMongoDB"] {
+            for name in [
+                "UserMongoDB",
+                "PostStorageMongoDB",
+                "MediaMongoDB",
+                "ReserveMongoDB",
+            ] {
                 if let Some(c) = topology.component_id(name) {
                     preferences = preferences.pin(c, atlas_sim::Location::OnPrem);
                 }
@@ -154,12 +159,8 @@ impl Experiment {
         }
 
         let quality = atlas.quality_model(current.clone(), preferences.clone());
-        let demand = ScalingEstimator::with_scale(options.burst).estimate(
-            &store,
-            &component_index,
-            12,
-            600,
-        );
+        let demand =
+            ScalingEstimator::with_scale(options.burst).estimate(&store, &component_index, 12, 600);
         let baseline_ctx = BaselineContext::from_store(
             &store,
             component_index,
@@ -290,7 +291,10 @@ mod tests {
         let plan = MigrationPlan::all_onprem(29);
         let report = exp.measure_plan(&plan, 1.0);
         for api in exp.api_names() {
-            assert!(report.api_mean_latency_ms(&api).unwrap_or(0.0) > 0.0, "{api}");
+            assert!(
+                report.api_mean_latency_ms(&api).unwrap_or(0.0) > 0.0,
+                "{api}"
+            );
         }
     }
 }

@@ -8,6 +8,8 @@
 //! under the candidate placement (the "ground truth" substitute for an
 //! actual migration).
 
+#![deny(missing_docs)]
+
 pub mod harness;
 pub mod multiplan;
 

@@ -75,14 +75,24 @@ impl ResourceDemand {
     /// Peak (over steps) of the summed memory demand of a subset.
     pub fn peak_memory_gb(&self, components: &[usize]) -> f64 {
         (0..self.steps)
-            .map(|t| components.iter().map(|&c| self.memory_gb[c][t]).sum::<f64>())
+            .map(|t| {
+                components
+                    .iter()
+                    .map(|&c| self.memory_gb[c][t])
+                    .sum::<f64>()
+            })
             .fold(0.0, f64::max)
     }
 
     /// Peak (over steps) of the summed storage demand of a subset.
     pub fn peak_storage_gb(&self, components: &[usize]) -> f64 {
         (0..self.steps)
-            .map(|t| components.iter().map(|&c| self.storage_gb[c][t]).sum::<f64>())
+            .map(|t| {
+                components
+                    .iter()
+                    .map(|&c| self.storage_gb[c][t])
+                    .sum::<f64>()
+            })
             .fold(0.0, f64::max)
     }
 

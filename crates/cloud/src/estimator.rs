@@ -1,7 +1,7 @@
 //! Resource estimation: deriving the expected demand from telemetry.
 //!
 //! Atlas treats the estimator as a pluggable black box: the paper uses
-//! DeepRest [34] to predict the resources needed to serve the expected API
+//! DeepRest \[34\] to predict the resources needed to serve the expected API
 //! traffic in the period of interest. DeepRest itself is a learned model on
 //! production traces; this crate provides a [`ScalingEstimator`] that plays
 //! the same role — it derives per-component resource profiles from the

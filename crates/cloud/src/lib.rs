@@ -9,13 +9,15 @@
 //!   time step, plus expected per-edge traffic, that the cost and constraint
 //!   models consume;
 //! * [`estimator`] — a resource estimator that derives the expected demand
-//!   from observed telemetry (the paper plugs in DeepRest [34]; here a
+//!   from observed telemetry (the paper plugs in DeepRest \[34\]; here a
 //!   seasonal/scaling estimator exercises the same interface);
 //! * [`cost`] — the cost model itself (Eq. 6–11): compute nodes via the
 //!   cluster autoscaler, storage with fine-grained scaling, and egress
 //!   traffic;
 //! * [`autoscaler`] — the minute-granularity cluster-autoscaler simulation
 //!   used to derive node counts over time.
+
+#![deny(missing_docs)]
 
 pub mod autoscaler;
 pub mod cost;

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a small fixed sampling plan: each benchmark is
+//! warmed up once, timed over `sample_size` batches, and the mean/min are
+//! printed. When cargo invokes a bench target in test mode (`--test`), each
+//! benchmark runs exactly once so `cargo test` stays fast.
+//!
+//! Swap the workspace path dependency for crates.io `criterion = "0.5"` to
+//! get the full statistical harness; the bench sources compile unchanged.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the workspace benches already use).
+pub use std::hint::black_box;
+
+/// Entry point handed to each registered benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs bench targets with `--test` under `cargo test`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 30,
+        }
+    }
+
+    /// Registers a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = 30;
+        run_benchmark(id, self.test_mode, sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.criterion.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, sample_size: usize, mut f: F) {
+    let (samples, iters_per_sample) = if test_mode { (1, 1) } else { (sample_size, 3) };
+    if !test_mode {
+        // One discarded warmup sample so the timed ones don't run cold.
+        let mut warmup = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed / iters_per_sample as u32;
+        best = best.min(per_iter);
+        total += bencher.elapsed;
+        total_iters += iters_per_sample;
+    }
+    let mean = total / total_iters.max(1) as u32;
+    if test_mode {
+        println!("  {id}: ok ({mean:?})");
+    } else {
+        println!("  {id}: mean {mean:?}, best {best:?} ({samples} samples)");
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

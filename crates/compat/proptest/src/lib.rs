@@ -1,0 +1,201 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the DSL the workspace's property tests use:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
+//! * range strategies (`0u8..=1`, `0.0f64..100.0`, `1usize..20`, ...)
+//! * `prop::collection::vec(strategy, len)` with a fixed or ranged length
+//! * `any::<bool>()`
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Each generated test runs its body over [`CASES`] deterministically seeded
+//! random inputs (seeded from the test name), so failures reproduce across
+//! runs. There is no shrinking — a failing case panics with the ordinary
+//! assertion message. Swap the workspace path dependency for crates.io
+//! `proptest = "1"` to restore shrinking and persistence; the test sources
+//! compile unchanged.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each `proptest!`-generated test executes.
+pub const CASES: usize = 64;
+
+/// The deterministic generator threaded through strategies.
+pub type TestRng = StdRng;
+
+/// Builds the per-test generator. Used by the [`proptest!`] expansion; not
+/// part of the public API surface mirrored from the real crate.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name keeps distinct tests on distinct streams.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// A generator of random values for one test parameter.
+pub trait Strategy {
+    /// The type of value the strategy produces.
+    type Value;
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Mirror of `proptest::prelude::any`: the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Length specification accepted by [`collection::vec`]: either an exact
+/// `usize` or a half-open `Range<usize>`.
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
+    };
+
+    /// Mirror of the `prop` module alias exposed by the real prelude
+    /// (`prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Assertion that fails the current case, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Generates `#[test]` functions that run their body over many random
+/// inputs, mirroring `proptest::proptest!`.
+///
+/// The incoming `#[test]` attribute (and any doc comments) are re-emitted on
+/// the generated zero-argument test function.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::new_value(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}

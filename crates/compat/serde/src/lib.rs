@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! matching no-op derive macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without network access. The
+//! traits carry no methods; swap the workspace path dependency for crates.io
+//! `serde = { version = "1", features = ["derive"] }` to restore real
+//! serialization.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; satisfied by the
+/// no-op derive, which emits no impl at all).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; satisfied by the
+/// no-op derive, which emits no impl at all).
+pub trait Deserialize<'de> {}

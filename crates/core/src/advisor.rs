@@ -1,5 +1,55 @@
 //! The end-to-end advisor: application learning → recommendation →
 //! post-migration monitoring (paper Figure 5).
+//!
+//! # Example
+//!
+//! Learn the social-network application from simulated telemetry and ask
+//! Atlas for Pareto-optimal migration plans under a CPU constraint (a
+//! compressed version of `examples/quickstart.rs`):
+//!
+//! ```
+//! use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+//! use atlas_core::{Atlas, AtlasConfig, MigrationPreferences, RecommenderConfig};
+//! use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
+//! use atlas_telemetry::TelemetryStore;
+//!
+//! // Collect learning telemetry by simulating the current deployment.
+//! let app = social_network(SocialNetworkOptions::default());
+//! let current = Placement::all_onprem(app.component_count());
+//! let mut options = WorkloadOptions::social_network_default().with_seed(7);
+//! options.profile.day_seconds = 60; // compressed day keeps the example fast
+//! let schedule = WorkloadGenerator::new(options).generate(&app).unwrap();
+//! let store = TelemetryStore::new();
+//! Simulator::new(
+//!     app.clone(),
+//!     current.clone(),
+//!     SimConfig {
+//!         overload: OverloadModel::disabled(),
+//!         ..SimConfig::default()
+//!     },
+//! )
+//! .run(&schedule, &store);
+//!
+//! // Stage 1 — application learning.
+//! let component_index: Vec<String> =
+//!     app.components().iter().map(|c| c.name.clone()).collect();
+//! let stateful: Vec<String> = app
+//!     .stateful_components()
+//!     .into_iter()
+//!     .map(|c| app.component_name(c).to_string())
+//!     .collect();
+//! let mut config = AtlasConfig::new(component_index, stateful);
+//! config.recommender = RecommenderConfig::fast();
+//! config.traces_per_api = 30;
+//! config.horizon_steps = 8;
+//! let mut atlas = Atlas::new(config);
+//! atlas.learn(&store);
+//!
+//! // Stage 2 — recommendation under a 12-core on-prem CPU limit.
+//! let report = atlas.recommend(current, MigrationPreferences::with_cpu_limit(12.0));
+//! assert!(!report.plans.is_empty());
+//! assert!(report.plans.iter().all(|p| p.quality.feasible));
+//! ```
 
 use atlas_cloud::{CostModel, PricingModel, ResourceDemand, ResourceEstimator, ScalingEstimator};
 use atlas_sim::{NetworkModel, Placement};
@@ -184,8 +234,7 @@ impl Atlas {
         current_before_migration: &Placement,
         measured_after_migration_ms: Vec<f64>,
     ) -> DriftDetector {
-        let injector =
-            DelayInjector::new(self.config.network, self.config.component_index.clone());
+        let injector = DelayInjector::new(self.config.network, self.config.component_index.clone());
         let traces = self
             .profile()
             .apis
@@ -222,11 +271,10 @@ mod tests {
                 seed: 12,
             },
         );
-        let schedule = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_seed(12),
-        )
-        .generate(&app)
-        .unwrap();
+        let schedule =
+            WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(12))
+                .generate(&app)
+                .unwrap();
         let store = TelemetryStore::new();
         sim.run(&schedule, &store);
 

@@ -76,7 +76,15 @@ impl DelayInjector {
     ) -> f64 {
         let api = trace.api().to_string();
         let root_start = trace.root().start_us;
-        let new_end = self.inject(trace, 0, root_start as f64, &api, footprint, current, candidate);
+        let new_end = self.inject(
+            trace,
+            0,
+            root_start as f64,
+            &api,
+            footprint,
+            current,
+            candidate,
+        );
         (new_end - root_start as f64).max(0.0) / 1_000.0
     }
 
@@ -189,8 +197,7 @@ impl DelayInjector {
                     current,
                     candidate,
                 );
-                let child_new_start =
-                    wave_new_base + (child_orig_start - wave_orig_start) + delta;
+                let child_new_start = wave_new_base + (child_orig_start - wave_orig_start) + delta;
                 let child_new_end = self.inject(
                     trace,
                     c,
@@ -262,10 +269,42 @@ mod tests {
         let t = TraceId(1);
         let spans = vec![
             Span::new(t, SpanId(0), None, "Frontend", "/composeAPI", 0, 10_000),
-            Span::new(t, SpanId(1), Some(SpanId(0)), "URLShorten", "shorten", 1_000, 2_000),
-            Span::new(t, SpanId(2), Some(SpanId(0)), "Media", "filter", 1_200, 2_800),
-            Span::new(t, SpanId(3), Some(SpanId(0)), "PostStorage", "store", 4_500, 2_000),
-            Span::new(t, SpanId(4), Some(SpanId(0)), "WriteHomeTimeline", "fanout", 7_000, 8_000),
+            Span::new(
+                t,
+                SpanId(1),
+                Some(SpanId(0)),
+                "URLShorten",
+                "shorten",
+                1_000,
+                2_000,
+            ),
+            Span::new(
+                t,
+                SpanId(2),
+                Some(SpanId(0)),
+                "Media",
+                "filter",
+                1_200,
+                2_800,
+            ),
+            Span::new(
+                t,
+                SpanId(3),
+                Some(SpanId(0)),
+                "PostStorage",
+                "store",
+                4_500,
+                2_000,
+            ),
+            Span::new(
+                t,
+                SpanId(4),
+                Some(SpanId(0)),
+                "WriteHomeTimeline",
+                "fanout",
+                7_000,
+                8_000,
+            ),
         ];
         Trace::from_spans(spans).unwrap()
     }
@@ -298,7 +337,10 @@ mod tests {
         let inj = injector();
         let current = Placement::all_onprem(5);
         let est = inj.estimate_trace_latency_ms(&trace, &footprint(), &current, &current);
-        assert!((est - 10.0).abs() < 1e-6, "identity injection must be exact, got {est}");
+        assert!(
+            (est - 10.0).abs() < 1e-6,
+            "identity injection must be exact, got {est}"
+        );
     }
 
     #[test]
@@ -308,7 +350,10 @@ mod tests {
         let current = Placement::all_onprem(5);
         let candidate = Placement::all_onprem(5).with_cloud(ComponentId(4));
         let est = inj.estimate_trace_latency_ms(&trace, &footprint(), &current, &candidate);
-        assert!((est - 10.0).abs() < 1e-6, "background offload must be free, got {est}");
+        assert!(
+            (est - 10.0).abs() < 1e-6,
+            "background offload must be free, got {est}"
+        );
     }
 
     #[test]
@@ -319,7 +364,10 @@ mod tests {
         let candidate = Placement::all_onprem(5).with_cloud(ComponentId(3));
         let est = inj.estimate_trace_latency_ms(&trace, &footprint(), &current, &candidate);
         // Inter-DC RTT ≈ 2 × 23.015 ms ≈ 46 ms on top of the original 10 ms.
-        assert!(est > 50.0, "sequential offload must add ≈ one RTT, got {est}");
+        assert!(
+            est > 50.0,
+            "sequential offload must add ≈ one RTT, got {est}"
+        );
         assert!(est < 70.0, "only one exchange crosses the WAN, got {est}");
     }
 
@@ -350,7 +398,10 @@ mod tests {
         // links fast only for children that also moved.
         let all_cloud = Placement::all_cloud(5);
         let est = inj.estimate_trace_latency_ms(&trace, &footprint(), &current, &all_cloud);
-        assert!((est - 10.0).abs() < 1e-6, "fully-cloud placement has no WAN hop, got {est}");
+        assert!(
+            (est - 10.0).abs() < 1e-6,
+            "fully-cloud placement has no WAN hop, got {est}"
+        );
     }
 
     #[test]
@@ -362,10 +413,16 @@ mod tests {
         let dist =
             inj.estimate_latency_distribution_ms(&traces, &footprint(), &current, &candidate);
         assert_eq!(dist.len(), 3);
-        assert!((dist[0] - dist[1]).abs() < 1e-9, "identical traces, identical estimates");
+        assert!(
+            (dist[0] - dist[1]).abs() < 1e-9,
+            "identical traces, identical estimates"
+        );
         let mean = inj.estimate_api_latency_ms(&traces, &footprint(), &current, &candidate);
         assert!((mean - dist[0]).abs() < 1e-9);
-        assert_eq!(inj.estimate_api_latency_ms(&[], &footprint(), &current, &candidate), 0.0);
+        assert_eq!(
+            inj.estimate_api_latency_ms(&[], &footprint(), &current, &candidate),
+            0.0
+        );
     }
 
     #[test]

@@ -95,11 +95,7 @@ impl NetworkFootprint {
     /// ground-truth sizes, as plotted in paper Figure 20. For every edge the
     /// accuracy is `100 · (1 − |est − real| / max(real, ε))`, averaged over
     /// request and response directions and over edges.
-    pub fn accuracy_against(
-        &self,
-        api: &str,
-        ground_truth: &[(String, String, f64, f64)],
-    ) -> f64 {
+    pub fn accuracy_against(&self, api: &str, ground_truth: &[(String, String, f64, f64)]) -> f64 {
         if ground_truth.is_empty() {
             return 0.0;
         }
@@ -270,7 +266,7 @@ fn solve_nnls(design: &[&Vec<f64>], observed: &[f64], iterations: usize) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atlas_telemetry::{Span, SpanId, TraceId, Trace};
+    use atlas_telemetry::{Span, SpanId, Trace, TraceId};
 
     /// Build a store where two APIs share the Frontend→Service edge with
     /// different request sizes (A sends 100 B, B sends 500 B) and
@@ -327,10 +323,22 @@ mod tests {
         let footprint = FootprintLearner::default().learn(&store);
         let (a_req, a_resp) = footprint.get("/a", "Frontend", "Service").unwrap();
         let (b_req, b_resp) = footprint.get("/b", "Frontend", "Service").unwrap();
-        assert!((a_req - 100.0).abs() < 20.0, "A request ≈ 100 B, got {a_req}");
-        assert!((b_req - 500.0).abs() < 40.0, "B request ≈ 500 B, got {b_req}");
-        assert!((a_resp - 40.0).abs() < 15.0, "A response ≈ 40 B, got {a_resp}");
-        assert!((b_resp - 250.0).abs() < 25.0, "B response ≈ 250 B, got {b_resp}");
+        assert!(
+            (a_req - 100.0).abs() < 20.0,
+            "A request ≈ 100 B, got {a_req}"
+        );
+        assert!(
+            (b_req - 500.0).abs() < 40.0,
+            "B request ≈ 500 B, got {b_req}"
+        );
+        assert!(
+            (a_resp - 40.0).abs() < 15.0,
+            "A response ≈ 40 B, got {a_resp}"
+        );
+        assert!(
+            (b_resp - 250.0).abs() < 25.0,
+            "B response ≈ 250 B, got {b_resp}"
+        );
     }
 
     #[test]
@@ -341,7 +349,12 @@ mod tests {
         let acc = footprint.accuracy_against("/a", &truth_a);
         assert!(acc > 80.0, "accuracy should be high, got {acc}");
         // A deliberately wrong ground truth scores poorly.
-        let wrong = vec![("Frontend".to_string(), "Service".to_string(), 10_000.0, 9_000.0)];
+        let wrong = vec![(
+            "Frontend".to_string(),
+            "Service".to_string(),
+            10_000.0,
+            9_000.0,
+        )];
         assert!(footprint.accuracy_against("/a", &wrong) < 30.0);
         assert_eq!(footprint.accuracy_against("/a", &[]), 0.0);
     }

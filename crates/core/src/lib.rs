@@ -25,6 +25,8 @@
 //!
 //! [`advisor::Atlas`] wires the stages together behind one entry point.
 
+#![deny(missing_docs)]
+
 pub mod advisor;
 pub mod delay;
 pub mod footprint;

@@ -203,7 +203,10 @@ mod tests {
         let approximation = samples(&mut rng, 81.0, 8.0, 300);
         let strict = DriftDetector::new(reality.clone(), &approximation).with_threshold_factor(0.5);
         let recent = samples(&mut rng, 85.0, 8.0, 300);
-        assert!(strict.check(&recent).drifted, "a 0.5x threshold flags everything");
+        assert!(
+            strict.check(&recent).drifted,
+            "a 0.5x threshold flags everything"
+        );
         let lenient = DriftDetector::new(reality, &approximation).with_threshold_factor(1e9);
         assert!(!lenient.check(&recent).drifted);
     }

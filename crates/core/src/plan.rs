@@ -96,7 +96,10 @@ mod tests {
         assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
         assert_eq!(plan.location(ComponentId(1)), Location::Cloud);
-        assert_eq!(plan.cloud_components(), vec![ComponentId(1), ComponentId(3)]);
+        assert_eq!(
+            plan.cloud_components(),
+            vec![ComponentId(1), ComponentId(3)]
+        );
     }
 
     #[test]

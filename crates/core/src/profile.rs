@@ -198,11 +198,10 @@ mod tests {
                 seed: 2,
             },
         );
-        let schedule = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_seed(2),
-        )
-        .generate(&app)
-        .unwrap();
+        let schedule =
+            WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(2))
+                .generate(&app)
+                .unwrap();
         let store = atlas_telemetry::TelemetryStore::new();
         sim.run(&schedule, &store);
         let stateful: Vec<String> = app

@@ -277,11 +277,10 @@ mod tests {
                 seed: 3,
             },
         );
-        let schedule = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_seed(3),
-        )
-        .generate(&app)
-        .unwrap();
+        let schedule =
+            WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(3))
+                .generate(&app)
+                .unwrap();
         let store = TelemetryStore::new();
         sim.run(&schedule, &store);
 
@@ -314,7 +313,11 @@ mod tests {
         let (model, app) = build_model(MigrationPreferences::default());
         let identity = MigrationPlan::all_onprem(app.component_count());
         let q = model.evaluate(&identity);
-        assert!((q.performance - 1.0).abs() < 0.05, "Q_Perf ≈ 1.0, got {}", q.performance);
+        assert!(
+            (q.performance - 1.0).abs() < 0.05,
+            "Q_Perf ≈ 1.0, got {}",
+            q.performance
+        );
         assert_eq!(q.availability, 0.0);
         assert_eq!(q.cost, 0.0);
         assert!(q.feasible);
@@ -328,7 +331,11 @@ mod tests {
         plan.set(user_db, Location::Cloud);
         let q = model.evaluate(&plan);
         // UserMongoDB is used by several APIs → several disrupted APIs.
-        assert!(q.availability >= 2.0, "expected multiple disrupted APIs, got {}", q.availability);
+        assert!(
+            q.availability >= 2.0,
+            "expected multiple disrupted APIs, got {}",
+            q.availability
+        );
         assert!(q.cost > 0.0);
     }
 
@@ -347,7 +354,10 @@ mod tests {
             q_fg > q_bg,
             "foreground offload ({q_fg}) should hurt more than background offload ({q_bg})"
         );
-        assert!(q_bg < 1.3, "background offload should be nearly free, got {q_bg}");
+        assert!(
+            q_bg < 1.3,
+            "background offload should be nearly free, got {q_bg}"
+        );
     }
 
     #[test]
@@ -376,15 +386,17 @@ mod tests {
 
         let mut cheap_violation = MigrationPlan::all_onprem(app.component_count());
         cheap_violation.set(ComponentId(5), Location::Cloud);
-        assert!(model.feasibility(&cheap_violation).unwrap().contains("budget"));
+        assert!(model
+            .feasibility(&cheap_violation)
+            .unwrap()
+            .contains("budget"));
     }
 
     #[test]
     fn critical_apis_change_the_weighting() {
         let (plain, app) = build_model(MigrationPreferences::default());
-        let (critical, _) = build_model(
-            MigrationPreferences::default().critical("/homeTimelineAPI"),
-        );
+        let (critical, _) =
+            build_model(MigrationPreferences::default().critical("/homeTimelineAPI"));
         // Offload a component heavily used by /homeTimelineAPI.
         let ht_service = app.component_id("HomeTimelineService").unwrap();
         let mut plan = MigrationPlan::all_onprem(app.component_count());

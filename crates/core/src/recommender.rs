@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use atlas_ga::nsga2::{rank_and_crowding, select_survivors};
-use atlas_ga::{bit_flip_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+use atlas_ga::{binary_tournament, bit_flip_mutation, pareto_front_indices, uniform_crossover};
 
 use crate::plan::MigrationPlan;
 use crate::quality::{PlanQuality, QualityModel};
@@ -175,8 +175,10 @@ impl<'a> Recommender<'a> {
             self.apply_pins(&mut plan);
             population.push(plan);
         }
-        let mut qualities: Vec<PlanQuality> =
-            population.iter().map(|p| self.quality.evaluate(p)).collect();
+        let mut qualities: Vec<PlanQuality> = population
+            .iter()
+            .map(|p| self.quality.evaluate(p))
+            .collect();
         visited += population.len();
 
         // Train the RL crossover agent on the initial population (the paper
@@ -204,8 +206,7 @@ impl<'a> Recommender<'a> {
             qualities = survivors.iter().map(|&i| qualities[i]).collect();
 
             let (rank, crowding) = {
-                let objectives: Vec<Vec<f64>> =
-                    qualities.iter().map(|q| q.objectives()).collect();
+                let objectives: Vec<Vec<f64>> = qualities.iter().map(|q| q.objectives()).collect();
                 let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
                 rank_and_crowding(&objectives, &feasible)
             };
@@ -300,7 +301,9 @@ mod tests {
     use crate::profile::ApplicationProfile;
     use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
     use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
-    use atlas_sim::{ClusterSpec, ComponentId, Location, OverloadModel, Placement, SimConfig, Simulator};
+    use atlas_sim::{
+        ClusterSpec, ComponentId, Location, OverloadModel, Placement, SimConfig, Simulator,
+    };
     use atlas_telemetry::TelemetryStore;
 
     fn build_quality(preferences: MigrationPreferences) -> QualityModel {
@@ -317,11 +320,10 @@ mod tests {
                 seed: 8,
             },
         );
-        let schedule = WorkloadGenerator::new(
-            WorkloadOptions::social_network_default().with_seed(8),
-        )
-        .generate(&app)
-        .unwrap();
+        let schedule =
+            WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(8))
+                .generate(&app)
+                .unwrap();
         let store = TelemetryStore::new();
         sim.run(&schedule, &store);
 
@@ -408,11 +410,9 @@ mod tests {
         let quality = build_quality(burst_preferences(12.0));
         let rl = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
         assert!(!rl.reward_progression.is_empty());
-        let uniform = Recommender::new(
-            &quality,
-            RecommenderConfig::fast().with_uniform_crossover(),
-        )
-        .recommend();
+        let uniform =
+            Recommender::new(&quality, RecommenderConfig::fast().with_uniform_crossover())
+                .recommend();
         assert!(uniform.reward_progression.is_empty());
         assert!(!uniform.plans.is_empty());
     }

@@ -78,8 +78,14 @@ impl CrossoverAgent {
         parent_b: &PlanQuality,
     ) -> f64 {
         let improvements = [
-            (parent_a.performance.min(parent_b.performance), child.performance),
-            (parent_a.availability.min(parent_b.availability), child.availability),
+            (
+                parent_a.performance.min(parent_b.performance),
+                child.performance,
+            ),
+            (
+                parent_a.availability.min(parent_b.availability),
+                child.availability,
+            ),
             (parent_a.cost.min(parent_b.cost), child.cost),
         ]
         .iter()
@@ -118,7 +124,11 @@ impl CrossoverAgent {
     }
 
     /// Produce a child plan from two parents by sampling the learned policy.
-    pub fn crossover(&mut self, parent_a: &MigrationPlan, parent_b: &MigrationPlan) -> MigrationPlan {
+    pub fn crossover(
+        &mut self,
+        parent_a: &MigrationPlan,
+        parent_b: &MigrationPlan,
+    ) -> MigrationPlan {
         let state = Self::state_of(parent_a, parent_b);
         let action = self.agent.sample(&state);
         Self::plan_of(&action)

@@ -112,8 +112,7 @@ impl BreachDetector {
                 expected += footprint.expected_bytes_per_request(api, from, to) * *count as f64;
             }
             let observed = observed_req[w] + observed_resp[w];
-            let anomalous =
-                observed > self.tolerance_factor * expected + self.absolute_slack_bytes;
+            let anomalous = observed > self.tolerance_factor * expected + self.absolute_slack_bytes;
             windows.push(WindowObservation {
                 window: w,
                 expected_bytes: expected,
@@ -191,7 +190,13 @@ mod tests {
             }
             if with_breach && minute == 2 {
                 // 50 MB copied out of the database, unrelated to any API.
-                store.record_traffic("Service", "MongoDB", Direction::Response, minute * 60 + 59, 5.0e7);
+                store.record_traffic(
+                    "Service",
+                    "MongoDB",
+                    Direction::Response,
+                    minute * 60 + 59,
+                    5.0e7,
+                );
             }
         }
         let mut footprint = NetworkFootprint::new();
@@ -202,7 +207,8 @@ mod tests {
     #[test]
     fn normal_traffic_is_not_flagged() {
         let (store, footprint) = build_store(false);
-        let report = BreachDetector::default().check_edge(&store, &footprint, "Service", "MongoDB", 300);
+        let report =
+            BreachDetector::default().check_edge(&store, &footprint, "Service", "MongoDB", 300);
         assert!(!report.breach_detected(), "no breach expected: {report:?}");
         assert!(report.anomalous_windows().is_empty());
         // Expected and observed roughly agree per window.
@@ -231,7 +237,10 @@ mod tests {
         let (store, footprint) = build_store(false);
         let detector = BreachDetector::default();
         let report = detector.check_edge(&store, &footprint, "Ghost", "MongoDB", 300);
-        assert!(!report.breach_detected(), "no observed traffic, nothing to flag");
+        assert!(
+            !report.breach_detected(),
+            "no observed traffic, nothing to flag"
+        );
         assert!(report.windows.iter().all(|w| w.expected_bytes == 0.0));
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Atlas selects parent plans for crossover using non-dominated sorting,
 //! crowding distance and binary tournament from NSGA-II (paper §4.2.1,
-//! citing Deb et al. [36]); the affinity-based baseline of the evaluation
+//! citing Deb et al. \[36\]); the affinity-based baseline of the evaluation
 //! also uses NSGA-II directly. This crate implements that machinery for
 //! minimisation problems over arbitrary genomes:
 //!
@@ -11,6 +11,8 @@
 //!   constraint-aware survival selection and binary tournaments;
 //! * [`operators`] — uniform crossover and bit-flip mutation for the binary
 //!   placement genomes Atlas uses.
+
+#![deny(missing_docs)]
 
 pub mod nsga2;
 pub mod operators;

@@ -5,6 +5,30 @@
 //! domination: a feasible solution always beats an infeasible one; two
 //! infeasible solutions are compared by their objectives like feasible ones
 //! (the caller can fold a violation measure into the objectives if desired).
+//!
+//! # Example
+//!
+//! Sort four candidate plans scored on two minimised objectives into Pareto
+//! fronts, then keep the three best under NSGA-II survival selection:
+//!
+//! ```
+//! use atlas_ga::nsga2::{fast_non_dominated_sort, select_survivors};
+//!
+//! let objectives = vec![
+//!     vec![1.0, 4.0], // Pareto-optimal
+//!     vec![2.0, 2.0], // Pareto-optimal
+//!     vec![4.0, 1.0], // Pareto-optimal
+//!     vec![4.0, 4.0], // dominated by [2.0, 2.0]
+//! ];
+//! let feasible = vec![true; 4];
+//!
+//! let fronts = fast_non_dominated_sort(&objectives, &feasible);
+//! assert_eq!(fronts, vec![vec![0, 1, 2], vec![3]]);
+//!
+//! let mut survivors = select_survivors(&objectives, &feasible, 3);
+//! survivors.sort_unstable();
+//! assert_eq!(survivors, vec![0, 1, 2]);
+//! ```
 
 use rand::Rng;
 
@@ -26,7 +50,11 @@ fn constrained_dominates(a: &[f64], a_feasible: bool, b: &[f64], b_feasible: boo
 /// once.
 pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], feasible: &[bool]) -> Vec<Vec<usize>> {
     let n = objectives.len();
-    assert_eq!(n, feasible.len(), "feasibility flags must cover the population");
+    assert_eq!(
+        n,
+        feasible.len(),
+        "feasibility flags must cover the population"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -39,8 +67,12 @@ pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], feasible: &[bool]) -> Ve
             }
             if constrained_dominates(&objectives[i], feasible[i], &objectives[j], feasible[j]) {
                 dominated_by[i].push(j);
-            } else if constrained_dominates(&objectives[j], feasible[j], &objectives[i], feasible[i])
-            {
+            } else if constrained_dominates(
+                &objectives[j],
+                feasible[j],
+                &objectives[i],
+                feasible[i],
+            ) {
                 domination_count[i] += 1;
             }
         }
@@ -103,11 +135,7 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
 
 /// NSGA-II survival: keep the `capacity` best members (by front rank, ties
 /// broken by crowding distance). Returns the selected indices.
-pub fn select_survivors(
-    objectives: &[Vec<f64>],
-    feasible: &[bool],
-    capacity: usize,
-) -> Vec<usize> {
+pub fn select_survivors(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> Vec<usize> {
     let fronts = fast_non_dominated_sort(objectives, feasible);
     let mut selected = Vec::with_capacity(capacity.min(objectives.len()));
     for front in fronts {
@@ -151,11 +179,7 @@ pub fn rank_and_crowding(objectives: &[Vec<f64>], feasible: &[bool]) -> (Vec<usi
 
 /// Binary tournament: draw two random members and keep the one with the
 /// better (lower) rank, breaking ties by larger crowding distance.
-pub fn binary_tournament<R: Rng + ?Sized>(
-    rng: &mut R,
-    rank: &[usize],
-    crowding: &[f64],
-) -> usize {
+pub fn binary_tournament<R: Rng + ?Sized>(rng: &mut R, rank: &[usize], crowding: &[f64]) -> usize {
     let n = rank.len();
     assert!(n > 0, "tournament needs a non-empty population");
     let a = rng.gen_range(0..n);
@@ -296,7 +320,10 @@ mod tests {
         let (rank, crowd) = rank_and_crowding(&objs, &all_feasible(10));
         assert_eq!(rank.len(), 10);
         assert_eq!(crowd.len(), 10);
-        assert!(rank.iter().all(|&r| r == 0), "a pure trade-off line is one front");
+        assert!(
+            rank.iter().all(|&r| r == 0),
+            "a pure trade-off line is one front"
+        );
     }
 
     #[test]

@@ -42,8 +42,14 @@ mod tests {
     fn dominance_requires_strict_improvement_somewhere() {
         assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
         assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
-        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal vectors do not dominate");
-        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "trade-offs do not dominate");
+        assert!(
+            !dominates(&[1.0, 2.0], &[1.0, 2.0]),
+            "equal vectors do not dominate"
+        );
+        assert!(
+            !dominates(&[1.0, 3.0], &[2.0, 2.0]),
+            "trade-offs do not dominate"
+        );
         assert!(!dominates(&[2.0, 2.0], &[1.0, 2.0]));
     }
 

@@ -103,7 +103,11 @@ impl ActorCritic {
 
     /// The per-bit probabilities `P(bit = 1 | state)`.
     pub fn probabilities(&self, state: &[f64]) -> Vec<f64> {
-        self.actor.predict(state).iter().map(|&l| sigmoid(l)).collect()
+        self.actor
+            .predict(state)
+            .iter()
+            .map(|&l| sigmoid(l))
+            .collect()
     }
 
     /// Sample an action (bit vector) from the current policy.
@@ -114,7 +118,10 @@ impl ActorCritic {
 
     /// Greedy action: take each bit with probability ≥ 0.5.
     pub fn greedy(&self, state: &[f64]) -> Vec<bool> {
-        self.probabilities(state).iter().map(|&p| p >= 0.5).collect()
+        self.probabilities(state)
+            .iter()
+            .map(|&p| p >= 0.5)
+            .collect()
     }
 
     /// Critic's estimate of the expected reward of a state.
@@ -284,6 +291,9 @@ mod tests {
         }
         let action = agent.sample(&state);
         let advantage = agent.update(&state, &action, 1.0);
-        assert!(advantage > 0.5, "a surprising reward should have positive advantage");
+        assert!(
+            advantage > 0.5,
+            "a surprising reward should have positive advantage"
+        );
     }
 }

@@ -14,6 +14,8 @@
 //!   single-sample advantage update, which is exactly what the
 //!   reward-driven crossover agent of Atlas needs.
 
+#![deny(missing_docs)]
+
 pub mod actor_critic;
 pub mod adam;
 pub mod matrix;

@@ -44,7 +44,9 @@ pub struct ForwardCache {
 impl ForwardCache {
     /// The network output of this pass.
     pub fn output(&self) -> &Matrix {
-        self.activations.last().expect("cache always has activations")
+        self.activations
+            .last()
+            .expect("cache always has activations")
     }
 }
 
@@ -57,10 +59,13 @@ pub struct Mlp {
 }
 
 impl Mlp {
-    /// Create an MLP with the given layer sizes, e.g. `[58, 128, 128, 128, 29]`
+    /// Create an MLP with the given layer sizes, e.g. `\[58, 128, 128, 128, 29\]`
     /// for the paper's actor network on the social network application.
     pub fn new(sizes: &[usize], seed: u64) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = sizes
             .windows(2)
@@ -176,7 +181,11 @@ impl Mlp {
     /// Overwrite all parameters from a flattened vector (inverse of
     /// [`Mlp::parameters`]).
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.parameter_count(), "parameter count mismatch");
+        assert_eq!(
+            params.len(),
+            self.parameter_count(),
+            "parameter count mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.layers {
             let w = layer.weights.len();
@@ -312,11 +321,7 @@ mod tests {
             }
             let params = mlp.parameters();
             let grads = mlp.gradients();
-            let updated: Vec<f64> = params
-                .iter()
-                .zip(&grads)
-                .map(|(p, g)| p - lr * g)
-                .collect();
+            let updated: Vec<f64> = params.iter().zip(&grads).map(|(p, g)| p - lr * g).collect();
             mlp.set_parameters(&updated);
         }
         for (x, y) in &data {

@@ -310,13 +310,10 @@ mod tests {
 
     fn small_tree() -> CallNode {
         let db = CallNode::leaf(ComponentId(2), "find", TimeDist::constant(100.0));
-        let svc = CallNode::leaf(ComponentId(1), "login", TimeDist::constant(200.0)).with_stage(
-            vec![CallEdge::sync(
-                db,
-                SizeDist::constant(500.0),
-                SizeDist::constant(100.0),
-            )],
-        );
+        let svc =
+            CallNode::leaf(ComponentId(1), "login", TimeDist::constant(200.0)).with_stage(vec![
+                CallEdge::sync(db, SizeDist::constant(500.0), SizeDist::constant(100.0)),
+            ]);
         CallNode::leaf(ComponentId(0), "/login", TimeDist::constant(300.0))
             .with_stage(vec![CallEdge::sync(
                 svc,
@@ -337,7 +334,12 @@ mod tests {
         let comps = tree.reachable_components();
         assert_eq!(
             comps,
-            vec![ComponentId(0), ComponentId(1), ComponentId(2), ComponentId(3)]
+            vec![
+                ComponentId(0),
+                ComponentId(1),
+                ComponentId(2),
+                ComponentId(3)
+            ]
         );
     }
 

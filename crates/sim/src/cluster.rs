@@ -260,7 +260,10 @@ mod tests {
             1_000.0,
             1_000.0,
         );
-        assert!((offload + restore).abs() < 1e-6, "delta must be antisymmetric");
+        assert!(
+            (offload + restore).abs() < 1e-6,
+            "delta must be antisymmetric"
+        );
         let unchanged = n.delay_delta_us(
             Location::OnPrem,
             Location::Cloud,
@@ -274,9 +277,20 @@ mod tests {
     #[test]
     fn delay_delta_grows_with_payload() {
         let n = NetworkModel::default();
-        let small = n.delay_delta_us(Location::OnPrem, Location::OnPrem, Location::Cloud, 100.0, 100.0);
-        let large =
-            n.delay_delta_us(Location::OnPrem, Location::OnPrem, Location::Cloud, 1.0e6, 1.0e6);
+        let small = n.delay_delta_us(
+            Location::OnPrem,
+            Location::OnPrem,
+            Location::Cloud,
+            100.0,
+            100.0,
+        );
+        let large = n.delay_delta_us(
+            Location::OnPrem,
+            Location::OnPrem,
+            Location::Cloud,
+            1.0e6,
+            1.0e6,
+        );
         assert!(large > small);
     }
 

@@ -4,10 +4,60 @@
 //! For every scheduled request the engine walks the API's call tree,
 //! sampling compute times and payload sizes, adding network transfer time on
 //! every caller→callee hop according to the placement and the
-//! [`NetworkModel`], and applying the [`OverloadModel`] inflation to
+//! [`NetworkModel`](crate::cluster::NetworkModel), and applying the
+//! [`OverloadModel`] inflation to
 //! components running on the saturated on-prem cluster. The walk produces a
 //! Jaeger-style trace, Istio-style pairwise byte counters and cAdvisor-style
 //! resource metrics — exactly the telemetry Atlas consumes.
+//!
+//! # Example
+//!
+//! Simulate a two-component application serving one API and inspect both the
+//! report and the emitted telemetry:
+//!
+//! ```
+//! use atlas_sim::{
+//!     ApiSpec, AppTopology, CallEdge, CallNode, ComponentId, ComponentSpec, OverloadModel,
+//!     Placement, RequestSchedule, SimConfig, SizeDist, Simulator, TimeDist,
+//! };
+//! use atlas_telemetry::TelemetryStore;
+//!
+//! // Frontend forwards /loginAPI to UserService (300 µs of compute) behind
+//! // a 1 KiB request and a 256 B response.
+//! let components = vec![
+//!     ComponentSpec::stateless("Frontend", 0.2, 0.5),
+//!     ComponentSpec::stateless("UserService", 0.1, 0.5),
+//! ];
+//! let callee = CallNode::leaf(ComponentId(1), "login", TimeDist::constant(300.0));
+//! let root = CallNode::leaf(ComponentId(0), "/loginAPI", TimeDist::constant(100.0))
+//!     .with_stage(vec![CallEdge::sync(
+//!         callee,
+//!         SizeDist::constant(1024.0),
+//!         SizeDist::constant(256.0),
+//!     )]);
+//! let app = AppTopology::new("tiny", components, vec![ApiSpec::new("/loginAPI", root)])?;
+//!
+//! // Ten requests, one per second, everything on-prem.
+//! let mut schedule = RequestSchedule::new();
+//! for s in 0u64..10 {
+//!     schedule.push(s * 1_000_000, "/loginAPI");
+//! }
+//! let store = TelemetryStore::new();
+//! let report = Simulator::new(
+//!     app,
+//!     Placement::all_onprem(2),
+//!     SimConfig {
+//!         overload: OverloadModel::disabled(),
+//!         ..SimConfig::default()
+//!     },
+//! )
+//! .run(&schedule, &store);
+//!
+//! assert_eq!(report.success_count(), 10);
+//! assert_eq!(store.trace_count(), 10);
+//! assert!(report.api_mean_latency_ms("/loginAPI").unwrap() > 0.0);
+//! # Ok::<(), atlas_sim::topology::TopologyError>(())
+//! ```
 
 use std::collections::HashMap;
 
@@ -349,8 +399,7 @@ impl Simulator {
         for (i, comp) in self.topology.components().iter().enumerate() {
             for w in 0..window_count {
                 let t_s = w as u64 * self.config.metric_window_s;
-                let cpu =
-                    comp.base_cpu_cores + busy_us_per_component[i][w] / window_us as f64;
+                let cpu = comp.base_cpu_cores + busy_us_per_component[i][w] / window_us as f64;
                 let mem = comp.base_memory_gb
                     + comp.memory_per_request_gb * requests_per_component[i][w] as f64;
                 store.record_metric(&comp.name, MetricKind::CpuCores, t_s, cpu);
@@ -442,7 +491,13 @@ impl ExecContext<'_> {
                 let child_loc = self.location(edge.child.component);
                 let req_bytes = edge.request.sample(self.rng);
                 let resp_bytes = edge.response.sample(self.rng);
-                self.record_traffic(node.component, edge.child.component, req_bytes, resp_bytes, t);
+                self.record_traffic(
+                    node.component,
+                    edge.child.component,
+                    req_bytes,
+                    resp_bytes,
+                    t,
+                );
                 let net = &self.sim.config.cluster.network;
                 let child_start =
                     t + net.transfer_us(parent_loc, child_loc, req_bytes).round() as Micros;
@@ -460,7 +515,13 @@ impl ExecContext<'_> {
             let child_loc = self.location(edge.child.component);
             let req_bytes = edge.request.sample(self.rng);
             let resp_bytes = edge.response.sample(self.rng);
-            self.record_traffic(node.component, edge.child.component, req_bytes, resp_bytes, t);
+            self.record_traffic(
+                node.component,
+                edge.child.component,
+                req_bytes,
+                resp_bytes,
+                t,
+            );
             let net = &self.sim.config.cluster.network;
             let dispatch_us = (compute_us * 0.05).max(20.0).round() as Micros;
             let child_start =
@@ -504,10 +565,20 @@ impl ExecContext<'_> {
         // Ingress/egress component metrics mirror what cAdvisor would report:
         // the caller sends the request (egress) and receives the response
         // (ingress); the callee sees the reverse.
-        let caller = self.netio.entry(from.0).or_default().entry(t_s).or_insert((0.0, 0.0));
+        let caller = self
+            .netio
+            .entry(from.0)
+            .or_default()
+            .entry(t_s)
+            .or_insert((0.0, 0.0));
         caller.0 += resp_bytes;
         caller.1 += req_bytes;
-        let callee = self.netio.entry(to.0).or_default().entry(t_s).or_insert((0.0, 0.0));
+        let callee = self
+            .netio
+            .entry(to.0)
+            .or_default()
+            .entry(t_s)
+            .or_insert((0.0, 0.0));
         callee.0 += req_bytes;
         callee.1 += resp_bytes;
     }
@@ -537,7 +608,11 @@ mod tests {
         let root = CallNode::leaf(ComponentId(0), "/composeAPI", TimeDist::constant(1_500.0))
             .with_stage(vec![
                 CallEdge::sync(url, SizeDist::constant(300.0), SizeDist::constant(60.0)),
-                CallEdge::sync(media, SizeDist::constant(5_000.0), SizeDist::constant(100.0)),
+                CallEdge::sync(
+                    media,
+                    SizeDist::constant(5_000.0),
+                    SizeDist::constant(100.0),
+                ),
             ])
             .with_stage(vec![CallEdge::sync(
                 post,
@@ -640,7 +715,12 @@ mod tests {
         assert!(store.metric_mean("FrontendNGINX", MetricKind::CpuCores) > 0.0);
         assert!(!store.traffic_edges().is_empty());
         assert!(report.api_mean_latency_ms("/composeAPI").unwrap() > 0.0);
-        assert!(report.api_latency_percentile_ms("/composeAPI", 0.99).unwrap() > 0.0);
+        assert!(
+            report
+                .api_latency_percentile_ms("/composeAPI", 0.99)
+                .unwrap()
+                > 0.0
+        );
         assert_eq!(report.apis(), vec!["/composeAPI"]);
     }
 
@@ -662,7 +742,10 @@ mod tests {
         let store = TelemetryStore::new();
         let report = sim.run(&schedule, &store);
         assert!(report.peak_onprem_utilization() > 1.0);
-        assert!(report.failed_count() > 0, "saturation should cause failures");
+        assert!(
+            report.failed_count() > 0,
+            "saturation should cause failures"
+        );
 
         // The same workload on a large cluster is faster and fully succeeds.
         let relaxed = Simulator::new(app, Placement::all_onprem(5), quiet_config());

@@ -22,6 +22,8 @@
 //!   demand exceeds capacity, reproducing the latency spikes and failures of
 //!   paper Figure 2.
 
+#![deny(missing_docs)]
+
 pub mod calltree;
 pub mod cluster;
 pub mod component;

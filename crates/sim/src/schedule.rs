@@ -65,9 +65,7 @@ impl RequestSchedule {
 
     /// Duration covered by the schedule in seconds (end of last arrival).
     pub fn duration_s(&self) -> u64 {
-        self.requests
-            .last()
-            .map_or(0, |r| r.at_us / 1_000_000 + 1)
+        self.requests.last().map_or(0, |r| r.at_us / 1_000_000 + 1)
     }
 
     /// Number of arrivals per API.

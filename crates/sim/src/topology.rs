@@ -209,25 +209,17 @@ mod tests {
             ComponentSpec::stateful("UserMongoDB", 0.1, 1.0, 8.0),
         ];
         let db = CallNode::leaf(ComponentId(2), "find", TimeDist::constant(200.0));
-        let svc = CallNode::leaf(ComponentId(1), "login", TimeDist::constant(300.0)).with_stage(
-            vec![CallEdge::sync(
-                db,
-                SizeDist::constant(500.0),
-                SizeDist::constant(120.0),
-            )],
-        );
+        let svc =
+            CallNode::leaf(ComponentId(1), "login", TimeDist::constant(300.0)).with_stage(vec![
+                CallEdge::sync(db, SizeDist::constant(500.0), SizeDist::constant(120.0)),
+            ]);
         let root = CallNode::leaf(ComponentId(0), "/loginAPI", TimeDist::constant(100.0))
             .with_stage(vec![CallEdge::sync(
                 svc,
                 SizeDist::constant(230.0),
                 SizeDist::constant(60.0),
             )]);
-        AppTopology::new(
-            "tiny",
-            components,
-            vec![ApiSpec::new("/loginAPI", root)],
-        )
-        .unwrap()
+        AppTopology::new("tiny", components, vec![ApiSpec::new("/loginAPI", root)]).unwrap()
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! (Prometheus + Jaeger query service): the rest of the workspace only ever
 //! *queries* it, mirroring the paper's non-intrusive design principle.
 
+#![deny(missing_docs)]
+
 pub mod metrics;
 pub mod network;
 pub mod span;

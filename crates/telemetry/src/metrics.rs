@@ -187,7 +187,10 @@ impl ComponentMetrics {
 
     /// Record one observation.
     pub fn record(&mut self, kind: MetricKind, timestamp_s: Seconds, value: f64) {
-        self.series.entry(kind).or_default().push(timestamp_s, value);
+        self.series
+            .entry(kind)
+            .or_default()
+            .push(timestamp_s, value);
     }
 
     /// Series for a metric kind, if any observation exists.

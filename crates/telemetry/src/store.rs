@@ -270,7 +270,15 @@ mod tests {
     fn trace(id: u64, api: &str, start_us: u64, latency_us: u64) -> Trace {
         let t = TraceId(id);
         let spans = vec![
-            Span::new(t, SpanId(id * 10), None, "Frontend", api, start_us, latency_us),
+            Span::new(
+                t,
+                SpanId(id * 10),
+                None,
+                "Frontend",
+                api,
+                start_us,
+                latency_us,
+            ),
             Span::new(
                 t,
                 SpanId(id * 10 + 1),

@@ -159,10 +159,8 @@ impl Trace {
             for (new_i, &old_i) in order.iter().enumerate() {
                 remap[old_i] = new_i;
             }
-            let mut new_nodes: Vec<TraceNode> = order
-                .iter()
-                .map(|&old_i| nodes[old_i].clone())
-                .collect();
+            let mut new_nodes: Vec<TraceNode> =
+                order.iter().map(|&old_i| nodes[old_i].clone()).collect();
             for n in &mut new_nodes {
                 n.parent = n.parent.map(|p| remap[p]);
                 for c in &mut n.children {
@@ -247,7 +245,11 @@ impl Trace {
 
     /// Set of distinct component names touched by this trace.
     pub fn components(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.nodes.iter().map(|n| n.span.component.as_str()).collect();
+        let mut v: Vec<&str> = self
+            .nodes
+            .iter()
+            .map(|n| n.span.component.as_str())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -267,9 +269,7 @@ impl Trace {
             if caller == callee {
                 continue;
             }
-            *counts
-                .entry((caller.clone(), callee.clone()))
-                .or_insert(0) += 1;
+            *counts.entry((caller.clone(), callee.clone())).or_insert(0) += 1;
         }
         counts
     }
@@ -331,10 +331,42 @@ mod tests {
         let t = TraceId(9);
         let spans = vec![
             Span::new(t, SpanId(0), None, "FrontendNGINX", "/composeAPI", 0, 1000),
-            Span::new(t, SpanId(1), Some(SpanId(0)), "URLShortenService", "shorten", 100, 200),
-            Span::new(t, SpanId(2), Some(SpanId(0)), "MediaService", "store", 150, 250),
-            Span::new(t, SpanId(3), Some(SpanId(0)), "PostStorageService", "write", 450, 150),
-            Span::new(t, SpanId(4), Some(SpanId(0)), "WriteHomeTimelineService", "fanout", 650, 850),
+            Span::new(
+                t,
+                SpanId(1),
+                Some(SpanId(0)),
+                "URLShortenService",
+                "shorten",
+                100,
+                200,
+            ),
+            Span::new(
+                t,
+                SpanId(2),
+                Some(SpanId(0)),
+                "MediaService",
+                "store",
+                150,
+                250,
+            ),
+            Span::new(
+                t,
+                SpanId(3),
+                Some(SpanId(0)),
+                "PostStorageService",
+                "write",
+                450,
+                150,
+            ),
+            Span::new(
+                t,
+                SpanId(4),
+                Some(SpanId(0)),
+                "WriteHomeTimelineService",
+                "fanout",
+                650,
+                850,
+            ),
         ];
         Trace::from_spans(spans).unwrap()
     }

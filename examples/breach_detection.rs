@@ -19,11 +19,19 @@ fn main() {
         "UserMongoDB",
         horizon,
     );
-    println!("normal operation: breach detected = {}", clean.breach_detected());
+    println!(
+        "normal operation: breach detected = {}",
+        clean.breach_detected()
+    );
 
     // An attacker copies 100 MB out of the user database.
-    exp.store
-        .record_traffic("UserService", "UserMongoDB", Direction::Response, 299, 1.0e8);
+    exp.store.record_traffic(
+        "UserService",
+        "UserMongoDB",
+        Direction::Response,
+        299,
+        1.0e8,
+    );
     let attacked = detector.check_edge(
         &exp.store,
         exp.atlas.footprint(),

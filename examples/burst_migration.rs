@@ -18,7 +18,10 @@ fn main() {
         ("atlas (perf-optimized)", atlas_plan.clone()),
         ("remap", RemapAdvisor.recommend(&exp.baseline_ctx)),
         ("intma", IntMaAdvisor.recommend(&exp.baseline_ctx)),
-        ("greedy-largest", GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx)),
+        (
+            "greedy-largest",
+            GreedyAdvisor::largest_first().recommend(&exp.baseline_ctx),
+        ),
     ];
     println!("method                      q_perf   disrupted_apis   cost_per_day");
     for (name, plan) in &candidates {

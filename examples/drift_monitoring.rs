@@ -12,8 +12,7 @@ use atlas_bench::{Experiment, ExperimentOptions};
 
 fn main() {
     let exp = Experiment::set_up(ExperimentOptions::quick());
-    let report =
-        Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
+    let report = Recommender::new(&exp.quality, exp.atlas.config().recommender.clone()).recommend();
     let plan = report.performance_optimized().expect("plans").plan.clone();
 
     // Right after the migration reality matches the preview.

@@ -48,7 +48,10 @@ fn main() {
     // 3. Recommendation: reservations (bookings) must stay on-prem and the
     //    burst no longer fits in 5 on-prem cores.
     let preferences = MigrationPreferences::with_cpu_limit(5.0)
-        .pin(app.component_id("ReserveMongoDB").unwrap(), Location::OnPrem)
+        .pin(
+            app.component_id("ReserveMongoDB").unwrap(),
+            Location::OnPrem,
+        )
         .pin(app.component_id("UserMongoDB").unwrap(), Location::OnPrem)
         .critical("/reservationAPI");
     let report = atlas.recommend(current, preferences);
@@ -61,7 +64,11 @@ fn main() {
     // 4. Hierarchical selection (paper Figure 8): show 2-3 coarse clusters
     //    with a representative plan each, then the chosen cluster's leaves.
     let dendrogram = atlas.organize(&report);
-    let points: Vec<Vec<f64>> = report.plans.iter().map(|p| p.quality.objectives()).collect();
+    let points: Vec<Vec<f64>> = report
+        .plans
+        .iter()
+        .map(|p| p.quality.objectives())
+        .collect();
     let clusters = dendrogram.cut(3.min(report.plans.len()));
     let representatives = dendrogram.representatives(&points, 3.min(report.plans.len()));
     println!("\nHigh-level clusters (choose one):");

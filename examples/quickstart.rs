@@ -28,7 +28,11 @@ fn main() {
         .generate(&app)
         .expect("workload matches the app");
     sim.run(&schedule, &store);
-    println!("collected {} traces across {} APIs", store.trace_count(), store.apis().len());
+    println!(
+        "collected {} traces across {} APIs",
+        store.trace_count(),
+        store.apis().len()
+    );
 
     // 2. Application learning.
     let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
@@ -45,10 +49,16 @@ fn main() {
     // 3. Ask for recommendations: the on-prem cluster can only keep 14 cores
     //    during the expected 5x burst, and user data must stay on-prem.
     let preferences = MigrationPreferences::with_cpu_limit(14.0)
-        .pin(app.component_id("UserMongoDB").unwrap(), atlas::sim::Location::OnPrem)
+        .pin(
+            app.component_id("UserMongoDB").unwrap(),
+            atlas::sim::Location::OnPrem,
+        )
         .critical("/composeAPI");
     let report = atlas.recommend(current, preferences);
-    println!("Atlas recommends {} Pareto-optimal plans:", report.plans.len());
+    println!(
+        "Atlas recommends {} Pareto-optimal plans:",
+        report.plans.len()
+    );
     for (i, plan) in report.plans.iter().enumerate() {
         let moved: Vec<&str> = plan
             .plan

@@ -21,6 +21,8 @@
 //! * [`baselines`] (`atlas-baselines`) — the comparison advisors from the
 //!   paper's evaluation.
 
+#![deny(missing_docs)]
+
 pub use atlas_apps as apps;
 pub use atlas_baselines as baselines;
 pub use atlas_cloud as cloud;

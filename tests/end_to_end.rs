@@ -4,10 +4,16 @@ use atlas::apps::{
     hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
 };
 use atlas::core::{Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, RecommenderConfig};
-use atlas::sim::{AppTopology, ClusterSpec, Location, OverloadModel, Placement, SimConfig, Simulator};
+use atlas::sim::{
+    AppTopology, ClusterSpec, Location, OverloadModel, Placement, SimConfig, Simulator,
+};
 use atlas::telemetry::TelemetryStore;
 
-fn learn(app: &AppTopology, workload: WorkloadOptions, seed: u64) -> (Atlas, Placement, TelemetryStore) {
+fn learn(
+    app: &AppTopology,
+    workload: WorkloadOptions,
+    seed: u64,
+) -> (Atlas, Placement, TelemetryStore) {
     let current = Placement::all_onprem(app.component_count());
     let store = TelemetryStore::new();
     let sim = Simulator::new(
@@ -77,8 +83,10 @@ fn social_network_end_to_end_recommendation() {
 fn hotel_reservation_end_to_end_recommendation() {
     let app = hotel_reservation();
     let (atlas, current, _store) = learn(&app, WorkloadOptions::hotel_reservation_default(), 33);
-    let preferences = MigrationPreferences::with_cpu_limit(5.0)
-        .pin(app.component_id("ReserveMongoDB").unwrap(), Location::OnPrem);
+    let preferences = MigrationPreferences::with_cpu_limit(5.0).pin(
+        app.component_id("ReserveMongoDB").unwrap(),
+        Location::OnPrem,
+    );
     let report = atlas.recommend(current, preferences);
     assert!(!report.plans.is_empty());
     for recommended in &report.plans {
@@ -101,7 +109,12 @@ fn delay_injection_estimates_track_simulated_migrations() {
     // Offload the media pipeline to the cloud and compare Atlas's preview
     // with an actual simulated deployment of the same placement.
     let mut plan = MigrationPlan::all_onprem(app.component_count());
-    for name in ["MediaService", "MediaMongoDB", "MediaNGINX", "MediaMemcached"] {
+    for name in [
+        "MediaService",
+        "MediaMongoDB",
+        "MediaNGINX",
+        "MediaMemcached",
+    ] {
         plan.set(app.component_id(name).unwrap(), Location::Cloud);
     }
 

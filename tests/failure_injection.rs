@@ -39,8 +39,14 @@ fn learning_survives_an_overloaded_collection_period() {
         .generate(&app)
         .unwrap();
     let report = sim.run(&schedule, &store);
-    assert!(report.failed_count() > 0, "the tiny cluster must drop requests");
-    assert!(store.trace_count() > 0, "surviving requests still produce traces");
+    assert!(
+        report.failed_count() > 0,
+        "the tiny cluster must drop requests"
+    );
+    assert!(
+        store.trace_count() > 0,
+        "surviving requests still produce traces"
+    );
 
     let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
     let stateful: Vec<String> = app
@@ -198,6 +204,9 @@ fn offloading_only_stateless_components_causes_no_disruption() {
     assert_eq!(quality.availability(&plan), 0.0);
 
     // Moving a MongoDB immediately disrupts the APIs that use it.
-    plan.set(app.component_id("UserTimelineMongoDB").unwrap(), Location::Cloud);
+    plan.set(
+        app.component_id("UserTimelineMongoDB").unwrap(),
+        Location::Cloud,
+    );
     assert!(quality.availability(&plan) >= 1.0);
 }

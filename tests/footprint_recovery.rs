@@ -29,7 +29,15 @@ fn build_store(seed: u64, api_count: usize) -> (TelemetryStore, Vec<f64>) {
                 let t = TraceId(next_id);
                 let start = (base_s + (i as u64 % 5)) * 1_000_000;
                 let spans = vec![
-                    Span::new(t, SpanId(next_id * 10), None, "Frontend", format!("/api{api_idx}"), start, 3_000),
+                    Span::new(
+                        t,
+                        SpanId(next_id * 10),
+                        None,
+                        "Frontend",
+                        format!("/api{api_idx}"),
+                        start,
+                        3_000,
+                    ),
                     Span::new(
                         t,
                         SpanId(next_id * 10 + 1),
@@ -45,7 +53,13 @@ fn build_store(seed: u64, api_count: usize) -> (TelemetryStore, Vec<f64>) {
             }
         }
         if bytes_this_window > 0.0 {
-            store.record_traffic("Frontend", "Service", Direction::Request, base_s, bytes_this_window);
+            store.record_traffic(
+                "Frontend",
+                "Service",
+                Direction::Request,
+                base_s,
+                bytes_this_window,
+            );
             // Responses are one tenth of the request size for every API.
             store.record_traffic(
                 "Frontend",
