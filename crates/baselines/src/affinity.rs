@@ -9,7 +9,7 @@
 use atlas_core::MigrationPlan;
 use atlas_telemetry::{Direction, TelemetryStore};
 
-use crate::context::BaselineContext;
+use crate::context::{BaselineContext, PlacementScore};
 
 /// Pairwise affinity between components: total bytes and message counts
 /// observed over the learning period (symmetric).
@@ -104,15 +104,13 @@ enum AffinityObjective {
     BytesAndMessages,
 }
 
-fn affinity_score(ctx: &BaselineContext, in_cloud: &[bool], objective: AffinityObjective) -> f64 {
-    let bytes = ctx.affinity.cross_boundary_bytes(in_cloud);
+fn affinity_of(score: &PlacementScore, objective: AffinityObjective) -> f64 {
     match objective {
-        AffinityObjective::Bytes => bytes,
+        AffinityObjective::Bytes => score.cross_dc_bytes,
         AffinityObjective::BytesAndMessages => {
             // Normalise messages to a byte-comparable scale using the mean
             // message size so that neither term vanishes.
-            let messages = ctx.affinity.cross_boundary_messages(in_cloud);
-            bytes + messages * 1_000.0
+            score.cross_dc_bytes + score.cross_dc_messages * 1_000.0
         }
     }
 }
@@ -122,6 +120,11 @@ fn affinity_score(ctx: &BaselineContext, in_cloud: &[bool], objective: AffinityO
 /// cross-boundary affinity, until the on-prem constraints are satisfied;
 /// then keep offloading while it strictly reduces the affinity.
 fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> MigrationPlan {
+    // Both phases repeatedly re-probe overlapping placements (each greedy
+    // step re-scores every remaining candidate; each improvement round
+    // re-tests rejected flips), so route everything through the shared
+    // cached scorer.
+    let scorer = ctx.scorer();
     let n = ctx.component_count();
     let mut in_cloud = vec![false; n];
     ctx.apply_pins(&mut in_cloud);
@@ -136,7 +139,7 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
 
     // Phase 1: reach feasibility.
     let mut guard = 0;
-    while !ctx.satisfies_constraints(&in_cloud) && guard < n {
+    while !scorer.score(&in_cloud).feasible && guard < n {
         guard += 1;
         let candidate = movable
             .iter()
@@ -147,8 +150,8 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
                 with_a[a] = true;
                 let mut with_b = in_cloud.clone();
                 with_b[b] = true;
-                affinity_score(ctx, &with_a, objective)
-                    .partial_cmp(&affinity_score(ctx, &with_b, objective))
+                affinity_of(&scorer.score(&with_a), objective)
+                    .partial_cmp(&affinity_of(&scorer.score(&with_b), objective))
                     .expect("finite affinity")
             });
         match candidate {
@@ -164,13 +167,12 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
     while improved && rounds < 2 * n {
         improved = false;
         rounds += 1;
-        let current = affinity_score(ctx, &in_cloud, objective);
+        let current = affinity_of(&scorer.score(&in_cloud), objective);
         for &i in &movable {
             let mut flipped = in_cloud.clone();
             flipped[i] = !flipped[i];
-            if ctx.satisfies_constraints(&flipped)
-                && affinity_score(ctx, &flipped, objective) + 1e-9 < current
-            {
+            let score = scorer.score(&flipped);
+            if score.feasible && affinity_of(&score, objective) + 1e-9 < current {
                 in_cloud = flipped;
                 improved = true;
                 break;

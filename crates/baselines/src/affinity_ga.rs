@@ -10,17 +10,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use atlas_core::MigrationPlan;
-use atlas_ga::nsga2::{rank_and_crowding, select_survivors};
+use atlas_ga::nsga2::survive;
 use atlas_ga::{binary_tournament, bit_flip_mutation, pareto_front_indices, uniform_crossover};
 
-use crate::context::BaselineContext;
+use crate::context::{BaselineContext, BaselineScorer, PlacementScore};
 
 /// The affinity-based NSGA-II advisor.
 #[derive(Debug, Clone, Copy)]
 pub struct AffinityGaAdvisor {
     /// Population size (the paper uses 100, like Atlas).
     pub population: usize,
-    /// Total candidate plans visited (the paper caps at 10,000).
+    /// Search budget: *unique* candidate placements scored (the paper caps
+    /// at 10,000). Duplicates are served from the shared scorer's cache and
+    /// do not burn budget, matching the Atlas recommender's semantics.
     pub max_visited: usize,
     /// Mutation rate of offspring.
     pub mutation_rate: f64,
@@ -50,16 +52,31 @@ impl AffinityGaAdvisor {
         }
     }
 
-    fn objectives(&self, ctx: &BaselineContext, in_cloud: &[bool]) -> Vec<f64> {
-        vec![ctx.cross_dc_bytes(in_cloud), ctx.cost(in_cloud)]
+    fn objectives_of(score: &PlacementScore) -> Vec<f64> {
+        vec![score.cross_dc_bytes, score.cost]
     }
 
     /// Run the search and return the Pareto-optimal plans under the
-    /// traffic/cost objectives.
+    /// traffic/cost objectives. Scoring goes through a fresh
+    /// [`BaselineScorer`]; use [`Self::recommend_with`] to share one.
     pub fn recommend(&self, ctx: &BaselineContext) -> Vec<MigrationPlan> {
+        self.recommend_with(&ctx.scorer())
+    }
+
+    /// Run the search on a caller-supplied scorer, sharing its memo cache.
+    /// The budget counts unique placements scored by this run.
+    pub fn recommend_with(&self, scorer: &BaselineScorer<'_>) -> Vec<MigrationPlan> {
+        let ctx = scorer.context();
         let n = ctx.component_count();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut visited = 0usize;
+        let already_cached = scorer.unique_evaluations();
+        let visited = |scorer: &BaselineScorer<'_>| {
+            scorer.unique_evaluations().saturating_sub(already_cached)
+        };
+        // Safety valve against a converged population producing only cached
+        // offspring (see the same guard in the Atlas recommender).
+        let mut requested = 0usize;
+        let request_cap = self.max_visited.saturating_mul(8).max(64);
 
         let mut population: Vec<Vec<bool>> = (0..self.population)
             .map(|_| {
@@ -69,22 +86,32 @@ impl AffinityGaAdvisor {
                 flags
             })
             .collect();
-        let mut objectives: Vec<Vec<f64>> =
-            population.iter().map(|p| self.objectives(ctx, p)).collect();
-        let mut feasible: Vec<bool> = population
-            .iter()
-            .map(|p| ctx.satisfies_constraints(p))
-            .collect();
-        visited += population.len();
+        let scores = scorer.score_batch(&population);
+        requested += population.len();
+        let mut objectives: Vec<Vec<f64>> = scores.iter().map(Self::objectives_of).collect();
+        let mut feasible: Vec<bool> = scores.iter().map(|s| s.feasible).collect();
 
-        while visited < self.max_visited {
-            let survivors = select_survivors(&objectives, &feasible, self.population);
-            population = survivors.iter().map(|&i| population[i].clone()).collect();
-            objectives = survivors.iter().map(|&i| objectives[i].clone()).collect();
-            feasible = survivors.iter().map(|&i| feasible[i]).collect();
+        while visited(scorer) < self.max_visited && requested < request_cap {
+            let survival = survive(&objectives, &feasible, self.population);
+            population = survival
+                .selected
+                .iter()
+                .map(|&i| population[i].clone())
+                .collect();
+            objectives = survival
+                .selected
+                .iter()
+                .map(|&i| objectives[i].clone())
+                .collect();
+            feasible = survival.selected.iter().map(|&i| feasible[i]).collect();
+            let (rank, crowding) = (survival.rank, survival.crowding);
 
-            let (rank, crowding) = rank_and_crowding(&objectives, &feasible);
-            let offspring_target = self.population.min(self.max_visited - visited);
+            // saturating: a concurrently shared scorer can grow between the
+            // loop guard and this read.
+            let offspring_target = self
+                .population
+                .min(self.max_visited.saturating_sub(visited(scorer)))
+                .max(1);
             let mut offspring = Vec::with_capacity(offspring_target);
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
@@ -97,11 +124,12 @@ impl AffinityGaAdvisor {
                 ctx.apply_pins(&mut flags);
                 offspring.push(flags);
             }
-            for child in offspring {
-                objectives.push(self.objectives(ctx, &child));
-                feasible.push(ctx.satisfies_constraints(&child));
+            let child_scores = scorer.score_batch(&offspring);
+            requested += offspring.len();
+            for (child, score) in offspring.into_iter().zip(&child_scores) {
+                objectives.push(Self::objectives_of(score));
+                feasible.push(score.feasible);
                 population.push(child);
-                visited += 1;
             }
         }
 
@@ -139,18 +167,14 @@ mod tests {
             assert!(ctx.satisfies_constraints(&flags));
         }
         // No plan dominates another under the GA's own objectives.
-        let advisor = AffinityGaAdvisor::fast();
         for a in &plans {
             for b in &plans {
                 if a != b {
                     let fa: Vec<bool> = a.to_bits().iter().map(|&x| x == 1).collect();
                     let fb: Vec<bool> = b.to_bits().iter().map(|&x| x == 1).collect();
-                    assert!(
-                        !atlas_ga::dominates(
-                            &advisor.objectives(&ctx, &fa),
-                            &advisor.objectives(&ctx, &fb)
-                        ) || a.to_bits() == b.to_bits()
-                    );
+                    let oa = vec![ctx.cross_dc_bytes(&fa), ctx.cost(&fa)];
+                    let ob = vec![ctx.cross_dc_bytes(&fb), ctx.cost(&fb)];
+                    assert!(!atlas_ga::dominates(&oa, &ob) || a.to_bits() == b.to_bits());
                 }
             }
         }
@@ -177,5 +201,18 @@ mod tests {
         let a = AffinityGaAdvisor::fast().recommend(&ctx);
         let b = AffinityGaAdvisor::fast().recommend(&ctx);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_placements_hit_the_shared_scorer_cache() {
+        let ctx = test_context(7.0);
+        let scorer = ctx.scorer();
+        let plans = AffinityGaAdvisor::fast().recommend_with(&scorer);
+        assert!(!plans.is_empty());
+        let stats = scorer.stats();
+        // Three components → at most 8 distinct placements; everything else
+        // the GA generates is a cache hit that burns no budget.
+        assert!(stats.unique_evaluations <= 8);
+        assert!(stats.cache_hits > stats.unique_evaluations);
     }
 }

@@ -1,6 +1,8 @@
-//! Shared inputs of all baseline advisors.
+//! Shared inputs of all baseline advisors, plus the cached placement scorer
+//! every baseline routes its objective/constraint queries through.
 
 use atlas_cloud::{CostModel, ResourceDemand};
+use atlas_core::eval::{effective_threads, EvalStats, MemoCache};
 use atlas_core::MigrationPreferences;
 use atlas_sim::Location;
 use atlas_telemetry::TelemetryStore;
@@ -110,6 +112,99 @@ impl BaselineContext {
     pub fn to_bits(in_cloud: &[bool]) -> Vec<u8> {
         in_cloud.iter().map(|&b| u8::from(b)).collect()
     }
+
+    /// Wrap this context in a cached, batched placement scorer with one
+    /// worker per available core (see [`BaselineScorer`]).
+    pub fn scorer(&self) -> BaselineScorer<'_> {
+        BaselineScorer::new(self)
+    }
+}
+
+/// Everything a baseline ever asks about one placement, scored once: the two
+/// affinity objectives, the cloud cost and the constraint check of Eq. 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementScore {
+    /// Cross-datacenter traffic bytes (REMaP/IntMA/affinity-GA objective).
+    pub cross_dc_bytes: f64,
+    /// Cross-datacenter message exchanges (REMaP's second affinity term).
+    pub cross_dc_messages: f64,
+    /// Cloud hosting cost over the horizon under the shared cost model.
+    pub cost: f64,
+    /// Whether the placement satisfies pins, on-prem limits and budget.
+    pub feasible: bool,
+}
+
+/// The baselines' counterpart of `atlas-core`'s `PlanEvaluator`: a cached,
+/// batched, thread-parallel scorer over [`BaselineContext`] placements,
+/// backed by the same [`MemoCache`] machinery.
+///
+/// The GA-style baselines batch whole generations through
+/// [`BaselineScorer::score_batch`]; the greedy/affinity single-plan advisors
+/// route their repeated constraint and affinity probes through
+/// [`BaselineScorer::score`], where local-search re-probes hit the cache.
+#[derive(Debug)]
+pub struct BaselineScorer<'a> {
+    ctx: &'a BaselineContext,
+    threads: usize,
+    cache: MemoCache<Vec<bool>, PlacementScore>,
+}
+
+impl<'a> BaselineScorer<'a> {
+    /// Wrap a context with one worker per available core.
+    pub fn new(ctx: &'a BaselineContext) -> Self {
+        Self {
+            ctx,
+            threads: effective_threads(0),
+            cache: MemoCache::default(),
+        }
+    }
+
+    /// Set the worker-thread count (builder style); `0` restores the
+    /// one-per-core default. Thread count never changes scores, only speed.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = effective_threads(threads);
+        self
+    }
+
+    /// The wrapped context.
+    pub fn context(&self) -> &'a BaselineContext {
+        self.ctx
+    }
+
+    fn compute(&self, in_cloud: &[bool]) -> PlacementScore {
+        PlacementScore {
+            cross_dc_bytes: self.ctx.affinity.cross_boundary_bytes(in_cloud),
+            cross_dc_messages: self.ctx.affinity.cross_boundary_messages(in_cloud),
+            cost: self.ctx.cost(in_cloud),
+            feasible: self.ctx.satisfies_constraints(in_cloud),
+        }
+    }
+
+    /// Score one placement, serving duplicates from the cache.
+    pub fn score(&self, in_cloud: &[bool]) -> PlacementScore {
+        let key = in_cloud.to_vec();
+        self.cache.get_or_compute(&key, |k| self.compute(k))
+    }
+
+    /// Score a batch of placements, returning scores in input order. Cached
+    /// and in-batch duplicates are scored once; the remaining unique
+    /// placements are fanned out across the scorer's worker threads.
+    pub fn score_batch(&self, placements: &[Vec<bool>]) -> Vec<PlacementScore> {
+        self.cache
+            .get_or_compute_batch(placements, self.threads, |p| self.compute(p))
+    }
+
+    /// Distinct placements scored so far (what GA-style visit budgets
+    /// count — cache hits are free).
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.unique()
+    }
+
+    /// Snapshot of the scoring statistics (same shape as the core
+    /// evaluator's).
+    pub fn stats(&self) -> EvalStats {
+        self.cache.stats(self.threads)
+    }
 }
 
 /// Helper shared by the tests of this crate: ingest a tiny three-component
@@ -172,6 +267,38 @@ mod tests {
         let split_light = ctx.cross_dc_bytes(&[false, false, true]); // cuts B-C
         assert!(split_heavy > split_light);
         assert_eq!(ctx.cross_dc_bytes(&[false, false, false]), 0.0);
+    }
+
+    #[test]
+    fn scorer_matches_direct_queries_and_caches_duplicates() {
+        let ctx = test_context(7.0);
+        let scorer = ctx.scorer().with_threads(2);
+        let placements: Vec<Vec<bool>> = vec![
+            vec![false, false, false],
+            vec![false, true, false],
+            vec![true, true, true],
+            vec![false, true, false], // duplicate
+        ];
+        let scores = scorer.score_batch(&placements);
+        for (placement, score) in placements.iter().zip(&scores) {
+            assert_eq!(score.cross_dc_bytes, ctx.cross_dc_bytes(placement));
+            assert_eq!(
+                score.cross_dc_messages,
+                ctx.affinity.cross_boundary_messages(placement)
+            );
+            assert_eq!(score.cost, ctx.cost(placement));
+            assert_eq!(score.feasible, ctx.satisfies_constraints(placement));
+        }
+        assert_eq!(scores[1], scores[3]);
+        assert_eq!(scorer.unique_evaluations(), 3);
+        let stats = scorer.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.threads, 2);
+        // Single queries hit the same cache.
+        let single = scorer.score(&placements[0]);
+        assert_eq!(single, scores[0]);
+        assert_eq!(scorer.stats().cache_hits, 2);
     }
 
     #[test]

@@ -43,6 +43,13 @@ impl GreedyAdvisor {
 
     /// Recommend a single placement: offload components in busyness order
     /// until the on-prem constraints are satisfied.
+    ///
+    /// Unlike the affinity/GA baselines, greedy probes each placement
+    /// exactly once and only for feasibility, so it queries the context
+    /// directly instead of paying for a full cached [`PlacementScore`]
+    /// (see [`BaselineContext::scorer`]) it would never reuse.
+    ///
+    /// [`PlacementScore`]: crate::context::PlacementScore
     pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
         let n = ctx.component_count();
         let mut in_cloud = vec![false; n];

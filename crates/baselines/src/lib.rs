@@ -13,6 +13,16 @@
 //!
 //! All baselines consume only the information Atlas itself uses (telemetry,
 //! expected demand, preferences), never the application's call graphs.
+//!
+//! The searching baselines route their objective and constraint queries
+//! through the shared [`BaselineScorer`] — the baselines' counterpart of
+//! `atlas-core`'s cached, batched, thread-parallel `PlanEvaluator` — so
+//! duplicate placements are scored once and GA generations fan out across
+//! worker threads. Like Atlas, the multi-plan baselines count their
+//! `max_visited` budget in *unique* placements scored. (The greedy
+//! advisors probe each placement once for feasibility only, so they query
+//! the context directly rather than pay for scores they would never
+//! reuse.)
 
 #![deny(missing_docs)]
 
@@ -24,6 +34,6 @@ pub mod random_search;
 
 pub use affinity::{AffinityMatrix, IntMaAdvisor, RemapAdvisor};
 pub use affinity_ga::AffinityGaAdvisor;
-pub use context::BaselineContext;
+pub use context::{BaselineContext, BaselineScorer, PlacementScore};
 pub use greedy::{GreedyAdvisor, GreedyOrder};
 pub use random_search::RandomSearchAdvisor;

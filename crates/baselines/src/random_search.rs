@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use atlas_core::MigrationPlan;
 use atlas_ga::pareto_front_indices;
 
-use crate::context::BaselineContext;
+use crate::context::{BaselineContext, BaselineScorer};
 
 /// The random-search advisor.
 #[derive(Debug, Clone, Copy)]
@@ -41,20 +41,34 @@ impl RandomSearchAdvisor {
     }
 
     /// Sample plans and return the feasible Pareto front under the
-    /// traffic/cost objectives.
+    /// traffic/cost objectives. Scoring goes through a fresh
+    /// [`BaselineScorer`]; use [`Self::recommend_with`] to share one.
     pub fn recommend(&self, ctx: &BaselineContext) -> Vec<MigrationPlan> {
+        self.recommend_with(&ctx.scorer())
+    }
+
+    /// Sample plans through a caller-supplied scorer: the whole sample set
+    /// is scored as one deduplicated, thread-parallel batch.
+    pub fn recommend_with(&self, scorer: &BaselineScorer<'_>) -> Vec<MigrationPlan> {
+        let ctx = scorer.context();
         let n = ctx.component_count();
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let samples: Vec<Vec<bool>> = (0..self.samples)
+            .map(|_| {
+                let fraction = rng.gen_range(0.0..1.0);
+                let mut flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < fraction).collect();
+                ctx.apply_pins(&mut flags);
+                flags
+            })
+            .collect();
+        let scores = scorer.score_batch(&samples);
         let mut plans = Vec::new();
         let mut objectives = Vec::new();
-        for _ in 0..self.samples {
-            let fraction = rng.gen_range(0.0..1.0);
-            let mut flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < fraction).collect();
-            ctx.apply_pins(&mut flags);
-            if !ctx.satisfies_constraints(&flags) {
+        for (flags, score) in samples.into_iter().zip(&scores) {
+            if !score.feasible {
                 continue;
             }
-            objectives.push(vec![ctx.cross_dc_bytes(&flags), ctx.cost(&flags)]);
+            objectives.push(vec![score.cross_dc_bytes, score.cost]);
             plans.push(flags);
         }
         let front = pareto_front_indices(&objectives);

@@ -2,7 +2,7 @@
 //! RL crossover vs uniform crossover, and the feasibility term of Eq. 5.
 use atlas_bench::{Experiment, ExperimentOptions};
 use atlas_core::{
-    CrossoverAgent, MigrationPlan, Recommender, RecommenderConfig, RlCrossoverConfig,
+    CrossoverAgent, MigrationPlan, PlanEvaluator, Recommender, RecommenderConfig, RlCrossoverConfig,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -48,7 +48,8 @@ fn bench_ablation(c: &mut Criterion) {
                         seed: 5,
                     },
                 );
-                agent.train(&exp.quality, std::hint::black_box(&dataset))
+                let evaluator = PlanEvaluator::new(&exp.quality);
+                agent.train(&evaluator, std::hint::black_box(&dataset))
             })
         });
     }

@@ -1,8 +1,91 @@
 //! Scalability of the recommendation pipeline (paper §6): time to produce a
-//! set of recommended plans and to evaluate a single candidate.
+//! set of recommended plans and to evaluate candidates one-by-one or in
+//! cached, thread-parallel batches.
+//!
+//! Besides the criterion-style timings, this bench emits a machine-readable
+//! `BENCH_recommender.json` at the workspace root (evaluations/sec at one
+//! thread vs all cores, cache hit rate, end-to-end recommend time) so CI can
+//! track the perf trajectory across PRs.
+use std::time::Instant;
+
 use atlas_bench::{Experiment, ExperimentOptions};
-use atlas_core::{MigrationPlan, Recommender, RecommenderConfig};
+use atlas_core::{MigrationPlan, PlanEvaluator, Recommender, RecommenderConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random plans (all distinct with overwhelming
+/// probability) used for the throughput measurement.
+fn random_plans(n: usize, count: usize, seed: u64) -> Vec<MigrationPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            MigrationPlan::from_bits(&(0..n).map(|_| rng.gen_range(0..=1u8)).collect::<Vec<u8>>())
+        })
+        .collect()
+}
+
+/// Unique-plans-per-second of one evaluator configuration over a batch.
+fn throughput(exp: &Experiment, plans: &[MigrationPlan], threads: usize) -> f64 {
+    let evaluator = PlanEvaluator::new(&exp.quality).with_threads(threads);
+    let start = Instant::now();
+    let qualities = evaluator.evaluate_batch(plans);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(qualities.len(), plans.len());
+    plans.len() as f64 / elapsed.max(1e-9)
+}
+
+/// Measure the headline numbers and write `BENCH_recommender.json`.
+fn emit_bench_json(exp: &Experiment) {
+    let n = exp.quality.component_count();
+    let plans = random_plans(n, 512, 9);
+    let single_evals_per_sec = throughput(exp, &plans, 1);
+    let parallel_evals_per_sec = throughput(exp, &plans, 0);
+    let speedup = parallel_evals_per_sec / single_evals_per_sec.max(1e-9);
+
+    let config = RecommenderConfig {
+        population: 16,
+        max_visited: 200,
+        ..RecommenderConfig::fast()
+    };
+    let start = Instant::now();
+    let report = Recommender::new(&exp.quality, config).recommend();
+    let recommend_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let stats = report.eval;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"recommender\",\n",
+            "  \"threads\": {},\n",
+            "  \"single_thread_evals_per_sec\": {:.1},\n",
+            "  \"parallel_evals_per_sec\": {:.1},\n",
+            "  \"parallel_speedup\": {:.2},\n",
+            "  \"recommend_ms\": {:.1},\n",
+            "  \"recommend_unique_evaluations\": {},\n",
+            "  \"recommend_cache_hits\": {},\n",
+            "  \"recommend_cache_hit_rate\": {:.4},\n",
+            "  \"recommend_evals_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        stats.threads,
+        single_evals_per_sec,
+        parallel_evals_per_sec,
+        speedup,
+        recommend_ms,
+        stats.unique_evaluations,
+        stats.cache_hits,
+        stats.cache_hit_rate(),
+        stats.evaluations_per_sec(),
+    );
+    // CARGO_MANIFEST_DIR is crates/bench; the report lands at the workspace
+    // root where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recommender.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_recommender.json:\n{json}"),
+        Err(e) => println!("could not write {path}: {e}\n{json}"),
+    }
+}
 
 fn bench_recommender(c: &mut Criterion) {
     let exp = Experiment::set_up(ExperimentOptions::quick());
@@ -14,6 +97,11 @@ fn bench_recommender(c: &mut Criterion) {
         b.iter(|| exp.quality.evaluate(std::hint::black_box(&plan)))
     });
 
+    let batch = random_plans(exp.quality.component_count(), 64, 3);
+    group.bench_function("evaluate_batch_64_parallel", |b| {
+        b.iter(|| PlanEvaluator::new(&exp.quality).evaluate_batch(std::hint::black_box(&batch)))
+    });
+
     let tiny = RecommenderConfig {
         population: 16,
         max_visited: 200,
@@ -23,6 +111,8 @@ fn bench_recommender(c: &mut Criterion) {
         b.iter(|| Recommender::new(&exp.quality, tiny.clone()).recommend())
     });
     group.finish();
+
+    emit_bench_json(&exp);
 }
 
 criterion_group!(benches, bench_recommender);

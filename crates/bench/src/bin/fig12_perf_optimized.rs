@@ -1,7 +1,5 @@
 //! Figure 12: performance-optimized plans across all seven methods.
 use atlas_bench::multiplan::compare;
 fn main() {
-    compare("Figure 12: performance-optimized plans", |q, plan| {
-        q.performance(plan)
-    });
+    compare("Figure 12: performance-optimized plans", |q| q.performance);
 }

@@ -1,7 +1,7 @@
 //! Figure 13: availability-optimized plans across all seven methods.
 use atlas_bench::multiplan::compare;
 fn main() {
-    compare("Figure 13: availability-optimized plans", |q, plan| {
-        q.availability(plan)
+    compare("Figure 13: availability-optimized plans", |q| {
+        q.availability
     });
 }

@@ -24,21 +24,37 @@ fn main() {
                 exp.quality.cost_per_day(&p.plan)
             );
         }
-        println!("affinity-ga:");
-        for plan in AffinityGaAdvisor::fast().recommend(&exp.baseline_ctx) {
-            println!(
-                "  ({:.3}, {:.2})",
-                exp.quality.performance(&plan),
-                exp.quality.cost_per_day(&plan)
-            );
+        // The baselines' front plans are scored through one shared cached
+        // evaluator: a plan both methods propose is evaluated once.
+        let evaluator = exp.evaluator();
+        for (label, plans) in [
+            (
+                "affinity-ga",
+                AffinityGaAdvisor::fast().recommend(&exp.baseline_ctx),
+            ),
+            (
+                "random-search",
+                RandomSearchAdvisor::fast().recommend(&exp.baseline_ctx),
+            ),
+        ] {
+            println!("{label}:");
+            let qualities = evaluator.evaluate_batch(&plans);
+            for (plan, quality) in plans.iter().zip(&qualities) {
+                println!(
+                    "  ({:.3}, {:.2})",
+                    quality.performance,
+                    exp.quality.cost_per_day(plan)
+                );
+            }
         }
-        println!("random-search:");
-        for plan in RandomSearchAdvisor::fast().recommend(&exp.baseline_ctx) {
-            println!(
-                "  ({:.3}, {:.2})",
-                exp.quality.performance(&plan),
-                exp.quality.cost_per_day(&plan)
-            );
-        }
+        let stats = atlas_report.eval;
+        println!(
+            "atlas eval: {} unique, {} cache hits ({:.0}% hit rate), {:.0} evals/s on {} thread(s)",
+            stats.unique_evaluations,
+            stats.cache_hits,
+            stats.cache_hit_rate() * 100.0,
+            stats.evaluations_per_sec(),
+            stats.threads,
+        );
     }
 }

@@ -25,4 +25,15 @@ fn main() {
         let mean = window.iter().sum::<f64>() / window.len() as f64;
         println!("chunk {i}: mean reward {mean:.3}");
     }
+    for (label, report) in [("atlas-drl-ga", &rl), ("nsga2-uniform", &nsga)] {
+        let stats = report.eval;
+        println!(
+            "{label} eval: {} unique, {} cache hits ({:.0}% hit rate), {:.0} evals/s on {} thread(s)",
+            stats.unique_evaluations,
+            stats.cache_hits,
+            stats.cache_hit_rate() * 100.0,
+            stats.evaluations_per_sec(),
+            stats.threads,
+        );
+    }
 }

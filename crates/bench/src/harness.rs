@@ -6,7 +6,8 @@ use atlas_apps::{
 use atlas_baselines::BaselineContext;
 use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
 use atlas_core::{
-    Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, QualityModel, RecommenderConfig,
+    Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, PlanEvaluator, QualityModel,
+    RecommenderConfig,
 };
 use atlas_sim::{
     AppTopology, ClusterSpec, OverloadModel, Placement, RequestSchedule, SimConfig, SimReport,
@@ -179,6 +180,13 @@ impl Experiment {
             baseline_ctx,
             options,
         }
+    }
+
+    /// A fresh plan evaluator over the experiment's quality model (one
+    /// worker per core). Figure binaries and benches share one of these so
+    /// plans scored by several methods are evaluated once.
+    pub fn evaluator(&self) -> PlanEvaluator<'_> {
+        PlanEvaluator::new(&self.quality)
     }
 
     /// Names of the user-facing APIs of the application.

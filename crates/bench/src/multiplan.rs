@@ -4,13 +4,19 @@
 use atlas_baselines::{
     AffinityGaAdvisor, GreedyAdvisor, IntMaAdvisor, RandomSearchAdvisor, RemapAdvisor,
 };
-use atlas_core::{MigrationPlan, QualityModel, Recommender};
+use atlas_core::{MigrationPlan, PlanQuality, Recommender};
 
 use crate::harness::{print_row, Experiment, ExperimentOptions};
 
 /// Run the seven-method comparison, selecting each method's best plan by
-/// `criterion` (lower is better) and printing its three quality indicators.
-pub fn compare(title: &str, criterion: impl Fn(&QualityModel, &MigrationPlan) -> f64) {
+/// `criterion` over its predicted quality (lower is better) and printing its
+/// three quality indicators.
+///
+/// Every method's candidate plans are scored in one deduplicated batch
+/// through the experiment's shared plan evaluator, so a plan proposed by
+/// several methods is evaluated once and the per-pair criterion comparisons
+/// are free.
+pub fn compare(title: &str, criterion: impl Fn(&PlanQuality) -> f64) {
     let exp = Experiment::set_up(ExperimentOptions::quick());
     println!("# {title}");
     println!("(q_perf = weighted latency ratio, q_avai = weighted disrupted APIs, cost = $/day)");
@@ -42,21 +48,25 @@ pub fn compare(title: &str, criterion: impl Fn(&QualityModel, &MigrationPlan) ->
         ),
     ];
 
+    let evaluator = exp.evaluator();
     for (name, plans) in methods {
-        let Some(best) = plans.iter().min_by(|a, b| {
-            criterion(&exp.quality, a)
-                .partial_cmp(&criterion(&exp.quality, b))
-                .expect("finite criterion")
-        }) else {
+        let qualities = evaluator.evaluate_batch(&plans);
+        let Some((best_plan, best_quality)) =
+            plans.iter().zip(&qualities).min_by(|(_, a), (_, b)| {
+                criterion(a)
+                    .partial_cmp(&criterion(b))
+                    .expect("finite criterion")
+            })
+        else {
             println!("{name:<28}  (no feasible plan)");
             continue;
         };
         print_row(
             name,
             &[
-                ("q_perf", exp.quality.performance(best)),
-                ("q_avai", exp.quality.availability(best)),
-                ("cost_per_day", exp.quality.cost_per_day(best)),
+                ("q_perf", best_quality.performance),
+                ("q_avai", best_quality.availability),
+                ("cost_per_day", exp.quality.cost_per_day(best_plan)),
             ],
         );
     }

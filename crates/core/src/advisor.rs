@@ -45,10 +45,14 @@
 //! let mut atlas = Atlas::new(config);
 //! atlas.learn(&store);
 //!
-//! // Stage 2 — recommendation under a 12-core on-prem CPU limit.
+//! // Stage 2 — recommendation under a 12-core on-prem CPU limit. All plan
+//! // scoring runs through the shared cached/batched evaluation layer
+//! // ([`crate::eval`]); the report carries its statistics.
 //! let report = atlas.recommend(current, MigrationPreferences::with_cpu_limit(12.0));
 //! assert!(!report.plans.is_empty());
 //! assert!(report.plans.iter().all(|p| p.quality.feasible));
+//! assert_eq!(report.visited, report.eval.unique_evaluations);
+//! assert!(report.eval.cache_hits > 0);
 //! ```
 
 use atlas_cloud::{CostModel, PricingModel, ResourceDemand, ResourceEstimator, ScalingEstimator};
@@ -204,6 +208,12 @@ impl Atlas {
 
     /// **Stage 2 — migration recommendation**: run the DRL-based genetic
     /// algorithm and return the Pareto-optimal plans.
+    ///
+    /// All candidate scoring flows through the cached, batched,
+    /// thread-parallel [`crate::eval::PlanEvaluator`]
+    /// ([`RecommenderConfig::threads`](crate::recommender::RecommenderConfig)
+    /// controls the fan-out); the returned report's `eval` field carries the
+    /// evaluation statistics.
     pub fn recommend(
         &self,
         current: Placement,

@@ -1,0 +1,540 @@
+//! Shared plan-evaluation layer: cached, batched, thread-parallel scoring.
+//!
+//! Every search path in Atlas — the DRL-GA recommender, the RL crossover
+//! trainer, the baselines and the bench harness — ultimately spends its
+//! budget in [`QualityModel::evaluate`]. This module wraps that hot path in
+//! a [`PlanEvaluator`]:
+//!
+//! * **Memoisation** — results are cached keyed on [`MigrationPlan`]'s
+//!   `Hash`, so duplicate plans (common after pin-application and low-rate
+//!   mutation) are scored exactly once;
+//! * **Batching** — [`PlanEvaluator::evaluate_batch`] dedupes a whole
+//!   generation and fans the uncached plans out across
+//!   [`std::thread::scope`] workers ([`QualityModel`] is `Send + Sync`, so
+//!   scoring needs no locks);
+//! * **Statistics** — [`EvalStats`] reports unique evaluations, cache hits
+//!   and scoring wall time, surfaced in
+//!   [`RecommendationReport`](crate::recommender::RecommendationReport).
+//!
+//! Evaluation is pure, so neither the cache nor the thread count changes any
+//! score: a recommendation run is bit-identical at 1 or N worker threads.
+//!
+//! # Example
+//!
+//! Score a small batch of plans through the evaluator and observe that
+//! duplicates hit the cache (the quality model is learned from a compressed
+//! simulated run of the social network):
+//!
+//! ```
+//! use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+//! use atlas_core::eval::PlanEvaluator;
+//! use atlas_core::{Atlas, AtlasConfig, MigrationPlan, MigrationPreferences};
+//! use atlas_sim::{OverloadModel, Placement, SimConfig, Simulator};
+//! use atlas_telemetry::TelemetryStore;
+//!
+//! let app = social_network(SocialNetworkOptions::default());
+//! let current = Placement::all_onprem(app.component_count());
+//! let mut options = WorkloadOptions::social_network_default().with_seed(5);
+//! options.profile.day_seconds = 60; // compressed day keeps the example fast
+//! let schedule = WorkloadGenerator::new(options).generate(&app).unwrap();
+//! let store = TelemetryStore::new();
+//! Simulator::new(
+//!     app.clone(),
+//!     current.clone(),
+//!     SimConfig {
+//!         overload: OverloadModel::disabled(),
+//!         ..SimConfig::default()
+//!     },
+//! )
+//! .run(&schedule, &store);
+//!
+//! let component_index: Vec<String> =
+//!     app.components().iter().map(|c| c.name.clone()).collect();
+//! let mut config = AtlasConfig::new(component_index, vec![]);
+//! config.traces_per_api = 20;
+//! config.horizon_steps = 4;
+//! let mut atlas = Atlas::new(config);
+//! atlas.learn(&store);
+//! let quality = atlas.quality_model(current, MigrationPreferences::default());
+//!
+//! let evaluator = PlanEvaluator::new(&quality);
+//! let n = app.component_count();
+//! let batch = vec![
+//!     MigrationPlan::all_onprem(n),
+//!     MigrationPlan::new(Placement::all_cloud(n)),
+//!     MigrationPlan::all_onprem(n), // duplicate → cache hit
+//! ];
+//! let qualities = evaluator.evaluate_batch(&batch);
+//! assert_eq!(qualities[0], qualities[2]);
+//! assert_eq!(qualities[0], quality.evaluate(&batch[0]));
+//! let stats = evaluator.stats();
+//! assert_eq!(stats.unique_evaluations, 2);
+//! assert_eq!(stats.cache_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::MigrationPlan;
+use crate::quality::{PlanQuality, QualityModel};
+
+/// Evaluation statistics of one [`PlanEvaluator`] over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Distinct plans scored by the underlying [`QualityModel`] (the cache
+    /// size). This is the quantity the `max_visited` search budget counts.
+    pub unique_evaluations: usize,
+    /// Evaluation requests answered from the memo cache, including
+    /// duplicates resolved inside a single batch.
+    pub cache_hits: usize,
+    /// Number of [`PlanEvaluator::evaluate_batch`] calls served.
+    pub batches: usize,
+    /// Wall-clock time spent scoring uncached plans, in milliseconds.
+    /// Parallel batches count elapsed time once, not per worker.
+    pub wall_time_ms: f64,
+    /// Worker threads the evaluator fans batches out across.
+    pub threads: usize,
+}
+
+impl EvalStats {
+    /// Total evaluation requests (unique evaluations + cache hits).
+    pub fn requests(&self) -> usize {
+        self.unique_evaluations + self.cache_hits
+    }
+
+    /// Fraction of requests answered from the cache (0.0 when idle).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let requests = self.requests();
+        if requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / requests as f64
+        }
+    }
+
+    /// Unique plans scored per second of scoring wall time (0.0 when idle).
+    pub fn evaluations_per_sec(&self) -> f64 {
+        if self.wall_time_ms <= 0.0 {
+            0.0
+        } else {
+            self.unique_evaluations as f64 * 1_000.0 / self.wall_time_ms
+        }
+    }
+}
+
+/// Resolve a requested thread count: `0` means "one worker per available
+/// core", anything else is used as given (minimum 1).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Deterministically map a pure function over a slice with up to `threads`
+/// scoped workers. Results come back in input order regardless of the thread
+/// count; with one worker (or one item) no thread is spawned.
+///
+/// This is the fan-out primitive shared by [`PlanEvaluator`] and the cached
+/// baseline scorer in `atlas-baselines`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = effective_threads(threads).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every worker fills its chunk"))
+        .collect()
+}
+
+/// Mutable interior of a [`MemoCache`], behind one mutex.
+#[derive(Debug)]
+struct MemoState<K, V> {
+    cache: HashMap<K, V>,
+    cache_hits: usize,
+    batches: usize,
+    wall_time: Duration,
+}
+
+/// The memoisation + batching core shared by [`PlanEvaluator`] and the
+/// baselines' placement scorer: a mutex-guarded result cache with
+/// hit/batch/wall-time accounting and a deduplicated, thread-parallel batch
+/// path. The compute function is supplied per call, so one cache can serve
+/// any pure scoring function over its key type.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    state: Mutex<MemoState<K, V>>,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(MemoState {
+                cache: HashMap::new(),
+                cache_hits: 0,
+                batches: 0,
+                wall_time: Duration::ZERO,
+            }),
+        }
+    }
+}
+
+impl<K, V> MemoCache<K, V>
+where
+    K: std::hash::Hash + Eq + Clone,
+    V: Copy,
+{
+    /// Look up one key, computing and caching its value on a miss.
+    pub fn get_or_compute(&self, key: &K, compute: impl FnOnce(&K) -> V) -> V {
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(&value) = state.cache.get(key) {
+                state.cache_hits += 1;
+                return value;
+            }
+        }
+        let start = Instant::now();
+        let value = compute(key);
+        let elapsed = start.elapsed();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.wall_time += elapsed;
+        state.cache.insert(key.clone(), value);
+        value
+    }
+
+    /// Look up a batch of keys, returning values in input order. Cached and
+    /// in-batch duplicate keys are computed once; the remaining unique keys
+    /// fan out across up to `threads` scoped workers.
+    pub fn get_or_compute_batch<F>(&self, keys: &[K], threads: usize, compute: F) -> Vec<V>
+    where
+        K: Sync,
+        V: Send,
+        F: Fn(&K) -> V + Sync,
+    {
+        let start = Instant::now();
+        // Which cache/batch slot serves each input position.
+        enum Slot<V> {
+            Hit(V),
+            Pending(usize),
+        }
+        let mut uncached: Vec<&K> = Vec::new();
+        let mut pending_of: HashMap<&K, usize> = HashMap::new();
+        let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            for key in keys {
+                if let Some(&value) = state.cache.get(key) {
+                    state.cache_hits += 1;
+                    slots.push(Slot::Hit(value));
+                } else if let Some(&k) = pending_of.get(key) {
+                    state.cache_hits += 1;
+                    slots.push(Slot::Pending(k));
+                } else {
+                    let k = uncached.len();
+                    uncached.push(key);
+                    pending_of.insert(key, k);
+                    slots.push(Slot::Pending(k));
+                }
+            }
+        }
+        let computed = parallel_map(&uncached, threads, |key| compute(key));
+        let elapsed = start.elapsed();
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (&key, &value) in uncached.iter().zip(&computed) {
+                state.cache.insert(key.clone(), value);
+            }
+            state.batches += 1;
+            state.wall_time += elapsed;
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Hit(value) => value,
+                Slot::Pending(k) => computed[k],
+            })
+            .collect()
+    }
+
+    /// Distinct keys computed so far (the cache size).
+    pub fn unique(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache
+            .len()
+    }
+
+    /// Requests answered from the cache so far.
+    pub fn cache_hits(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache_hits
+    }
+
+    /// Snapshot of the accounting as [`EvalStats`], stamped with the worker
+    /// count the owner fans batches out across.
+    pub fn stats(&self, threads: usize) -> EvalStats {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        EvalStats {
+            unique_evaluations: state.cache.len(),
+            cache_hits: state.cache_hits,
+            batches: state.batches,
+            wall_time_ms: state.wall_time.as_secs_f64() * 1_000.0,
+            threads,
+        }
+    }
+}
+
+/// Cached, batched, thread-parallel front end to a [`QualityModel`].
+///
+/// The evaluator is `Sync`: it can be shared by reference across the search,
+/// the RL trainer and bench code, accumulating one cache and one set of
+/// statistics. See the [module docs](self) for an end-to-end example.
+#[derive(Debug)]
+pub struct PlanEvaluator<'a> {
+    quality: &'a QualityModel,
+    threads: usize,
+    cache: MemoCache<MigrationPlan, PlanQuality>,
+}
+
+impl<'a> PlanEvaluator<'a> {
+    /// Wrap a quality model with one worker per available core.
+    pub fn new(quality: &'a QualityModel) -> Self {
+        Self {
+            quality,
+            threads: effective_threads(0),
+            cache: MemoCache::default(),
+        }
+    }
+
+    /// Set the worker-thread count (builder style); `0` restores the
+    /// one-per-core default. Thread count never changes scores, only speed.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = effective_threads(threads);
+        self
+    }
+
+    /// The worker-thread count batches fan out across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The wrapped quality model.
+    pub fn quality(&self) -> &'a QualityModel {
+        self.quality
+    }
+
+    /// Evaluate one plan, serving duplicates from the cache.
+    pub fn evaluate(&self, plan: &MigrationPlan) -> PlanQuality {
+        self.cache
+            .get_or_compute(plan, |p| self.quality.evaluate(p))
+    }
+
+    /// Evaluate a batch of plans, returning qualities in input order.
+    ///
+    /// Plans already cached (or repeated within the batch) are scored once;
+    /// the remaining unique plans are fanned out across the evaluator's
+    /// worker threads. The result is bit-identical to calling
+    /// [`QualityModel::evaluate`] on each plan directly.
+    pub fn evaluate_batch(&self, plans: &[MigrationPlan]) -> Vec<PlanQuality> {
+        self.cache
+            .get_or_compute_batch(plans, self.threads, |p| self.quality.evaluate(p))
+    }
+
+    /// Distinct plans scored so far (the cache size). This is what the
+    /// recommender's `max_visited` budget counts — cache hits are free.
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.unique()
+    }
+
+    /// Requests answered from the cache so far.
+    pub fn cache_hits(&self) -> usize {
+        self.cache.cache_hits()
+    }
+
+    /// Snapshot of the evaluation statistics.
+    pub fn stats(&self) -> EvalStats {
+        self.cache.stats(self.threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintLearner;
+    use crate::preferences::MigrationPreferences;
+    use crate::profile::ApplicationProfile;
+    use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+    use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
+    use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
+    use atlas_telemetry::TelemetryStore;
+
+    fn build_quality() -> QualityModel {
+        let app = social_network(SocialNetworkOptions::default());
+        let n = app.component_count();
+        let current = Placement::all_onprem(n);
+        let sim = Simulator::new(
+            app.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 6,
+            },
+        );
+        let schedule =
+            WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(6))
+                .generate(&app)
+                .unwrap();
+        let store = TelemetryStore::new();
+        sim.run(&schedule, &store);
+        let component_index: Vec<String> =
+            app.components().iter().map(|c| c.name.clone()).collect();
+        let stateful: Vec<String> = app
+            .stateful_components()
+            .into_iter()
+            .map(|c| app.component_name(c).to_string())
+            .collect();
+        let profile = ApplicationProfile::learn(&store, &stateful, 20);
+        let footprint = FootprintLearner::default().learn(&store);
+        let injector = crate::delay::DelayInjector::new(
+            ClusterSpec::default().network,
+            component_index.clone(),
+        );
+        let demand = ScalingEstimator::with_scale(5.0).estimate(&store, &component_index, 6, 600);
+        QualityModel::new(
+            profile,
+            footprint,
+            injector,
+            CostModel::new(PricingModel::default()),
+            demand,
+            MigrationPreferences::with_cpu_limit(12.0),
+            current,
+            component_index,
+        )
+    }
+
+    /// `count` pairwise-distinct plans: plan `k` encodes `k` in binary.
+    fn plans(n: usize, count: usize) -> Vec<MigrationPlan> {
+        assert!(count < (1 << n));
+        (0..count)
+            .map(|k| {
+                MigrationPlan::from_bits(&(0..n).map(|i| ((k >> i) & 1) as u8).collect::<Vec<u8>>())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quality_model_and_evaluator_are_send_and_sync() {
+        fn require<T: Send + Sync>() {}
+        require::<QualityModel>();
+        require::<PlanEvaluator<'_>>();
+        require::<EvalStats>();
+    }
+
+    #[test]
+    fn cache_serves_duplicates_once() {
+        let quality = build_quality();
+        let evaluator = PlanEvaluator::new(&quality);
+        let n = quality.component_count();
+        let plan = MigrationPlan::all_onprem(n);
+        let first = evaluator.evaluate(&plan);
+        let second = evaluator.evaluate(&plan);
+        assert_eq!(first, second);
+        assert_eq!(evaluator.unique_evaluations(), 1);
+        assert_eq!(evaluator.cache_hits(), 1);
+    }
+
+    #[test]
+    fn batches_dedupe_within_and_across_calls() {
+        let quality = build_quality();
+        let evaluator = PlanEvaluator::new(&quality);
+        let n = quality.component_count();
+        let mut batch = plans(n, 5);
+        batch.push(batch[0].clone()); // in-batch duplicate
+        let qualities = evaluator.evaluate_batch(&batch);
+        assert_eq!(qualities.len(), 6);
+        assert_eq!(qualities[0], qualities[5]);
+        assert_eq!(evaluator.unique_evaluations(), 5);
+        assert_eq!(evaluator.cache_hits(), 1);
+        // Re-submitting the same batch is all hits.
+        let again = evaluator.evaluate_batch(&batch);
+        assert_eq!(again, qualities);
+        assert_eq!(evaluator.unique_evaluations(), 5);
+        assert_eq!(evaluator.cache_hits(), 7);
+        let stats = evaluator.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.requests(), 12);
+        assert!(stats.cache_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_scores() {
+        let quality = build_quality();
+        let n = quality.component_count();
+        let batch = plans(n, 9);
+        let direct: Vec<PlanQuality> = batch.iter().map(|p| quality.evaluate(p)).collect();
+        for threads in [1, 2, 8] {
+            let evaluator = PlanEvaluator::new(&quality).with_threads(threads);
+            let scored = evaluator.evaluate_batch(&batch);
+            for (a, b) in direct.iter().zip(&scored) {
+                assert_eq!(a.performance.to_bits(), b.performance.to_bits());
+                assert_eq!(a.availability.to_bits(), b.availability.to_bits());
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                assert_eq!(a.feasible, b.feasible);
+            }
+            assert_eq!(evaluator.threads(), effective_threads(threads));
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 3, 7, 0] {
+            let doubled = parallel_map(&items, threads, |&x| x * 2);
+            assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn stats_track_wall_time_and_threads() {
+        let quality = build_quality();
+        let evaluator = PlanEvaluator::new(&quality).with_threads(2);
+        evaluator.evaluate_batch(&plans(quality.component_count(), 4));
+        let stats = evaluator.stats();
+        assert_eq!(stats.unique_evaluations, 4);
+        assert_eq!(stats.threads, 2);
+        assert!(stats.wall_time_ms > 0.0);
+        assert!(stats.evaluations_per_sec() > 0.0);
+    }
+}

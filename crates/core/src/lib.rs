@@ -14,11 +14,13 @@
 //!    network footprint of every API (Eq. 1).
 //! 2. **Migration recommendation** — [`quality`] models the three quality
 //!    indicators of a candidate plan ([`delay`] performs the delay-injection
-//!    latency estimate of §4.1.1), [`plan`]/[`preferences`] describe plans
-//!    and constraints (Eq. 4), [`rl_crossover`] trains the reward-driven
-//!    crossover agent (Eq. 5) and [`recommender`] runs the DRL-based genetic
-//!    algorithm; [`hierarchy`] organises the Pareto-optimal plans into a
-//!    dendrogram for selection (§4.2.2).
+//!    latency estimate of §4.1.1), [`eval`] wraps the quality model in a
+//!    cached, batched, thread-parallel evaluation layer shared by every
+//!    search path, [`plan`]/[`preferences`] describe plans and constraints
+//!    (Eq. 4), [`rl_crossover`] trains the reward-driven crossover agent
+//!    (Eq. 5) and [`recommender`] runs the DRL-based genetic algorithm;
+//!    [`hierarchy`] organises the Pareto-optimal plans into a dendrogram for
+//!    selection (§4.2.2).
 //! 3. **Post-migration monitoring** — [`monitor`] detects latency-
 //!    distribution drift with KL divergence (§4.3); [`security`] reuses the
 //!    footprints to flag data-exfiltration anomalies (§6).
@@ -29,6 +31,7 @@
 
 pub mod advisor;
 pub mod delay;
+pub mod eval;
 pub mod footprint;
 pub mod hierarchy;
 pub mod monitor;
@@ -42,6 +45,7 @@ pub mod security;
 
 pub use advisor::{Atlas, AtlasConfig};
 pub use delay::DelayInjector;
+pub use eval::{EvalStats, PlanEvaluator};
 pub use footprint::{FootprintLearner, NetworkFootprint};
 pub use hierarchy::{Dendrogram, DendrogramNode};
 pub use monitor::{kl_divergence, DriftDetector, DriftReport};

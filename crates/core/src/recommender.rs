@@ -15,9 +15,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use atlas_ga::nsga2::{rank_and_crowding, select_survivors};
+use atlas_ga::nsga2::survive;
 use atlas_ga::{binary_tournament, bit_flip_mutation, pareto_front_indices, uniform_crossover};
 
+use crate::eval::{EvalStats, PlanEvaluator};
 use crate::plan::MigrationPlan;
 use crate::quality::{PlanQuality, QualityModel};
 use crate::rl_crossover::{CrossoverAgent, RlCrossoverConfig};
@@ -36,8 +37,10 @@ pub enum CrossoverStrategy {
 pub struct RecommenderConfig {
     /// Population size (the paper uses 100).
     pub population: usize,
-    /// Total number of candidate plans visited, including the initial
-    /// population and the RL training rollouts (the paper caps at 10,000).
+    /// Search budget: *unique* candidate plans evaluated, including the
+    /// initial population and the RL training rollouts (the paper caps all
+    /// multi-plan approaches at 10,000). Duplicate plans are served from the
+    /// shared evaluation cache and do not burn budget.
     pub max_visited: usize,
     /// Mutation rate applied to offspring (keeps diversity).
     pub mutation_rate: f64,
@@ -48,6 +51,9 @@ pub struct RecommenderConfig {
     pub rl: RlCrossoverConfig,
     /// Random seed.
     pub seed: u64,
+    /// Worker threads of the plan evaluator (`0` = one per available core).
+    /// The thread count never changes the recommendation, only its speed.
+    pub threads: usize,
 }
 
 impl Default for RecommenderConfig {
@@ -59,6 +65,7 @@ impl Default for RecommenderConfig {
             strategy: CrossoverStrategy::ReinforcementLearning,
             rl: RlCrossoverConfig::default(),
             seed: 23,
+            threads: 0,
         }
     }
 }
@@ -77,6 +84,7 @@ impl RecommenderConfig {
                 ..RlCrossoverConfig::default()
             },
             seed: 23,
+            threads: 0,
         }
     }
 
@@ -89,6 +97,13 @@ impl RecommenderConfig {
     /// Replace the seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replace the evaluator thread count (builder style; `0` = one per
+    /// available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -107,11 +122,16 @@ pub struct RecommendedPlan {
 pub struct RecommendationReport {
     /// The Pareto-optimal plans found, sorted by predicted performance.
     pub plans: Vec<RecommendedPlan>,
-    /// Number of candidate plans visited (quality evaluations).
+    /// Number of *unique* candidate plans evaluated — what the
+    /// [`RecommenderConfig::max_visited`] budget counts. Duplicates served
+    /// from the evaluation cache appear in [`Self::eval`] as cache hits.
     pub visited: usize,
     /// Reward progression of the crossover agent (empty for uniform
     /// crossover) — the curve of paper Figure 21b.
     pub reward_progression: Vec<f64>,
+    /// Evaluation statistics of the shared plan evaluator: unique
+    /// evaluations, cache hits, scoring wall time and thread count.
+    pub eval: EvalStats,
 }
 
 impl RecommendationReport {
@@ -158,10 +178,33 @@ impl<'a> Recommender<'a> {
     }
 
     /// Run the search and return the Pareto-optimal recommendations.
+    ///
+    /// All scoring goes through a fresh [`PlanEvaluator`] with
+    /// [`RecommenderConfig::threads`] workers; use [`Self::recommend_with`]
+    /// to share a warm evaluator across runs.
     pub fn recommend(&self) -> RecommendationReport {
+        let evaluator = PlanEvaluator::new(self.quality).with_threads(self.config.threads);
+        self.recommend_with(&evaluator)
+    }
+
+    /// Run the search on a caller-supplied evaluator, sharing its memo cache
+    /// (and accumulating into its statistics). The budget counts unique
+    /// evaluations performed *by this run*: plans already cached by previous
+    /// runs are free.
+    pub fn recommend_with(&self, evaluator: &PlanEvaluator<'_>) -> RecommendationReport {
         let n = self.quality.component_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut visited = 0usize;
+        let already_cached = evaluator.unique_evaluations();
+        let visited = |evaluator: &PlanEvaluator<'_>| {
+            evaluator
+                .unique_evaluations()
+                .saturating_sub(already_cached)
+        };
+        // The budget counts unique evaluations, so a converged population
+        // producing mostly cached offspring could spin for a long time; cap
+        // the total number of evaluation *requests* as a safety valve.
+        let mut requested = 0usize;
+        let request_cap = self.config.max_visited.saturating_mul(8).max(64);
 
         // ① Population initialisation: random plans that respect the pins
         // (cheap to enforce up-front) with varying cloud fractions.
@@ -175,46 +218,48 @@ impl<'a> Recommender<'a> {
             self.apply_pins(&mut plan);
             population.push(plan);
         }
-        let mut qualities: Vec<PlanQuality> = population
-            .iter()
-            .map(|p| self.quality.evaluate(p))
-            .collect();
-        visited += population.len();
+        let mut qualities: Vec<PlanQuality> = evaluator.evaluate_batch(&population);
+        requested += population.len();
 
         // Train the RL crossover agent on the initial population (the paper
         // trains Λ_θ during the application-learning phase). Each training
-        // rollout evaluates one child plan and counts against the budget.
+        // rollout evaluates one child plan; unique ones count against the
+        // budget.
         let mut agent = None;
         let mut reward_progression = Vec::new();
         if self.config.strategy == CrossoverStrategy::ReinforcementLearning {
             let mut rl_config = self.config.rl.clone();
             // Keep training within half of the remaining budget.
-            let budget = (self.config.max_visited.saturating_sub(visited)) / 2;
+            let budget = (self.config.max_visited.saturating_sub(visited(evaluator))) / 2;
             rl_config.iterations = rl_config.iterations.min(budget.max(1));
             let mut a = CrossoverAgent::new(n, rl_config);
-            reward_progression = a.train(self.quality, &population);
-            visited += reward_progression.len();
+            reward_progression = a.train(evaluator, &population);
+            requested += reward_progression.len() + population.len();
             agent = Some(a);
         }
 
-        // ②–⑤ Generations: evaluate, survive, pair, cross over.
-        while visited < self.config.max_visited {
+        // ②–⑤ Generations: evaluate, survive, pair, cross over. One fused
+        // non-dominated sort per generation yields both the survivors and
+        // the rank/crowding driving the tournaments.
+        while visited(evaluator) < self.config.max_visited && requested < request_cap {
             let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
             let objectives: Vec<Vec<f64>> = qualities.iter().map(|q| q.objectives()).collect();
-            let survivors = select_survivors(&objectives, &feasible, self.config.population);
-            population = survivors.iter().map(|&i| population[i].clone()).collect();
-            qualities = survivors.iter().map(|&i| qualities[i]).collect();
+            let survival = survive(&objectives, &feasible, self.config.population);
+            population = survival
+                .selected
+                .iter()
+                .map(|&i| population[i].clone())
+                .collect();
+            qualities = survival.selected.iter().map(|&i| qualities[i]).collect();
+            let (rank, crowding) = (survival.rank, survival.crowding);
 
-            let (rank, crowding) = {
-                let objectives: Vec<Vec<f64>> = qualities.iter().map(|q| q.objectives()).collect();
-                let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
-                rank_and_crowding(&objectives, &feasible)
-            };
-
+            // saturating: a concurrently shared evaluator can grow between
+            // the loop guard and this read.
             let offspring_target = self
                 .config
                 .population
-                .min(self.config.max_visited - visited);
+                .min(self.config.max_visited.saturating_sub(visited(evaluator)))
+                .max(1);
             let mut offspring = Vec::with_capacity(offspring_target);
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
@@ -238,9 +283,8 @@ impl<'a> Recommender<'a> {
                 self.apply_pins(&mut child);
                 offspring.push(child);
             }
-            let offspring_quality: Vec<PlanQuality> =
-                offspring.iter().map(|p| self.quality.evaluate(p)).collect();
-            visited += offspring.len();
+            let offspring_quality: Vec<PlanQuality> = evaluator.evaluate_batch(&offspring);
+            requested += offspring.len();
             population.extend(offspring);
             qualities.extend(offspring_quality);
         }
@@ -278,8 +322,9 @@ impl<'a> Recommender<'a> {
 
         RecommendationReport {
             plans,
-            visited,
+            visited: visited(evaluator),
             reward_progression,
+            eval: evaluator.stats(),
         }
     }
 
@@ -403,6 +448,38 @@ mod tests {
             assert!(cost.quality.cost <= p.quality.cost + 1e-12);
             assert!(avail.quality.availability <= p.quality.availability + 1e-12);
         }
+    }
+
+    #[test]
+    fn budget_counts_unique_evaluations_and_reports_cache_hits() {
+        let quality = build_quality(burst_preferences(12.0));
+        let report = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        assert!(report.visited <= RecommenderConfig::fast().max_visited);
+        assert_eq!(report.visited, report.eval.unique_evaluations);
+        // The RL trainer re-scores the just-evaluated initial population, so
+        // cache hits are guaranteed and do not burn budget.
+        assert!(report.eval.cache_hits >= RecommenderConfig::fast().population);
+        assert!(report.eval.cache_hit_rate() > 0.0);
+        assert!(report.eval.wall_time_ms > 0.0);
+        assert!(report.eval.threads >= 1);
+    }
+
+    #[test]
+    fn warm_evaluators_are_shared_across_runs() {
+        let quality = build_quality(burst_preferences(12.0));
+        let config = RecommenderConfig::fast();
+        let recommender = Recommender::new(&quality, config.clone());
+        let evaluator = crate::eval::PlanEvaluator::new(&quality);
+        let cold = recommender.recommend_with(&evaluator);
+        let warm = recommender.recommend_with(&evaluator);
+        // The second run replays the first from the shared cache (its whole
+        // trajectory is hits), then spends its own budget searching deeper.
+        assert!(warm.eval.cache_hits > cold.eval.cache_hits);
+        assert!(warm.visited <= config.max_visited);
+        assert!(!warm.plans.is_empty());
+        // Budgets are relative to each run: together the two runs evaluated
+        // at most 2 × max_visited unique plans.
+        assert!(evaluator.unique_evaluations() <= 2 * config.max_visited);
     }
 
     #[test]

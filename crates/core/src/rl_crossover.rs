@@ -15,8 +15,9 @@ use rand::{Rng, SeedableRng};
 
 use atlas_nn::{ActorCritic, ActorCriticConfig};
 
+use crate::eval::PlanEvaluator;
 use crate::plan::MigrationPlan;
-use crate::quality::{PlanQuality, QualityModel};
+use crate::quality::PlanQuality;
 
 /// Hyperparameters of the crossover agent and its training loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,12 +99,14 @@ impl CrossoverAgent {
         }
     }
 
-    /// Train the agent on random parent pairs drawn from `dataset` using the
-    /// quality model to compute rewards. Returns the per-iteration rewards
-    /// (the reward-progression curve of paper Figure 21b).
-    pub fn train(&mut self, quality: &QualityModel, dataset: &[MigrationPlan]) -> Vec<f64> {
+    /// Train the agent on random parent pairs drawn from `dataset`, scoring
+    /// rewards through the shared plan evaluator (the parents are usually
+    /// already cached by the surrounding search, and duplicate rollout
+    /// children are scored once). Returns the per-iteration rewards (the
+    /// reward-progression curve of paper Figure 21b).
+    pub fn train(&mut self, evaluator: &PlanEvaluator<'_>, dataset: &[MigrationPlan]) -> Vec<f64> {
         assert!(dataset.len() >= 2, "training needs at least two plans");
-        let qualities: Vec<PlanQuality> = dataset.iter().map(|p| quality.evaluate(p)).collect();
+        let qualities: Vec<PlanQuality> = evaluator.evaluate_batch(dataset);
         let mut rewards = Vec::with_capacity(self.config.iterations);
         for _ in 0..self.config.iterations {
             let i = self.rng.gen_range(0..dataset.len());
@@ -114,7 +117,7 @@ impl CrossoverAgent {
             let state = Self::state_of(&dataset[i], &dataset[j]);
             let action = self.agent.sample(&state);
             let child = Self::plan_of(&action);
-            let child_quality = quality.evaluate(&child);
+            let child_quality = evaluator.evaluate(&child);
             let reward = self.reward(&child_quality, &qualities[i], &qualities[j]);
             self.agent.update(&state, &action, reward);
             rewards.push(reward);

@@ -136,28 +136,76 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
 /// NSGA-II survival: keep the `capacity` best members (by front rank, ties
 /// broken by crowding distance). Returns the selected indices.
 pub fn select_survivors(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> Vec<usize> {
+    survive(objectives, feasible, capacity).selected
+}
+
+/// Outcome of one fused survival round: the surviving indices plus the rank
+/// and crowding distance of each survivor *within the surviving population*,
+/// ready to drive the next round of binary tournaments.
+#[derive(Debug, Clone)]
+pub struct Survival {
+    /// Indices of the survivors into the input population, best fronts
+    /// first (a truncated front is ordered by descending crowding).
+    pub selected: Vec<usize>,
+    /// `rank[k]` is the front index of `selected[k]` among the survivors.
+    pub rank: Vec<usize>,
+    /// `crowding[k]` is the crowding distance of `selected[k]` within its
+    /// surviving front.
+    pub crowding: Vec<f64>,
+}
+
+/// Batch-friendly survival hook: one non-dominated sort yields both the
+/// survivors and their rank/crowding, where callers previously paid for
+/// [`select_survivors`] followed by [`rank_and_crowding`] on the survivor
+/// subset (two sorts per generation). The results are identical: front
+/// membership is preserved under survival truncation because every member of
+/// front `r+1` is dominated by some member of the fully-kept front `r`, and
+/// crowding of a truncated front is recomputed over the kept members only.
+pub fn survive(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> Survival {
     let fronts = fast_non_dominated_sort(objectives, feasible);
     let mut selected = Vec::with_capacity(capacity.min(objectives.len()));
-    for front in fronts {
+    let mut rank = Vec::with_capacity(selected.capacity());
+    let mut crowding = Vec::with_capacity(selected.capacity());
+    for (r, front) in fronts.iter().enumerate() {
         if selected.len() >= capacity {
             break;
         }
         if selected.len() + front.len() <= capacity {
-            selected.extend_from_slice(&front);
+            let distances = crowding_distance(objectives, front);
+            for (k, &i) in front.iter().enumerate() {
+                selected.push(i);
+                rank.push(r);
+                crowding.push(distances[k]);
+            }
         } else {
-            let crowding = crowding_distance(objectives, &front);
+            // Truncation choice uses crowding over the *full* front (as
+            // select_survivors always has); the reported crowding is then
+            // recomputed over the kept members only.
+            let distances = crowding_distance(objectives, front);
             let mut order: Vec<usize> = (0..front.len()).collect();
             order.sort_by(|&a, &b| {
-                crowding[b]
-                    .partial_cmp(&crowding[a])
+                distances[b]
+                    .partial_cmp(&distances[a])
                     .expect("crowding distances are comparable")
             });
-            for &o in order.iter().take(capacity - selected.len()) {
-                selected.push(front[o]);
+            let kept: Vec<usize> = order
+                .iter()
+                .take(capacity - selected.len())
+                .map(|&o| front[o])
+                .collect();
+            let kept_distances = crowding_distance(objectives, &kept);
+            for (k, &i) in kept.iter().enumerate() {
+                selected.push(i);
+                rank.push(r);
+                crowding.push(kept_distances[k]);
             }
         }
     }
-    selected
+    Survival {
+        selected,
+        rank,
+        crowding,
+    }
 }
 
 /// Rank (front index) and crowding distance of every member, used by the
@@ -330,5 +378,37 @@ mod tests {
     fn empty_population_is_handled() {
         assert!(fast_non_dominated_sort(&[], &[]).is_empty());
         assert!(select_survivors(&[], &[], 5).is_empty());
+        let survival = survive(&[], &[], 5);
+        assert!(survival.selected.is_empty());
+        assert!(survival.rank.is_empty());
+        assert!(survival.crowding.is_empty());
+    }
+
+    /// The fused hook must reproduce the two-pass path exactly:
+    /// `select_survivors` followed by `rank_and_crowding` on the survivors.
+    #[test]
+    fn survive_matches_the_two_pass_selection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for capacity in [1usize, 3, 7, 12, 20] {
+            let n = 16;
+            let objectives: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..3).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let feasible: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+            let survival = survive(&objectives, &feasible, capacity);
+            let selected = select_survivors(&objectives, &feasible, capacity);
+            assert_eq!(survival.selected, selected);
+            let subset_objs: Vec<Vec<f64>> =
+                selected.iter().map(|&i| objectives[i].clone()).collect();
+            let subset_feas: Vec<bool> = selected.iter().map(|&i| feasible[i]).collect();
+            let (rank, crowding) = rank_and_crowding(&subset_objs, &subset_feas);
+            assert_eq!(survival.rank, rank, "capacity {capacity}");
+            for (a, b) in survival.crowding.iter().zip(&crowding) {
+                assert!(
+                    (a == b) || (a.is_infinite() && b.is_infinite()),
+                    "capacity {capacity}: {a} vs {b}"
+                );
+            }
+        }
     }
 }

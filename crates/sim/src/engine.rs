@@ -120,18 +120,63 @@ impl RequestOutcome {
     }
 }
 
+/// Per-API latency summary, built once when the report is constructed so
+/// that repeated latency queries don't rescan (and re-sort) the outcome
+/// list.
+#[derive(Debug, Clone, Default)]
+struct ApiLatencySummary {
+    /// Successful latencies, ascending (empty if every request failed).
+    sorted_ms: Vec<f64>,
+    /// Sum of the successful latencies.
+    sum_ms: f64,
+}
+
 /// Summary of a simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
-    /// One outcome per scheduled request, in arrival order.
+    /// One outcome per scheduled request, in arrival order. Treat as
+    /// read-only: the per-API latency index serving the query methods is
+    /// built once at construction.
     pub outcomes: Vec<RequestOutcome>,
     /// On-prem CPU utilization per metric window.
     pub onprem_utilization: Vec<f64>,
     /// Cloud CPU demand (cores) per metric window.
     pub cloud_demand_cores: Vec<f64>,
+    /// Per-API latency index (one entry per API seen, even if all of its
+    /// requests failed).
+    api_index: HashMap<String, ApiLatencySummary>,
 }
 
 impl SimReport {
+    /// Assemble a report, building the per-API latency index that
+    /// [`Self::api_mean_latency_ms`], [`Self::api_latency_percentile_ms`]
+    /// and [`Self::apis`] answer from.
+    pub fn new(
+        outcomes: Vec<RequestOutcome>,
+        onprem_utilization: Vec<f64>,
+        cloud_demand_cores: Vec<f64>,
+    ) -> Self {
+        let mut api_index: HashMap<String, ApiLatencySummary> = HashMap::new();
+        for outcome in &outcomes {
+            let entry = api_index.entry(outcome.api.clone()).or_default();
+            if let Some(latency) = outcome.latency_ms {
+                entry.sorted_ms.push(latency);
+                entry.sum_ms += latency;
+            }
+        }
+        for summary in api_index.values_mut() {
+            summary
+                .sorted_ms
+                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        }
+        Self {
+            outcomes,
+            onprem_utilization,
+            cloud_demand_cores,
+            api_index,
+        }
+    }
+
     /// Number of failed requests.
     pub fn failed_count(&self) -> usize {
         self.outcomes.iter().filter(|o| o.failed()).count()
@@ -145,40 +190,28 @@ impl SimReport {
     /// Mean end-to-end latency of an API in milliseconds (successful
     /// requests only); `None` if the API saw no successful request.
     pub fn api_mean_latency_ms(&self, api: &str) -> Option<f64> {
-        let lat: Vec<f64> = self
-            .outcomes
-            .iter()
-            .filter(|o| o.api == api)
-            .filter_map(|o| o.latency_ms)
-            .collect();
-        if lat.is_empty() {
+        let summary = self.api_index.get(api)?;
+        if summary.sorted_ms.is_empty() {
             None
         } else {
-            Some(lat.iter().sum::<f64>() / lat.len() as f64)
+            Some(summary.sum_ms / summary.sorted_ms.len() as f64)
         }
     }
 
     /// Latency percentile (0.0–1.0) for an API in milliseconds.
     pub fn api_latency_percentile_ms(&self, api: &str, q: f64) -> Option<f64> {
-        let mut lat: Vec<f64> = self
-            .outcomes
-            .iter()
-            .filter(|o| o.api == api)
-            .filter_map(|o| o.latency_ms)
-            .collect();
-        if lat.is_empty() {
+        let summary = self.api_index.get(api)?;
+        if summary.sorted_ms.is_empty() {
             return None;
         }
-        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let idx = ((lat.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(lat[idx])
+        let idx = ((summary.sorted_ms.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(summary.sorted_ms[idx])
     }
 
     /// All distinct APIs that appear in the outcomes.
     pub fn apis(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.outcomes.iter().map(|o| o.api.clone()).collect();
+        let mut v: Vec<String> = self.api_index.keys().cloned().collect();
         v.sort();
-        v.dedup();
         v
     }
 
@@ -410,11 +443,7 @@ impl Simulator {
             }
         }
 
-        SimReport {
-            outcomes,
-            onprem_utilization,
-            cloud_demand_cores,
-        }
+        SimReport::new(outcomes, onprem_utilization, cloud_demand_cores)
     }
 
     /// Execute a single request at time zero with no overload, returning its
@@ -722,6 +751,51 @@ mod tests {
                 > 0.0
         );
         assert_eq!(report.apis(), vec!["/composeAPI"]);
+    }
+
+    /// The index built at construction must answer exactly what a full
+    /// rescan of the outcome list would, including all-failed APIs.
+    #[test]
+    fn latency_index_matches_a_full_outcome_rescan() {
+        let outcomes = vec![
+            RequestOutcome {
+                api: "/a".to_string(),
+                at_us: 0,
+                latency_ms: Some(30.0),
+            },
+            RequestOutcome {
+                api: "/b".to_string(),
+                at_us: 10,
+                latency_ms: Some(5.0),
+            },
+            RequestOutcome {
+                api: "/a".to_string(),
+                at_us: 20,
+                latency_ms: Some(10.0),
+            },
+            RequestOutcome {
+                api: "/a".to_string(),
+                at_us: 30,
+                latency_ms: None, // failed request: excluded from latencies
+            },
+            RequestOutcome {
+                api: "/dead".to_string(),
+                at_us: 40,
+                latency_ms: None, // an API whose every request failed
+            },
+        ];
+        let report = SimReport::new(outcomes, vec![0.5], vec![0.0]);
+        assert_eq!(report.api_mean_latency_ms("/a"), Some(20.0));
+        assert_eq!(report.api_mean_latency_ms("/b"), Some(5.0));
+        assert_eq!(report.api_mean_latency_ms("/dead"), None);
+        assert_eq!(report.api_mean_latency_ms("/missing"), None);
+        assert_eq!(report.api_latency_percentile_ms("/a", 0.0), Some(10.0));
+        assert_eq!(report.api_latency_percentile_ms("/a", 1.0), Some(30.0));
+        assert_eq!(report.api_latency_percentile_ms("/dead", 0.5), None);
+        // All-failed APIs still show up in the API listing.
+        assert_eq!(report.apis(), vec!["/a", "/b", "/dead"]);
+        assert_eq!(report.failed_count(), 2);
+        assert_eq!(report.success_count(), 3);
     }
 
     #[test]

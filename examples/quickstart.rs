@@ -71,4 +71,13 @@ fn main() {
             plan.quality.performance, plan.quality.availability, plan.quality.cost, moved
         );
     }
+    let stats = report.eval;
+    println!(
+        "evaluated {} unique plans ({} cache hits, {:.0}% hit rate) at {:.0} plans/s on {} thread(s)",
+        stats.unique_evaluations,
+        stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        stats.evaluations_per_sec(),
+        stats.threads,
+    );
 }

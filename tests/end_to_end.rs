@@ -3,7 +3,9 @@
 use atlas::apps::{
     hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
 };
-use atlas::core::{Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, RecommenderConfig};
+use atlas::core::{
+    Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, Recommender, RecommenderConfig,
+};
 use atlas::sim::{
     AppTopology, ClusterSpec, Location, OverloadModel, Placement, SimConfig, Simulator,
 };
@@ -97,6 +99,69 @@ fn hotel_reservation_end_to_end_recommendation() {
                 .location(app.component_id("ReserveMongoDB").unwrap()),
             Location::OnPrem
         );
+    }
+}
+
+/// Determinism regression: evaluation is pure and the parallel batch layer
+/// reassembles results in input order, so the number of evaluator threads
+/// must not change a recommendation in any way.
+#[test]
+fn recommendation_is_identical_across_evaluator_thread_counts() {
+    let app = social_network(SocialNetworkOptions::default());
+    let (atlas, current, _store) = learn(&app, WorkloadOptions::social_network_default(), 21);
+    let preferences = MigrationPreferences::with_cpu_limit(14.0)
+        .pin(app.component_id("UserMongoDB").unwrap(), Location::OnPrem);
+    let quality = atlas.quality_model(current, preferences);
+
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            Recommender::new(&quality, RecommenderConfig::fast().with_threads(threads)).recommend()
+        })
+        .collect();
+    let reference = &reports[0];
+    assert!(!reference.plans.is_empty());
+    for (report, threads) in reports.iter().zip([1usize, 2, 8]) {
+        // Identical plans with bit-identical qualities, in the same order.
+        assert_eq!(
+            report.plans.len(),
+            reference.plans.len(),
+            "{threads} threads"
+        );
+        for (a, b) in report.plans.iter().zip(&reference.plans) {
+            assert_eq!(a.plan, b.plan, "{threads} threads");
+            assert_eq!(
+                a.quality.performance.to_bits(),
+                b.quality.performance.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.availability.to_bits(),
+                b.quality.availability.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.cost.to_bits(),
+                b.quality.cost.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(a.quality.feasible, b.quality.feasible, "{threads} threads");
+        }
+        // Identical budget accounting and training trajectory.
+        assert_eq!(report.visited, reference.visited, "{threads} threads");
+        assert_eq!(
+            report.reward_progression, reference.reward_progression,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.eval.unique_evaluations, reference.eval.unique_evaluations,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.eval.cache_hits, reference.eval.cache_hits,
+            "{threads} threads"
+        );
+        assert_eq!(report.eval.threads, threads);
     }
 }
 

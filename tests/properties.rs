@@ -1,10 +1,27 @@
 //! Cross-crate property-based tests on the core invariants.
 
+use std::sync::OnceLock;
+
 use proptest::prelude::*;
 
-use atlas::core::{kl_divergence, MigrationPlan};
+use atlas::core::{kl_divergence, MigrationPlan, PlanEvaluator, QualityModel};
 use atlas::ga::{dominates, pareto_front_indices};
 use atlas::sim::{Location, NetworkModel, Placement};
+use atlas_bench::{Experiment, ExperimentOptions};
+
+/// One quality model (29 components, CPU limit + pinned user data, so random
+/// plans mix feasible and infeasible) shared by every property case.
+fn shared_quality() -> &'static QualityModel {
+    static QUALITY: OnceLock<QualityModel> = OnceLock::new();
+    QUALITY.get_or_init(|| {
+        Experiment::set_up(ExperimentOptions {
+            max_visited: 100,
+            population: 8,
+            ..ExperimentOptions::quick()
+        })
+        .quality
+    })
+}
 
 proptest! {
     /// A placement survives the bits → placement → bits round trip.
@@ -64,6 +81,40 @@ proptest! {
         let unchanged = network.delay_delta_us(
             Location::OnPrem, Location::Cloud, Location::Cloud, req, resp);
         prop_assert_eq!(unchanged, 0.0);
+    }
+
+    /// The cached, batched, thread-parallel evaluator returns bit-identical
+    /// qualities to a direct `QualityModel::evaluate` call for arbitrary
+    /// plans — including infeasible ones (the all-on-prem plan violates the
+    /// CPU limit, and random plans routinely violate the placement pins).
+    #[test]
+    fn cached_batched_evaluation_is_bit_identical_to_direct(
+        bits in prop::collection::vec(prop::collection::vec(0u8..=1, 29), 1..8),
+        threads in 1usize..5,
+    ) {
+        let quality = shared_quality();
+        let mut plans: Vec<MigrationPlan> =
+            bits.iter().map(|b| MigrationPlan::from_bits(b)).collect();
+        // Guaranteed-infeasible member: 29 on-prem components exceed the
+        // experiment's burst CPU limit.
+        plans.push(MigrationPlan::all_onprem(29));
+        // Duplicate everything so half the batch is served by the cache.
+        let mut batch = plans.clone();
+        batch.extend(plans.clone());
+
+        let evaluator = PlanEvaluator::new(quality).with_threads(threads);
+        let batched = evaluator.evaluate_batch(&batch);
+        prop_assert!(batched.iter().any(|q| !q.feasible));
+        for (plan, from_batch) in batch.iter().zip(&batched) {
+            let direct = quality.evaluate(plan);
+            prop_assert_eq!(direct.performance.to_bits(), from_batch.performance.to_bits());
+            prop_assert_eq!(direct.availability.to_bits(), from_batch.availability.to_bits());
+            prop_assert_eq!(direct.cost.to_bits(), from_batch.cost.to_bits());
+            prop_assert_eq!(direct.feasible, from_batch.feasible);
+            // The single-plan cached path agrees too.
+            let cached = evaluator.evaluate(plan);
+            prop_assert_eq!(cached, from_batch.clone());
+        }
     }
 
     /// KL divergence is non-negative and zero for identical sample sets.
