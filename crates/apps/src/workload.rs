@@ -53,6 +53,113 @@ impl DiurnalProfile {
     }
 }
 
+/// Higher-level shape modulating the diurnal base curve.
+///
+/// The paper's evaluation drives both applications with the same two-peak
+/// diurnal profile; the scenario generator (and any hand-built experiment)
+/// can layer additional structure on top of it to stress the advisor with
+/// traffic the seed applications never produce.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadShape {
+    /// The plain two-peak diurnal curve, identical every day.
+    Diurnal,
+    /// A flash crowd: on day `day`, the rate spikes to `magnitude`× the
+    /// diurnal level inside a narrow Gaussian window centred at day-fraction
+    /// `at` with width `width` (as a fraction of the day). The spike can
+    /// exceed the nominal peak rate — that is the point.
+    FlashCrowd {
+        /// Day (0-based) the crowd arrives on.
+        day: u32,
+        /// Centre of the spike as a fraction of the day in `[0, 1)`.
+        at: f64,
+        /// Width (standard deviation) of the spike as a day fraction.
+        width: f64,
+        /// Peak multiplier relative to the underlying diurnal level.
+        magnitude: f64,
+    },
+    /// Weekday/weekend alternation: days `5` and `6` of every 7-day cycle
+    /// run at `weekend_scale` of the weekday rate.
+    WeekdayWeekend {
+        /// Rate multiplier applied on weekend days (usually < 1).
+        weekend_scale: f64,
+    },
+    /// Batch-heavy nights: during the night window (the first and last tenth
+    /// of each day) the intensity never drops below `night_level`, modelling
+    /// analytics/backup batch jobs that fill the diurnal trough.
+    BatchNight {
+        /// Intensity floor during the night window (fraction of peak).
+        night_level: f64,
+    },
+}
+
+impl Default for WorkloadShape {
+    fn default() -> Self {
+        WorkloadShape::Diurnal
+    }
+}
+
+impl WorkloadShape {
+    /// Fraction of the day considered "night" by [`WorkloadShape::BatchNight`]
+    /// on each side of midnight.
+    const NIGHT_FRACTION: f64 = 0.1;
+
+    /// Relative intensity at `day_fraction` of day `day`, layered on top of
+    /// the diurnal `profile`. Values are ≥ 0 and may exceed 1.0 (flash
+    /// crowds overshoot the nominal peak).
+    pub fn intensity(&self, profile: &DiurnalProfile, day: u32, day_fraction: f64) -> f64 {
+        let base = profile.intensity(day_fraction);
+        match *self {
+            WorkloadShape::Diurnal => base,
+            WorkloadShape::FlashCrowd {
+                day: spike_day,
+                at,
+                width,
+                magnitude,
+            } => {
+                if day != spike_day {
+                    return base;
+                }
+                let f = day_fraction.rem_euclid(1.0);
+                // Plain (non-circular) distance: the crowd is a one-off
+                // event, so a spike near midnight must not alias a phantom
+                // bump onto the opposite end of the same day.
+                let d = (f - at).abs();
+                let w = width.max(1e-4);
+                let bump = (-d * d / (2.0 * w * w)).exp();
+                base * (1.0 + (magnitude - 1.0).max(0.0) * bump)
+            }
+            WorkloadShape::WeekdayWeekend { weekend_scale } => {
+                if day % 7 >= 5 {
+                    base * weekend_scale.max(0.0)
+                } else {
+                    base
+                }
+            }
+            WorkloadShape::BatchNight { night_level } => {
+                let f = day_fraction.rem_euclid(1.0);
+                if f < Self::NIGHT_FRACTION || f >= 1.0 - Self::NIGHT_FRACTION {
+                    base.max(night_level.clamp(0.0, 1.0))
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Absolute seconds (from schedule start) of features too narrow for a
+    /// coarse sampling grid to find — currently the flash crowd's centre.
+    /// Consumers estimating peak rates (e.g. analytic demand) should include
+    /// these in their sample sets.
+    pub fn critical_seconds(&self, day_seconds: u64) -> Vec<u64> {
+        match *self {
+            WorkloadShape::FlashCrowd { day, at, .. } => {
+                vec![day as u64 * day_seconds + (at.rem_euclid(1.0) * day_seconds as f64) as u64]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
 /// Options of a workload run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadOptions {
@@ -70,6 +177,9 @@ pub struct WorkloadOptions {
     pub day_jitter: f64,
     /// Diurnal shape.
     pub profile: DiurnalProfile,
+    /// Higher-level shape layered on the diurnal curve (flash crowds,
+    /// weekday/weekend alternation, batch-heavy nights).
+    pub shape: WorkloadShape,
     /// Seed controlling arrival sampling.
     pub seed: u64,
 }
@@ -95,6 +205,7 @@ impl WorkloadOptions {
             ],
             day_jitter: 0.1,
             profile: DiurnalProfile::default(),
+            shape: WorkloadShape::Diurnal,
             seed: 97,
         }
     }
@@ -115,6 +226,7 @@ impl WorkloadOptions {
             ],
             day_jitter: 0.1,
             profile: DiurnalProfile::default(),
+            shape: WorkloadShape::Diurnal,
             seed: 131,
         }
     }
@@ -135,6 +247,12 @@ impl WorkloadOptions {
     /// Replace the number of days (builder style).
     pub fn with_days(mut self, days: u32) -> Self {
         self.days = days;
+        self
+    }
+
+    /// Replace the workload shape (builder style).
+    pub fn with_shape(mut self, shape: WorkloadShape) -> Self {
+        self.shape = shape;
         self
     }
 }
@@ -201,7 +319,7 @@ impl WorkloadGenerator {
             for second in 0..day_s {
                 let fraction = second as f64 / day_s as f64;
                 let rate = opts.peak_rps
-                    * opts.profile.intensity(fraction)
+                    * opts.shape.intensity(&opts.profile, day, fraction)
                     * opts.burst_factor
                     * day_scale;
                 // Poisson-ish arrivals: the number of requests in this second
@@ -330,6 +448,123 @@ mod tests {
             WorkloadGenerator::new(empty).generate(&app()).unwrap_err(),
             WorkloadError::EmptyMix
         );
+    }
+
+    #[test]
+    fn flash_crowd_spikes_only_its_day() {
+        let base = WorkloadOptions::social_network_default()
+            .with_seed(5)
+            .with_days(2);
+        let crowd = base.clone().with_shape(WorkloadShape::FlashCrowd {
+            day: 1,
+            at: 0.3,
+            width: 0.02,
+            magnitude: 6.0,
+        });
+        let quiet = WorkloadGenerator::new(base).generate(&app()).unwrap();
+        let spiky = WorkloadGenerator::new(crowd).generate(&app()).unwrap();
+        let day_us = 300u64 * 1_000_000;
+        let in_day = |s: &atlas_sim::RequestSchedule, day: u64| {
+            s.requests()
+                .iter()
+                .filter(|r| r.at_us / day_us == day)
+                .count() as f64
+        };
+        // Day 0 is untouched; day 1 carries the crowd.
+        let d0_ratio = in_day(&spiky, 0) / in_day(&quiet, 0);
+        let d1_ratio = in_day(&spiky, 1) / in_day(&quiet, 1);
+        assert!(
+            (0.95..1.05).contains(&d0_ratio),
+            "day 0 unchanged ({d0_ratio})"
+        );
+        assert!(d1_ratio > 1.15, "the crowd must add volume ({d1_ratio})");
+        // The spike locally exceeds the nominal diurnal peak.
+        let window = |s: &atlas_sim::RequestSchedule, lo: f64, hi: f64| {
+            s.requests()
+                .iter()
+                .filter(|r| {
+                    let f = (r.at_us % day_us) as f64 / day_us as f64;
+                    r.at_us / day_us == 1 && f >= lo && f < hi
+                })
+                .count() as f64
+        };
+        assert!(window(&spiky, 0.28, 0.32) > 3.0 * window(&quiet, 0.28, 0.32));
+    }
+
+    #[test]
+    fn flash_crowd_near_midnight_has_no_phantom_opposite_bump() {
+        let profile = DiurnalProfile::default();
+        let shape = WorkloadShape::FlashCrowd {
+            day: 1,
+            at: 0.02,
+            width: 0.02,
+            magnitude: 6.0,
+        };
+        // At the spike itself the rate multiplies…
+        assert!(shape.intensity(&profile, 1, 0.02) > 4.0 * profile.intensity(0.02));
+        // …but the *other* end of the same day stays on the diurnal curve
+        // (the crowd is a one-off event, not a periodic signal).
+        let far_end = shape.intensity(&profile, 1, 0.98);
+        assert!((far_end - profile.intensity(0.98)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekends_carry_less_traffic() {
+        let opts = WorkloadOptions::social_network_default()
+            .with_seed(6)
+            .with_days(7)
+            .with_shape(WorkloadShape::WeekdayWeekend {
+                weekend_scale: 0.35,
+            });
+        let schedule = WorkloadGenerator::new(opts).generate(&app()).unwrap();
+        let day_us = 300u64 * 1_000_000;
+        let per_day: Vec<usize> = (0..7)
+            .map(|d| {
+                schedule
+                    .requests()
+                    .iter()
+                    .filter(|r| r.at_us / day_us == d)
+                    .count()
+            })
+            .collect();
+        let weekday_mean = per_day[..5].iter().sum::<usize>() as f64 / 5.0;
+        for weekend in &per_day[5..] {
+            assert!(
+                (*weekend as f64) < 0.6 * weekday_mean,
+                "weekend day ({weekend}) should be far below the weekday mean ({weekday_mean})"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_nights_fill_the_trough() {
+        let profile = DiurnalProfile::default();
+        let shape = WorkloadShape::BatchNight { night_level: 0.9 };
+        // Inside the night window the floor applies; at the peaks the
+        // diurnal curve wins; in the daytime trough nothing changes.
+        assert!(shape.intensity(&profile, 0, 0.05) >= 0.9);
+        assert!(shape.intensity(&profile, 0, 0.95) >= 0.9);
+        let day_trough = shape.intensity(&profile, 0, 0.2);
+        assert!((day_trough - profile.intensity(0.2)).abs() < 1e-12);
+        assert!(shape.intensity(&profile, 0, profile.first_peak) > 0.95);
+    }
+
+    #[test]
+    fn shaped_workloads_stay_deterministic() {
+        let opts = WorkloadOptions::social_network_default()
+            .with_seed(8)
+            .with_days(2)
+            .with_shape(WorkloadShape::FlashCrowd {
+                day: 0,
+                at: 0.6,
+                width: 0.03,
+                magnitude: 4.0,
+            });
+        let a = WorkloadGenerator::new(opts.clone())
+            .generate(&app())
+            .unwrap();
+        let b = WorkloadGenerator::new(opts).generate(&app()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

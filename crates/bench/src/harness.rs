@@ -1,7 +1,8 @@
 //! Shared experiment set-up: simulate, learn, compare.
 
 use atlas_apps::{
-    hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
+    hotel_reservation, social_network, synthesize, SocialNetworkOptions, SynthOptions,
+    WorkloadGenerator, WorkloadOptions,
 };
 use atlas_baselines::BaselineContext;
 use atlas_cloud::{CostModel, PricingModel, ResourceEstimator, ScalingEstimator};
@@ -16,12 +17,36 @@ use atlas_sim::{
 use atlas_telemetry::TelemetryStore;
 
 /// Which application an experiment runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Application {
     /// The social network (default in the paper).
     SocialNetwork,
     /// The hotel reservation system.
     HotelReservation,
+    /// A procedurally generated application (see [`atlas_apps::synth`]): the
+    /// topology and its paired workload are derived deterministically from
+    /// the options.
+    Synthetic(SynthOptions),
+}
+
+impl Application {
+    /// The topology and the paired learning workload of this application.
+    pub fn topology_and_workload(&self) -> (AppTopology, WorkloadOptions) {
+        match self {
+            Application::SocialNetwork => (
+                social_network(SocialNetworkOptions::default()),
+                WorkloadOptions::social_network_default(),
+            ),
+            Application::HotelReservation => (
+                hotel_reservation(),
+                WorkloadOptions::hotel_reservation_default(),
+            ),
+            Application::Synthetic(options) => {
+                let scenario = synthesize(*options).expect("valid synthetic options");
+                (scenario.topology, scenario.workload)
+            }
+        }
+    }
 }
 
 /// Options of one experiment run.
@@ -40,9 +65,16 @@ pub struct ExperimentOptions {
     pub max_visited: usize,
     /// Population size of the genetic methods.
     pub population: usize,
-    /// Whether to mark the user MongoDBs as non-relocatable (the paper pins
-    /// user-generated data on-prem for regulatory compliance).
+    /// Whether to mark the user databases as non-relocatable (the paper pins
+    /// user-generated data on-prem for regulatory compliance; synthetic
+    /// applications pin their first store).
     pub pin_user_data: bool,
+    /// Override of the compressed-day length in seconds for *both* the
+    /// learning workload and the plan-measurement replays (`None` keeps the
+    /// application default; the two must match for learned estimates to be
+    /// comparable with measurements). Scale benches shorten the day so large
+    /// synthetic scenarios run quickly.
+    pub learn_day_seconds: Option<u64>,
 }
 
 impl Default for ExperimentOptions {
@@ -55,6 +87,7 @@ impl Default for ExperimentOptions {
             max_visited: 1_500,
             population: 40,
             pin_user_data: true,
+            learn_day_seconds: None,
         }
     }
 }
@@ -87,6 +120,10 @@ pub struct Experiment {
     pub quality: QualityModel,
     /// Context consumed by the baseline advisors.
     pub baseline_ctx: BaselineContext,
+    /// The application's base workload with the `learn_day_seconds` override
+    /// applied (reseed/burst it via [`Experiment::workload_with`]); cached at
+    /// set-up so synthetic scenarios are not regenerated per measurement.
+    pub workload: WorkloadOptions,
     /// The experiment options.
     pub options: ExperimentOptions,
 }
@@ -94,15 +131,11 @@ pub struct Experiment {
 impl Experiment {
     /// Simulate the learning period, learn Atlas, and prepare the baselines.
     pub fn set_up(options: ExperimentOptions) -> Self {
-        let topology = match options.application {
-            Application::SocialNetwork => social_network(SocialNetworkOptions::default()),
-            Application::HotelReservation => hotel_reservation(),
-        };
-        let workload = match options.application {
-            Application::SocialNetwork => WorkloadOptions::social_network_default(),
-            Application::HotelReservation => WorkloadOptions::hotel_reservation_default(),
+        let (topology, mut base_workload) = options.application.topology_and_workload();
+        if let Some(day_seconds) = options.learn_day_seconds {
+            base_workload.profile.day_seconds = day_seconds;
         }
-        .with_seed(options.seed);
+        let workload = base_workload.clone().with_seed(options.seed);
 
         let n = topology.component_count();
         let current = Placement::all_onprem(n);
@@ -152,6 +185,8 @@ impl Experiment {
                 "PostStorageMongoDB",
                 "MediaMongoDB",
                 "ReserveMongoDB",
+                // Synthetic applications pin their first store.
+                "Store000",
             ] {
                 if let Some(c) = topology.component_id(name) {
                     preferences = preferences.pin(c, atlas_sim::Location::OnPrem);
@@ -178,8 +213,14 @@ impl Experiment {
             preferences,
             quality,
             baseline_ctx,
+            workload: base_workload,
             options,
         }
+    }
+
+    /// The experiment's base workload with a seed and burst factor applied.
+    pub fn workload_with(&self, seed: u64, burst: f64) -> WorkloadOptions {
+        self.workload.clone().with_seed(seed).with_burst(burst)
     }
 
     /// A fresh plan evaluator over the experiment's quality model (one
@@ -212,13 +253,7 @@ impl Experiment {
                 seed: self.options.seed + 1,
             },
         );
-        let workload = match self.options.application {
-            Application::SocialNetwork => WorkloadOptions::social_network_default(),
-            Application::HotelReservation => WorkloadOptions::hotel_reservation_default(),
-        }
-        .with_seed(self.options.seed + 1)
-        .with_burst(burst);
-        let schedule = WorkloadGenerator::new(workload)
+        let schedule = WorkloadGenerator::new(self.workload_with(self.options.seed + 1, burst))
             .generate(&self.topology)
             .expect("workload matches the topology");
         let throwaway = TelemetryStore::new();
@@ -287,6 +322,38 @@ mod tests {
         // The identity plan violates the CPU limit under the 5× burst.
         let identity = MigrationPlan::all_onprem(29);
         assert!(!exp.quality.is_feasible(&identity));
+    }
+
+    #[test]
+    fn synthetic_applications_set_up_like_the_seed_apps() {
+        let synth = SynthOptions {
+            components: 24,
+            apis: 3,
+            seed: 5,
+            ..SynthOptions::default()
+        };
+        let exp = Experiment::set_up(ExperimentOptions {
+            application: Application::Synthetic(synth),
+            onprem_cpu_limit: 3.0,
+            learn_day_seconds: Some(45),
+            max_visited: 150,
+            population: 10,
+            ..ExperimentOptions::quick()
+        });
+        assert_eq!(exp.quality.component_count(), 24);
+        assert_eq!(exp.baseline_ctx.component_count(), 24);
+        assert_eq!(exp.api_names().len(), 3);
+        assert!(exp.atlas.is_learned());
+        // The first store is pinned on-prem like the seed apps' user data.
+        let store = exp.topology.component_id("Store000").unwrap();
+        assert_eq!(
+            exp.preferences.pinned.get(&store),
+            Some(&atlas_sim::Location::OnPrem)
+        );
+        // Measuring a plan replays the scenario's own workload.
+        let plan = MigrationPlan::all_onprem(24);
+        let report = exp.measure_plan(&plan, 1.0);
+        assert!(report.success_count() > 0);
     }
 
     #[test]

@@ -12,5 +12,7 @@
 
 pub mod harness;
 pub mod multiplan;
+pub mod scale;
 
-pub use harness::{print_row, Experiment, ExperimentOptions};
+pub use harness::{print_row, Application, Experiment, ExperimentOptions};
+pub use scale::{run_scale_point, ScalePoint};

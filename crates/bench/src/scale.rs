@@ -1,0 +1,219 @@
+//! Scale experiments over procedurally generated scenarios.
+//!
+//! One [`ScalePoint`] runs the full Atlas pipeline — generate a synthetic
+//! application, simulate its learning workload, learn, recommend — at a given
+//! component count and reports the recommendation wall time, the evaluation
+//! throughput and the cache behaviour of the shared
+//! [`PlanEvaluator`](atlas_core::PlanEvaluator). The `scale` bench target and
+//! the `fig_scale` binary both drive this module; the bench additionally
+//! writes the machine-readable `BENCH_scale.json` CI tracks alongside
+//! `BENCH_recommender.json`.
+
+use std::time::Instant;
+
+use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadShape};
+use atlas_core::{Recommender, RecommenderConfig};
+
+use crate::harness::{Application, Experiment, ExperimentOptions};
+
+/// Component counts the scale experiments sweep by default.
+pub const DEFAULT_SIZES: [usize; 4] = [25, 50, 100, 250];
+
+/// One measured point of the scale sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Number of components of the generated application.
+    pub components: usize,
+    /// Number of user-facing APIs.
+    pub apis: usize,
+    /// Pareto-optimal plans recommended.
+    pub plans: usize,
+    /// End-to-end `Recommender::recommend` wall time in milliseconds.
+    pub recommend_ms: f64,
+    /// Unique plan evaluations performed by the search.
+    pub unique_evaluations: usize,
+    /// Evaluations served from the memo cache.
+    pub cache_hits: usize,
+    /// Cache hit rate of the evaluation layer.
+    pub cache_hit_rate: f64,
+    /// Unique evaluations per second of scoring wall time.
+    pub evals_per_sec: f64,
+}
+
+/// The synthetic options used for one sweep size (public so tests and the
+/// figure binary agree on the scenario).
+pub fn options_for(components: usize) -> SynthOptions {
+    SynthOptions {
+        components,
+        shape: CallGraphShape::Layered,
+        stateful_fraction: 0.2,
+        apis: (components / 8).clamp(3, 12),
+        call_depth: 4,
+        data_scale: 1.0,
+        workload: WorkloadShape::Diurnal,
+        seed: 11,
+    }
+}
+
+/// Run the full pipeline at one component count.
+pub fn run_scale_point(components: usize) -> ScalePoint {
+    let synth = options_for(components);
+    // Derive an on-prem CPU limit that forces offloading: 60 % of the peak
+    // expected demand under the 5× burst, computed from the generator's
+    // analytic demand (no simulation needed).
+    let scenario = synthesize(synth).expect("scale options are valid");
+    let cpu_limit = scenario.burst_cpu_limit(5.0, 0.6);
+
+    let exp = Experiment::set_up(ExperimentOptions {
+        application: Application::Synthetic(synth),
+        onprem_cpu_limit: cpu_limit,
+        learn_day_seconds: Some(60),
+        max_visited: 250,
+        population: 16,
+        ..ExperimentOptions::quick()
+    });
+
+    let config = RecommenderConfig {
+        population: 16,
+        max_visited: 250,
+        ..RecommenderConfig::fast()
+    };
+    let start = Instant::now();
+    let report = Recommender::new(&exp.quality, config).recommend();
+    let recommend_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let stats = report.eval;
+
+    ScalePoint {
+        components,
+        apis: synth.apis,
+        plans: report.plans.len(),
+        recommend_ms,
+        unique_evaluations: stats.unique_evaluations,
+        cache_hits: stats.cache_hits,
+        cache_hit_rate: stats.cache_hit_rate(),
+        evals_per_sec: stats.evaluations_per_sec(),
+    }
+}
+
+/// Component counts to sweep: `ATLAS_SCALE_COMPONENTS` (a comma-separated
+/// list, e.g. `25` in CI) or [`DEFAULT_SIZES`].
+pub fn sizes_from_env() -> Vec<usize> {
+    match std::env::var("ATLAS_SCALE_COMPONENTS") {
+        Ok(raw) => parse_sizes(&raw),
+        Err(_) => DEFAULT_SIZES.to_vec(),
+    }
+}
+
+/// Parse an `ATLAS_SCALE_COMPONENTS`-style override. An override that
+/// yields no usable size falls back to the *smallest* default only (never
+/// silently to the full sweep: whoever sets the variable wants a narrow
+/// run), with a warning naming what was dropped.
+fn parse_sizes(raw: &str) -> Vec<usize> {
+    let sizes: Vec<usize> = raw
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| (10..=500).contains(&n))
+        .collect();
+    if sizes.is_empty() {
+        let smallest = *DEFAULT_SIZES.iter().min().expect("defaults are non-empty");
+        eprintln!(
+            "ATLAS_SCALE_COMPONENTS={raw:?} contains no usable size \
+             (want comma-separated integers in 10..=500); running {smallest} only"
+        );
+        vec![smallest]
+    } else {
+        sizes
+    }
+}
+
+/// Render the sweep as the `BENCH_scale.json` document.
+pub fn scale_json(points: &[ScalePoint]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"scale\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"components\": {},\n",
+                "      \"apis\": {},\n",
+                "      \"plans\": {},\n",
+                "      \"recommend_ms\": {:.1},\n",
+                "      \"unique_evaluations\": {},\n",
+                "      \"cache_hits\": {},\n",
+                "      \"cache_hit_rate\": {:.4},\n",
+                "      \"evals_per_sec\": {:.1}\n",
+                "    }}{}\n"
+            ),
+            p.components,
+            p.apis,
+            p.plans,
+            p.recommend_ms,
+            p.unique_evaluations,
+            p.cache_hits,
+            p.cache_hit_rate,
+            p.evals_per_sec,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_scale.json` at the workspace root; returns the JSON either
+/// way so callers can print it.
+pub fn write_scale_json(points: &[ScalePoint]) -> String {
+    let json = scale_json(points);
+    // CARGO_MANIFEST_DIR is crates/bench; the report lands at the workspace
+    // root next to BENCH_recommender.json where CI picks it up.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_scale.json"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_point_runs_end_to_end_at_the_smallest_size() {
+        let point = run_scale_point(25);
+        assert_eq!(point.components, 25);
+        assert!(point.plans > 0, "the recommender must produce plans");
+        assert!(point.unique_evaluations > 0);
+        assert!(point.recommend_ms > 0.0);
+        assert!(point.evals_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_lists_every_point() {
+        let p = ScalePoint {
+            components: 25,
+            apis: 3,
+            plans: 4,
+            recommend_ms: 12.5,
+            unique_evaluations: 200,
+            cache_hits: 40,
+            cache_hit_rate: 0.1667,
+            evals_per_sec: 1_000.0,
+        };
+        let mut q = p.clone();
+        q.components = 50;
+        let json = scale_json(&[p, q]);
+        assert!(json.contains("\"components\": 25"));
+        assert!(json.contains("\"components\": 50"));
+        assert!(json.contains("\"bench\": \"scale\""));
+        // No trailing comma after the last point.
+        assert!(!json.contains("},\n  ]"));
+    }
+
+    #[test]
+    fn size_overrides_filter_and_never_widen() {
+        assert_eq!(parse_sizes("25, 90, bogus, 9999"), vec![25, 90]);
+        // An unusable override narrows to the smallest default — it must
+        // never silently fall back to the full sweep.
+        assert_eq!(parse_sizes("bogus"), vec![25]);
+        assert_eq!(parse_sizes(""), vec![25]);
+    }
+}

@@ -41,15 +41,23 @@ impl Autoscaler {
 
     /// Storage capacity trace (Eq. 8): start from `initial_gb` and scale up
     /// by the headroom factor whenever the free fraction drops to `δ` or
-    /// below.
+    /// below, repeating the growth step until the headroom is restored.
+    ///
+    /// A usage spike larger than one `(1 + δ)` step (say 10 GB → 50 GB)
+    /// therefore provisions enough capacity within the step it appears in,
+    /// instead of reporting a capacity below the actual usage for many steps.
     pub fn storage_trace(&self, initial_gb: f64, used_gb_per_step: &[f64]) -> Vec<f64> {
-        let delta = self.pricing.headroom;
+        // A free fraction can never exceed 1, so a (nonsensical) headroom of
+        // 1 or more would loop forever; clamp to keep the loop terminating
+        // for any `pricing.headroom`.
+        let delta = self.pricing.headroom.clamp(0.0, 0.99);
         let mut capacity = initial_gb.max(1.0);
         let mut out = Vec::with_capacity(used_gb_per_step.len());
         for &used in used_gb_per_step {
-            let free_fraction = 1.0 - used / capacity;
-            if free_fraction <= delta {
-                capacity = ((1.0 + delta) * capacity).ceil();
+            while 1.0 - used / capacity <= delta {
+                // `max` guards against a zero-headroom pricing model, where
+                // `ceil` alone could leave an integer capacity unchanged.
+                capacity = ((1.0 + delta) * capacity).ceil().max(capacity + 1.0);
             }
             out.push(capacity);
         }
@@ -98,6 +106,43 @@ mod tests {
                 assert!(cap >= trace[i - 1]);
             }
         }
+    }
+
+    /// Regression test: a spike bigger than one `(1 + δ)` growth step used to
+    /// grow capacity only once per step, reporting capacity *below* actual
+    /// usage (a negative free fraction) for many steps and under-billing
+    /// storage in the cost model.
+    #[test]
+    fn storage_spike_is_covered_within_the_step() {
+        let a = scaler();
+        let delta = a.pricing.headroom;
+        let used = [5.0, 50.0, 50.0, 55.0, 120.0];
+        let trace = a.storage_trace(10.0, &used);
+        for (&cap, &used) in trace.iter().zip(used.iter()) {
+            assert!(cap > used, "capacity {cap} must always cover usage {used}");
+            assert!(
+                1.0 - used / cap > delta,
+                "free fraction must exceed the headroom δ after scaling \
+                 (capacity {cap}, used {used})"
+            );
+        }
+        // Capacity never shrinks.
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// A misconfigured headroom ≥ 1 must not hang the growth loop (a free
+    /// fraction can never exceed 1); the clamp keeps the trace finite and
+    /// covering usage.
+    #[test]
+    fn degenerate_headroom_still_terminates() {
+        let mut a = scaler();
+        a.pricing.headroom = 1.0;
+        let trace = a.storage_trace(10.0, &[5.0, 80.0]);
+        assert_eq!(trace.len(), 2);
+        assert!(trace.iter().all(|c| c.is_finite()));
+        assert!(trace[1] > 80.0);
     }
 
     #[test]

@@ -13,8 +13,12 @@ use serde::{Deserialize, Serialize};
 
 /// Kullback–Leibler divergence `D_KL(P ‖ Q)` between two empirical latency
 /// distributions, computed over a shared histogram with `bins` bins spanning
-/// the combined range of both sample sets. Add-one smoothing keeps the
-/// divergence finite when a bin is empty in `Q`.
+/// the combined range of both sample sets. Each bin receives an ε
+/// pseudo-count proportional to `1 / total_samples`, which keeps the
+/// divergence finite when a bin is empty in `Q` without drowning small
+/// sample sets: add-one smoothing would inject `bins` pseudo-counts (about
+/// 30 % of the mass of a 50-sample window at the default 20 bins), flat
+/// enough to hide a clearly shifted distribution from the drift detector.
 pub fn kl_divergence(p_samples: &[f64], q_samples: &[f64], bins: usize) -> f64 {
     if p_samples.is_empty() || q_samples.is_empty() || bins == 0 {
         return 0.0;
@@ -32,13 +36,15 @@ pub fn kl_divergence(p_samples: &[f64], q_samples: &[f64], bins: usize) -> f64 {
     let width = ((max - min) / bins as f64).max(1e-9);
 
     let histogram = |samples: &[f64]| -> Vec<f64> {
-        let mut counts = vec![1.0f64; bins]; // add-one smoothing
+        let total = samples.len() as f64;
+        let epsilon = 1.0 / total; // ε-smoothing proportional to 1/total
+        let mut counts = vec![epsilon; bins];
         for &s in samples {
             let idx = (((s - min) / width) as usize).min(bins - 1);
             counts[idx] += 1.0;
         }
-        let total: f64 = counts.iter().sum();
-        counts.into_iter().map(|c| c / total).collect()
+        let mass = total + bins as f64 * epsilon;
+        counts.into_iter().map(|c| c / mass).collect()
     };
 
     let p = histogram(p_samples);
@@ -193,6 +199,45 @@ mod tests {
             report.information_loss_factor > 10.0,
             "expected an order-of-magnitude information loss, got {}",
             report.information_loss_factor
+        );
+    }
+
+    /// Regression test: with add-one smoothing, two *fully disjoint* small
+    /// sample sets looked only mildly divergent (the 20 pseudo-counts held
+    /// ~30 % of a 50-sample histogram's mass), capping the divergence well
+    /// below what ε-smoothing reports.
+    #[test]
+    fn small_disjoint_windows_have_large_divergence() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = samples(&mut rng, 50.0, 5.0, 50);
+        let b = samples(&mut rng, 100.0, 5.0, 50);
+        let d = kl_divergence(&a, &b, 20);
+        assert!(
+            d > 3.0,
+            "disjoint 50-sample windows should diverge strongly, got {d}"
+        );
+    }
+
+    /// Regression test for the drift detector: a clearly shifted *small*
+    /// recent window (50 samples, the first scrapes after a behaviour
+    /// change) must flag drift at the default threshold factor. Add-one
+    /// smoothing flattened small windows so much that this shift stayed
+    /// below the 5× trigger.
+    #[test]
+    fn detector_flags_a_shifted_small_window_at_default_threshold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let reality = samples(&mut rng, 80.0, 20.0, 400);
+        // The delay-injection estimate over-estimated the spread (the usual
+        // case: the paper reports a baseline divergence of 0.47 for
+        // /homeTimeline), so the baseline divergence is moderate, not tiny.
+        let approximation = samples(&mut rng, 80.0, 38.0, 400);
+        let detector = DriftDetector::new(reality, &approximation);
+        let recent_small = samples(&mut rng, 160.0, 10.0, 50);
+        let report = detector.check(&recent_small);
+        assert!(
+            report.drifted,
+            "a doubled latency in a 50-sample window must trigger at the \
+             default threshold, got {report:?}"
         );
     }
 

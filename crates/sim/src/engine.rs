@@ -198,14 +198,20 @@ impl SimReport {
         }
     }
 
-    /// Latency percentile (0.0–1.0) for an API in milliseconds.
+    /// Latency percentile (0.0–1.0) for an API in milliseconds, using the
+    /// ceil-based nearest-rank convention: the reported order statistic is
+    /// the smallest sample ≥ the requested fraction of the distribution
+    /// (`rank = ⌈q · n⌉`). Rounding the rank instead can select a statistic
+    /// *below* the requested quantile on small samples (e.g. the p90 of 9
+    /// samples would come out as the 8th, which only covers 88.9 %).
     pub fn api_latency_percentile_ms(&self, api: &str, q: f64) -> Option<f64> {
         let summary = self.api_index.get(api)?;
-        if summary.sorted_ms.is_empty() {
+        let n = summary.sorted_ms.len();
+        if n == 0 {
             return None;
         }
-        let idx = ((summary.sorted_ms.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(summary.sorted_ms[idx])
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as usize;
+        Some(summary.sorted_ms[rank.min(n) - 1])
     }
 
     /// All distinct APIs that appear in the outcomes.
@@ -796,6 +802,53 @@ mod tests {
         assert_eq!(report.apis(), vec!["/a", "/b", "/dead"]);
         assert_eq!(report.failed_count(), 2);
         assert_eq!(report.success_count(), 3);
+    }
+
+    /// Regression test: pin the ceil-based nearest-rank convention on fixed
+    /// small sample sets. The previous `.round()`-based rank picked an order
+    /// statistic *below* the requested quantile on several of these (p90 of
+    /// 9 samples returned the 8th; p50 of 4 samples returned the 3rd).
+    #[test]
+    fn percentiles_use_ceil_based_nearest_rank() {
+        let report_for = |latencies: &[f64]| {
+            let outcomes = latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| RequestOutcome {
+                    api: "/x".to_string(),
+                    at_us: i as u64,
+                    latency_ms: Some(l),
+                })
+                .collect();
+            SimReport::new(outcomes, vec![0.1], vec![0.0])
+        };
+        let p = |report: &SimReport, q: f64| report.api_latency_percentile_ms("/x", q).unwrap();
+
+        // 9 samples: p90 → rank ⌈8.1⌉ = 9 → the maximum (round gave the 8th).
+        let nine = report_for(&[10., 20., 30., 40., 50., 60., 70., 80., 90.]);
+        assert_eq!(p(&nine, 0.9), 90.0);
+        assert_eq!(p(&nine, 0.5), 50.0);
+        assert_eq!(p(&nine, 0.99), 90.0);
+
+        // 4 samples: p50 → rank ⌈2.0⌉ = 2, the lower median (round gave the 3rd).
+        let four = report_for(&[10., 20., 30., 40.]);
+        assert_eq!(p(&four, 0.5), 20.0);
+        assert_eq!(p(&four, 0.9), 40.0);
+
+        // 3 samples: the issue's example — p90 must be the maximum by
+        // construction, not by luck of rounding.
+        let three = report_for(&[5., 6., 7.]);
+        assert_eq!(p(&three, 0.9), 7.0);
+        assert_eq!(p(&three, 0.5), 6.0);
+        assert_eq!(p(&three, 0.34), 6.0);
+
+        // Boundary conventions are unchanged.
+        assert_eq!(p(&three, 0.0), 5.0);
+        assert_eq!(p(&three, 1.0), 7.0);
+        let one = report_for(&[42.0]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(p(&one, q), 42.0);
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Cross-crate integration tests: the full Atlas loop on both applications.
 
 use atlas::apps::{
-    hotel_reservation, social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions,
+    hotel_reservation, social_network, synthesize, CallGraphShape, SocialNetworkOptions,
+    SynthOptions, WorkloadGenerator, WorkloadOptions,
 };
 use atlas::core::{
     Atlas, AtlasConfig, MigrationPlan, MigrationPreferences, Recommender, RecommenderConfig,
@@ -162,6 +163,106 @@ fn recommendation_is_identical_across_evaluator_thread_counts() {
             "{threads} threads"
         );
         assert_eq!(report.eval.threads, threads);
+    }
+}
+
+/// The PR-2 thread-count bit-identity regression, extended to a generated
+/// 100-component scenario: the evaluator's thread fan-out must not change a
+/// recommendation on synthetic topologies either. Doubles as the end-to-end
+/// proof that `Recommender::recommend` completes on a 100-component
+/// generated scenario, and that the same seed + options give a bit-identical
+/// scenario and recommendation.
+#[test]
+fn synthetic_100_component_recommendation_is_thread_and_seed_deterministic() {
+    let options = SynthOptions {
+        components: 100,
+        shape: CallGraphShape::Layered,
+        stateful_fraction: 0.2,
+        apis: 8,
+        call_depth: 4,
+        data_scale: 1.0,
+        seed: 77,
+        ..SynthOptions::default()
+    };
+    let scenario = synthesize(options).unwrap();
+    assert_eq!(
+        scenario,
+        synthesize(options).unwrap(),
+        "same options ⇒ bit-identical scenario"
+    );
+    let app = scenario.topology.clone();
+    assert_eq!(app.component_count(), 100);
+
+    let mut workload = scenario.workload.clone();
+    workload.profile.day_seconds = 90; // compressed learning day
+    let (atlas, current, _store) = learn(&app, workload, 41);
+
+    // Force offloading: keep at most 60 % of the expected burst peak
+    // on-prem, and pin the first store like the seed apps' user data.
+    let preferences = MigrationPreferences::with_cpu_limit(scenario.burst_cpu_limit(5.0, 0.6))
+        .pin(app.component_id("Store000").unwrap(), Location::OnPrem);
+    let quality = atlas.quality_model(current, preferences);
+
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            Recommender::new(&quality, RecommenderConfig::fast().with_threads(threads)).recommend()
+        })
+        .collect();
+    let reference = &reports[0];
+    assert!(
+        !reference.plans.is_empty(),
+        "the recommender must complete with plans on a 100-component scenario"
+    );
+    for plan in &reference.plans {
+        assert!(plan.quality.feasible);
+        assert_eq!(
+            plan.plan.location(app.component_id("Store000").unwrap()),
+            Location::OnPrem
+        );
+    }
+    for (report, threads) in reports.iter().zip([1usize, 2, 8]) {
+        assert_eq!(
+            report.plans.len(),
+            reference.plans.len(),
+            "{threads} threads"
+        );
+        for (a, b) in report.plans.iter().zip(&reference.plans) {
+            assert_eq!(a.plan, b.plan, "{threads} threads");
+            assert_eq!(
+                a.quality.performance.to_bits(),
+                b.quality.performance.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.availability.to_bits(),
+                b.quality.availability.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.cost.to_bits(),
+                b.quality.cost.to_bits(),
+                "{threads} threads"
+            );
+        }
+        assert_eq!(report.visited, reference.visited, "{threads} threads");
+        assert_eq!(
+            report.reward_progression, reference.reward_progression,
+            "{threads} threads"
+        );
+        assert_eq!(report.eval.threads, threads);
+    }
+
+    // Re-running the whole pipeline from the same seeds reproduces the
+    // recommendation bit-for-bit.
+    let again = Recommender::new(&quality, RecommenderConfig::fast().with_threads(1)).recommend();
+    assert_eq!(again.plans.len(), reference.plans.len());
+    for (a, b) in again.plans.iter().zip(&reference.plans) {
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(
+            a.quality.performance.to_bits(),
+            b.quality.performance.to_bits()
+        );
     }
 }
 

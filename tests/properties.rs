@@ -4,10 +4,11 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
+use atlas::apps::{synthesize, CallGraphShape, SynthOptions};
 use atlas::core::{kl_divergence, MigrationPlan, PlanEvaluator, QualityModel};
 use atlas::ga::{dominates, pareto_front_indices};
 use atlas::sim::{Location, NetworkModel, Placement};
-use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_bench::{Application, Experiment, ExperimentOptions};
 
 /// One quality model (29 components, CPU limit + pinned user data, so random
 /// plans mix feasible and infeasible) shared by every property case.
@@ -128,5 +129,138 @@ proptest! {
         let d_shifted = kl_divergence(&samples, &shifted, 15);
         prop_assert!(d_self.abs() < 1e-9);
         prop_assert!(d_shifted >= -1e-12);
+    }
+
+    /// The scenario generator is a pure function of its options: generating
+    /// twice gives the bit-identical scenario, every component participates
+    /// in some API, and the paired workload names exactly the generated
+    /// endpoints.
+    #[test]
+    fn generated_scenarios_are_deterministic_and_consistent(
+        components in 10usize..60,
+        shape_idx in 0usize..4,
+        stateful_pct in 0.05f64..0.5,
+        depth in 2usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let shape = [
+            CallGraphShape::Layered,
+            CallGraphShape::FanOut,
+            CallGraphShape::Chain,
+            CallGraphShape::Mesh,
+        ][shape_idx];
+        let options = SynthOptions {
+            components,
+            shape,
+            stateful_fraction: stateful_pct,
+            apis: (components / 8).max(1),
+            call_depth: depth,
+            seed,
+            ..SynthOptions::default()
+        };
+        let scenario = synthesize(options).unwrap();
+        prop_assert_eq!(&scenario, &synthesize(options).unwrap());
+        prop_assert_eq!(scenario.topology.component_count(), components);
+
+        let mut reachable = std::collections::HashSet::new();
+        for api in scenario.topology.apis() {
+            for c in api.root.reachable_components() {
+                reachable.insert(c.0);
+            }
+        }
+        prop_assert_eq!(reachable.len(), components);
+
+        prop_assert_eq!(scenario.workload.api_mix.len(), scenario.topology.api_count());
+        for (endpoint, weight) in &scenario.workload.api_mix {
+            prop_assert!(scenario.topology.api(endpoint).is_some());
+            prop_assert!(*weight > 0.0);
+        }
+    }
+
+    /// The full search pipeline upholds its invariants on generated
+    /// scenarios: every plan is feasible-or-rejected consistently between
+    /// the cached evaluator and the direct quality model, the same seed
+    /// gives a bit-identical recommendation, and the returned front is
+    /// mutually non-dominated.
+    #[test]
+    fn generated_scenarios_uphold_search_invariants(
+        components in 12usize..30,
+        shape_idx in 0usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let shape = [
+            CallGraphShape::Layered,
+            CallGraphShape::FanOut,
+            CallGraphShape::Chain,
+            CallGraphShape::Mesh,
+        ][shape_idx];
+        let synth = SynthOptions {
+            components,
+            shape,
+            apis: (components / 8).max(1),
+            seed,
+            ..SynthOptions::default()
+        };
+        // Size the on-prem limit off the generated demand so random plans
+        // mix feasible and infeasible.
+        let scenario = synthesize(synth).unwrap();
+        let cpu_limit = scenario.burst_cpu_limit(5.0, 0.6);
+        let exp = Experiment::set_up(ExperimentOptions {
+            application: Application::Synthetic(synth),
+            onprem_cpu_limit: cpu_limit,
+            learn_day_seconds: Some(30),
+            max_visited: 60,
+            population: 8,
+            seed: seed ^ 0x5bd1,
+            ..ExperimentOptions::quick()
+        });
+
+        // Feasible-or-rejected consistently: cached/batched evaluation and
+        // the direct model agree bit-for-bit, and `is_feasible` matches the
+        // evaluated flag, for plans across the whole feasibility spectrum.
+        let mut probe: Vec<MigrationPlan> = vec![
+            MigrationPlan::all_onprem(components),
+            MigrationPlan::new(Placement::all_cloud(components)),
+        ];
+        for salt in 0u64..6 {
+            let bits: Vec<u8> = (0..components)
+                .map(|i| ((seed ^ salt.wrapping_mul(0x9E37)).wrapping_add(i as u64 * 0x85EB) >> 7) as u8 & 1)
+                .collect();
+            probe.push(MigrationPlan::from_bits(&bits));
+        }
+        let evaluator = PlanEvaluator::new(&exp.quality).with_threads(2);
+        let batched = evaluator.evaluate_batch(&probe);
+        for (plan, from_batch) in probe.iter().zip(&batched) {
+            let direct = exp.quality.evaluate(plan);
+            prop_assert_eq!(direct.performance.to_bits(), from_batch.performance.to_bits());
+            prop_assert_eq!(direct.feasible, from_batch.feasible);
+            prop_assert_eq!(exp.quality.is_feasible(plan), direct.feasible);
+            prop_assert_eq!(exp.quality.feasibility(plan).is_none(), direct.feasible);
+        }
+
+        // Bit-identical recommendation per seed, and a non-dominated front.
+        let config = atlas::core::RecommenderConfig {
+            population: 8,
+            max_visited: 60,
+            seed: seed ^ 0xACE1,
+            ..atlas::core::RecommenderConfig::fast().with_uniform_crossover()
+        };
+        let a = atlas::core::Recommender::new(&exp.quality, config.clone()).recommend();
+        let b = atlas::core::Recommender::new(&exp.quality, config).recommend();
+        prop_assert_eq!(a.plans.len(), b.plans.len());
+        prop_assert!(!a.plans.is_empty());
+        for (x, y) in a.plans.iter().zip(&b.plans) {
+            prop_assert_eq!(&x.plan, &y.plan);
+            prop_assert_eq!(x.quality.performance.to_bits(), y.quality.performance.to_bits());
+            prop_assert_eq!(x.quality.availability.to_bits(), y.quality.availability.to_bits());
+            prop_assert_eq!(x.quality.cost.to_bits(), y.quality.cost.to_bits());
+        }
+        for x in &a.plans {
+            for y in &a.plans {
+                if x.plan != y.plan {
+                    prop_assert!(!dominates(&x.quality.objectives(), &y.quality.objectives()));
+                }
+            }
+        }
     }
 }
