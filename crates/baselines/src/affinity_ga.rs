@@ -52,8 +52,8 @@ impl AffinityGaAdvisor {
         }
     }
 
-    fn objectives_of(score: &PlacementScore) -> Vec<f64> {
-        vec![score.cross_dc_bytes, score.cost]
+    fn objectives_of(score: &PlacementScore) -> [f64; 2] {
+        [score.cross_dc_bytes, score.cost]
     }
 
     /// Run the search and return the Pareto-optimal plans under the
@@ -88,7 +88,7 @@ impl AffinityGaAdvisor {
             .collect();
         let scores = scorer.score_batch(&population);
         requested += population.len();
-        let mut objectives: Vec<Vec<f64>> = scores.iter().map(Self::objectives_of).collect();
+        let mut objectives: Vec<[f64; 2]> = scores.iter().map(Self::objectives_of).collect();
         let mut feasible: Vec<bool> = scores.iter().map(|s| s.feasible).collect();
 
         while visited(scorer) < self.max_visited && requested < request_cap {
@@ -98,11 +98,7 @@ impl AffinityGaAdvisor {
                 .iter()
                 .map(|&i| population[i].clone())
                 .collect();
-            objectives = survival
-                .selected
-                .iter()
-                .map(|&i| objectives[i].clone())
-                .collect();
+            objectives = survival.selected.iter().map(|&i| objectives[i]).collect();
             feasible = survival.selected.iter().map(|&i| feasible[i]).collect();
             let (rank, crowding) = (survival.rank, survival.crowding);
 
@@ -140,7 +136,7 @@ impl AffinityGaAdvisor {
         } else {
             feasible_idx
         };
-        let objs: Vec<Vec<f64>> = candidates.iter().map(|&i| objectives[i].clone()).collect();
+        let objs: Vec<[f64; 2]> = candidates.iter().map(|&i| objectives[i]).collect();
         let front = pareto_front_indices(&objs);
         let mut seen = std::collections::HashSet::new();
         front

@@ -3,6 +3,7 @@
 
 use atlas_cloud::{CostModel, ResourceDemand};
 use atlas_core::eval::{effective_threads, EvalStats, MemoCache};
+use atlas_core::kernel::{with_scratch, ConstraintKernel};
 use atlas_core::MigrationPreferences;
 use atlas_sim::Location;
 use atlas_telemetry::TelemetryStore;
@@ -142,10 +143,17 @@ pub struct PlacementScore {
 /// [`BaselineScorer::score_batch`]; the greedy/affinity single-plan advisors
 /// route their repeated constraint and affinity probes through
 /// [`BaselineScorer::score`], where local-search re-probes hit the cache.
+///
+/// Since PR 4 the scorer rides the same evaluation kernel as the core
+/// quality model: constraints are checked through a precompiled
+/// [`ConstraintKernel`], the cloud cost is computed with the kernel's
+/// reusable scratch buffers, and the cost feeding `PlacementScore::cost` is
+/// reused by the budget constraint instead of being evaluated twice.
 #[derive(Debug)]
 pub struct BaselineScorer<'a> {
     ctx: &'a BaselineContext,
     threads: usize,
+    constraints: ConstraintKernel,
     cache: MemoCache<Vec<bool>, PlacementScore>,
 }
 
@@ -155,6 +163,7 @@ impl<'a> BaselineScorer<'a> {
         Self {
             ctx,
             threads: effective_threads(0),
+            constraints: ConstraintKernel::new(&ctx.preferences),
             cache: MemoCache::default(),
         }
     }
@@ -172,12 +181,24 @@ impl<'a> BaselineScorer<'a> {
     }
 
     fn compute(&self, in_cloud: &[bool]) -> PlacementScore {
-        PlacementScore {
-            cross_dc_bytes: self.ctx.affinity.cross_boundary_bytes(in_cloud),
-            cross_dc_messages: self.ctx.affinity.cross_boundary_messages(in_cloud),
-            cost: self.ctx.cost(in_cloud),
-            feasible: self.ctx.satisfies_constraints(in_cloud),
-        }
+        with_scratch(|s| {
+            let cost = self
+                .ctx
+                .cost_model
+                .evaluate_with_scratch(&self.ctx.demand, in_cloud, &mut s.cost)
+                .total();
+            PlacementScore {
+                cross_dc_bytes: self.ctx.affinity.cross_boundary_bytes(in_cloud),
+                cross_dc_messages: self.ctx.affinity.cross_boundary_messages(in_cloud),
+                cost,
+                feasible: self.constraints.feasible(
+                    &self.ctx.demand,
+                    in_cloud,
+                    &mut s.subset,
+                    || cost,
+                ),
+            }
+        })
     }
 
     /// Score one placement, serving duplicates from the cache.

@@ -68,7 +68,7 @@ impl RandomSearchAdvisor {
             if !score.feasible {
                 continue;
             }
-            objectives.push(vec![score.cross_dc_bytes, score.cost]);
+            objectives.push([score.cross_dc_bytes, score.cost]);
             plans.push(flags);
         }
         let front = pareto_front_indices(&objectives);

@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use atlas_bench::{Experiment, ExperimentOptions};
+use atlas_core::eval::effective_threads;
 use atlas_core::{MigrationPlan, PlanEvaluator, Recommender, RecommenderConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -38,10 +39,22 @@ fn throughput(exp: &Experiment, plans: &[MigrationPlan], threads: usize) -> f64 
 /// Measure the headline numbers and write `BENCH_recommender.json`.
 fn emit_bench_json(exp: &Experiment) {
     let n = exp.quality.component_count();
-    let plans = random_plans(n, 512, 9);
+    // 2048 distinct plans: with the compiled kernel a single evaluation is
+    // tens of microseconds, so the batch must be large enough that the
+    // parallel-speedup measurement is not dominated by scope start-up noise.
+    let plans = random_plans(n, 2_048, 9);
+    // Warm-up pass (discarded) so single and parallel both measure
+    // steady-state: the first run over a fresh model faults in the traces
+    // and demand series.
+    let _ = throughput(exp, &plans, 1);
     let single_evals_per_sec = throughput(exp, &plans, 1);
     let parallel_evals_per_sec = throughput(exp, &plans, 0);
     let speedup = parallel_evals_per_sec / single_evals_per_sec.max(1e-9);
+    // Workers the all-core configuration actually fans out across; the CI
+    // gate treats speedup as vacuous when this is 1 (single-core machine:
+    // both measurements run the identical serial path, so their ratio is
+    // pure noise).
+    let parallel_workers = effective_threads(0);
 
     let config = RecommenderConfig {
         population: 16,
@@ -60,23 +73,27 @@ fn emit_bench_json(exp: &Experiment) {
             "  \"threads\": {},\n",
             "  \"single_thread_evals_per_sec\": {:.1},\n",
             "  \"parallel_evals_per_sec\": {:.1},\n",
+            "  \"parallel_workers\": {},\n",
             "  \"parallel_speedup\": {:.2},\n",
             "  \"recommend_ms\": {:.1},\n",
             "  \"recommend_unique_evaluations\": {},\n",
             "  \"recommend_cache_hits\": {},\n",
             "  \"recommend_cache_hit_rate\": {:.4},\n",
-            "  \"recommend_evals_per_sec\": {:.1}\n",
+            "  \"recommend_evals_per_sec\": {:.1},\n",
+            "  \"kernel_compile_ms\": {:.2}\n",
             "}}\n"
         ),
         stats.threads,
         single_evals_per_sec,
         parallel_evals_per_sec,
+        parallel_workers,
         speedup,
         recommend_ms,
         stats.unique_evaluations,
         stats.cache_hits,
         stats.cache_hit_rate(),
         stats.evaluations_per_sec(),
+        stats.kernel_compile_ms,
     );
     // CARGO_MANIFEST_DIR is crates/bench; the report lands at the workspace
     // root where CI picks it up.

@@ -1,6 +1,6 @@
 //! Scale of the recommendation pipeline on procedurally generated scenarios:
 //! recommend wall time, evaluation throughput and cache behaviour as the
-//! component count grows (25 → 250 by default).
+//! component count grows (25 → 500 by default).
 //!
 //! Besides the criterion-style timing of the smallest size, this bench runs
 //! the full sweep and emits the machine-readable `BENCH_scale.json` at the

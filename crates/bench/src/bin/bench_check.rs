@@ -1,0 +1,52 @@
+//! CI gate over the machine-readable bench snapshots: exits non-zero when
+//! `parallel_speedup < 1.0` or a tracked evals/sec figure regressed by more
+//! than 2× against the committed `BENCH_recommender.json`/`BENCH_scale.json`.
+//!
+//! Usage: `cargo run -p atlas-bench --bin bench_check -- <baseline-dir>`
+//! where `<baseline-dir>` holds the *committed* copies of the two JSON
+//! files, snapshotted before the benches overwrote them. Without the
+//! argument (or when the baseline files are missing) only the absolute
+//! `parallel_speedup` gate applies.
+
+use atlas_bench::gate::{check, failed, Verdict};
+
+fn read(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let fresh_recommender = read(&format!("{root}/BENCH_recommender.json"))
+        .expect("BENCH_recommender.json missing: run `cargo bench -p atlas-bench --bench recommender` first");
+    let fresh_scale = read(&format!("{root}/BENCH_scale.json"))
+        .expect("BENCH_scale.json missing: run `cargo bench -p atlas-bench --bench scale` first");
+
+    let baseline_dir = std::env::args().nth(1);
+    let baseline_recommender = baseline_dir
+        .as_ref()
+        .and_then(|d| read(&format!("{d}/BENCH_recommender.json")));
+    let baseline_scale = baseline_dir
+        .as_ref()
+        .and_then(|d| read(&format!("{d}/BENCH_scale.json")));
+    if baseline_dir.is_some() && (baseline_recommender.is_none() || baseline_scale.is_none()) {
+        println!("note: baseline dir given but some baseline files are missing; relative gates may be skipped");
+    }
+
+    let verdicts = check(
+        &fresh_recommender,
+        &fresh_scale,
+        baseline_recommender.as_deref(),
+        baseline_scale.as_deref(),
+    );
+    for v in &verdicts {
+        match v {
+            Verdict::Ok(m) => println!("bench gate OK: {m}"),
+            Verdict::Fail(m) => println!("bench gate FAILED: {m}"),
+        }
+    }
+    if failed(&verdicts) {
+        eprintln!("bench regression gate failed — see the FAILED lines above");
+        std::process::exit(1);
+    }
+    println!("bench regression gate passed");
+}

@@ -1,6 +1,6 @@
 //! Scale sweep over procedurally generated scenarios (beyond the paper):
 //! how the recommendation pipeline behaves as the application grows from 25
-//! to 250 components.
+//! to 500 components.
 //!
 //! The paper's evaluation stops at the two ~30-component DeathStarBench
 //! applications; this figure stresses every stage of the pipeline — scenario

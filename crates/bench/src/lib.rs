@@ -10,6 +10,7 @@
 
 #![deny(missing_docs)]
 
+pub mod gate;
 pub mod harness;
 pub mod multiplan;
 pub mod scale;

@@ -17,7 +17,7 @@ use atlas_core::{Recommender, RecommenderConfig};
 use crate::harness::{Application, Experiment, ExperimentOptions};
 
 /// Component counts the scale experiments sweep by default.
-pub const DEFAULT_SIZES: [usize; 4] = [25, 50, 100, 250];
+pub const DEFAULT_SIZES: [usize; 5] = [25, 50, 100, 250, 500];
 
 /// One measured point of the scale sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +38,12 @@ pub struct ScalePoint {
     pub cache_hit_rate: f64,
     /// Unique evaluations per second of scoring wall time.
     pub evals_per_sec: f64,
+    /// Milliseconds spent compiling the quality model's evaluation kernel
+    /// (paid once per model, amortised over every evaluation).
+    pub kernel_compile_ms: f64,
+    /// Milliseconds spent scoring uncached plans (the evaluator's wall
+    /// time), the denominator of `evals_per_sec`.
+    pub score_ms: f64,
 }
 
 /// The synthetic options used for one sweep size (public so tests and the
@@ -92,6 +98,8 @@ pub fn run_scale_point(components: usize) -> ScalePoint {
         cache_hits: stats.cache_hits,
         cache_hit_rate: stats.cache_hit_rate(),
         evals_per_sec: stats.evaluations_per_sec(),
+        kernel_compile_ms: stats.kernel_compile_ms,
+        score_ms: stats.wall_time_ms,
     }
 }
 
@@ -140,7 +148,9 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "      \"unique_evaluations\": {},\n",
                 "      \"cache_hits\": {},\n",
                 "      \"cache_hit_rate\": {:.4},\n",
-                "      \"evals_per_sec\": {:.1}\n",
+                "      \"evals_per_sec\": {:.1},\n",
+                "      \"kernel_compile_ms\": {:.2},\n",
+                "      \"score_ms\": {:.2}\n",
                 "    }}{}\n"
             ),
             p.components,
@@ -151,6 +161,8 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             p.cache_hits,
             p.cache_hit_rate,
             p.evals_per_sec,
+            p.kernel_compile_ms,
+            p.score_ms,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -184,6 +196,8 @@ mod tests {
         assert!(point.unique_evaluations > 0);
         assert!(point.recommend_ms > 0.0);
         assert!(point.evals_per_sec > 0.0);
+        assert!(point.kernel_compile_ms > 0.0);
+        assert!(point.score_ms > 0.0);
     }
 
     #[test]
@@ -197,6 +211,8 @@ mod tests {
             cache_hits: 40,
             cache_hit_rate: 0.1667,
             evals_per_sec: 1_000.0,
+            kernel_compile_ms: 3.25,
+            score_ms: 200.0,
         };
         let mut q = p.clone();
         q.components = 50;
@@ -204,6 +220,8 @@ mod tests {
         assert!(json.contains("\"components\": 25"));
         assert!(json.contains("\"components\": 50"));
         assert!(json.contains("\"bench\": \"scale\""));
+        assert!(json.contains("\"kernel_compile_ms\": 3.25"));
+        assert!(json.contains("\"score_ms\": 200.00"));
         // No trailing comma after the last point.
         assert!(!json.contains("},\n  ]"));
     }

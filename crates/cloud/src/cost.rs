@@ -48,6 +48,16 @@ impl CostBreakdown {
     }
 }
 
+/// Reusable buffers for [`CostModel::evaluate_with_scratch`], so hot
+/// evaluation loops (the plan-evaluation kernel, the baselines' scorer) do
+/// not allocate the cloud-component index list and the per-step storage
+/// series on every call.
+#[derive(Debug, Clone, Default)]
+pub struct CostScratch {
+    cloud: Vec<usize>,
+    used_per_step: Vec<f64>,
+}
+
 /// The cost model: pricing plus the autoscaler it implies.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
@@ -77,12 +87,32 @@ impl CostModel {
     ///
     /// Panics if `in_cloud.len()` differs from the demand's component count.
     pub fn evaluate(&self, demand: &ResourceDemand, in_cloud: &[bool]) -> CostBreakdown {
+        self.evaluate_with_scratch(demand, in_cloud, &mut CostScratch::default())
+    }
+
+    /// [`CostModel::evaluate`] with caller-provided scratch buffers, the
+    /// allocation-free variant used by hot evaluation loops. Bit-identical
+    /// to `evaluate`: the arithmetic and its order are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_cloud.len()` differs from the demand's component count.
+    pub fn evaluate_with_scratch(
+        &self,
+        demand: &ResourceDemand,
+        in_cloud: &[bool],
+        scratch: &mut CostScratch,
+    ) -> CostBreakdown {
         assert_eq!(
             in_cloud.len(),
             demand.component_count(),
             "placement must cover every component"
         );
-        let cloud: Vec<usize> = (0..in_cloud.len()).filter(|&i| in_cloud[i]).collect();
+        scratch.cloud.clear();
+        scratch
+            .cloud
+            .extend((0..in_cloud.len()).filter(|&i| in_cloud[i]));
+        let cloud = &scratch.cloud;
         let step_seconds = demand.step_s as f64;
 
         // --- Compute (Eq. 6-7): nodes per step from CPU and memory. ---
@@ -95,13 +125,15 @@ impl CostModel {
         }
 
         // --- Storage (Eq. 8-9): capacity trace from the stateful data. ---
-        let used_per_step: Vec<f64> = (0..demand.steps)
-            .map(|t| cloud.iter().map(|&c| demand.storage_gb[c][t]).sum())
-            .collect();
+        scratch.used_per_step.clear();
+        scratch.used_per_step.extend(
+            (0..demand.steps).map(|t| cloud.iter().map(|&c| demand.storage_gb[c][t]).sum::<f64>()),
+        );
+        let used_per_step = &scratch.used_per_step;
         let initial_gb = 2.0 * used_per_step.first().copied().unwrap_or(0.0);
         let mut storage = 0.0;
         if used_per_step.iter().any(|&u| u > 0.0) {
-            let capacity = self.autoscaler.storage_trace(initial_gb, &used_per_step);
+            let capacity = self.autoscaler.storage_trace(initial_gb, used_per_step);
             for cap in capacity {
                 storage += self.pricing.storage_cost_for(cap, step_seconds);
             }

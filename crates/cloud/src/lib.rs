@@ -26,7 +26,7 @@ pub mod estimator;
 pub mod pricing;
 
 pub use autoscaler::Autoscaler;
-pub use cost::{CostBreakdown, CostModel};
+pub use cost::{CostBreakdown, CostModel, CostScratch};
 pub use demand::ResourceDemand;
 pub use estimator::{ResourceEstimator, ScalingEstimator};
 pub use pricing::{PricingModel, Provider};

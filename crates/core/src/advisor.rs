@@ -229,7 +229,7 @@ impl Atlas {
         let points: Vec<Vec<f64>> = report
             .plans
             .iter()
-            .map(|p| p.quality.objectives())
+            .map(|p| p.quality.objectives().to_vec())
             .collect();
         Dendrogram::build(&points)
     }

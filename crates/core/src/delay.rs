@@ -33,6 +33,17 @@ impl DelayInjector {
         }
     }
 
+    /// The network model delays are injected against (used by the compiled
+    /// evaluation kernel to bake per-hop link costs at compile time).
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The component index the injector resolves span names against.
+    pub fn component_index(&self) -> &[String] {
+        &self.component_index
+    }
+
     fn location_of(&self, placement: &Placement, component: &str) -> Location {
         match self.component_index.iter().position(|c| c == component) {
             Some(i) => placement.location(atlas_sim::ComponentId(i)),
@@ -74,13 +85,13 @@ impl DelayInjector {
         current: &Placement,
         candidate: &Placement,
     ) -> f64 {
-        let api = trace.api().to_string();
+        let api = trace.api();
         let root_start = trace.root().start_us;
         let new_end = self.inject(
             trace,
             0,
             root_start as f64,
-            &api,
+            api,
             footprint,
             current,
             candidate,

@@ -97,6 +97,10 @@ pub struct EvalStats {
     pub wall_time_ms: f64,
     /// Worker threads the evaluator fans batches out across.
     pub threads: usize,
+    /// Milliseconds the quality model spent compiling its evaluation kernel
+    /// at construction (see [`crate::kernel`]); `0.0` for scorers without a
+    /// compiled kernel (e.g. the baselines' placement scorer).
+    pub kernel_compile_ms: f64,
 }
 
 impl EvalStats {
@@ -137,9 +141,21 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
+/// Minimum number of items each worker must receive before [`parallel_map`]
+/// spawns a thread scope. Spawning scoped workers costs tens of
+/// microseconds per batch; fanning out a generation-sized batch of cheap
+/// kernel evaluations used to *lose* wall time (PR 3 measured a 0.91×
+/// "speedup"), so small batches now run serially and large batches cap
+/// their worker count at one worker per `MIN_ITEMS_PER_WORKER` items.
+pub const MIN_ITEMS_PER_WORKER: usize = 16;
+
 /// Deterministically map a pure function over a slice with up to `threads`
 /// scoped workers. Results come back in input order regardless of the thread
-/// count; with one worker (or one item) no thread is spawned.
+/// count. Batches smaller than 2 × [`MIN_ITEMS_PER_WORKER`] run serially on
+/// the calling thread (no scope is spawned); larger batches are distributed
+/// in contiguous chunks across at most `items.len() /
+/// MIN_ITEMS_PER_WORKER` workers, so every spawned thread has enough work
+/// to amortise its start-up cost.
 ///
 /// This is the fan-out primitive shared by [`PlanEvaluator`] and the cached
 /// baseline scorer in `atlas-baselines`.
@@ -149,7 +165,9 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = effective_threads(threads).min(items.len().max(1));
+    let workers = effective_threads(threads)
+        .min(items.len() / MIN_ITEMS_PER_WORKER)
+        .max(1);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -308,6 +326,7 @@ where
             batches: state.batches,
             wall_time_ms: state.wall_time.as_secs_f64() * 1_000.0,
             threads,
+            kernel_compile_ms: 0.0,
         }
     }
 }
@@ -379,9 +398,12 @@ impl<'a> PlanEvaluator<'a> {
         self.cache.cache_hits()
     }
 
-    /// Snapshot of the evaluation statistics.
+    /// Snapshot of the evaluation statistics, stamped with the wrapped
+    /// model's kernel compile time.
     pub fn stats(&self) -> EvalStats {
-        self.cache.stats(self.threads)
+        let mut stats = self.cache.stats(self.threads);
+        stats.kernel_compile_ms = self.quality.kernel_compile_ms();
+        stats
     }
 }
 
@@ -500,7 +522,10 @@ mod tests {
     fn thread_count_does_not_change_scores() {
         let quality = build_quality();
         let n = quality.component_count();
-        let batch = plans(n, 9);
+        // 80 distinct plans: enough to cross the serial-fallback threshold,
+        // so 2 and 8 threads genuinely exercise the parallel path while 1
+        // thread stays serial — the scores must be bit-identical anyway.
+        let batch = plans(n, 80);
         let direct: Vec<PlanQuality> = batch.iter().map(|p| quality.evaluate(p)).collect();
         for threads in [1, 2, 8] {
             let evaluator = PlanEvaluator::new(&quality).with_threads(threads);
@@ -527,6 +552,26 @@ mod tests {
     }
 
     #[test]
+    fn small_batches_fall_back_to_the_calling_thread() {
+        // Below the per-worker work threshold no scope is spawned: every
+        // item is computed on the calling thread.
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..MIN_ITEMS_PER_WORKER * 2 - 1).collect();
+        let seen = parallel_map(&items, 8, |&x| (x, std::thread::current().id()));
+        assert!(seen.iter().all(|&(_, id)| id == caller));
+        // At and beyond 2 × the threshold, with >1 requested workers, at
+        // least one item runs off-thread.
+        let items: Vec<usize> = (0..MIN_ITEMS_PER_WORKER * 4).collect();
+        let seen = parallel_map(&items, 4, |&x| (x, std::thread::current().id()));
+        assert!(seen.iter().any(|&(_, id)| id != caller));
+        assert_eq!(
+            seen.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+            items,
+            "order preserved across the fan-out"
+        );
+    }
+
+    #[test]
     fn stats_track_wall_time_and_threads() {
         let quality = build_quality();
         let evaluator = PlanEvaluator::new(&quality).with_threads(2);
@@ -536,5 +581,9 @@ mod tests {
         assert_eq!(stats.threads, 2);
         assert!(stats.wall_time_ms > 0.0);
         assert!(stats.evaluations_per_sec() > 0.0);
+        assert!(
+            stats.kernel_compile_ms > 0.0,
+            "the quality model's kernel compile time is surfaced"
+        );
     }
 }

@@ -1,0 +1,704 @@
+//! The compiled plan-evaluation kernel: compile once, score many.
+//!
+//! Delay injection over retained traces (paper §4.1.1, Figure 6) is the
+//! inner loop of every search path in the workspace, and the interpretive
+//! implementation in [`crate::delay`] pays for its generality on every call:
+//! each caller→callee hop resolves component names with an O(n) scan over
+//! `component_index`, looks payload sizes up in a `(String, String, String)`
+//! hash map (allocating three `String` keys per probe), and walks the trace
+//! tree with a recursion that re-derives the sequential-wave / parallel-
+//! sibling / background structure from span timestamps — all of which is
+//! invariant across the thousands of candidate plans a search scores.
+//!
+//! # Compile/score contract
+//!
+//! [`CompiledQuality::compile`] runs once at [`QualityModel`] construction
+//! and bakes everything that does not depend on the candidate plan:
+//!
+//! * component names are resolved to `u32` indices (unknown/external
+//!   components — e.g. clients — get a sentinel that always reads as
+//!   [`Location::OnPrem`], matching the interpretive injector);
+//! * per-hop request/response bytes from the learned
+//!   [`NetworkFootprint`] are folded
+//!   into two precomputed exchange costs (both-endpoints-collocated vs
+//!   split across the WAN), so the paper's Δ of Eq. 2 becomes
+//!   `delta = after_cost[link_kind(candidate)] − before_cost` — a table
+//!   lookup and one subtraction;
+//! * because the **`current` placement is fixed per model** (it is the
+//!   deployment the traces were collected under), `before_cost` is a baked
+//!   constant per hop — this is why a `CompiledQuality` cannot be reused
+//!   across different current placements and is rebuilt by
+//!   [`QualityModel::new`];
+//! * the wave grouping, inter-wave gaps and each node's trailing
+//!   own-compute time are placement-independent functions of the span
+//!   timestamps, so each trace compiles to a flat, recursion-free
+//!   instruction arena (an `Op` stream) whose evaluation is driven only by
+//!   the candidate [`Placement`] and a reusable wave-frame stack.
+//!
+//! Scoring a plan is then an iterative, zero-allocation pass: thread-local
+//! [`EvalScratch`] buffers hold the wave stack, the in-cloud flags, the
+//! on-prem index subset and the cost model's scratch, so concurrent
+//! evaluator workers never contend on the allocator.
+//!
+//! # Bit-identity and the interpretive fallback
+//!
+//! The kernel performs the *same floating-point operations in the same
+//! order* as the interpretive path, so its scores are bit-identical to
+//! [`QualityModel::evaluate_interpretive`] — property tests pin this on
+//! generated scenarios. The interpretive
+//! [`DelayInjector`](crate::delay::DelayInjector) remains the reference
+//! oracle: fall back to it when scoring against a *different* current
+//! placement than the model was compiled for (e.g. the drift detector's
+//! post-migration replays in [`crate::advisor`]), when traces are not
+//! retained in a profile, or when debugging the kernel itself.
+//!
+//! [`QualityModel`]: crate::quality::QualityModel
+//! [`QualityModel::new`]: crate::quality::QualityModel::new
+//! [`QualityModel::evaluate_interpretive`]: crate::quality::QualityModel::evaluate_interpretive
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use atlas_cloud::{CostScratch, ResourceDemand};
+use atlas_sim::{ComponentId, Location, NetworkModel, Placement};
+use atlas_telemetry::Trace;
+
+use crate::footprint::NetworkFootprint;
+use crate::preferences::MigrationPreferences;
+use crate::profile::ApplicationProfile;
+
+/// Sentinel component id for names absent from the component index
+/// (external clients); they are treated as collocated with the on-prem
+/// entry point, exactly like the interpretive injector's `location_of`.
+const UNKNOWN: u32 = u32::MAX;
+
+/// One frame of the wave stack: the wave's base timestamp and the running
+/// maximum end time of its children ("wave end").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaveFrame {
+    base: f64,
+    wend: f64,
+}
+
+/// Reusable per-thread scratch buffers for kernel evaluation. Obtain one
+/// with [`with_scratch`]; buffers grow to the working-set size once and are
+/// reused across evaluations on the same thread.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Wave-frame stack of the trace interpreter (depth = trace depth).
+    pub stack: Vec<WaveFrame>,
+    /// Cloud flags of the candidate plan, indexed like the component index.
+    pub in_cloud: Vec<bool>,
+    /// Ascending indices of a component subset (the on-prem components
+    /// during constraint checks).
+    pub subset: Vec<usize>,
+    /// Scratch of the cloud cost model.
+    pub cost: CostScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// Run `f` with this thread's [`EvalScratch`]. Do not call [`with_scratch`]
+/// again from inside `f` (the scratch is a `RefCell`; re-entry panics).
+pub fn with_scratch<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// One instruction of a compiled trace. The stream is the pre-order
+/// linearisation of the interpretive injector's recursion; see
+/// [`CompiledTrace`].
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a wave of parallel siblings: push a frame with
+    /// `base = cur + gap` (the parent's own compute before triggering the
+    /// wave) and `wend = cur`.
+    Wave { gap: f64 },
+    /// Start one child of the open wave:
+    /// `cur = (base + offset) + (after_cost − before_cost)`, where the
+    /// after-cost is `intra` when the candidate collocates the endpoints
+    /// and `inter` otherwise.
+    Call {
+        offset: f64,
+        caller: u32,
+        callee: u32,
+        after_intra: f64,
+        after_inter: f64,
+        before: f64,
+    },
+    /// Close one child: fold its end time into the wave end
+    /// (`wend = max(wend, cur)`).
+    Ret,
+    /// Close the wave: `cur = pop().wend`.
+    EndWave,
+    /// The node's trailing own-compute after its last foreground wave:
+    /// `cur += tail`.
+    Tail { tail: f64 },
+}
+
+/// One retained trace compiled to a flat instruction arena. Evaluating it
+/// replays the exact floating-point schedule of
+/// [`DelayInjector::estimate_trace_latency_ms`](crate::delay::DelayInjector::estimate_trace_latency_ms)
+/// without recursion, name resolution or hashing. Background subtrees are
+/// not emitted at all: the interpretive path re-times them but discards the
+/// result, so they cannot affect the returned latency.
+#[derive(Debug, Clone)]
+struct CompiledTrace {
+    root_start: f64,
+    ops: Vec<Op>,
+}
+
+impl CompiledTrace {
+    fn compile(
+        trace: &Trace,
+        api: &str,
+        footprint: &NetworkFootprint,
+        network: &NetworkModel,
+        current: &Placement,
+        id_of: &HashMap<&str, u32>,
+    ) -> Self {
+        let mut ops = Vec::new();
+        compile_node(trace, 0, api, footprint, network, current, id_of, &mut ops);
+        Self {
+            root_start: trace.root().start_us as f64,
+            ops,
+        }
+    }
+
+    /// New end-to-end latency (ms) of this trace under the candidate
+    /// placement `locs`.
+    fn run(&self, locs: &[Location], stack: &mut Vec<WaveFrame>) -> f64 {
+        stack.clear();
+        let mut cur = self.root_start;
+        for op in &self.ops {
+            match *op {
+                Op::Wave { gap } => stack.push(WaveFrame {
+                    base: cur + gap,
+                    wend: cur,
+                }),
+                Op::Call {
+                    offset,
+                    caller,
+                    callee,
+                    after_intra,
+                    after_inter,
+                    before,
+                } => {
+                    let a = location_of(locs, caller);
+                    let b = location_of(locs, callee);
+                    let after = if a == b { after_intra } else { after_inter };
+                    let base = stack.last().expect("Call only inside a wave").base;
+                    cur = (base + offset) + (after - before);
+                }
+                Op::Ret => {
+                    let frame = stack.last_mut().expect("Ret only inside a wave");
+                    frame.wend = frame.wend.max(cur);
+                }
+                Op::EndWave => cur = stack.pop().expect("EndWave closes a wave").wend,
+                Op::Tail { tail } => cur += tail,
+            }
+        }
+        (cur - self.root_start).max(0.0) / 1_000.0
+    }
+}
+
+#[inline]
+fn location_of(locs: &[Location], id: u32) -> Location {
+    if id == UNKNOWN {
+        Location::OnPrem
+    } else {
+        locs[id as usize]
+    }
+}
+
+/// Emit the instruction stream of one trace node. Mirrors
+/// `DelayInjector::inject`: the wave grouping and every placement-
+/// independent quantity (gaps, child offsets, trailing compute) are
+/// computed here, once, with the same arithmetic the interpretive path
+/// performs per evaluation.
+#[allow(clippy::too_many_arguments)]
+fn compile_node(
+    trace: &Trace,
+    node: usize,
+    api: &str,
+    footprint: &NetworkFootprint,
+    network: &NetworkModel,
+    current: &Placement,
+    id_of: &HashMap<&str, u32>,
+    ops: &mut Vec<Op>,
+) {
+    let span = &trace.nodes[node].span;
+    let orig_start = span.start_us as f64;
+    let orig_end = span.end_us() as f64;
+
+    let foreground: Vec<usize> = trace.nodes[node]
+        .children
+        .iter()
+        .copied()
+        .filter(|&c| !trace.is_background(c))
+        .collect();
+
+    // Group foreground children into sequential waves of parallel siblings
+    // (same rule as the interpretive injector).
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    let mut wave_end = f64::NEG_INFINITY;
+    for &c in &foreground {
+        let cs = trace.nodes[c].span.start_us as f64;
+        let ce = trace.nodes[c].span.end_us() as f64;
+        if waves.is_empty() || cs >= wave_end {
+            waves.push(vec![c]);
+            wave_end = ce;
+        } else {
+            waves.last_mut().expect("non-empty").push(c);
+            wave_end = wave_end.max(ce);
+        }
+    }
+
+    let mut prev_end_orig = orig_start;
+    for wave in &waves {
+        let wave_orig_start = wave
+            .iter()
+            .map(|&c| trace.nodes[c].span.start_us as f64)
+            .fold(f64::INFINITY, f64::min);
+        let gap = (wave_orig_start - prev_end_orig).max(0.0);
+        ops.push(Op::Wave { gap });
+
+        let mut wave_end_orig = prev_end_orig;
+        for &c in wave {
+            let child_span = &trace.nodes[c].span;
+            let (req, resp) = footprint.get_or_zero(api, &span.component, &child_span.component);
+            let after_intra = network.intra.transfer_us(req) + network.intra.transfer_us(resp);
+            let after_inter = network.inter.transfer_us(req) + network.inter.transfer_us(resp);
+            let caller = resolve(id_of, &span.component);
+            let callee = resolve(id_of, &child_span.component);
+            let before = if current_location(current, caller) == current_location(current, callee) {
+                after_intra
+            } else {
+                after_inter
+            };
+            ops.push(Op::Call {
+                offset: child_span.start_us as f64 - wave_orig_start,
+                caller,
+                callee,
+                after_intra,
+                after_inter,
+                before,
+            });
+            compile_node(trace, c, api, footprint, network, current, id_of, ops);
+            ops.push(Op::Ret);
+            wave_end_orig = wave_end_orig.max(child_span.end_us() as f64);
+        }
+        ops.push(Op::EndWave);
+        prev_end_orig = wave_end_orig;
+    }
+    ops.push(Op::Tail {
+        tail: (orig_end - prev_end_orig).max(0.0),
+    });
+}
+
+fn resolve(id_of: &HashMap<&str, u32>, name: &str) -> u32 {
+    id_of.get(name).copied().unwrap_or(UNKNOWN)
+}
+
+fn current_location(current: &Placement, id: u32) -> Location {
+    if id == UNKNOWN {
+        Location::OnPrem
+    } else {
+        current.location(ComponentId(id as usize))
+    }
+}
+
+/// The feasibility side of Eq. 4, precompiled: placement pins resolved to
+/// `(index, location)` pairs, the on-prem resource limits, and the budget.
+/// Shared by the core quality kernel and the baselines' placement scorer so
+/// every search path pays the same (allocation-free) constraint check.
+#[derive(Debug, Clone)]
+pub struct ConstraintKernel {
+    pinned: Vec<(usize, Location)>,
+    cpu_limit: f64,
+    memory_limit_gb: f64,
+    storage_limit_gb: f64,
+    budget: Option<f64>,
+}
+
+impl ConstraintKernel {
+    /// Compile the constraints of a set of migration preferences.
+    pub fn new(preferences: &MigrationPreferences) -> Self {
+        let mut pinned: Vec<(usize, Location)> =
+            preferences.pinned.iter().map(|(&c, &l)| (c.0, l)).collect();
+        pinned.sort_unstable_by_key(|&(i, _)| i);
+        Self {
+            pinned,
+            cpu_limit: preferences.onprem_cpu_limit,
+            memory_limit_gb: preferences.onprem_memory_limit_gb,
+            storage_limit_gb: preferences.onprem_storage_limit_gb,
+            budget: preferences.budget,
+        }
+    }
+
+    /// Whether any placement pin is violated by the cloud-flag vector.
+    pub fn violates_pins(&self, in_cloud: &[bool]) -> bool {
+        self.pinned
+            .iter()
+            .any(|&(i, loc)| i < in_cloud.len() && in_cloud[i] != (loc == Location::Cloud))
+    }
+
+    /// Whether a placement satisfies every constraint of Eq. 4. `cost` is
+    /// called at most once, and only when a budget is set — pass the
+    /// already-computed plan cost to avoid scoring it twice per evaluation.
+    ///
+    /// The peak-demand sums iterate the on-prem components in ascending
+    /// index order, exactly like the interpretive
+    /// [`QualityModel::feasibility`](crate::quality::QualityModel::feasibility),
+    /// so the verdict is bit-identical.
+    pub fn feasible(
+        &self,
+        demand: &ResourceDemand,
+        in_cloud: &[bool],
+        subset: &mut Vec<usize>,
+        cost: impl FnOnce() -> f64,
+    ) -> bool {
+        if self.violates_pins(in_cloud) {
+            return false;
+        }
+        subset.clear();
+        subset.extend((0..in_cloud.len()).filter(|&i| !in_cloud[i]));
+        if self.cpu_limit.is_finite() && demand.peak_cpu(subset) > self.cpu_limit {
+            return false;
+        }
+        if self.memory_limit_gb.is_finite() && demand.peak_memory_gb(subset) > self.memory_limit_gb
+        {
+            return false;
+        }
+        if self.storage_limit_gb.is_finite()
+            && demand.peak_storage_gb(subset) > self.storage_limit_gb
+        {
+            return false;
+        }
+        if let Some(budget) = self.budget {
+            if cost() > budget {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One API compiled for scoring: its preference weight, baseline latency,
+/// the indices of its stateful components (for `Q_Avai`) and its retained
+/// traces as instruction arenas.
+#[derive(Debug, Clone)]
+struct CompiledApi {
+    weight: f64,
+    baseline_ms: f64,
+    stateful: Vec<u32>,
+    traces: Vec<CompiledTrace>,
+}
+
+/// The compiled evaluation kernel of one [`QualityModel`]: every API's
+/// traces as flat instruction arenas plus the precompiled constraint
+/// kernel. See the [module docs](self) for the compile/score contract.
+///
+/// [`QualityModel`]: crate::quality::QualityModel
+#[derive(Debug, Clone)]
+pub struct CompiledQuality {
+    apis: Vec<CompiledApi>,
+    api_index: HashMap<String, usize>,
+    constraints: ConstraintKernel,
+    compile_ms: f64,
+}
+
+impl CompiledQuality {
+    /// Compile a learned profile + footprint against a network model, the
+    /// current placement and the owner's preferences. `api_order` fixes the
+    /// API summation order of `Q_Perf`/`Q_Avai` (the quality model passes
+    /// its sorted API list so kernel and interpretive sums agree bitwise).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile(
+        profile: &ApplicationProfile,
+        footprint: &NetworkFootprint,
+        network: &NetworkModel,
+        preferences: &MigrationPreferences,
+        current: &Placement,
+        component_index: &[String],
+        api_order: &[String],
+    ) -> Self {
+        let start = std::time::Instant::now();
+        let id_of: HashMap<&str, u32> = component_index
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), i as u32))
+            .collect();
+
+        let mut apis = Vec::with_capacity(api_order.len());
+        let mut api_index = HashMap::with_capacity(api_order.len());
+        for name in api_order {
+            let api = &profile.apis[name];
+            let mut stateful: Vec<u32> = api
+                .stateful_components
+                .iter()
+                .filter_map(|c| id_of.get(c.as_str()).copied())
+                .collect();
+            stateful.sort_unstable();
+            let traces = api
+                .traces
+                .iter()
+                .map(|t| CompiledTrace::compile(t, name, footprint, network, current, &id_of))
+                .collect();
+            api_index.insert(name.clone(), apis.len());
+            apis.push(CompiledApi {
+                weight: preferences.api_weight(name),
+                baseline_ms: api.mean_latency_ms.max(1e-6),
+                stateful,
+                traces,
+            });
+        }
+        Self {
+            apis,
+            api_index,
+            constraints: ConstraintKernel::new(preferences),
+            compile_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        }
+    }
+
+    /// Wall-clock time the compile pass took, in milliseconds.
+    pub fn compile_ms(&self) -> f64 {
+        self.compile_ms
+    }
+
+    /// The precompiled constraint kernel.
+    pub fn constraints(&self) -> &ConstraintKernel {
+        &self.constraints
+    }
+
+    /// Index of an API in the compiled order, if it was learned.
+    pub fn api_slot(&self, api: &str) -> Option<usize> {
+        self.api_index.get(api).copied()
+    }
+
+    /// Mean post-migration latency (ms) of one compiled API under the
+    /// candidate placement (0.0 when no traces were retained, like the
+    /// interpretive estimate).
+    pub fn api_latency_ms(
+        &self,
+        slot: usize,
+        locs: &[Location],
+        stack: &mut Vec<WaveFrame>,
+    ) -> f64 {
+        let traces = &self.apis[slot].traces;
+        if traces.is_empty() {
+            return 0.0;
+        }
+        traces.iter().map(|t| t.run(locs, stack)).sum::<f64>() / traces.len() as f64
+    }
+
+    /// `Q_Perf(p)`: weighted mean of per-API latency ratios.
+    pub fn performance(&self, locs: &[Location], stack: &mut Vec<WaveFrame>) -> f64 {
+        if self.apis.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        for (slot, api) in self.apis.iter().enumerate() {
+            let estimated = self.api_latency_ms(slot, locs, stack).max(1e-9);
+            total += api.weight * estimated / api.baseline_ms;
+            weight_sum += api.weight;
+        }
+        total / weight_sum
+    }
+
+    /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move
+    /// relative to the compiled current placement.
+    pub fn availability(&self, locs: &[Location], current: &[Location]) -> f64 {
+        let mut disruption = 0.0;
+        for api in &self.apis {
+            let disrupted = api
+                .stateful
+                .iter()
+                .any(|&i| locs[i as usize] != current[i as usize]);
+            if disrupted {
+                disruption += api.weight;
+            }
+        }
+        disruption
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::DelayInjector;
+    use crate::plan::MigrationPlan;
+    use crate::profile::{ApiProfile, ApplicationProfile};
+    use crate::quality::QualityModel;
+    use atlas_cloud::{CostModel, PricingModel};
+    use atlas_telemetry::{Span, SpanId, TraceId};
+    use std::collections::{HashMap as Map, HashSet};
+
+    /// The Figure 6 trace shape, but with components the model does *not*
+    /// index (`ExternalClient`, `ThirdPartyCDN`) mixed in: unknown names
+    /// must resolve to on-prem in both paths.
+    fn trace_with_externals() -> Trace {
+        let t = TraceId(3);
+        let spans = vec![
+            Span::new(t, SpanId(0), None, "Frontend", "/api", 0, 10_000),
+            Span::new(
+                t,
+                SpanId(1),
+                Some(SpanId(0)),
+                "ThirdPartyCDN",
+                "fetch",
+                1_000,
+                2_000,
+            ),
+            Span::new(t, SpanId(2), Some(SpanId(0)), "Store", "put", 4_000, 3_000),
+            Span::new(
+                t,
+                SpanId(3),
+                Some(SpanId(2)),
+                "ExternalClient",
+                "ack",
+                4_500,
+                500,
+            ),
+            // Background fan-out, outliving the root.
+            Span::new(
+                t,
+                SpanId(4),
+                Some(SpanId(0)),
+                "Notifier",
+                "notify",
+                8_000,
+                9_000,
+            ),
+        ];
+        Trace::from_spans(spans).unwrap()
+    }
+
+    fn model_with_externals() -> QualityModel {
+        let component_index = vec!["Frontend".to_string(), "Store".to_string()];
+        let trace = trace_with_externals();
+        let mut footprint = NetworkFootprint::new();
+        footprint.insert("/api", "Frontend", "ThirdPartyCDN", 2_000.0, 50_000.0);
+        footprint.insert("/api", "Frontend", "Store", 9_000.0, 200.0);
+        footprint.insert("/api", "Store", "ExternalClient", 100.0, 100.0);
+        footprint.insert("/api", "Frontend", "Notifier", 700.0, 0.0);
+
+        let mut apis = Map::new();
+        apis.insert(
+            "/api".to_string(),
+            ApiProfile {
+                endpoint: "/api".to_string(),
+                traces: vec![trace.clone(), trace],
+                components: ["Frontend", "Store", "ThirdPartyCDN"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<HashSet<_>>(),
+                stateful_components: ["Store", "GhostStore"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<HashSet<_>>(),
+                mean_latency_ms: 10.0,
+                request_count: 2,
+            },
+        );
+        let profile = ApplicationProfile {
+            apis,
+            components: Map::new(),
+        };
+        let current = Placement::all_onprem(2);
+        let mut demand = ResourceDemand::zeros(component_index.clone(), 4, 600);
+        demand.fill_cpu(0, 2.0);
+        demand.fill_cpu(1, 3.0);
+        demand.fill_storage(1, 10.0);
+        QualityModel::new(
+            profile,
+            footprint,
+            DelayInjector::new(NetworkModel::default(), component_index.clone()),
+            CostModel::new(PricingModel::default()),
+            demand,
+            MigrationPreferences::with_cpu_limit(4.0).with_budget(1.0e9),
+            current,
+            component_index,
+        )
+    }
+
+    #[test]
+    fn unknown_components_default_to_onprem_bitwise() {
+        let model = model_with_externals();
+        for bits in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            let plan = MigrationPlan::from_bits(&bits);
+            let kernel = model.evaluate(&plan);
+            let oracle = model.evaluate_interpretive(&plan);
+            assert_eq!(
+                kernel.performance.to_bits(),
+                oracle.performance.to_bits(),
+                "bits {bits:?}"
+            );
+            assert_eq!(
+                kernel.availability.to_bits(),
+                oracle.availability.to_bits(),
+                "bits {bits:?}"
+            );
+            assert_eq!(
+                kernel.cost.to_bits(),
+                oracle.cost.to_bits(),
+                "bits {bits:?}"
+            );
+            assert_eq!(kernel.feasible, oracle.feasible, "bits {bits:?}");
+            assert_eq!(
+                model.is_feasible(&plan),
+                model.feasibility(&plan).is_none(),
+                "bits {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_latency_matches_the_interpretive_injector() {
+        let model = model_with_externals();
+        let injector = DelayInjector::new(
+            NetworkModel::default(),
+            vec!["Frontend".to_string(), "Store".to_string()],
+        );
+        let current = Placement::all_onprem(2);
+        for bits in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
+            let plan = MigrationPlan::from_bits(&bits);
+            let direct = injector.estimate_api_latency_ms(
+                &model.profile().apis["/api"].traces,
+                model.footprint(),
+                &current,
+                plan.placement(),
+            );
+            let compiled = model.estimate_api_latency_ms("/api", &plan);
+            assert_eq!(compiled.to_bits(), direct.to_bits(), "bits {bits:?}");
+        }
+        // Unknown APIs estimate to zero, like the interpretive path.
+        assert_eq!(
+            model.estimate_api_latency_ms("/missing", &MigrationPlan::all_onprem(2)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn constraint_kernel_matches_preference_semantics() {
+        let prefs = MigrationPreferences::with_cpu_limit(4.0)
+            .pin(ComponentId(0), Location::OnPrem)
+            .with_budget(100.0);
+        let kernel = ConstraintKernel::new(&prefs);
+        assert!(kernel.violates_pins(&[true, false]));
+        assert!(!kernel.violates_pins(&[false, true]));
+
+        let mut demand = ResourceDemand::zeros(vec!["A".into(), "B".into()], 2, 600);
+        demand.fill_cpu(0, 3.0);
+        demand.fill_cpu(1, 3.0);
+        let mut subset = Vec::new();
+        // 6 cores on-prem > 4 → infeasible without calling the cost closure.
+        assert!(!kernel.feasible(&demand, &[false, false], &mut subset, || panic!("no cost")));
+        // Offloading B leaves 3 cores; cheap → feasible.
+        assert!(kernel.feasible(&demand, &[false, true], &mut subset, || 1.0));
+        // Budget violation.
+        assert!(!kernel.feasible(&demand, &[false, true], &mut subset, || 1_000.0));
+    }
+}

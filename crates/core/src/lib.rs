@@ -14,7 +14,9 @@
 //!    network footprint of every API (Eq. 1).
 //! 2. **Migration recommendation** — [`quality`] models the three quality
 //!    indicators of a candidate plan ([`delay`] performs the delay-injection
-//!    latency estimate of §4.1.1), [`eval`] wraps the quality model in a
+//!    latency estimate of §4.1.1; [`kernel`] compiles it into a flat,
+//!    index-resolved, allocation-free scoring pass), [`eval`] wraps the
+//!    quality model in a
 //!    cached, batched, thread-parallel evaluation layer shared by every
 //!    search path, [`plan`]/[`preferences`] describe plans and constraints
 //!    (Eq. 4), [`rl_crossover`] trains the reward-driven crossover agent
@@ -34,6 +36,7 @@ pub mod delay;
 pub mod eval;
 pub mod footprint;
 pub mod hierarchy;
+pub mod kernel;
 pub mod monitor;
 pub mod plan;
 pub mod preferences;
@@ -48,6 +51,7 @@ pub use delay::DelayInjector;
 pub use eval::{EvalStats, PlanEvaluator};
 pub use footprint::{FootprintLearner, NetworkFootprint};
 pub use hierarchy::{Dendrogram, DendrogramNode};
+pub use kernel::{CompiledQuality, ConstraintKernel};
 pub use monitor::{kl_divergence, DriftDetector, DriftReport};
 pub use plan::MigrationPlan;
 pub use preferences::MigrationPreferences;

@@ -1,5 +1,13 @@
 //! Migration-quality modeling: `Q_Perf`, `Q_Avai`, `Q_Cost` and the
 //! feasibility constraints of Eq. 4.
+//!
+//! Scoring is two-tier since PR 4: [`QualityModel::new`] compiles the
+//! learned traces into a [`CompiledQuality`] kernel (see [`crate::kernel`]) and every hot entry point — `evaluate`,
+//! `performance`, `availability`, `cost`, `is_feasible`,
+//! `estimate_api_latency_ms` — scores through it, allocation-free. The
+//! original interpretive implementations remain available as
+//! `*_interpretive` reference oracles; property tests pin the two paths
+//! bit-identical.
 
 use std::collections::HashMap;
 
@@ -10,6 +18,7 @@ use atlas_sim::{Location, Placement};
 
 use crate::delay::DelayInjector;
 use crate::footprint::NetworkFootprint;
+use crate::kernel::{with_scratch, CompiledQuality};
 use crate::plan::MigrationPlan;
 use crate::preferences::MigrationPreferences;
 use crate::profile::ApplicationProfile;
@@ -30,8 +39,13 @@ pub struct PlanQuality {
 
 impl PlanQuality {
     /// The objective vector `[Q_Perf, Q_Avai, Q_Cost]` used by NSGA-II.
-    pub fn objectives(&self) -> Vec<f64> {
-        vec![self.performance, self.availability, self.cost]
+    ///
+    /// Returns a fixed-size array (API change in PR 4: previously a
+    /// `Vec<f64>`) so the O(N²) dominance loops of `atlas-ga` compare
+    /// objectives without a heap allocation per population member; the GA
+    /// entry points are generic over `AsRef<[f64]>` and accept it directly.
+    pub fn objectives(&self) -> [f64; 3] {
+        [self.performance, self.availability, self.cost]
     }
 }
 
@@ -49,6 +63,11 @@ pub struct QualityModel {
     component_index: Vec<String>,
     /// Current mean latency per API (ms), the denominator of `Q_Perf`.
     baseline_latency_ms: HashMap<String, f64>,
+    /// API endpoints in sorted order: the deterministic summation order of
+    /// `Q_Perf`/`Q_Avai`, shared by the kernel and the interpretive path.
+    api_order: Vec<String>,
+    /// The compiled evaluation kernel (see [`crate::kernel`]).
+    kernel: CompiledQuality,
 }
 
 impl QualityModel {
@@ -73,11 +92,29 @@ impl QualityModel {
             component_index.len(),
             "current placement must cover every component"
         );
-        let baseline_latency_ms = profile
+        assert_eq!(
+            injector.component_index(),
+            component_index,
+            "the delay injector must resolve names against the same component \
+             index as the model, or the compiled kernel and the interpretive \
+             oracle would silently disagree"
+        );
+        let baseline_latency_ms: HashMap<String, f64> = profile
             .apis
             .iter()
             .map(|(k, v)| (k.clone(), v.mean_latency_ms.max(1e-6)))
             .collect();
+        let mut api_order: Vec<String> = profile.apis.keys().cloned().collect();
+        api_order.sort();
+        let kernel = CompiledQuality::compile(
+            &profile,
+            &footprint,
+            injector.network(),
+            &preferences,
+            &current,
+            &component_index,
+            &api_order,
+        );
         Self {
             profile,
             footprint,
@@ -88,6 +125,8 @@ impl QualityModel {
             current,
             component_index,
             baseline_latency_ms,
+            api_order,
+            kernel,
         }
     }
 
@@ -121,8 +160,33 @@ impl QualityModel {
         &self.current
     }
 
-    /// Estimated post-migration mean latency (ms) of one API under a plan.
+    /// Milliseconds the construction-time kernel compile pass took
+    /// (surfaced as `EvalStats::kernel_compile_ms`).
+    pub fn kernel_compile_ms(&self) -> f64 {
+        self.kernel.compile_ms()
+    }
+
+    /// The compiled evaluation kernel backing the hot scoring paths.
+    pub fn kernel(&self) -> &CompiledQuality {
+        &self.kernel
+    }
+
+    /// Estimated post-migration mean latency (ms) of one API under a plan
+    /// (compiled kernel; bit-identical to
+    /// [`Self::estimate_api_latency_ms_interpretive`]).
     pub fn estimate_api_latency_ms(&self, api: &str, plan: &MigrationPlan) -> f64 {
+        let Some(slot) = self.kernel.api_slot(api) else {
+            return 0.0;
+        };
+        with_scratch(|s| {
+            self.kernel
+                .api_latency_ms(slot, plan.placement().locations(), &mut s.stack)
+        })
+    }
+
+    /// Interpretive reference of [`Self::estimate_api_latency_ms`]: replays
+    /// the retained traces through the recursive [`DelayInjector`].
+    pub fn estimate_api_latency_ms_interpretive(&self, api: &str, plan: &MigrationPlan) -> f64 {
         let Some(profile) = self.profile.apis.get(api) else {
             return 0.0;
         };
@@ -134,28 +198,48 @@ impl QualityModel {
         )
     }
 
-    /// `Q_Perf(p)`: weighted mean of per-API latency ratios.
+    /// `Q_Perf(p)`: weighted mean of per-API latency ratios (compiled
+    /// kernel).
     pub fn performance(&self, plan: &MigrationPlan) -> f64 {
-        let apis: Vec<&String> = self.profile.apis.keys().collect();
-        if apis.is_empty() {
+        with_scratch(|s| {
+            self.kernel
+                .performance(plan.placement().locations(), &mut s.stack)
+        })
+    }
+
+    /// Interpretive reference of [`Self::performance`], summing the APIs in
+    /// the same sorted order as the kernel.
+    pub fn performance_interpretive(&self, plan: &MigrationPlan) -> f64 {
+        if self.api_order.is_empty() {
             return 1.0;
         }
         let mut total = 0.0;
         let mut weight_sum = 0.0;
-        for api in apis {
+        for api in &self.api_order {
             let weight = self.preferences.api_weight(api);
             let baseline = self.baseline_latency_ms[api];
-            let estimated = self.estimate_api_latency_ms(api, plan).max(1e-9);
+            let estimated = self
+                .estimate_api_latency_ms_interpretive(api, plan)
+                .max(1e-9);
             total += weight * estimated / baseline;
             weight_sum += weight;
         }
         total / weight_sum
     }
 
-    /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move.
+    /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move
+    /// (compiled kernel).
     pub fn availability(&self, plan: &MigrationPlan) -> f64 {
+        self.kernel
+            .availability(plan.placement().locations(), self.current.locations())
+    }
+
+    /// Interpretive reference of [`Self::availability`], resolving stateful
+    /// component names with the original index scan.
+    pub fn availability_interpretive(&self, plan: &MigrationPlan) -> f64 {
         let mut disruption = 0.0;
-        for (api, profile) in &self.profile.apis {
+        for api in &self.api_order {
+            let profile = &self.profile.apis[api];
             let disrupted = profile.stateful_components.iter().any(|c| {
                 self.component_index
                     .iter()
@@ -173,8 +257,19 @@ impl QualityModel {
         disruption
     }
 
-    /// `Q_Cost(p)`: cloud hosting cost over the demand horizon (dollars).
+    /// `Q_Cost(p)`: cloud hosting cost over the demand horizon (dollars),
+    /// computed with the kernel's reusable in-cloud scratch buffer.
     pub fn cost(&self, plan: &MigrationPlan) -> f64 {
+        with_scratch(|s| {
+            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            self.cost_model
+                .evaluate_with_scratch(&self.demand, &s.in_cloud, &mut s.cost)
+                .total()
+        })
+    }
+
+    /// Interpretive reference of [`Self::cost`] (allocating per call).
+    pub fn cost_interpretive(&self, plan: &MigrationPlan) -> f64 {
         let in_cloud: Vec<bool> = (0..self.component_count())
             .map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud)
             .collect();
@@ -192,9 +287,31 @@ impl QualityModel {
             .total()
     }
 
-    /// `λ(p)`: whether the plan satisfies every constraint of Eq. 4.
+    /// `λ(p)`: whether the plan satisfies every constraint of Eq. 4
+    /// (compiled constraint kernel; same verdict as
+    /// [`Self::feasibility`]`.is_none()`, without the diagnostics or their
+    /// allocations).
     pub fn is_feasible(&self, plan: &MigrationPlan) -> bool {
-        self.feasibility(plan).is_none()
+        if plan.len() != self.component_count() {
+            return false;
+        }
+        with_scratch(|s| {
+            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            let crate::kernel::EvalScratch {
+                in_cloud,
+                subset,
+                cost,
+                ..
+            } = s;
+            let flags: &[bool] = in_cloud;
+            self.kernel
+                .constraints()
+                .feasible(&self.demand, flags, subset, || {
+                    self.cost_model
+                        .evaluate_with_scratch(&self.demand, flags, cost)
+                        .total()
+                })
+        })
     }
 
     /// The first violated constraint, if any (useful for diagnostics).
@@ -241,15 +358,54 @@ impl QualityModel {
         None
     }
 
-    /// Evaluate all three qualities plus feasibility of a plan.
+    /// Evaluate all three qualities plus feasibility of a plan through the
+    /// compiled kernel. `Q_Cost` is computed once and reused by the budget
+    /// constraint (the interpretive path used to score it twice when a
+    /// budget preference was set).
     pub fn evaluate(&self, plan: &MigrationPlan) -> PlanQuality {
+        with_scratch(|s| {
+            let locs = plan.placement().locations();
+            let performance = self.kernel.performance(locs, &mut s.stack);
+            let availability = self.kernel.availability(locs, self.current.locations());
+            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            let cost = self
+                .cost_model
+                .evaluate_with_scratch(&self.demand, &s.in_cloud, &mut s.cost)
+                .total();
+            let feasible = plan.len() == self.component_count()
+                && self.kernel.constraints().feasible(
+                    &self.demand,
+                    &s.in_cloud,
+                    &mut s.subset,
+                    || cost,
+                );
+            PlanQuality {
+                performance,
+                availability,
+                cost,
+                feasible,
+            }
+        })
+    }
+
+    /// Interpretive reference of [`Self::evaluate`]: scores every indicator
+    /// through the original recursive/allocating implementations. The
+    /// compiled kernel is pinned bit-identical to this oracle by property
+    /// tests; prefer [`Self::evaluate`] everywhere else.
+    pub fn evaluate_interpretive(&self, plan: &MigrationPlan) -> PlanQuality {
         PlanQuality {
-            performance: self.performance(plan),
-            availability: self.availability(plan),
-            cost: self.cost(plan),
-            feasible: self.is_feasible(plan),
+            performance: self.performance_interpretive(plan),
+            availability: self.availability_interpretive(plan),
+            cost: self.cost_interpretive(plan),
+            feasible: self.feasibility(plan).is_none(),
         }
     }
+}
+
+/// Fill `in_cloud` with the plan's cloud flags for components `0..n`.
+fn fill_in_cloud(in_cloud: &mut Vec<bool>, plan: &MigrationPlan, n: usize) {
+    in_cloud.clear();
+    in_cloud.extend((0..n).map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud));
 }
 
 #[cfg(test)]

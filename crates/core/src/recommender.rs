@@ -243,7 +243,7 @@ impl<'a> Recommender<'a> {
         // the rank/crowding driving the tournaments.
         while visited(evaluator) < self.config.max_visited && requested < request_cap {
             let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
-            let objectives: Vec<Vec<f64>> = qualities.iter().map(|q| q.objectives()).collect();
+            let objectives: Vec<[f64; 3]> = qualities.iter().map(|q| q.objectives()).collect();
             let survival = survive(&objectives, &feasible, self.config.population);
             population = survival
                 .selected
@@ -298,7 +298,7 @@ impl<'a> Recommender<'a> {
         } else {
             feasible_indices
         };
-        let objectives: Vec<Vec<f64>> = candidate_indices
+        let objectives: Vec<[f64; 3]> = candidate_indices
             .iter()
             .map(|&i| qualities[i].objectives())
             .collect();

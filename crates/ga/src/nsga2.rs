@@ -6,6 +6,11 @@
 //! infeasible solutions are compared by their objectives like feasible ones
 //! (the caller can fold a violation measure into the objectives if desired).
 //!
+//! Every entry point is generic over `AsRef<[f64]>`, so populations can be
+//! scored into fixed-size arrays (`[f64; 3]` for Atlas's three indicators)
+//! and sorted without a per-member `Vec` allocation in the O(N²) dominance
+//! loop; plain `Vec<Vec<f64>>` populations keep working unchanged.
+//!
 //! # Example
 //!
 //! Sort four candidate plans scored on two minimised objectives into Pareto
@@ -48,7 +53,10 @@ fn constrained_dominates(a: &[f64], a_feasible: bool, b: &[f64], b_feasible: boo
 ///
 /// Returns the fronts as vectors of indices; every index appears exactly
 /// once.
-pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], feasible: &[bool]) -> Vec<Vec<usize>> {
+pub fn fast_non_dominated_sort<S: AsRef<[f64]>>(
+    objectives: &[S],
+    feasible: &[bool],
+) -> Vec<Vec<usize>> {
     let n = objectives.len();
     assert_eq!(
         n,
@@ -65,12 +73,17 @@ pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], feasible: &[bool]) -> Ve
             if i == j {
                 continue;
             }
-            if constrained_dominates(&objectives[i], feasible[i], &objectives[j], feasible[j]) {
+            if constrained_dominates(
+                objectives[i].as_ref(),
+                feasible[i],
+                objectives[j].as_ref(),
+                feasible[j],
+            ) {
                 dominated_by[i].push(j);
             } else if constrained_dominates(
-                &objectives[j],
+                objectives[j].as_ref(),
                 feasible[j],
-                &objectives[i],
+                objectives[i].as_ref(),
                 feasible[i],
             ) {
                 domination_count[i] += 1;
@@ -97,7 +110,7 @@ pub fn fast_non_dominated_sort(objectives: &[Vec<f64>], feasible: &[bool]) -> Ve
 
 /// Crowding distance of each member of one front (larger = more isolated =
 /// preferred for diversity). Boundary members get `f64::INFINITY`.
-pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
+pub fn crowding_distance<S: AsRef<[f64]>>(objectives: &[S], front: &[usize]) -> Vec<f64> {
     let m = front.len();
     if m == 0 {
         return Vec::new();
@@ -105,17 +118,17 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     if m <= 2 {
         return vec![f64::INFINITY; m];
     }
-    let objective_count = objectives[front[0]].len();
+    let objective_count = objectives[front[0]].as_ref().len();
     let mut distance = vec![0.0f64; m];
     for k in 0..objective_count {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
-            objectives[front[a]][k]
-                .partial_cmp(&objectives[front[b]][k])
+            objectives[front[a]].as_ref()[k]
+                .partial_cmp(&objectives[front[b]].as_ref()[k])
                 .expect("objectives must be finite")
         });
-        let min = objectives[front[order[0]]][k];
-        let max = objectives[front[order[m - 1]]][k];
+        let min = objectives[front[order[0]]].as_ref()[k];
+        let max = objectives[front[order[m - 1]]].as_ref()[k];
         distance[order[0]] = f64::INFINITY;
         distance[order[m - 1]] = f64::INFINITY;
         let range = max - min;
@@ -123,8 +136,8 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
             continue;
         }
         for w in 1..m - 1 {
-            let prev = objectives[front[order[w - 1]]][k];
-            let next = objectives[front[order[w + 1]]][k];
+            let prev = objectives[front[order[w - 1]]].as_ref()[k];
+            let next = objectives[front[order[w + 1]]].as_ref()[k];
             if distance[order[w]].is_finite() {
                 distance[order[w]] += (next - prev) / range;
             }
@@ -135,7 +148,11 @@ pub fn crowding_distance(objectives: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
 
 /// NSGA-II survival: keep the `capacity` best members (by front rank, ties
 /// broken by crowding distance). Returns the selected indices.
-pub fn select_survivors(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> Vec<usize> {
+pub fn select_survivors<S: AsRef<[f64]>>(
+    objectives: &[S],
+    feasible: &[bool],
+    capacity: usize,
+) -> Vec<usize> {
     survive(objectives, feasible, capacity).selected
 }
 
@@ -161,7 +178,7 @@ pub struct Survival {
 /// membership is preserved under survival truncation because every member of
 /// front `r+1` is dominated by some member of the fully-kept front `r`, and
 /// crowding of a truncated front is recomputed over the kept members only.
-pub fn survive(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> Survival {
+pub fn survive<S: AsRef<[f64]>>(objectives: &[S], feasible: &[bool], capacity: usize) -> Survival {
     let fronts = fast_non_dominated_sort(objectives, feasible);
     let mut selected = Vec::with_capacity(capacity.min(objectives.len()));
     let mut rank = Vec::with_capacity(selected.capacity());
@@ -210,7 +227,10 @@ pub fn survive(objectives: &[Vec<f64>], feasible: &[bool], capacity: usize) -> S
 
 /// Rank (front index) and crowding distance of every member, used by the
 /// binary tournament.
-pub fn rank_and_crowding(objectives: &[Vec<f64>], feasible: &[bool]) -> (Vec<usize>, Vec<f64>) {
+pub fn rank_and_crowding<S: AsRef<[f64]>>(
+    objectives: &[S],
+    feasible: &[bool],
+) -> (Vec<usize>, Vec<f64>) {
     let fronts = fast_non_dominated_sort(objectives, feasible);
     let n = objectives.len();
     let mut rank = vec![0usize; n];
@@ -376,9 +396,9 @@ mod tests {
 
     #[test]
     fn empty_population_is_handled() {
-        assert!(fast_non_dominated_sort(&[], &[]).is_empty());
-        assert!(select_survivors(&[], &[], 5).is_empty());
-        let survival = survive(&[], &[], 5);
+        assert!(fast_non_dominated_sort::<Vec<f64>>(&[], &[]).is_empty());
+        assert!(select_survivors::<Vec<f64>>(&[], &[], 5).is_empty());
+        let survival = survive::<Vec<f64>>(&[], &[], 5);
         assert!(survival.selected.is_empty());
         assert!(survival.rank.is_empty());
         assert!(survival.crowding.is_empty());

@@ -20,12 +20,14 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 /// (minimisation). A member is kept if no other member dominates it.
 ///
 /// Duplicated objective vectors are all kept (they do not dominate each
-/// other), which matches how the paper counts recommended plans.
-pub fn pareto_front_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+/// other), which matches how the paper counts recommended plans. Generic
+/// over `AsRef<[f64]>` so fixed-size `[f64; N]` objective arrays work
+/// without per-member allocation.
+pub fn pareto_front_indices<S: AsRef<[f64]>>(objectives: &[S]) -> Vec<usize> {
     let mut front = Vec::new();
     'outer: for (i, a) in objectives.iter().enumerate() {
         for (j, b) in objectives.iter().enumerate() {
-            if i != j && dominates(b, a) {
+            if i != j && dominates(b.as_ref(), a.as_ref()) {
                 continue 'outer;
             }
         }
@@ -82,7 +84,7 @@ mod tests {
     #[test]
     fn single_member_is_trivially_optimal() {
         assert_eq!(pareto_front_indices(&[vec![3.0, 7.0]]), vec![0]);
-        assert!(pareto_front_indices(&[]).is_empty());
+        assert!(pareto_front_indices::<Vec<f64>>(&[]).is_empty());
     }
 
     #[test]

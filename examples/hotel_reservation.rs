@@ -67,7 +67,7 @@ fn main() {
     let points: Vec<Vec<f64>> = report
         .plans
         .iter()
-        .map(|p| p.quality.objectives())
+        .map(|p| p.quality.objectives().to_vec())
         .collect();
     let clusters = dendrogram.cut(3.min(report.plans.len()));
     let representatives = dendrogram.representatives(&points, 3.min(report.plans.len()));

@@ -84,6 +84,46 @@ proptest! {
         prop_assert_eq!(unchanged, 0.0);
     }
 
+    /// The compiled evaluation kernel is bit-identical to the interpretive
+    /// `DelayInjector`/`QualityModel` oracle: every indicator and the
+    /// feasibility verdict agree to the last bit for arbitrary plans over
+    /// the shared 29-component model — feasible ones, budget/CPU violators
+    /// (all-on-prem exceeds the burst CPU limit) and pin violators alike.
+    #[test]
+    fn compiled_kernel_is_bit_identical_to_the_interpretive_oracle(
+        bits in prop::collection::vec(prop::collection::vec(0u8..=1, 29), 1..6),
+    ) {
+        let quality = shared_quality();
+        let mut plans: Vec<MigrationPlan> =
+            bits.iter().map(|b| MigrationPlan::from_bits(b)).collect();
+        plans.push(MigrationPlan::all_onprem(29)); // infeasible: CPU limit
+        plans.push(MigrationPlan::new(Placement::all_cloud(29))); // violates pins
+        for plan in &plans {
+            let kernel = quality.evaluate(plan);
+            let oracle = quality.evaluate_interpretive(plan);
+            prop_assert_eq!(kernel.performance.to_bits(), oracle.performance.to_bits());
+            prop_assert_eq!(kernel.availability.to_bits(), oracle.availability.to_bits());
+            prop_assert_eq!(kernel.cost.to_bits(), oracle.cost.to_bits());
+            prop_assert_eq!(kernel.feasible, oracle.feasible);
+            // The individual kernel entry points agree with their oracles
+            // and with the composite evaluation.
+            prop_assert_eq!(
+                quality.performance(plan).to_bits(),
+                quality.performance_interpretive(plan).to_bits()
+            );
+            prop_assert_eq!(
+                quality.availability(plan).to_bits(),
+                quality.availability_interpretive(plan).to_bits()
+            );
+            prop_assert_eq!(
+                quality.cost(plan).to_bits(),
+                quality.cost_interpretive(plan).to_bits()
+            );
+            prop_assert_eq!(quality.is_feasible(plan), quality.feasibility(plan).is_none());
+        }
+        prop_assert!(plans.iter().any(|p| !quality.is_feasible(p)));
+    }
+
     /// The cached, batched, thread-parallel evaluator returns bit-identical
     /// qualities to a direct `QualityModel::evaluate` call for arbitrary
     /// plans — including infeasible ones (the all-on-prem plan violates the
@@ -236,6 +276,14 @@ proptest! {
             prop_assert_eq!(direct.feasible, from_batch.feasible);
             prop_assert_eq!(exp.quality.is_feasible(plan), direct.feasible);
             prop_assert_eq!(exp.quality.feasibility(plan).is_none(), direct.feasible);
+            // The compiled kernel matches the interpretive oracle bit for
+            // bit on generated scenarios too (synthetic topologies exercise
+            // fan-out/chain/mesh wave structures the seed apps do not).
+            let oracle = exp.quality.evaluate_interpretive(plan);
+            prop_assert_eq!(direct.performance.to_bits(), oracle.performance.to_bits());
+            prop_assert_eq!(direct.availability.to_bits(), oracle.availability.to_bits());
+            prop_assert_eq!(direct.cost.to_bits(), oracle.cost.to_bits());
+            prop_assert_eq!(direct.feasible, oracle.feasible);
         }
 
         // Bit-identical recommendation per seed, and a non-dominated front.
