@@ -55,9 +55,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use atlas_cloud::ResourceDemand;
+use atlas_cloud::{PricingModel, Provider, ResourceDemand};
 use atlas_sim::{
-    ApiSpec, AppTopology, CallEdge, CallNode, ComponentId, ComponentSpec, SizeDist, TimeDist,
+    ApiSpec, AppTopology, CallEdge, CallNode, ClusterSpec, ComponentId, ComponentSpec, LinkSpec,
+    SiteCatalog, SiteNetwork, SiteSpec, SizeDist, TimeDist,
 };
 
 use crate::datasets::{MediaStats, SocialGraphStats};
@@ -106,6 +107,12 @@ pub struct SynthOptions {
     pub data_scale: f64,
     /// Shape of the paired workload.
     pub workload: WorkloadShape,
+    /// Number of placement sites of the paired [`SiteCatalog`], between 2
+    /// and 16. `2` (the default) reproduces the paper's on-prem + one-cloud
+    /// world exactly; larger counts generate additional elastic regions
+    /// with per-ordered-pair latencies drawn from a deterministic
+    /// geographic model and pricing cycled over the provider presets.
+    pub site_count: usize,
     /// Master seed for every random choice of the generator.
     pub seed: u64,
 }
@@ -120,6 +127,7 @@ impl Default for SynthOptions {
             call_depth: 4,
             data_scale: 1.0,
             workload: WorkloadShape::Diurnal,
+            site_count: 2,
             seed: 42,
         }
     }
@@ -138,6 +146,8 @@ pub enum SynthError {
     CallDepth(usize),
     /// Non-positive or non-finite data scale.
     DataScale(f64),
+    /// Site count outside 2–16.
+    SiteCount(usize),
 }
 
 impl std::fmt::Display for SynthError {
@@ -152,6 +162,7 @@ impl std::fmt::Display for SynthError {
             SynthError::ApiCount(n) => write!(f, "API count {n} outside 1–components/3"),
             SynthError::CallDepth(d) => write!(f, "call depth {d} outside 2–12"),
             SynthError::DataScale(s) => write!(f, "data scale {s} must be positive and finite"),
+            SynthError::SiteCount(n) => write!(f, "site count {n} outside the supported 2–16"),
         }
     }
 }
@@ -172,6 +183,11 @@ pub struct SynthScenario {
     pub graph: SocialGraphStats,
     /// Media-corpus-like dataset statistics used to size blob payloads.
     pub media: MediaStats,
+    /// The placement sites of the scenario: on-prem at site 0 plus
+    /// `site_count − 1` elastic regions over a geographic link model. For
+    /// `site_count == 2` this is exactly [`SiteCatalog::default`], so the
+    /// scenario scores bit-identically to the historical two-site world.
+    pub catalog: SiteCatalog,
 }
 
 impl SynthScenario {
@@ -433,6 +449,7 @@ pub fn synthesize(options: SynthOptions) -> Result<SynthScenario, SynthError> {
         workload,
         graph,
         media,
+        catalog: generate_catalog(options.site_count, options.seed),
     })
 }
 
@@ -452,7 +469,90 @@ fn validate(options: &SynthOptions) -> Result<(), SynthError> {
     if !(options.data_scale > 0.0) || !options.data_scale.is_finite() {
         return Err(SynthError::DataScale(options.data_scale));
     }
+    if !(2..=16).contains(&options.site_count) {
+        return Err(SynthError::SiteCount(options.site_count));
+    }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Site-catalog generation (the geographic model).
+// ---------------------------------------------------------------------------
+
+/// Generate the scenario's [`SiteCatalog`] deterministically from the master
+/// seed.
+///
+/// The two-site case returns [`SiteCatalog::default`] — the paper's
+/// measured testbed numbers — so every historical scenario is reproduced
+/// exactly. Larger catalogs place the elastic regions on a plane around the
+/// on-prem site: each region gets a deterministic position (ring angle +
+/// radial distance in km), per-ordered-pair latencies follow fibre
+/// propagation at ~100 km/ms one-way over the pair's euclidean distance
+/// (plus the measured intra-DC floor and a small per-direction jitter),
+/// bandwidths are drawn per direction, and pricing cycles the AWS/Azure/GCP
+/// presets with a per-region price multiplier.
+///
+/// The catalog draws from its own seeded stream (`seed ^ SITE_STREAM`), so
+/// adding sites never perturbs the topology/workload generation stream —
+/// the same seed at any `site_count` yields the identical application.
+fn generate_catalog(site_count: usize, seed: u64) -> SiteCatalog {
+    if site_count == 2 {
+        return SiteCatalog::default();
+    }
+    const SITE_STREAM: u64 = 0xA11A_5C0F_FEE5_17E5;
+    let mut rng = StdRng::seed_from_u64(seed ^ SITE_STREAM);
+    let cluster = ClusterSpec::default();
+    let intra = cluster.network.intra;
+
+    // Positions (km): on-prem at the origin, regions on a deterministic
+    // scatter 300–6000 km out.
+    let mut positions: Vec<(f64, f64)> = vec![(0.0, 0.0)];
+    for _ in 1..site_count {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let radius_km = rng.gen_range(300.0..6_000.0);
+        positions.push((radius_km * angle.cos(), radius_km * angle.sin()));
+    }
+
+    let providers = [Provider::AwsLike, Provider::AzureLike, Provider::GcpLike];
+    let mut sites = Vec::with_capacity(site_count);
+    sites.push(SiteSpec::owned(
+        "on-prem",
+        cluster.onprem_cpu_cores,
+        cluster.onprem_memory_gb,
+        cluster.onprem_storage_gb,
+    ));
+    for k in 1..site_count {
+        let mut pricing = PricingModel::preset(providers[(k - 1) % providers.len()]);
+        let regional = rng.gen_range(0.85..1.35);
+        pricing.compute_per_node_hour *= regional;
+        pricing.storage_per_gb_month *= regional;
+        pricing.egress_per_gb *= regional;
+        sites.push(SiteSpec::elastic(format!("region-{k:02}"), pricing));
+    }
+
+    // Per-ordered-pair links: distance-driven latency, mildly asymmetric
+    // jitter and bandwidth per direction.
+    let mut links = Vec::with_capacity(site_count * site_count);
+    for a in 0..site_count {
+        for b in 0..site_count {
+            if a == b {
+                links.push(intra);
+                continue;
+            }
+            let (xa, ya) = positions[a];
+            let (xb, yb) = positions[b];
+            let distance_km = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            // One-way fibre propagation ≈ distance / 100 km/ms plus the
+            // intra-DC floor and routing jitter.
+            let latency_ms = intra.latency_ms + distance_km / 100.0 * rng.gen_range(0.95..1.15);
+            let bandwidth_mbps = rng.gen_range(500.0..950.0);
+            links.push(LinkSpec {
+                latency_ms,
+                bandwidth_mbps,
+            });
+        }
+    }
+    SiteCatalog::new(sites, SiteNetwork::from_links(site_count, links))
 }
 
 fn layout_of(options: &SynthOptions) -> Layout {
@@ -1055,6 +1155,20 @@ mod tests {
             ),
             (
                 SynthOptions {
+                    site_count: 1,
+                    ..ok
+                },
+                SynthError::SiteCount(1),
+            ),
+            (
+                SynthOptions {
+                    site_count: 17,
+                    ..ok
+                },
+                SynthError::SiteCount(17),
+            ),
+            (
+                SynthOptions {
                     components: 501,
                     ..ok
                 },
@@ -1089,6 +1203,80 @@ mod tests {
         }
         // Errors display something useful.
         assert!(SynthError::ComponentCount(9).to_string().contains("10"));
+    }
+
+    #[test]
+    fn two_site_scenarios_carry_the_default_catalog() {
+        let scenario = synthesize(SynthOptions::default()).unwrap();
+        assert_eq!(scenario.catalog, atlas_sim::SiteCatalog::default());
+        assert_eq!(scenario.catalog.len(), 2);
+    }
+
+    #[test]
+    fn multi_site_catalogs_follow_the_geographic_model() {
+        use atlas_sim::SiteId;
+        let scenario = synthesize(SynthOptions {
+            site_count: 5,
+            seed: 12,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        let catalog = &scenario.catalog;
+        assert_eq!(catalog.len(), 5);
+        assert!(!catalog.site(SiteId(0)).is_elastic());
+        for k in 1..5u16 {
+            assert!(catalog.site(SiteId(k)).is_elastic());
+            let pricing = catalog.site(SiteId(k)).pricing.as_ref().unwrap();
+            assert!(pricing.compute_per_node_hour > 0.0);
+        }
+        let network = catalog.network();
+        let intra = network.link(SiteId(0), SiteId(0));
+        for a in 0..5u16 {
+            for b in 0..5u16 {
+                let link = network.link(SiteId(a), SiteId(b));
+                if a == b {
+                    assert_eq!(link, intra, "same-site links use the intra spec");
+                } else {
+                    // Distance-driven latencies: at least 300 km apart at
+                    // ~100 km/ms → ≥ ~3 ms one way, well above the intra
+                    // floor; bandwidths stay in the drawn range.
+                    assert!(link.latency_ms > 1.0, "{a}->{b}: {}", link.latency_ms);
+                    assert!((500.0..950.0).contains(&link.bandwidth_mbps));
+                }
+            }
+        }
+        // Pricing differs across regions (regional multipliers).
+        let p1 = &catalog.site(SiteId(1)).pricing;
+        let p2 = &catalog.site(SiteId(2)).pricing;
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn site_count_does_not_perturb_the_generated_application() {
+        let two = synthesize(SynthOptions {
+            seed: 31,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        let five = synthesize(SynthOptions {
+            site_count: 5,
+            seed: 31,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        // The catalog has its own random stream: the application and its
+        // workload are bit-identical at any site count.
+        assert_eq!(two.topology, five.topology);
+        assert_eq!(two.workload, five.workload);
+        assert_ne!(two.catalog, five.catalog);
+        // And catalog generation itself is deterministic per seed.
+        let again = synthesize(SynthOptions {
+            site_count: 5,
+            seed: 31,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        assert_eq!(five.catalog, again.catalog);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! requests — the gap Atlas exploits.
 
 use atlas_core::MigrationPlan;
+use atlas_sim::SiteId;
 use atlas_telemetry::{Direction, TelemetryStore};
 
 use crate::context::{BaselineContext, PlacementScore};
@@ -93,6 +94,36 @@ impl AffinityMatrix {
         }
         total
     }
+
+    /// Total bytes on pairs whose endpoints sit at *different* sites — the
+    /// N-site generalisation of [`Self::cross_boundary_bytes`], summing the
+    /// pairs in the same order (for two sites the two are bit-identical).
+    pub fn cross_site_bytes(&self, sites: &[SiteId]) -> f64 {
+        let n = self.len().min(sites.len());
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sites[i] != sites[j] {
+                    total += self.bytes[i][j];
+                }
+            }
+        }
+        total
+    }
+
+    /// Total messages on cross-site pairs (see [`Self::cross_site_bytes`]).
+    pub fn cross_site_messages(&self, sites: &[SiteId]) -> f64 {
+        let n = self.len().min(sites.len());
+        let mut total = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sites[i] != sites[j] {
+                    total += self.messages[i][j];
+                }
+            }
+        }
+        total
+    }
 }
 
 /// The affinity score the two advisors minimise.
@@ -115,19 +146,22 @@ fn affinity_of(score: &PlacementScore, objective: AffinityObjective) -> f64 {
     }
 }
 
-/// Greedy affinity-minimising placement: offload components one by one,
-/// always picking the component whose offloading yields the smallest
-/// cross-boundary affinity, until the on-prem constraints are satisfied;
-/// then keep offloading while it strictly reduces the affinity.
+/// Greedy affinity-minimising placement over the context's site alphabet:
+/// offload components one `(component, site)` move at a time, always picking
+/// the move with the smallest cross-site affinity, until the on-prem
+/// constraints are satisfied; then keep moving components (to any site,
+/// including back on-prem) while it strictly reduces the affinity. The
+/// two-site case probes exactly the historical offload/flip moves.
 fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> MigrationPlan {
     // Both phases repeatedly re-probe overlapping placements (each greedy
     // step re-scores every remaining candidate; each improvement round
-    // re-tests rejected flips), so route everything through the shared
+    // re-tests rejected moves), so route everything through the shared
     // cached scorer.
     let scorer = ctx.scorer();
     let n = ctx.component_count();
-    let mut in_cloud = vec![false; n];
-    ctx.apply_pins(&mut in_cloud);
+    let site_count = ctx.site_count as u16;
+    let mut sites = vec![SiteId::ON_PREM; n];
+    ctx.apply_pins(&mut sites);
 
     let movable: Vec<usize> = (0..n)
         .filter(|&i| {
@@ -137,50 +171,57 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
         })
         .collect();
 
-    // Phase 1: reach feasibility.
+    // Phase 1: reach feasibility by offloading on-prem components.
     let mut guard = 0;
-    while !scorer.score(&in_cloud).feasible && guard < n {
+    while !scorer.score(&sites).feasible && guard < n {
         guard += 1;
         let candidate = movable
             .iter()
             .copied()
-            .filter(|&i| !in_cloud[i])
-            .min_by(|&a, &b| {
-                let mut with_a = in_cloud.clone();
-                with_a[a] = true;
-                let mut with_b = in_cloud.clone();
-                with_b[b] = true;
+            .filter(|&i| sites[i].is_on_prem())
+            .flat_map(|i| (1..site_count).map(move |s| (i, SiteId(s))))
+            .min_by(|&(ia, sa), &(ib, sb)| {
+                let mut with_a = sites.clone();
+                with_a[ia] = sa;
+                let mut with_b = sites.clone();
+                with_b[ib] = sb;
                 affinity_of(&scorer.score(&with_a), objective)
                     .partial_cmp(&affinity_of(&scorer.score(&with_b), objective))
                     .expect("finite affinity")
             });
         match candidate {
-            Some(c) => in_cloud[c] = true,
+            Some((c, s)) => sites[c] = s,
             None => break,
         }
     }
 
-    // Phase 2: local improvement — move any component (either direction) if
+    // Phase 2: local improvement — move any component to any other site if
     // it strictly reduces the affinity while staying feasible.
     let mut improved = true;
     let mut rounds = 0;
-    while improved && rounds < 2 * n {
+    'improve: while improved && rounds < 2 * n {
         improved = false;
         rounds += 1;
-        let current = affinity_of(&scorer.score(&in_cloud), objective);
+        let current = affinity_of(&scorer.score(&sites), objective);
         for &i in &movable {
-            let mut flipped = in_cloud.clone();
-            flipped[i] = !flipped[i];
-            let score = scorer.score(&flipped);
-            if score.feasible && affinity_of(&score, objective) + 1e-9 < current {
-                in_cloud = flipped;
-                improved = true;
-                break;
+            for s in 0..site_count {
+                let target = SiteId(s);
+                if sites[i] == target {
+                    continue;
+                }
+                let mut moved = sites.clone();
+                moved[i] = target;
+                let score = scorer.score(&moved);
+                if score.feasible && affinity_of(&score, objective) + 1e-9 < current {
+                    sites = moved;
+                    improved = true;
+                    continue 'improve;
+                }
             }
         }
     }
 
-    MigrationPlan::from_bits(&BaselineContext::to_bits(&in_cloud))
+    BaselineContext::to_plan(&sites)
 }
 
 /// REMaP-style advisor: minimise cross-datacenter traffic size and message

@@ -9,9 +9,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use atlas_core::MigrationPlan;
+use atlas_core::{random_site, MigrationPlan};
 use atlas_ga::nsga2::survive;
-use atlas_ga::{binary_tournament, bit_flip_mutation, pareto_front_indices, uniform_crossover};
+use atlas_ga::{alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+use atlas_sim::SiteId;
 
 use crate::context::{BaselineContext, BaselineScorer, PlacementScore};
 
@@ -68,6 +69,7 @@ impl AffinityGaAdvisor {
     pub fn recommend_with(&self, scorer: &BaselineScorer<'_>) -> Vec<MigrationPlan> {
         let ctx = scorer.context();
         let n = ctx.component_count();
+        let site_alphabet: Vec<SiteId> = (0..ctx.site_count as u16).map(SiteId).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let already_cached = scorer.unique_evaluations();
         let visited = |scorer: &BaselineScorer<'_>| {
@@ -78,12 +80,14 @@ impl AffinityGaAdvisor {
         let mut requested = 0usize;
         let request_cap = self.max_visited.saturating_mul(8).max(64);
 
-        let mut population: Vec<Vec<bool>> = (0..self.population)
+        let mut population: Vec<Vec<SiteId>> = (0..self.population)
             .map(|_| {
                 let fraction = rng.gen_range(0.05..0.95);
-                let mut flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < fraction).collect();
-                ctx.apply_pins(&mut flags);
-                flags
+                let mut sites: Vec<SiteId> = (0..n)
+                    .map(|_| random_site(&mut rng, fraction, ctx.site_count))
+                    .collect();
+                ctx.apply_pins(&mut sites);
+                sites
             })
             .collect();
         let scores = scorer.score_batch(&population);
@@ -112,13 +116,10 @@ impl AffinityGaAdvisor {
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
                 let b = binary_tournament(&mut rng, &rank, &crowding);
-                let pa: Vec<u8> = population[a].iter().map(|&x| u8::from(x)).collect();
-                let pb: Vec<u8> = population[b].iter().map(|&x| u8::from(x)).collect();
-                let mut bits = uniform_crossover(&mut rng, &pa, &pb);
-                bit_flip_mutation(&mut rng, &mut bits, self.mutation_rate);
-                let mut flags: Vec<bool> = bits.iter().map(|&x| x == 1).collect();
-                ctx.apply_pins(&mut flags);
-                offspring.push(flags);
+                let mut sites = uniform_crossover(&mut rng, &population[a], &population[b]);
+                alphabet_mutation(&mut rng, &mut sites, &site_alphabet, self.mutation_rate);
+                ctx.apply_pins(&mut sites);
+                offspring.push(sites);
             }
             let child_scores = scorer.score_batch(&offspring);
             requested += offspring.len();
@@ -143,7 +144,7 @@ impl AffinityGaAdvisor {
             .into_iter()
             .map(|k| &population[candidates[k]])
             .filter(|p| seen.insert((*p).clone()))
-            .map(|p| MigrationPlan::from_bits(&BaselineContext::to_bits(p)))
+            .map(|p| BaselineContext::to_plan(p))
             .collect()
     }
 }
@@ -197,6 +198,41 @@ mod tests {
         let a = AffinityGaAdvisor::fast().recommend(&ctx);
         let b = AffinityGaAdvisor::fast().recommend(&ctx);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn searches_the_full_site_alphabet_of_a_catalog() {
+        use atlas_sim::{ClusterSpec, SiteCatalog, SiteNetwork, SiteSpec};
+
+        let cluster = ClusterSpec::default();
+        let pricing = atlas_cloud::PricingModel::default();
+        let catalog = SiteCatalog::new(
+            vec![
+                SiteSpec::owned("dc", cluster.onprem_cpu_cores, 1_000.0, 1_000.0),
+                SiteSpec::elastic("east", pricing.clone()),
+                SiteSpec::elastic("west", pricing),
+            ],
+            SiteNetwork::from_links(3, vec![cluster.network.intra; 9]),
+        );
+        let ctx = test_context(7.0).with_catalog(&catalog);
+        assert_eq!(ctx.site_count, 3);
+
+        let plans = AffinityGaAdvisor::fast().recommend(&ctx);
+        assert!(!plans.is_empty());
+        for plan in &plans {
+            assert!(ctx.satisfies_site_constraints(plan.sites()));
+            // Every gene names a catalog site.
+            assert!(plan.sites().iter().all(|s| s.index() < 3));
+        }
+        // The population initialiser and mutation range over all three
+        // sites: across the run, some plan must use a site beyond the
+        // binary alphabet (sampled uniformly over {1, 2}, this fails with
+        // probability ≈ 2^-#offloaded-genes).
+        let sampler_uses_site_2 = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..64).any(|_| random_site(&mut rng, 0.9, 3) == atlas_sim::SiteId(2))
+        };
+        assert!(sampler_uses_site_2);
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Shared inputs of all baseline advisors, plus the cached placement scorer
 //! every baseline routes its objective/constraint queries through.
 
-use atlas_cloud::{CostModel, ResourceDemand};
+use atlas_cloud::{CostModel, ResourceDemand, SiteCostModel};
 use atlas_core::eval::{effective_threads, EvalStats, MemoCache};
 use atlas_core::kernel::{with_scratch, ConstraintKernel};
-use atlas_core::MigrationPreferences;
-use atlas_sim::Location;
+use atlas_core::{MigrationPlan, MigrationPreferences};
+use atlas_sim::{SiteCatalog, SiteId};
 use atlas_telemetry::TelemetryStore;
 
 use crate::affinity::AffinityMatrix;
 
 /// Everything a baseline advisor needs: the component index, the expected
 /// resource demand, the pairwise affinity observed by the network metrics,
-/// the owner's preferences and the cloud cost model.
+/// the owner's preferences and the per-site cost model.
+///
+/// The baselines search the same N-site space as Atlas: build a two-site
+/// context with [`BaselineContext::from_store`] (the paper's comparison) or
+/// generalise it with [`BaselineContext::with_catalog`].
 #[derive(Debug, Clone)]
 pub struct BaselineContext {
     /// Component names in plan-index order.
@@ -23,13 +27,19 @@ pub struct BaselineContext {
     pub affinity: AffinityMatrix,
     /// The owner's constraints (the same ones Atlas receives).
     pub preferences: MigrationPreferences,
-    /// Cloud cost model (the paper gives the affinity GA the same cost model
-    /// as Atlas).
-    pub cost_model: CostModel,
+    /// Per-site cost model (the paper gives the affinity GA the same cost
+    /// model as Atlas; a two-site instance reproduces it exactly).
+    pub cost_model: SiteCostModel,
+    /// Number of sites placements range over (2 without a catalog).
+    pub site_count: usize,
+    /// The elastic site single-target advisors (greedy) offload to: the
+    /// catalog's cheapest elastic site, or site 1 in the two-site model.
+    pub offload_site: SiteId,
 }
 
 impl BaselineContext {
-    /// Build a context from the telemetry store and the shared inputs.
+    /// Build a two-site context from the telemetry store and the shared
+    /// inputs.
     pub fn from_store(
         store: &TelemetryStore,
         component_index: Vec<String>,
@@ -43,8 +53,20 @@ impl BaselineContext {
             demand,
             affinity,
             preferences,
-            cost_model,
+            cost_model: SiteCostModel::from_models(vec![None, Some(cost_model)]),
+            site_count: 2,
+            offload_site: SiteId::CLOUD,
         }
+    }
+
+    /// Generalise the context to an N-site catalog (builder style): the
+    /// cost model bills each elastic site under its own pricing and the
+    /// searches range over the catalog's site alphabet.
+    pub fn with_catalog(mut self, catalog: &SiteCatalog) -> Self {
+        self.cost_model = catalog.cost_model();
+        self.site_count = catalog.len();
+        self.offload_site = catalog.cheapest_elastic_site().unwrap_or(SiteId::CLOUD);
+        self
     }
 
     /// Number of components.
@@ -57,20 +79,25 @@ impl BaselineContext {
         self.demand.peak_cpu(&[c])
     }
 
-    /// Whether a placement (as cloud flags) satisfies the on-prem limits and
-    /// placement pins of the preferences.
-    pub fn satisfies_constraints(&self, in_cloud: &[bool]) -> bool {
-        // Pins.
-        for (&c, &loc) in &self.preferences.pinned {
-            if c.0 < in_cloud.len() {
-                let is_cloud = in_cloud[c.0];
-                if (loc == Location::OnPrem && is_cloud) || (loc == Location::Cloud && !is_cloud) {
-                    return false;
-                }
+    /// Whether a site assignment satisfies the on-prem limits and placement
+    /// pins of the preferences.
+    pub fn satisfies_site_constraints(&self, sites: &[SiteId]) -> bool {
+        // Exact pins.
+        for (&c, &site) in &self.preferences.pinned {
+            if c.0 < sites.len() && sites[c.0] != site {
+                return false;
+            }
+        }
+        // Site-set pins.
+        for (&c, allowed) in &self.preferences.allowed_sites {
+            if c.0 < sites.len() && !allowed.contains(&sites[c.0]) {
+                return false;
             }
         }
         // On-prem resource limits.
-        let onprem: Vec<usize> = (0..in_cloud.len()).filter(|&i| !in_cloud[i]).collect();
+        let onprem: Vec<usize> = (0..sites.len())
+            .filter(|&i| sites[i].is_on_prem())
+            .collect();
         if self.demand.peak_cpu(&onprem) > self.preferences.onprem_cpu_limit {
             return false;
         }
@@ -82,29 +109,51 @@ impl BaselineContext {
         }
         // Budget.
         if let Some(budget) = self.preferences.budget {
-            if self.cost_model.evaluate(&self.demand, in_cloud).total() > budget {
+            if self.cost_model.evaluate(&self.demand, sites).total() > budget {
                 return false;
             }
         }
         true
     }
 
-    /// Cross-datacenter traffic (bytes over the learning period) of a
-    /// placement: the affinity objective of REMaP/IntMA and the affinity GA.
+    /// Two-site convenience over [`Self::satisfies_site_constraints`].
+    pub fn satisfies_constraints(&self, in_cloud: &[bool]) -> bool {
+        self.satisfies_site_constraints(&Self::flags_to_sites(in_cloud))
+    }
+
+    /// Cross-site traffic (bytes over the learning period) of a site
+    /// assignment: the affinity objective of REMaP/IntMA and the affinity
+    /// GA, generalised to N sites.
+    pub fn cross_site_bytes(&self, sites: &[SiteId]) -> f64 {
+        self.affinity.cross_site_bytes(sites)
+    }
+
+    /// Two-site convenience over [`Self::cross_site_bytes`].
     pub fn cross_dc_bytes(&self, in_cloud: &[bool]) -> f64 {
         self.affinity.cross_boundary_bytes(in_cloud)
     }
 
-    /// Cloud cost of a placement under the shared cost model.
-    pub fn cost(&self, in_cloud: &[bool]) -> f64 {
-        self.cost_model.evaluate(&self.demand, in_cloud).total()
+    /// Hosting cost of a site assignment under the shared cost model.
+    pub fn site_cost(&self, sites: &[SiteId]) -> f64 {
+        self.cost_model.evaluate(&self.demand, sites).total()
     }
 
-    /// Apply the placement pins to a cloud-flag vector.
-    pub fn apply_pins(&self, in_cloud: &mut [bool]) {
-        for (&c, &loc) in &self.preferences.pinned {
-            if c.0 < in_cloud.len() {
-                in_cloud[c.0] = loc == Location::Cloud;
+    /// Two-site convenience over [`Self::site_cost`].
+    pub fn cost(&self, in_cloud: &[bool]) -> f64 {
+        self.site_cost(&Self::flags_to_sites(in_cloud))
+    }
+
+    /// Apply the placement pins to a site assignment (exact pins overwrite;
+    /// site-set pins snap violating genes to the set's first site).
+    pub fn apply_pins(&self, sites: &mut [SiteId]) {
+        for (&c, &site) in &self.preferences.pinned {
+            if c.0 < sites.len() {
+                sites[c.0] = site;
+            }
+        }
+        for (&c, allowed) in &self.preferences.allowed_sites {
+            if c.0 < sites.len() && !allowed.contains(&sites[c.0]) {
+                sites[c.0] = allowed[0];
             }
         }
     }
@@ -112,6 +161,19 @@ impl BaselineContext {
     /// Convert cloud flags to a plan bit vector.
     pub fn to_bits(in_cloud: &[bool]) -> Vec<u8> {
         in_cloud.iter().map(|&b| u8::from(b)).collect()
+    }
+
+    /// Convert cloud flags to the equivalent two-site assignment.
+    pub fn flags_to_sites(in_cloud: &[bool]) -> Vec<SiteId> {
+        in_cloud
+            .iter()
+            .map(|&b| if b { SiteId::CLOUD } else { SiteId::ON_PREM })
+            .collect()
+    }
+
+    /// Wrap a site assignment as a migration plan.
+    pub fn to_plan(sites: &[SiteId]) -> MigrationPlan {
+        MigrationPlan::from_sites(sites.to_vec())
     }
 
     /// Wrap this context in a cached, batched placement scorer with one
@@ -122,14 +184,15 @@ impl BaselineContext {
 }
 
 /// Everything a baseline ever asks about one placement, scored once: the two
-/// affinity objectives, the cloud cost and the constraint check of Eq. 4.
+/// affinity objectives, the hosting cost and the constraint check of Eq. 4.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacementScore {
-    /// Cross-datacenter traffic bytes (REMaP/IntMA/affinity-GA objective).
+    /// Cross-site traffic bytes (REMaP/IntMA/affinity-GA objective; the
+    /// two-site model's cross-datacenter bytes).
     pub cross_dc_bytes: f64,
-    /// Cross-datacenter message exchanges (REMaP's second affinity term).
+    /// Cross-site message exchanges (REMaP's second affinity term).
     pub cross_dc_messages: f64,
-    /// Cloud hosting cost over the horizon under the shared cost model.
+    /// Hosting cost over the horizon under the shared per-site cost model.
     pub cost: f64,
     /// Whether the placement satisfies pins, on-prem limits and budget.
     pub feasible: bool,
@@ -154,7 +217,7 @@ pub struct BaselineScorer<'a> {
     ctx: &'a BaselineContext,
     threads: usize,
     constraints: ConstraintKernel,
-    cache: MemoCache<Vec<bool>, PlacementScore>,
+    cache: MemoCache<Vec<SiteId>, PlacementScore>,
 }
 
 impl<'a> BaselineScorer<'a> {
@@ -180,37 +243,34 @@ impl<'a> BaselineScorer<'a> {
         self.ctx
     }
 
-    fn compute(&self, in_cloud: &[bool]) -> PlacementScore {
+    fn compute(&self, sites: &[SiteId]) -> PlacementScore {
         with_scratch(|s| {
             let cost = self
                 .ctx
                 .cost_model
-                .evaluate_with_scratch(&self.ctx.demand, in_cloud, &mut s.cost)
+                .evaluate_with_scratch(&self.ctx.demand, sites, &mut s.cost)
                 .total();
             PlacementScore {
-                cross_dc_bytes: self.ctx.affinity.cross_boundary_bytes(in_cloud),
-                cross_dc_messages: self.ctx.affinity.cross_boundary_messages(in_cloud),
+                cross_dc_bytes: self.ctx.affinity.cross_site_bytes(sites),
+                cross_dc_messages: self.ctx.affinity.cross_site_messages(sites),
                 cost,
-                feasible: self.constraints.feasible(
-                    &self.ctx.demand,
-                    in_cloud,
-                    &mut s.subset,
-                    || cost,
-                ),
+                feasible: self
+                    .constraints
+                    .feasible(&self.ctx.demand, sites, &mut s.subset, || cost),
             }
         })
     }
 
-    /// Score one placement, serving duplicates from the cache.
-    pub fn score(&self, in_cloud: &[bool]) -> PlacementScore {
-        let key = in_cloud.to_vec();
+    /// Score one site assignment, serving duplicates from the cache.
+    pub fn score(&self, sites: &[SiteId]) -> PlacementScore {
+        let key = sites.to_vec();
         self.cache.get_or_compute(&key, |k| self.compute(k))
     }
 
-    /// Score a batch of placements, returning scores in input order. Cached
-    /// and in-batch duplicates are scored once; the remaining unique
+    /// Score a batch of site assignments, returning scores in input order.
+    /// Cached and in-batch duplicates are scored once; the remaining unique
     /// placements are fanned out across the scorer's worker threads.
-    pub fn score_batch(&self, placements: &[Vec<bool>]) -> Vec<PlacementScore> {
+    pub fn score_batch(&self, placements: &[Vec<SiteId>]) -> Vec<PlacementScore> {
         self.cache
             .get_or_compute_batch(placements, self.threads, |p| self.compute(p))
     }
@@ -266,6 +326,7 @@ pub(crate) fn test_context(cpu_limit: f64) -> BaselineContext {
 mod tests {
     use super::*;
     use atlas_sim::ComponentId as Cid;
+    use atlas_sim::Location;
 
     #[test]
     fn constraint_checks_cover_cpu_and_pins() {
@@ -294,21 +355,28 @@ mod tests {
     fn scorer_matches_direct_queries_and_caches_duplicates() {
         let ctx = test_context(7.0);
         let scorer = ctx.scorer().with_threads(2);
-        let placements: Vec<Vec<bool>> = vec![
+        let flags: Vec<Vec<bool>> = vec![
             vec![false, false, false],
             vec![false, true, false],
             vec![true, true, true],
             vec![false, true, false], // duplicate
         ];
+        let placements: Vec<Vec<SiteId>> = flags
+            .iter()
+            .map(|f| BaselineContext::flags_to_sites(f))
+            .collect();
         let scores = scorer.score_batch(&placements);
-        for (placement, score) in placements.iter().zip(&scores) {
-            assert_eq!(score.cross_dc_bytes, ctx.cross_dc_bytes(placement));
+        for ((in_cloud, sites), score) in flags.iter().zip(&placements).zip(&scores) {
+            assert_eq!(score.cross_dc_bytes, ctx.cross_dc_bytes(in_cloud));
+            assert_eq!(score.cross_dc_bytes, ctx.cross_site_bytes(sites));
             assert_eq!(
                 score.cross_dc_messages,
-                ctx.affinity.cross_boundary_messages(placement)
+                ctx.affinity.cross_boundary_messages(in_cloud)
             );
-            assert_eq!(score.cost, ctx.cost(placement));
-            assert_eq!(score.feasible, ctx.satisfies_constraints(placement));
+            assert_eq!(score.cost, ctx.cost(in_cloud));
+            assert_eq!(score.cost, ctx.site_cost(sites));
+            assert_eq!(score.feasible, ctx.satisfies_constraints(in_cloud));
+            assert_eq!(score.feasible, ctx.satisfies_site_constraints(sites));
         }
         assert_eq!(scores[1], scores[3]);
         assert_eq!(scorer.unique_evaluations(), 3);
@@ -326,12 +394,39 @@ mod tests {
     fn pins_are_applied_and_bits_convert() {
         let mut ctx = test_context(7.0);
         ctx.preferences = ctx.preferences.clone().pin(Cid(0), Location::Cloud);
-        let mut flags = vec![false, false, false];
-        ctx.apply_pins(&mut flags);
-        assert_eq!(flags, vec![true, false, false]);
-        assert_eq!(BaselineContext::to_bits(&flags), vec![1, 0, 0]);
+        let mut sites = vec![SiteId::ON_PREM; 3];
+        ctx.apply_pins(&mut sites);
+        assert_eq!(sites, vec![SiteId::CLOUD, SiteId::ON_PREM, SiteId::ON_PREM]);
+        assert_eq!(
+            BaselineContext::to_bits(&[true, false, false]),
+            vec![1, 0, 0]
+        );
+        assert_eq!(
+            BaselineContext::flags_to_sites(&[true, false, false]),
+            vec![SiteId(1), SiteId(0), SiteId(0)]
+        );
+        assert_eq!(BaselineContext::to_plan(&sites).to_bits(), vec![1, 0, 0]);
         assert_eq!(ctx.component_count(), 3);
         assert!(ctx.peak_cpu_of(1) > ctx.peak_cpu_of(0));
         assert!(ctx.cost(&[false, true, false]) > 0.0);
+    }
+
+    #[test]
+    fn site_set_pins_snap_to_the_first_allowed_site() {
+        let mut ctx = test_context(100.0);
+        ctx.preferences = ctx
+            .preferences
+            .clone()
+            .pin_to_sites(Cid(1), vec![SiteId(1)]);
+        let mut sites = vec![SiteId::ON_PREM; 3];
+        ctx.apply_pins(&mut sites);
+        assert_eq!(sites[1], SiteId(1), "snapped to the set's first site");
+        assert!(ctx.satisfies_site_constraints(&sites));
+        let violating = vec![SiteId(0), SiteId(0), SiteId(0)];
+        assert!(!ctx.satisfies_site_constraints(&violating));
+        // A gene already inside the set is left untouched.
+        let mut inside = vec![SiteId(0), SiteId(1), SiteId(0)];
+        ctx.apply_pins(&mut inside);
+        assert_eq!(inside[1], SiteId(1));
     }
 }

@@ -41,8 +41,10 @@ impl GreedyAdvisor {
         }
     }
 
-    /// Recommend a single placement: offload components in busyness order
-    /// until the on-prem constraints are satisfied.
+    /// Recommend a single placement: offload components in busyness order —
+    /// to the context's offload site (the catalog's cheapest elastic site;
+    /// the cloud in the paper's two-site model) — until the on-prem
+    /// constraints are satisfied.
     ///
     /// Unlike the affinity/GA baselines, greedy probes each placement
     /// exactly once and only for feasibility, so it queries the context
@@ -52,8 +54,8 @@ impl GreedyAdvisor {
     /// [`PlacementScore`]: crate::context::PlacementScore
     pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
         let n = ctx.component_count();
-        let mut in_cloud = vec![false; n];
-        ctx.apply_pins(&mut in_cloud);
+        let mut sites = vec![atlas_sim::SiteId::ON_PREM; n];
+        ctx.apply_pins(&mut sites);
 
         let mut candidates: Vec<usize> = (0..n)
             .filter(|&i| {
@@ -71,12 +73,12 @@ impl GreedyAdvisor {
         });
 
         for &c in &candidates {
-            if ctx.satisfies_constraints(&in_cloud) {
+            if ctx.satisfies_site_constraints(&sites) {
                 break;
             }
-            in_cloud[c] = true;
+            sites[c] = ctx.offload_site;
         }
-        MigrationPlan::from_bits(&BaselineContext::to_bits(&in_cloud))
+        BaselineContext::to_plan(&sites)
     }
 }
 

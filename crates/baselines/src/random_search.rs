@@ -8,8 +8,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use atlas_core::MigrationPlan;
+use atlas_core::{random_site, MigrationPlan};
 use atlas_ga::pareto_front_indices;
+use atlas_sim::SiteId;
 
 use crate::context::{BaselineContext, BaselineScorer};
 
@@ -53,23 +54,25 @@ impl RandomSearchAdvisor {
         let ctx = scorer.context();
         let n = ctx.component_count();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let samples: Vec<Vec<bool>> = (0..self.samples)
+        let samples: Vec<Vec<SiteId>> = (0..self.samples)
             .map(|_| {
                 let fraction = rng.gen_range(0.0..1.0);
-                let mut flags: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < fraction).collect();
-                ctx.apply_pins(&mut flags);
-                flags
+                let mut sites: Vec<SiteId> = (0..n)
+                    .map(|_| random_site(&mut rng, fraction, ctx.site_count))
+                    .collect();
+                ctx.apply_pins(&mut sites);
+                sites
             })
             .collect();
         let scores = scorer.score_batch(&samples);
         let mut plans = Vec::new();
         let mut objectives = Vec::new();
-        for (flags, score) in samples.into_iter().zip(&scores) {
+        for (sites, score) in samples.into_iter().zip(&scores) {
             if !score.feasible {
                 continue;
             }
             objectives.push([score.cross_dc_bytes, score.cost]);
-            plans.push(flags);
+            plans.push(sites);
         }
         let front = pareto_front_indices(&objectives);
         let mut seen = std::collections::HashSet::new();
@@ -77,7 +80,7 @@ impl RandomSearchAdvisor {
             .into_iter()
             .map(|i| &plans[i])
             .filter(|p| seen.insert((*p).clone()))
-            .map(|p| MigrationPlan::from_bits(&BaselineContext::to_bits(p)))
+            .map(|p| BaselineContext::to_plan(p))
             .collect()
     }
 }

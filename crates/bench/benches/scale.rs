@@ -9,7 +9,9 @@
 //! sweep with `ATLAS_SCALE_COMPONENTS=25,50` (CI runs the smallest size
 //! only).
 
-use atlas_bench::scale::{run_scale_point, sizes_from_env, write_scale_json};
+use atlas_bench::scale::{
+    run_scale_point, run_scale_point_sites, sizes_from_env, sweep_points, write_scale_json,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_scale(c: &mut Criterion) {
@@ -23,12 +25,21 @@ fn bench_scale(c: &mut Criterion) {
     });
     group.finish();
 
-    let points: Vec<_> = sizes.iter().map(|&n| run_scale_point(n)).collect();
+    let points: Vec<_> = sweep_points(&sizes)
+        .into_iter()
+        .map(|(n, s)| run_scale_point_sites(n, s))
+        .collect();
     for p in &points {
         println!(
-            "scale: {:>3} components  {:>4} apis  recommend {:>8.1} ms  \
+            "scale: {:>3} components  {} sites  {:>4} apis  recommend {:>8.1} ms  \
              {:>6.1} evals/s  cache hit rate {:.2}  {} plans",
-            p.components, p.apis, p.recommend_ms, p.evals_per_sec, p.cache_hit_rate, p.plans
+            p.components,
+            p.sites,
+            p.apis,
+            p.recommend_ms,
+            p.evals_per_sec,
+            p.cache_hit_rate,
+            p.plans
         );
     }
     let json = write_scale_json(&points);

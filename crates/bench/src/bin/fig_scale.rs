@@ -12,16 +12,16 @@
 //! sweep with `ATLAS_SCALE_COMPONENTS=25,50`.
 
 use atlas_bench::print_row;
-use atlas_bench::scale::{run_scale_point, sizes_from_env, write_scale_json};
+use atlas_bench::scale::{run_scale_point_sites, sizes_from_env, sweep_points, write_scale_json};
 
 fn main() {
     println!("Scale sweep: Atlas end-to-end on generated scenarios");
     println!("----------------------------------------------------");
     let mut points = Vec::new();
-    for components in sizes_from_env() {
-        let p = run_scale_point(components);
+    for (components, sites) in sweep_points(&sizes_from_env()) {
+        let p = run_scale_point_sites(components, sites);
         print_row(
-            &format!("{} components", p.components),
+            &format!("{} components / {} sites", p.components, p.sites),
             &[
                 ("apis", p.apis as f64),
                 ("recommend_ms", p.recommend_ms),

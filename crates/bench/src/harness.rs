@@ -12,7 +12,7 @@ use atlas_core::{
 };
 use atlas_sim::{
     AppTopology, ClusterSpec, OverloadModel, Placement, RequestSchedule, SimConfig, SimReport,
-    Simulator,
+    Simulator, SiteCatalog,
 };
 use atlas_telemetry::TelemetryStore;
 
@@ -32,18 +32,28 @@ pub enum Application {
 impl Application {
     /// The topology and the paired learning workload of this application.
     pub fn topology_and_workload(&self) -> (AppTopology, WorkloadOptions) {
+        let (topology, workload, _) = self.scenario_parts();
+        (topology, workload)
+    }
+
+    /// The topology, learning workload and site catalog of this
+    /// application. The seed applications run on the paper's default
+    /// 2-entry catalog; synthetic scenarios carry their generated one.
+    pub fn scenario_parts(&self) -> (AppTopology, WorkloadOptions, SiteCatalog) {
         match self {
             Application::SocialNetwork => (
                 social_network(SocialNetworkOptions::default()),
                 WorkloadOptions::social_network_default(),
+                SiteCatalog::default(),
             ),
             Application::HotelReservation => (
                 hotel_reservation(),
                 WorkloadOptions::hotel_reservation_default(),
+                SiteCatalog::default(),
             ),
             Application::Synthetic(options) => {
                 let scenario = synthesize(*options).expect("valid synthetic options");
-                (scenario.topology, scenario.workload)
+                (scenario.topology, scenario.workload, scenario.catalog)
             }
         }
     }
@@ -120,6 +130,9 @@ pub struct Experiment {
     pub quality: QualityModel,
     /// Context consumed by the baseline advisors.
     pub baseline_ctx: BaselineContext,
+    /// The site catalog plans range over (2 entries for the seed apps;
+    /// synthetic scenarios carry their generated N-site catalog).
+    pub catalog: SiteCatalog,
     /// The application's base workload with the `learn_day_seconds` override
     /// applied (reseed/burst it via [`Experiment::workload_with`]); cached at
     /// set-up so synthetic scenarios are not regenerated per measurement.
@@ -131,7 +144,7 @@ pub struct Experiment {
 impl Experiment {
     /// Simulate the learning period, learn Atlas, and prepare the baselines.
     pub fn set_up(options: ExperimentOptions) -> Self {
-        let (topology, mut base_workload) = options.application.topology_and_workload();
+        let (topology, mut base_workload, catalog) = options.application.scenario_parts();
         if let Some(day_seconds) = options.learn_day_seconds {
             base_workload.profile.day_seconds = day_seconds;
         }
@@ -170,6 +183,7 @@ impl Experiment {
         config.expected_traffic_scale = options.burst;
         config.traces_per_api = 40;
         config.horizon_steps = 12;
+        config.sites = Some(catalog.clone());
         config.recommender = RecommenderConfig {
             population: options.population,
             max_visited: options.max_visited,
@@ -203,7 +217,8 @@ impl Experiment {
             demand,
             preferences.clone(),
             CostModel::new(PricingModel::default()),
-        );
+        )
+        .with_catalog(&catalog);
 
         Self {
             topology,
@@ -213,6 +228,7 @@ impl Experiment {
             preferences,
             quality,
             baseline_ctx,
+            catalog,
             workload: base_workload,
             options,
         }
@@ -252,7 +268,10 @@ impl Experiment {
                 metric_window_s: 5,
                 seed: self.options.seed + 1,
             },
-        );
+        )
+        // Multi-region plans pay each ordered pair's own link; the default
+        // 2-entry catalog reproduces the historical two-site simulation.
+        .with_site_network(self.catalog.network().clone());
         let schedule = WorkloadGenerator::new(self.workload_with(self.options.seed + 1, burst))
             .generate(&self.topology)
             .expect("workload matches the topology");
@@ -348,7 +367,7 @@ mod tests {
         let store = exp.topology.component_id("Store000").unwrap();
         assert_eq!(
             exp.preferences.pinned.get(&store),
-            Some(&atlas_sim::Location::OnPrem)
+            Some(&atlas_sim::SiteId::ON_PREM)
         );
         // Measuring a plan replays the scenario's own workload.
         let plan = MigrationPlan::all_onprem(24);

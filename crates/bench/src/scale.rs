@@ -19,11 +19,22 @@ use crate::harness::{Application, Experiment, ExperimentOptions};
 /// Component counts the scale experiments sweep by default.
 pub const DEFAULT_SIZES: [usize; 5] = [25, 50, 100, 250, 500];
 
+/// Component count of the default multi-site point (run at
+/// [`MULTI_SITE_COUNT`] sites next to the 2-site sweep, so the snapshot
+/// records the cost of the N×N kernel tables at a fixed size).
+pub const MULTI_SITE_COMPONENTS: usize = 100;
+
+/// Site count of the multi-site sweep point.
+pub const MULTI_SITE_COUNT: usize = 4;
+
 /// One measured point of the scale sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalePoint {
     /// Number of components of the generated application.
     pub components: usize,
+    /// Number of placement sites of the scenario (2 = the paper's binary
+    /// model; larger counts exercise the N×N kernel path).
+    pub sites: usize,
     /// Number of user-facing APIs.
     pub apis: usize,
     /// Pareto-optimal plans recommended.
@@ -49,6 +60,11 @@ pub struct ScalePoint {
 /// The synthetic options used for one sweep size (public so tests and the
 /// figure binary agree on the scenario).
 pub fn options_for(components: usize) -> SynthOptions {
+    options_for_sites(components, 2)
+}
+
+/// The synthetic options of one `(components, sites)` sweep point.
+pub fn options_for_sites(components: usize, sites: usize) -> SynthOptions {
     SynthOptions {
         components,
         shape: CallGraphShape::Layered,
@@ -57,13 +73,20 @@ pub fn options_for(components: usize) -> SynthOptions {
         call_depth: 4,
         data_scale: 1.0,
         workload: WorkloadShape::Diurnal,
+        site_count: sites,
         seed: 11,
     }
 }
 
-/// Run the full pipeline at one component count.
+/// Run the full pipeline at one component count in the two-site model.
 pub fn run_scale_point(components: usize) -> ScalePoint {
-    let synth = options_for(components);
+    run_scale_point_sites(components, 2)
+}
+
+/// Run the full pipeline at one `(components, sites)` point: multi-site
+/// points compile N×N link-cost tables and search the full site alphabet.
+pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
+    let synth = options_for_sites(components, sites);
     // Derive an on-prem CPU limit that forces offloading: 60 % of the peak
     // expected demand under the 5× burst, computed from the generator's
     // analytic demand (no simulation needed).
@@ -91,6 +114,7 @@ pub fn run_scale_point(components: usize) -> ScalePoint {
 
     ScalePoint {
         components,
+        sites,
         apis: synth.apis,
         plans: report.plans.len(),
         recommend_ms,
@@ -110,6 +134,25 @@ pub fn sizes_from_env() -> Vec<usize> {
         Ok(raw) => parse_sizes(&raw),
         Err(_) => DEFAULT_SIZES.to_vec(),
     }
+}
+
+/// The `(components, sites)` pairs of one sweep: every size at 2 sites,
+/// plus one [`MULTI_SITE_COUNT`]-site companion point so the snapshot and
+/// the CI gate always exercise the N×N kernel path. The companion runs at
+/// [`MULTI_SITE_COMPONENTS`] when the sweep covers it (the committed
+/// default), otherwise at the smallest swept size (CI's narrow
+/// `ATLAS_SCALE_COMPONENTS=25` override).
+pub fn sweep_points(sizes: &[usize]) -> Vec<(usize, usize)> {
+    let mut points: Vec<(usize, usize)> = sizes.iter().map(|&n| (n, 2)).collect();
+    if let Some(&smallest) = sizes.iter().min() {
+        let companion = if sizes.contains(&MULTI_SITE_COMPONENTS) {
+            MULTI_SITE_COMPONENTS
+        } else {
+            smallest
+        };
+        points.push((companion, MULTI_SITE_COUNT));
+    }
+    points
 }
 
 /// Parse an `ATLAS_SCALE_COMPONENTS`-style override. An override that
@@ -142,6 +185,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             concat!(
                 "    {{\n",
                 "      \"components\": {},\n",
+                "      \"sites\": {},\n",
                 "      \"apis\": {},\n",
                 "      \"plans\": {},\n",
                 "      \"recommend_ms\": {:.1},\n",
@@ -154,6 +198,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "    }}{}\n"
             ),
             p.components,
+            p.sites,
             p.apis,
             p.plans,
             p.recommend_ms,
@@ -192,6 +237,7 @@ mod tests {
     fn scale_point_runs_end_to_end_at_the_smallest_size() {
         let point = run_scale_point(25);
         assert_eq!(point.components, 25);
+        assert_eq!(point.sites, 2);
         assert!(point.plans > 0, "the recommender must produce plans");
         assert!(point.unique_evaluations > 0);
         assert!(point.recommend_ms > 0.0);
@@ -201,9 +247,20 @@ mod tests {
     }
 
     #[test]
+    fn multi_site_scale_point_runs_end_to_end() {
+        let point = run_scale_point_sites(25, MULTI_SITE_COUNT);
+        assert_eq!(point.components, 25);
+        assert_eq!(point.sites, MULTI_SITE_COUNT);
+        assert!(point.plans > 0, "the multi-site recommender produces plans");
+        assert!(point.unique_evaluations > 0);
+        assert!(point.evals_per_sec > 0.0);
+    }
+
+    #[test]
     fn json_lists_every_point() {
         let p = ScalePoint {
             components: 25,
+            sites: 2,
             apis: 3,
             plans: 4,
             recommend_ms: 12.5,
@@ -216,9 +273,12 @@ mod tests {
         };
         let mut q = p.clone();
         q.components = 50;
+        q.sites = 4;
         let json = scale_json(&[p, q]);
         assert!(json.contains("\"components\": 25"));
         assert!(json.contains("\"components\": 50"));
+        assert!(json.contains("\"sites\": 2"));
+        assert!(json.contains("\"sites\": 4"));
         assert!(json.contains("\"bench\": \"scale\""));
         assert!(json.contains("\"kernel_compile_ms\": 3.25"));
         assert!(json.contains("\"score_ms\": 200.00"));
@@ -233,5 +293,19 @@ mod tests {
         // never silently fall back to the full sweep.
         assert_eq!(parse_sizes("bogus"), vec![25]);
         assert_eq!(parse_sizes(""), vec![25]);
+    }
+
+    #[test]
+    fn sweeps_always_carry_a_multi_site_companion() {
+        // Full default sweep: the companion runs at 100 components.
+        let full = sweep_points(&DEFAULT_SIZES);
+        assert_eq!(full.len(), DEFAULT_SIZES.len() + 1);
+        assert!(full.contains(&(MULTI_SITE_COMPONENTS, MULTI_SITE_COUNT)));
+        // 2-site points come first so component-keyed lookups keep finding
+        // the historical entries.
+        assert!(full[..DEFAULT_SIZES.len()].iter().all(|&(_, s)| s == 2));
+        // Narrow CI override: the companion follows the smallest size.
+        let narrow = sweep_points(&[25]);
+        assert_eq!(narrow, vec![(25, 2), (25, MULTI_SITE_COUNT)]);
     }
 }

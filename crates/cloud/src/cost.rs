@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::autoscaler::Autoscaler;
 use crate::demand::ResourceDemand;
 use crate::pricing::PricingModel;
+use crate::site::SiteId;
 
 /// Breakdown of the cloud hosting cost of one plan, in dollars over the
 /// demand's horizon.
@@ -56,6 +57,8 @@ impl CostBreakdown {
 pub struct CostScratch {
     cloud: Vec<usize>,
     used_per_step: Vec<f64>,
+    /// Per-site egress-byte accumulators of [`SiteCostModel`].
+    egress: Vec<f64>,
 }
 
 /// The cost model: pricing plus the autoscaler it implies.
@@ -112,32 +115,8 @@ impl CostModel {
         scratch
             .cloud
             .extend((0..in_cloud.len()).filter(|&i| in_cloud[i]));
-        let cloud = &scratch.cloud;
-        let step_seconds = demand.step_s as f64;
-
-        // --- Compute (Eq. 6-7): nodes per step from CPU and memory. ---
-        let mut compute = 0.0;
-        for t in 0..demand.steps {
-            let cpu: f64 = cloud.iter().map(|&c| demand.cpu_cores[c][t]).sum();
-            let mem: f64 = cloud.iter().map(|&c| demand.memory_gb[c][t]).sum();
-            let nodes = self.autoscaler.nodes_required(cpu, mem);
-            compute += self.pricing.compute_cost_for(nodes, step_seconds);
-        }
-
-        // --- Storage (Eq. 8-9): capacity trace from the stateful data. ---
-        scratch.used_per_step.clear();
-        scratch.used_per_step.extend(
-            (0..demand.steps).map(|t| cloud.iter().map(|&c| demand.storage_gb[c][t]).sum::<f64>()),
-        );
-        let used_per_step = &scratch.used_per_step;
-        let initial_gb = 2.0 * used_per_step.first().copied().unwrap_or(0.0);
-        let mut storage = 0.0;
-        if used_per_step.iter().any(|&u| u > 0.0) {
-            let capacity = self.autoscaler.storage_trace(initial_gb, used_per_step);
-            for cap in capacity {
-                storage += self.pricing.storage_cost_for(cap, step_seconds);
-            }
-        }
+        let (compute, storage) =
+            self.pool_compute_storage(demand, &scratch.cloud, &mut scratch.used_per_step);
 
         // --- Traffic (Eq. 10): egress from the cloud on cross-location edges.
         let mut egress_bytes = 0.0;
@@ -158,6 +137,173 @@ impl CostModel {
             storage,
             traffic,
         }
+    }
+
+    /// Compute (Eq. 6–7) and storage (Eq. 8–9) cost of hosting the
+    /// components listed in `pool` (ascending indices) in this model's
+    /// cloud. Shared by the two-site [`CostModel::evaluate_with_scratch`]
+    /// and the N-site [`SiteCostModel`] so both price a pool with the exact
+    /// same floating-point operations in the same order.
+    fn pool_compute_storage(
+        &self,
+        demand: &ResourceDemand,
+        pool: &[usize],
+        used_per_step: &mut Vec<f64>,
+    ) -> (f64, f64) {
+        let step_seconds = demand.step_s as f64;
+
+        // --- Compute (Eq. 6-7): nodes per step from CPU and memory. ---
+        let mut compute = 0.0;
+        for t in 0..demand.steps {
+            let cpu: f64 = pool.iter().map(|&c| demand.cpu_cores[c][t]).sum();
+            let mem: f64 = pool.iter().map(|&c| demand.memory_gb[c][t]).sum();
+            let nodes = self.autoscaler.nodes_required(cpu, mem);
+            compute += self.pricing.compute_cost_for(nodes, step_seconds);
+        }
+
+        // --- Storage (Eq. 8-9): capacity trace from the stateful data. ---
+        used_per_step.clear();
+        used_per_step.extend(
+            (0..demand.steps).map(|t| pool.iter().map(|&c| demand.storage_gb[c][t]).sum::<f64>()),
+        );
+        let initial_gb = 2.0 * used_per_step.first().copied().unwrap_or(0.0);
+        let mut storage = 0.0;
+        if used_per_step.iter().any(|&u| u > 0.0) {
+            let capacity = self.autoscaler.storage_trace(initial_gb, used_per_step);
+            for cap in capacity {
+                storage += self.pricing.storage_cost_for(cap, step_seconds);
+            }
+        }
+        (compute, storage)
+    }
+}
+
+/// The N-site hosting cost model: one [`CostModel`] per elastic site, each
+/// billing its own pool under its own [`PricingModel`] (per-site node
+/// granularity, storage price, egress price and autoscaler headroom).
+///
+/// Site `0` (on-prem) carries no model — owned hardware has no marginal
+/// hosting cost, exactly like the original two-site `Q_Cost`. A two-entry
+/// instance ([`SiteCostModel::two_site`]) is bit-identical to
+/// [`CostModel::evaluate`] over the equivalent cloud-flag vector: the pool
+/// pricing shares the same arithmetic and the egress accumulation visits the
+/// same edges in the same order.
+///
+/// Egress (Eq. 10 generalised): every cross-site edge splits its traffic in
+/// half — the request leg leaves the caller's site, the response leg leaves
+/// the callee's site — and each half is billed at the *sending* site's
+/// egress price (free when the sender is on-prem). With one cloud site this
+/// reduces to the paper's rule: half the bytes of every on-prem↔cloud edge
+/// leave the cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteCostModel {
+    /// Per-site models, indexed by [`SiteId`]; `None` = no marginal cost
+    /// (the on-prem pool, or any other owned site).
+    sites: Vec<Option<CostModel>>,
+}
+
+impl SiteCostModel {
+    /// Build from per-site models (`None` entries are free pools).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sites are given.
+    pub fn from_models(sites: Vec<Option<CostModel>>) -> Self {
+        assert!(sites.len() >= 2, "a site cost model needs at least 2 sites");
+        Self { sites }
+    }
+
+    /// Build from per-site pricing (`None` entries are free pools).
+    pub fn from_pricings(pricings: Vec<Option<PricingModel>>) -> Self {
+        Self::from_models(
+            pricings
+                .into_iter()
+                .map(|p| p.map(CostModel::new))
+                .collect(),
+        )
+    }
+
+    /// The paper's two-site model: free on-prem plus one cloud priced by
+    /// `pricing`.
+    pub fn two_site(pricing: PricingModel) -> Self {
+        Self::from_models(vec![None, Some(CostModel::new(pricing))])
+    }
+
+    /// Number of sites this model prices.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The per-site model of one site (`None` for free pools).
+    pub fn site_model(&self, site: SiteId) -> Option<&CostModel> {
+        self.sites.get(site.index()).and_then(|m| m.as_ref())
+    }
+
+    /// Evaluate the hosting cost of a site assignment (indexed like
+    /// `demand.component_names`). Allocating convenience around
+    /// [`SiteCostModel::evaluate_with_scratch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites.len()` differs from the demand's component count,
+    /// or if an assignment names a site this model does not price.
+    pub fn evaluate(&self, demand: &ResourceDemand, sites: &[SiteId]) -> CostBreakdown {
+        self.evaluate_with_scratch(demand, sites, &mut CostScratch::default())
+    }
+
+    /// [`SiteCostModel::evaluate`] with caller-provided scratch buffers, the
+    /// allocation-free variant used by the evaluation kernel and the
+    /// baselines' scorer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites.len()` differs from the demand's component count,
+    /// or if an assignment names a site this model does not price.
+    pub fn evaluate_with_scratch(
+        &self,
+        demand: &ResourceDemand,
+        sites: &[SiteId],
+        scratch: &mut CostScratch,
+    ) -> CostBreakdown {
+        assert_eq!(
+            sites.len(),
+            demand.component_count(),
+            "placement must cover every component"
+        );
+        debug_assert!(
+            sites.iter().all(|s| s.index() < self.sites.len()),
+            "site assignment outside the catalog"
+        );
+        // Egress leaving each site, accumulated in one pass over the edge
+        // map: every cross-site edge splits its traffic in half between its
+        // endpoints' sites (request leg leaves the caller's site, response
+        // leg the callee's). Per-site bucket sums see the same additions in
+        // the same (map) order as a per-site edge scan would, so the totals
+        // are bit-identical at a single traversal.
+        scratch.egress.clear();
+        scratch.egress.resize(self.sites.len(), 0.0);
+        for (&(from, to), series) in &demand.edge_bytes {
+            if sites[from] != sites[to] {
+                let half = series.iter().sum::<f64>() / 2.0;
+                scratch.egress[sites[from].index()] += half;
+                scratch.egress[sites[to].index()] += half;
+            }
+        }
+        let mut total = CostBreakdown::default();
+        for (index, model) in self.sites.iter().enumerate() {
+            let Some(model) = model else { continue };
+            let site = SiteId(index as u16);
+            scratch.cloud.clear();
+            scratch
+                .cloud
+                .extend((0..sites.len()).filter(|&i| sites[i] == site));
+            let (compute, storage) =
+                model.pool_compute_storage(demand, &scratch.cloud, &mut scratch.used_per_step);
+            total.compute += compute;
+            total.storage += storage;
+            total.traffic += model.pricing.egress_cost_for(scratch.egress[index]);
+        }
+        total
     }
 }
 
@@ -256,5 +402,70 @@ mod tests {
     fn mismatched_placement_panics() {
         let model = CostModel::default();
         let _ = model.evaluate(&demand(), &[true]);
+    }
+
+    /// The two-entry site model reproduces the binary cost model to the last
+    /// bit: pool pricing shares the arithmetic and the egress pass visits
+    /// the edges in the same order.
+    #[test]
+    fn two_site_model_is_bit_identical_to_the_binary_cost_model() {
+        let d = demand();
+        let binary = CostModel::default();
+        let sited = SiteCostModel::two_site(PricingModel::default());
+        assert_eq!(sited.site_count(), 2);
+        assert!(sited.site_model(SiteId::ON_PREM).is_none());
+        assert!(sited.site_model(SiteId::CLOUD).is_some());
+        for flags in [
+            [false, false, false],
+            [false, true, false],
+            [false, true, true],
+            [true, true, true],
+            [true, false, true],
+        ] {
+            let sites: Vec<SiteId> = flags
+                .iter()
+                .map(|&f| if f { SiteId::CLOUD } else { SiteId::ON_PREM })
+                .collect();
+            let a = binary.evaluate(&d, &flags);
+            let b = sited.evaluate(&d, &sites);
+            assert_eq!(a.compute.to_bits(), b.compute.to_bits(), "{flags:?}");
+            assert_eq!(a.storage.to_bits(), b.storage.to_bits(), "{flags:?}");
+            assert_eq!(a.traffic.to_bits(), b.traffic.to_bits(), "{flags:?}");
+        }
+    }
+
+    /// Each elastic site bills its own pool under its own pricing, and a
+    /// cross-cloud edge pays egress at *both* sites.
+    #[test]
+    fn per_site_pricing_and_cross_cloud_egress() {
+        let d = demand();
+        let aws = PricingModel::preset(Provider::AwsLike);
+        let gcp = PricingModel::preset(Provider::GcpLike);
+        let model = SiteCostModel::from_pricings(vec![None, Some(aws.clone()), Some(gcp.clone())]);
+        assert_eq!(model.site_count(), 3);
+
+        // Frontend on-prem, Service at site 1, MongoDB at site 2: the 0→1
+        // edge pays egress at site 1 only; the 1→2 edge pays at both.
+        let split = model.evaluate(&d, &[SiteId(0), SiteId(1), SiteId(2)]);
+        // Same shape but the pair collocated at site 1: the 1→2 edge
+        // becomes intra-site and free.
+        let collocated = model.evaluate(&d, &[SiteId(0), SiteId(1), SiteId(1)]);
+        assert!(split.traffic > collocated.traffic);
+
+        // Moving a component between sites with different compute prices
+        // changes the compute bill.
+        let on_aws = model.evaluate(&d, &[SiteId(0), SiteId(1), SiteId(0)]);
+        let on_gcp = model.evaluate(&d, &[SiteId(0), SiteId(2), SiteId(0)]);
+        assert!(on_aws.compute > 0.0 && on_gcp.compute > 0.0);
+        assert_ne!(on_aws.compute, on_gcp.compute);
+
+        // All components on-prem: nothing to bill.
+        assert_eq!(model.evaluate(&d, &[SiteId(0); 3]).total(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 sites")]
+    fn degenerate_site_models_are_rejected() {
+        let _ = SiteCostModel::from_pricings(vec![None]);
     }
 }

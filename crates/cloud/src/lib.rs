@@ -24,9 +24,11 @@ pub mod cost;
 pub mod demand;
 pub mod estimator;
 pub mod pricing;
+pub mod site;
 
 pub use autoscaler::Autoscaler;
-pub use cost::{CostBreakdown, CostModel, CostScratch};
+pub use cost::{CostBreakdown, CostModel, CostScratch, SiteCostModel};
 pub use demand::ResourceDemand;
 pub use estimator::{ResourceEstimator, ScalingEstimator};
 pub use pricing::{PricingModel, Provider};
+pub use site::SiteId;

@@ -56,7 +56,7 @@
 //! ```
 
 use atlas_cloud::{CostModel, PricingModel, ResourceDemand, ResourceEstimator, ScalingEstimator};
-use atlas_sim::{NetworkModel, Placement};
+use atlas_sim::{NetworkModel, Placement, SiteCatalog};
 use atlas_telemetry::TelemetryStore;
 
 use crate::delay::DelayInjector;
@@ -76,10 +76,16 @@ pub struct AtlasConfig {
     pub component_index: Vec<String>,
     /// Names of the stateful components (those with persistent volumes).
     pub stateful_components: Vec<String>,
-    /// Network model between and within the two locations.
+    /// Network model between and within the two locations (ignored when
+    /// [`AtlasConfig::sites`] is set).
     pub network: NetworkModel,
-    /// Cloud pricing.
+    /// Cloud pricing (ignored when [`AtlasConfig::sites`] is set).
     pub pricing: PricingModel,
+    /// N-site catalog for multi-region deployments: per-site capacity and
+    /// pricing over per-ordered-pair links. `None` (the default) keeps the
+    /// paper's two-site model built from [`AtlasConfig::network`] and
+    /// [`AtlasConfig::pricing`].
+    pub sites: Option<SiteCatalog>,
     /// Expected traffic growth relative to the learning period (the paper's
     /// burst scenario uses 5×).
     pub expected_traffic_scale: f64,
@@ -102,6 +108,7 @@ impl AtlasConfig {
             stateful_components,
             network: NetworkModel::default(),
             pricing: PricingModel::default(),
+            sites: None,
             expected_traffic_scale: 5.0,
             traces_per_api: 100,
             horizon_steps: 24,
@@ -188,22 +195,35 @@ impl Atlas {
     }
 
     /// Build the quality model for a current placement and a set of owner
-    /// preferences (reusable across recommendation rounds).
+    /// preferences (reusable across recommendation rounds). With
+    /// [`AtlasConfig::sites`] set this is an N-site model over the catalog;
+    /// otherwise the paper's two-site model.
     pub fn quality_model(
         &self,
         current: Placement,
         preferences: MigrationPreferences,
     ) -> QualityModel {
-        QualityModel::new(
-            self.profile().clone(),
-            self.footprint().clone(),
-            DelayInjector::new(self.config.network, self.config.component_index.clone()),
-            CostModel::new(self.config.pricing.clone()),
-            self.demand().clone(),
-            preferences,
-            current,
-            self.config.component_index.clone(),
-        )
+        match &self.config.sites {
+            Some(catalog) => QualityModel::for_catalog(
+                self.profile().clone(),
+                self.footprint().clone(),
+                catalog,
+                self.demand().clone(),
+                preferences,
+                current,
+                self.config.component_index.clone(),
+            ),
+            None => QualityModel::new(
+                self.profile().clone(),
+                self.footprint().clone(),
+                DelayInjector::new(self.config.network, self.config.component_index.clone()),
+                CostModel::new(self.config.pricing.clone()),
+                self.demand().clone(),
+                preferences,
+                current,
+                self.config.component_index.clone(),
+            ),
+        }
     }
 
     /// **Stage 2 — migration recommendation**: run the DRL-based genetic
@@ -244,7 +264,13 @@ impl Atlas {
         current_before_migration: &Placement,
         measured_after_migration_ms: Vec<f64>,
     ) -> DriftDetector {
-        let injector = DelayInjector::new(self.config.network, self.config.component_index.clone());
+        let injector = match &self.config.sites {
+            Some(catalog) => DelayInjector::with_site_network(
+                catalog.network().clone(),
+                self.config.component_index.clone(),
+            ),
+            None => DelayInjector::new(self.config.network, self.config.component_index.clone()),
+        };
         let traces = self
             .profile()
             .apis

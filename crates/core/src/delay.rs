@@ -9,33 +9,43 @@
 //! later, parallel siblings shift independently, and background operations
 //! never extend the end-to-end latency.
 
-use atlas_sim::{Location, NetworkModel, Placement};
+use atlas_sim::{NetworkModel, Placement, SiteId, SiteNetwork};
 use atlas_telemetry::{Micros, Trace};
 
 use crate::footprint::NetworkFootprint;
 
 /// Estimates post-migration latencies by replaying traces with injected
 /// delays.
+///
+/// The injector works over an N-site [`SiteNetwork`]; the paper's two-site
+/// world is the [`DelayInjector::new`] constructor, whose 2×2 conversion
+/// reproduces the binary [`NetworkModel`] arithmetic bit for bit.
 #[derive(Debug, Clone)]
 pub struct DelayInjector {
-    network: NetworkModel,
+    network: SiteNetwork,
     /// Component name → index used by the placements.
     component_index: Vec<String>,
 }
 
 impl DelayInjector {
-    /// Create an injector for an application whose components are indexed by
-    /// `component_index` (the same order used by [`Placement`]).
+    /// Create a two-site injector for an application whose components are
+    /// indexed by `component_index` (the same order used by [`Placement`]).
     pub fn new(network: NetworkModel, component_index: Vec<String>) -> Self {
+        Self::with_site_network(SiteNetwork::two_site(network), component_index)
+    }
+
+    /// Create an injector over an N-site link matrix.
+    pub fn with_site_network(network: SiteNetwork, component_index: Vec<String>) -> Self {
         Self {
             network,
             component_index,
         }
     }
 
-    /// The network model delays are injected against (used by the compiled
-    /// evaluation kernel to bake per-hop link costs at compile time).
-    pub fn network(&self) -> &NetworkModel {
+    /// The per-ordered-pair link model delays are injected against (used by
+    /// the compiled evaluation kernel to bake per-hop link costs at compile
+    /// time).
+    pub fn site_network(&self) -> &SiteNetwork {
         &self.network
     }
 
@@ -44,12 +54,12 @@ impl DelayInjector {
         &self.component_index
     }
 
-    fn location_of(&self, placement: &Placement, component: &str) -> Location {
+    fn site_of(&self, placement: &Placement, component: &str) -> SiteId {
         match self.component_index.iter().position(|c| c == component) {
-            Some(i) => placement.location(atlas_sim::ComponentId(i)),
+            Some(i) => placement.site(atlas_sim::ComponentId(i)),
             // Unknown components (e.g. external clients) are treated as
             // collocated with the on-prem entry point.
-            None => Location::OnPrem,
+            None => SiteId::ON_PREM,
         }
     }
 
@@ -65,16 +75,14 @@ impl DelayInjector {
         candidate: &Placement,
     ) -> f64 {
         let (req, resp) = footprint.get_or_zero(api, caller, callee);
-        let before = self.network.link(
-            self.location_of(current, caller),
-            self.location_of(current, callee),
-        );
-        let after = self.network.link(
-            self.location_of(candidate, caller),
-            self.location_of(candidate, callee),
-        );
-        (after.transfer_us(req) + after.transfer_us(resp))
-            - (before.transfer_us(req) + before.transfer_us(resp))
+        self.network.delay_delta_us(
+            self.site_of(current, caller),
+            self.site_of(current, callee),
+            self.site_of(candidate, caller),
+            self.site_of(candidate, callee),
+            req,
+            resp,
+        )
     }
 
     /// Estimate the end-to-end latency (ms) of one trace under `candidate`.

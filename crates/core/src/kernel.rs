@@ -17,13 +17,14 @@
 //!
 //! * component names are resolved to `u32` indices (unknown/external
 //!   components — e.g. clients — get a sentinel that always reads as
-//!   [`Location::OnPrem`], matching the interpretive injector);
+//!   [`SiteId::ON_PREM`], matching the interpretive injector);
 //! * per-hop request/response bytes from the learned
-//!   [`NetworkFootprint`] are folded
-//!   into two precomputed exchange costs (both-endpoints-collocated vs
-//!   split across the WAN), so the paper's Δ of Eq. 2 becomes
-//!   `delta = after_cost[link_kind(candidate)] − before_cost` — a table
-//!   lookup and one subtraction;
+//!   [`NetworkFootprint`] are folded into a precomputed `N×N` exchange-cost
+//!   table over the site catalog (the two-site model compiles the familiar
+//!   `[collocated, split]` pair as a 2×2 table), so the paper's Δ of Eq. 2
+//!   becomes `delta = cost_table[caller_site × N + callee_site] −
+//!   before_cost` — still a table lookup and one subtraction,
+//!   zero-allocation per evaluation;
 //! * because the **`current` placement is fixed per model** (it is the
 //!   deployment the traces were collected under), `before_cost` is a baked
 //!   constant per hop — this is why a `CompiledQuality` cannot be reused
@@ -60,7 +61,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use atlas_cloud::{CostScratch, ResourceDemand};
-use atlas_sim::{ComponentId, Location, NetworkModel, Placement};
+use atlas_sim::{ComponentId, Placement, SiteId, SiteNetwork};
 use atlas_telemetry::Trace;
 
 use crate::footprint::NetworkFootprint;
@@ -69,7 +70,8 @@ use crate::profile::ApplicationProfile;
 
 /// Sentinel component id for names absent from the component index
 /// (external clients); they are treated as collocated with the on-prem
-/// entry point, exactly like the interpretive injector's `location_of`.
+/// entry point (site 0), exactly like the interpretive injector's
+/// `site_of`.
 const UNKNOWN: u32 = u32::MAX;
 
 /// One frame of the wave stack: the wave's base timestamp and the running
@@ -87,8 +89,9 @@ pub struct WaveFrame {
 pub struct EvalScratch {
     /// Wave-frame stack of the trace interpreter (depth = trace depth).
     pub stack: Vec<WaveFrame>,
-    /// Cloud flags of the candidate plan, indexed like the component index.
-    pub in_cloud: Vec<bool>,
+    /// Site assignment of the candidate plan, indexed like the component
+    /// index.
+    pub sites: Vec<SiteId>,
     /// Ascending indices of a component subset (the on-prem components
     /// during constraint checks).
     pub subset: Vec<usize>,
@@ -117,14 +120,15 @@ enum Op {
     Wave { gap: f64 },
     /// Start one child of the open wave:
     /// `cur = (base + offset) + (after_cost − before_cost)`, where the
-    /// after-cost is `intra` when the candidate collocates the endpoints
-    /// and `inter` otherwise.
+    /// after-cost is the hop's link-cost-table entry for the candidate's
+    /// `(caller_site, callee_site)` pair.
     Call {
         offset: f64,
         caller: u32,
         callee: u32,
-        after_intra: f64,
-        after_inter: f64,
+        /// Offset of this hop's `site_count²` exchange-cost table in the
+        /// trace's [`CompiledTrace::link_costs`] arena.
+        cost_base: u32,
         before: f64,
     },
     /// Close one child: fold its end time into the wave end
@@ -143,10 +147,15 @@ enum Op {
 /// without recursion, name resolution or hashing. Background subtrees are
 /// not emitted at all: the interpretive path re-times them but discards the
 /// result, so they cannot affect the returned latency.
+///
+/// `link_costs` holds one `site_count × site_count` exchange-cost table per
+/// `Call` op (row-major by caller site), baked from the hop's learned
+/// request/response bytes and the catalog's per-ordered-pair links.
 #[derive(Debug, Clone)]
 struct CompiledTrace {
     root_start: f64,
     ops: Vec<Op>,
+    link_costs: Vec<f64>,
 }
 
 impl CompiledTrace {
@@ -154,21 +163,33 @@ impl CompiledTrace {
         trace: &Trace,
         api: &str,
         footprint: &NetworkFootprint,
-        network: &NetworkModel,
+        network: &SiteNetwork,
         current: &Placement,
         id_of: &HashMap<&str, u32>,
     ) -> Self {
         let mut ops = Vec::new();
-        compile_node(trace, 0, api, footprint, network, current, id_of, &mut ops);
+        let mut link_costs = Vec::new();
+        compile_node(
+            trace,
+            0,
+            api,
+            footprint,
+            network,
+            current,
+            id_of,
+            &mut ops,
+            &mut link_costs,
+        );
         Self {
             root_start: trace.root().start_us as f64,
             ops,
+            link_costs,
         }
     }
 
     /// New end-to-end latency (ms) of this trace under the candidate
-    /// placement `locs`.
-    fn run(&self, locs: &[Location], stack: &mut Vec<WaveFrame>) -> f64 {
+    /// site assignment `sites` over an `site_count`-site catalog.
+    fn run(&self, sites: &[SiteId], site_count: usize, stack: &mut Vec<WaveFrame>) -> f64 {
         stack.clear();
         let mut cur = self.root_start;
         for op in &self.ops {
@@ -181,13 +202,13 @@ impl CompiledTrace {
                     offset,
                     caller,
                     callee,
-                    after_intra,
-                    after_inter,
+                    cost_base,
                     before,
                 } => {
-                    let a = location_of(locs, caller);
-                    let b = location_of(locs, callee);
-                    let after = if a == b { after_intra } else { after_inter };
+                    let a = site_of(sites, caller);
+                    let b = site_of(sites, callee);
+                    let after =
+                        self.link_costs[cost_base as usize + a.index() * site_count + b.index()];
                     let base = stack.last().expect("Call only inside a wave").base;
                     cur = (base + offset) + (after - before);
                 }
@@ -204,29 +225,31 @@ impl CompiledTrace {
 }
 
 #[inline]
-fn location_of(locs: &[Location], id: u32) -> Location {
+fn site_of(sites: &[SiteId], id: u32) -> SiteId {
     if id == UNKNOWN {
-        Location::OnPrem
+        SiteId::ON_PREM
     } else {
-        locs[id as usize]
+        sites[id as usize]
     }
 }
 
 /// Emit the instruction stream of one trace node. Mirrors
 /// `DelayInjector::inject`: the wave grouping and every placement-
-/// independent quantity (gaps, child offsets, trailing compute) are
-/// computed here, once, with the same arithmetic the interpretive path
-/// performs per evaluation.
+/// independent quantity (gaps, child offsets, trailing compute, the per-hop
+/// exchange-cost tables over every ordered site pair) are computed here,
+/// once, with the same arithmetic the interpretive path performs per
+/// evaluation.
 #[allow(clippy::too_many_arguments)]
 fn compile_node(
     trace: &Trace,
     node: usize,
     api: &str,
     footprint: &NetworkFootprint,
-    network: &NetworkModel,
+    network: &SiteNetwork,
     current: &Placement,
     id_of: &HashMap<&str, u32>,
     ops: &mut Vec<Op>,
+    link_costs: &mut Vec<f64>,
 ) {
     let span = &trace.nodes[node].span;
     let orig_start = span.start_us as f64;
@@ -268,24 +291,31 @@ fn compile_node(
         for &c in wave {
             let child_span = &trace.nodes[c].span;
             let (req, resp) = footprint.get_or_zero(api, &span.component, &child_span.component);
-            let after_intra = network.intra.transfer_us(req) + network.intra.transfer_us(resp);
-            let after_inter = network.inter.transfer_us(req) + network.inter.transfer_us(resp);
             let caller = resolve(id_of, &span.component);
             let callee = resolve(id_of, &child_span.component);
-            let before = if current_location(current, caller) == current_location(current, callee) {
-                after_intra
-            } else {
-                after_inter
-            };
+            // Bake this hop's exchange cost for every ordered site pair
+            // (row-major by caller site). The 2-site table is exactly the
+            // old `[collocated, split]` pair laid out as a 2×2 matrix.
+            let n = network.site_count();
+            let cost_base = link_costs.len() as u32;
+            for a in 0..n as u16 {
+                for b in 0..n as u16 {
+                    link_costs.push(network.exchange_us(SiteId(a), SiteId(b), req, resp));
+                }
+            }
+            let before_a = current_site(current, caller);
+            let before_b = current_site(current, callee);
+            let before = link_costs[cost_base as usize + before_a.index() * n + before_b.index()];
             ops.push(Op::Call {
                 offset: child_span.start_us as f64 - wave_orig_start,
                 caller,
                 callee,
-                after_intra,
-                after_inter,
+                cost_base,
                 before,
             });
-            compile_node(trace, c, api, footprint, network, current, id_of, ops);
+            compile_node(
+                trace, c, api, footprint, network, current, id_of, ops, link_costs,
+            );
             ops.push(Op::Ret);
             wave_end_orig = wave_end_orig.max(child_span.end_us() as f64);
         }
@@ -301,21 +331,23 @@ fn resolve(id_of: &HashMap<&str, u32>, name: &str) -> u32 {
     id_of.get(name).copied().unwrap_or(UNKNOWN)
 }
 
-fn current_location(current: &Placement, id: u32) -> Location {
+fn current_site(current: &Placement, id: u32) -> SiteId {
     if id == UNKNOWN {
-        Location::OnPrem
+        SiteId::ON_PREM
     } else {
-        current.location(ComponentId(id as usize))
+        current.site(ComponentId(id as usize))
     }
 }
 
 /// The feasibility side of Eq. 4, precompiled: placement pins resolved to
-/// `(index, location)` pairs, the on-prem resource limits, and the budget.
-/// Shared by the core quality kernel and the baselines' placement scorer so
-/// every search path pays the same (allocation-free) constraint check.
+/// `(index, site)` pairs (plus the site-set pins of the N-site model), the
+/// on-prem resource limits, and the budget. Shared by the core quality
+/// kernel and the baselines' placement scorer so every search path pays the
+/// same (allocation-free) constraint check.
 #[derive(Debug, Clone)]
 pub struct ConstraintKernel {
-    pinned: Vec<(usize, Location)>,
+    pinned: Vec<(usize, SiteId)>,
+    allowed: Vec<(usize, Vec<SiteId>)>,
     cpu_limit: f64,
     memory_limit_gb: f64,
     storage_limit_gb: f64,
@@ -325,11 +357,18 @@ pub struct ConstraintKernel {
 impl ConstraintKernel {
     /// Compile the constraints of a set of migration preferences.
     pub fn new(preferences: &MigrationPreferences) -> Self {
-        let mut pinned: Vec<(usize, Location)> =
-            preferences.pinned.iter().map(|(&c, &l)| (c.0, l)).collect();
+        let mut pinned: Vec<(usize, SiteId)> =
+            preferences.pinned.iter().map(|(&c, &s)| (c.0, s)).collect();
         pinned.sort_unstable_by_key(|&(i, _)| i);
+        let mut allowed: Vec<(usize, Vec<SiteId>)> = preferences
+            .allowed_sites
+            .iter()
+            .map(|(&c, sites)| (c.0, sites.clone()))
+            .collect();
+        allowed.sort_unstable_by_key(|&(i, _)| i);
         Self {
             pinned,
+            allowed,
             cpu_limit: preferences.onprem_cpu_limit,
             memory_limit_gb: preferences.onprem_memory_limit_gb,
             storage_limit_gb: preferences.onprem_storage_limit_gb,
@@ -337,11 +376,16 @@ impl ConstraintKernel {
         }
     }
 
-    /// Whether any placement pin is violated by the cloud-flag vector.
-    pub fn violates_pins(&self, in_cloud: &[bool]) -> bool {
+    /// Whether any placement pin (exact or site-set) is violated by the
+    /// site assignment.
+    pub fn violates_pins(&self, sites: &[SiteId]) -> bool {
         self.pinned
             .iter()
-            .any(|&(i, loc)| i < in_cloud.len() && in_cloud[i] != (loc == Location::Cloud))
+            .any(|&(i, site)| i < sites.len() && sites[i] != site)
+            || self
+                .allowed
+                .iter()
+                .any(|(i, set)| *i < sites.len() && !set.contains(&sites[*i]))
     }
 
     /// Whether a placement satisfies every constraint of Eq. 4. `cost` is
@@ -355,15 +399,15 @@ impl ConstraintKernel {
     pub fn feasible(
         &self,
         demand: &ResourceDemand,
-        in_cloud: &[bool],
+        sites: &[SiteId],
         subset: &mut Vec<usize>,
         cost: impl FnOnce() -> f64,
     ) -> bool {
-        if self.violates_pins(in_cloud) {
+        if self.violates_pins(sites) {
             return false;
         }
         subset.clear();
-        subset.extend((0..in_cloud.len()).filter(|&i| !in_cloud[i]));
+        subset.extend((0..sites.len()).filter(|&i| sites[i].is_on_prem()));
         if self.cpu_limit.is_finite() && demand.peak_cpu(subset) > self.cpu_limit {
             return false;
         }
@@ -406,19 +450,21 @@ pub struct CompiledQuality {
     apis: Vec<CompiledApi>,
     api_index: HashMap<String, usize>,
     constraints: ConstraintKernel,
+    site_count: usize,
     compile_ms: f64,
 }
 
 impl CompiledQuality {
-    /// Compile a learned profile + footprint against a network model, the
-    /// current placement and the owner's preferences. `api_order` fixes the
-    /// API summation order of `Q_Perf`/`Q_Avai` (the quality model passes
-    /// its sorted API list so kernel and interpretive sums agree bitwise).
+    /// Compile a learned profile + footprint against a per-ordered-pair
+    /// link model, the current placement and the owner's preferences.
+    /// `api_order` fixes the API summation order of `Q_Perf`/`Q_Avai` (the
+    /// quality model passes its sorted API list so kernel and interpretive
+    /// sums agree bitwise).
     #[allow(clippy::too_many_arguments)]
     pub fn compile(
         profile: &ApplicationProfile,
         footprint: &NetworkFootprint,
-        network: &NetworkModel,
+        network: &SiteNetwork,
         preferences: &MigrationPreferences,
         current: &Placement,
         component_index: &[String],
@@ -458,6 +504,7 @@ impl CompiledQuality {
             apis,
             api_index,
             constraints: ConstraintKernel::new(preferences),
+            site_count: network.site_count(),
             compile_ms: start.elapsed().as_secs_f64() * 1_000.0,
         }
     }
@@ -465,6 +512,11 @@ impl CompiledQuality {
     /// Wall-clock time the compile pass took, in milliseconds.
     pub fn compile_ms(&self) -> f64 {
         self.compile_ms
+    }
+
+    /// Number of sites the per-hop cost tables cover.
+    pub fn site_count(&self) -> usize {
+        self.site_count
     }
 
     /// The precompiled constraint kernel.
@@ -478,30 +530,29 @@ impl CompiledQuality {
     }
 
     /// Mean post-migration latency (ms) of one compiled API under the
-    /// candidate placement (0.0 when no traces were retained, like the
-    /// interpretive estimate).
-    pub fn api_latency_ms(
-        &self,
-        slot: usize,
-        locs: &[Location],
-        stack: &mut Vec<WaveFrame>,
-    ) -> f64 {
+    /// candidate site assignment (0.0 when no traces were retained, like
+    /// the interpretive estimate).
+    pub fn api_latency_ms(&self, slot: usize, sites: &[SiteId], stack: &mut Vec<WaveFrame>) -> f64 {
         let traces = &self.apis[slot].traces;
         if traces.is_empty() {
             return 0.0;
         }
-        traces.iter().map(|t| t.run(locs, stack)).sum::<f64>() / traces.len() as f64
+        traces
+            .iter()
+            .map(|t| t.run(sites, self.site_count, stack))
+            .sum::<f64>()
+            / traces.len() as f64
     }
 
     /// `Q_Perf(p)`: weighted mean of per-API latency ratios.
-    pub fn performance(&self, locs: &[Location], stack: &mut Vec<WaveFrame>) -> f64 {
+    pub fn performance(&self, sites: &[SiteId], stack: &mut Vec<WaveFrame>) -> f64 {
         if self.apis.is_empty() {
             return 1.0;
         }
         let mut total = 0.0;
         let mut weight_sum = 0.0;
         for (slot, api) in self.apis.iter().enumerate() {
-            let estimated = self.api_latency_ms(slot, locs, stack).max(1e-9);
+            let estimated = self.api_latency_ms(slot, sites, stack).max(1e-9);
             total += api.weight * estimated / api.baseline_ms;
             weight_sum += api.weight;
         }
@@ -509,14 +560,15 @@ impl CompiledQuality {
     }
 
     /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move
-    /// relative to the compiled current placement.
-    pub fn availability(&self, locs: &[Location], current: &[Location]) -> f64 {
+    /// relative to the compiled current placement (any site change counts,
+    /// including moves between two elastic sites).
+    pub fn availability(&self, sites: &[SiteId], current: &[SiteId]) -> f64 {
         let mut disruption = 0.0;
         for api in &self.apis {
             let disrupted = api
                 .stateful
                 .iter()
-                .any(|&i| locs[i as usize] != current[i as usize]);
+                .any(|&i| sites[i as usize] != current[i as usize]);
             if disrupted {
                 disruption += api.weight;
             }
@@ -533,6 +585,7 @@ mod tests {
     use crate::profile::{ApiProfile, ApplicationProfile};
     use crate::quality::QualityModel;
     use atlas_cloud::{CostModel, PricingModel};
+    use atlas_sim::NetworkModel;
     use atlas_telemetry::{Span, SpanId, TraceId};
     use std::collections::{HashMap as Map, HashSet};
 
@@ -624,6 +677,123 @@ mod tests {
         )
     }
 
+    /// The same profile/footprint/demand as [`model_with_externals`], but
+    /// over a 3-site catalog whose links are deliberately asymmetric:
+    /// unknown components must resolve to site 0 in both the kernel and
+    /// the interpretive oracle, for every site assignment.
+    fn three_site_model_with_externals() -> QualityModel {
+        use atlas_sim::{ClusterSpec, LinkSpec, SiteCatalog, SiteId, SiteNetwork, SiteSpec};
+
+        let component_index = vec!["Frontend".to_string(), "Store".to_string()];
+        let trace = trace_with_externals();
+        let mut footprint = NetworkFootprint::new();
+        footprint.insert("/api", "Frontend", "ThirdPartyCDN", 2_000.0, 50_000.0);
+        footprint.insert("/api", "Frontend", "Store", 9_000.0, 200.0);
+        footprint.insert("/api", "Store", "ExternalClient", 100.0, 100.0);
+        footprint.insert("/api", "Frontend", "Notifier", 700.0, 0.0);
+
+        let mut apis = Map::new();
+        apis.insert(
+            "/api".to_string(),
+            ApiProfile {
+                endpoint: "/api".to_string(),
+                traces: vec![trace.clone(), trace],
+                components: ["Frontend", "Store", "ThirdPartyCDN"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<HashSet<_>>(),
+                stateful_components: ["Store", "GhostStore"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<HashSet<_>>(),
+                mean_latency_ms: 10.0,
+                request_count: 2,
+            },
+        );
+        let profile = ApplicationProfile {
+            apis,
+            components: Map::new(),
+        };
+        let cluster = ClusterSpec::default();
+        let mut links = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                links.push(if a == b {
+                    cluster.network.intra
+                } else {
+                    LinkSpec {
+                        // Asymmetric: each direction pays its own latency.
+                        latency_ms: 5.0 + 7.0 * a as f64 + 11.0 * b as f64,
+                        bandwidth_mbps: 600.0 + 40.0 * (a + 2 * b) as f64,
+                    }
+                });
+            }
+        }
+        let catalog = SiteCatalog::new(
+            vec![
+                SiteSpec::owned(
+                    "on-prem",
+                    cluster.onprem_cpu_cores,
+                    cluster.onprem_memory_gb,
+                    cluster.onprem_storage_gb,
+                ),
+                SiteSpec::elastic("east", PricingModel::default()),
+                SiteSpec::elastic("west", PricingModel::preset(atlas_cloud::Provider::GcpLike)),
+            ],
+            SiteNetwork::from_links(3, links),
+        );
+        let current = Placement::from_sites(vec![SiteId(0), SiteId(2)]); // Store starts at region 2
+        let mut demand = ResourceDemand::zeros(component_index.clone(), 4, 600);
+        demand.fill_cpu(0, 2.0);
+        demand.fill_cpu(1, 3.0);
+        demand.fill_storage(1, 10.0);
+        QualityModel::for_catalog(
+            profile,
+            footprint,
+            &catalog,
+            demand,
+            MigrationPreferences::with_cpu_limit(4.0).with_budget(1.0e9),
+            current,
+            component_index,
+        )
+    }
+
+    #[test]
+    fn three_site_kernel_matches_the_oracle_with_unknown_components() {
+        use atlas_sim::SiteId;
+        let model = three_site_model_with_externals();
+        assert_eq!(model.site_count(), 3);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                let plan = MigrationPlan::from_sites(vec![SiteId(a), SiteId(b)]);
+                let kernel = model.evaluate(&plan);
+                let oracle = model.evaluate_interpretive(&plan);
+                assert_eq!(
+                    kernel.performance.to_bits(),
+                    oracle.performance.to_bits(),
+                    "sites ({a}, {b})"
+                );
+                assert_eq!(
+                    kernel.availability.to_bits(),
+                    oracle.availability.to_bits(),
+                    "sites ({a}, {b})"
+                );
+                assert_eq!(
+                    kernel.cost.to_bits(),
+                    oracle.cost.to_bits(),
+                    "sites ({a}, {b})"
+                );
+                assert_eq!(kernel.feasible, oracle.feasible, "sites ({a}, {b})");
+            }
+        }
+        // Moving the Store between the two regions pays the asymmetric
+        // links and disrupts availability relative to current site 2.
+        let moved = MigrationPlan::from_sites(vec![SiteId(0), SiteId(1)]);
+        assert!(model.availability(&moved) > 0.0);
+        let stayed = MigrationPlan::from_sites(vec![SiteId(0), SiteId(2)]);
+        assert_eq!(model.availability(&stayed), 0.0);
+    }
+
     #[test]
     fn unknown_components_default_to_onprem_bitwise() {
         let model = model_with_externals();
@@ -684,21 +854,33 @@ mod tests {
     #[test]
     fn constraint_kernel_matches_preference_semantics() {
         let prefs = MigrationPreferences::with_cpu_limit(4.0)
-            .pin(ComponentId(0), Location::OnPrem)
+            .pin(ComponentId(0), atlas_sim::Location::OnPrem)
             .with_budget(100.0);
         let kernel = ConstraintKernel::new(&prefs);
-        assert!(kernel.violates_pins(&[true, false]));
-        assert!(!kernel.violates_pins(&[false, true]));
+        assert!(kernel.violates_pins(&[SiteId(1), SiteId(0)]));
+        assert!(!kernel.violates_pins(&[SiteId(0), SiteId(1)]));
 
         let mut demand = ResourceDemand::zeros(vec!["A".into(), "B".into()], 2, 600);
         demand.fill_cpu(0, 3.0);
         demand.fill_cpu(1, 3.0);
         let mut subset = Vec::new();
+        let both_onprem = [SiteId(0), SiteId(0)];
+        let b_offloaded = [SiteId(0), SiteId(1)];
         // 6 cores on-prem > 4 → infeasible without calling the cost closure.
-        assert!(!kernel.feasible(&demand, &[false, false], &mut subset, || panic!("no cost")));
+        assert!(!kernel.feasible(&demand, &both_onprem, &mut subset, || panic!("no cost")));
         // Offloading B leaves 3 cores; cheap → feasible.
-        assert!(kernel.feasible(&demand, &[false, true], &mut subset, || 1.0));
+        assert!(kernel.feasible(&demand, &b_offloaded, &mut subset, || 1.0));
         // Budget violation.
-        assert!(!kernel.feasible(&demand, &[false, true], &mut subset, || 1_000.0));
+        assert!(!kernel.feasible(&demand, &b_offloaded, &mut subset, || 1_000.0));
+    }
+
+    #[test]
+    fn constraint_kernel_enforces_site_set_pins() {
+        let prefs = MigrationPreferences::default()
+            .pin_to_sites(ComponentId(1), vec![SiteId(0), SiteId(2)]);
+        let kernel = ConstraintKernel::new(&prefs);
+        assert!(!kernel.violates_pins(&[SiteId(3), SiteId(0)]));
+        assert!(!kernel.violates_pins(&[SiteId(3), SiteId(2)]));
+        assert!(kernel.violates_pins(&[SiteId(0), SiteId(1)]));
     }
 }

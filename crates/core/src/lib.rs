@@ -57,6 +57,6 @@ pub use plan::MigrationPlan;
 pub use preferences::MigrationPreferences;
 pub use profile::{ApiProfile, ApplicationProfile, ComponentProfile};
 pub use quality::{PlanQuality, QualityModel};
-pub use recommender::{RecommendedPlan, Recommender, RecommenderConfig};
+pub use recommender::{random_site, RecommendedPlan, Recommender, RecommenderConfig};
 pub use rl_crossover::{CrossoverAgent, RlCrossoverConfig};
 pub use security::{BreachDetector, BreachReport};

@@ -2,10 +2,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use atlas_sim::{ComponentId, Location, Placement};
+use atlas_sim::{ComponentId, Location, Placement, PlacementError, SiteId};
 
 /// A migration plan: a target placement for every component, evaluated
 /// relative to the current (original) placement.
+///
+/// Plans are site-indexed (see [`Placement`]): the paper's binary encoding
+/// survives as the two-site special case via
+/// [`MigrationPlan::from_bits`]/[`MigrationPlan::to_bits`], and
+/// [`MigrationPlan::from_sites`]/[`MigrationPlan::to_sites`] carry the full
+/// N-site assignment.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MigrationPlan {
     placement: Placement,
@@ -23,8 +29,21 @@ impl MigrationPlan {
     }
 
     /// Build from the paper's binary encoding (`0` = on-prem, `1` = cloud).
+    /// Debug builds assert every value is 0 or 1 (see
+    /// [`Placement::from_bits`]).
     pub fn from_bits(bits: &[u8]) -> Self {
         Self::new(Placement::from_bits(bits))
+    }
+
+    /// Build from an explicit site assignment.
+    pub fn from_sites(sites: Vec<SiteId>) -> Self {
+        Self::new(Placement::from_sites(sites))
+    }
+
+    /// Build from a site assignment, rejecting sites outside an
+    /// `site_count`-site catalog.
+    pub fn try_from_sites(sites: Vec<SiteId>, site_count: usize) -> Result<Self, PlacementError> {
+        Placement::try_from_sites(sites, site_count).map(Self::new)
     }
 
     /// The underlying placement.
@@ -32,18 +51,41 @@ impl MigrationPlan {
         &self.placement
     }
 
-    /// The binary encoding of the plan.
+    /// The binary encoding of the plan (lossy for N-site plans: every
+    /// elastic site maps to 1).
     pub fn to_bits(&self) -> Vec<u8> {
         self.placement.to_bits()
     }
 
+    /// The site assignment of the plan.
+    pub fn to_sites(&self) -> Vec<SiteId> {
+        self.placement.to_sites()
+    }
+
+    /// The sites of the plan, borrowed (the search paths' genome view).
+    pub fn sites(&self) -> &[SiteId] {
+        self.placement.sites()
+    }
+
     /// The plan encoded as an `f64` vector, the representation fed to the
-    /// crossover agent (one input per component, 0.0 = on-prem, 1.0 = cloud).
+    /// crossover agent: one input per component holding the raw site index
+    /// (0.0 = on-prem; in the two-site model this is exactly the paper's
+    /// binary feature). Maps straight from the placement — no intermediate
+    /// byte vector is allocated.
     pub fn to_features(&self) -> Vec<f64> {
+        self.placement.sites().iter().map(|s| s.0 as f64).collect()
+    }
+
+    /// [`MigrationPlan::to_features`] normalised to `[0, 1]` by the catalog
+    /// size: site `s` maps to `s / (site_count − 1)`. For the two-site model
+    /// this is bit-identical to the raw features (division by 1), so the
+    /// binary crossover agent sees the exact inputs it always has.
+    pub fn to_features_scaled(&self, site_count: usize) -> Vec<f64> {
+        let scale = (site_count.saturating_sub(1)).max(1) as f64;
         self.placement
-            .to_bits()
-            .into_iter()
-            .map(|b| b as f64)
+            .sites()
+            .iter()
+            .map(|s| s.0 as f64 / scale)
             .collect()
     }
 
@@ -57,17 +99,22 @@ impl MigrationPlan {
         self.placement.is_empty()
     }
 
-    /// Location assigned to a component.
+    /// Binary view of a component's placement.
     pub fn location(&self, c: ComponentId) -> Location {
         self.placement.location(c)
     }
 
-    /// Set a component's location.
-    pub fn set(&mut self, c: ComponentId, loc: Location) {
-        self.placement.set(c, loc);
+    /// Site assigned to a component.
+    pub fn site(&self, c: ComponentId) -> SiteId {
+        self.placement.site(c)
     }
 
-    /// Components offloaded to the cloud by this plan.
+    /// Set a component's site ([`Location`]s convert implicitly).
+    pub fn set(&mut self, c: ComponentId, site: impl Into<SiteId>) {
+        self.placement.set(c, site);
+    }
+
+    /// Components offloaded off-prem by this plan.
     pub fn cloud_components(&self) -> Vec<ComponentId> {
         self.placement.cloud_components()
     }
@@ -103,6 +150,30 @@ mod tests {
     }
 
     #[test]
+    fn site_encoding_and_features() {
+        let sites = vec![SiteId(0), SiteId(2), SiteId(3)];
+        let plan = MigrationPlan::from_sites(sites.clone());
+        assert_eq!(plan.to_sites(), sites);
+        assert_eq!(plan.sites(), sites.as_slice());
+        assert_eq!(plan.site(ComponentId(1)), SiteId(2));
+        assert_eq!(plan.to_features(), vec![0.0, 2.0, 3.0]);
+        // Normalised by a 4-site catalog: /3.
+        let scaled = plan.to_features_scaled(4);
+        assert!((scaled[1] - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(scaled[0], 0.0);
+        assert_eq!(scaled[2], 1.0);
+        // Two-site scaling is the identity on binary plans.
+        let binary = MigrationPlan::from_bits(&[0, 1, 1, 0]);
+        assert_eq!(binary.to_features(), binary.to_features_scaled(2));
+    }
+
+    #[test]
+    fn checked_site_construction() {
+        assert!(MigrationPlan::try_from_sites(vec![SiteId(0), SiteId(2)], 3).is_ok());
+        assert!(MigrationPlan::try_from_sites(vec![SiteId(0), SiteId(3)], 3).is_err());
+    }
+
+    #[test]
     fn all_onprem_is_the_identity_plan() {
         let plan = MigrationPlan::all_onprem(3);
         assert!(plan.cloud_components().is_empty());
@@ -115,6 +186,8 @@ mod tests {
         let mut plan = MigrationPlan::all_onprem(3);
         plan.set(ComponentId(2), Location::Cloud);
         assert_eq!(plan.to_bits(), vec![0, 0, 1]);
+        plan.set(ComponentId(0), SiteId(2));
+        assert_eq!(plan.site(ComponentId(0)), SiteId(2));
         let from_placement: MigrationPlan = Placement::from_bits(&[1, 0]).into();
         assert_eq!(from_placement.to_bits(), vec![1, 0]);
     }

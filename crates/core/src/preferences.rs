@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use atlas_sim::{ComponentId, Location};
+use atlas_sim::{ComponentId, SiteId};
 
 /// The application owner's migration preferences.
 ///
@@ -13,6 +13,12 @@ use atlas_sim::{ComponentId, Location};
 /// resource limits, budget) and the per-API weights `τ_A` used by the
 /// performance and availability models (critical APIs count double by
 /// default).
+///
+/// Placement pins generalise to the N-site model: [`MigrationPreferences::pin`]
+/// fixes a component to one site ([`atlas_sim::Location`]s convert, so the
+/// paper's binary pins read unchanged), and
+/// [`MigrationPreferences::pin_to_sites`] restricts a component to a *set* of
+/// allowed sites (e.g. "any region inside the jurisdiction").
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MigrationPreferences {
     /// APIs that are critical to the business; weighted
@@ -21,8 +27,11 @@ pub struct MigrationPreferences {
     /// Weight multiplier applied to critical APIs (the paper defaults to 2).
     pub critical_weight: f64,
     /// Hard placement constraints, e.g. data that must stay on-prem for
-    /// regulatory compliance (`M_placement`).
-    pub pinned: HashMap<ComponentId, Location>,
+    /// regulatory compliance (`M_placement`): component → required site.
+    pub pinned: HashMap<ComponentId, SiteId>,
+    /// Site-set placement constraints: component → non-empty list of allowed
+    /// sites. The first entry is the site searches snap a violating plan to.
+    pub allowed_sites: HashMap<ComponentId, Vec<SiteId>>,
     /// Maximum CPU cores the application may keep using on-prem
     /// (`M^CPU_onprem-limit`).
     pub onprem_cpu_limit: f64,
@@ -41,6 +50,7 @@ impl Default for MigrationPreferences {
             critical_apis: Vec::new(),
             critical_weight: 2.0,
             pinned: HashMap::new(),
+            allowed_sites: HashMap::new(),
             onprem_cpu_limit: f64::INFINITY,
             onprem_memory_limit_gb: f64::INFINITY,
             onprem_storage_limit_gb: f64::INFINITY,
@@ -65,10 +75,23 @@ impl MigrationPreferences {
         self
     }
 
-    /// Builder: pin a component to a location (e.g. regulatory data that
-    /// must stay on-prem).
-    pub fn pin(mut self, component: ComponentId, location: Location) -> Self {
-        self.pinned.insert(component, location);
+    /// Builder: pin a component to a site (e.g. regulatory data that must
+    /// stay on-prem). [`atlas_sim::Location`]s convert implicitly, so the
+    /// paper's binary pins read unchanged.
+    pub fn pin(mut self, component: ComponentId, site: impl Into<SiteId>) -> Self {
+        self.pinned.insert(component, site.into());
+        self
+    }
+
+    /// Builder: restrict a component to a set of allowed sites. The first
+    /// entry is the site searches snap a violating plan to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is empty.
+    pub fn pin_to_sites(mut self, component: ComponentId, sites: Vec<SiteId>) -> Self {
+        assert!(!sites.is_empty(), "a site-set pin needs at least one site");
+        self.allowed_sites.insert(component, sites);
         self
     }
 
@@ -93,11 +116,15 @@ impl MigrationPreferences {
         }
     }
 
-    /// Whether a plan violates any placement pin.
+    /// Whether a plan violates any placement pin (exact or site-set).
     pub fn violates_pins(&self, plan: &crate::plan::MigrationPlan) -> bool {
         self.pinned
             .iter()
-            .any(|(&c, &loc)| c.0 < plan.len() && plan.location(c) != loc)
+            .any(|(&c, &site)| c.0 < plan.len() && plan.site(c) != site)
+            || self
+                .allowed_sites
+                .iter()
+                .any(|(&c, allowed)| c.0 < plan.len() && !allowed.contains(&plan.site(c)))
     }
 }
 
@@ -105,6 +132,7 @@ impl MigrationPreferences {
 mod tests {
     use super::*;
     use crate::plan::MigrationPlan;
+    use atlas_sim::Location;
 
     #[test]
     fn defaults_are_unconstrained() {
@@ -113,6 +141,7 @@ mod tests {
         assert_eq!(p.critical_weight, 2.0);
         assert!(p.budget.is_none());
         assert!(p.onprem_cpu_limit.is_infinite());
+        assert!(p.allowed_sites.is_empty());
         assert_eq!(p.api_weight("/any"), 1.0);
     }
 
@@ -134,6 +163,32 @@ mod tests {
         let bad = MigrationPlan::from_bits(&[0, 0, 1]);
         assert!(!p.violates_pins(&ok));
         assert!(p.violates_pins(&bad));
+    }
+
+    #[test]
+    fn site_pins_generalize_the_binary_ones() {
+        // Pin component 1 to site 2 exactly.
+        let exact = MigrationPreferences::default().pin(ComponentId(1), SiteId(2));
+        let at_2 = MigrationPlan::from_sites(vec![SiteId(0), SiteId(2), SiteId(0)]);
+        let at_1 = MigrationPlan::from_sites(vec![SiteId(0), SiteId(1), SiteId(0)]);
+        assert!(!exact.violates_pins(&at_2));
+        assert!(exact.violates_pins(&at_1));
+
+        // Restrict component 0 to sites {0, 3}.
+        let set = MigrationPreferences::default()
+            .pin_to_sites(ComponentId(0), vec![SiteId(0), SiteId(3)]);
+        let at_0 = MigrationPlan::from_sites(vec![SiteId(0), SiteId(1)]);
+        let at_3 = MigrationPlan::from_sites(vec![SiteId(3), SiteId(1)]);
+        let at_1 = MigrationPlan::from_sites(vec![SiteId(1), SiteId(1)]);
+        assert!(!set.violates_pins(&at_0));
+        assert!(!set.violates_pins(&at_3));
+        assert!(set.violates_pins(&at_1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_site_sets_are_rejected() {
+        let _ = MigrationPreferences::default().pin_to_sites(ComponentId(0), vec![]);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use atlas_cloud::{CostModel, ResourceDemand};
-use atlas_sim::{Location, Placement};
+use atlas_cloud::{CostModel, ResourceDemand, SiteCostModel};
+use atlas_sim::{Placement, SiteCatalog, SiteId};
 
 use crate::delay::DelayInjector;
 use crate::footprint::NetworkFootprint;
@@ -55,7 +55,7 @@ pub struct QualityModel {
     profile: ApplicationProfile,
     footprint: NetworkFootprint,
     injector: DelayInjector,
-    cost_model: CostModel,
+    cost_model: SiteCostModel,
     demand: ResourceDemand,
     preferences: MigrationPreferences,
     current: Placement,
@@ -71,17 +71,71 @@ pub struct QualityModel {
 }
 
 impl QualityModel {
-    /// Assemble a quality model.
+    /// Assemble a two-site quality model (the paper's binary world): one
+    /// cloud priced by `cost_model`, links from the injector's network.
     ///
     /// `component_index` defines the component ordering used by plans and by
     /// the demand; `current` is the placement the application runs under
-    /// today (all on-prem in the paper's experiments).
+    /// today (all on-prem in the paper's experiments). For an N-site model
+    /// over a [`SiteCatalog`] use [`QualityModel::for_catalog`].
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         profile: ApplicationProfile,
         footprint: NetworkFootprint,
         injector: DelayInjector,
         cost_model: CostModel,
+        demand: ResourceDemand,
+        preferences: MigrationPreferences,
+        current: Placement,
+        component_index: Vec<String>,
+    ) -> Self {
+        Self::assemble(
+            profile,
+            footprint,
+            injector,
+            SiteCostModel::from_models(vec![None, Some(cost_model)]),
+            demand,
+            preferences,
+            current,
+            component_index,
+        )
+    }
+
+    /// Assemble an N-site quality model over a [`SiteCatalog`]: the delay
+    /// injector replays traces against the catalog's per-ordered-pair
+    /// links, and `Q_Cost` bills every elastic site under its own pricing.
+    ///
+    /// A 2-entry catalog with default parameters
+    /// ([`SiteCatalog::default`]) scores bit-identically to the two-site
+    /// [`QualityModel::new`] constructor — pinned by regression test.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_catalog(
+        profile: ApplicationProfile,
+        footprint: NetworkFootprint,
+        catalog: &SiteCatalog,
+        demand: ResourceDemand,
+        preferences: MigrationPreferences,
+        current: Placement,
+        component_index: Vec<String>,
+    ) -> Self {
+        Self::assemble(
+            profile,
+            footprint,
+            DelayInjector::with_site_network(catalog.network().clone(), component_index.clone()),
+            catalog.cost_model(),
+            demand,
+            preferences,
+            current,
+            component_index,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        profile: ApplicationProfile,
+        footprint: NetworkFootprint,
+        injector: DelayInjector,
+        cost_model: SiteCostModel,
         demand: ResourceDemand,
         preferences: MigrationPreferences,
         current: Placement,
@@ -99,6 +153,18 @@ impl QualityModel {
              index as the model, or the compiled kernel and the interpretive \
              oracle would silently disagree"
         );
+        assert_eq!(
+            injector.site_network().site_count(),
+            cost_model.site_count(),
+            "the link matrix and the cost model must cover the same sites"
+        );
+        assert!(
+            current
+                .sites()
+                .iter()
+                .all(|s| s.index() < cost_model.site_count()),
+            "the current placement names a site outside the catalog"
+        );
         let baseline_latency_ms: HashMap<String, f64> = profile
             .apis
             .iter()
@@ -109,7 +175,7 @@ impl QualityModel {
         let kernel = CompiledQuality::compile(
             &profile,
             &footprint,
-            injector.network(),
+            injector.site_network(),
             &preferences,
             &current,
             &component_index,
@@ -133,6 +199,27 @@ impl QualityModel {
     /// Number of components (the plan length this model expects).
     pub fn component_count(&self) -> usize {
         self.component_index.len()
+    }
+
+    /// Number of sites plans may place components at (2 in the paper's
+    /// binary model).
+    pub fn site_count(&self) -> usize {
+        self.cost_model.site_count()
+    }
+
+    /// Debug guard on every scoring entry point: a plan naming a site
+    /// outside the catalog would silently index a neighbouring hop's
+    /// link-cost table (and price the component in no pool). Construct
+    /// plans over a catalog with [`MigrationPlan::try_from_sites`] to get
+    /// the checked error in every build.
+    #[inline]
+    fn debug_assert_in_catalog(&self, plan: &MigrationPlan) {
+        debug_assert!(
+            plan.sites().iter().all(|s| s.index() < self.site_count()),
+            "plan names a site outside the {}-site catalog; build plans with \
+             MigrationPlan::try_from_sites",
+            self.site_count()
+        );
     }
 
     /// The component names in plan-index order.
@@ -175,12 +262,13 @@ impl QualityModel {
     /// (compiled kernel; bit-identical to
     /// [`Self::estimate_api_latency_ms_interpretive`]).
     pub fn estimate_api_latency_ms(&self, api: &str, plan: &MigrationPlan) -> f64 {
+        self.debug_assert_in_catalog(plan);
         let Some(slot) = self.kernel.api_slot(api) else {
             return 0.0;
         };
         with_scratch(|s| {
             self.kernel
-                .api_latency_ms(slot, plan.placement().locations(), &mut s.stack)
+                .api_latency_ms(slot, plan.placement().sites(), &mut s.stack)
         })
     }
 
@@ -201,9 +289,10 @@ impl QualityModel {
     /// `Q_Perf(p)`: weighted mean of per-API latency ratios (compiled
     /// kernel).
     pub fn performance(&self, plan: &MigrationPlan) -> f64 {
+        self.debug_assert_in_catalog(plan);
         with_scratch(|s| {
             self.kernel
-                .performance(plan.placement().locations(), &mut s.stack)
+                .performance(plan.placement().sites(), &mut s.stack)
         })
     }
 
@@ -230,8 +319,9 @@ impl QualityModel {
     /// `Q_Avai(p)`: weighted count of APIs whose stateful dependencies move
     /// (compiled kernel).
     pub fn availability(&self, plan: &MigrationPlan) -> f64 {
+        self.debug_assert_in_catalog(plan);
         self.kernel
-            .availability(plan.placement().locations(), self.current.locations())
+            .availability(plan.placement().sites(), self.current.sites())
     }
 
     /// Interpretive reference of [`Self::availability`], resolving stateful
@@ -245,8 +335,8 @@ impl QualityModel {
                     .iter()
                     .position(|n| n == c)
                     .map(|i| {
-                        plan.location(atlas_sim::ComponentId(i))
-                            != self.current.location(atlas_sim::ComponentId(i))
+                        plan.site(atlas_sim::ComponentId(i))
+                            != self.current.site(atlas_sim::ComponentId(i))
                     })
                     .unwrap_or(false)
             });
@@ -257,32 +347,34 @@ impl QualityModel {
         disruption
     }
 
-    /// `Q_Cost(p)`: cloud hosting cost over the demand horizon (dollars),
-    /// computed with the kernel's reusable in-cloud scratch buffer.
+    /// `Q_Cost(p)`: hosting cost over the demand horizon (dollars), each
+    /// elastic site billed under its own pricing, computed with the
+    /// kernel's reusable scratch buffers.
     pub fn cost(&self, plan: &MigrationPlan) -> f64 {
+        self.debug_assert_in_catalog(plan);
         with_scratch(|s| {
-            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            fill_sites(&mut s.sites, plan, self.component_count());
             self.cost_model
-                .evaluate_with_scratch(&self.demand, &s.in_cloud, &mut s.cost)
+                .evaluate_with_scratch(&self.demand, &s.sites, &mut s.cost)
                 .total()
         })
     }
 
     /// Interpretive reference of [`Self::cost`] (allocating per call).
     pub fn cost_interpretive(&self, plan: &MigrationPlan) -> f64 {
-        let in_cloud: Vec<bool> = (0..self.component_count())
-            .map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud)
+        let sites: Vec<SiteId> = (0..self.component_count())
+            .map(|i| plan.site(atlas_sim::ComponentId(i)))
             .collect();
-        self.cost_model.evaluate(&self.demand, &in_cloud).total()
+        self.cost_model.evaluate(&self.demand, &sites).total()
     }
 
     /// Cost expressed per day, the unit the paper reports.
     pub fn cost_per_day(&self, plan: &MigrationPlan) -> f64 {
-        let in_cloud: Vec<bool> = (0..self.component_count())
-            .map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud)
+        let sites: Vec<SiteId> = (0..self.component_count())
+            .map(|i| plan.site(atlas_sim::ComponentId(i)))
             .collect();
         self.cost_model
-            .evaluate(&self.demand, &in_cloud)
+            .evaluate(&self.demand, &sites)
             .per_day(self.demand.duration_s())
             .total()
     }
@@ -292,23 +384,24 @@ impl QualityModel {
     /// [`Self::feasibility`]`.is_none()`, without the diagnostics or their
     /// allocations).
     pub fn is_feasible(&self, plan: &MigrationPlan) -> bool {
+        self.debug_assert_in_catalog(plan);
         if plan.len() != self.component_count() {
             return false;
         }
         with_scratch(|s| {
-            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            fill_sites(&mut s.sites, plan, self.component_count());
             let crate::kernel::EvalScratch {
-                in_cloud,
+                sites,
                 subset,
                 cost,
                 ..
             } = s;
-            let flags: &[bool] = in_cloud;
+            let assignment: &[SiteId] = sites;
             self.kernel
                 .constraints()
-                .feasible(&self.demand, flags, subset, || {
+                .feasible(&self.demand, assignment, subset, || {
                     self.cost_model
-                        .evaluate_with_scratch(&self.demand, flags, cost)
+                        .evaluate_with_scratch(&self.demand, assignment, cost)
                         .total()
                 })
         })
@@ -325,7 +418,7 @@ impl QualityModel {
         }
         // On-prem resource limits: peak expected usage of on-prem components.
         let onprem: Vec<usize> = (0..self.component_count())
-            .filter(|&i| plan.location(atlas_sim::ComponentId(i)) == Location::OnPrem)
+            .filter(|&i| plan.site(atlas_sim::ComponentId(i)).is_on_prem())
             .collect();
         let peak_cpu = self.demand.peak_cpu(&onprem);
         if peak_cpu > self.preferences.onprem_cpu_limit {
@@ -363,19 +456,20 @@ impl QualityModel {
     /// constraint (the interpretive path used to score it twice when a
     /// budget preference was set).
     pub fn evaluate(&self, plan: &MigrationPlan) -> PlanQuality {
+        self.debug_assert_in_catalog(plan);
         with_scratch(|s| {
-            let locs = plan.placement().locations();
-            let performance = self.kernel.performance(locs, &mut s.stack);
-            let availability = self.kernel.availability(locs, self.current.locations());
-            fill_in_cloud(&mut s.in_cloud, plan, self.component_count());
+            let sites = plan.placement().sites();
+            let performance = self.kernel.performance(sites, &mut s.stack);
+            let availability = self.kernel.availability(sites, self.current.sites());
+            fill_sites(&mut s.sites, plan, self.component_count());
             let cost = self
                 .cost_model
-                .evaluate_with_scratch(&self.demand, &s.in_cloud, &mut s.cost)
+                .evaluate_with_scratch(&self.demand, &s.sites, &mut s.cost)
                 .total();
             let feasible = plan.len() == self.component_count()
                 && self.kernel.constraints().feasible(
                     &self.demand,
-                    &s.in_cloud,
+                    &s.sites,
                     &mut s.subset,
                     || cost,
                 );
@@ -402,10 +496,10 @@ impl QualityModel {
     }
 }
 
-/// Fill `in_cloud` with the plan's cloud flags for components `0..n`.
-fn fill_in_cloud(in_cloud: &mut Vec<bool>, plan: &MigrationPlan, n: usize) {
-    in_cloud.clear();
-    in_cloud.extend((0..n).map(|i| plan.location(atlas_sim::ComponentId(i)) == Location::Cloud));
+/// Fill `sites` with the plan's site assignment for components `0..n`.
+fn fill_sites(sites: &mut Vec<SiteId>, plan: &MigrationPlan, n: usize) {
+    sites.clear();
+    sites.extend((0..n).map(|i| plan.site(atlas_sim::ComponentId(i))));
 }
 
 #[cfg(test)]
@@ -414,7 +508,9 @@ mod tests {
     use crate::footprint::FootprintLearner;
     use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
     use atlas_cloud::{PricingModel, ResourceEstimator, ScalingEstimator};
-    use atlas_sim::{AppTopology, ClusterSpec, ComponentId, OverloadModel, SimConfig, Simulator};
+    use atlas_sim::{
+        AppTopology, ClusterSpec, ComponentId, Location, OverloadModel, SimConfig, Simulator,
+    };
     use atlas_telemetry::TelemetryStore;
 
     /// Build a fully-learned quality model from a short simulated run of the
@@ -570,5 +666,60 @@ mod tests {
         let (model, _) = build_model(MigrationPreferences::default());
         let tiny = MigrationPlan::all_onprem(3);
         assert!(!model.is_feasible(&tiny));
+    }
+
+    /// The 2-entry default [`SiteCatalog`] reproduces the paper's two-site
+    /// quality model bit for bit: building the same learned model through
+    /// [`QualityModel::for_catalog`] scores every indicator identically to
+    /// the binary [`QualityModel::new`] constructor across the seed app's
+    /// plan spectrum (identity, all-cloud, partial offloads, infeasible
+    /// plans). This is the regression pinning the N-site generalisation to
+    /// the historical behaviour.
+    #[test]
+    fn default_two_site_catalog_reproduces_the_binary_model_bitwise() {
+        let preferences = MigrationPreferences::with_cpu_limit(12.0)
+            .pin(ComponentId(0), Location::OnPrem)
+            .with_budget(500.0);
+        let (binary, app) = build_model(preferences.clone());
+        let n = app.component_count();
+        let catalog_model = QualityModel::for_catalog(
+            binary.profile().clone(),
+            binary.footprint().clone(),
+            &SiteCatalog::default(),
+            binary.demand.clone(),
+            preferences,
+            Placement::all_onprem(n),
+            binary.component_index().to_vec(),
+        );
+        assert_eq!(catalog_model.site_count(), 2);
+
+        let mut plans: Vec<MigrationPlan> = vec![
+            MigrationPlan::all_onprem(n),
+            MigrationPlan::new(Placement::all_cloud(n)),
+        ];
+        for salt in 0u64..8 {
+            let bits: Vec<u8> = (0..n)
+                .map(|i| {
+                    ((salt
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(i as u64 * 0x85EB))
+                        >> 5) as u8
+                        & 1
+                })
+                .collect();
+            plans.push(MigrationPlan::from_bits(&bits));
+        }
+        for plan in &plans {
+            let a = binary.evaluate(plan);
+            let b = catalog_model.evaluate(plan);
+            assert_eq!(a.performance.to_bits(), b.performance.to_bits());
+            assert_eq!(a.availability.to_bits(), b.availability.to_bits());
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.feasible, b.feasible);
+            assert_eq!(
+                binary.cost_per_day(plan).to_bits(),
+                catalog_model.cost_per_day(plan).to_bits()
+            );
+        }
     }
 }

@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use atlas_ga::nsga2::survive;
-use atlas_ga::{binary_tournament, bit_flip_mutation, pareto_front_indices, uniform_crossover};
+use atlas_ga::{alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+use atlas_sim::SiteId;
 
 use crate::eval::{EvalStats, PlanEvaluator};
 use crate::plan::MigrationPlan;
@@ -193,6 +194,13 @@ impl<'a> Recommender<'a> {
     /// runs are free.
     pub fn recommend_with(&self, evaluator: &PlanEvaluator<'_>) -> RecommendationReport {
         let n = self.quality.component_count();
+        let site_count = self.quality.site_count();
+        // The gene alphabet of the search: every site of the catalog. For
+        // the paper's two-site model this is {on-prem, cloud} and the whole
+        // search consumes the random stream exactly like the historical
+        // binary encoding (uniform crossover draws one bool per gene either
+        // way; the alphabet mutation degenerates to a bit flip).
+        let site_alphabet: Vec<SiteId> = (0..site_count as u16).map(SiteId).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let already_cached = evaluator.unique_evaluations();
         let visited = |evaluator: &PlanEvaluator<'_>| {
@@ -207,14 +215,17 @@ impl<'a> Recommender<'a> {
         let request_cap = self.config.max_visited.saturating_mul(8).max(64);
 
         // ① Population initialisation: random plans that respect the pins
-        // (cheap to enforce up-front) with varying cloud fractions.
+        // (cheap to enforce up-front) with varying off-prem fractions.
+        // Off-prem genes pick their site uniformly; in the two-site model
+        // the site is forced (no extra draw), preserving the historical
+        // random stream.
         let mut population: Vec<MigrationPlan> = Vec::with_capacity(self.config.population);
         while population.len() < self.config.population {
             let cloud_fraction = rng.gen_range(0.05..0.95);
-            let bits: Vec<u8> = (0..n)
-                .map(|_| u8::from(rng.gen::<f64>() < cloud_fraction))
+            let sites: Vec<SiteId> = (0..n)
+                .map(|_| random_site(&mut rng, cloud_fraction, site_count))
                 .collect();
-            let mut plan = MigrationPlan::from_bits(&bits);
+            let mut plan = MigrationPlan::from_sites(sites);
             self.apply_pins(&mut plan);
             population.push(plan);
         }
@@ -232,7 +243,7 @@ impl<'a> Recommender<'a> {
             // Keep training within half of the remaining budget.
             let budget = (self.config.max_visited.saturating_sub(visited(evaluator))) / 2;
             rl_config.iterations = rl_config.iterations.min(budget.max(1));
-            let mut a = CrossoverAgent::new(n, rl_config);
+            let mut a = CrossoverAgent::new(n, rl_config).with_site_count(site_count);
             reward_progression = a.train(evaluator, &population);
             requested += reward_progression.len() + population.len();
             agent = Some(a);
@@ -264,22 +275,27 @@ impl<'a> Recommender<'a> {
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
                 let b = binary_tournament(&mut rng, &rank, &crowding);
-                let mut child = match (&mut agent, self.config.strategy) {
+                let child = match (&mut agent, self.config.strategy) {
                     (Some(agent), CrossoverStrategy::ReinforcementLearning) => {
                         agent.crossover(&population[a], &population[b])
                     }
                     _ => {
-                        let bits = uniform_crossover(
+                        let sites = uniform_crossover(
                             &mut rng,
-                            &population[a].to_bits(),
-                            &population[b].to_bits(),
+                            population[a].sites(),
+                            population[b].sites(),
                         );
-                        MigrationPlan::from_bits(&bits)
+                        MigrationPlan::from_sites(sites)
                     }
                 };
-                let mut bits = child.to_bits();
-                bit_flip_mutation(&mut rng, &mut bits, self.config.mutation_rate);
-                child = MigrationPlan::from_bits(&bits);
+                let mut sites = child.to_sites();
+                alphabet_mutation(
+                    &mut rng,
+                    &mut sites,
+                    &site_alphabet,
+                    self.config.mutation_rate,
+                );
+                let mut child = MigrationPlan::from_sites(sites);
                 self.apply_pins(&mut child);
                 offspring.push(child);
             }
@@ -307,7 +323,7 @@ impl<'a> Recommender<'a> {
         let mut plans: Vec<RecommendedPlan> = front
             .into_iter()
             .map(|k| candidate_indices[k])
-            .filter(|&i| seen.insert(population[i].to_bits()))
+            .filter(|&i| seen.insert(population[i].to_sites()))
             .map(|i| RecommendedPlan {
                 plan: population[i].clone(),
                 quality: qualities[i],
@@ -329,11 +345,38 @@ impl<'a> Recommender<'a> {
     }
 
     fn apply_pins(&self, plan: &mut MigrationPlan) {
-        for (&c, &loc) in &self.quality.preferences().pinned {
+        for (&c, &site) in &self.quality.preferences().pinned {
             if c.0 < plan.len() {
-                plan.set(c, loc);
+                plan.set(c, site);
             }
         }
+        // Site-set pins: snap a violating gene to the set's first site.
+        for (&c, allowed) in &self.quality.preferences().allowed_sites {
+            if c.0 < plan.len() && !allowed.contains(&plan.site(c)) {
+                plan.set(c, allowed[0]);
+            }
+        }
+    }
+}
+
+/// Draw one placement gene: off-prem with probability `cloud_fraction`,
+/// and if so a uniformly chosen elastic site.
+///
+/// The two-site case spends exactly one `f64` draw per gene (the site is
+/// forced, no second draw), matching the binary sampler this generalises —
+/// the invariant that keeps 2-site searches bit-identical to the
+/// historical random stream. Shared by the Atlas recommender and the
+/// GA/random-search baselines so the two search families cannot drift
+/// apart in sampling semantics.
+pub fn random_site<R: Rng + ?Sized>(rng: &mut R, cloud_fraction: f64, site_count: usize) -> SiteId {
+    if rng.gen::<f64>() < cloud_fraction {
+        if site_count <= 2 {
+            SiteId::CLOUD
+        } else {
+            SiteId(rng.gen_range(1..site_count as u16))
+        }
+    } else {
+        SiteId::ON_PREM
     }
 }
 

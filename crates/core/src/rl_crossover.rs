@@ -45,16 +45,28 @@ impl Default for RlCrossoverConfig {
 }
 
 /// The trained crossover agent plus its reward bookkeeping.
+///
+/// The policy network has one Bernoulli output per component. In the
+/// paper's two-site model that output *is* the child's placement bit. Over
+/// an N-site catalog ([`CrossoverAgent::with_site_count`]) the same output
+/// is interpreted as an **inheritance mask**: output `i` picks whether gene
+/// `i` of the child comes from parent A or parent B, so the learned
+/// operator recombines arbitrary site assignments without growing the
+/// action space. State inputs are the parents' site indices normalised to
+/// `[0, 1]` ([`MigrationPlan::to_features_scaled`]), which reduces to the
+/// historical binary features when `site_count == 2`.
 #[derive(Debug)]
 pub struct CrossoverAgent {
     agent: ActorCritic,
     config: RlCrossoverConfig,
+    site_count: usize,
     rng: StdRng,
     reward_history: Vec<f64>,
 }
 
 impl CrossoverAgent {
-    /// Create an untrained agent for plans over `component_count` components.
+    /// Create an untrained agent for plans over `component_count` components
+    /// in the paper's two-site model.
     pub fn new(component_count: usize, config: RlCrossoverConfig) -> Self {
         let ac_config = ActorCriticConfig {
             actor_hidden: config.actor_hidden.clone(),
@@ -66,9 +78,20 @@ impl CrossoverAgent {
         Self {
             agent,
             config,
+            site_count: 2,
             rng,
             reward_history: Vec::new(),
         }
+    }
+
+    /// Builder: set the number of sites plans range over. With more than two
+    /// sites the policy's outputs act as an inheritance mask over the two
+    /// parents (see the type docs); with two they emit the placement
+    /// directly, exactly like the paper.
+    pub fn with_site_count(mut self, site_count: usize) -> Self {
+        assert!(site_count >= 2, "plans need at least two sites");
+        self.site_count = site_count;
+        self
     }
 
     /// Reward of a child given its parents' qualities (Eq. 5).
@@ -114,9 +137,9 @@ impl CrossoverAgent {
             if i == j {
                 j = (j + 1) % dataset.len();
             }
-            let state = Self::state_of(&dataset[i], &dataset[j]);
+            let state = self.state_of(&dataset[i], &dataset[j]);
             let action = self.agent.sample(&state);
-            let child = Self::plan_of(&action);
+            let child = self.child_of(&action, &dataset[i], &dataset[j]);
             let child_quality = evaluator.evaluate(&child);
             let reward = self.reward(&child_quality, &qualities[i], &qualities[j]);
             self.agent.update(&state, &action, reward);
@@ -132,9 +155,9 @@ impl CrossoverAgent {
         parent_a: &MigrationPlan,
         parent_b: &MigrationPlan,
     ) -> MigrationPlan {
-        let state = Self::state_of(parent_a, parent_b);
+        let state = self.state_of(parent_a, parent_b);
         let action = self.agent.sample(&state);
-        Self::plan_of(&action)
+        self.child_of(&action, parent_a, parent_b)
     }
 
     /// Deterministic (greedy) child of two parents.
@@ -143,8 +166,8 @@ impl CrossoverAgent {
         parent_a: &MigrationPlan,
         parent_b: &MigrationPlan,
     ) -> MigrationPlan {
-        let state = Self::state_of(parent_a, parent_b);
-        Self::plan_of(&self.agent.greedy(&state))
+        let state = self.state_of(parent_a, parent_b);
+        self.child_of(&self.agent.greedy(&state), parent_a, parent_b)
     }
 
     /// All rewards observed during training, in order.
@@ -162,19 +185,40 @@ impl CrossoverAgent {
         slice.iter().sum::<f64>() / slice.len() as f64
     }
 
-    fn state_of(a: &MigrationPlan, b: &MigrationPlan) -> Vec<f64> {
-        let mut state = a.to_features();
-        state.extend(b.to_features());
+    fn state_of(&self, a: &MigrationPlan, b: &MigrationPlan) -> Vec<f64> {
+        let mut state = a.to_features_scaled(self.site_count);
+        state.extend(b.to_features_scaled(self.site_count));
         state
     }
 
-    fn plan_of(action: &[bool]) -> MigrationPlan {
-        MigrationPlan::from_bits(
-            &action
-                .iter()
-                .map(|&b| if b { 1 } else { 0 })
-                .collect::<Vec<u8>>(),
-        )
+    /// Decode one policy action into a child plan. Two-site agents emit the
+    /// placement directly (the paper's formulation, bit-identical to the
+    /// historical decode); N-site agents treat the action as a per-gene
+    /// parent-inheritance mask.
+    fn child_of(&self, action: &[bool], a: &MigrationPlan, b: &MigrationPlan) -> MigrationPlan {
+        if self.site_count <= 2 {
+            MigrationPlan::from_bits(
+                &action
+                    .iter()
+                    .map(|&bit| if bit { 1 } else { 0 })
+                    .collect::<Vec<u8>>(),
+            )
+        } else {
+            MigrationPlan::from_sites(
+                action
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &from_a)| {
+                        let c = atlas_sim::ComponentId(i);
+                        if from_a {
+                            a.site(c)
+                        } else {
+                            b.site(c)
+                        }
+                    })
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -252,6 +296,29 @@ mod tests {
         let greedy = a.crossover_greedy(&p1, &p2);
         assert_eq!(greedy.len(), 6);
         assert!(child.to_bits().iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn multi_site_crossover_inherits_genes_from_the_parents() {
+        use atlas_sim::SiteId;
+        let mut a = agent(6).with_site_count(4);
+        let p1 = MigrationPlan::from_sites(vec![SiteId(3); 6]);
+        let p2 = MigrationPlan::from_sites(vec![SiteId(1); 6]);
+        for _ in 0..8 {
+            let child = a.crossover(&p1, &p2);
+            assert_eq!(child.len(), 6);
+            // Every gene comes from one of the parents: only sites 1 and 3
+            // can appear, never an arbitrary site.
+            assert!(child
+                .sites()
+                .iter()
+                .all(|&s| s == SiteId(1) || s == SiteId(3)));
+        }
+        let greedy = a.crossover_greedy(&p1, &p2);
+        assert!(greedy
+            .sites()
+            .iter()
+            .all(|&s| s == SiteId(1) || s == SiteId(3)));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! * [`pareto`] — Pareto-dominance tests and front extraction;
 //! * [`nsga2`] — fast non-dominated sorting, crowding distance,
 //!   constraint-aware survival selection and binary tournaments;
-//! * [`operators`] — uniform crossover and bit-flip mutation for the binary
-//!   placement genomes Atlas uses.
+//! * [`operators`] — uniform crossover and alphabet/bit-flip mutation for
+//!   the placement genomes Atlas uses (binary or N-site).
 
 #![deny(missing_docs)]
 
@@ -19,5 +19,5 @@ pub mod operators;
 pub mod pareto;
 
 pub use nsga2::{binary_tournament, crowding_distance, fast_non_dominated_sort, select_survivors};
-pub use operators::{bit_flip_mutation, uniform_crossover};
+pub use operators::{alphabet_mutation, bit_flip_mutation, uniform_crossover};
 pub use pareto::{dominates, pareto_front_indices};

@@ -1,21 +1,28 @@
-//! Genetic operators for binary placement genomes.
+//! Genetic operators for placement genomes over an arbitrary site alphabet.
 //!
 //! The baselines and the random initialisation of Atlas's population use the
 //! classic operators: uniform crossover (each gene comes from either parent
-//! with equal probability) and bit-flip mutation. Atlas's own crossover is
-//! the learned agent in `atlas-core::rl_crossover`; these operators are the
-//! "existing approaches create offspring by randomly combining the parents"
-//! the paper compares against (§4.2.1).
+//! with equal probability) and a resampling mutation over the gene alphabet
+//! ([`bit_flip_mutation`] is the binary special case). Atlas's own crossover
+//! is the learned agent in `atlas-core::rl_crossover`; these operators are
+//! the "existing approaches create offspring by randomly combining the
+//! parents" the paper compares against (§4.2.1).
+//!
+//! The operators are generic over the gene type, so the same code serves the
+//! paper's binary `{on-prem, cloud}` genomes and the N-site `SiteId`
+//! genomes of the multi-region model.
 
 use rand::Rng;
 
 /// Uniform crossover: each gene is copied from either parent with equal
-/// probability.
+/// probability. Generic over the gene type (binary `u8` genomes and N-site
+/// id genomes alike); the random stream is one draw per gene regardless of
+/// the alphabet.
 ///
 /// # Panics
 ///
 /// Panics if the parents have different lengths.
-pub fn uniform_crossover<R: Rng + ?Sized>(rng: &mut R, a: &[u8], b: &[u8]) -> Vec<u8> {
+pub fn uniform_crossover<T: Copy, R: Rng + ?Sized>(rng: &mut R, a: &[T], b: &[T]) -> Vec<T> {
     assert_eq!(a.len(), b.len(), "parents must have equal length");
     a.iter()
         .zip(b.iter())
@@ -29,6 +36,53 @@ pub fn bit_flip_mutation<R: Rng + ?Sized>(rng: &mut R, genome: &mut [u8], rate: 
     for gene in genome.iter_mut() {
         if rng.gen::<f64>() < rate {
             *gene = if *gene == 0 { 1 } else { 0 };
+        }
+    }
+}
+
+/// Alphabet mutation: each gene is independently resampled, with probability
+/// `rate`, to a *different* letter of `alphabet`, chosen uniformly.
+///
+/// This is the N-ary generalisation of [`bit_flip_mutation`], and it
+/// consumes the random stream identically for a two-letter alphabet: one
+/// `f64` draw per gene, and the replacement of a mutated gene is the other
+/// letter without a further draw — so a binary search using it is
+/// bit-identical to one using `bit_flip_mutation`. Larger alphabets pay one
+/// extra draw per *mutated* gene to pick the replacement.
+///
+/// Genes not present in the alphabet are replaced by a uniformly drawn
+/// letter when mutated.
+///
+/// # Panics
+///
+/// Panics if the alphabet has fewer than two letters.
+pub fn alphabet_mutation<T: Copy + Eq, R: Rng + ?Sized>(
+    rng: &mut R,
+    genome: &mut [T],
+    alphabet: &[T],
+    rate: f64,
+) {
+    assert!(alphabet.len() >= 2, "mutation needs at least 2 letters");
+    for gene in genome.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            if alphabet.len() == 2 {
+                // Binary special case: deterministic flip, no extra draw
+                // (keeps 2-site searches bit-identical to bit_flip_mutation).
+                *gene = if *gene == alphabet[0] {
+                    alphabet[1]
+                } else {
+                    alphabet[0]
+                };
+            } else {
+                let current = alphabet.iter().position(|l| l == gene);
+                let k = rng.gen_range(0..alphabet.len() - usize::from(current.is_some()));
+                let k = match current {
+                    // Skip the current letter so the mutation always moves.
+                    Some(c) if k >= c => k + 1,
+                    _ => k,
+                };
+                *gene = alphabet[k];
+            }
         }
     }
 }
@@ -87,5 +141,67 @@ mod tests {
             (800..1_200).contains(&flipped),
             "expected ~1000 flips, got {flipped}"
         );
+    }
+
+    #[test]
+    fn crossover_is_generic_over_the_gene_type() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = vec![0u16, 0, 0, 0, 0, 0, 0, 0];
+        let b = vec![3u16, 3, 3, 3, 3, 3, 3, 3];
+        let child = uniform_crossover(&mut rng, &a, &b);
+        assert!(child.iter().all(|&g| g == 0 || g == 3));
+        // Identical draws regardless of gene type: the same seed crossing
+        // u8 parents picks the same parents per gene.
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let bytes = uniform_crossover(&mut rng_a, &[0u8; 16], &[1u8; 16]);
+        let words = uniform_crossover(&mut rng_b, &[0u16; 16], &[1u16; 16]);
+        assert_eq!(bytes.iter().map(|&x| x as u16).collect::<Vec<_>>(), words);
+    }
+
+    /// On a two-letter alphabet the generalised mutation is bit-identical to
+    /// `bit_flip_mutation`: same draws, same flips, same resulting stream.
+    #[test]
+    fn alphabet_mutation_matches_bit_flip_on_binary_genomes() {
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let mut bits = vec![0u8, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0];
+        let mut sites = bits.clone();
+        bit_flip_mutation(&mut rng_a, &mut bits, 0.4);
+        alphabet_mutation(&mut rng_b, &mut sites, &[0u8, 1], 0.4);
+        assert_eq!(bits, sites);
+        // The streams stay aligned after the call.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn alphabet_mutation_always_moves_to_a_different_letter() {
+        let alphabet = [0u16, 1, 2, 3];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut genome = vec![2u16; 5_000];
+        alphabet_mutation(&mut rng, &mut genome, &alphabet, 1.0);
+        // Rate 1.0: every gene mutated, never back to its own letter, and
+        // the three remaining letters all appear.
+        assert!(genome.iter().all(|&g| g != 2));
+        for letter in [0u16, 1, 3] {
+            assert!(genome.contains(&letter), "letter {letter} never drawn");
+        }
+
+        // Rate 0.0: nothing moves.
+        let mut untouched = vec![1u16; 64];
+        alphabet_mutation(&mut rng, &mut untouched, &alphabet, 0.0);
+        assert_eq!(untouched, vec![1u16; 64]);
+
+        // Genes outside the alphabet are legalised when mutated.
+        let mut stray = vec![9u16; 2_000];
+        alphabet_mutation(&mut rng, &mut stray, &alphabet, 1.0);
+        assert!(stray.iter().all(|g| alphabet.contains(g)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 letters")]
+    fn degenerate_alphabets_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        alphabet_mutation(&mut rng, &mut [0u8, 1], &[0u8], 0.5);
     }
 }

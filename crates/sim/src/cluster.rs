@@ -1,16 +1,24 @@
-//! Hybrid cluster and network model.
+//! Hybrid cluster, site catalog and network model.
 //!
 //! The paper's testbed spans a ten-node on-prem cluster (Wisconsin) and a
 //! public-cloud datacenter (Massachusetts). The only properties Atlas's
-//! models consume are (i) the capacity of the on-prem cluster, (ii) the node
-//! granularity offered by the cloud provider, and (iii) the latency and
-//! bandwidth inside and between the two locations. Those are captured here
-//! with the paper's measured values as defaults.
+//! models consume are (i) the capacity of each site, (ii) the node
+//! granularity and pricing of its elastic pools, and (iii) the latency and
+//! bandwidth on every ordered site pair. The two-site world of the paper is
+//! captured by [`ClusterSpec`]/[`NetworkModel`] with the measured values as
+//! defaults; the N-site generalisation is a [`SiteCatalog`] (per-site
+//! capacity + pricing) over a [`SiteNetwork`] (per-ordered-pair
+//! [`LinkSpec`]s), with `OnPrem` as site 0 and a 2-entry catalog whose
+//! defaults reproduce the two-site numbers exactly.
 
 use serde::{Deserialize, Serialize};
 
-/// Where a component is placed. Atlas supports multi-cloud, but like the
-/// paper we focus on the two-location case.
+pub use atlas_cloud::SiteId;
+use atlas_cloud::{PricingModel, SiteCostModel};
+
+/// Where a component is placed in the paper's two-site model. This is the
+/// binary view of a [`SiteId`]: `OnPrem` is site 0, `Cloud` stands for any
+/// other (elastic) site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Location {
     /// The on-premises cluster (`p_c = 0` in the paper).
@@ -35,6 +43,31 @@ impl Location {
         } else {
             Location::Cloud
         }
+    }
+
+    /// The site this location denotes in a catalog: site 0 for on-prem, the
+    /// first elastic site for the cloud.
+    pub fn site(self) -> SiteId {
+        match self {
+            Location::OnPrem => SiteId::ON_PREM,
+            Location::Cloud => SiteId::CLOUD,
+        }
+    }
+
+    /// The binary view of a site: site 0 is on-prem, everything else is an
+    /// elastic ("cloud") site.
+    pub fn of_site(site: SiteId) -> Self {
+        if site.is_on_prem() {
+            Location::OnPrem
+        } else {
+            Location::Cloud
+        }
+    }
+}
+
+impl From<Location> for SiteId {
+    fn from(location: Location) -> Self {
+        location.site()
     }
 }
 
@@ -131,6 +164,290 @@ impl NetworkModel {
         let exchange_us =
             |link: LinkSpec| link.transfer_us(request_bytes) + link.transfer_us(response_bytes);
         exchange_us(after) - exchange_us(before)
+    }
+}
+
+/// Per-ordered-pair network model over N sites: one [`LinkSpec`] for every
+/// `(from, to)` site pair, stored row-major (`links[from * n + to]`).
+///
+/// The two-site [`NetworkModel`] converts into a symmetric 2×2 instance
+/// (`[intra, inter; inter, intra]`), and every lookup then returns exactly
+/// the link the binary model would have chosen — the compiled evaluation
+/// kernel and the delay injector are bit-identical through the conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteNetwork {
+    site_count: usize,
+    links: Vec<LinkSpec>,
+}
+
+impl SiteNetwork {
+    /// Build from an explicit row-major link matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() != site_count²` or `site_count < 2`.
+    pub fn from_links(site_count: usize, links: Vec<LinkSpec>) -> Self {
+        assert!(site_count >= 2, "a site network needs at least 2 sites");
+        assert_eq!(
+            links.len(),
+            site_count * site_count,
+            "link matrix must cover every ordered site pair"
+        );
+        Self { site_count, links }
+    }
+
+    /// The 2-site matrix of a binary [`NetworkModel`]:
+    /// `[intra, inter; inter, intra]`.
+    pub fn two_site(model: NetworkModel) -> Self {
+        Self {
+            site_count: 2,
+            links: vec![model.intra, model.inter, model.inter, model.intra],
+        }
+    }
+
+    /// Number of sites covered.
+    pub fn site_count(&self) -> usize {
+        self.site_count
+    }
+
+    /// The link used when `from` sends to `to` (same-site pairs return the
+    /// site's intra link).
+    pub fn link(&self, from: SiteId, to: SiteId) -> LinkSpec {
+        self.links[from.index() * self.site_count + to.index()]
+    }
+
+    /// One-way transfer time (µs) for `bytes` from one site to another.
+    pub fn transfer_us(&self, from: SiteId, to: SiteId, bytes: f64) -> f64 {
+        self.link(from, to).transfer_us(bytes)
+    }
+
+    /// Cost (µs) of one request/response exchange between a caller at `a`
+    /// and a callee at `b`: the request leg crosses `a → b`, the response
+    /// leg `b → a`. For a symmetric matrix (every 2-site conversion) this
+    /// equals the binary model's `2γ + (d_req + d_resp)/ν` bit for bit.
+    pub fn exchange_us(
+        &self,
+        a: SiteId,
+        b: SiteId,
+        request_bytes: f64,
+        response_bytes: f64,
+    ) -> f64 {
+        self.link(a, b).transfer_us(request_bytes) + self.link(b, a).transfer_us(response_bytes)
+    }
+
+    /// The paper's Δ (Eq. 2) generalised to sites: the additional delay of
+    /// one exchange when the endpoints move from `(caller_before,
+    /// callee_before)` to `(caller_after, callee_after)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn delay_delta_us(
+        &self,
+        caller_before: SiteId,
+        callee_before: SiteId,
+        caller_after: SiteId,
+        callee_after: SiteId,
+        request_bytes: f64,
+        response_bytes: f64,
+    ) -> f64 {
+        self.exchange_us(caller_after, callee_after, request_bytes, response_bytes)
+            - self.exchange_us(caller_before, callee_before, request_bytes, response_bytes)
+    }
+}
+
+impl From<NetworkModel> for SiteNetwork {
+    fn from(model: NetworkModel) -> Self {
+        Self::two_site(model)
+    }
+}
+
+impl Default for SiteNetwork {
+    /// The paper's two-site network.
+    fn default() -> Self {
+        Self::two_site(NetworkModel::default())
+    }
+}
+
+/// One site of a [`SiteCatalog`]: a capacity pool plus, for elastic sites,
+/// the pricing the autoscaler bills it under.
+///
+/// **Constraint semantics** (paper Eq. 4): resource-limit feasibility is
+/// enforced for the *on-prem* site (site 0) via
+/// `MigrationPreferences::onprem_*_limit`; elastic sites are
+/// capacity-unbounded by construction. The capacity fields of an owned
+/// site at index > 0 are descriptive for now — generated catalogs only
+/// create elastic non-zero sites, and per-site capacity constraints for
+/// additional owned sites are a recorded ROADMAP follow-on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Human-readable site name (e.g. `on-prem`, `aws-us-east`).
+    pub name: String,
+    /// CPU cores of the site's inelastic pool (`f64::INFINITY` for elastic
+    /// sites, whose autoscaler provisions nodes on demand).
+    pub cpu_cores: f64,
+    /// Memory (GB) of the inelastic pool (`f64::INFINITY` when elastic).
+    pub memory_gb: f64,
+    /// Storage (GB) of the inelastic pool (`f64::INFINITY` when elastic).
+    pub storage_gb: f64,
+    /// Pricing of the site's elastic pool; `None` marks owned hardware with
+    /// no marginal hosting cost (the on-prem site).
+    pub pricing: Option<PricingModel>,
+}
+
+impl SiteSpec {
+    /// An owned, fixed-capacity site (no marginal cost).
+    pub fn owned(name: impl Into<String>, cpu_cores: f64, memory_gb: f64, storage_gb: f64) -> Self {
+        Self {
+            name: name.into(),
+            cpu_cores,
+            memory_gb,
+            storage_gb,
+            pricing: None,
+        }
+    }
+
+    /// An elastic site: capacity is provisioned on demand and billed under
+    /// `pricing`.
+    pub fn elastic(name: impl Into<String>, pricing: PricingModel) -> Self {
+        Self {
+            name: name.into(),
+            cpu_cores: f64::INFINITY,
+            memory_gb: f64::INFINITY,
+            storage_gb: f64::INFINITY,
+            pricing: Some(pricing),
+        }
+    }
+
+    /// Whether the site autoscales (and is billed) rather than being owned.
+    pub fn is_elastic(&self) -> bool {
+        self.pricing.is_some()
+    }
+}
+
+/// The N-site generalisation of the hybrid cluster: per-site capacity and
+/// pricing ([`SiteSpec`]) over a per-ordered-pair [`SiteNetwork`]. Site 0 is
+/// the on-premises cluster by convention; [`SiteCatalog::hybrid`] builds the
+/// 2-entry catalog whose defaults reproduce the paper's two-site world
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteCatalog {
+    sites: Vec<SiteSpec>,
+    network: SiteNetwork,
+}
+
+impl SiteCatalog {
+    /// Assemble a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sites are given or the network covers a
+    /// different number of sites.
+    pub fn new(sites: Vec<SiteSpec>, network: SiteNetwork) -> Self {
+        assert!(sites.len() >= 2, "a site catalog needs at least 2 sites");
+        assert_eq!(
+            sites.len(),
+            network.site_count(),
+            "the link matrix must cover exactly the catalog's sites"
+        );
+        Self { sites, network }
+    }
+
+    /// The paper's hybrid deployment as a 2-entry catalog: the cluster's
+    /// on-prem pool at site 0, one elastic site priced by `pricing`, and the
+    /// cluster's [`NetworkModel`] as the link matrix.
+    pub fn hybrid(cluster: &ClusterSpec, pricing: PricingModel) -> Self {
+        Self::new(
+            vec![
+                SiteSpec::owned(
+                    "on-prem",
+                    cluster.onprem_cpu_cores,
+                    cluster.onprem_memory_gb,
+                    cluster.onprem_storage_gb,
+                ),
+                SiteSpec::elastic("cloud", pricing),
+            ],
+            SiteNetwork::two_site(cluster.network),
+        )
+    }
+
+    /// Number of sites in the catalog.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Catalogs always hold at least two sites.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sites in index order.
+    pub fn sites(&self) -> &[SiteSpec] {
+        &self.sites
+    }
+
+    /// One site's spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is not in the catalog.
+    pub fn site(&self, site: SiteId) -> &SiteSpec {
+        &self.sites[site.index()]
+    }
+
+    /// Whether a site id is within the catalog.
+    pub fn contains(&self, site: SiteId) -> bool {
+        site.index() < self.sites.len()
+    }
+
+    /// The per-ordered-pair network.
+    pub fn network(&self) -> &SiteNetwork {
+        &self.network
+    }
+
+    /// Every site id in index order.
+    pub fn site_ids(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.sites.len() as u16).map(SiteId)
+    }
+
+    /// Ids of the elastic (priced, autoscaled) sites.
+    pub fn elastic_sites(&self) -> Vec<SiteId> {
+        self.site_ids()
+            .filter(|&s| self.site(s).is_elastic())
+            .collect()
+    }
+
+    /// The elastic site with the cheapest compute per core-hour (the greedy
+    /// baselines' default offload target); `None` when no site is elastic.
+    pub fn cheapest_elastic_site(&self) -> Option<SiteId> {
+        self.site_ids()
+            .filter_map(|s| {
+                self.site(s).pricing.as_ref().map(|p| {
+                    (
+                        s,
+                        p.compute_per_node_hour / p.node_cpu_cores.max(f64::MIN_POSITIVE),
+                    )
+                })
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite prices"))
+            .map(|(s, _)| s)
+    }
+
+    /// Per-site pricing in the shape [`SiteCostModel`] consumes.
+    pub fn pricings(&self) -> Vec<Option<PricingModel>> {
+        self.sites.iter().map(|s| s.pricing.clone()).collect()
+    }
+
+    /// The catalog's cost model: each elastic site billed under its own
+    /// pricing.
+    pub fn cost_model(&self) -> SiteCostModel {
+        SiteCostModel::from_pricings(self.pricings())
+    }
+}
+
+impl Default for SiteCatalog {
+    /// The 2-entry catalog of the paper's testbed with default pricing —
+    /// evaluating against it reproduces the original two-site numbers bit
+    /// for bit.
+    fn default() -> Self {
+        Self::hybrid(&ClusterSpec::default(), PricingModel::default())
     }
 }
 
@@ -292,6 +609,123 @@ mod tests {
             1.0e6,
         );
         assert!(large > small);
+    }
+
+    #[test]
+    fn locations_map_to_sites_and_back() {
+        assert_eq!(Location::OnPrem.site(), SiteId::ON_PREM);
+        assert_eq!(Location::Cloud.site(), SiteId::CLOUD);
+        assert_eq!(SiteId::from(Location::Cloud), SiteId(1));
+        assert_eq!(Location::of_site(SiteId(0)), Location::OnPrem);
+        assert_eq!(Location::of_site(SiteId(1)), Location::Cloud);
+        assert_eq!(Location::of_site(SiteId(5)), Location::Cloud);
+    }
+
+    #[test]
+    fn two_site_network_reproduces_the_binary_model_bitwise() {
+        let binary = NetworkModel::default();
+        let sites = SiteNetwork::two_site(binary);
+        assert_eq!(sites.site_count(), 2);
+        for (a, b) in [(0u16, 0u16), (0, 1), (1, 0), (1, 1)] {
+            let (sa, sb) = (SiteId(a), SiteId(b));
+            let expected = binary.link(Location::of_site(sa), Location::of_site(sb));
+            assert_eq!(sites.link(sa, sb), expected);
+            for bytes in [0.0, 512.0, 2.0e6] {
+                assert_eq!(
+                    sites.transfer_us(sa, sb, bytes).to_bits(),
+                    expected.transfer_us(bytes).to_bits()
+                );
+            }
+            // Exchange = the binary model's symmetric round trip.
+            let exchange = sites.exchange_us(sa, sb, 1_000.0, 2_000.0);
+            let binary_exchange = expected.transfer_us(1_000.0) + expected.transfer_us(2_000.0);
+            assert_eq!(exchange.to_bits(), binary_exchange.to_bits());
+        }
+        // Δ over sites matches Δ over locations when only the callee moves.
+        let delta = sites.delay_delta_us(SiteId(0), SiteId(0), SiteId(0), SiteId(1), 500.0, 700.0);
+        let binary_delta = binary.delay_delta_us(
+            Location::OnPrem,
+            Location::OnPrem,
+            Location::Cloud,
+            500.0,
+            700.0,
+        );
+        assert_eq!(delta.to_bits(), binary_delta.to_bits());
+        assert_eq!(SiteNetwork::from(binary), SiteNetwork::default());
+    }
+
+    #[test]
+    fn asymmetric_links_split_request_and_response_legs() {
+        let fast = LinkSpec {
+            latency_ms: 1.0,
+            bandwidth_mbps: 8.0, // 1 byte per µs
+        };
+        let slow = LinkSpec {
+            latency_ms: 10.0,
+            bandwidth_mbps: 8.0,
+        };
+        let intra = LinkSpec {
+            latency_ms: 0.0,
+            bandwidth_mbps: 8.0,
+        };
+        // 0→1 fast, 1→0 slow.
+        let net = SiteNetwork::from_links(2, vec![intra, fast, slow, intra]);
+        // Request (100 B) over fast: 1000 + 100; response (200 B) over slow:
+        // 10000 + 200.
+        let exchange = net.exchange_us(SiteId(0), SiteId(1), 100.0, 200.0);
+        assert!((exchange - (1_100.0 + 10_200.0)).abs() < 1e-9);
+        // Reversing caller and callee swaps the legs.
+        let reverse = net.exchange_us(SiteId(1), SiteId(0), 100.0, 200.0);
+        assert!((reverse - (10_100.0 + 1_200.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered site pair")]
+    fn mismatched_link_matrix_is_rejected() {
+        let l = NetworkModel::default().intra;
+        let _ = SiteNetwork::from_links(3, vec![l; 4]);
+    }
+
+    #[test]
+    fn hybrid_catalog_reproduces_the_two_site_world() {
+        let catalog = SiteCatalog::default();
+        assert_eq!(catalog.len(), 2);
+        assert!(!catalog.is_empty());
+        assert!(catalog.contains(SiteId(1)));
+        assert!(!catalog.contains(SiteId(2)));
+        let onprem = catalog.site(SiteId::ON_PREM);
+        assert!(!onprem.is_elastic());
+        assert_eq!(onprem.cpu_cores, ClusterSpec::default().onprem_cpu_cores);
+        let cloud = catalog.site(SiteId::CLOUD);
+        assert!(cloud.is_elastic());
+        assert!(cloud.cpu_cores.is_infinite());
+        assert_eq!(catalog.elastic_sites(), vec![SiteId::CLOUD]);
+        assert_eq!(catalog.cheapest_elastic_site(), Some(SiteId::CLOUD));
+        assert_eq!(catalog.network(), &SiteNetwork::default());
+        assert_eq!(catalog.cost_model().site_count(), 2);
+        assert_eq!(catalog.pricings()[0], None);
+        assert_eq!(
+            catalog.site_ids().collect::<Vec<_>>(),
+            vec![SiteId(0), SiteId(1)]
+        );
+    }
+
+    #[test]
+    fn cheapest_elastic_site_compares_per_core_prices() {
+        use atlas_cloud::Provider;
+        let cluster = ClusterSpec::default();
+        let mut gcp = PricingModel::preset(Provider::GcpLike);
+        gcp.compute_per_node_hour *= 0.5; // clearly cheapest per core
+        let catalog = SiteCatalog::new(
+            vec![
+                SiteSpec::owned("dc", cluster.onprem_cpu_cores, 100.0, 100.0),
+                SiteSpec::elastic("aws", PricingModel::preset(Provider::AwsLike)),
+                SiteSpec::elastic("gcp-cheap", gcp),
+            ],
+            SiteNetwork::from_links(3, vec![cluster.network.intra; 9]),
+        );
+        assert_eq!(catalog.cheapest_elastic_site(), Some(SiteId(2)));
+        assert_eq!(catalog.elastic_sites(), vec![SiteId(1), SiteId(2)]);
     }
 
     #[test]

@@ -69,7 +69,7 @@ use atlas_telemetry::{
 };
 
 use crate::calltree::{CallMode, CallNode};
-use crate::cluster::{ClusterSpec, Location};
+use crate::cluster::{ClusterSpec, SiteId, SiteNetwork};
 use crate::component::ComponentId;
 use crate::overload::OverloadModel;
 use crate::placement::Placement;
@@ -259,6 +259,10 @@ pub struct Simulator {
     topology: AppTopology,
     placement: Placement,
     config: SimConfig,
+    /// Per-ordered-pair link model; defaults to the two-site matrix of the
+    /// cluster's [`NetworkModel`](crate::cluster::NetworkModel), so binary
+    /// placements simulate exactly as before.
+    sites: SiteNetwork,
 }
 
 impl Simulator {
@@ -274,11 +278,32 @@ impl Simulator {
             topology.component_count(),
             "placement must cover every component"
         );
+        let sites = SiteNetwork::two_site(config.cluster.network);
         Self {
             topology,
             placement,
             config,
+            sites,
         }
+    }
+
+    /// Replace the link model with an N-site matrix (builder style), so
+    /// multi-region placements pay each ordered pair's own latency and
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement names a site outside the matrix.
+    pub fn with_site_network(mut self, sites: SiteNetwork) -> Self {
+        assert!(
+            self.placement
+                .sites()
+                .iter()
+                .all(|s| s.index() < sites.site_count()),
+            "placement names a site outside the link matrix"
+        );
+        self.sites = sites;
+        self
     }
 
     /// The application under simulation.
@@ -323,9 +348,10 @@ impl Simulator {
                 continue;
             }
             for (i, us) in compute.iter().enumerate() {
-                match self.placement.location(ComponentId(i)) {
-                    Location::OnPrem => onprem_busy_us[w] += us,
-                    Location::Cloud => cloud_busy_us[w] += us,
+                if self.placement.site(ComponentId(i)).is_on_prem() {
+                    onprem_busy_us[w] += us;
+                } else {
+                    cloud_busy_us[w] += us;
                 }
             }
         }
@@ -334,7 +360,7 @@ impl Simulator {
             .components()
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.placement.location(ComponentId(*i)) == Location::OnPrem)
+            .filter(|(i, _)| self.placement.site(ComponentId(*i)).is_on_prem())
             .map(|(_, c)| c.base_cpu_cores)
             .sum();
         let capacity = self.config.cluster.onprem_cpu_cores.max(1e-9);
@@ -492,15 +518,16 @@ impl ExecContext<'_> {
         ((at_us / self.window_us) as usize).min(self.window_count - 1)
     }
 
-    fn location(&self, c: ComponentId) -> Location {
-        self.sim.placement.location(c)
+    fn site(&self, c: ComponentId) -> SiteId {
+        self.sim.placement.site(c)
     }
 
     fn inflation_for(&self, c: ComponentId) -> f64 {
-        match self.location(c) {
-            Location::OnPrem => self.inflation_onprem,
-            // Cloud autoscaling keeps utilization below the knee.
-            Location::Cloud => 1.0,
+        if self.site(c).is_on_prem() {
+            self.inflation_onprem
+        } else {
+            // Elastic-site autoscaling keeps utilization below the knee.
+            1.0
         }
     }
 
@@ -518,12 +545,12 @@ impl ExecContext<'_> {
         self.requests[node.component.0][w] += 1;
 
         let mut t = start_us + slice_us.round() as Micros;
-        let parent_loc = self.location(node.component);
+        let parent_site = self.site(node.component);
 
         for stage in &node.stages {
             let mut stage_end = t;
             for edge in stage {
-                let child_loc = self.location(edge.child.component);
+                let child_site = self.site(edge.child.component);
                 let req_bytes = edge.request.sample(self.rng);
                 let resp_bytes = edge.response.sample(self.rng);
                 self.record_traffic(
@@ -533,12 +560,12 @@ impl ExecContext<'_> {
                     resp_bytes,
                     t,
                 );
-                let net = &self.sim.config.cluster.network;
+                let net = &self.sim.sites;
                 let child_start =
-                    t + net.transfer_us(parent_loc, child_loc, req_bytes).round() as Micros;
+                    t + net.transfer_us(parent_site, child_site, req_bytes).round() as Micros;
                 let child_end = self.exec_node(&edge.child, Some(span_id), child_start);
                 let response_arrives = child_end
-                    + net.transfer_us(child_loc, parent_loc, resp_bytes).round() as Micros;
+                    + net.transfer_us(child_site, parent_site, resp_bytes).round() as Micros;
                 stage_end = stage_end.max(response_arrives);
             }
             t = stage_end + slice_us.round() as Micros;
@@ -547,7 +574,7 @@ impl ExecContext<'_> {
         // Background dispatches: the parent pays only a small dispatch cost,
         // the child's execution proceeds concurrently.
         for edge in &node.background {
-            let child_loc = self.location(edge.child.component);
+            let child_site = self.site(edge.child.component);
             let req_bytes = edge.request.sample(self.rng);
             let resp_bytes = edge.response.sample(self.rng);
             self.record_traffic(
@@ -557,10 +584,10 @@ impl ExecContext<'_> {
                 resp_bytes,
                 t,
             );
-            let net = &self.sim.config.cluster.network;
+            let net = &self.sim.sites;
             let dispatch_us = (compute_us * 0.05).max(20.0).round() as Micros;
             let child_start =
-                t + net.transfer_us(parent_loc, child_loc, req_bytes).round() as Micros;
+                t + net.transfer_us(parent_site, child_site, req_bytes).round() as Micros;
             let _ = self.exec_node(&edge.child, Some(span_id), child_start);
             debug_assert_eq!(edge.mode, CallMode::Background);
             let _ = resp_bytes;

@@ -14,6 +14,10 @@
 //!   or in the cloud and a [`cluster::NetworkModel`] provides latency and
 //!   bandwidth between the two locations (defaults match the paper's
 //!   measured 0.168 ms / 941 Mbps intra and 23.015 ms / 921 Mbps inter);
+//!   the N-site generalisation describes sites in a
+//!   [`cluster::SiteCatalog`] (per-site capacity + pricing) over a
+//!   [`cluster::SiteNetwork`] (per-ordered-pair links), with placements as
+//!   vectors of [`cluster::SiteId`];
 //! * the [`engine::Simulator`] executes API requests against a
 //!   [`placement::Placement`], producing Jaeger-style traces, Istio-style
 //!   pairwise traffic and cAdvisor-style component metrics into a
@@ -34,10 +38,13 @@ pub mod schedule;
 pub mod topology;
 
 pub use calltree::{CallEdge, CallMode, CallNode, SizeDist, TimeDist};
-pub use cluster::{ClusterSpec, Location, NetworkModel, NodeSpec};
+pub use cluster::{
+    ClusterSpec, LinkSpec, Location, NetworkModel, NodeSpec, SiteCatalog, SiteId, SiteNetwork,
+    SiteSpec,
+};
 pub use component::{ComponentId, ComponentSpec};
 pub use engine::{RequestOutcome, SimConfig, SimReport, Simulator};
 pub use overload::OverloadModel;
-pub use placement::Placement;
+pub use placement::{Placement, PlacementError};
 pub use schedule::{RequestSchedule, ScheduledRequest};
 pub use topology::{ApiSpec, AppTopology};

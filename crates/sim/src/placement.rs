@@ -3,69 +3,179 @@
 //! A placement is the object a migration plan describes; Atlas's plan type
 //! (`atlas-core::plan::MigrationPlan`) wraps a placement together with the
 //! preferences used to evaluate it.
+//!
+//! Since the N-site generalisation a placement is a vector of [`SiteId`]s
+//! (site 0 = on-prem). The paper's binary encoding survives as the 2-site
+//! special case: [`Placement::from_bits`]/[`Placement::to_bits`] map bit 0 ↔
+//! site 0 and bit 1 ↔ site 1, and the [`Location`] view collapses every
+//! non-zero site to `Cloud`.
 
 use serde::{Deserialize, Serialize};
 
-use crate::cluster::Location;
+use crate::cluster::{Location, SiteId};
 use crate::component::ComponentId;
 
-/// Assignment of every component to a location, indexed by [`ComponentId`].
+/// Error returned by the checked placement constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A binary encoding held a value other than 0 or 1.
+    BitOutOfRange {
+        /// Index of the offending component.
+        component: usize,
+        /// The out-of-range value.
+        bit: u8,
+    },
+    /// A site assignment named a site outside the catalog.
+    SiteOutOfRange {
+        /// Index of the offending component.
+        component: usize,
+        /// The out-of-range site.
+        site: SiteId,
+        /// Number of sites in the catalog.
+        site_count: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::BitOutOfRange { component, bit } => write!(
+                f,
+                "component {component}: bit {bit} is not a valid binary plan variable (want 0 or 1)"
+            ),
+            PlacementError::SiteOutOfRange {
+                component,
+                site,
+                site_count,
+            } => write!(
+                f,
+                "component {component}: {site} is outside the {site_count}-site catalog"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Assignment of every component to a site, indexed by [`ComponentId`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Placement {
-    locations: Vec<Location>,
+    sites: Vec<SiteId>,
 }
 
 impl Placement {
     /// A placement with every component on-prem (the pre-migration state in
     /// the paper's experiments).
     pub fn all_onprem(component_count: usize) -> Self {
-        Self {
-            locations: vec![Location::OnPrem; component_count],
-        }
+        Self::all_at(SiteId::ON_PREM, component_count)
     }
 
-    /// A placement with every component in the cloud.
+    /// A placement with every component in the cloud (site 1).
     pub fn all_cloud(component_count: usize) -> Self {
+        Self::all_at(SiteId::CLOUD, component_count)
+    }
+
+    /// A placement with every component at one site.
+    pub fn all_at(site: SiteId, component_count: usize) -> Self {
         Self {
-            locations: vec![Location::Cloud; component_count],
+            sites: vec![site; component_count],
         }
     }
 
-    /// Build from an explicit location vector.
+    /// Build from an explicit location vector (the binary view).
     pub fn from_locations(locations: Vec<Location>) -> Self {
-        Self { locations }
+        Self {
+            sites: locations.into_iter().map(Location::site).collect(),
+        }
+    }
+
+    /// Build from an explicit site vector.
+    pub fn from_sites(sites: Vec<SiteId>) -> Self {
+        Self { sites }
+    }
+
+    /// Build from a site vector, rejecting assignments outside an
+    /// `site_count`-site catalog.
+    pub fn try_from_sites(sites: Vec<SiteId>, site_count: usize) -> Result<Self, PlacementError> {
+        for (component, &site) in sites.iter().enumerate() {
+            if site.index() >= site_count {
+                return Err(PlacementError::SiteOutOfRange {
+                    component,
+                    site,
+                    site_count,
+                });
+            }
+        }
+        Ok(Self { sites })
     }
 
     /// Build from the paper's binary encoding (`0` = on-prem, `1` = cloud).
+    ///
+    /// Debug builds assert every value is a valid plan variable (0 or 1)
+    /// instead of silently collapsing larger values; use
+    /// [`Placement::try_from_bits`] for a checked construction in all
+    /// builds.
     pub fn from_bits(bits: &[u8]) -> Self {
+        debug_assert!(
+            bits.iter().all(|&b| b <= 1),
+            "binary plan encodings must hold only 0 or 1 (got {bits:?}); \
+             use from_sites for N-site placements"
+        );
         Self {
-            locations: bits.iter().map(|&b| Location::from_bit(b)).collect(),
+            sites: bits.iter().map(|&b| Location::from_bit(b).site()).collect(),
         }
     }
 
-    /// The binary encoding of this placement.
+    /// Checked variant of [`Placement::from_bits`]: rejects values other
+    /// than 0 or 1 in every build.
+    pub fn try_from_bits(bits: &[u8]) -> Result<Self, PlacementError> {
+        if let Some((component, &bit)) = bits.iter().enumerate().find(|(_, &b)| b > 1) {
+            return Err(PlacementError::BitOutOfRange { component, bit });
+        }
+        Ok(Self::from_bits(bits))
+    }
+
+    /// The binary encoding of this placement: 0 for on-prem, 1 for any
+    /// elastic site (lossy for N-site placements — use
+    /// [`Placement::sites`] to preserve site identity).
     pub fn to_bits(&self) -> Vec<u8> {
-        self.locations.iter().map(|l| l.as_bit()).collect()
+        self.sites
+            .iter()
+            .map(|s| Location::of_site(*s).as_bit())
+            .collect()
+    }
+
+    /// The site vector of this placement (cloned; see [`Placement::sites`]
+    /// for the borrowed form).
+    pub fn to_sites(&self) -> Vec<SiteId> {
+        self.sites.clone()
     }
 
     /// Number of components covered.
     pub fn len(&self) -> usize {
-        self.locations.len()
+        self.sites.len()
     }
 
     /// Whether the placement covers no components.
     pub fn is_empty(&self) -> bool {
-        self.locations.is_empty()
+        self.sites.is_empty()
     }
 
-    /// Location of a component.
+    /// Binary view of a component's placement (site 0 = on-prem, anything
+    /// else = cloud).
     pub fn location(&self, c: ComponentId) -> Location {
-        self.locations[c.0]
+        Location::of_site(self.sites[c.0])
     }
 
-    /// Set the location of a component.
-    pub fn set(&mut self, c: ComponentId, loc: Location) {
-        self.locations[c.0] = loc;
+    /// Site of a component.
+    pub fn site(&self, c: ComponentId) -> SiteId {
+        self.sites[c.0]
+    }
+
+    /// Set the site of a component ([`Location`]s convert implicitly, so the
+    /// binary call sites read unchanged).
+    pub fn set(&mut self, c: ComponentId, site: impl Into<SiteId>) {
+        self.sites[c.0] = site.into();
     }
 
     /// Move a component to the cloud (builder style).
@@ -74,50 +184,59 @@ impl Placement {
         self
     }
 
-    /// All locations indexed by component id.
-    pub fn locations(&self) -> &[Location] {
-        &self.locations
+    /// Move a component to a site (builder style).
+    pub fn with_site(mut self, c: ComponentId, site: impl Into<SiteId>) -> Self {
+        self.set(c, site);
+        self
     }
 
-    /// Ids of components placed in the cloud.
+    /// All sites indexed by component id.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// Ids of components placed off-prem (at any elastic site).
     pub fn cloud_components(&self) -> Vec<ComponentId> {
-        self.locations
+        self.sites
             .iter()
             .enumerate()
-            .filter(|(_, &l)| l == Location::Cloud)
+            .filter(|(_, s)| !s.is_on_prem())
             .map(|(i, _)| ComponentId(i))
             .collect()
     }
 
     /// Ids of components placed on-prem.
     pub fn onprem_components(&self) -> Vec<ComponentId> {
-        self.locations
+        self.components_at(SiteId::ON_PREM)
+    }
+
+    /// Ids of the components placed at one site.
+    pub fn components_at(&self, site: SiteId) -> Vec<ComponentId> {
+        self.sites
             .iter()
             .enumerate()
-            .filter(|(_, &l)| l == Location::OnPrem)
+            .filter(|(_, &s)| s == site)
             .map(|(i, _)| ComponentId(i))
             .collect()
     }
 
-    /// Number of components placed in the cloud.
+    /// Number of components placed off-prem.
     pub fn cloud_count(&self) -> usize {
-        self.locations
-            .iter()
-            .filter(|&&l| l == Location::Cloud)
-            .count()
+        self.sites.iter().filter(|s| !s.is_on_prem()).count()
     }
 
-    /// Components whose location differs between `self` (the candidate) and
+    /// Components whose site differs between `self` (the candidate) and
     /// `original` (the current deployment): the set that must be migrated.
     pub fn moved_components(&self, original: &Placement) -> Vec<ComponentId> {
         assert_eq!(self.len(), original.len(), "placement sizes must match");
         (0..self.len())
             .map(ComponentId)
-            .filter(|&c| self.location(c) != original.location(c))
+            .filter(|&c| self.site(c) != original.site(c))
             .collect()
     }
 
-    /// Hamming distance to another placement (number of differing components).
+    /// Hamming distance to another placement (number of differing
+    /// components).
     pub fn distance(&self, other: &Placement) -> usize {
         self.moved_components(other).len()
     }
@@ -148,12 +267,83 @@ mod tests {
     }
 
     #[test]
+    fn site_encoding_round_trip() {
+        let sites = vec![SiteId(0), SiteId(2), SiteId(1), SiteId(3)];
+        let p = Placement::from_sites(sites.clone());
+        assert_eq!(p.sites(), sites.as_slice());
+        assert_eq!(p.to_sites(), sites);
+        assert_eq!(p.site(ComponentId(1)), SiteId(2));
+        // The binary view collapses every elastic site to "cloud".
+        assert_eq!(p.to_bits(), vec![0, 1, 1, 1]);
+        assert_eq!(p.location(ComponentId(3)), Location::Cloud);
+        assert_eq!(p.cloud_count(), 3);
+        assert_eq!(p.components_at(SiteId(2)), vec![ComponentId(1)]);
+        assert_eq!(
+            Placement::all_at(SiteId(2), 2).site(ComponentId(0)),
+            SiteId(2)
+        );
+    }
+
+    #[test]
+    fn checked_constructors_reject_out_of_range_values() {
+        assert_eq!(
+            Placement::try_from_bits(&[0, 1, 2]),
+            Err(PlacementError::BitOutOfRange {
+                component: 2,
+                bit: 2
+            })
+        );
+        assert_eq!(
+            Placement::try_from_bits(&[0, 1, 1]).unwrap(),
+            Placement::from_bits(&[0, 1, 1])
+        );
+        let sites = vec![SiteId(0), SiteId(3)];
+        assert_eq!(
+            Placement::try_from_sites(sites.clone(), 3),
+            Err(PlacementError::SiteOutOfRange {
+                component: 1,
+                site: SiteId(3),
+                site_count: 3
+            })
+        );
+        assert_eq!(
+            Placement::try_from_sites(sites.clone(), 4).unwrap(),
+            Placement::from_sites(sites)
+        );
+        // Errors render something useful.
+        let message = PlacementError::BitOutOfRange {
+            component: 2,
+            bit: 7,
+        }
+        .to_string();
+        assert!(message.contains("bit 7"));
+        assert!(PlacementError::SiteOutOfRange {
+            component: 0,
+            site: SiteId(9),
+            site_count: 4
+        }
+        .to_string()
+        .contains("site9"));
+    }
+
+    /// Debug builds reject the silent non-binary collapse outright (release
+    /// builds keep the historical lenient behaviour for performance).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "0 or 1")]
+    fn from_bits_asserts_binary_values_in_debug_builds() {
+        let _ = Placement::from_bits(&[0, 7]);
+    }
+
+    #[test]
     fn set_and_builder() {
         let mut p = Placement::all_onprem(3);
         p.set(ComponentId(1), Location::Cloud);
         assert_eq!(p.cloud_components(), vec![ComponentId(1)]);
         let q = Placement::all_onprem(3).with_cloud(ComponentId(2));
         assert_eq!(q.cloud_components(), vec![ComponentId(2)]);
+        let r = Placement::all_onprem(3).with_site(ComponentId(0), SiteId(2));
+        assert_eq!(r.site(ComponentId(0)), SiteId(2));
     }
 
     #[test]
@@ -166,6 +356,10 @@ mod tests {
         );
         assert_eq!(plan.distance(&orig), 2);
         assert_eq!(orig.distance(&orig), 0);
+        // Moving between two elastic sites is still a move.
+        let a = Placement::from_sites(vec![SiteId(1), SiteId(0)]);
+        let b = Placement::from_sites(vec![SiteId(2), SiteId(0)]);
+        assert_eq!(a.distance(&b), 1);
     }
 
     #[test]

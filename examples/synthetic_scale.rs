@@ -35,6 +35,7 @@ fn main() {
             width: 0.02,
             magnitude: 5.0,
         },
+        site_count: 2,
         seed: 2024,
     })
     .expect("options are valid");

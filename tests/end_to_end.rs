@@ -266,6 +266,161 @@ fn synthetic_100_component_recommendation_is_thread_and_seed_deterministic() {
     }
 }
 
+/// Multi-region smoke: the full pipeline on a generated 4-site,
+/// 100-component scenario. Same-seed recommendations are bit-identical at
+/// 1/2/8 evaluator threads under the N-site encoding (extending the
+/// PR-2/PR-3 regression), the site-set pin survives the search, and the
+/// drift detector's narrative works against the catalog's link matrix.
+#[test]
+fn multi_region_4_site_recommendation_is_thread_deterministic() {
+    use atlas::sim::SiteId;
+
+    let options = SynthOptions {
+        components: 100,
+        shape: CallGraphShape::Layered,
+        stateful_fraction: 0.2,
+        apis: 8,
+        call_depth: 4,
+        site_count: 4,
+        seed: 77,
+        ..SynthOptions::default()
+    };
+    let scenario = synthesize(options).unwrap();
+    assert_eq!(scenario.catalog.len(), 4);
+    let app = scenario.topology.clone();
+
+    // Learn from a compressed simulated day with the catalog wired in.
+    let current = Placement::all_onprem(app.component_count());
+    let store = TelemetryStore::new();
+    let mut workload = scenario.workload.clone();
+    workload.profile.day_seconds = 90;
+    Simulator::new(
+        app.clone(),
+        current.clone(),
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed: 41,
+        },
+    )
+    .run(
+        &WorkloadGenerator::new(workload.with_seed(41))
+            .generate(&app)
+            .unwrap(),
+        &store,
+    );
+    let component_index: Vec<String> = app.components().iter().map(|c| c.name.clone()).collect();
+    let stateful: Vec<String> = app
+        .stateful_components()
+        .into_iter()
+        .map(|c| app.component_name(c).to_string())
+        .collect();
+    let mut config = AtlasConfig::new(component_index, stateful);
+    config.recommender = RecommenderConfig::fast();
+    config.traces_per_api = 25;
+    config.horizon_steps = 8;
+    config.sites = Some(scenario.catalog.clone());
+    let mut atlas = Atlas::new(config);
+    atlas.learn(&store);
+
+    // Force offloading; pin the first store on-prem exactly and restrict
+    // the second one to a site set (on-prem or region 1).
+    let pinned_exact = app.component_id("Store000").unwrap();
+    let pinned_set = app.component_id("Store001").unwrap();
+    let preferences = MigrationPreferences::with_cpu_limit(scenario.burst_cpu_limit(5.0, 0.6))
+        .pin(pinned_exact, Location::OnPrem)
+        .pin_to_sites(pinned_set, vec![SiteId(0), SiteId(1)]);
+    let quality = atlas.quality_model(current.clone(), preferences);
+    assert_eq!(quality.site_count(), 4);
+
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            Recommender::new(&quality, RecommenderConfig::fast().with_threads(threads)).recommend()
+        })
+        .collect();
+    let reference = &reports[0];
+    assert!(
+        !reference.plans.is_empty(),
+        "the multi-region recommender must complete with plans"
+    );
+    for plan in &reference.plans {
+        assert!(plan.quality.feasible);
+        assert_eq!(plan.plan.site(pinned_exact), SiteId::ON_PREM);
+        assert!(
+            plan.plan.site(pinned_set) == SiteId(0) || plan.plan.site(pinned_set) == SiteId(1),
+            "the site-set pin restricts Store001 to {{site0, site1}}, got {}",
+            plan.plan.site(pinned_set)
+        );
+        assert!(plan.plan.sites().iter().all(|s| s.index() < 4));
+    }
+    for (report, threads) in reports.iter().zip([1usize, 2, 8]) {
+        assert_eq!(
+            report.plans.len(),
+            reference.plans.len(),
+            "{threads} threads"
+        );
+        for (a, b) in report.plans.iter().zip(&reference.plans) {
+            assert_eq!(a.plan, b.plan, "{threads} threads");
+            assert_eq!(
+                a.quality.performance.to_bits(),
+                b.quality.performance.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.availability.to_bits(),
+                b.quality.availability.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                a.quality.cost.to_bits(),
+                b.quality.cost.to_bits(),
+                "{threads} threads"
+            );
+        }
+        assert_eq!(report.visited, reference.visited, "{threads} threads");
+        assert_eq!(
+            report.reward_progression, reference.reward_progression,
+            "{threads} threads"
+        );
+        assert_eq!(report.eval.threads, threads);
+    }
+
+    // Drift narrative against the multi-region link matrix: the detector's
+    // approximation replays the executed plan's traces through the
+    // catalog's per-ordered-pair links. Post-migration reality matching
+    // that approximation is quiet; a 6× shift is flagged.
+    let executed = &reference.plans[0].plan;
+    let api = atlas
+        .profile()
+        .apis
+        .keys()
+        .min()
+        .expect("scenario has APIs")
+        .clone();
+    let injector = atlas::core::DelayInjector::with_site_network(
+        scenario.catalog.network().clone(),
+        atlas.config().component_index.clone(),
+    );
+    let approx = injector.estimate_latency_distribution_ms(
+        &atlas.profile().apis[&api].traces,
+        atlas.footprint(),
+        &current,
+        executed.placement(),
+    );
+    let detector = atlas.drift_detector(&api, executed, &current, approx.clone());
+    assert!(
+        !detector.check(&approx).drifted,
+        "reality matching the multi-region estimate must stay quiet"
+    );
+    let shifted: Vec<f64> = approx.iter().map(|l| l * 6.0 + 80.0).collect();
+    assert!(
+        detector.check(&shifted).drifted,
+        "a 6x shift must be flagged"
+    );
+}
+
 #[test]
 fn delay_injection_estimates_track_simulated_migrations() {
     let app = social_network(SocialNetworkOptions::default());
