@@ -10,14 +10,31 @@ use atlas_core::MigrationPlan;
 use atlas_sim::SiteId;
 use atlas_telemetry::{Direction, TelemetryStore};
 
-use crate::context::{BaselineContext, PlacementScore};
+use crate::context::{BaselineContext, BaselineScorer, PlacementScore};
 
 /// Pairwise affinity between components: total bytes and message counts
 /// observed over the learning period (symmetric).
+///
+/// Besides the dense matrices, the constructor compiles the *sparse* pair
+/// list of the upper triangle — every `(i, j)` with `i < j` whose bytes or
+/// message count is nonzero, in lexicographic order. The cross-site sums
+/// iterate that list, so a probe costs O(observed edges) instead of O(n²);
+/// skipping the all-zero pairs adds nothing to the accumulator, so the sums
+/// stay bit-identical to the historical dense loops.
 #[derive(Debug, Clone, Default)]
 pub struct AffinityMatrix {
     bytes: Vec<Vec<f64>>,
     messages: Vec<Vec<f64>>,
+    pairs: Vec<AffinityPair>,
+}
+
+/// One compiled nonzero pair of the upper triangle (`i < j`).
+#[derive(Debug, Clone, Copy)]
+struct AffinityPair {
+    i: u32,
+    j: u32,
+    bytes: f64,
+    messages: f64,
 }
 
 impl AffinityMatrix {
@@ -44,7 +61,24 @@ impl AffinityMatrix {
             messages[from][to] += req_msgs;
             messages[to][from] += req_msgs;
         }
-        Self { bytes, messages }
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bytes[i][j] != 0.0 || messages[i][j] != 0.0 {
+                    pairs.push(AffinityPair {
+                        i: i as u32,
+                        j: j as u32,
+                        bytes: bytes[i][j],
+                        messages: messages[i][j],
+                    });
+                }
+            }
+        }
+        Self {
+            bytes,
+            messages,
+            pairs,
+        }
     }
 
     /// Number of components covered.
@@ -71,11 +105,10 @@ impl AffinityMatrix {
     pub fn cross_boundary_bytes(&self, in_cloud: &[bool]) -> f64 {
         let n = self.len().min(in_cloud.len());
         let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if in_cloud[i] != in_cloud[j] {
-                    total += self.bytes[i][j];
-                }
+        for p in &self.pairs {
+            let (i, j) = (p.i as usize, p.j as usize);
+            if j < n && in_cloud[i] != in_cloud[j] {
+                total += p.bytes;
             }
         }
         total
@@ -85,11 +118,10 @@ impl AffinityMatrix {
     pub fn cross_boundary_messages(&self, in_cloud: &[bool]) -> f64 {
         let n = self.len().min(in_cloud.len());
         let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if in_cloud[i] != in_cloud[j] {
-                    total += self.messages[i][j];
-                }
+        for p in &self.pairs {
+            let (i, j) = (p.i as usize, p.j as usize);
+            if j < n && in_cloud[i] != in_cloud[j] {
+                total += p.messages;
             }
         }
         total
@@ -101,11 +133,10 @@ impl AffinityMatrix {
     pub fn cross_site_bytes(&self, sites: &[SiteId]) -> f64 {
         let n = self.len().min(sites.len());
         let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if sites[i] != sites[j] {
-                    total += self.bytes[i][j];
-                }
+        for p in &self.pairs {
+            let (i, j) = (p.i as usize, p.j as usize);
+            if j < n && sites[i] != sites[j] {
+                total += p.bytes;
             }
         }
         total
@@ -115,11 +146,10 @@ impl AffinityMatrix {
     pub fn cross_site_messages(&self, sites: &[SiteId]) -> f64 {
         let n = self.len().min(sites.len());
         let mut total = 0.0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if sites[i] != sites[j] {
-                    total += self.messages[i][j];
-                }
+        for p in &self.pairs {
+            let (i, j) = (p.i as usize, p.j as usize);
+            if j < n && sites[i] != sites[j] {
+                total += p.messages;
             }
         }
         total
@@ -152,12 +182,13 @@ fn affinity_of(score: &PlacementScore, objective: AffinityObjective) -> f64 {
 /// constraints are satisfied; then keep moving components (to any site,
 /// including back on-prem) while it strictly reduces the affinity. The
 /// two-site case probes exactly the historical offload/flip moves.
-fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> MigrationPlan {
+fn affinity_search(scorer: &BaselineScorer<'_>, objective: AffinityObjective) -> MigrationPlan {
     // Both phases repeatedly re-probe overlapping placements (each greedy
     // step re-scores every remaining candidate; each improvement round
     // re-tests rejected moves), so route everything through the shared
-    // cached scorer.
-    let scorer = ctx.scorer();
+    // cached scorer. Every probe is the current assignment plus one move,
+    // so it goes through the scorer's allocation-free delta path.
+    let ctx = scorer.context();
     let n = ctx.component_count();
     let site_count = ctx.site_count as u16;
     let mut sites = vec![SiteId::ON_PREM; n];
@@ -181,12 +212,8 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
             .filter(|&i| sites[i].is_on_prem())
             .flat_map(|i| (1..site_count).map(move |s| (i, SiteId(s))))
             .min_by(|&(ia, sa), &(ib, sb)| {
-                let mut with_a = sites.clone();
-                with_a[ia] = sa;
-                let mut with_b = sites.clone();
-                with_b[ib] = sb;
-                affinity_of(&scorer.score(&with_a), objective)
-                    .partial_cmp(&affinity_of(&scorer.score(&with_b), objective))
+                affinity_of(&scorer.score_move(&sites, ia, sa), objective)
+                    .partial_cmp(&affinity_of(&scorer.score_move(&sites, ib, sb), objective))
                     .expect("finite affinity")
             });
         match candidate {
@@ -209,11 +236,9 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
                 if sites[i] == target {
                     continue;
                 }
-                let mut moved = sites.clone();
-                moved[i] = target;
-                let score = scorer.score(&moved);
+                let score = scorer.score_move(&sites, i, target);
                 if score.feasible && affinity_of(&score, objective) + 1e-9 < current {
-                    sites = moved;
+                    sites[i] = target;
                     improved = true;
                     continue 'improve;
                 }
@@ -230,9 +255,16 @@ fn affinity_search(ctx: &BaselineContext, objective: AffinityObjective) -> Migra
 pub struct RemapAdvisor;
 
 impl RemapAdvisor {
-    /// Recommend a single placement.
+    /// Recommend a single placement. Scoring goes through a fresh
+    /// [`BaselineScorer`]; use [`Self::recommend_with`] to share one (or to
+    /// disable its delta path).
     pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
-        affinity_search(ctx, AffinityObjective::BytesAndMessages)
+        self.recommend_with(&ctx.scorer())
+    }
+
+    /// Recommend on a caller-supplied scorer, sharing its memo cache.
+    pub fn recommend_with(&self, scorer: &BaselineScorer<'_>) -> MigrationPlan {
+        affinity_search(scorer, AffinityObjective::BytesAndMessages)
     }
 }
 
@@ -241,9 +273,16 @@ impl RemapAdvisor {
 pub struct IntMaAdvisor;
 
 impl IntMaAdvisor {
-    /// Recommend a single placement.
+    /// Recommend a single placement. Scoring goes through a fresh
+    /// [`BaselineScorer`]; use [`Self::recommend_with`] to share one (or to
+    /// disable its delta path).
     pub fn recommend(&self, ctx: &BaselineContext) -> MigrationPlan {
-        affinity_search(ctx, AffinityObjective::Bytes)
+        self.recommend_with(&ctx.scorer())
+    }
+
+    /// Recommend on a caller-supplied scorer, sharing its memo cache.
+    pub fn recommend_with(&self, scorer: &BaselineScorer<'_>) -> MigrationPlan {
+        affinity_search(scorer, AffinityObjective::Bytes)
     }
 }
 
@@ -262,6 +301,57 @@ mod tests {
         assert!(m.bytes_between(0, 1) > m.bytes_between(1, 2));
         assert!(m.messages_between(0, 1) > 0.0);
         assert_eq!(m.bytes_between(0, 2), 0.0);
+    }
+
+    /// The compiled sparse pair list reproduces the dense upper-triangle
+    /// sums bit-for-bit (the skipped pairs are exactly the all-zero ones).
+    #[test]
+    fn sparse_pair_sums_match_a_dense_recount() {
+        let ctx = test_context(7.0);
+        let m = &ctx.affinity;
+        let n = m.len();
+        for sites in [
+            vec![SiteId(0), SiteId(1), SiteId(0)],
+            vec![SiteId(1), SiteId(0), SiteId(2)],
+            vec![SiteId(2), SiteId(2), SiteId(2)],
+            vec![SiteId(0), SiteId(1)], // shorter than the matrix
+        ] {
+            let k = n.min(sites.len());
+            let mut bytes = 0.0;
+            let mut messages = 0.0;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    if sites[i] != sites[j] {
+                        bytes += m.bytes_between(i, j);
+                        messages += m.messages_between(i, j);
+                    }
+                }
+            }
+            assert_eq!(m.cross_site_bytes(&sites), bytes, "sites {sites:?}");
+            assert_eq!(m.cross_site_messages(&sites), messages, "sites {sites:?}");
+        }
+        let flags = [false, true, false];
+        assert_eq!(
+            m.cross_boundary_bytes(&flags),
+            m.cross_site_bytes(&BaselineContext::flags_to_sites(&flags))
+        );
+        assert_eq!(
+            m.cross_boundary_messages(&flags),
+            m.cross_site_messages(&BaselineContext::flags_to_sites(&flags))
+        );
+    }
+
+    /// REMaP and IntMA recommend byte-identical plans with the scorer's
+    /// delta path on and off.
+    #[test]
+    fn advisors_are_identical_with_and_without_the_delta_path() {
+        let ctx = test_context(7.0);
+        let on = RemapAdvisor.recommend_with(&ctx.scorer().with_delta_path(true));
+        let off = RemapAdvisor.recommend_with(&ctx.scorer().with_delta_path(false));
+        assert_eq!(on, off);
+        let on = IntMaAdvisor.recommend_with(&ctx.scorer().with_delta_path(true));
+        let off = IntMaAdvisor.recommend_with(&ctx.scorer().with_delta_path(false));
+        assert_eq!(on, off);
     }
 
     #[test]

@@ -11,7 +11,9 @@ use rand::{Rng, SeedableRng};
 
 use atlas_core::{random_site, MigrationPlan};
 use atlas_ga::nsga2::survive;
-use atlas_ga::{alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+use atlas_ga::{
+    alphabet_mutation_tracked, binary_tournament, pareto_front_indices, uniform_crossover,
+};
 use atlas_sim::SiteId;
 
 use crate::context::{BaselineContext, BaselineScorer, PlacementScore};
@@ -113,15 +115,63 @@ impl AffinityGaAdvisor {
                 .min(self.max_visited.saturating_sub(visited(scorer)))
                 .max(1);
             let mut offspring = Vec::with_capacity(offspring_target);
+            // Provenance of each child: the population index of the parent
+            // it is a mutation of (when crossover reproduced one parent
+            // verbatim — the common case once the population converges)
+            // plus the genes that actually changed. Those children are
+            // scored through the scorer's delta path; the rest are batched.
+            let mut provenance: Vec<Option<(usize, Vec<(usize, SiteId)>)>> =
+                Vec::with_capacity(offspring_target);
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
                 let b = binary_tournament(&mut rng, &rank, &crowding);
                 let mut sites = uniform_crossover(&mut rng, &population[a], &population[b]);
-                alphabet_mutation(&mut rng, &mut sites, &site_alphabet, self.mutation_rate);
+                let clone_of = if sites == population[a] {
+                    Some(a)
+                } else if sites == population[b] {
+                    Some(b)
+                } else {
+                    None
+                };
+                let mutated = alphabet_mutation_tracked(
+                    &mut rng,
+                    &mut sites,
+                    &site_alphabet,
+                    self.mutation_rate,
+                );
                 ctx.apply_pins(&mut sites);
+                // Pins can revert a mutated gene, so diff against the parent
+                // after pinning; population members already satisfy the pins.
+                provenance.push(clone_of.map(|p| {
+                    let changes: Vec<(usize, SiteId)> = mutated
+                        .iter()
+                        .map(|&g| (g, sites[g]))
+                        .filter(|&(g, s)| population[p][g] != s)
+                        .collect();
+                    (p, changes)
+                }));
                 offspring.push(sites);
             }
-            let child_scores = scorer.score_batch(&offspring);
+            let child_scores = if scorer.delta_path() {
+                let mut scores: Vec<Option<PlacementScore>> = vec![None; offspring.len()];
+                let mut batched: Vec<usize> = Vec::new();
+                for (k, prov) in provenance.iter().enumerate() {
+                    match prov {
+                        Some((p, changes)) => {
+                            scores[k] = Some(scorer.score_changes(&population[*p], changes));
+                        }
+                        None => batched.push(k),
+                    }
+                }
+                let fresh: Vec<Vec<SiteId>> =
+                    batched.iter().map(|&k| offspring[k].clone()).collect();
+                for (k, score) in batched.iter().zip(scorer.score_batch(&fresh)) {
+                    scores[*k] = Some(score);
+                }
+                scores.into_iter().map(|s| s.expect("scored")).collect()
+            } else {
+                scorer.score_batch(&offspring)
+            };
             requested += offspring.len();
             for (child, score) in offspring.into_iter().zip(&child_scores) {
                 objectives.push(Self::objectives_of(score));
@@ -233,6 +283,19 @@ mod tests {
             (0..64).any(|_| random_site(&mut rng, 0.9, 3) == atlas_sim::SiteId(2))
         };
         assert!(sampler_uses_site_2);
+    }
+
+    /// The GA front is byte-identical with the delta offspring path on and
+    /// off: provenance scoring changes how children reach the cache, never
+    /// what they score.
+    #[test]
+    fn fronts_are_identical_with_and_without_the_delta_path() {
+        let ctx = test_context(7.0);
+        let advisor = AffinityGaAdvisor::fast();
+        let on = advisor.recommend_with(&ctx.scorer().with_delta_path(true));
+        let off = advisor.recommend_with(&ctx.scorer().with_delta_path(false));
+        assert_eq!(on, off);
+        assert!(!on.is_empty());
     }
 
     #[test]

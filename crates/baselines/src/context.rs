@@ -1,9 +1,9 @@
 //! Shared inputs of all baseline advisors, plus the cached placement scorer
 //! every baseline routes its objective/constraint queries through.
 
-use atlas_cloud::{CostModel, ResourceDemand, SiteCostModel};
+use atlas_cloud::{CompiledCost, CostModel, CostScratch, ResourceDemand, SiteCostModel};
 use atlas_core::eval::{effective_threads, EvalStats, MemoCache};
-use atlas_core::kernel::{with_scratch, ConstraintKernel};
+use atlas_core::kernel::{with_scratch, ConstraintKernel, EvalScratch};
 use atlas_core::{MigrationPlan, MigrationPreferences};
 use atlas_sim::{SiteCatalog, SiteId};
 use atlas_telemetry::TelemetryStore;
@@ -216,7 +216,11 @@ pub struct PlacementScore {
 pub struct BaselineScorer<'a> {
     ctx: &'a BaselineContext,
     threads: usize,
+    delta: bool,
     constraints: ConstraintKernel,
+    /// The context's cost model pre-bound to its demand (bit-identical,
+    /// allocation-free; see [`atlas_cloud::CompiledCost`]).
+    cost: CompiledCost,
     cache: MemoCache<Vec<SiteId>, PlacementScore>,
 }
 
@@ -226,7 +230,9 @@ impl<'a> BaselineScorer<'a> {
         Self {
             ctx,
             threads: effective_threads(0),
+            delta: true,
             constraints: ConstraintKernel::new(&ctx.preferences),
+            cost: ctx.cost_model.compile(&ctx.demand),
             cache: MemoCache::default(),
         }
     }
@@ -238,33 +244,82 @@ impl<'a> BaselineScorer<'a> {
         self
     }
 
+    /// Enable or disable the delta probe path of [`Self::score_move`] and
+    /// [`Self::score_changes`] (builder style; on by default). Disabled,
+    /// probes clone the base placement and go through [`Self::score`] —
+    /// same scores, same cache accounting, just one allocation per probe.
+    pub fn with_delta_path(mut self, on: bool) -> Self {
+        self.delta = on;
+        self
+    }
+
+    /// Whether the allocation-free delta probe path is enabled.
+    pub fn delta_path(&self) -> bool {
+        self.delta
+    }
+
     /// The wrapped context.
     pub fn context(&self) -> &'a BaselineContext {
         self.ctx
     }
 
+    /// Score one placement using caller-supplied scratch buffers (the body
+    /// of every scoring path; pure in `sites`).
+    fn compute_on(&self, sites: &[SiteId], cost_scratch: &mut CostScratch) -> PlacementScore {
+        let (breakdown, peaks) = self.cost.evaluate_with_peaks(sites, cost_scratch);
+        let cost = breakdown.total();
+        PlacementScore {
+            cross_dc_bytes: self.ctx.affinity.cross_site_bytes(sites),
+            cross_dc_messages: self.ctx.affinity.cross_site_messages(sites),
+            cost,
+            feasible: self.constraints.feasible_with_peaks(sites, &peaks, || cost),
+        }
+    }
+
     fn compute(&self, sites: &[SiteId]) -> PlacementScore {
-        with_scratch(|s| {
-            let cost = self
-                .ctx
-                .cost_model
-                .evaluate_with_scratch(&self.ctx.demand, sites, &mut s.cost)
-                .total();
-            PlacementScore {
-                cross_dc_bytes: self.ctx.affinity.cross_site_bytes(sites),
-                cross_dc_messages: self.ctx.affinity.cross_site_messages(sites),
-                cost,
-                feasible: self
-                    .constraints
-                    .feasible(&self.ctx.demand, sites, &mut s.subset, || cost),
-            }
-        })
+        with_scratch(|s| self.compute_on(sites, &mut s.cost))
     }
 
     /// Score one site assignment, serving duplicates from the cache.
     pub fn score(&self, sites: &[SiteId]) -> PlacementScore {
         let key = sites.to_vec();
         self.cache.get_or_compute(&key, |k| self.compute(k))
+    }
+
+    /// Score `base` with one component moved to another site — the shape of
+    /// every REMaP/IntMA local-search probe. See [`Self::score_changes`].
+    pub fn score_move(&self, base: &[SiteId], component: usize, site: SiteId) -> PlacementScore {
+        self.score_changes(base, &[(component, site)])
+    }
+
+    /// Score `base` with a few components moved — the shape of a GA
+    /// mutation offspring whose parent is known. With the delta path on,
+    /// the probe placement is materialised in the thread-local scratch and
+    /// looked up in the cache by reference, so a cache hit (the common case
+    /// of local search re-probing its neighbourhood) allocates nothing.
+    /// Scores and cache accounting are identical to cloning the base and
+    /// calling [`Self::score`], which is what the disabled path does.
+    pub fn score_changes(&self, base: &[SiteId], changes: &[(usize, SiteId)]) -> PlacementScore {
+        if !self.delta {
+            let mut sites = base.to_vec();
+            for &(c, s) in changes {
+                sites[c] = s;
+            }
+            return self.score(&sites);
+        }
+        with_scratch(|s| {
+            let EvalScratch { sites, cost, .. } = s;
+            sites.clear();
+            sites.extend_from_slice(base);
+            for &(c, s2) in changes {
+                sites[c] = s2;
+            }
+            self.cache.get_or_compute_with(
+                sites.as_slice(),
+                |k: &[SiteId]| k.to_vec(),
+                |k| self.compute_on(k, cost),
+            )
+        })
     }
 
     /// Score a batch of site assignments, returning scores in input order.
@@ -388,6 +443,43 @@ mod tests {
         let single = scorer.score(&placements[0]);
         assert_eq!(single, scores[0]);
         assert_eq!(scorer.stats().cache_hits, 2);
+    }
+
+    /// The delta probe path returns the same scores and burns the same
+    /// cache accounting as cloning the base placement, toggle on or off.
+    #[test]
+    fn delta_probes_match_cloned_scores_and_accounting() {
+        let ctx = test_context(7.0);
+        for delta in [true, false] {
+            let scorer = ctx.scorer().with_delta_path(delta);
+            assert_eq!(scorer.delta_path(), delta);
+            let base = vec![SiteId::ON_PREM; 3];
+            let moved = scorer.score_move(&base, 1, SiteId::CLOUD);
+            let mut clone = base.clone();
+            clone[1] = SiteId::CLOUD;
+            assert_eq!(moved, scorer.score(&clone));
+            // Re-probing is a cache hit, not a new evaluation.
+            let again = scorer.score_move(&base, 1, SiteId::CLOUD);
+            assert_eq!(again, moved);
+            let multi = scorer.score_changes(&base, &[(0, SiteId::CLOUD), (2, SiteId::CLOUD)]);
+            assert_eq!(
+                multi,
+                scorer.score(&[SiteId::CLOUD, SiteId::ON_PREM, SiteId::CLOUD])
+            );
+            assert_eq!(scorer.unique_evaluations(), 2);
+            assert_eq!(scorer.stats().cache_hits, 3, "delta={delta}");
+        }
+    }
+
+    /// Later changes overwrite earlier ones for the same component, exactly
+    /// like applying them in order to a cloned placement.
+    #[test]
+    fn score_changes_applies_changes_in_order() {
+        let ctx = test_context(7.0);
+        let scorer = ctx.scorer();
+        let base = vec![SiteId::ON_PREM; 3];
+        let score = scorer.score_changes(&base, &[(1, SiteId::CLOUD), (1, SiteId::ON_PREM)]);
+        assert_eq!(score, scorer.score(&base));
     }
 
     #[test]

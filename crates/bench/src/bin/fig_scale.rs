@@ -26,6 +26,9 @@ fn main() {
                 ("apis", p.apis as f64),
                 ("recommend_ms", p.recommend_ms),
                 ("evals_per_sec", p.evals_per_sec),
+                ("scalar_evals_per_sec", p.scalar_evals_per_sec),
+                ("batch_evals_per_sec", p.batch_evals_per_sec),
+                ("delta_probe_evals_per_sec", p.delta_probe_evals_per_sec),
                 ("cache_hit_rate", p.cache_hit_rate),
                 ("plans", p.plans as f64),
             ],

@@ -12,7 +12,10 @@
 use std::time::Instant;
 
 use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadShape};
-use atlas_core::{Recommender, RecommenderConfig};
+use atlas_core::{MigrationPlan, QualityModel, Recommender, RecommenderConfig, LANE_WIDTH};
+use atlas_sim::{ComponentId, SiteId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::harness::{Application, Experiment, ExperimentOptions};
 
@@ -55,6 +58,16 @@ pub struct ScalePoint {
     /// Milliseconds spent scoring uncached plans (the evaluator's wall
     /// time), the denominator of `evals_per_sec`.
     pub score_ms: f64,
+    /// Raw single-plan `QualityModel::evaluate` throughput (evals/sec) of
+    /// the scoring microbench — no cache, no threads, just the kernel.
+    pub scalar_evals_per_sec: f64,
+    /// Raw batched `evaluate_lanes` throughput at [`LANE_WIDTH`] lanes on
+    /// the same plans; the CI gate requires this to keep up with the scalar
+    /// path at every size.
+    pub batch_evals_per_sec: f64,
+    /// Raw single-move `probe_delta` re-score throughput against a retained
+    /// parent state (the local-search probe shape).
+    pub delta_probe_evals_per_sec: f64,
 }
 
 /// The synthetic options used for one sweep size (public so tests and the
@@ -111,6 +124,8 @@ pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
     let report = Recommender::new(&exp.quality, config).recommend();
     let recommend_ms = start.elapsed().as_secs_f64() * 1_000.0;
     let stats = report.eval;
+    let (scalar_evals_per_sec, batch_evals_per_sec, delta_probe_evals_per_sec) =
+        throughput_microbench(&exp.quality, sites);
 
     ScalePoint {
         components,
@@ -124,7 +139,79 @@ pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
         evals_per_sec: stats.evaluations_per_sec(),
         kernel_compile_ms: stats.kernel_compile_ms,
         score_ms: stats.wall_time_ms,
+        scalar_evals_per_sec,
+        batch_evals_per_sec,
+        delta_probe_evals_per_sec,
     }
+}
+
+/// Distinct random plans the throughput microbenches cycle through.
+const MICROBENCH_PLANS: usize = 256;
+
+/// Minimum measured wall time of one microbench path, in seconds.
+const MICROBENCH_SECONDS: f64 = 0.2;
+
+/// Repeat `pass` (one sweep over the plan set, returning how many plans it
+/// scored) until [`MICROBENCH_SECONDS`] of wall time accumulate; returns
+/// evaluations per second.
+fn throughput(mut pass: impl FnMut() -> usize) -> f64 {
+    let start = Instant::now();
+    let mut evals = 0usize;
+    loop {
+        evals += pass();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= MICROBENCH_SECONDS {
+            return evals as f64 / elapsed;
+        }
+    }
+}
+
+/// Measure the raw scoring throughput of the three kernel paths on one
+/// scenario, in evals/sec: single-plan [`QualityModel::evaluate`], batched
+/// [`QualityModel::evaluate_lanes`] at [`LANE_WIDTH`] lanes, and the
+/// single-move [`QualityModel::probe_delta`] local-search probe. All three
+/// score the same deterministic random plans without cache or threads, so
+/// the ratios isolate what the batch transposition and the delta re-score
+/// buy per evaluation.
+fn throughput_microbench(quality: &QualityModel, sites: usize) -> (f64, f64, f64) {
+    let n = quality.component_count();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let plans: Vec<MigrationPlan> = (0..MICROBENCH_PLANS)
+        .map(|_| {
+            MigrationPlan::from_sites(
+                (0..n)
+                    .map(|_| SiteId(rng.gen_range(0..sites as u16)))
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let scalar = throughput(|| {
+        for p in &plans {
+            std::hint::black_box(quality.evaluate(p));
+        }
+        plans.len()
+    });
+
+    let refs: Vec<&MigrationPlan> = plans.iter().collect();
+    let batch = throughput(|| {
+        for group in refs.chunks(LANE_WIDTH) {
+            std::hint::black_box(quality.evaluate_lanes(group));
+        }
+        refs.len()
+    });
+
+    let parent = quality.evaluate_scored(&plans[0]);
+    let delta = throughput(|| {
+        for k in 0..MICROBENCH_PLANS {
+            let c = k % n;
+            let to = SiteId((parent.sites()[c].0 + 1) % sites as u16);
+            std::hint::black_box(quality.probe_delta(&parent, &[(ComponentId(c), to)]));
+        }
+        MICROBENCH_PLANS
+    });
+
+    (scalar, batch, delta)
 }
 
 /// Component counts to sweep: `ATLAS_SCALE_COMPONENTS` (a comma-separated
@@ -194,7 +281,10 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "      \"cache_hit_rate\": {:.4},\n",
                 "      \"evals_per_sec\": {:.1},\n",
                 "      \"kernel_compile_ms\": {:.2},\n",
-                "      \"score_ms\": {:.2}\n",
+                "      \"score_ms\": {:.2},\n",
+                "      \"scalar_evals_per_sec\": {:.1},\n",
+                "      \"batch_evals_per_sec\": {:.1},\n",
+                "      \"delta_probe_evals_per_sec\": {:.1}\n",
                 "    }}{}\n"
             ),
             p.components,
@@ -208,6 +298,9 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             p.evals_per_sec,
             p.kernel_compile_ms,
             p.score_ms,
+            p.scalar_evals_per_sec,
+            p.batch_evals_per_sec,
+            p.delta_probe_evals_per_sec,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -244,6 +337,9 @@ mod tests {
         assert!(point.evals_per_sec > 0.0);
         assert!(point.kernel_compile_ms > 0.0);
         assert!(point.score_ms > 0.0);
+        assert!(point.scalar_evals_per_sec > 0.0);
+        assert!(point.batch_evals_per_sec > 0.0);
+        assert!(point.delta_probe_evals_per_sec > 0.0);
     }
 
     #[test]
@@ -270,6 +366,9 @@ mod tests {
             evals_per_sec: 1_000.0,
             kernel_compile_ms: 3.25,
             score_ms: 200.0,
+            scalar_evals_per_sec: 30_000.0,
+            batch_evals_per_sec: 90_000.0,
+            delta_probe_evals_per_sec: 150_000.0,
         };
         let mut q = p.clone();
         q.components = 50;
@@ -282,6 +381,9 @@ mod tests {
         assert!(json.contains("\"bench\": \"scale\""));
         assert!(json.contains("\"kernel_compile_ms\": 3.25"));
         assert!(json.contains("\"score_ms\": 200.00"));
+        assert!(json.contains("\"scalar_evals_per_sec\": 30000.0"));
+        assert!(json.contains("\"batch_evals_per_sec\": 90000.0"));
+        assert!(json.contains("\"delta_probe_evals_per_sec\": 150000.0"));
         // No trailing comma after the last point.
         assert!(!json.contains("},\n  ]"));
     }

@@ -47,12 +47,26 @@ impl Autoscaler {
     /// therefore provisions enough capacity within the step it appears in,
     /// instead of reporting a capacity below the actual usage for many steps.
     pub fn storage_trace(&self, initial_gb: f64, used_gb_per_step: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(used_gb_per_step.len());
+        self.storage_trace_into(initial_gb, used_gb_per_step, &mut out);
+        out
+    }
+
+    /// [`Self::storage_trace`] into a caller-provided buffer (cleared
+    /// first), the allocation-free variant used by hot evaluation loops.
+    pub fn storage_trace_into(
+        &self,
+        initial_gb: f64,
+        used_gb_per_step: &[f64],
+        out: &mut Vec<f64>,
+    ) {
         // A free fraction can never exceed 1, so a (nonsensical) headroom of
         // 1 or more would loop forever; clamp to keep the loop terminating
         // for any `pricing.headroom`.
         let delta = self.pricing.headroom.clamp(0.0, 0.99);
         let mut capacity = initial_gb.max(1.0);
-        let mut out = Vec::with_capacity(used_gb_per_step.len());
+        out.clear();
+        out.reserve(used_gb_per_step.len());
         for &used in used_gb_per_step {
             while 1.0 - used / capacity <= delta {
                 // `max` guards against a zero-headroom pricing model, where
@@ -61,7 +75,6 @@ impl Autoscaler {
             }
             out.push(capacity);
         }
-        out
     }
 }
 

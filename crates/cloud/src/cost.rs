@@ -59,6 +59,11 @@ pub struct CostScratch {
     used_per_step: Vec<f64>,
     /// Per-site egress-byte accumulators of [`SiteCostModel`].
     egress: Vec<f64>,
+    /// Per-site per-step resource accumulators of [`CompiledCost`]: one
+    /// `2 * steps` block per site (cpu row, then memory row).
+    site_res: Vec<f64>,
+    /// Per-site per-step storage accumulators of [`CompiledCost`].
+    site_storage: Vec<f64>,
 }
 
 /// The cost model: pricing plus the autoscaler it implies.
@@ -313,6 +318,251 @@ impl Default for CostModel {
     }
 }
 
+/// A [`SiteCostModel`] bound to one demand matrix at compile time, the
+/// allocation-free fast path of hot evaluation loops.
+///
+/// Two placement-independent computations dominate
+/// [`SiteCostModel::evaluate_with_scratch`] and are hoisted here once per
+/// model instead of being repeated per plan:
+///
+/// * the per-edge traffic totals (each edge's series is summed and halved
+///   up front, in the demand map's iteration order, so the per-site egress
+///   buckets see the identical additions), and
+/// * the resource matrices flattened to contiguous component rows, scanned
+///   once per evaluation to accumulate per-site per-step usage (instead of
+///   one indexed-gather pass per site); components with no storage at any
+///   step skip the storage accumulation outright (their contribution is an
+///   exact `+0.0`).
+///
+/// Each site's per-step sums still receive the identical additions in
+/// ascending component order, and its storage trace still grows through
+/// [`Autoscaler::storage_trace_into`], so scoring is bit-identical to the
+/// uncompiled model over the same demand — pinned by unit and property
+/// tests.
+#[derive(Debug, Clone)]
+pub struct CompiledCost {
+    sites: Vec<Option<CostModel>>,
+    components: usize,
+    steps: usize,
+    step_s: u64,
+    /// Flattened cpu+memory rows: one `2 * steps` block per component (its
+    /// cpu row, then its memory row), so each component accumulates with a
+    /// single contiguous add.
+    res: Vec<f64>,
+    /// Flattened storage rows: step `t` of component `c` at `c * steps + t`.
+    storage: Vec<f64>,
+    /// Whether a component stores anything at any step (all-zero rows are
+    /// skipped by the storage accumulation).
+    has_storage: Vec<bool>,
+    /// Cross-component edges with nonzero traffic, in the demand map's
+    /// iteration order, each carrying its precomputed half-total.
+    edges: Vec<CompiledEdge>,
+}
+
+/// Element-wise `acc[t] += row[t]` over two equal-length step rows (slice
+/// form so the compiler drops the bounds checks and vectorises).
+#[inline]
+fn add_rows(acc: &mut [f64], row: &[f64]) {
+    for (a, &v) in acc.iter_mut().zip(row) {
+        *a += v;
+    }
+}
+
+/// One compiled demand edge: endpoints plus the placement-independent half
+/// of its total bytes (the share each endpoint's site egresses when the
+/// edge crosses sites).
+#[derive(Debug, Clone, Copy)]
+struct CompiledEdge {
+    from: u32,
+    to: u32,
+    half_bytes: f64,
+}
+
+impl SiteCostModel {
+    /// Compile this model against one demand matrix (see [`CompiledCost`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the demand's edge map names a component outside its own
+    /// index space.
+    pub fn compile(&self, demand: &ResourceDemand) -> CompiledCost {
+        let n = demand.component_count();
+        let steps = demand.steps;
+        let mut res = vec![0.0; n * 2 * steps];
+        let mut storage = vec![0.0; n * steps];
+        for c in 0..n {
+            let block = c * 2 * steps;
+            res[block..block + steps].copy_from_slice(&demand.cpu_cores[c]);
+            res[block + steps..block + 2 * steps].copy_from_slice(&demand.memory_gb[c]);
+            storage[c * steps..(c + 1) * steps].copy_from_slice(&demand.storage_gb[c]);
+        }
+        let has_storage = (0..n)
+            .map(|c| demand.storage_gb[c].iter().any(|&v| v != 0.0))
+            .collect();
+        let edges = demand
+            .edge_bytes
+            .iter()
+            .map(|(&(from, to), series)| {
+                assert!(from < n && to < n, "edge outside the component index");
+                CompiledEdge {
+                    from: from as u32,
+                    to: to as u32,
+                    half_bytes: series.iter().sum::<f64>() / 2.0,
+                }
+            })
+            .filter(|e| e.half_bytes != 0.0)
+            .collect();
+        CompiledCost {
+            sites: self.sites.clone(),
+            components: n,
+            steps,
+            step_s: demand.step_s,
+            res,
+            storage,
+            has_storage,
+            edges,
+        }
+    }
+}
+
+impl CompiledCost {
+    /// Number of sites the compiled model prices.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Evaluate the hosting cost of a site assignment — bit-identical to
+    /// [`SiteCostModel::evaluate_with_scratch`] over the demand this kernel
+    /// was compiled against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites.len()` differs from the compiled component count.
+    pub fn evaluate_with_scratch(
+        &self,
+        sites: &[SiteId],
+        scratch: &mut CostScratch,
+    ) -> CostBreakdown {
+        self.evaluate_with_peaks(sites, scratch).0
+    }
+
+    /// [`Self::evaluate_with_scratch`] plus the on-prem peak demands, both
+    /// read off the same accumulation pass. The peaks are bit-identical to
+    /// [`ResourceDemand::peak_cpu`] (and the memory/storage twins) over the
+    /// ascending on-prem component subset — the feasibility inputs of
+    /// Eq. 4 — so a fused cost-plus-constraints evaluation scores each
+    /// component row exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites.len()` differs from the compiled component count.
+    pub fn evaluate_with_peaks(
+        &self,
+        sites: &[SiteId],
+        scratch: &mut CostScratch,
+    ) -> (CostBreakdown, OnPremPeaks) {
+        assert_eq!(
+            sites.len(),
+            self.components,
+            "placement must cover every component"
+        );
+        debug_assert!(
+            sites.iter().all(|s| s.index() < self.sites.len()),
+            "site assignment outside the catalog"
+        );
+        scratch.egress.clear();
+        scratch.egress.resize(self.sites.len(), 0.0);
+        for e in &self.edges {
+            let (from, to) = (e.from as usize, e.to as usize);
+            if sites[from] != sites[to] {
+                scratch.egress[sites[from].index()] += e.half_bytes;
+                scratch.egress[sites[to].index()] += e.half_bytes;
+            }
+        }
+        // One contiguous pass over the demand rows accumulates every
+        // site's per-step usage; each accumulator sees its components in
+        // ascending order, exactly like the uncompiled per-site pool sums
+        // and the interpretive on-prem peak scans.
+        let steps = self.steps;
+        scratch.site_res.clear();
+        scratch.site_res.resize(self.sites.len() * 2 * steps, 0.0);
+        scratch.site_storage.clear();
+        scratch.site_storage.resize(self.sites.len() * steps, 0.0);
+        for (c, &site) in sites.iter().enumerate() {
+            let acc = site.index() * 2 * steps;
+            let block = c * 2 * steps;
+            add_rows(
+                &mut scratch.site_res[acc..acc + 2 * steps],
+                &self.res[block..block + 2 * steps],
+            );
+            if self.has_storage[c] {
+                let acc = site.index() * steps;
+                let row = c * steps;
+                add_rows(
+                    &mut scratch.site_storage[acc..acc + steps],
+                    &self.storage[row..row + steps],
+                );
+            }
+        }
+        let peaks = OnPremPeaks {
+            cpu: peak_of(&scratch.site_res[..steps]),
+            memory_gb: peak_of(&scratch.site_res[steps..2 * steps]),
+            storage_gb: peak_of(&scratch.site_storage[..steps]),
+        };
+        let step_seconds = self.step_s as f64;
+        let mut total = CostBreakdown::default();
+        for (index, model) in self.sites.iter().enumerate() {
+            let Some(model) = model else { continue };
+            let res = &scratch.site_res[index * 2 * steps..(index + 1) * 2 * steps];
+            let (cpu, mem) = res.split_at(steps);
+            let acc = index * steps;
+            // Per-site subtotals first, added to the breakdown once — the
+            // same summation tree as the uncompiled per-site pool pricing.
+            let mut compute = 0.0;
+            for t in 0..steps {
+                let nodes = model.autoscaler.nodes_required(cpu[t], mem[t]);
+                compute += model.pricing.compute_cost_for(nodes, step_seconds);
+            }
+            let used = &scratch.site_storage[acc..acc + steps];
+            let mut storage = 0.0;
+            if used.iter().any(|&u| u > 0.0) {
+                let initial_gb = 2.0 * used.first().copied().unwrap_or(0.0);
+                model
+                    .autoscaler
+                    .storage_trace_into(initial_gb, used, &mut scratch.used_per_step);
+                for &cap in &scratch.used_per_step {
+                    storage += model.pricing.storage_cost_for(cap, step_seconds);
+                }
+            }
+            total.compute += compute;
+            total.storage += storage;
+            total.traffic += model.pricing.egress_cost_for(scratch.egress[index]);
+        }
+        (total, peaks)
+    }
+}
+
+/// Peak on-prem (site 0) resource demands of one placement, read off the
+/// accumulation pass of [`CompiledCost::evaluate_with_peaks`]. Bit-identical
+/// to the interpretive per-step subset sums, so constraint verdicts built on
+/// them match the uncompiled path exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnPremPeaks {
+    /// Peak summed CPU cores of on-prem components over the horizon.
+    pub cpu: f64,
+    /// Peak summed memory (GB) of on-prem components over the horizon.
+    pub memory_gb: f64,
+    /// Peak summed storage (GB) of on-prem components over the horizon.
+    pub storage_gb: f64,
+}
+
+/// `max` of a per-step series, starting from zero like the interpretive
+/// peak scans.
+#[inline]
+fn peak_of(series: &[f64]) -> f64 {
+    series.iter().copied().fold(0.0, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +717,66 @@ mod tests {
     #[should_panic(expected = "at least 2 sites")]
     fn degenerate_site_models_are_rejected() {
         let _ = SiteCostModel::from_pricings(vec![None]);
+    }
+
+    /// The compiled kernel reproduces the uncompiled model bit-for-bit over
+    /// every assignment of a 3-site catalog, including all-on-prem,
+    /// collocated, and fully split placements.
+    #[test]
+    fn compiled_cost_is_bit_identical_to_the_model() {
+        let d = demand();
+        let aws = PricingModel::preset(Provider::AwsLike);
+        let gcp = PricingModel::preset(Provider::GcpLike);
+        let model = SiteCostModel::from_pricings(vec![None, Some(aws), Some(gcp)]);
+        let compiled = model.compile(&d);
+        assert_eq!(compiled.site_count(), 3);
+        let mut scratch = CostScratch::default();
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                for c in 0..3u16 {
+                    let sites = [SiteId(a), SiteId(b), SiteId(c)];
+                    let want = model.evaluate(&d, &sites);
+                    let got = compiled.evaluate_with_scratch(&sites, &mut scratch);
+                    assert_eq!(want.compute.to_bits(), got.compute.to_bits(), "{sites:?}");
+                    assert_eq!(want.storage.to_bits(), got.storage.to_bits(), "{sites:?}");
+                    assert_eq!(want.traffic.to_bits(), got.traffic.to_bits(), "{sites:?}");
+                }
+            }
+        }
+    }
+
+    /// Compiling hoists only placement-independent work: edges with no
+    /// traffic drop out and all-zero storage columns are skipped, neither
+    /// of which can shift a sum.
+    #[test]
+    fn compiled_cost_prunes_dead_edges_and_storage() {
+        let names = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        let mut d = ResourceDemand::zeros(names, 4, 600);
+        d.fill_cpu(0, 1.0);
+        d.fill_cpu(1, 2.0);
+        d.fill_cpu(2, 0.5);
+        d.fill_memory(0, 1.0);
+        d.fill_memory(1, 1.0);
+        d.fill_memory(2, 1.0);
+        d.fill_edge(0, 1, 0.0); // dead edge: pruned at compile time
+        d.fill_edge(1, 2, 3.0e8);
+        let model = SiteCostModel::two_site(PricingModel::default());
+        let compiled = model.compile(&d);
+        assert_eq!(compiled.edges.len(), 1, "zero-traffic edge must be pruned");
+        assert!(
+            compiled.has_storage.iter().all(|&h| !h),
+            "no component stores anything"
+        );
+        let mut scratch = CostScratch::default();
+        for mask in 0..8u16 {
+            let sites = [
+                SiteId(mask & 1),
+                SiteId((mask >> 1) & 1),
+                SiteId((mask >> 2) & 1),
+            ];
+            let want = model.evaluate(&d, &sites);
+            let got = compiled.evaluate_with_scratch(&sites, &mut scratch);
+            assert_eq!(want.total().to_bits(), got.total().to_bits(), "{sites:?}");
+        }
     }
 }

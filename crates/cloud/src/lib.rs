@@ -27,7 +27,7 @@ pub mod pricing;
 pub mod site;
 
 pub use autoscaler::Autoscaler;
-pub use cost::{CostBreakdown, CostModel, CostScratch, SiteCostModel};
+pub use cost::{CompiledCost, CostBreakdown, CostModel, CostScratch, OnPremPeaks, SiteCostModel};
 pub use demand::ResourceDemand;
 pub use estimator::{ResourceEstimator, ScalingEstimator};
 pub use pricing::{PricingModel, Provider};

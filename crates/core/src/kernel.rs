@@ -53,14 +53,112 @@
 //! post-migration replays in [`crate::advisor`]), when traces are not
 //! retained in a profile, or when debugging the kernel itself.
 //!
+//! # Batched lanes
+//!
+//! [`CompiledQuality::performance_lanes`] scores a whole batch of candidate
+//! plans in **one** walk of the instruction arena. [`LaneScratch::load`]
+//! transposes the batch into component-major site columns — `soa[c * lanes
+//! + l]` is the site component `c` occupies in lane `l` — so when an op
+//! touches a component, the sites it occupies across all lanes sit in one
+//! contiguous strip. The interpreter state (the trace cursor, the wave
+//! `base`/`wend` stacks, the per-API accumulator and the `Q_Perf` totals)
+//! becomes a per-lane array updated in a tight inner loop over the lanes.
+//! Every lane performs exactly the floating-point operations of the scalar
+//! interpreter in the same order, so lane scores are bit-identical to
+//! [`CompiledQuality::performance`] at *any* lane count; the differential
+//! property suite pins widths 1, 3, 8 and 64 against both the scalar kernel
+//! and the interpretive oracle. [`LANE_WIDTH`](crate::eval::LANE_WIDTH)
+//! fixes the production width.
+//!
+//! # Delta re-scoring invariants
+//!
+//! A trace's latency is a pure function of the sites of the components it
+//! references. [`CompiledQuality::performance_scored`] therefore retains
+//! one [`ScoredTrace`] (the trace's latency under the scored plan) per
+//! compiled trace, and [`CompiledQuality::performance_delta`] re-scores a
+//! mutated plan by re-running **only** the traces whose reference set
+//! intersects the changed-component list (a bloom fingerprint rejects most
+//! untouched traces without walking their reference sets); every other
+//! trace inherits its parent latency. Three invariants make the shortcut
+//! exact rather than approximate:
+//!
+//! 1. **Purity** — re-running an untouched trace would reproduce its
+//!    retained latency bit-for-bit, so inheriting it loses nothing;
+//! 2. **Same summation tree** — the per-API means and the weighted
+//!    `Q_Perf` total are re-summed in the original trace order over the
+//!    (partially inherited) latencies: the identical sequence of f64
+//!    additions as a cold score;
+//! 3. **Path independence** — a [`ScoredPlan`] depends only on the plan it
+//!    scores, never on the chain of deltas that produced it: mutate
+//!    A → B → A and the second A is bit-identical to the first.
+//!
+//! # Example
+//!
+//! Lane-batched scoring and an incremental single-move re-score, both
+//! matching the plain evaluator exactly (the quality model is learned from
+//! a compressed simulated run of the social network):
+//!
+//! ```
+//! use atlas_apps::{social_network, SocialNetworkOptions, WorkloadGenerator, WorkloadOptions};
+//! use atlas_core::{Atlas, AtlasConfig, MigrationPlan, MigrationPreferences};
+//! use atlas_sim::{ComponentId, OverloadModel, Placement, SimConfig, Simulator, SiteId};
+//! use atlas_telemetry::TelemetryStore;
+//!
+//! let app = social_network(SocialNetworkOptions::default());
+//! let current = Placement::all_onprem(app.component_count());
+//! let mut options = WorkloadOptions::social_network_default().with_seed(5);
+//! options.profile.day_seconds = 60; // compressed day keeps the example fast
+//! let schedule = WorkloadGenerator::new(options).generate(&app).unwrap();
+//! let store = TelemetryStore::new();
+//! Simulator::new(
+//!     app.clone(),
+//!     current.clone(),
+//!     SimConfig {
+//!         overload: OverloadModel::disabled(),
+//!         ..SimConfig::default()
+//!     },
+//! )
+//! .run(&schedule, &store);
+//!
+//! let component_index: Vec<String> =
+//!     app.components().iter().map(|c| c.name.clone()).collect();
+//! let mut config = AtlasConfig::new(component_index, vec![]);
+//! config.traces_per_api = 20;
+//! config.horizon_steps = 4;
+//! let mut atlas = Atlas::new(config);
+//! atlas.learn(&store);
+//! let quality = atlas.quality_model(current, MigrationPreferences::default());
+//!
+//! let n = app.component_count();
+//! let onprem = MigrationPlan::all_onprem(n);
+//! let cloud = MigrationPlan::new(Placement::all_cloud(n));
+//!
+//! // Batched lanes score both plans in one arena walk, bit-identically.
+//! let batch = quality.evaluate_lanes(&[&onprem, &cloud]);
+//! assert_eq!(batch[0], quality.evaluate(&onprem));
+//! assert_eq!(batch[1], quality.evaluate(&cloud));
+//!
+//! // Delta path: move one component, re-running only the traces it touches.
+//! let parent = quality.evaluate_scored(&onprem);
+//! assert_eq!(parent.quality(), batch[0]);
+//! let moved = quality.evaluate_delta(&parent, &[(ComponentId(0), SiteId::CLOUD)]);
+//! let mut cold = onprem.clone();
+//! cold.set(ComponentId(0), atlas_sim::Location::Cloud);
+//! assert_eq!(moved.quality(), quality.evaluate(&cold));
+//! // ...and reverting the move restores the parent exactly (A → B → A).
+//! let back = quality.evaluate_delta(&moved, &[(ComponentId(0), SiteId::ON_PREM)]);
+//! assert_eq!(back.quality(), parent.quality());
+//! ```
+//!
 //! [`QualityModel`]: crate::quality::QualityModel
 //! [`QualityModel::new`]: crate::quality::QualityModel::new
 //! [`QualityModel::evaluate_interpretive`]: crate::quality::QualityModel::evaluate_interpretive
+//! [`ScoredPlan`]: crate::quality::ScoredPlan
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use atlas_cloud::{CostScratch, ResourceDemand};
+use atlas_cloud::{CostScratch, OnPremPeaks, ResourceDemand};
 use atlas_sim::{ComponentId, Placement, SiteId, SiteNetwork};
 use atlas_telemetry::Trace;
 
@@ -97,6 +195,80 @@ pub struct EvalScratch {
     pub subset: Vec<usize>,
     /// Scratch of the cloud cost model.
     pub cost: CostScratch,
+    /// Per-lane buffers of the batched (structure-of-arrays) scoring path.
+    pub lanes: LaneScratch,
+    /// Sorted ids of the components changed by a delta re-score.
+    pub changed: Vec<u32>,
+    /// Per-trace latencies retained during a delta probe.
+    pub scored: Vec<ScoredTrace>,
+}
+
+/// Reusable buffers of the batched scoring path: the candidate plans of one
+/// batch transposed into component-major site columns (structure of arrays)
+/// plus the per-lane cursor, wave-stack and accumulator arrays that let one
+/// walk of a trace's instruction stream price every lane. See the
+/// [module docs](self#batched-lanes) for the layout.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    /// Component-major site columns: `soa[c * lanes + l]` is the site
+    /// component `c` occupies in lane `l`.
+    soa: Vec<SiteId>,
+    /// Per-lane trace cursor (the scalar interpreter's `cur`).
+    cur: Vec<f64>,
+    /// Per-lane wave-frame `base` stack; grows by `lanes` per open wave.
+    base: Vec<f64>,
+    /// Per-lane wave-frame `wend` stack, parallel to `base`.
+    wend: Vec<f64>,
+    /// Per-lane per-API latency accumulator.
+    acc: Vec<f64>,
+    /// Per-lane `Q_Perf` totals.
+    total: Vec<f64>,
+}
+
+impl LaneScratch {
+    /// Transpose one batch of site assignments (one slice per lane, all of
+    /// equal length) into component-major columns and reset the per-lane
+    /// accumulators.
+    pub fn load(&mut self, plans: &[&[SiteId]]) {
+        let lanes = plans.len();
+        let n = plans.first().map_or(0, |p| p.len());
+        debug_assert!(
+            plans.iter().all(|p| p.len() == n),
+            "every lane of a batch must cover the same components"
+        );
+        self.soa.clear();
+        self.soa.resize(n * lanes, SiteId::ON_PREM);
+        for (l, plan) in plans.iter().enumerate() {
+            for (c, &site) in plan.iter().enumerate() {
+                self.soa[c * lanes + l] = site;
+            }
+        }
+        self.cur.clear();
+        self.cur.resize(lanes, 0.0);
+        self.acc.clear();
+        self.acc.resize(lanes, 0.0);
+        self.total.clear();
+        self.total.resize(lanes, 0.0);
+        self.base.clear();
+        self.wend.clear();
+    }
+}
+
+/// The retained latency of one compiled trace under a parent plan: the unit
+/// of reuse of the delta path. A trace's latency is a pure function of the
+/// sites of the components it references, so
+/// [`CompiledQuality::performance_delta`] re-runs a trace only when one of
+/// those components changed and inherits this value bit-for-bit otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTrace {
+    latency_ms: f64,
+}
+
+impl ScoredTrace {
+    /// The trace's estimated end-to-end latency under the parent plan (ms).
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ms
+    }
 }
 
 thread_local! {
@@ -156,6 +328,15 @@ struct CompiledTrace {
     root_start: f64,
     ops: Vec<Op>,
     link_costs: Vec<f64>,
+    /// Ascending, deduplicated ids of every indexed component referenced by
+    /// a `Call` op (callers and callees; `UNKNOWN` excluded). The trace's
+    /// latency is a pure function of the sites of exactly these components,
+    /// which is what makes per-trace reuse in the delta path bitwise-safe.
+    touched: Vec<u32>,
+    /// Bloom fingerprint of `touched` (bit `id % 64`): a zero intersection
+    /// with a change set's fingerprint proves the trace is unaffected
+    /// without walking `touched`.
+    mask: u64,
 }
 
 impl CompiledTrace {
@@ -180,11 +361,33 @@ impl CompiledTrace {
             &mut ops,
             &mut link_costs,
         );
+        let mut touched: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Call { caller, callee, .. } => Some([caller, callee]),
+                _ => None,
+            })
+            .flatten()
+            .filter(|&id| id != UNKNOWN)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let mask = touched.iter().fold(0u64, |m, &id| m | (1u64 << (id % 64)));
         Self {
             root_start: trace.root().start_us as f64,
             ops,
             link_costs,
+            touched,
+            mask,
         }
+    }
+
+    /// Whether any id of the (ascending) change set is referenced by this
+    /// trace's hops.
+    fn touches(&self, changed: &[u32]) -> bool {
+        changed
+            .iter()
+            .any(|c| self.touched.binary_search(c).is_ok())
     }
 
     /// New end-to-end latency (ms) of this trace under the candidate
@@ -221,6 +424,85 @@ impl CompiledTrace {
             }
         }
         (cur - self.root_start).max(0.0) / 1_000.0
+    }
+
+    /// Lane-batched [`Self::run`]: advance every lane of the transposed
+    /// batch through one walk of the instruction stream, adding each lane's
+    /// latency into `acc`. Per lane, the floating-point schedule is exactly
+    /// that of [`Self::run`] — the lanes are arithmetically independent, so
+    /// interleaving them preserves bit-identity — while the op decode, the
+    /// wave bookkeeping and the `UNKNOWN` resolution are paid once per op
+    /// instead of once per op per plan.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lanes(
+        &self,
+        soa: &[SiteId],
+        lanes: usize,
+        site_count: usize,
+        cur: &mut [f64],
+        base: &mut Vec<f64>,
+        wend: &mut Vec<f64>,
+        acc: &mut [f64],
+    ) {
+        base.clear();
+        wend.clear();
+        cur[..lanes].iter_mut().for_each(|c| *c = self.root_start);
+        for op in &self.ops {
+            match *op {
+                Op::Wave { gap } => {
+                    let d = base.len();
+                    wend.extend_from_slice(&cur[..lanes]);
+                    base.resize(d + lanes, 0.0);
+                    for (slot, &c) in base[d..].iter_mut().zip(cur[..lanes].iter()) {
+                        *slot = c + gap;
+                    }
+                }
+                Op::Call {
+                    offset,
+                    caller,
+                    callee,
+                    cost_base,
+                    before,
+                } => {
+                    let d = base.len() - lanes;
+                    let table = &self.link_costs[cost_base as usize..];
+                    for l in 0..lanes {
+                        let a = if caller == UNKNOWN {
+                            SiteId::ON_PREM
+                        } else {
+                            soa[caller as usize * lanes + l]
+                        };
+                        let b = if callee == UNKNOWN {
+                            SiteId::ON_PREM
+                        } else {
+                            soa[callee as usize * lanes + l]
+                        };
+                        let after = table[a.index() * site_count + b.index()];
+                        cur[l] = (base[d + l] + offset) + (after - before);
+                    }
+                }
+                Op::Ret => {
+                    let d = wend.len() - lanes;
+                    for (slot, &c) in wend[d..].iter_mut().zip(cur[..lanes].iter()) {
+                        *slot = slot.max(c);
+                    }
+                }
+                Op::EndWave => {
+                    let d = wend.len() - lanes;
+                    cur[..lanes].copy_from_slice(&wend[d..]);
+                    base.truncate(d);
+                    wend.truncate(d);
+                }
+                Op::Tail { tail } => {
+                    for c in cur[..lanes].iter_mut() {
+                        *c += tail;
+                    }
+                }
+            }
+        }
+        for (slot, &c) in acc[..lanes].iter_mut().zip(cur[..lanes].iter()) {
+            *slot += (c - self.root_start).max(0.0) / 1_000.0;
+        }
     }
 }
 
@@ -427,6 +709,38 @@ impl ConstraintKernel {
         }
         true
     }
+
+    /// [`Self::feasible`] fed precomputed on-prem peaks (from
+    /// [`CompiledCost::evaluate_with_peaks`]) instead of re-scanning the
+    /// demand matrix per call. The peaks are bit-identical to the
+    /// interpretive subset sums, so the verdict is too.
+    ///
+    /// [`CompiledCost::evaluate_with_peaks`]: atlas_cloud::CompiledCost::evaluate_with_peaks
+    pub fn feasible_with_peaks(
+        &self,
+        sites: &[SiteId],
+        peaks: &OnPremPeaks,
+        cost: impl FnOnce() -> f64,
+    ) -> bool {
+        if self.violates_pins(sites) {
+            return false;
+        }
+        if self.cpu_limit.is_finite() && peaks.cpu > self.cpu_limit {
+            return false;
+        }
+        if self.memory_limit_gb.is_finite() && peaks.memory_gb > self.memory_limit_gb {
+            return false;
+        }
+        if self.storage_limit_gb.is_finite() && peaks.storage_gb > self.storage_limit_gb {
+            return false;
+        }
+        if let Some(budget) = self.budget {
+            if cost() > budget {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// One API compiled for scoring: its preference weight, baseline latency,
@@ -553,6 +867,141 @@ impl CompiledQuality {
         let mut weight_sum = 0.0;
         for (slot, api) in self.apis.iter().enumerate() {
             let estimated = self.api_latency_ms(slot, sites, stack).max(1e-9);
+            total += api.weight * estimated / api.baseline_ms;
+            weight_sum += api.weight;
+        }
+        total / weight_sum
+    }
+
+    /// Total number of compiled traces across every API: the length of the
+    /// flat per-trace state retained by [`Self::performance_scored`].
+    pub fn trace_count(&self) -> usize {
+        self.apis.iter().map(|a| a.traces.len()).sum()
+    }
+
+    /// Lane-batched [`Self::performance`]: compute `Q_Perf` for every lane
+    /// of the batch loaded into `scratch` (see [`LaneScratch::load`]) in one
+    /// walk over the instruction arenas, appending per-lane values to `out`.
+    /// Each lane's result is bit-identical to the scalar path.
+    pub fn performance_lanes(&self, scratch: &mut LaneScratch, lanes: usize, out: &mut Vec<f64>) {
+        if self.apis.is_empty() {
+            out.extend(std::iter::repeat(1.0).take(lanes));
+            return;
+        }
+        let LaneScratch {
+            soa,
+            cur,
+            base,
+            wend,
+            acc,
+            total,
+        } = scratch;
+        total[..lanes].iter_mut().for_each(|t| *t = 0.0);
+        let mut weight_sum = 0.0;
+        for api in &self.apis {
+            acc[..lanes].iter_mut().for_each(|a| *a = 0.0);
+            let len = api.traces.len() as f64;
+            for trace in &api.traces {
+                trace.run_lanes(soa, lanes, self.site_count, cur, base, wend, acc);
+            }
+            for l in 0..lanes {
+                // Empty-trace APIs estimate 0.0 like the scalar path; the
+                // max(1e-9) floor then matches bitwise.
+                let estimated = if api.traces.is_empty() {
+                    0.0f64
+                } else {
+                    acc[l] / len
+                }
+                .max(1e-9);
+                total[l] += api.weight * estimated / api.baseline_ms;
+            }
+            weight_sum += api.weight;
+        }
+        out.extend(total[..lanes].iter().map(|t| t / weight_sum));
+    }
+
+    /// [`Self::performance`] with the per-trace latencies retained into
+    /// `traces` (flat, API-major, in the compiled API order): the parent
+    /// state consumed by [`Self::performance_delta`].
+    pub fn performance_scored(
+        &self,
+        sites: &[SiteId],
+        stack: &mut Vec<WaveFrame>,
+        traces: &mut Vec<ScoredTrace>,
+    ) -> f64 {
+        traces.clear();
+        if self.apis.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        for api in &self.apis {
+            let mut estimated = 0.0;
+            if !api.traces.is_empty() {
+                let mut sum = 0.0;
+                for trace in &api.traces {
+                    let latency_ms = trace.run(sites, self.site_count, stack);
+                    traces.push(ScoredTrace { latency_ms });
+                    sum += latency_ms;
+                }
+                estimated = sum / api.traces.len() as f64;
+            }
+            let estimated = estimated.max(1e-9);
+            total += api.weight * estimated / api.baseline_ms;
+            weight_sum += api.weight;
+        }
+        total / weight_sum
+    }
+
+    /// Incremental [`Self::performance_scored`]: re-score against `sites`
+    /// re-running only the traces that reference a changed component
+    /// (`changed` ascending, `changed_mask` its bloom fingerprint — see
+    /// [`ScoredTrace`]); every other trace inherits its parent latency from
+    /// `prev` bit-for-bit. The per-API means and the weighted total are
+    /// re-summed in the original order over identical values, so the result
+    /// is bit-identical to a cold re-score. `prev` must hold
+    /// [`Self::trace_count`] entries from the parent's scoring; the fresh
+    /// per-trace state is written to `next`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn performance_delta(
+        &self,
+        sites: &[SiteId],
+        changed: &[u32],
+        changed_mask: u64,
+        prev: &[ScoredTrace],
+        next: &mut Vec<ScoredTrace>,
+        stack: &mut Vec<WaveFrame>,
+    ) -> f64 {
+        assert_eq!(
+            prev.len(),
+            self.trace_count(),
+            "parent state does not match this kernel's compiled traces"
+        );
+        next.clear();
+        if self.apis.is_empty() {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        let mut slot = 0usize;
+        for api in &self.apis {
+            let mut estimated = 0.0;
+            if !api.traces.is_empty() {
+                let mut sum = 0.0;
+                for trace in &api.traces {
+                    let parent = prev[slot];
+                    slot += 1;
+                    let latency_ms = if trace.mask & changed_mask != 0 && trace.touches(changed) {
+                        trace.run(sites, self.site_count, stack)
+                    } else {
+                        parent.latency_ms
+                    };
+                    next.push(ScoredTrace { latency_ms });
+                    sum += latency_ms;
+                }
+                estimated = sum / api.traces.len() as f64;
+            }
+            let estimated = estimated.max(1e-9);
             total += api.weight * estimated / api.baseline_ms;
             weight_sum += api.weight;
         }

@@ -48,15 +48,15 @@ pub mod security;
 
 pub use advisor::{Atlas, AtlasConfig};
 pub use delay::DelayInjector;
-pub use eval::{EvalStats, PlanEvaluator};
+pub use eval::{EvalStats, PlanEvaluator, LANE_WIDTH};
 pub use footprint::{FootprintLearner, NetworkFootprint};
 pub use hierarchy::{Dendrogram, DendrogramNode};
-pub use kernel::{CompiledQuality, ConstraintKernel};
+pub use kernel::{CompiledQuality, ConstraintKernel, ScoredTrace};
 pub use monitor::{kl_divergence, DriftDetector, DriftReport};
 pub use plan::MigrationPlan;
 pub use preferences::MigrationPreferences;
 pub use profile::{ApiProfile, ApplicationProfile, ComponentProfile};
-pub use quality::{PlanQuality, QualityModel};
+pub use quality::{PlanQuality, QualityModel, ScoredPlan};
 pub use recommender::{random_site, RecommendedPlan, Recommender, RecommenderConfig};
 pub use rl_crossover::{CrossoverAgent, RlCrossoverConfig};
 pub use security::{BreachDetector, BreachReport};

@@ -13,12 +13,12 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use atlas_cloud::{CostModel, ResourceDemand, SiteCostModel};
+use atlas_cloud::{CompiledCost, CostModel, ResourceDemand, SiteCostModel};
 use atlas_sim::{Placement, SiteCatalog, SiteId};
 
 use crate::delay::DelayInjector;
 use crate::footprint::NetworkFootprint;
-use crate::kernel::{with_scratch, CompiledQuality};
+use crate::kernel::{with_scratch, CompiledQuality, EvalScratch, ScoredTrace};
 use crate::plan::MigrationPlan;
 use crate::preferences::MigrationPreferences;
 use crate::profile::ApplicationProfile;
@@ -49,6 +49,36 @@ impl PlanQuality {
     }
 }
 
+/// A fully evaluated plan with the per-trace state the delta path reuses:
+/// the plan's site assignment, one retained [`ScoredTrace`] per compiled
+/// trace, and the plan's [`PlanQuality`]. Produced by
+/// [`QualityModel::evaluate_scored`] and advanced by
+/// [`QualityModel::evaluate_delta`].
+#[derive(Debug, Clone)]
+pub struct ScoredPlan {
+    sites: Vec<SiteId>,
+    traces: Vec<ScoredTrace>,
+    quality: PlanQuality,
+}
+
+impl ScoredPlan {
+    /// The plan's site assignment, indexed like the component index.
+    pub fn sites(&self) -> &[SiteId] {
+        &self.sites
+    }
+
+    /// The retained per-trace latencies (flat, API-major in the kernel's
+    /// compiled order).
+    pub fn traces(&self) -> &[ScoredTrace] {
+        &self.traces
+    }
+
+    /// The plan's quality indicators.
+    pub fn quality(&self) -> PlanQuality {
+        self.quality
+    }
+}
+
 /// Models the quality of candidate plans without executing them.
 #[derive(Debug, Clone)]
 pub struct QualityModel {
@@ -68,6 +98,11 @@ pub struct QualityModel {
     api_order: Vec<String>,
     /// The compiled evaluation kernel (see [`crate::kernel`]).
     kernel: CompiledQuality,
+    /// The cost model pre-bound to `demand` (edge totals and step-major
+    /// resource columns hoisted); bit-identical to `cost_model`, used by
+    /// every kernel scoring path. [`Self::cost_interpretive`] and
+    /// [`Self::feasibility`] stay on the uncompiled oracle.
+    cost_kernel: CompiledCost,
 }
 
 impl QualityModel {
@@ -181,6 +216,7 @@ impl QualityModel {
             &component_index,
             &api_order,
         );
+        let cost_kernel = cost_model.compile(&demand);
         Self {
             profile,
             footprint,
@@ -193,6 +229,7 @@ impl QualityModel {
             baseline_latency_ms,
             api_order,
             kernel,
+            cost_kernel,
         }
     }
 
@@ -354,8 +391,8 @@ impl QualityModel {
         self.debug_assert_in_catalog(plan);
         with_scratch(|s| {
             fill_sites(&mut s.sites, plan, self.component_count());
-            self.cost_model
-                .evaluate_with_scratch(&self.demand, &s.sites, &mut s.cost)
+            self.cost_kernel
+                .evaluate_with_scratch(&s.sites, &mut s.cost)
                 .total()
         })
     }
@@ -390,20 +427,10 @@ impl QualityModel {
         }
         with_scratch(|s| {
             fill_sites(&mut s.sites, plan, self.component_count());
-            let crate::kernel::EvalScratch {
-                sites,
-                subset,
-                cost,
-                ..
-            } = s;
-            let assignment: &[SiteId] = sites;
+            let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
             self.kernel
                 .constraints()
-                .feasible(&self.demand, assignment, subset, || {
-                    self.cost_model
-                        .evaluate_with_scratch(&self.demand, assignment, cost)
-                        .total()
-                })
+                .feasible_with_peaks(&s.sites, &peaks, || breakdown.total())
         })
     }
 
@@ -441,9 +468,10 @@ impl QualityModel {
                 self.preferences.onprem_storage_limit_gb
             ));
         }
-        // Budget.
+        // Budget (interpretive cost, keeping this diagnostic an oracle
+        // that shares nothing with the compiled kernels).
         if let Some(budget) = self.preferences.budget {
-            let cost = self.cost(plan);
+            let cost = self.cost_interpretive(plan);
             if cost > budget {
                 return Some(format!("cost {cost:.2} exceeds budget {budget:.2}"));
             }
@@ -462,21 +490,195 @@ impl QualityModel {
             let performance = self.kernel.performance(sites, &mut s.stack);
             let availability = self.kernel.availability(sites, self.current.sites());
             fill_sites(&mut s.sites, plan, self.component_count());
-            let cost = self
-                .cost_model
-                .evaluate_with_scratch(&self.demand, &s.sites, &mut s.cost)
-                .total();
+            let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
+            let cost = breakdown.total();
             let feasible = plan.len() == self.component_count()
-                && self.kernel.constraints().feasible(
-                    &self.demand,
-                    &s.sites,
-                    &mut s.subset,
-                    || cost,
-                );
+                && self
+                    .kernel
+                    .constraints()
+                    .feasible_with_peaks(&s.sites, &peaks, || cost);
             PlanQuality {
                 performance,
                 availability,
                 cost,
+                feasible,
+            }
+        })
+    }
+
+    /// Batched [`Self::evaluate`]: score one group of plans (the *lanes*)
+    /// through a single structure-of-arrays walk of the compiled arenas.
+    /// `Q_Perf` of all lanes is computed in one pass over the instruction
+    /// streams; availability, cost and feasibility are then filled per lane
+    /// with the usual scratch-backed kernels. Every returned quality is
+    /// bit-identical to evaluating its plan alone.
+    ///
+    /// Groups of fewer than two plans, and groups containing a plan that
+    /// does not cover every component, fall back to the scalar path.
+    pub fn evaluate_lanes(&self, plans: &[&MigrationPlan]) -> Vec<PlanQuality> {
+        let n = self.component_count();
+        if plans.len() < 2 || plans.iter().any(|p| p.len() != n) {
+            return plans.iter().map(|p| self.evaluate(p)).collect();
+        }
+        for plan in plans {
+            self.debug_assert_in_catalog(plan);
+        }
+        let lanes = plans.len();
+        with_scratch(|s| {
+            let site_views: Vec<&[SiteId]> = plans.iter().map(|p| p.placement().sites()).collect();
+            s.lanes.load(&site_views);
+            let mut perf = Vec::with_capacity(lanes);
+            self.kernel
+                .performance_lanes(&mut s.lanes, lanes, &mut perf);
+            plans
+                .iter()
+                .enumerate()
+                .map(|(l, plan)| {
+                    let availability = self
+                        .kernel
+                        .availability(site_views[l], self.current.sites());
+                    fill_sites(&mut s.sites, plan, n);
+                    let (breakdown, peaks) =
+                        self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
+                    let cost = breakdown.total();
+                    let feasible =
+                        self.kernel
+                            .constraints()
+                            .feasible_with_peaks(&s.sites, &peaks, || cost);
+                    PlanQuality {
+                        performance: perf[l],
+                        availability,
+                        cost,
+                        feasible,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// [`Self::evaluate`] with the per-trace latencies retained: the parent
+    /// state of the delta path. The returned quality is bit-identical to
+    /// [`Self::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover every component (the delta path
+    /// needs a full-length site assignment to mutate).
+    pub fn evaluate_scored(&self, plan: &MigrationPlan) -> ScoredPlan {
+        self.debug_assert_in_catalog(plan);
+        assert_eq!(
+            plan.len(),
+            self.component_count(),
+            "delta scoring needs a plan covering every component"
+        );
+        with_scratch(|s| {
+            let sites = plan.placement().sites().to_vec();
+            let mut traces = Vec::with_capacity(self.kernel.trace_count());
+            let performance = self
+                .kernel
+                .performance_scored(&sites, &mut s.stack, &mut traces);
+            let availability = self.kernel.availability(&sites, self.current.sites());
+            let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&sites, &mut s.cost);
+            let cost = breakdown.total();
+            let feasible = self
+                .kernel
+                .constraints()
+                .feasible_with_peaks(&sites, &peaks, || cost);
+            ScoredPlan {
+                sites,
+                traces,
+                quality: PlanQuality {
+                    performance,
+                    availability,
+                    cost,
+                    feasible,
+                },
+            }
+        })
+    }
+
+    /// Incrementally re-score a mutation of `parent`: apply `changes`
+    /// (last write per component wins) and re-run only the traces that
+    /// reference a component whose site actually changed — O(touched
+    /// traces) instead of O(all traces) — inheriting every other per-trace
+    /// latency from the parent. Availability, cost and feasibility are pure
+    /// functions of the new assignment and are recomputed outright. The
+    /// returned state (including its quality) is bit-identical to a cold
+    /// [`Self::evaluate_scored`] of the mutated plan, so delta chains of
+    /// any length — including reverts — stay exact.
+    pub fn evaluate_delta(
+        &self,
+        parent: &ScoredPlan,
+        changes: &[(atlas_sim::ComponentId, SiteId)],
+    ) -> ScoredPlan {
+        let mut sites = parent.sites.clone();
+        with_scratch(|s| {
+            let mask = apply_changes(&mut sites, changes, &mut s.changed, self.site_count());
+            let mut traces = Vec::with_capacity(parent.traces.len());
+            let performance = self.kernel.performance_delta(
+                &sites,
+                &s.changed,
+                mask,
+                &parent.traces,
+                &mut traces,
+                &mut s.stack,
+            );
+            let availability = self.kernel.availability(&sites, self.current.sites());
+            let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&sites, &mut s.cost);
+            let cost = breakdown.total();
+            let feasible = self
+                .kernel
+                .constraints()
+                .feasible_with_peaks(&sites, &peaks, || cost);
+            ScoredPlan {
+                sites,
+                traces,
+                quality: PlanQuality {
+                    performance,
+                    availability,
+                    cost,
+                    feasible,
+                },
+            }
+        })
+    }
+
+    /// Allocation-free probe of a mutation of `parent`: like
+    /// [`Self::evaluate_delta`] but the new state is kept in thread-local
+    /// scratch and discarded, returning only the quality. This is the shape
+    /// local-search probes want — score a single-component move, usually
+    /// reject it, never materialise the state.
+    pub fn probe_delta(
+        &self,
+        parent: &ScoredPlan,
+        changes: &[(atlas_sim::ComponentId, SiteId)],
+    ) -> PlanQuality {
+        with_scratch(|s| {
+            let EvalScratch {
+                stack,
+                sites,
+                cost,
+                changed,
+                scored,
+                ..
+            } = s;
+            sites.clear();
+            sites.extend_from_slice(&parent.sites);
+            let mask = apply_changes(sites, changes, changed, self.site_count());
+            let performance =
+                self.kernel
+                    .performance_delta(sites, changed, mask, &parent.traces, scored, stack);
+            let availability = self.kernel.availability(sites, self.current.sites());
+            let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(sites, cost);
+            let cost_total = breakdown.total();
+            let feasible = self
+                .kernel
+                .constraints()
+                .feasible_with_peaks(sites, &peaks, || cost_total);
+            PlanQuality {
+                performance,
+                availability,
+                cost: cost_total,
                 feasible,
             }
         })
@@ -500,6 +702,39 @@ impl QualityModel {
 fn fill_sites(sites: &mut Vec<SiteId>, plan: &MigrationPlan, n: usize) {
     sites.clear();
     sites.extend((0..n).map(|i| plan.site(atlas_sim::ComponentId(i))));
+}
+
+/// Apply a change list to a site assignment in order, recording the sorted,
+/// deduplicated ids of the components whose site differs from the parent's
+/// at any point of the application, and return their bloom fingerprint. A
+/// change that re-states a component's current site is a no-op and does not
+/// mark the component as touched.
+fn apply_changes(
+    sites: &mut [SiteId],
+    changes: &[(atlas_sim::ComponentId, SiteId)],
+    changed: &mut Vec<u32>,
+    site_count: usize,
+) -> u64 {
+    changed.clear();
+    for &(component, site) in changes {
+        assert!(
+            component.0 < sites.len(),
+            "delta change names component {} outside the {}-component model",
+            component.0,
+            sites.len()
+        );
+        assert!(
+            site.index() < site_count,
+            "delta change names a site outside the {site_count}-site catalog"
+        );
+        if sites[component.0] != site {
+            sites[component.0] = site;
+            changed.push(component.0 as u32);
+        }
+    }
+    changed.sort_unstable();
+    changed.dedup();
+    changed.iter().fold(0u64, |m, &id| m | (1u64 << (id % 64)))
 }
 
 #[cfg(test)]

@@ -55,6 +55,11 @@ pub struct RecommenderConfig {
     /// Worker threads of the plan evaluator (`0` = one per available core).
     /// The thread count never changes the recommendation, only its speed.
     pub threads: usize,
+    /// Structure-of-arrays lane width of the plan evaluator (`0` = the
+    /// default [`crate::eval::LANE_WIDTH`], `1` = the scalar per-plan
+    /// path). Like the thread count, the lane width never changes the
+    /// recommendation, only its speed.
+    pub lane_width: usize,
 }
 
 impl Default for RecommenderConfig {
@@ -67,6 +72,7 @@ impl Default for RecommenderConfig {
             rl: RlCrossoverConfig::default(),
             seed: 23,
             threads: 0,
+            lane_width: 0,
         }
     }
 }
@@ -86,6 +92,7 @@ impl RecommenderConfig {
             },
             seed: 23,
             threads: 0,
+            lane_width: 0,
         }
     }
 
@@ -105,6 +112,13 @@ impl RecommenderConfig {
     /// available core).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Replace the evaluator lane width (builder style; `0` = the default
+    /// [`crate::eval::LANE_WIDTH`], `1` = the scalar per-plan path).
+    pub fn with_lane_width(mut self, lane_width: usize) -> Self {
+        self.lane_width = lane_width;
         self
     }
 }
@@ -184,7 +198,9 @@ impl<'a> Recommender<'a> {
     /// [`RecommenderConfig::threads`] workers; use [`Self::recommend_with`]
     /// to share a warm evaluator across runs.
     pub fn recommend(&self) -> RecommendationReport {
-        let evaluator = PlanEvaluator::new(self.quality).with_threads(self.config.threads);
+        let evaluator = PlanEvaluator::new(self.quality)
+            .with_threads(self.config.threads)
+            .with_lane_width(self.config.lane_width);
         self.recommend_with(&evaluator)
     }
 

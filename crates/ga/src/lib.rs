@@ -19,5 +19,7 @@ pub mod operators;
 pub mod pareto;
 
 pub use nsga2::{binary_tournament, crowding_distance, fast_non_dominated_sort, select_survivors};
-pub use operators::{alphabet_mutation, bit_flip_mutation, uniform_crossover};
+pub use operators::{
+    alphabet_mutation, alphabet_mutation_tracked, bit_flip_mutation, uniform_crossover,
+};
 pub use pareto::{dominates, pareto_front_indices};

@@ -62,8 +62,39 @@ pub fn alphabet_mutation<T: Copy + Eq, R: Rng + ?Sized>(
     alphabet: &[T],
     rate: f64,
 ) {
+    mutate_alphabet(rng, genome, alphabet, rate, |_| {});
+}
+
+/// [`alphabet_mutation`] that additionally reports *which* genes mutated.
+///
+/// Consumes the random stream identically to the untracked variant (the
+/// tracking is pure bookkeeping), so swapping one for the other never
+/// perturbs a seeded search. The returned indices are ascending and unique;
+/// delta re-scoring uses them to re-price only the traces that touch a
+/// mutated component.
+pub fn alphabet_mutation_tracked<T: Copy + Eq, R: Rng + ?Sized>(
+    rng: &mut R,
+    genome: &mut [T],
+    alphabet: &[T],
+    rate: f64,
+) -> Vec<usize> {
+    let mut changed = Vec::new();
+    mutate_alphabet(rng, genome, alphabet, rate, |idx| changed.push(idx));
+    changed
+}
+
+/// Shared body of the alphabet mutations: one `f64` draw per gene, a
+/// deterministic flip on binary alphabets, one extra draw per mutated gene
+/// otherwise. `on_change` fires once per mutated gene, in genome order.
+fn mutate_alphabet<T: Copy + Eq, R: Rng + ?Sized>(
+    rng: &mut R,
+    genome: &mut [T],
+    alphabet: &[T],
+    rate: f64,
+    mut on_change: impl FnMut(usize),
+) {
     assert!(alphabet.len() >= 2, "mutation needs at least 2 letters");
-    for gene in genome.iter_mut() {
+    for (idx, gene) in genome.iter_mut().enumerate() {
         if rng.gen::<f64>() < rate {
             if alphabet.len() == 2 {
                 // Binary special case: deterministic flip, no extra draw
@@ -83,6 +114,7 @@ pub fn alphabet_mutation<T: Copy + Eq, R: Rng + ?Sized>(
                 };
                 *gene = alphabet[k];
             }
+            on_change(idx);
         }
     }
 }
@@ -196,6 +228,30 @@ mod tests {
         let mut stray = vec![9u16; 2_000];
         alphabet_mutation(&mut rng, &mut stray, &alphabet, 1.0);
         assert!(stray.iter().all(|g| alphabet.contains(g)));
+    }
+
+    /// The tracked mutation consumes the same stream and produces the same
+    /// genome as the untracked one, while reporting exactly the mutated
+    /// gene indices.
+    #[test]
+    fn tracked_mutation_matches_untracked_and_reports_changes() {
+        for alphabet in [vec![0u16, 1], vec![0u16, 1, 2, 3, 4]] {
+            let mut rng_a = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let mut plain = vec![0u16, 1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1];
+            let mut tracked = plain.clone();
+            let before = tracked.clone();
+            alphabet_mutation(&mut rng_a, &mut plain, &alphabet, 0.4);
+            let changed = alphabet_mutation_tracked(&mut rng_b, &mut tracked, &alphabet, 0.4);
+            assert_eq!(plain, tracked);
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+            // Ascending, unique, and exactly the genes that moved.
+            assert!(changed.windows(2).all(|w| w[0] < w[1]));
+            let moved: Vec<usize> = (0..before.len())
+                .filter(|&i| before[i] != tracked[i])
+                .collect();
+            assert_eq!(changed, moved);
+        }
     }
 
     #[test]

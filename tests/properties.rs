@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use atlas::apps::{synthesize, CallGraphShape, SynthOptions};
 use atlas::core::{kl_divergence, MigrationPlan, PlanEvaluator, QualityModel};
 use atlas::ga::{dominates, pareto_front_indices};
-use atlas::sim::{Location, NetworkModel, Placement, SiteId};
+use atlas::sim::{ComponentId, Location, NetworkModel, Placement, SiteId};
 use atlas_bench::{Application, Experiment, ExperimentOptions};
 
 /// One quality model (29 components, CPU limit + pinned user data, so random
@@ -250,6 +250,180 @@ proptest! {
         // harness preferences (everything offloaded to one site satisfies
         // the CPU limit and the pins allow site 0 for the store).
         let _ = feasible_seen;
+    }
+
+    /// Batched structure-of-arrays lane scoring is bit-identical to the
+    /// scalar kernel at every lane count — 1 (the scalar fallback), 3
+    /// (partial groups), 8 and 64 (beyond the configured width) — and the
+    /// scalar kernel matches the interpretive oracle, on generated
+    /// 2–5-site scenarios across the feasibility spectrum (all-on-prem CPU
+    /// violators, single-site offloads, mixed assignments).
+    #[test]
+    fn lane_groups_match_scalar_and_oracle_at_every_width(
+        components in 10usize..18,
+        site_count in 2usize..6,
+        shape_idx in 0usize..4,
+        seed in 0u64..50_000,
+    ) {
+        let shape = [
+            CallGraphShape::Layered,
+            CallGraphShape::FanOut,
+            CallGraphShape::Chain,
+            CallGraphShape::Mesh,
+        ][shape_idx];
+        let synth = SynthOptions {
+            components,
+            shape,
+            apis: (components / 8).max(1),
+            site_count,
+            seed,
+            ..SynthOptions::default()
+        };
+        let scenario = synthesize(synth).unwrap();
+        let cpu_limit = scenario.burst_cpu_limit(5.0, 0.6);
+        let exp = Experiment::set_up(ExperimentOptions {
+            application: Application::Synthetic(synth),
+            onprem_cpu_limit: cpu_limit,
+            learn_day_seconds: Some(20),
+            max_visited: 20,
+            population: 6,
+            seed: seed ^ 0x51ca,
+            ..ExperimentOptions::quick()
+        });
+        let quality = &exp.quality;
+
+        // ~66 plans: the all-on-prem CPU violator, everything at each
+        // elastic site, and deterministic mixed multi-site assignments.
+        let mut plans: Vec<MigrationPlan> = vec![MigrationPlan::all_onprem(components)];
+        for s in 1..site_count as u16 {
+            plans.push(MigrationPlan::from_sites(vec![SiteId(s); components]));
+        }
+        for salt in 0u64..64 {
+            let sites: Vec<SiteId> = (0..components)
+                .map(|i| {
+                    let h = seed ^ salt.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64 * 0x85EB);
+                    SiteId(((h >> 5) % site_count as u64) as u16)
+                })
+                .collect();
+            plans.push(MigrationPlan::from_sites(sites));
+        }
+        let refs: Vec<&MigrationPlan> = plans.iter().collect();
+        let scalar: Vec<_> = plans.iter().map(|p| quality.evaluate(p)).collect();
+        prop_assert!(scalar.iter().any(|q| !q.feasible));
+        for lane in [1usize, 3, 8, 64] {
+            let mut grouped = Vec::with_capacity(plans.len());
+            for group in refs.chunks(lane) {
+                grouped.extend(quality.evaluate_lanes(group));
+            }
+            prop_assert_eq!(grouped.len(), scalar.len());
+            for (s, g) in scalar.iter().zip(&grouped) {
+                prop_assert_eq!(s.performance.to_bits(), g.performance.to_bits());
+                prop_assert_eq!(s.availability.to_bits(), g.availability.to_bits());
+                prop_assert_eq!(s.cost.to_bits(), g.cost.to_bits());
+                prop_assert_eq!(s.feasible, g.feasible);
+            }
+        }
+        // The scalar kernel itself is pinned to the interpretive oracle on
+        // a slice of the spectrum (the oracle allocates per call).
+        for (plan, s) in plans.iter().zip(&scalar).take(12) {
+            let oracle = quality.evaluate_interpretive(plan);
+            prop_assert_eq!(s.performance.to_bits(), oracle.performance.to_bits());
+            prop_assert_eq!(s.availability.to_bits(), oracle.availability.to_bits());
+            prop_assert_eq!(s.cost.to_bits(), oracle.cost.to_bits());
+            prop_assert_eq!(s.feasible, oracle.feasible);
+        }
+    }
+
+    /// Random mutation chains re-scored incrementally through
+    /// `evaluate_delta` (with `probe_delta` shadowing every step) match a
+    /// cold `evaluate_scored` of the mutated plan bit-for-bit at every
+    /// step — retained per-trace latencies included — and a final revert
+    /// restores the original scored state exactly (A→B→A).
+    #[test]
+    fn delta_chains_match_cold_rescoring_bit_for_bit(
+        components in 10usize..18,
+        site_count in 2usize..6,
+        steps in 1usize..21,
+        seed in 0u64..50_000,
+    ) {
+        let shape = [
+            CallGraphShape::Layered,
+            CallGraphShape::FanOut,
+            CallGraphShape::Chain,
+            CallGraphShape::Mesh,
+        ][(seed % 4) as usize];
+        let synth = SynthOptions {
+            components,
+            shape,
+            apis: (components / 8).max(1),
+            site_count,
+            seed,
+            ..SynthOptions::default()
+        };
+        let scenario = synthesize(synth).unwrap();
+        let cpu_limit = scenario.burst_cpu_limit(5.0, 0.6);
+        let exp = Experiment::set_up(ExperimentOptions {
+            application: Application::Synthetic(synth),
+            onprem_cpu_limit: cpu_limit,
+            learn_day_seconds: Some(20),
+            max_visited: 20,
+            population: 6,
+            seed: seed ^ 0xde17,
+            ..ExperimentOptions::quick()
+        });
+        let quality = &exp.quality;
+
+        let start: Vec<SiteId> = (0..components)
+            .map(|i| SiteId((((seed ^ (i as u64 * 0xA24B_AED4)) >> 3) % site_count as u64) as u16))
+            .collect();
+        let origin = MigrationPlan::from_sites(start.clone());
+        let mut state = quality.evaluate_scored(&origin);
+        for step in 0..steps {
+            // 1–5 changes per step; components may repeat (last write
+            // wins) and a change may name the current site (no-op).
+            let h = seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9);
+            let count = 1 + (h % 5) as usize;
+            let changes: Vec<(ComponentId, SiteId)> = (0..count as u64)
+                .map(|k| {
+                    let hk = h.wrapping_add(k.wrapping_mul(0xC2B2_AE35));
+                    let c = (hk >> 8) as usize % components;
+                    let s = ((hk >> 40) % site_count as u64) as u16;
+                    (ComponentId(c), SiteId(s))
+                })
+                .collect();
+            let probed = quality.probe_delta(&state, &changes);
+            state = quality.evaluate_delta(&state, &changes);
+            prop_assert_eq!(probed.performance.to_bits(), state.quality().performance.to_bits());
+            prop_assert_eq!(probed.availability.to_bits(), state.quality().availability.to_bits());
+            prop_assert_eq!(probed.cost.to_bits(), state.quality().cost.to_bits());
+            prop_assert_eq!(probed.feasible, state.quality().feasible);
+            let cold = quality.evaluate_scored(&MigrationPlan::from_sites(state.sites().to_vec()));
+            prop_assert_eq!(cold.sites(), state.sites());
+            prop_assert_eq!(cold.quality().performance.to_bits(), state.quality().performance.to_bits());
+            prop_assert_eq!(cold.quality().availability.to_bits(), state.quality().availability.to_bits());
+            prop_assert_eq!(cold.quality().cost.to_bits(), state.quality().cost.to_bits());
+            prop_assert_eq!(cold.quality().feasible, state.quality().feasible);
+            prop_assert_eq!(cold.traces().len(), state.traces().len());
+            for (a, b) in cold.traces().iter().zip(state.traces()) {
+                prop_assert_eq!(a.latency_ms().to_bits(), b.latency_ms().to_bits());
+            }
+        }
+        // Revert in one delta step: the chain comes back to the original
+        // scored state exactly, traces included.
+        let revert: Vec<(ComponentId, SiteId)> = (0..components)
+            .filter(|&c| state.sites()[c] != start[c])
+            .map(|c| (ComponentId(c), start[c]))
+            .collect();
+        let reverted = quality.evaluate_delta(&state, &revert);
+        let cold = quality.evaluate_scored(&origin);
+        prop_assert_eq!(reverted.sites(), cold.sites());
+        prop_assert_eq!(reverted.quality().performance.to_bits(), cold.quality().performance.to_bits());
+        prop_assert_eq!(reverted.quality().availability.to_bits(), cold.quality().availability.to_bits());
+        prop_assert_eq!(reverted.quality().cost.to_bits(), cold.quality().cost.to_bits());
+        prop_assert_eq!(reverted.quality().feasible, cold.quality().feasible);
+        for (a, b) in reverted.traces().iter().zip(cold.traces()) {
+            prop_assert_eq!(a.latency_ms().to_bits(), b.latency_ms().to_bits());
+        }
     }
 
     /// KL divergence is non-negative and zero for identical sample sets.
