@@ -107,6 +107,11 @@ pub struct SynthOptions {
     pub data_scale: f64,
     /// Shape of the paired workload.
     pub workload: WorkloadShape,
+    /// Traffic-volume scale of the paired workload: multiplies the requests
+    /// per day without changing the shape or the mix (1.0 reproduces the
+    /// historical volume). Use it to stress learning throughput with more
+    /// observations of the same behaviours.
+    pub volume_scale: f64,
     /// Number of placement sites of the paired [`SiteCatalog`], between 2
     /// and 16. `2` (the default) reproduces the paper's on-prem + one-cloud
     /// world exactly; larger counts generate additional elastic regions
@@ -127,6 +132,7 @@ impl Default for SynthOptions {
             call_depth: 4,
             data_scale: 1.0,
             workload: WorkloadShape::Diurnal,
+            volume_scale: 1.0,
             site_count: 2,
             seed: 42,
         }
@@ -146,6 +152,8 @@ pub enum SynthError {
     CallDepth(usize),
     /// Non-positive or non-finite data scale.
     DataScale(f64),
+    /// Non-positive or non-finite volume scale.
+    VolumeScale(f64),
     /// Site count outside 2–16.
     SiteCount(usize),
 }
@@ -162,6 +170,7 @@ impl std::fmt::Display for SynthError {
             SynthError::ApiCount(n) => write!(f, "API count {n} outside 1–components/3"),
             SynthError::CallDepth(d) => write!(f, "call depth {d} outside 2–12"),
             SynthError::DataScale(s) => write!(f, "data scale {s} must be positive and finite"),
+            SynthError::VolumeScale(s) => write!(f, "volume scale {s} must be positive and finite"),
             SynthError::SiteCount(n) => write!(f, "site count {n} outside the supported 2–16"),
         }
     }
@@ -280,8 +289,11 @@ impl SynthScenario {
                         .intensity(&self.workload.profile, day, fraction)
                 })
                 .fold(0.0f64, f64::max);
-            let rate =
-                self.workload.peak_rps * intensity * self.workload.burst_factor * traffic_scale;
+            let rate = self.workload.peak_rps
+                * intensity
+                * self.workload.burst_factor
+                * self.workload.volume_scale
+                * traffic_scale;
             for api_idx in 0..topology.api_count() {
                 let api_rate = rate * weights[api_idx] / total_weight;
                 for c in 0..n {
@@ -436,6 +448,7 @@ pub fn synthesize(options: SynthOptions) -> Result<SynthScenario, SynthError> {
         days: 1,
         peak_rps: 30.0,
         burst_factor: 1.0,
+        volume_scale: options.volume_scale,
         api_mix,
         day_jitter: 0.1,
         profile: DiurnalProfile::default(),
@@ -468,6 +481,9 @@ fn validate(options: &SynthOptions) -> Result<(), SynthError> {
     }
     if !(options.data_scale > 0.0) || !options.data_scale.is_finite() {
         return Err(SynthError::DataScale(options.data_scale));
+    }
+    if !(options.volume_scale > 0.0) || !options.volume_scale.is_finite() {
+        return Err(SynthError::VolumeScale(options.volume_scale));
     }
     if !(2..=16).contains(&options.site_count) {
         return Err(SynthError::SiteCount(options.site_count));
@@ -1050,6 +1066,41 @@ mod tests {
     }
 
     #[test]
+    fn volume_scale_reaches_the_paired_workload_without_perturbing_the_app() {
+        let calm = synthesize(SynthOptions {
+            seed: 17,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        let dense = synthesize(SynthOptions {
+            volume_scale: 10.0,
+            seed: 17,
+            ..SynthOptions::default()
+        })
+        .unwrap();
+        // Same application, denser workload.
+        assert_eq!(calm.topology, dense.topology);
+        assert_eq!(dense.workload.volume_scale, 10.0);
+        let mut a = calm.workload.clone();
+        let mut b = dense.workload.clone();
+        a.profile.day_seconds = 30;
+        b.profile.day_seconds = 30;
+        let calm_schedule = WorkloadGenerator::new(a).generate(&calm.topology).unwrap();
+        let dense_schedule = WorkloadGenerator::new(b).generate(&dense.topology).unwrap();
+        let ratio = dense_schedule.len() as f64 / calm_schedule.len() as f64;
+        assert!((8.0..12.0).contains(&ratio), "10x volume, got {ratio}x");
+        // And the analytic demand scales its rate-driven part accordingly.
+        let all: Vec<usize> = (0..50).collect();
+        let base = calm.topology.total_base_cpu();
+        let p_calm = calm.analytic_demand(1.0, 8, 600).peak_cpu(&all);
+        let p_dense = dense.analytic_demand(1.0, 8, 600).peak_cpu(&all);
+        assert!(
+            (p_dense - base) > 8.0 * (p_calm - base),
+            "analytic demand must track volume: {p_dense} vs {p_calm} (base {base})"
+        );
+    }
+
+    #[test]
     fn data_scale_grows_payloads_and_storage() {
         let small = synthesize(SynthOptions {
             data_scale: 1.0,
@@ -1196,6 +1247,13 @@ mod tests {
                     ..ok
                 },
                 SynthError::DataScale(0.0),
+            ),
+            (
+                SynthOptions {
+                    volume_scale: 0.0,
+                    ..ok
+                },
+                SynthError::VolumeScale(0.0),
             ),
         ];
         for (options, expected) in cases {

@@ -170,6 +170,11 @@ pub struct WorkloadOptions {
     /// Multiplier applied on top of the profile, used for the paper's 5×
     /// burst scenario.
     pub burst_factor: f64,
+    /// Requests-per-day scale: multiplies the arrival rate uniformly without
+    /// changing the diurnal shape, the mix, or the burst semantics. Use it to
+    /// grow traffic *volume* (more observations of the same behaviours) as
+    /// opposed to `burst_factor`, which models a scenario-level surge.
+    pub volume_scale: f64,
     /// Per-API share of the traffic as `(endpoint, weight)`. Weights are
     /// normalised internally; APIs missing from the topology are rejected.
     pub api_mix: Vec<(String, f64)>,
@@ -192,6 +197,7 @@ impl WorkloadOptions {
             days: 1,
             peak_rps: 60.0,
             burst_factor: 1.0,
+            volume_scale: 1.0,
             api_mix: vec![
                 ("/homeTimelineAPI".to_string(), 0.30),
                 ("/userTimelineAPI".to_string(), 0.15),
@@ -217,6 +223,7 @@ impl WorkloadOptions {
             days: 1,
             peak_rps: 45.0,
             burst_factor: 1.0,
+            volume_scale: 1.0,
             api_mix: vec![
                 ("/hotelsAPI".to_string(), 0.60),
                 ("/recommendationsAPI".to_string(), 0.38),
@@ -235,6 +242,14 @@ impl WorkloadOptions {
     /// user surge of the paper's hybrid-cloud scenario.
     pub fn with_burst(mut self, factor: f64) -> Self {
         self.burst_factor = factor;
+        self
+    }
+
+    /// Scale the traffic volume (builder style): `scale`× the requests per
+    /// day with an unchanged shape and mix. Unlike [`Self::with_burst`] this
+    /// models more observations of the same behaviours, not a surge scenario.
+    pub fn with_volume(mut self, scale: f64) -> Self {
+        self.volume_scale = scale;
         self
     }
 
@@ -321,6 +336,7 @@ impl WorkloadGenerator {
                 let rate = opts.peak_rps
                     * opts.shape.intensity(&opts.profile, day, fraction)
                     * opts.burst_factor
+                    * opts.volume_scale
                     * day_scale;
                 // Poisson-ish arrivals: the number of requests in this second
                 // is the integer part plus a Bernoulli remainder.
@@ -409,6 +425,29 @@ mod tests {
             (4.0..6.0).contains(&ratio),
             "5x burst should roughly quintuple the requests (ratio {ratio})"
         );
+    }
+
+    #[test]
+    fn volume_scale_multiplies_requests_without_changing_the_mix() {
+        let base = WorkloadGenerator::new(WorkloadOptions::social_network_default().with_seed(3))
+            .generate(&app())
+            .unwrap();
+        let dense = WorkloadGenerator::new(
+            WorkloadOptions::social_network_default()
+                .with_seed(3)
+                .with_volume(10.0),
+        )
+        .generate(&app())
+        .unwrap();
+        let ratio = dense.len() as f64 / base.len() as f64;
+        assert!(
+            (9.0..11.0).contains(&ratio),
+            "10x volume should roughly 10x the requests (ratio {ratio})"
+        );
+        // Same span of time, same read-dominated mix — only denser.
+        assert_eq!(dense.duration_s(), base.duration_s());
+        let counts = dense.counts_per_api();
+        assert!(counts["/homeTimelineAPI"] > counts["/registerAPI"]);
     }
 
     #[test]

@@ -12,16 +12,28 @@
 //! sweep with `ATLAS_SCALE_COMPONENTS=25,50`.
 
 use atlas_bench::print_row;
-use atlas_bench::scale::{run_scale_point_sites, sizes_from_env, sweep_points, write_scale_json};
+use atlas_bench::scale::{
+    run_scale_point_sites, run_scale_point_volume, sizes_from_env, sweep_points, volume_point,
+    write_scale_json,
+};
 
 fn main() {
     println!("Scale sweep: Atlas end-to-end on generated scenarios");
     println!("----------------------------------------------------");
+    let sizes = sizes_from_env();
     let mut points = Vec::new();
-    for (components, sites) in sweep_points(&sizes_from_env()) {
-        let p = run_scale_point_sites(components, sites);
+    for (components, sites) in sweep_points(&sizes) {
+        points.push(run_scale_point_sites(components, sites));
+    }
+    if let Some((components, volume)) = volume_point(&sizes) {
+        points.push(run_scale_point_volume(components, 2, volume));
+    }
+    for p in &points {
         print_row(
-            &format!("{} components / {} sites", p.components, p.sites),
+            &format!(
+                "{} components / {} sites / {:.0}x volume",
+                p.components, p.sites, p.volume_scale
+            ),
             &[
                 ("apis", p.apis as f64),
                 ("recommend_ms", p.recommend_ms),
@@ -29,11 +41,14 @@ fn main() {
                 ("scalar_evals_per_sec", p.scalar_evals_per_sec),
                 ("batch_evals_per_sec", p.batch_evals_per_sec),
                 ("delta_probe_evals_per_sec", p.delta_probe_evals_per_sec),
+                ("ingest_traces_per_sec", p.ingest_traces_per_sec),
+                ("learn_ms", p.learn_ms),
+                ("learn_speedup", p.learn_speedup),
+                ("distinct_trace_ratio", p.distinct_trace_ratio),
                 ("cache_hit_rate", p.cache_hit_rate),
                 ("plans", p.plans as f64),
             ],
         );
-        points.push(p);
     }
     write_scale_json(&points);
     println!(

@@ -9,11 +9,16 @@
 //! writes the machine-readable `BENCH_scale.json` CI tracks alongside
 //! `BENCH_recommender.json`.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadShape};
-use atlas_core::{MigrationPlan, QualityModel, Recommender, RecommenderConfig, LANE_WIDTH};
+use atlas_core::{
+    ApiProfile, ApplicationProfile, MigrationPlan, QualityModel, Recommender, RecommenderConfig,
+    LANE_WIDTH,
+};
 use atlas_sim::{ComponentId, SiteId};
+use atlas_telemetry::{us_to_ms, TelemetryStore, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,6 +34,19 @@ pub const MULTI_SITE_COMPONENTS: usize = 100;
 
 /// Site count of the multi-site sweep point.
 pub const MULTI_SITE_COUNT: usize = 4;
+
+/// Component count of the high-volume companion point (run at
+/// [`VOLUME_SCALE_FACTOR`]× the normal traffic next to the 2-site sweep, so
+/// the snapshot records how learning scales with traffic *volume* as opposed
+/// to application size).
+pub const VOLUME_COMPONENTS: usize = 100;
+
+/// Traffic-volume multiplier of the high-volume companion point.
+pub const VOLUME_SCALE_FACTOR: f64 = 10.0;
+
+/// Representative cap per API used by the learn microbench (matches the
+/// harness's `traces_per_api`).
+const LEARN_TRACES_PER_API: usize = 40;
 
 /// One measured point of the scale sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +86,31 @@ pub struct ScalePoint {
     /// Raw single-move `probe_delta` re-score throughput against a retained
     /// parent state (the local-search probe shape).
     pub delta_probe_evals_per_sec: f64,
+    /// Traffic-volume multiplier of the learning workload (1.0 = the normal
+    /// sweep; the volume companion runs at [`VOLUME_SCALE_FACTOR`]).
+    pub volume_scale: f64,
+    /// Total raw traces collected during the learning period.
+    pub raw_traces: usize,
+    /// Weighted representatives the clustered learner retains across every
+    /// API — the number of traces the kernel compiles, bounded by distinct
+    /// call-tree structures rather than traffic volume.
+    pub representative_traces: usize,
+    /// `representative_traces / raw_traces`: how much of the traffic is
+    /// structurally redundant (small = heavy dedup).
+    pub distinct_trace_ratio: f64,
+    /// Traces ingested per second when replaying the collected corpus into a
+    /// fresh arena-backed store (interning + column append + index upkeep).
+    pub ingest_traces_per_sec: f64,
+    /// Milliseconds of the shipped learning path: arena-indexed
+    /// `ApplicationProfile::learn` (clustered, weighted representatives)
+    /// plus the quality-kernel compile over those representatives.
+    pub learn_ms: f64,
+    /// Milliseconds of the Vec-store baseline: full-trace learning where
+    /// every per-API query clones the trace list, plus the kernel compile
+    /// over the retained (uncollapsed) traces.
+    pub learn_baseline_ms: f64,
+    /// `learn_baseline_ms / learn_ms`.
+    pub learn_speedup: f64,
 }
 
 /// The synthetic options used for one sweep size (public so tests and the
@@ -78,6 +121,11 @@ pub fn options_for(components: usize) -> SynthOptions {
 
 /// The synthetic options of one `(components, sites)` sweep point.
 pub fn options_for_sites(components: usize, sites: usize) -> SynthOptions {
+    options_for_volume(components, sites, 1.0)
+}
+
+/// The synthetic options of one `(components, sites, volume)` sweep point.
+pub fn options_for_volume(components: usize, sites: usize, volume_scale: f64) -> SynthOptions {
     SynthOptions {
         components,
         shape: CallGraphShape::Layered,
@@ -86,6 +134,7 @@ pub fn options_for_sites(components: usize, sites: usize) -> SynthOptions {
         call_depth: 4,
         data_scale: 1.0,
         workload: WorkloadShape::Diurnal,
+        volume_scale,
         site_count: sites,
         seed: 11,
     }
@@ -99,7 +148,15 @@ pub fn run_scale_point(components: usize) -> ScalePoint {
 /// Run the full pipeline at one `(components, sites)` point: multi-site
 /// points compile N×N link-cost tables and search the full site alphabet.
 pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
-    let synth = options_for_sites(components, sites);
+    run_scale_point_volume(components, sites, 1.0)
+}
+
+/// Run the full pipeline at one `(components, sites, volume)` point: the
+/// volume companion multiplies the learning traffic without changing the
+/// application, so its learn metrics isolate how ingest, profiling and
+/// kernel compilation scale with observation count.
+pub fn run_scale_point_volume(components: usize, sites: usize, volume_scale: f64) -> ScalePoint {
+    let synth = options_for_volume(components, sites, volume_scale);
     // Derive an on-prem CPU limit that forces offloading: 60 % of the peak
     // expected demand under the 5× burst, computed from the generator's
     // analytic demand (no simulation needed).
@@ -126,6 +183,7 @@ pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
     let stats = report.eval;
     let (scalar_evals_per_sec, batch_evals_per_sec, delta_probe_evals_per_sec) =
         throughput_microbench(&exp.quality, sites);
+    let learn = learn_microbench(&exp);
 
     ScalePoint {
         components,
@@ -142,6 +200,169 @@ pub fn run_scale_point_sites(components: usize, sites: usize) -> ScalePoint {
         scalar_evals_per_sec,
         batch_evals_per_sec,
         delta_probe_evals_per_sec,
+        volume_scale,
+        raw_traces: learn.raw_traces,
+        representative_traces: learn.representative_traces,
+        distinct_trace_ratio: learn.distinct_trace_ratio,
+        ingest_traces_per_sec: learn.ingest_traces_per_sec,
+        learn_ms: learn.learn_ms,
+        learn_baseline_ms: learn.learn_baseline_ms,
+        learn_speedup: learn.learn_speedup,
+    }
+}
+
+/// The learn microbench's measurements (folded into [`ScalePoint`]).
+struct LearnMetrics {
+    raw_traces: usize,
+    representative_traces: usize,
+    distinct_trace_ratio: f64,
+    ingest_traces_per_sec: f64,
+    learn_ms: f64,
+    learn_baseline_ms: f64,
+    learn_speedup: f64,
+}
+
+/// Measure the learning path against a Vec-store baseline on the
+/// experiment's collected telemetry.
+///
+/// Three timed regions:
+///
+/// 1. **Ingest**: replay the collected trace corpus into a fresh
+///    arena-backed store (name interning, column appends, per-API and
+///    per-edge index upkeep) → `ingest_traces_per_sec`.
+/// 2. **Clustered learn** (the shipped path): arena-indexed
+///    [`ApplicationProfile::learn`] — counts and means from columns,
+///    weighted structural representatives — plus the quality-kernel compile
+///    over those representatives → `learn_ms`.
+/// 3. **Vec-store baseline**: the pre-arena data path over the same corpus —
+///    every per-API query clones the full trace list (`traces_for_api` for
+///    counts/means/components, `recent_traces_for_api` for retention), and
+///    the kernel compiles every retained trace uncollapsed →
+///    `learn_baseline_ms`. Component resource profiles are cloned rather
+///    than re-learned (identical work in both paths), which under-counts
+///    the baseline and makes the reported speedup conservative.
+fn learn_microbench(exp: &Experiment) -> LearnMetrics {
+    let component_index: Vec<String> = exp
+        .topology
+        .components()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let stateful: Vec<String> = exp
+        .topology
+        .stateful_components()
+        .into_iter()
+        .map(|c| exp.topology.component_name(c).to_string())
+        .collect();
+
+    // The raw corpus, materialized once: this is the Vec store's native
+    // state, and the replay source for the ingest measurement.
+    let corpus: Vec<(String, Vec<Trace>)> = exp
+        .store
+        .apis()
+        .into_iter()
+        .map(|api| {
+            let traces = exp.store.traces_for_api(&api);
+            (api, traces)
+        })
+        .collect();
+    let raw_traces: usize = corpus.iter().map(|(_, t)| t.len()).sum();
+
+    // 1. Ingest throughput (clone the corpus outside the timed region).
+    let replay: Vec<Trace> = corpus
+        .iter()
+        .flat_map(|(_, traces)| traces.iter().cloned())
+        .collect();
+    let fresh = TelemetryStore::new();
+    let start = Instant::now();
+    for trace in replay {
+        fresh.ingest_trace(trace);
+    }
+    let ingest_s = start.elapsed().as_secs_f64();
+    let ingest_traces_per_sec = raw_traces as f64 / ingest_s.max(1e-9);
+
+    // 2. The shipped clustered path: learn + kernel compile.
+    let start = Instant::now();
+    let profile = ApplicationProfile::learn(&exp.store, &stateful, LEARN_TRACES_PER_API);
+    let model = QualityModel::for_catalog(
+        profile,
+        exp.atlas.footprint().clone(),
+        &exp.catalog,
+        exp.atlas.demand().clone(),
+        exp.preferences.clone(),
+        exp.current.clone(),
+        component_index.clone(),
+    );
+    let learn_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    let representative_traces = model.kernel().trace_count();
+
+    // 3. The Vec-store baseline over the same corpus.
+    let start = Instant::now();
+    let mut apis = std::collections::HashMap::new();
+    for (endpoint, traces) in &corpus {
+        // `traces_for_api` semantics: one full clone per query.
+        let all: Vec<Trace> = traces.clone();
+        let request_count = all.len();
+        let mean_latency_ms = all
+            .iter()
+            .map(|t| us_to_ms(t.end_to_end_latency_us()))
+            .sum::<f64>()
+            / request_count.max(1) as f64;
+        let mut components = HashSet::new();
+        let mut stateful_used = HashSet::new();
+        for trace in &all {
+            for node in &trace.nodes {
+                if stateful.contains(&node.span.component) {
+                    stateful_used.insert(node.span.component.clone());
+                }
+                components.insert(node.span.component.clone());
+            }
+        }
+        // `recent_traces_for_api` semantics: clone, sort, keep the tail.
+        let mut sorted = traces.clone();
+        sorted.sort_by(|a, b| {
+            let (sa, sb) = (a.root().start_us, b.root().start_us);
+            sa.cmp(&sb).then_with(|| a.trace_id.cmp(&b.trace_id))
+        });
+        let retained: Vec<Trace> =
+            sorted[sorted.len().saturating_sub(LEARN_TRACES_PER_API)..].to_vec();
+        apis.insert(
+            endpoint.clone(),
+            ApiProfile {
+                endpoint: endpoint.clone(),
+                trace_weights: vec![1.0; retained.len()],
+                traces: retained,
+                components,
+                stateful_components: stateful_used,
+                mean_latency_ms,
+                request_count,
+            },
+        );
+    }
+    let baseline_profile = ApplicationProfile {
+        apis,
+        components: exp.atlas.profile().components.clone(),
+    };
+    let baseline_model = QualityModel::for_catalog(
+        baseline_profile,
+        exp.atlas.footprint().clone(),
+        &exp.catalog,
+        exp.atlas.demand().clone(),
+        exp.preferences.clone(),
+        exp.current.clone(),
+        component_index,
+    );
+    let learn_baseline_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    std::hint::black_box(baseline_model.kernel().trace_count());
+
+    LearnMetrics {
+        raw_traces,
+        representative_traces,
+        distinct_trace_ratio: representative_traces as f64 / (raw_traces as f64).max(1.0),
+        ingest_traces_per_sec,
+        learn_ms,
+        learn_baseline_ms,
+        learn_speedup: learn_baseline_ms / learn_ms.max(1e-9),
     }
 }
 
@@ -242,6 +463,20 @@ pub fn sweep_points(sizes: &[usize]) -> Vec<(usize, usize)> {
     points
 }
 
+/// The `(components, volume_scale)` of the sweep's high-volume companion: a
+/// 2-site point at [`VOLUME_SCALE_FACTOR`]× the learning traffic, run at
+/// [`VOLUME_COMPONENTS`] when the sweep covers it, otherwise at the smallest
+/// swept size (narrow CI overrides). `None` only for an empty sweep.
+pub fn volume_point(sizes: &[usize]) -> Option<(usize, f64)> {
+    let smallest = *sizes.iter().min()?;
+    let components = if sizes.contains(&VOLUME_COMPONENTS) {
+        VOLUME_COMPONENTS
+    } else {
+        smallest
+    };
+    Some((components, VOLUME_SCALE_FACTOR))
+}
+
 /// Parse an `ATLAS_SCALE_COMPONENTS`-style override. An override that
 /// yields no usable size falls back to the *smallest* default only (never
 /// silently to the full sweep: whoever sets the variable wants a narrow
@@ -284,7 +519,15 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "      \"score_ms\": {:.2},\n",
                 "      \"scalar_evals_per_sec\": {:.1},\n",
                 "      \"batch_evals_per_sec\": {:.1},\n",
-                "      \"delta_probe_evals_per_sec\": {:.1}\n",
+                "      \"delta_probe_evals_per_sec\": {:.1},\n",
+                "      \"volume_scale\": {:.1},\n",
+                "      \"raw_traces\": {},\n",
+                "      \"representative_traces\": {},\n",
+                "      \"distinct_trace_ratio\": {:.4},\n",
+                "      \"ingest_traces_per_sec\": {:.1},\n",
+                "      \"learn_ms\": {:.2},\n",
+                "      \"learn_baseline_ms\": {:.2},\n",
+                "      \"learn_speedup\": {:.2}\n",
                 "    }}{}\n"
             ),
             p.components,
@@ -301,6 +544,14 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             p.scalar_evals_per_sec,
             p.batch_evals_per_sec,
             p.delta_probe_evals_per_sec,
+            p.volume_scale,
+            p.raw_traces,
+            p.representative_traces,
+            p.distinct_trace_ratio,
+            p.ingest_traces_per_sec,
+            p.learn_ms,
+            p.learn_baseline_ms,
+            p.learn_speedup,
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
@@ -331,6 +582,7 @@ mod tests {
         let point = run_scale_point(25);
         assert_eq!(point.components, 25);
         assert_eq!(point.sites, 2);
+        assert_eq!(point.volume_scale, 1.0);
         assert!(point.plans > 0, "the recommender must produce plans");
         assert!(point.unique_evaluations > 0);
         assert!(point.recommend_ms > 0.0);
@@ -340,6 +592,37 @@ mod tests {
         assert!(point.scalar_evals_per_sec > 0.0);
         assert!(point.batch_evals_per_sec > 0.0);
         assert!(point.delta_probe_evals_per_sec > 0.0);
+        // Learn metrics: the kernel compiles representatives, never more
+        // traces than the raw corpus holds.
+        assert!(point.raw_traces > 0);
+        assert!(point.representative_traces > 0);
+        assert!(point.representative_traces <= point.raw_traces);
+        assert!((0.0..=1.0).contains(&point.distinct_trace_ratio));
+        assert!(point.ingest_traces_per_sec > 0.0);
+        assert!(point.learn_ms > 0.0);
+        assert!(point.learn_baseline_ms > 0.0);
+        assert!(point.learn_speedup > 0.0);
+    }
+
+    #[test]
+    fn volume_point_collapses_traffic_into_representatives() {
+        let calm = run_scale_point_volume(25, 2, 1.0);
+        let dense = run_scale_point_volume(25, 2, VOLUME_SCALE_FACTOR);
+        assert_eq!(dense.volume_scale, VOLUME_SCALE_FACTOR);
+        // 10× the traffic is observed…
+        assert!(
+            dense.raw_traces as f64 > 5.0 * calm.raw_traces as f64,
+            "volume must grow the corpus: {} vs {}",
+            dense.raw_traces,
+            calm.raw_traces
+        );
+        // …but the kernel still compiles a capped representative set.
+        assert!(
+            dense.representative_traces <= dense.apis * LEARN_TRACES_PER_API,
+            "representatives stay bounded by the per-API cap: {}",
+            dense.representative_traces
+        );
+        assert!(dense.distinct_trace_ratio < calm.distinct_trace_ratio * 0.5);
     }
 
     #[test]
@@ -369,6 +652,14 @@ mod tests {
             scalar_evals_per_sec: 30_000.0,
             batch_evals_per_sec: 90_000.0,
             delta_probe_evals_per_sec: 150_000.0,
+            volume_scale: 1.0,
+            raw_traces: 1_200,
+            representative_traces: 60,
+            distinct_trace_ratio: 0.05,
+            ingest_traces_per_sec: 250_000.0,
+            learn_ms: 4.5,
+            learn_baseline_ms: 45.0,
+            learn_speedup: 10.0,
         };
         let mut q = p.clone();
         q.components = 50;
@@ -384,6 +675,14 @@ mod tests {
         assert!(json.contains("\"scalar_evals_per_sec\": 30000.0"));
         assert!(json.contains("\"batch_evals_per_sec\": 90000.0"));
         assert!(json.contains("\"delta_probe_evals_per_sec\": 150000.0"));
+        assert!(json.contains("\"volume_scale\": 1.0"));
+        assert!(json.contains("\"raw_traces\": 1200"));
+        assert!(json.contains("\"representative_traces\": 60"));
+        assert!(json.contains("\"distinct_trace_ratio\": 0.0500"));
+        assert!(json.contains("\"ingest_traces_per_sec\": 250000.0"));
+        assert!(json.contains("\"learn_ms\": 4.50"));
+        assert!(json.contains("\"learn_baseline_ms\": 45.00"));
+        assert!(json.contains("\"learn_speedup\": 10.00"));
         // No trailing comma after the last point.
         assert!(!json.contains("},\n  ]"));
     }
@@ -409,5 +708,17 @@ mod tests {
         // Narrow CI override: the companion follows the smallest size.
         let narrow = sweep_points(&[25]);
         assert_eq!(narrow, vec![(25, 2), (25, MULTI_SITE_COUNT)]);
+    }
+
+    #[test]
+    fn sweeps_always_carry_a_volume_companion() {
+        // Full default sweep: the companion runs at 100 components.
+        assert_eq!(
+            volume_point(&DEFAULT_SIZES),
+            Some((VOLUME_COMPONENTS, VOLUME_SCALE_FACTOR))
+        );
+        // Narrow CI override: it follows the smallest size.
+        assert_eq!(volume_point(&[25]), Some((25, VOLUME_SCALE_FACTOR)));
+        assert_eq!(volume_point(&[]), None);
     }
 }

@@ -4,8 +4,9 @@
 //!
 //! * `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
 //! * range strategies (`0u8..=1`, `0.0f64..100.0`, `1usize..20`, ...)
+//! * tuples of strategies (`(0u8..3, any::<u64>())`), up to arity 4
 //! * `prop::collection::vec(strategy, len)` with a fixed or ranged length
-//! * `any::<bool>()`
+//! * `any::<bool>()` / `any::<u64>()` (and the other unsigned widths)
 //! * `prop_assert!` / `prop_assert_eq!`
 //!
 //! Each generated test runs its body over [`CASES`] deterministically seeded
@@ -66,6 +67,22 @@ macro_rules! range_strategy {
 }
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+// Tuples of strategies draw each element in order, mirroring the real
+// crate's tuple `Strategy` impls (used as `prop::collection::vec` elements).
+macro_rules! tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
 /// Strategy returned by [`any`].
 pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -85,6 +102,17 @@ impl Arbitrary for bool {
         rng.gen::<bool>()
     }
 }
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize);
 
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;

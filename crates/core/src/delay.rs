@@ -127,6 +127,36 @@ impl DelayInjector {
             / traces.len() as f64
     }
 
+    /// Weighted mean post-migration latency (ms) of an API: each trace is a
+    /// clustered representative standing for `weights[i]` raw traces, so the
+    /// mean is `Σ wᵢ·latᵢ / Σ wᵢ`. With an empty (or all-ones) weight slice
+    /// this reproduces [`DelayInjector::estimate_api_latency_ms`] bit for
+    /// bit, which is what keeps the compiled kernel and this interpretive
+    /// oracle exactly aligned on unclustered profiles.
+    pub fn estimate_api_latency_ms_weighted(
+        &self,
+        traces: &[Trace],
+        weights: &[f64],
+        footprint: &NetworkFootprint,
+        current: &Placement,
+        candidate: &Placement,
+    ) -> f64 {
+        if traces.is_empty() {
+            return 0.0;
+        }
+        if weights.is_empty() {
+            return self.estimate_api_latency_ms(traces, footprint, current, candidate);
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, t) in traces.iter().enumerate() {
+            let w = weights.get(i).copied().unwrap_or(1.0);
+            num += w * self.estimate_trace_latency_ms(t, footprint, current, candidate);
+            den += w;
+        }
+        num / den
+    }
+
     /// The estimated latency distribution (ms, one sample per trace), used
     /// for the drift-detection baseline (Figure 7 / §4.3).
     pub fn estimate_latency_distribution_ms(

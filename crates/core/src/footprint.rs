@@ -184,12 +184,9 @@ impl FootprintLearner {
     }
 
     fn window_count(&self, store: &TelemetryStore, windowing: &Windowing) -> usize {
-        let mut max_s = 0u64;
-        for api in store.apis() {
-            for t in store.traces_for_api(&api) {
-                max_s = max_s.max(t.root().start_us / 1_000_000);
-            }
-        }
+        // The latest trace timestamp is tracked incrementally at ingest; no
+        // trace needs to be materialised (let alone all of them) to find it.
+        let mut max_s = store.latest_trace_second().unwrap_or(0);
         let traffic = store.traffic();
         for edge in traffic.edges() {
             for dir in [Direction::Request, Direction::Response] {

@@ -262,12 +262,21 @@ impl LaneScratch {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredTrace {
     latency_ms: f64,
+    weight: f64,
 }
 
 impl ScoredTrace {
     /// The trace's estimated end-to-end latency under the parent plan (ms).
     pub fn latency_ms(&self) -> f64 {
         self.latency_ms
+    }
+
+    /// The clustering weight of the trace (the number of raw traces this
+    /// representative stands for; 1.0 for unclustered profiles). Carried in
+    /// the per-trace state so delta re-sums weight the inherited latencies
+    /// exactly like a cold score.
+    pub fn weight(&self) -> f64 {
+        self.weight
     }
 }
 
@@ -326,6 +335,10 @@ enum Op {
 #[derive(Debug, Clone)]
 struct CompiledTrace {
     root_start: f64,
+    /// Clustering weight: how many raw traces this (representative) trace
+    /// stands for. 1.0 for unclustered profiles, which keeps the weighted
+    /// per-API mean bit-identical to the unweighted one.
+    weight: f64,
     ops: Vec<Op>,
     link_costs: Vec<f64>,
     /// Ascending, deduplicated ids of every indexed component referenced by
@@ -342,6 +355,7 @@ struct CompiledTrace {
 impl CompiledTrace {
     fn compile(
         trace: &Trace,
+        weight: f64,
         api: &str,
         footprint: &NetworkFootprint,
         network: &SiteNetwork,
@@ -375,6 +389,7 @@ impl CompiledTrace {
         let mask = touched.iter().fold(0u64, |m, &id| m | (1u64 << (id % 64)));
         Self {
             root_start: trace.root().start_us as f64,
+            weight,
             ops,
             link_costs,
             touched,
@@ -501,7 +516,9 @@ impl CompiledTrace {
             }
         }
         for (slot, &c) in acc[..lanes].iter_mut().zip(cur[..lanes].iter()) {
-            *slot += (c - self.root_start).max(0.0) / 1_000.0;
+            // Same schedule as the scalar path: latency first, then the
+            // clustering weight — `weight * latency` per trace.
+            *slot += self.weight * ((c - self.root_start).max(0.0) / 1_000.0);
         }
     }
 }
@@ -750,6 +767,11 @@ impl ConstraintKernel {
 struct CompiledApi {
     weight: f64,
     baseline_ms: f64,
+    /// Total clustering weight of the compiled traces (Σ wᵢ in trace
+    /// order). With unit weights this is exactly `traces.len() as f64`, so
+    /// the weighted per-API mean `Σ wᵢ·latᵢ / Σ wᵢ` degenerates bitwise to
+    /// the unweighted `Σ latᵢ / len`.
+    trace_weight_total: f64,
     stateful: Vec<u32>,
     traces: Vec<CompiledTrace>,
 }
@@ -801,15 +823,30 @@ impl CompiledQuality {
                 .filter_map(|c| id_of.get(c.as_str()).copied())
                 .collect();
             stateful.sort_unstable();
-            let traces = api
+            let traces: Vec<CompiledTrace> = api
                 .traces
                 .iter()
-                .map(|t| CompiledTrace::compile(t, name, footprint, network, current, &id_of))
+                .enumerate()
+                .map(|(i, t)| {
+                    CompiledTrace::compile(
+                        t,
+                        api.trace_weight(i),
+                        name,
+                        footprint,
+                        network,
+                        current,
+                        &id_of,
+                    )
+                })
                 .collect();
+            // Σ wᵢ in trace order, so unit weights reproduce `len() as f64`
+            // exactly.
+            let trace_weight_total = traces.iter().map(|t| t.weight).sum();
             api_index.insert(name.clone(), apis.len());
             apis.push(CompiledApi {
                 weight: preferences.api_weight(name),
                 baseline_ms: api.mean_latency_ms.max(1e-6),
+                trace_weight_total,
                 stateful,
                 traces,
             });
@@ -843,19 +880,20 @@ impl CompiledQuality {
         self.api_index.get(api).copied()
     }
 
-    /// Mean post-migration latency (ms) of one compiled API under the
-    /// candidate site assignment (0.0 when no traces were retained, like
-    /// the interpretive estimate).
+    /// Weighted mean post-migration latency (ms) of one compiled API under
+    /// the candidate site assignment: `Σ wᵢ·latᵢ / Σ wᵢ` over the retained
+    /// (representative) traces. 0.0 when no traces were retained, like the
+    /// interpretive estimate.
     pub fn api_latency_ms(&self, slot: usize, sites: &[SiteId], stack: &mut Vec<WaveFrame>) -> f64 {
-        let traces = &self.apis[slot].traces;
-        if traces.is_empty() {
+        let api = &self.apis[slot];
+        if api.traces.is_empty() {
             return 0.0;
         }
-        traces
+        api.traces
             .iter()
-            .map(|t| t.run(sites, self.site_count, stack))
+            .map(|t| t.weight * t.run(sites, self.site_count, stack))
             .sum::<f64>()
-            / traces.len() as f64
+            / api.trace_weight_total
     }
 
     /// `Q_Perf(p)`: weighted mean of per-API latency ratios.
@@ -900,7 +938,6 @@ impl CompiledQuality {
         let mut weight_sum = 0.0;
         for api in &self.apis {
             acc[..lanes].iter_mut().for_each(|a| *a = 0.0);
-            let len = api.traces.len() as f64;
             for trace in &api.traces {
                 trace.run_lanes(soa, lanes, self.site_count, cur, base, wend, acc);
             }
@@ -910,7 +947,7 @@ impl CompiledQuality {
                 let estimated = if api.traces.is_empty() {
                     0.0f64
                 } else {
-                    acc[l] / len
+                    acc[l] / api.trace_weight_total
                 }
                 .max(1e-9);
                 total[l] += api.weight * estimated / api.baseline_ms;
@@ -941,10 +978,13 @@ impl CompiledQuality {
                 let mut sum = 0.0;
                 for trace in &api.traces {
                     let latency_ms = trace.run(sites, self.site_count, stack);
-                    traces.push(ScoredTrace { latency_ms });
-                    sum += latency_ms;
+                    traces.push(ScoredTrace {
+                        latency_ms,
+                        weight: trace.weight,
+                    });
+                    sum += trace.weight * latency_ms;
                 }
-                estimated = sum / api.traces.len() as f64;
+                estimated = sum / api.trace_weight_total;
             }
             let estimated = estimated.max(1e-9);
             total += api.weight * estimated / api.baseline_ms;
@@ -996,10 +1036,13 @@ impl CompiledQuality {
                     } else {
                         parent.latency_ms
                     };
-                    next.push(ScoredTrace { latency_ms });
-                    sum += latency_ms;
+                    next.push(ScoredTrace {
+                        latency_ms,
+                        weight: trace.weight,
+                    });
+                    sum += trace.weight * latency_ms;
                 }
-                estimated = sum / api.traces.len() as f64;
+                estimated = sum / api.trace_weight_total;
             }
             let estimated = estimated.max(1e-9);
             total += api.weight * estimated / api.baseline_ms;
@@ -1093,6 +1136,7 @@ mod tests {
             ApiProfile {
                 endpoint: "/api".to_string(),
                 traces: vec![trace.clone(), trace],
+                trace_weights: vec![],
                 components: ["Frontend", "Store", "ThirdPartyCDN"]
                     .iter()
                     .map(|s| s.to_string())
@@ -1147,6 +1191,7 @@ mod tests {
             ApiProfile {
                 endpoint: "/api".to_string(),
                 traces: vec![trace.clone(), trace],
+                trace_weights: vec![],
                 components: ["Frontend", "Store", "ThirdPartyCDN"]
                     .iter()
                     .map(|s| s.to_string())

@@ -17,13 +17,25 @@ pub struct ApiProfile {
     /// Endpoint name (root operation of its traces).
     pub endpoint: String,
     /// Sample traces retained for delay injection (the paper keeps ~100 per
-    /// API once the latency stabilises).
+    /// API once the latency stabilises). With clustering these are weighted
+    /// *representatives*: one trace per distinct call-tree structure.
     pub traces: Vec<Trace>,
-    /// Components used by the API (any span in any retained trace).
+    /// Weight of each retained trace (parallel to `traces`): the number of
+    /// raw traces the representative stands for. An empty vector means every
+    /// retained trace has weight 1.0 (unclustered learning).
+    ///
+    /// Invariant: all downstream per-API latency means are the weighted mean
+    /// `Σ wᵢ·latᵢ / Σ wᵢ`. With unit weights this reproduces the unweighted
+    /// mean bit for bit (`1.0 · x == x` and a sum of ones equals the exact
+    /// integer length), so weighted and unweighted scoring agree exactly
+    /// whenever every trace is structurally unique.
+    pub trace_weights: Vec<f64>,
+    /// Components used by the API (any span in any of its traces).
     pub components: HashSet<String>,
     /// Stateful components used by the API (`SC(A)` in Eq. 3).
     pub stateful_components: HashSet<String>,
-    /// Mean observed end-to-end latency in milliseconds.
+    /// Mean observed end-to-end latency in milliseconds (over *all* observed
+    /// traces, not only the retained representatives).
     pub mean_latency_ms: f64,
     /// Number of requests observed over the learning period.
     pub request_count: usize,
@@ -36,6 +48,22 @@ impl ApiProfile {
             .iter()
             .map(|t| atlas_telemetry::us_to_ms(t.end_to_end_latency_us()))
             .collect()
+    }
+
+    /// Weight of retained trace `i` (1.0 when no weights were recorded).
+    pub fn trace_weight(&self, i: usize) -> f64 {
+        self.trace_weights.get(i).copied().unwrap_or(1.0)
+    }
+
+    /// Total weight of the retained traces (the raw trace count they stand
+    /// for). Summed in trace order so unit weights reproduce `len() as f64`
+    /// exactly.
+    pub fn weight_total(&self) -> f64 {
+        if self.trace_weights.is_empty() {
+            self.traces.len() as f64
+        } else {
+            self.trace_weights.iter().sum()
+        }
     }
 }
 
@@ -70,46 +98,71 @@ pub struct ApplicationProfile {
 }
 
 impl ApplicationProfile {
-    /// Learn the application profile from the telemetry store.
+    /// Learn the application profile from the telemetry store, collapsing
+    /// each API's traces into weighted structural representatives.
     ///
     /// `stateful_components` is deployment-level knowledge (which containers
-    /// have persistent volumes); `traces_per_api` bounds how many traces are
-    /// retained per API for delay injection.
+    /// have persistent volumes); `traces_per_api` caps how many weighted
+    /// *representatives* are retained per API for delay injection, so the
+    /// retained set scales with distinct behaviours rather than traffic
+    /// volume.
     pub fn learn(
         store: &TelemetryStore,
         stateful_components: &[String],
         traces_per_api: usize,
     ) -> Self {
+        Self::learn_with(store, stateful_components, traces_per_api, true)
+    }
+
+    /// Learn without trace clustering: retain the `traces_per_api` most
+    /// recent traces of each API with unit weights, reproducing the
+    /// pre-clustering (full-trace) data path. Used as the comparison
+    /// baseline for the clustered learner in tests and benchmarks.
+    pub fn learn_unclustered(
+        store: &TelemetryStore,
+        stateful_components: &[String],
+        traces_per_api: usize,
+    ) -> Self {
+        Self::learn_with(store, stateful_components, traces_per_api, false)
+    }
+
+    fn learn_with(
+        store: &TelemetryStore,
+        stateful_components: &[String],
+        traces_per_api: usize,
+        clustered: bool,
+    ) -> Self {
         let stateful: HashSet<&str> = stateful_components.iter().map(String::as_str).collect();
 
         let mut apis = HashMap::new();
         for endpoint in store.apis() {
-            let all = store.traces_for_api(&endpoint);
-            let request_count = all.len();
-            let mean_latency_ms = if all.is_empty() {
-                0.0
+            // Request count and mean latency come straight from the arena's
+            // root-latency column: no trace is materialised for them.
+            let request_count = store.api_trace_count(&endpoint);
+            let mean_latency_ms = store.api_mean_latency_ms(&endpoint);
+            let (traces, trace_weights) = if clustered {
+                let reps = store.weighted_traces_for_api(&endpoint, traces_per_api);
+                let weights: Vec<f64> = reps.iter().map(|r| r.weight).collect();
+                (reps.into_iter().map(|r| r.trace).collect(), weights)
             } else {
-                all.iter()
-                    .map(|t| atlas_telemetry::us_to_ms(t.end_to_end_latency_us()))
-                    .sum::<f64>()
-                    / all.len() as f64
+                let traces = store.recent_traces_for_api(&endpoint, traces_per_api);
+                let weights = vec![1.0; traces.len()];
+                (traces, weights)
             };
-            let traces = store.recent_traces_for_api(&endpoint, traces_per_api);
             let mut components = HashSet::new();
             let mut stateful_used = HashSet::new();
-            for trace in &traces {
-                for c in trace.components() {
-                    components.insert(c.to_string());
-                    if stateful.contains(c) {
-                        stateful_used.insert(c.to_string());
-                    }
+            for c in store.api_components(&endpoint) {
+                if stateful.contains(c.as_str()) {
+                    stateful_used.insert(c.clone());
                 }
+                components.insert(c);
             }
             apis.insert(
                 endpoint.clone(),
                 ApiProfile {
                     endpoint,
                     traces,
+                    trace_weights,
                     components,
                     stateful_components: stateful_used,
                     mean_latency_ms,
@@ -257,5 +310,27 @@ mod tests {
         let api = &profile.apis["/loginAPI"];
         assert_eq!(api.latency_samples_ms().len(), api.traces.len());
         assert!(api.latency_samples_ms().iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn clustered_weights_cover_the_observed_requests() {
+        let profile = learned_profile();
+        for api in profile.apis.values() {
+            assert_eq!(api.trace_weights.len(), api.traces.len());
+            assert!(api.trace_weights.iter().all(|&w| w >= 1.0));
+            let total = api.weight_total();
+            assert!(
+                total <= api.request_count as f64,
+                "{}: weights {} exceed requests {}",
+                api.endpoint,
+                total,
+                api.request_count
+            );
+            // The representative cap binds on structures, not volume: when
+            // every structure fits, the weights account for every request.
+            if api.traces.len() < 50 {
+                assert_eq!(total, api.request_count as f64);
+            }
+        }
     }
 }

@@ -315,8 +315,9 @@ impl QualityModel {
         let Some(profile) = self.profile.apis.get(api) else {
             return 0.0;
         };
-        self.injector.estimate_api_latency_ms(
+        self.injector.estimate_api_latency_ms_weighted(
             &profile.traces,
+            &profile.trace_weights,
             &self.footprint,
             &self.current,
             plan.placement(),

@@ -1,0 +1,671 @@
+//! Columnar trace arena: the storage engine behind [`crate::TelemetryStore`].
+//!
+//! The paper's telemetry server retains one trace per request; at realistic
+//! traffic that is millions of heap-heavy span trees per day. The arena
+//! normalises ingested [`Trace`]s the way a columnar engine would:
+//!
+//! * **Interning** — component and operation names are mapped to dense `u32`
+//!   ids once at ingest ([`NameInterner`]); queries and indexes operate on
+//!   ids and only resolve back to strings at the API boundary.
+//! * **SoA span columns** — spans live in flat parallel columns
+//!   (`span_parent` / `span_component` / `span_start_us` / …) addressed
+//!   through a CSR-style `trace_offsets` column, with per-trace root
+//!   columns (`api`, `root_start_us`, `root_duration_us`) denormalised for
+//!   O(1) access. One span costs ~44 bytes of column data instead of an
+//!   owned `Span` (two heap `String`s plus tree node bookkeeping).
+//! * **Incremental indexes** — a per-API posting list kept sorted by
+//!   `(root_start_us, trace)` and a per-directed-edge posting list of
+//!   `(trace, invocation count)` are maintained at ingest, so
+//!   `apis()` / `traces_for_api` / `windowed_invocations` /
+//!   `api_request_counts_in` answer from indexes instead of O(total-traces)
+//!   rescans.
+//!
+//! Consumers that only need to *read* traces borrow [`TraceView`]s over the
+//! columns; full [`Trace`] values are materialised only when a caller needs
+//! an owned tree (e.g. the retained representatives of an API profile).
+//!
+//! On top of the columns the arena offers a **structural clustering** pass
+//! ([`TraceArena::weighted_representatives`]): traces of one API are grouped
+//! by call-tree signature (parent indices + component ids, which is exactly
+//! the information delay injection consumes — operation names and absolute
+//! timestamps do not change how a plan re-times a trace tree), and each
+//! cluster is collapsed to one representative weighted by its member count.
+//! The representative is the member whose end-to-end latency is closest to
+//! the cluster mean, so per-API weighted means stay close to the full-trace
+//! means. A cluster of size one is represented by the trace itself with
+//! weight 1.0, which keeps downstream weighted scoring bit-identical to
+//! unweighted scoring when every trace is structurally unique.
+
+use std::collections::HashMap;
+
+use crate::network::PairKey;
+use crate::span::{Span, SpanId, TraceId};
+use crate::trace::Trace;
+use crate::window::Windowing;
+use crate::{us_to_ms, Micros, Seconds};
+
+/// Sentinel parent index marking the root span of a trace.
+const NO_PARENT: u32 = u32::MAX;
+
+/// A string interner mapping names to dense `u32` ids.
+///
+/// Ids are assigned in first-seen order and never recycled; resolution is an
+/// index into a flat `Vec<String>`.
+#[derive(Debug, Default, Clone)]
+pub struct NameInterner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl NameInterner {
+    /// Intern `name`, returning its id (allocating one if unseen).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Id of `name` if it has been interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all interned names in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+/// An owned representative trace produced by the clustering pass, carrying
+/// the number of raw traces it stands for.
+#[derive(Debug, Clone)]
+pub struct WeightedTrace {
+    /// The materialised representative trace.
+    pub trace: Trace,
+    /// Number of raw traces collapsed into this representative (≥ 1). Used
+    /// as the weight of the representative in per-API weighted means.
+    pub weight: f64,
+}
+
+/// Columnar, index-accelerated storage for ingested traces.
+#[derive(Debug, Default)]
+pub struct TraceArena {
+    components: NameInterner,
+    operations: NameInterner,
+
+    // Per-trace columns.
+    trace_ids: Vec<TraceId>,
+    /// CSR offsets into the span columns; `trace_offsets[i]..trace_offsets[i+1]`
+    /// is the span range of trace `i`. Always `trace_count + 1` entries.
+    trace_offsets: Vec<u32>,
+    /// Interned root-operation (API endpoint) id per trace.
+    api: Vec<u32>,
+    root_start_us: Vec<Micros>,
+    root_duration_us: Vec<Micros>,
+
+    // Per-span columns, root first, in `Trace::nodes` order (sorted by
+    // `(start_us, span_id)` with the root relocated to slot 0).
+    span_parent: Vec<u32>,
+    span_component: Vec<u32>,
+    span_operation: Vec<u32>,
+    span_id: Vec<SpanId>,
+    span_start_us: Vec<Micros>,
+    span_duration_us: Vec<Micros>,
+
+    // Incremental indexes.
+    /// API id → trace indices sorted by `(root_start_us, trace index)`.
+    by_api: HashMap<u32, Vec<u32>>,
+    /// Directed component edge → `(trace index, invocation count)` postings
+    /// in ingest order. Self-calls are never recorded.
+    by_edge: HashMap<(u32, u32), Vec<(u32, u32)>>,
+    max_root_start_us: Option<Micros>,
+}
+
+impl TraceArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.trace_ids.len()
+    }
+
+    /// Whether the arena holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.trace_ids.is_empty()
+    }
+
+    /// Total number of stored spans across all traces.
+    pub fn span_count(&self) -> usize {
+        self.span_parent.len()
+    }
+
+    /// Ingest one trace: intern its names, append its spans to the columns
+    /// and update the per-API and per-edge indexes.
+    pub fn push(&mut self, trace: &Trace) -> u32 {
+        let idx = self.trace_ids.len() as u32;
+        let root = trace.root();
+        let api_id = self.operations.intern(&root.operation);
+
+        self.trace_ids.push(trace.trace_id);
+        self.api.push(api_id);
+        self.root_start_us.push(root.start_us);
+        self.root_duration_us.push(root.duration_us);
+
+        if self.trace_offsets.is_empty() {
+            self.trace_offsets.push(0);
+        }
+        let mut edge_counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for node in &trace.nodes {
+            let comp = self.components.intern(&node.span.component);
+            self.span_parent.push(match node.parent {
+                Some(p) => p as u32,
+                None => NO_PARENT,
+            });
+            self.span_component.push(comp);
+            self.span_operation
+                .push(self.operations.intern(&node.span.operation));
+            self.span_id.push(node.span.span_id);
+            self.span_start_us.push(node.span.start_us);
+            self.span_duration_us.push(node.span.duration_us);
+            if let Some(p) = node.parent {
+                let caller = self.components.intern(&trace.nodes[p].span.component);
+                if caller != comp {
+                    *edge_counts.entry((caller, comp)).or_insert(0) += 1;
+                }
+            }
+        }
+        self.trace_offsets.push(self.span_parent.len() as u32);
+
+        for (edge, n) in edge_counts {
+            self.by_edge.entry(edge).or_default().push((idx, n));
+        }
+
+        // Keep the per-API posting list sorted by (root start, trace index).
+        // The simulator emits traces in near-chronological order, so the
+        // binary-searched insertion point is almost always the end.
+        let postings = self.by_api.entry(api_id).or_default();
+        let pos = postings.partition_point(|&t| self.root_start_us[t as usize] <= root.start_us);
+        postings.insert(pos, idx);
+
+        self.max_root_start_us = Some(match self.max_root_start_us {
+            Some(m) => m.max(root.start_us),
+            None => root.start_us,
+        });
+        idx
+    }
+
+    /// Remove every stored trace and index (interned names included).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Latest root start timestamp over all traces (µs), if any.
+    pub fn max_root_start_us(&self) -> Option<Micros> {
+        self.max_root_start_us
+    }
+
+    /// A borrowed view over one stored trace.
+    pub fn view(&self, trace: u32) -> TraceView<'_> {
+        TraceView { arena: self, trace }
+    }
+
+    /// Sorted, deduplicated names of all APIs (root operations) observed.
+    pub fn api_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .by_api
+            .keys()
+            .map(|&id| self.operations.resolve(id).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Iterate over all component names observed in spans, in id order.
+    pub fn component_names(&self) -> impl Iterator<Item = &str> {
+        self.components.iter()
+    }
+
+    /// Trace indices of an API, sorted by `(root_start_us, trace index)`.
+    pub fn api_trace_indices(&self, api: &str) -> &[u32] {
+        self.operations
+            .get(api)
+            .and_then(|id| self.by_api.get(&id))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of traces stored for an API.
+    pub fn api_trace_count(&self, api: &str) -> usize {
+        self.api_trace_indices(api).len()
+    }
+
+    /// Mean end-to-end latency (ms) over all traces of an API, summed in
+    /// time order. Returns 0.0 for an unknown API.
+    pub fn api_mean_latency_ms(&self, api: &str) -> f64 {
+        let indices = self.api_trace_indices(api);
+        if indices.is_empty() {
+            return 0.0;
+        }
+        indices
+            .iter()
+            .map(|&t| us_to_ms(self.root_duration_us[t as usize]))
+            .sum::<f64>()
+            / indices.len() as f64
+    }
+
+    /// End-to-end latencies (ms) of all traces of an API, in time order.
+    pub fn api_latencies_ms(&self, api: &str) -> Vec<f64> {
+        self.api_trace_indices(api)
+            .iter()
+            .map(|&t| us_to_ms(self.root_duration_us[t as usize]))
+            .collect()
+    }
+
+    /// Sorted names of the distinct components touched by an API's traces.
+    pub fn api_component_names(&self, api: &str) -> Vec<String> {
+        let mut seen = vec![false; self.components.len()];
+        for &t in self.api_trace_indices(api) {
+            let (lo, hi) = self.span_range(t);
+            for &c in &self.span_component[lo..hi] {
+                seen[c as usize] = true;
+            }
+        }
+        let mut v: Vec<String> = seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(id, _)| self.components.resolve(id as u32).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Trace indices of an API whose root start lies in `[start_s, end_s)`,
+    /// located by binary search over the time-sorted per-API index.
+    pub fn api_trace_indices_in(&self, api: &str, start_s: Seconds, end_s: Seconds) -> &[u32] {
+        let indices = self.api_trace_indices(api);
+        let lo_us = start_s.saturating_mul(1_000_000);
+        let hi_us = end_s.saturating_mul(1_000_000);
+        let lo = indices.partition_point(|&t| self.root_start_us[t as usize] < lo_us);
+        let hi = indices.partition_point(|&t| self.root_start_us[t as usize] < hi_us);
+        &indices[lo..hi]
+    }
+
+    /// Requests per API whose root start falls in `[start_s, end_s)`,
+    /// answered per API by binary search instead of a full-store scan.
+    pub fn api_request_counts_in(&self, start_s: Seconds, end_s: Seconds) -> HashMap<String, u64> {
+        let mut out = HashMap::new();
+        for &id in self.by_api.keys() {
+            let api = self.operations.resolve(id);
+            let n = self.api_trace_indices_in(api, start_s, end_s).len() as u64;
+            if n > 0 {
+                out.insert(api.to_string(), n);
+            }
+        }
+        out
+    }
+
+    /// Per-API windowed invocation counts on a directed component edge,
+    /// answered from the per-edge posting list: only traces that actually
+    /// cross the edge are touched, and each posting already carries its
+    /// invocation count, so no per-trace tree walk or key rebuild happens.
+    pub fn windowed_invocations(
+        &self,
+        pair: &PairKey,
+        windowing: &Windowing,
+        window_count: usize,
+    ) -> HashMap<String, Vec<f64>> {
+        let mut out = HashMap::new();
+        let (Some(from), Some(to)) = (
+            self.components.get(&pair.from),
+            self.components.get(&pair.to),
+        ) else {
+            return out;
+        };
+        let Some(postings) = self.by_edge.get(&(from, to)) else {
+            return out;
+        };
+        let mut by_api: HashMap<u32, Vec<f64>> = HashMap::new();
+        for &(t, n) in postings {
+            let idx = windowing.index_of_us(self.root_start_us[t as usize]);
+            if idx >= window_count {
+                continue;
+            }
+            by_api
+                .entry(self.api[t as usize])
+                .or_insert_with(|| vec![0.0; window_count])[idx] += n as f64;
+        }
+        for (api_id, windows) in by_api {
+            out.insert(self.operations.resolve(api_id).to_string(), windows);
+        }
+        out
+    }
+
+    /// Rebuild an owned [`Trace`] from the columns.
+    ///
+    /// The spans are stored in validated `Trace::nodes` order, so the
+    /// reconstruction reproduces the ingested trace exactly.
+    pub fn materialize(&self, trace: u32) -> Trace {
+        let (lo, hi) = self.span_range(trace);
+        let trace_id = self.trace_ids[trace as usize];
+        let spans: Vec<Span> = (lo..hi)
+            .map(|s| {
+                let parent = self.span_parent[s];
+                let parent_id = if parent == NO_PARENT {
+                    None
+                } else {
+                    Some(self.span_id[lo + parent as usize])
+                };
+                Span::new(
+                    trace_id,
+                    self.span_id[s],
+                    parent_id,
+                    self.components.resolve(self.span_component[s]),
+                    self.operations.resolve(self.span_operation[s]),
+                    self.span_start_us[s],
+                    self.span_duration_us[s],
+                )
+            })
+            .collect();
+        Trace::from_spans(spans).expect("arena columns hold a validated trace")
+    }
+
+    /// Materialise every trace of an API in time order.
+    pub fn traces_for_api(&self, api: &str) -> Vec<Trace> {
+        self.api_trace_indices(api)
+            .iter()
+            .map(|&t| self.materialize(t))
+            .collect()
+    }
+
+    /// Materialise the up-to-`limit` most recent traces of an API. Only the
+    /// selected tail of the time-sorted index is materialised.
+    pub fn recent_traces_for_api(&self, api: &str, limit: usize) -> Vec<Trace> {
+        let indices = self.api_trace_indices(api);
+        let skip = indices.len().saturating_sub(limit);
+        indices[skip..]
+            .iter()
+            .map(|&t| self.materialize(t))
+            .collect()
+    }
+
+    /// The structural signature of a trace: one packed `(parent index,
+    /// component id)` word per span in node order. Two traces share a
+    /// signature iff their call trees have the same shape over the same
+    /// components — the exact inputs delay injection re-times a tree by.
+    fn signature(&self, trace: u32) -> Vec<u64> {
+        let (lo, hi) = self.span_range(trace);
+        (lo..hi)
+            .map(|s| ((self.span_parent[s] as u64) << 32) | self.span_component[s] as u64)
+            .collect()
+    }
+
+    /// Collapse an API's traces into at most `cap` weighted representatives.
+    ///
+    /// Traces are grouped by structural signature in time order; each
+    /// cluster keeps the member whose end-to-end latency is closest to the
+    /// cluster mean (earliest member on ties) and is weighted by its member
+    /// count. When more than `cap` clusters exist, the heaviest clusters are
+    /// retained (most recent on equal weight), so with all-unique traces the
+    /// retained set degenerates to the `cap` most recent traces — exactly
+    /// the pre-clustering retention policy.
+    pub fn weighted_representatives(&self, api: &str, cap: usize) -> Vec<WeightedTrace> {
+        let indices = self.api_trace_indices(api);
+        if indices.is_empty() || cap == 0 {
+            return Vec::new();
+        }
+        // members[k] = trace indices of cluster k, in time order.
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        let mut cluster_of: HashMap<Vec<u64>, usize> = HashMap::new();
+        for &t in indices {
+            let sig = self.signature(t);
+            match cluster_of.get(&sig) {
+                Some(&k) => members[k].push(t),
+                None => {
+                    cluster_of.insert(sig, members.len());
+                    members.push(vec![t]);
+                }
+            }
+        }
+        let mut retained: Vec<usize> = (0..members.len()).collect();
+        if retained.len() > cap {
+            // Heaviest first; ties go to the cluster seen most recently.
+            retained.sort_by_key(|&k| {
+                let last = *members[k].last().expect("clusters are non-empty");
+                (
+                    std::cmp::Reverse(members[k].len()),
+                    std::cmp::Reverse((self.root_start_us[last as usize], last)),
+                )
+            });
+            retained.truncate(cap);
+            // Emit representatives in first-seen order for determinism.
+            retained.sort_unstable();
+        }
+        retained
+            .into_iter()
+            .map(|k| {
+                let m = &members[k];
+                let mean = m
+                    .iter()
+                    .map(|&t| self.root_duration_us[t as usize] as f64)
+                    .sum::<f64>()
+                    / m.len() as f64;
+                let rep = *m
+                    .iter()
+                    .reduce(|best, t| {
+                        let db = (self.root_duration_us[*best as usize] as f64 - mean).abs();
+                        let dt = (self.root_duration_us[*t as usize] as f64 - mean).abs();
+                        if dt < db {
+                            t
+                        } else {
+                            best
+                        }
+                    })
+                    .expect("clusters are non-empty");
+                WeightedTrace {
+                    trace: self.materialize(rep),
+                    weight: m.len() as f64,
+                }
+            })
+            .collect()
+    }
+
+    fn span_range(&self, trace: u32) -> (usize, usize) {
+        let t = trace as usize;
+        (
+            self.trace_offsets[t] as usize,
+            self.trace_offsets[t + 1] as usize,
+        )
+    }
+}
+
+/// A borrowed, allocation-free view over one trace stored in a
+/// [`TraceArena`]. Spans are addressed by node index (root is index 0,
+/// nodes ordered by `(start_us, span_id)` as in [`Trace::nodes`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    arena: &'a TraceArena,
+    trace: u32,
+}
+
+impl<'a> TraceView<'a> {
+    /// The trace identifier.
+    pub fn trace_id(&self) -> TraceId {
+        self.arena.trace_ids[self.trace as usize]
+    }
+
+    /// The API endpoint (root operation name).
+    pub fn api(&self) -> &'a str {
+        self.arena
+            .operations
+            .resolve(self.arena.api[self.trace as usize])
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        let (lo, hi) = self.arena.span_range(self.trace);
+        hi - lo
+    }
+
+    /// Whether the trace has no spans (never true for validated traces).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Root start timestamp (µs).
+    pub fn root_start_us(&self) -> Micros {
+        self.arena.root_start_us[self.trace as usize]
+    }
+
+    /// End-to-end latency (µs): the root span's duration.
+    pub fn end_to_end_latency_us(&self) -> Micros {
+        self.arena.root_duration_us[self.trace as usize]
+    }
+
+    /// Parent node index of span `i`, or `None` for the root.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        let (lo, _) = self.arena.span_range(self.trace);
+        let p = self.arena.span_parent[lo + i];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// Interned component id of span `i`.
+    pub fn component_id(&self, i: usize) -> u32 {
+        let (lo, _) = self.arena.span_range(self.trace);
+        self.arena.span_component[lo + i]
+    }
+
+    /// Component name of span `i`.
+    pub fn component(&self, i: usize) -> &'a str {
+        self.arena.components.resolve(self.component_id(i))
+    }
+
+    /// Start timestamp (µs) of span `i`.
+    pub fn start_us(&self, i: usize) -> Micros {
+        let (lo, _) = self.arena.span_range(self.trace);
+        self.arena.span_start_us[lo + i]
+    }
+
+    /// Duration (µs) of span `i`.
+    pub fn duration_us(&self, i: usize) -> Micros {
+        let (lo, _) = self.arena.span_range(self.trace);
+        self.arena.span_duration_us[lo + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Span, SpanId, TraceId};
+
+    fn tree_trace(id: u64, api: &str, start: Micros, dur: Micros, comps: &[&str]) -> Trace {
+        let t = TraceId(id);
+        let mut spans = vec![Span::new(
+            t,
+            SpanId(id * 100),
+            None,
+            comps[0],
+            api,
+            start,
+            dur,
+        )];
+        for (i, c) in comps.iter().enumerate().skip(1) {
+            spans.push(Span::new(
+                t,
+                SpanId(id * 100 + i as u64),
+                Some(SpanId(id * 100)),
+                *c,
+                "op",
+                start + 10 * i as u64,
+                dur / 2,
+            ));
+        }
+        Trace::from_spans(spans).unwrap()
+    }
+
+    #[test]
+    fn round_trips_traces_through_columns() {
+        let mut arena = TraceArena::new();
+        let t = tree_trace(1, "/a", 5, 100, &["Frontend", "User", "Media"]);
+        let idx = arena.push(&t);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.span_count(), 3);
+        assert_eq!(arena.materialize(idx), t);
+        let v = arena.view(idx);
+        assert_eq!(v.api(), "/a");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.parent(0), None);
+        assert_eq!(v.parent(1), Some(0));
+        assert_eq!(v.component(0), "Frontend");
+    }
+
+    #[test]
+    fn per_api_index_stays_time_sorted_under_out_of_order_ingest() {
+        let mut arena = TraceArena::new();
+        arena.push(&tree_trace(1, "/a", 9_000_000, 10, &["F", "U"]));
+        arena.push(&tree_trace(2, "/a", 1_000_000, 10, &["F", "U"]));
+        arena.push(&tree_trace(3, "/a", 4_000_000, 10, &["F", "U"]));
+        let starts: Vec<Micros> = arena
+            .api_trace_indices("/a")
+            .iter()
+            .map(|&t| arena.view(t).root_start_us())
+            .collect();
+        assert_eq!(starts, vec![1_000_000, 4_000_000, 9_000_000]);
+        assert_eq!(arena.api_trace_indices_in("/a", 1, 5).len(), 2);
+        assert_eq!(arena.max_root_start_us(), Some(9_000_000));
+    }
+
+    #[test]
+    fn clustering_collapses_identical_structures() {
+        let mut arena = TraceArena::new();
+        // Three structurally identical traces with latencies 100/200/900 and
+        // one with a different component set.
+        arena.push(&tree_trace(1, "/a", 0, 100, &["F", "U"]));
+        arena.push(&tree_trace(2, "/a", 1_000, 200, &["F", "U"]));
+        arena.push(&tree_trace(3, "/a", 2_000, 900, &["F", "U"]));
+        arena.push(&tree_trace(4, "/a", 3_000, 50, &["F", "M"]));
+        let reps = arena.weighted_representatives("/a", 10);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].weight, 3.0);
+        // Mean latency is 400 µs; 200 µs is the closest member.
+        assert_eq!(reps[0].trace.end_to_end_latency_us(), 200);
+        assert_eq!(reps[1].weight, 1.0);
+    }
+
+    #[test]
+    fn unique_structures_cap_to_the_most_recent_traces() {
+        let mut arena = TraceArena::new();
+        // Each trace has a distinct fanout, so every cluster has one member.
+        for i in 1..=5u64 {
+            let comps: Vec<String> = (0..=i).map(|j| format!("C{j}")).collect();
+            let refs: Vec<&str> = comps.iter().map(String::as_str).collect();
+            arena.push(&tree_trace(i, "/a", i * 1_000_000, 100, &refs));
+        }
+        let reps = arena.weighted_representatives("/a", 2);
+        assert_eq!(reps.len(), 2);
+        assert!(reps.iter().all(|r| r.weight == 1.0));
+        let starts: Vec<Micros> = reps.iter().map(|r| r.trace.root().start_us).collect();
+        assert_eq!(starts, vec![4_000_000, 5_000_000]);
+    }
+}

@@ -20,6 +20,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod metrics;
 pub mod network;
 pub mod span;
@@ -27,6 +28,7 @@ pub mod store;
 pub mod trace;
 pub mod window;
 
+pub use arena::{NameInterner, TraceArena, TraceView, WeightedTrace};
 pub use metrics::{ComponentMetrics, MetricKind, MetricPoint, MetricSeries};
 pub use network::{Direction, PairKey, PairwiseTraffic, TrafficSample};
 pub use span::{IdGenerator, Span, SpanId, TraceId};

@@ -1,16 +1,23 @@
 //! The telemetry store: the "telemetry server" Atlas queries.
 //!
 //! In the paper's deployment this role is played by Jaeger's query service
-//! and Prometheus. Here the store simply holds everything the simulator
-//! emitted and offers the query surface Atlas needs during application
-//! learning (paper §3): traces by API and time range, per-component metric
-//! series, pairwise traffic aggregates, and trace-derived invocation counts
-//! aligned on the same windows as the traffic counters.
+//! and Prometheus. Here the store holds everything the simulator emitted and
+//! offers the query surface Atlas needs during application learning (paper
+//! §3): traces by API and time range, per-component metric series, pairwise
+//! traffic aggregates, and trace-derived invocation counts aligned on the
+//! same windows as the traffic counters.
+//!
+//! Traces are not kept as a flat `Vec<Trace>`: they are normalised into a
+//! columnar [`TraceArena`] at ingest (interned names, SoA span columns,
+//! per-API and per-edge indexes), so every query answers from an index
+//! instead of rescanning the whole store, and learning-stage consumers can
+//! borrow [`crate::arena::TraceView`]s instead of cloning span trees.
 
 use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::RwLock;
 
+use crate::arena::{TraceArena, WeightedTrace};
 use crate::metrics::{ComponentMetrics, MetricKind};
 use crate::network::{Direction, PairKey, PairwiseTraffic};
 use crate::trace::Trace;
@@ -28,7 +35,7 @@ pub struct TelemetryStore {
 
 #[derive(Debug, Default)]
 struct StoreInner {
-    traces: Vec<Trace>,
+    arena: TraceArena,
     metrics: BTreeMap<String, ComponentMetrics>,
     traffic: PairwiseTraffic,
 }
@@ -45,13 +52,15 @@ impl TelemetryStore {
 
     /// Ingest a completed trace.
     pub fn ingest_trace(&self, trace: Trace) {
-        self.inner.write().traces.push(trace);
+        self.inner.write().arena.push(&trace);
     }
 
     /// Ingest many traces at once.
     pub fn ingest_traces(&self, traces: impl IntoIterator<Item = Trace>) {
         let mut inner = self.inner.write();
-        inner.traces.extend(traces);
+        for trace in traces {
+            inner.arena.push(&trace);
+        }
     }
 
     /// Record a component metric observation.
@@ -89,69 +98,95 @@ impl TelemetryStore {
     // Query surface (used by Atlas and the baselines).
     // ------------------------------------------------------------------
 
+    /// Run `f` against the columnar trace arena under the read lock.
+    ///
+    /// This is the borrow-based escape hatch for learning-stage consumers
+    /// that want [`crate::arena::TraceView`]s instead of owned [`Trace`]s.
+    pub fn with_arena<R>(&self, f: impl FnOnce(&TraceArena) -> R) -> R {
+        f(&self.inner.read().arena)
+    }
+
     /// Total number of stored traces.
     pub fn trace_count(&self) -> usize {
-        self.inner.read().traces.len()
+        self.inner.read().arena.len()
+    }
+
+    /// Total number of stored spans.
+    pub fn span_count(&self) -> usize {
+        self.inner.read().arena.span_count()
     }
 
     /// Names of all user-facing APIs observed (root operations of traces),
-    /// sorted and deduplicated.
+    /// sorted and deduplicated. Answered from the per-API index: O(#APIs),
+    /// not O(#traces).
     pub fn apis(&self) -> Vec<String> {
-        let inner = self.inner.read();
-        let mut v: Vec<String> = inner.traces.iter().map(|t| t.api().to_string()).collect();
-        v.sort();
-        v.dedup();
-        v
+        self.inner.read().arena.api_names()
     }
 
     /// Names of all components observed in traces or metrics, sorted.
+    /// Answered from the interner and the metric keys: no per-span scan.
     pub fn components(&self) -> Vec<String> {
         let inner = self.inner.read();
         let mut v: Vec<String> = inner.metrics.keys().cloned().collect();
-        for t in &inner.traces {
-            for c in t.components() {
-                v.push(c.to_string());
-            }
-        }
+        v.extend(inner.arena.component_names().map(str::to_string));
         v.sort();
         v.dedup();
         v
     }
 
-    /// All traces belonging to a given API, cloned out of the store.
+    /// All traces belonging to a given API, materialised in time order.
     pub fn traces_for_api(&self, api: &str) -> Vec<Trace> {
-        self.inner
-            .read()
-            .traces
-            .iter()
-            .filter(|t| t.api() == api)
-            .cloned()
-            .collect()
+        self.inner.read().arena.traces_for_api(api)
     }
 
     /// Up to `limit` most recent traces of an API (by root start time).
+    /// Only the selected traces are materialised.
     pub fn recent_traces_for_api(&self, api: &str, limit: usize) -> Vec<Trace> {
-        let mut traces = self.traces_for_api(api);
-        traces.sort_by_key(|t| t.root().start_us);
-        if traces.len() > limit {
-            traces.split_off(traces.len() - limit)
-        } else {
-            traces
-        }
+        self.inner.read().arena.recent_traces_for_api(api, limit)
     }
 
-    /// All traces of an API whose root span starts inside `[start_s, end_s)`.
+    /// All traces of an API whose root span starts inside `[start_s, end_s)`,
+    /// located by binary search over the time-sorted per-API index.
     pub fn traces_for_api_in(&self, api: &str, start_s: Seconds, end_s: Seconds) -> Vec<Trace> {
+        let inner = self.inner.read();
+        inner
+            .arena
+            .api_trace_indices_in(api, start_s, end_s)
+            .iter()
+            .map(|&t| inner.arena.materialize(t))
+            .collect()
+    }
+
+    /// Number of traces stored for an API (no materialisation).
+    pub fn api_trace_count(&self, api: &str) -> usize {
+        self.inner.read().arena.api_trace_count(api)
+    }
+
+    /// Mean end-to-end latency (ms) over all traces of an API, computed from
+    /// the root-latency column without materialising a single trace.
+    pub fn api_mean_latency_ms(&self, api: &str) -> f64 {
+        self.inner.read().arena.api_mean_latency_ms(api)
+    }
+
+    /// Sorted names of the distinct components touched by an API's traces.
+    pub fn api_components(&self, api: &str) -> Vec<String> {
+        self.inner.read().arena.api_component_names(api)
+    }
+
+    /// Collapse an API's traces into at most `cap` weighted representative
+    /// traces by structural signature (see
+    /// [`TraceArena::weighted_representatives`]).
+    pub fn weighted_traces_for_api(&self, api: &str, cap: usize) -> Vec<WeightedTrace> {
+        self.inner.read().arena.weighted_representatives(api, cap)
+    }
+
+    /// Latest root start time over all traces, in whole seconds.
+    pub fn latest_trace_second(&self) -> Option<Seconds> {
         self.inner
             .read()
-            .traces
-            .iter()
-            .filter(|t| {
-                let root_s = t.root().start_us / 1_000_000;
-                t.api() == api && root_s >= start_s && root_s < end_s
-            })
-            .cloned()
-            .collect()
+            .arena
+            .max_root_start_us()
+            .map(|us| us / 1_000_000)
     }
 
     /// Metrics of a component, if observed.
@@ -206,57 +241,38 @@ impl TelemetryStore {
     ///
     /// A trace contributes all its edge invocations to the window containing
     /// its root start time, matching how the paper aligns traces with the
-    /// network counters.
+    /// network counters. Invocation counts are pre-aggregated per edge at
+    /// ingest, so only traces that cross the edge are visited.
     pub fn windowed_invocations(
         &self,
         pair: &PairKey,
         windowing: &Windowing,
         window_count: usize,
     ) -> HashMap<String, Vec<f64>> {
-        let inner = self.inner.read();
-        let mut out: HashMap<String, Vec<f64>> = HashMap::new();
-        for trace in &inner.traces {
-            let idx = windowing.index_of_us(trace.root().start_us);
-            if idx >= window_count {
-                continue;
-            }
-            let counts = trace.invocation_counts();
-            let key = (pair.from.clone(), pair.to.clone());
-            if let Some(&n) = counts.get(&key) {
-                out.entry(trace.api().to_string())
-                    .or_insert_with(|| vec![0.0; window_count])[idx] += n as f64;
-            }
-        }
-        out
+        self.inner
+            .read()
+            .arena
+            .windowed_invocations(pair, windowing, window_count)
     }
 
     /// Number of requests per API whose root start falls in `[start_s, end_s)`.
     pub fn api_request_counts_in(&self, start_s: Seconds, end_s: Seconds) -> HashMap<String, u64> {
-        let inner = self.inner.read();
-        let mut out = HashMap::new();
-        for t in &inner.traces {
-            let root_s = t.root().start_us / 1_000_000;
-            if root_s >= start_s && root_s < end_s {
-                *out.entry(t.api().to_string()).or_insert(0) += 1;
-            }
-        }
-        out
+        self.inner
+            .read()
+            .arena
+            .api_request_counts_in(start_s, end_s)
     }
 
     /// End-to-end latencies (ms) of all traces of an API, in time order.
+    /// Read straight from the root-latency column.
     pub fn api_latencies_ms(&self, api: &str) -> Vec<f64> {
-        let mut traces = self.traces_for_api(api);
-        traces.sort_by_key(|t| t.root().start_us);
-        traces
-            .iter()
-            .map(|t| crate::us_to_ms(t.end_to_end_latency_us()))
-            .collect()
+        self.inner.read().arena.api_latencies_ms(api)
     }
 
     /// Remove every stored trace, metric, and traffic sample.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
-        inner.traces.clear();
+        inner.arena.clear();
         inner.metrics.clear();
         inner.traffic = PairwiseTraffic::new();
     }
@@ -304,6 +320,13 @@ mod tests {
         assert_eq!(store.traces_for_api("/missing").len(), 0);
         assert_eq!(store.traces_for_api_in("/login", 0, 5).len(), 1);
         assert_eq!(store.api_latencies_ms("/login"), vec![1.0, 2.0]);
+        assert_eq!(store.api_trace_count("/login"), 2);
+        assert_eq!(store.api_mean_latency_ms("/login"), 1.5);
+        assert_eq!(store.latest_trace_second(), Some(5));
+        assert_eq!(
+            store.api_components("/login"),
+            vec!["Frontend", "UserService"]
+        );
     }
 
     #[test]
@@ -371,6 +394,17 @@ mod tests {
         let counts = store.api_request_counts_in(0, 5);
         assert_eq!(counts["/a"], 2);
         assert!(!counts.contains_key("/b"));
+    }
+
+    #[test]
+    fn weighted_traces_collapse_structural_duplicates() {
+        let store = TelemetryStore::new();
+        for i in 0..6 {
+            store.ingest_trace(trace(i, "/a", i * 1_000_000, 100 * (i + 1)));
+        }
+        let reps = store.weighted_traces_for_api("/a", 50);
+        assert_eq!(reps.len(), 1, "six structurally identical traces");
+        assert_eq!(reps[0].weight, 6.0);
     }
 
     #[test]

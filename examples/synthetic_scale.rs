@@ -36,6 +36,7 @@ fn main() {
             magnitude: 5.0,
         },
         site_count: 2,
+        volume_scale: 1.0,
         seed: 2024,
     })
     .expect("options are valid");
