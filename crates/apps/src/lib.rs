@@ -33,5 +33,7 @@ pub mod workload;
 pub use datasets::{MediaStats, SocialGraphStats};
 pub use hotel_reservation::hotel_reservation;
 pub use social_network::{social_network, SocialNetworkOptions};
-pub use synth::{synthesize, CallGraphShape, SynthError, SynthOptions, SynthScenario};
+pub use synth::{
+    synthesize, synthesize_drift_phase, CallGraphShape, SynthError, SynthOptions, SynthScenario,
+};
 pub use workload::{DiurnalProfile, WorkloadGenerator, WorkloadOptions, WorkloadShape};

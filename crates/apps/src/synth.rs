@@ -332,6 +332,78 @@ impl SynthScenario {
     }
 }
 
+impl SynthOptions {
+    /// The options of the second phase of a drift episode: the *same*
+    /// application (identical seed, so identical component and API names
+    /// and call-tree structure) after its user behaviour changed — the
+    /// data footprint grown 2× (posts, media and store payloads all
+    /// heavier, inflating per-API service and transfer times) and the
+    /// traffic volume grown 1.5×. Deterministic per seed: the same base
+    /// options always derive the same drift phase.
+    ///
+    /// Synthesize the phase with [`synthesize_drift_phase`] to also get
+    /// the rotated API mix and the re-jittered day.
+    pub fn drift_phase(&self) -> SynthOptions {
+        SynthOptions {
+            data_scale: self.data_scale * 2.0,
+            volume_scale: self.volume_scale * 1.5,
+            ..*self
+        }
+    }
+}
+
+/// Synthesize the second phase of a drift episode from the base options:
+/// [`SynthOptions::drift_phase`] grows the data footprint and volume, the
+/// API mix is rotated by one position (popularity shifts between the same
+/// APIs) and the workload seed is re-derived so day-2 arrivals don't replay
+/// day-1 jitter. Component and API names are identical to the base
+/// scenario's, so phase-2 telemetry streams into the same store, profiles
+/// and drift detectors — with genuinely different per-API latency
+/// distributions for them to catch.
+pub fn synthesize_drift_phase(options: &SynthOptions) -> Result<SynthScenario, SynthError> {
+    let mut scenario = synthesize(options.drift_phase())?;
+    let weights: Vec<f64> = scenario.workload.api_mix.iter().map(|&(_, w)| w).collect();
+    let k = weights.len();
+    for (i, (_, w)) in scenario.workload.api_mix.iter_mut().enumerate() {
+        *w = weights[(i + 1) % k];
+    }
+    scenario.workload.seed ^= 0xD21F_7D11;
+
+    // The heavier data also costs compute: serialising, filtering and
+    // ranking 2× the payload roughly doubles per-operation service time.
+    // (Payload inflation alone barely moves end-to-end latency while every
+    // component is on-prem, but the drift phase must shift the per-API
+    // latency distributions that the monitors watch.)
+    let mut apis = scenario.topology.apis().to_vec();
+    for api in &mut apis {
+        scale_compute(&mut api.root, DRIFT_COMPUTE_SCALE);
+    }
+    scenario.topology = AppTopology::new(
+        scenario.topology.name.clone(),
+        scenario.topology.components().to_vec(),
+        apis,
+    )
+    .expect("rescaling compute keeps the topology valid");
+    Ok(scenario)
+}
+
+/// Service-time inflation of the drift phase (see
+/// [`synthesize_drift_phase`]).
+const DRIFT_COMPUTE_SCALE: f64 = 2.0;
+
+/// Scale every operation's mean service time in a call tree.
+fn scale_compute(node: &mut CallNode, factor: f64) {
+    node.compute.mean_us *= factor;
+    for edge in node
+        .stages
+        .iter_mut()
+        .flatten()
+        .chain(node.background.iter_mut())
+    {
+        scale_compute(&mut edge.child, factor);
+    }
+}
+
 fn accumulate_compute(node: &CallNode, acc: &mut [f64]) {
     acc[node.component.0] += node.compute.mean_us;
     for edge in node.stages.iter().flatten().chain(node.background.iter()) {
@@ -426,8 +498,9 @@ pub fn synthesize(options: SynthOptions) -> Result<SynthScenario, SynthError> {
             graph: &graph,
             media: &media,
         };
-        let root = builder.build_api(entry, chunk, &api_stores);
-        apis.push(ApiSpec::new(format!("/api{api_idx:02}"), root));
+        let endpoint = format!("/api{api_idx:02}");
+        let root = builder.build_api(&endpoint, entry, chunk, &api_stores);
+        apis.push(ApiSpec::new(endpoint, root));
     }
 
     let topology = AppTopology::new(
@@ -645,14 +718,23 @@ struct TreeBuilder<'a> {
 }
 
 impl TreeBuilder<'_> {
-    fn build_api(&mut self, entry: usize, services: &[usize], stores: &[usize]) -> CallNode {
+    fn build_api(
+        &mut self,
+        endpoint: &str,
+        entry: usize,
+        services: &[usize],
+        stores: &[usize],
+    ) -> CallNode {
         let subtree = match self.options.shape {
             CallGraphShape::Layered => self.layered(services, stores),
             CallGraphShape::FanOut => self.fan_out(services, stores),
             CallGraphShape::Chain => self.chain(services, stores),
             CallGraphShape::Mesh => self.mesh(services, stores, self.options.call_depth - 1),
         };
-        let root = self.node(entry, "Route", 400.0..900.0);
+        // The root span carries the endpoint name: telemetry keys APIs by
+        // root operation, so each generated API must stay distinguishable
+        // in the collected traces (like the seed applications' endpoints).
+        let root = self.node(entry, endpoint, 400.0..900.0);
         match subtree {
             Some(child) => root.with_stage(vec![self.service_edge(child)]),
             // An API whose partition came up empty degenerates to the entry
@@ -1044,6 +1126,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn drift_phase_keeps_names_and_changes_behaviour() {
+        let options = SynthOptions {
+            components: 40,
+            apis: 5,
+            seed: 31,
+            ..SynthOptions::default()
+        };
+        let base = synthesize(options).unwrap();
+        let drift = synthesize_drift_phase(&options).unwrap();
+        // Deterministic per seed.
+        assert_eq!(drift, synthesize_drift_phase(&options).unwrap());
+        // Same application identity: component and API names line up, so
+        // phase-2 telemetry streams into phase-1 stores and detectors.
+        assert_eq!(base.component_index(), drift.component_index());
+        assert_eq!(base.stateful_names(), drift.stateful_names());
+        let apis = |s: &SynthScenario| -> Vec<String> {
+            s.workload.api_mix.iter().map(|(a, _)| a.clone()).collect()
+        };
+        assert_eq!(apis(&base), apis(&drift));
+        // But the behaviour drifted: heavier data, more volume, rotated mix.
+        assert_eq!(drift.options.data_scale, 2.0 * base.options.data_scale);
+        assert_eq!(drift.options.volume_scale, 1.5 * base.options.volume_scale);
+        assert_ne!(base.topology, drift.topology, "payloads/compute grew");
+        let base_w: Vec<f64> = base.workload.api_mix.iter().map(|&(_, w)| w).collect();
+        let drift_w: Vec<f64> = drift.workload.api_mix.iter().map(|&(_, w)| w).collect();
+        assert_ne!(base_w, drift_w);
+        let mut rotated = base_w.clone();
+        rotated.rotate_left(1);
+        assert_eq!(drift_w, rotated, "mix rotated by one API");
+        assert_ne!(base.workload.seed, drift.workload.seed);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use atlas_cloud::{CompiledCost, CostModel, CostScratch, ResourceDemand, SiteCost
 use atlas_core::eval::{effective_threads, EvalStats, MemoCache};
 use atlas_core::kernel::{with_scratch, ConstraintKernel, EvalScratch};
 use atlas_core::{MigrationPlan, MigrationPreferences};
-use atlas_sim::{SiteCatalog, SiteId};
+use atlas_sim::{OwnedSiteLimits, SiteCatalog, SiteId};
 use atlas_telemetry::TelemetryStore;
 
 use crate::affinity::AffinityMatrix;
@@ -35,6 +35,9 @@ pub struct BaselineContext {
     /// The elastic site single-target advisors (greedy) offload to: the
     /// catalog's cheapest elastic site, or site 1 in the two-site model.
     pub offload_site: SiteId,
+    /// Eq. 4 capacity limits of owned sites at index > 0 (from the
+    /// catalog; empty in the two-site model, where site 1 is elastic).
+    pub owned_site_limits: Vec<OwnedSiteLimits>,
 }
 
 impl BaselineContext {
@@ -56,6 +59,7 @@ impl BaselineContext {
             cost_model: SiteCostModel::from_models(vec![None, Some(cost_model)]),
             site_count: 2,
             offload_site: SiteId::CLOUD,
+            owned_site_limits: Vec::new(),
         }
     }
 
@@ -66,6 +70,7 @@ impl BaselineContext {
         self.cost_model = catalog.cost_model();
         self.site_count = catalog.len();
         self.offload_site = catalog.cheapest_elastic_site().unwrap_or(SiteId::CLOUD);
+        self.owned_site_limits = catalog.owned_site_limits();
         self
     }
 
@@ -106,6 +111,25 @@ impl BaselineContext {
         }
         if self.demand.peak_storage_gb(&onprem) > self.preferences.onprem_storage_limit_gb {
             return false;
+        }
+        // Capacity limits of owned sites at index > 0 (catalog-declared).
+        for limits in &self.owned_site_limits {
+            let members: Vec<usize> = (0..sites.len())
+                .filter(|&i| sites[i] == limits.site)
+                .collect();
+            if limits.cpu_cores.is_finite() && self.demand.peak_cpu(&members) > limits.cpu_cores {
+                return false;
+            }
+            if limits.memory_gb.is_finite()
+                && self.demand.peak_memory_gb(&members) > limits.memory_gb
+            {
+                return false;
+            }
+            if limits.storage_gb.is_finite()
+                && self.demand.peak_storage_gb(&members) > limits.storage_gb
+            {
+                return false;
+            }
         }
         // Budget.
         if let Some(budget) = self.preferences.budget {
@@ -231,7 +255,8 @@ impl<'a> BaselineScorer<'a> {
             ctx,
             threads: effective_threads(0),
             delta: true,
-            constraints: ConstraintKernel::new(&ctx.preferences),
+            constraints: ConstraintKernel::new(&ctx.preferences)
+                .with_owned_site_limits(ctx.owned_site_limits.clone()),
             cost: ctx.cost_model.compile(&ctx.demand),
             cache: MemoCache::default(),
         }
@@ -272,7 +297,12 @@ impl<'a> BaselineScorer<'a> {
             cross_dc_bytes: self.ctx.affinity.cross_site_bytes(sites),
             cross_dc_messages: self.ctx.affinity.cross_site_messages(sites),
             cost,
-            feasible: self.constraints.feasible_with_peaks(sites, &peaks, || cost),
+            feasible: self.constraints.feasible_with_peaks(
+                sites,
+                &peaks,
+                |site| self.cost.site_peaks(cost_scratch, site.index()),
+                || cost,
+            ),
         }
     }
 
@@ -395,6 +425,53 @@ mod tests {
         pinned.preferences = pinned.preferences.pin(Cid(1), Location::OnPrem);
         assert!(!pinned.satisfies_constraints(&[false, true, false]));
         assert!(pinned.satisfies_constraints(&[true, false, false]));
+    }
+
+    /// Eq. 4 owned-site limits at sites beyond index 0: `with_catalog`
+    /// extracts the owned edge site's finite pools, and the interpretive
+    /// check and the compiled scorer agree that the undersized site
+    /// rejects components its pools cannot hold.
+    #[test]
+    fn owned_site_limits_gate_baseline_feasibility() {
+        use atlas_cloud::PricingModel;
+        use atlas_sim::{ClusterSpec, SiteNetwork, SiteSpec};
+
+        let cluster = ClusterSpec::default();
+        let links = (0..9).map(|_| cluster.network.intra).collect();
+        // Site 2 is owned hardware with 4 cores: B (6 cores) cannot go
+        // there, A (2 cores) can.
+        let catalog = SiteCatalog::new(
+            vec![
+                SiteSpec::owned(
+                    "on-prem",
+                    cluster.onprem_cpu_cores,
+                    cluster.onprem_memory_gb,
+                    cluster.onprem_storage_gb,
+                ),
+                SiteSpec::elastic("east", PricingModel::default()),
+                SiteSpec::owned("edge", 4.0, 64.0, 100.0),
+            ],
+            SiteNetwork::from_links(3, links),
+        );
+        let ctx = test_context(100.0).with_catalog(&catalog);
+        assert_eq!(
+            ctx.owned_site_limits,
+            vec![OwnedSiteLimits {
+                site: SiteId(2),
+                cpu_cores: 4.0,
+                memory_gb: 64.0,
+                storage_gb: 100.0,
+            }]
+        );
+
+        let b_on_edge = vec![SiteId(0), SiteId(2), SiteId(0)];
+        let a_on_edge = vec![SiteId(2), SiteId(0), SiteId(0)];
+        assert!(!ctx.satisfies_site_constraints(&b_on_edge));
+        assert!(ctx.satisfies_site_constraints(&a_on_edge));
+
+        let scorer = ctx.scorer();
+        assert!(!scorer.score(&b_on_edge).feasible);
+        assert!(scorer.score(&a_on_edge).feasible);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Resident-advisor service bench: stream a generated scenario's day into
+//! an [`atlas_core::AdvisorService`] with a drift corpus spliced mid-way,
+//! and measure ingest throughput, drift-to-new-recommendation latency and
+//! the incremental-vs-cold relearn speedup.
+//!
+//! The sweep (default: the 100-component acceptance point; override with
+//! `ATLAS_SERVICE_COMPONENTS=25,100`) emits the machine-readable
+//! `BENCH_service.json` at the workspace root so CI can track the service
+//! trajectory across PRs next to `BENCH_scale.json`.
+
+use atlas_bench::service::{run_service_point, service_sizes_from_env, write_service_json};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_service(c: &mut Criterion) {
+    let sizes = service_sizes_from_env();
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let smallest = *sizes.iter().min().expect("at least one size");
+    group.bench_function("service_day_replay_smallest_size", |b| {
+        b.iter(|| run_service_point(std::hint::black_box(smallest)))
+    });
+    group.finish();
+
+    let points: Vec<_> = sizes.iter().map(|&n| run_service_point(n)).collect();
+    for p in &points {
+        println!(
+            "service: {:>3} components  {} sites  {:>4} apis  \
+             ingest {:>9.0} traces/s  drift→rec {:>7.1} ms  \
+             relearn {:>6.2} ms vs cold {:>7.2} ms ({:>5.1}x)  \
+             {} drift apis  {} evicted",
+            p.components,
+            p.sites,
+            p.apis,
+            p.ingest_traces_per_sec,
+            p.drift_to_recommendation_ms,
+            p.incremental_relearn_ms,
+            p.cold_relearn_ms,
+            p.relearn_speedup,
+            p.drift_apis,
+            p.evicted_traces
+        );
+    }
+    let json = write_service_json(&points);
+    println!("{json}");
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

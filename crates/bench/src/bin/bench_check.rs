@@ -1,12 +1,15 @@
 //! CI gate over the machine-readable bench snapshots: exits non-zero when
-//! `parallel_speedup < 1.0` or a tracked evals/sec figure regressed by more
-//! than 2× against the committed `BENCH_recommender.json`/`BENCH_scale.json`.
+//! `parallel_speedup < 1.0`, a tracked evals/sec figure regressed by more
+//! than 2× against the committed `BENCH_recommender.json`/`BENCH_scale.json`,
+//! or the resident-advisor service sweep in `BENCH_service.json` misbehaves
+//! (no drift detected, incremental relearn losing to a cold rebuild, or
+//! ingest/latency regressions past the 2× headroom).
 //!
 //! Usage: `cargo run -p atlas-bench --bin bench_check -- <baseline-dir>`
-//! where `<baseline-dir>` holds the *committed* copies of the two JSON
+//! where `<baseline-dir>` holds the *committed* copies of the three JSON
 //! files, snapshotted before the benches overwrote them. Without the
 //! argument (or when the baseline files are missing) only the absolute
-//! `parallel_speedup` gate applies.
+//! gates apply.
 
 use atlas_bench::gate::{check, failed, Verdict};
 
@@ -20,6 +23,9 @@ fn main() {
         .expect("BENCH_recommender.json missing: run `cargo bench -p atlas-bench --bench recommender` first");
     let fresh_scale = read(&format!("{root}/BENCH_scale.json"))
         .expect("BENCH_scale.json missing: run `cargo bench -p atlas-bench --bench scale` first");
+    let fresh_service = read(&format!("{root}/BENCH_service.json")).expect(
+        "BENCH_service.json missing: run `cargo bench -p atlas-bench --bench service` first",
+    );
 
     let baseline_dir = std::env::args().nth(1);
     let baseline_recommender = baseline_dir
@@ -28,15 +34,24 @@ fn main() {
     let baseline_scale = baseline_dir
         .as_ref()
         .and_then(|d| read(&format!("{d}/BENCH_scale.json")));
-    if baseline_dir.is_some() && (baseline_recommender.is_none() || baseline_scale.is_none()) {
+    let baseline_service = baseline_dir
+        .as_ref()
+        .and_then(|d| read(&format!("{d}/BENCH_service.json")));
+    if baseline_dir.is_some()
+        && (baseline_recommender.is_none()
+            || baseline_scale.is_none()
+            || baseline_service.is_none())
+    {
         println!("note: baseline dir given but some baseline files are missing; relative gates may be skipped");
     }
 
     let verdicts = check(
         &fresh_recommender,
         &fresh_scale,
+        &fresh_service,
         baseline_recommender.as_deref(),
         baseline_scale.as_deref(),
+        baseline_service.as_deref(),
     );
     for v in &verdicts {
         match v {

@@ -14,6 +14,8 @@ pub mod gate;
 pub mod harness;
 pub mod multiplan;
 pub mod scale;
+pub mod service;
 
 pub use harness::{print_row, Application, Experiment, ExperimentOptions};
 pub use scale::{run_scale_point, ScalePoint};
+pub use service::{run_service_point, ServicePoint};

@@ -1,0 +1,461 @@
+//! Resident-advisor service bench: replay a generated scenario's day as a
+//! stream with a drift corpus spliced mid-way.
+//!
+//! Day 1 of a [`synthesize`]d scenario streams into an
+//! [`AdvisorService`] in batches; the service bootstraps (cold learn +
+//! first recommendation + armed drift detectors), then day 2 — the
+//! deterministic [`synthesize_drift_phase`] corpus: same component/API
+//! names, 2× data footprint, 1.5× volume, rotated mix — streams in behind
+//! it. The bench measures:
+//!
+//! * **ingest throughput** — traces/second through the service's streaming
+//!   ingest path (arena append + index upkeep + retention eviction);
+//! * **drift-to-new-recommendation latency** — wall time from the first
+//!   drift confirmation to the re-recommendation it triggers (incremental
+//!   relearn + per-API recompile + GA search);
+//! * **incremental vs cold relearn** — a controlled single-API episode:
+//!   one API's telemetry changes, [`QualityModel::relearn_dirty`] relearns
+//!   just that API while a cold rebuild relearns everything; both models
+//!   must score bit-identically (asserted here and pinned by property
+//!   test), and the speedup is the point of the per-API path.
+//!
+//! The `service` bench target runs this and emits `BENCH_service.json` at
+//! the workspace root next to `BENCH_scale.json` for CI tracking.
+
+use std::time::Instant;
+
+use atlas_apps::{synthesize, synthesize_drift_phase, SynthScenario, WorkloadGenerator};
+use atlas_core::{
+    AdvisorService, AdvisorServiceConfig, ApplicationProfile, Atlas, AtlasConfig, MigrationPlan,
+    MigrationPreferences, QualityModel, RecommenderConfig, ServiceEvent,
+};
+use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
+use atlas_telemetry::{Direction, MetricKind, TelemetryStore, Trace, TraceId};
+
+use crate::scale::options_for;
+
+/// Representative cap per API (matches the scale harness).
+const TRACES_PER_API: usize = 40;
+
+/// One measured service-bench point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePoint {
+    /// Number of components of the generated application.
+    pub components: usize,
+    /// Number of placement sites.
+    pub sites: usize,
+    /// Number of user-facing APIs.
+    pub apis: usize,
+    /// Traces streamed on day 1 (the learning day).
+    pub day1_traces: usize,
+    /// Traces streamed on day 2 (the drift corpus).
+    pub day2_traces: usize,
+    /// Traces/second through the service's streaming ingest path
+    /// (measured over the day-1 stream, before any model exists).
+    pub ingest_traces_per_sec: f64,
+    /// Traces evicted by the retention window across the whole replay.
+    pub evicted_traces: usize,
+    /// Distinct APIs that fired a drift event during day 2.
+    pub drift_apis: usize,
+    /// Wall milliseconds from the first drift confirmation to the new
+    /// recommendation (incremental relearn + recompile + search).
+    pub drift_to_recommendation_ms: f64,
+    /// Incremental relearn+recompile milliseconds of the controlled
+    /// single-API episode.
+    pub incremental_relearn_ms: f64,
+    /// Cold full-rebuild milliseconds over the same retained telemetry.
+    pub cold_relearn_ms: f64,
+    /// `cold_relearn_ms / incremental_relearn_ms`.
+    pub relearn_speedup: f64,
+}
+
+/// All traces of a store, in root-start order (the replay stream).
+pub fn corpus_of(store: &TelemetryStore) -> Vec<Trace> {
+    let mut traces: Vec<Trace> = store
+        .apis()
+        .into_iter()
+        .flat_map(|api| store.traces_for_api(&api))
+        .collect();
+    traces.sort_by(|a, b| (a.root().start_us, a.trace_id).cmp(&(b.root().start_us, b.trace_id)));
+    traces
+}
+
+/// Shift a corpus forward in time by `offset_us` and tag its trace ids (so
+/// a day-2 corpus generated from its own epoch follows day 1 without id
+/// collisions).
+pub fn shift_corpus(traces: &mut [Trace], offset_us: u64, id_tag: u64) {
+    for trace in traces.iter_mut() {
+        trace.trace_id = TraceId(trace.trace_id.0 ^ id_tag);
+        for node in &mut trace.nodes {
+            node.span.trace_id = trace.trace_id;
+            node.span.start_us += offset_us;
+        }
+    }
+}
+
+/// Copy the non-trace telemetry context (component metrics + pairwise
+/// traffic) of one store into another, shifted by `offset_s`. The trace
+/// stream goes through [`AdvisorService::feed`]; metrics and traffic ride
+/// alongside it the way a scrape pipeline would.
+pub fn copy_telemetry_context(from: &TelemetryStore, to: &TelemetryStore, offset_s: u64) {
+    for component in from.components() {
+        if let Some(metrics) = from.component_metrics(&component) {
+            for kind in MetricKind::ALL {
+                if let Some(series) = metrics.series(kind) {
+                    for p in series.points() {
+                        to.record_metric(&component, kind, p.timestamp_s + offset_s, p.value);
+                    }
+                }
+            }
+        }
+    }
+    let traffic = from.traffic();
+    for edge in traffic.edges() {
+        for direction in [Direction::Request, Direction::Response] {
+            if let Some(samples) = traffic.samples(&edge, direction) {
+                for s in samples {
+                    to.record_traffic(
+                        &edge.from,
+                        &edge.to,
+                        direction,
+                        s.timestamp_s + offset_s,
+                        s.bytes,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Simulate one compressed day of a scenario's workload against its
+/// topology, into a fresh store.
+fn simulate_day(scenario: &SynthScenario, day_seconds: u64, seed: u64) -> TelemetryStore {
+    let mut workload = scenario.workload.clone();
+    workload.profile.day_seconds = day_seconds;
+    let store = TelemetryStore::new();
+    let current = Placement::all_onprem(scenario.topology.component_count());
+    let sim = Simulator::new(
+        scenario.topology.clone(),
+        current,
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            overload: OverloadModel::disabled(),
+            metric_window_s: 5,
+            seed,
+        },
+    );
+    let schedule = WorkloadGenerator::new(workload)
+        .generate(&scenario.topology)
+        .expect("workload matches the topology");
+    sim.run(&schedule, &store);
+    store
+}
+
+/// Split a corpus into `chunks` contiguous batches.
+fn batches(corpus: &[Trace], chunks: usize) -> Vec<Vec<Trace>> {
+    let size = corpus.len().div_ceil(chunks.max(1)).max(1);
+    corpus.chunks(size).map(<[Trace]>::to_vec).collect()
+}
+
+/// Compressed day length of the replay, in seconds.
+const DAY_SECONDS: u64 = 60;
+
+/// Retention window of the service under test: 1.5 compressed days, so the
+/// day-2 stream progressively evicts day-1 traces.
+const RETENTION_WINDOW_S: u64 = 90;
+
+/// Run the service bench at one component count (two-site scenario).
+pub fn run_service_point(components: usize) -> ServicePoint {
+    let options = options_for(components);
+    let base = synthesize(options).expect("service options are valid");
+    let drift = synthesize_drift_phase(&options).expect("drift options are valid");
+
+    let day1_store = simulate_day(&base, DAY_SECONDS, options.seed);
+    let day2_store = simulate_day(&drift, DAY_SECONDS, options.seed ^ 0x5EED);
+    let day1 = corpus_of(&day1_store);
+    let mut day2 = corpus_of(&day2_store);
+    // Day 2 follows day 1 on the same clock.
+    shift_corpus(&mut day2, (DAY_SECONDS + 1) * 1_000_000, 1 << 60);
+
+    let component_index = base.component_index();
+    let stateful = base.stateful_names();
+    let preferences = MigrationPreferences::with_cpu_limit(base.burst_cpu_limit(5.0, 0.6));
+    let current = Placement::all_onprem(components);
+
+    let mut atlas_config = AtlasConfig::new(component_index.clone(), stateful.clone());
+    atlas_config.sites = Some(base.catalog.clone());
+    atlas_config.traces_per_api = TRACES_PER_API;
+    atlas_config.horizon_steps = 8;
+    atlas_config.recommender = RecommenderConfig {
+        population: 16,
+        max_visited: 250,
+        ..RecommenderConfig::fast()
+    };
+
+    let mut service_config = AdvisorServiceConfig::new(atlas_config.clone(), preferences.clone())
+        .with_retention_window_s(RETENTION_WINDOW_S);
+    service_config.min_detector_samples = 60;
+    let mut service = AdvisorService::new(service_config, current.clone());
+
+    // Day 1: stream in, then bootstrap. No model exists yet, so the timed
+    // region is the pure streaming-ingest path (arena append + indexes +
+    // retention checks).
+    copy_telemetry_context(&day1_store, service.store(), 0);
+    let day1_batches = batches(&day1, 8);
+    let start = Instant::now();
+    for batch in day1_batches {
+        service.feed(batch);
+    }
+    let ingest_s = start.elapsed().as_secs_f64();
+    let ingest_traces_per_sec = day1.len() as f64 / ingest_s.max(1e-9);
+    service.bootstrap();
+
+    // Day 2: the drift corpus streams in behind day 1; the service detects
+    // the drift, relearns the dirty APIs and re-recommends.
+    copy_telemetry_context(&day2_store, service.store(), DAY_SECONDS + 1);
+    for batch in batches(&day2, 12) {
+        service.feed(batch);
+    }
+
+    let mut drift_apis = std::collections::HashSet::new();
+    let mut evicted_traces = 0usize;
+    let mut drift_to_recommendation_ms = 0.0;
+    let mut saw_drift = false;
+    for event in service.timeline() {
+        match event {
+            ServiceEvent::Ingested { evicted, .. } => evicted_traces += evicted,
+            ServiceEvent::DriftFired { api, .. } => {
+                saw_drift = true;
+                drift_apis.insert(api.clone());
+            }
+            ServiceEvent::Rerecommended { latency_ms, .. } => {
+                if saw_drift && drift_to_recommendation_ms == 0.0 {
+                    drift_to_recommendation_ms = *latency_ms;
+                }
+            }
+            ServiceEvent::Relearned { .. } => {}
+        }
+    }
+    assert!(
+        saw_drift,
+        "the drift corpus must trip at least one detector"
+    );
+    assert!(
+        evicted_traces > 0,
+        "the retention window must evict day-1 traces during day 2"
+    );
+
+    let (incremental_relearn_ms, cold_relearn_ms) = single_api_episode(
+        &day1,
+        &day1_store,
+        &day2,
+        &base,
+        &atlas_config,
+        &preferences,
+        &current,
+    );
+
+    ServicePoint {
+        components,
+        sites: base.catalog.len(),
+        apis: options.apis,
+        day1_traces: day1.len(),
+        day2_traces: day2.len(),
+        ingest_traces_per_sec,
+        evicted_traces,
+        drift_apis: drift_apis.len(),
+        drift_to_recommendation_ms,
+        incremental_relearn_ms,
+        cold_relearn_ms,
+        relearn_speedup: cold_relearn_ms / incremental_relearn_ms.max(1e-9),
+    }
+}
+
+/// The controlled incremental-vs-cold episode: after a full day-1 learn,
+/// exactly one API's telemetry changes (its day-2 traces arrive);
+/// [`QualityModel::relearn_dirty`] relearns that one API in place while the
+/// cold path rebuilds profile and kernel from scratch. Returns
+/// `(incremental_ms, cold_ms)` after asserting both models score
+/// bit-identically.
+fn single_api_episode(
+    day1: &[Trace],
+    day1_store: &TelemetryStore,
+    day2: &[Trace],
+    base: &SynthScenario,
+    atlas_config: &AtlasConfig,
+    preferences: &MigrationPreferences,
+    current: &Placement,
+) -> (f64, f64) {
+    let store = TelemetryStore::new();
+    copy_telemetry_context(day1_store, &store, 0);
+    store.ingest_batch(day1.to_vec());
+
+    let mut atlas = Atlas::new(atlas_config.clone());
+    atlas.learn(&store);
+    let mut model = atlas.quality_model(current.clone(), preferences.clone());
+    let synced = store.epoch();
+
+    // The busiest API drifts: its day-2 traces arrive, nothing else's do.
+    let api = store
+        .apis()
+        .into_iter()
+        .max_by_key(|api| store.api_trace_count(api))
+        .expect("day 1 observed at least one API");
+    let single: Vec<Trace> = day2
+        .iter()
+        .filter(|t| t.root().operation == api)
+        .cloned()
+        .collect();
+    assert!(!single.is_empty(), "the drift corpus exercises every API");
+    store.ingest_batch(single);
+    let (_, dirty) = store.dirty_apis_since(synced);
+    assert_eq!(dirty, vec![api.clone()], "exactly one API is dirty");
+
+    let stateful = base.stateful_names();
+    let start = Instant::now();
+    model.relearn_dirty(&store, &stateful, TRACES_PER_API, &dirty);
+    let incremental_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let start = Instant::now();
+    let cold_profile = ApplicationProfile::learn(&store, &stateful, TRACES_PER_API);
+    let cold = QualityModel::for_catalog(
+        cold_profile,
+        atlas.footprint().clone(),
+        &base.catalog,
+        atlas.demand().clone(),
+        preferences.clone(),
+        current.clone(),
+        base.component_index(),
+    );
+    let cold_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    // Differential sanity (the property tests pin this exhaustively).
+    let n = current.len();
+    let sites = base.catalog.len();
+    for shift in 0..3usize {
+        let plan = MigrationPlan::from_sites(
+            (0..n)
+                .map(|i| atlas_sim::SiteId(((i + shift) % sites) as u16))
+                .collect(),
+        );
+        assert_eq!(
+            model.evaluate(&plan),
+            cold.evaluate(&plan),
+            "incremental relearn must score bit-identically to a cold rebuild"
+        );
+    }
+
+    (incremental_ms, cold_ms)
+}
+
+/// Render the machine-readable service snapshot.
+pub fn service_json(points: &[ServicePoint]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"service\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"components\": {},\n",
+                "      \"sites\": {},\n",
+                "      \"apis\": {},\n",
+                "      \"day1_traces\": {},\n",
+                "      \"day2_traces\": {},\n",
+                "      \"ingest_traces_per_sec\": {:.1},\n",
+                "      \"evicted_traces\": {},\n",
+                "      \"drift_apis\": {},\n",
+                "      \"drift_to_recommendation_ms\": {:.1},\n",
+                "      \"incremental_relearn_ms\": {:.2},\n",
+                "      \"cold_relearn_ms\": {:.2},\n",
+                "      \"relearn_speedup\": {:.2}\n",
+                "    }}{}\n"
+            ),
+            p.components,
+            p.sites,
+            p.apis,
+            p.day1_traces,
+            p.day2_traces,
+            p.ingest_traces_per_sec,
+            p.evicted_traces,
+            p.drift_apis,
+            p.drift_to_recommendation_ms,
+            p.incremental_relearn_ms,
+            p.cold_relearn_ms,
+            p.relearn_speedup,
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_service.json` at the workspace root and return the JSON.
+pub fn write_service_json(points: &[ServicePoint]) -> String {
+    let json = service_json(points);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote BENCH_service.json"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+    json
+}
+
+/// Component counts of the service bench (overridable with
+/// `ATLAS_SERVICE_COMPONENTS=50,100`). The default is the acceptance
+/// point: 100 components.
+pub fn service_sizes_from_env() -> Vec<usize> {
+    match std::env::var("ATLAS_SERVICE_COMPONENTS") {
+        Ok(raw) => raw
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![100],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_point_detects_drift_and_beats_cold_relearn() {
+        let p = run_service_point(25);
+        assert_eq!(p.components, 25);
+        assert!(p.day1_traces > 0 && p.day2_traces > 0);
+        assert!(p.ingest_traces_per_sec > 0.0);
+        assert!(p.drift_apis > 0, "drift corpus must fire: {p:?}");
+        assert!(p.drift_to_recommendation_ms > 0.0);
+        assert!(p.evicted_traces > 0);
+        assert!(
+            p.incremental_relearn_ms < p.cold_relearn_ms,
+            "single-API relearn must beat the cold rebuild: {p:?}"
+        );
+    }
+
+    #[test]
+    fn service_json_is_wellformed() {
+        let p = ServicePoint {
+            components: 100,
+            sites: 2,
+            apis: 12,
+            day1_traces: 1000,
+            day2_traces: 1500,
+            ingest_traces_per_sec: 50_000.0,
+            evicted_traces: 400,
+            drift_apis: 3,
+            drift_to_recommendation_ms: 120.0,
+            incremental_relearn_ms: 2.0,
+            cold_relearn_ms: 9.0,
+            relearn_speedup: 4.5,
+        };
+        let json = service_json(&[p]);
+        assert!(json.contains("\"bench\": \"service\""));
+        assert!(json.contains("\"ingest_traces_per_sec\": 50000.0"));
+        assert!(json.contains("\"relearn_speedup\": 4.50"));
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn sizes_env_parses() {
+        assert_eq!(service_sizes_from_env(), vec![100]);
+    }
+}

@@ -540,6 +540,27 @@ impl CompiledCost {
         }
         (total, peaks)
     }
+
+    /// Peak per-step demands accumulated at `site` by the latest
+    /// [`Self::evaluate_with_peaks`] call on `scratch`, read off the
+    /// retained accumulation rows without re-scanning the demand matrix.
+    /// Site 0 reproduces the returned [`OnPremPeaks`] bit-for-bit; owned
+    /// sites at higher indices feed their Eq. 4 capacity checks from the
+    /// same pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was not filled by this kernel (row bounds
+    /// mismatch) or `site` is outside the catalog.
+    pub fn site_peaks(&self, scratch: &CostScratch, site: usize) -> OnPremPeaks {
+        let steps = self.steps;
+        let res = &scratch.site_res[site * 2 * steps..(site + 1) * 2 * steps];
+        OnPremPeaks {
+            cpu: peak_of(&res[..steps]),
+            memory_gb: peak_of(&res[steps..]),
+            storage_gb: peak_of(&scratch.site_storage[site * steps..(site + 1) * steps]),
+        }
+    }
 }
 
 /// Peak on-prem (site 0) resource demands of one placement, read off the

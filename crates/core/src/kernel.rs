@@ -159,7 +159,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use atlas_cloud::{CostScratch, OnPremPeaks, ResourceDemand};
-use atlas_sim::{ComponentId, Placement, SiteId, SiteNetwork};
+use atlas_sim::{ComponentId, OwnedSiteLimits, Placement, SiteId, SiteNetwork};
 use atlas_telemetry::Trace;
 
 use crate::footprint::NetworkFootprint;
@@ -640,9 +640,12 @@ fn current_site(current: &Placement, id: u32) -> SiteId {
 
 /// The feasibility side of Eq. 4, precompiled: placement pins resolved to
 /// `(index, site)` pairs (plus the site-set pins of the N-site model), the
-/// on-prem resource limits, and the budget. Shared by the core quality
-/// kernel and the baselines' placement scorer so every search path pays the
-/// same (allocation-free) constraint check.
+/// on-prem resource limits, the capacity limits of any owned sites at index
+/// > 0 (from [`SiteCatalog::owned_site_limits`]), and the budget. Shared by
+/// the core quality kernel and the baselines' placement scorer so every
+/// search path pays the same (allocation-free) constraint check.
+///
+/// [`SiteCatalog::owned_site_limits`]: atlas_sim::SiteCatalog::owned_site_limits
 #[derive(Debug, Clone)]
 pub struct ConstraintKernel {
     pinned: Vec<(usize, SiteId)>,
@@ -650,6 +653,7 @@ pub struct ConstraintKernel {
     cpu_limit: f64,
     memory_limit_gb: f64,
     storage_limit_gb: f64,
+    owned: Vec<OwnedSiteLimits>,
     budget: Option<f64>,
 }
 
@@ -671,8 +675,32 @@ impl ConstraintKernel {
             cpu_limit: preferences.onprem_cpu_limit,
             memory_limit_gb: preferences.onprem_memory_limit_gb,
             storage_limit_gb: preferences.onprem_storage_limit_gb,
+            owned: Vec::new(),
             budget: preferences.budget,
         }
+    }
+
+    /// Attach Eq. 4 capacity limits for owned sites at index > 0 (typically
+    /// [`SiteCatalog::owned_site_limits`]). The preference-driven site-0
+    /// limits are unaffected.
+    ///
+    /// [`SiteCatalog::owned_site_limits`]: atlas_sim::SiteCatalog::owned_site_limits
+    pub fn with_owned_site_limits(mut self, limits: Vec<OwnedSiteLimits>) -> Self {
+        self.owned = limits;
+        self
+    }
+
+    /// The attached owned-site capacity limits (empty unless the catalog
+    /// declares finite-capacity owned sites beyond site 0).
+    pub fn owned_site_limits(&self) -> &[OwnedSiteLimits] {
+        &self.owned
+    }
+
+    /// Whether the demand peaks of one owned site fit its capacity limits.
+    fn owned_site_fits(limits: &OwnedSiteLimits, peaks: &OnPremPeaks) -> bool {
+        !(limits.cpu_cores.is_finite() && peaks.cpu > limits.cpu_cores
+            || limits.memory_gb.is_finite() && peaks.memory_gb > limits.memory_gb
+            || limits.storage_gb.is_finite() && peaks.storage_gb > limits.storage_gb)
     }
 
     /// Whether any placement pin (exact or site-set) is violated by the
@@ -719,6 +747,18 @@ impl ConstraintKernel {
         {
             return false;
         }
+        for limits in &self.owned {
+            subset.clear();
+            subset.extend((0..sites.len()).filter(|&i| sites[i] == limits.site));
+            let peaks = OnPremPeaks {
+                cpu: demand.peak_cpu(subset),
+                memory_gb: demand.peak_memory_gb(subset),
+                storage_gb: demand.peak_storage_gb(subset),
+            };
+            if !Self::owned_site_fits(limits, &peaks) {
+                return false;
+            }
+        }
         if let Some(budget) = self.budget {
             if cost() > budget {
                 return false;
@@ -730,13 +770,18 @@ impl ConstraintKernel {
     /// [`Self::feasible`] fed precomputed on-prem peaks (from
     /// [`CompiledCost::evaluate_with_peaks`]) instead of re-scanning the
     /// demand matrix per call. The peaks are bit-identical to the
-    /// interpretive subset sums, so the verdict is too.
+    /// interpretive subset sums, so the verdict is too. `site_peaks` is
+    /// consulted only for the owned sites beyond site 0 that carry capacity
+    /// limits (typically [`CompiledCost::site_peaks`] over the scratch the
+    /// cost pass just filled); with no such limits it is never called.
     ///
     /// [`CompiledCost::evaluate_with_peaks`]: atlas_cloud::CompiledCost::evaluate_with_peaks
+    /// [`CompiledCost::site_peaks`]: atlas_cloud::CompiledCost::site_peaks
     pub fn feasible_with_peaks(
         &self,
         sites: &[SiteId],
         peaks: &OnPremPeaks,
+        mut site_peaks: impl FnMut(SiteId) -> OnPremPeaks,
         cost: impl FnOnce() -> f64,
     ) -> bool {
         if self.violates_pins(sites) {
@@ -750,6 +795,11 @@ impl ConstraintKernel {
         }
         if self.storage_limit_gb.is_finite() && peaks.storage_gb > self.storage_limit_gb {
             return false;
+        }
+        for limits in &self.owned {
+            if !Self::owned_site_fits(limits, &site_peaks(limits.site)) {
+                return false;
+            }
         }
         if let Some(budget) = self.budget {
             if cost() > budget {
@@ -774,6 +824,56 @@ struct CompiledApi {
     trace_weight_total: f64,
     stateful: Vec<u32>,
     traces: Vec<CompiledTrace>,
+}
+
+/// Compile one API's profile entry into its flat op arena. The result
+/// depends only on the named API's profile entry plus the model-wide
+/// footprint/network/preferences/current placement, which is what makes
+/// per-API recompilation ([`CompiledQuality::recompile_apis`]) bit-identical
+/// to a cold compile.
+#[allow(clippy::too_many_arguments)]
+fn compile_api(
+    profile: &ApplicationProfile,
+    name: &str,
+    id_of: &HashMap<&str, u32>,
+    footprint: &NetworkFootprint,
+    network: &SiteNetwork,
+    preferences: &MigrationPreferences,
+    current: &Placement,
+) -> CompiledApi {
+    let api = &profile.apis[name];
+    let mut stateful: Vec<u32> = api
+        .stateful_components
+        .iter()
+        .filter_map(|c| id_of.get(c.as_str()).copied())
+        .collect();
+    stateful.sort_unstable();
+    let traces: Vec<CompiledTrace> = api
+        .traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            CompiledTrace::compile(
+                t,
+                api.trace_weight(i),
+                name,
+                footprint,
+                network,
+                current,
+                id_of,
+            )
+        })
+        .collect();
+    // Σ wᵢ in trace order, so unit weights reproduce `len() as f64`
+    // exactly.
+    let trace_weight_total = traces.iter().map(|t| t.weight).sum();
+    CompiledApi {
+        weight: preferences.api_weight(name),
+        baseline_ms: api.mean_latency_ms.max(1e-6),
+        trace_weight_total,
+        stateful,
+        traces,
+    }
 }
 
 /// The compiled evaluation kernel of one [`QualityModel`]: every API's
@@ -816,40 +916,16 @@ impl CompiledQuality {
         let mut apis = Vec::with_capacity(api_order.len());
         let mut api_index = HashMap::with_capacity(api_order.len());
         for name in api_order {
-            let api = &profile.apis[name];
-            let mut stateful: Vec<u32> = api
-                .stateful_components
-                .iter()
-                .filter_map(|c| id_of.get(c.as_str()).copied())
-                .collect();
-            stateful.sort_unstable();
-            let traces: Vec<CompiledTrace> = api
-                .traces
-                .iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    CompiledTrace::compile(
-                        t,
-                        api.trace_weight(i),
-                        name,
-                        footprint,
-                        network,
-                        current,
-                        &id_of,
-                    )
-                })
-                .collect();
-            // Σ wᵢ in trace order, so unit weights reproduce `len() as f64`
-            // exactly.
-            let trace_weight_total = traces.iter().map(|t| t.weight).sum();
             api_index.insert(name.clone(), apis.len());
-            apis.push(CompiledApi {
-                weight: preferences.api_weight(name),
-                baseline_ms: api.mean_latency_ms.max(1e-6),
-                trace_weight_total,
-                stateful,
-                traces,
-            });
+            apis.push(compile_api(
+                profile,
+                name,
+                &id_of,
+                footprint,
+                network,
+                preferences,
+                current,
+            ));
         }
         Self {
             apis,
@@ -858,6 +934,74 @@ impl CompiledQuality {
             site_count: network.site_count(),
             compile_ms: start.elapsed().as_secs_f64() * 1_000.0,
         }
+    }
+
+    /// Recompile only the named APIs in place against an updated profile,
+    /// reusing every other API's compiled op arena untouched.
+    ///
+    /// `api_order` is the model's *new* sorted API order: slots are
+    /// inserted for APIs new to the order and dropped for APIs absent from
+    /// it, so the compiled order always matches a cold
+    /// [`CompiledQuality::compile`] over the same order. Because each API's
+    /// compiled form depends only on its own profile entry (plus the
+    /// model-wide footprint, network, current placement and preferences,
+    /// which this call must keep fixed), recompiling exactly the dirty APIs
+    /// is bit-identical to a cold compile from the updated profile.
+    /// `compile_ms` is restamped with the incremental compile time. The
+    /// constraint kernel (including any owned-site limits) is untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn recompile_apis(
+        &mut self,
+        profile: &ApplicationProfile,
+        footprint: &NetworkFootprint,
+        network: &SiteNetwork,
+        preferences: &MigrationPreferences,
+        current: &Placement,
+        component_index: &[String],
+        api_order: &[String],
+        dirty: &[String],
+    ) {
+        let start = std::time::Instant::now();
+        let id_of: HashMap<&str, u32> = component_index
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.as_str(), i as u32))
+            .collect();
+        let dirty: std::collections::HashSet<&str> = dirty.iter().map(String::as_str).collect();
+        let mut old: Vec<Option<CompiledApi>> = std::mem::take(&mut self.apis)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let old_index = std::mem::take(&mut self.api_index);
+        let mut apis = Vec::with_capacity(api_order.len());
+        let mut api_index = HashMap::with_capacity(api_order.len());
+        for name in api_order {
+            let compiled = match old_index.get(name) {
+                Some(&slot) if !dirty.contains(name.as_str()) => {
+                    old[slot].take().expect("compiled slots are reused once")
+                }
+                _ => compile_api(
+                    profile,
+                    name,
+                    &id_of,
+                    footprint,
+                    network,
+                    preferences,
+                    current,
+                ),
+            };
+            api_index.insert(name.clone(), apis.len());
+            apis.push(compiled);
+        }
+        self.apis = apis;
+        self.api_index = api_index;
+        self.compile_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    }
+
+    /// Attach owned-site capacity limits to the compiled constraint kernel
+    /// (see [`ConstraintKernel::with_owned_site_limits`]).
+    pub fn set_owned_site_limits(&mut self, limits: Vec<OwnedSiteLimits>) {
+        self.constraints = self.constraints.clone().with_owned_site_limits(limits);
     }
 
     /// Wall-clock time the compile pass took, in milliseconds.
@@ -1173,8 +1317,18 @@ mod tests {
     /// The same profile/footprint/demand as [`model_with_externals`], but
     /// over a 3-site catalog whose links are deliberately asymmetric:
     /// unknown components must resolve to site 0 in both the kernel and
-    /// the interpretive oracle, for every site assignment.
+    /// the interpretive oracle, for every site assignment. Site 2 is the
+    /// caller's: an elastic region by default, or an owned edge site for
+    /// the Eq. 4 capacity tests.
     fn three_site_model_with_externals() -> QualityModel {
+        use atlas_sim::SiteSpec;
+        three_site_model_with_site2(SiteSpec::elastic(
+            "west",
+            PricingModel::preset(atlas_cloud::Provider::GcpLike),
+        ))
+    }
+
+    fn three_site_model_with_site2(site2: atlas_sim::SiteSpec) -> QualityModel {
         use atlas_sim::{ClusterSpec, LinkSpec, SiteCatalog, SiteId, SiteNetwork, SiteSpec};
 
         let component_index = vec!["Frontend".to_string(), "Store".to_string()];
@@ -1232,7 +1386,7 @@ mod tests {
                     cluster.onprem_storage_gb,
                 ),
                 SiteSpec::elastic("east", PricingModel::default()),
-                SiteSpec::elastic("west", PricingModel::preset(atlas_cloud::Provider::GcpLike)),
+                site2,
             ],
             SiteNetwork::from_links(3, links),
         );
@@ -1286,6 +1440,48 @@ mod tests {
         assert!(model.availability(&moved) > 0.0);
         let stayed = MigrationPlan::from_sites(vec![SiteId(0), SiteId(2)]);
         assert_eq!(model.availability(&stayed), 0.0);
+    }
+
+    /// Eq. 4 owned-site capacity at sites beyond index 0: an owned edge
+    /// site's finite pools gate feasibility exactly like the on-prem
+    /// cluster's, in both the compiled kernel and the interpretive oracle.
+    #[test]
+    fn owned_edge_site_capacity_gates_feasibility() {
+        use atlas_sim::{SiteId, SiteSpec};
+        // Site 2 is owned hardware: 2.5 cores, plenty of memory, 5 GB of
+        // storage. Frontend (2.0 cores, no storage) fits; Store (3.0
+        // cores, 10 GB) does not.
+        let model = three_site_model_with_site2(SiteSpec::owned("edge", 2.5, 64.0, 5.0));
+        assert_eq!(model.kernel().constraints().owned_site_limits().len(), 1);
+
+        let frontend_on_edge = MigrationPlan::from_sites(vec![SiteId(2), SiteId(0)]);
+        assert!(model.is_feasible(&frontend_on_edge));
+        assert_eq!(model.feasibility(&frontend_on_edge), None);
+
+        let store_on_edge = MigrationPlan::from_sites(vec![SiteId(0), SiteId(2)]);
+        assert!(!model.is_feasible(&store_on_edge));
+        assert!(!model.evaluate(&store_on_edge).feasible);
+        let why = model.feasibility(&store_on_edge).expect("a diagnostic");
+        assert!(
+            why.contains("exceeds capacity"),
+            "the diagnostic names the violated pool: {why}"
+        );
+
+        // The same placement is fine when site 2 is elastic instead.
+        let elastic = three_site_model_with_externals();
+        assert!(elastic.is_feasible(&store_on_edge));
+
+        // Kernel and oracle agree on feasibility for every assignment.
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                let plan = MigrationPlan::from_sites(vec![SiteId(a), SiteId(b)]);
+                assert_eq!(
+                    model.evaluate(&plan).feasible,
+                    model.evaluate_interpretive(&plan).feasible,
+                    "sites ({a}, {b})"
+                );
+            }
+        }
     }
 
     #[test]

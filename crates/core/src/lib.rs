@@ -27,7 +27,10 @@
 //!    distribution drift with KL divergence (§4.3); [`security`] reuses the
 //!    footprints to flag data-exfiltration anomalies (§6).
 //!
-//! [`advisor::Atlas`] wires the stages together behind one entry point.
+//! [`advisor::Atlas`] wires the stages together behind one entry point for
+//! batch use; [`service::AdvisorService`] runs the same pipeline as a
+//! resident event loop — streaming ingest, continuous drift detection,
+//! incremental dirty-API relearning and re-recommendation.
 
 #![deny(missing_docs)]
 
@@ -45,6 +48,7 @@ pub mod quality;
 pub mod recommender;
 pub mod rl_crossover;
 pub mod security;
+pub mod service;
 
 pub use advisor::{Atlas, AtlasConfig};
 pub use delay::DelayInjector;
@@ -60,3 +64,4 @@ pub use quality::{PlanQuality, QualityModel, ScoredPlan};
 pub use recommender::{random_site, RecommendedPlan, Recommender, RecommenderConfig};
 pub use rl_crossover::{CrossoverAgent, RlCrossoverConfig};
 pub use security::{BreachDetector, BreachReport};
+pub use service::{AdvisorService, AdvisorServiceConfig, PlanDelta, ServiceEvent};

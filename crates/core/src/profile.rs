@@ -133,77 +133,48 @@ impl ApplicationProfile {
         clustered: bool,
     ) -> Self {
         let stateful: HashSet<&str> = stateful_components.iter().map(String::as_str).collect();
-
         let mut apis = HashMap::new();
         for endpoint in store.apis() {
-            // Request count and mean latency come straight from the arena's
-            // root-latency column: no trace is materialised for them.
-            let request_count = store.api_trace_count(&endpoint);
-            let mean_latency_ms = store.api_mean_latency_ms(&endpoint);
-            let (traces, trace_weights) = if clustered {
-                let reps = store.weighted_traces_for_api(&endpoint, traces_per_api);
-                let weights: Vec<f64> = reps.iter().map(|r| r.weight).collect();
-                (reps.into_iter().map(|r| r.trace).collect(), weights)
-            } else {
-                let traces = store.recent_traces_for_api(&endpoint, traces_per_api);
-                let weights = vec![1.0; traces.len()];
-                (traces, weights)
-            };
-            let mut components = HashSet::new();
-            let mut stateful_used = HashSet::new();
-            for c in store.api_components(&endpoint) {
-                if stateful.contains(c.as_str()) {
-                    stateful_used.insert(c.clone());
-                }
-                components.insert(c);
-            }
             apis.insert(
                 endpoint.clone(),
-                ApiProfile {
-                    endpoint,
-                    traces,
-                    trace_weights,
-                    components,
-                    stateful_components: stateful_used,
-                    mean_latency_ms,
-                    request_count,
-                },
+                learn_api(store, &endpoint, traces_per_api, &stateful, clustered),
             );
         }
+        Self {
+            apis,
+            components: learn_components(store, &stateful),
+        }
+    }
 
-        let mut components = HashMap::new();
-        for name in store.components() {
-            let metrics = store.component_metrics(&name);
-            let (mean_cpu, peak_cpu, mean_mem, mean_sto, net) = match metrics {
-                Some(m) => (
-                    m.mean(MetricKind::CpuCores),
-                    m.max(MetricKind::CpuCores),
-                    m.mean(MetricKind::MemoryGb),
-                    m.mean(MetricKind::StorageGb),
-                    m.series(MetricKind::IngressBytes)
-                        .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
-                        .unwrap_or(0.0)
-                        + m.series(MetricKind::EgressBytes)
-                            .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
-                            .unwrap_or(0.0),
-                ),
-                None => (0.0, 0.0, 0.0, 0.0, 0.0),
-            };
-            components.insert(
-                name.clone(),
-                ComponentProfile {
-                    stateful: stateful.contains(name.as_str()),
-                    name,
-                    mean_cpu_cores: mean_cpu,
-                    peak_cpu_cores: peak_cpu,
-                    mean_memory_gb: mean_mem,
-                    mean_storage_gb: mean_sto,
-                    total_network_bytes: net,
-                },
+    /// Incrementally relearn only the `dirty` endpoints from the store,
+    /// leaving every other API profile untouched.
+    ///
+    /// Each dirty endpoint runs exactly the clustered per-API pipeline of
+    /// [`ApplicationProfile::learn`]; an endpoint whose traces were all
+    /// evicted is removed. Component profiles are refreshed in full — they
+    /// derive from cheap metric aggregates and component-name unions, and
+    /// both can change under ingest or eviction — so after this call the
+    /// profile is field-for-field identical to a cold
+    /// [`ApplicationProfile::learn`] against the same store contents.
+    pub fn relearn_dirty(
+        &mut self,
+        store: &TelemetryStore,
+        stateful_components: &[String],
+        traces_per_api: usize,
+        dirty: &[String],
+    ) {
+        let stateful: HashSet<&str> = stateful_components.iter().map(String::as_str).collect();
+        for endpoint in dirty {
+            if store.api_trace_count(endpoint) == 0 {
+                self.apis.remove(endpoint);
+                continue;
+            }
+            self.apis.insert(
+                endpoint.clone(),
+                learn_api(store, endpoint, traces_per_api, &stateful, true),
             );
         }
-
-        Self { apis, components }
+        self.components = learn_components(store, &stateful);
     }
 
     /// Endpoints of all learned APIs, sorted.
@@ -231,6 +202,87 @@ impl ApplicationProfile {
             })
             .unwrap_or_default()
     }
+}
+
+/// Learn one API profile — the shared per-endpoint pipeline behind both the
+/// cold [`ApplicationProfile::learn`] and the incremental
+/// [`ApplicationProfile::relearn_dirty`].
+fn learn_api(
+    store: &TelemetryStore,
+    endpoint: &str,
+    traces_per_api: usize,
+    stateful: &HashSet<&str>,
+    clustered: bool,
+) -> ApiProfile {
+    // Request count and mean latency come straight from the arena's
+    // root-latency column: no trace is materialised for them.
+    let request_count = store.api_trace_count(endpoint);
+    let mean_latency_ms = store.api_mean_latency_ms(endpoint);
+    let (traces, trace_weights) = if clustered {
+        let reps = store.weighted_traces_for_api(endpoint, traces_per_api);
+        let weights: Vec<f64> = reps.iter().map(|r| r.weight).collect();
+        (reps.into_iter().map(|r| r.trace).collect(), weights)
+    } else {
+        let traces = store.recent_traces_for_api(endpoint, traces_per_api);
+        let weights = vec![1.0; traces.len()];
+        (traces, weights)
+    };
+    let mut components = HashSet::new();
+    let mut stateful_used = HashSet::new();
+    for c in store.api_components(endpoint) {
+        if stateful.contains(c.as_str()) {
+            stateful_used.insert(c.clone());
+        }
+        components.insert(c);
+    }
+    ApiProfile {
+        endpoint: endpoint.to_string(),
+        traces,
+        trace_weights,
+        components,
+        stateful_components: stateful_used,
+        mean_latency_ms,
+        request_count,
+    }
+}
+
+/// Learn every component profile from the store's metric aggregates.
+fn learn_components(
+    store: &TelemetryStore,
+    stateful: &HashSet<&str>,
+) -> HashMap<String, ComponentProfile> {
+    let mut components = HashMap::new();
+    for name in store.components() {
+        let metrics = store.component_metrics(&name);
+        let (mean_cpu, peak_cpu, mean_mem, mean_sto, net) = match metrics {
+            Some(m) => (
+                m.mean(MetricKind::CpuCores),
+                m.max(MetricKind::CpuCores),
+                m.mean(MetricKind::MemoryGb),
+                m.mean(MetricKind::StorageGb),
+                m.series(MetricKind::IngressBytes)
+                    .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
+                    .unwrap_or(0.0)
+                    + m.series(MetricKind::EgressBytes)
+                        .map(|s| s.points().iter().map(|p| p.value).sum::<f64>())
+                        .unwrap_or(0.0),
+            ),
+            None => (0.0, 0.0, 0.0, 0.0, 0.0),
+        };
+        components.insert(
+            name.clone(),
+            ComponentProfile {
+                stateful: stateful.contains(name.as_str()),
+                name,
+                mean_cpu_cores: mean_cpu,
+                peak_cpu_cores: peak_cpu,
+                mean_memory_gb: mean_mem,
+                mean_storage_gb: mean_sto,
+                total_network_bytes: net,
+            },
+        );
+    }
+    components
 }
 
 #[cfg(test)]

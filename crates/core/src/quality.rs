@@ -153,7 +153,7 @@ impl QualityModel {
         current: Placement,
         component_index: Vec<String>,
     ) -> Self {
-        Self::assemble(
+        let mut model = Self::assemble(
             profile,
             footprint,
             DelayInjector::with_site_network(catalog.network().clone(), component_index.clone()),
@@ -162,7 +162,11 @@ impl QualityModel {
             preferences,
             current,
             component_index,
-        )
+        );
+        model
+            .kernel
+            .set_owned_site_limits(catalog.owned_site_limits());
+        model
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -231,6 +235,55 @@ impl QualityModel {
             kernel,
             cost_kernel,
         }
+    }
+
+    /// Incrementally refresh the model after the telemetry store reports
+    /// `dirty` APIs: relearn only those APIs' profiles from the store's
+    /// retained traces ([`ApplicationProfile::relearn_dirty`]) and recompile
+    /// only their op arenas in place
+    /// ([`CompiledQuality::recompile_apis`]). APIs whose retained traces
+    /// were all evicted are dropped from the model.
+    ///
+    /// The network footprint, demand and cost model are deliberately held
+    /// fixed: footprint learning regresses *jointly* across every API
+    /// sharing an edge, so it has no per-API incremental form — refresh it
+    /// with a full [`Atlas::learn`](crate::advisor::Atlas::learn) pass when
+    /// the traffic mix shifts structurally. Under that fixed context the
+    /// result is bit-identical to a cold model built from the same retained
+    /// traces, footprint and demand (pinned by property test).
+    pub fn relearn_dirty(
+        &mut self,
+        store: &atlas_telemetry::TelemetryStore,
+        stateful_components: &[String],
+        traces_per_api: usize,
+        dirty: &[String],
+    ) {
+        self.profile
+            .relearn_dirty(store, stateful_components, traces_per_api, dirty);
+        for name in dirty {
+            match self.profile.apis.get(name) {
+                Some(api) => {
+                    self.baseline_latency_ms
+                        .insert(name.clone(), api.mean_latency_ms.max(1e-6));
+                }
+                None => {
+                    self.baseline_latency_ms.remove(name);
+                }
+            }
+        }
+        let mut api_order: Vec<String> = self.profile.apis.keys().cloned().collect();
+        api_order.sort();
+        self.api_order = api_order;
+        self.kernel.recompile_apis(
+            &self.profile,
+            &self.footprint,
+            self.injector.site_network(),
+            &self.preferences,
+            &self.current,
+            &self.component_index,
+            &self.api_order,
+            dirty,
+        );
     }
 
     /// Number of components (the plan length this model expects).
@@ -429,9 +482,12 @@ impl QualityModel {
         with_scratch(|s| {
             fill_sites(&mut s.sites, plan, self.component_count());
             let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
-            self.kernel
-                .constraints()
-                .feasible_with_peaks(&s.sites, &peaks, || breakdown.total())
+            self.kernel.constraints().feasible_with_peaks(
+                &s.sites,
+                &peaks,
+                |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                || breakdown.total(),
+            )
         })
     }
 
@@ -469,6 +525,35 @@ impl QualityModel {
                 self.preferences.onprem_storage_limit_gb
             ));
         }
+        // Capacity limits of owned sites at index > 0 (catalog-declared;
+        // empty in the two-site model, where site 1 is elastic).
+        for limits in self.kernel.constraints().owned_site_limits() {
+            let members: Vec<usize> = (0..self.component_count())
+                .filter(|&i| plan.site(atlas_sim::ComponentId(i)) == limits.site)
+                .collect();
+            let site = limits.site.index();
+            let cpu = self.demand.peak_cpu(&members);
+            if limits.cpu_cores.is_finite() && cpu > limits.cpu_cores {
+                return Some(format!(
+                    "site {site} CPU demand {cpu:.1} exceeds capacity {:.1}",
+                    limits.cpu_cores
+                ));
+            }
+            let mem = self.demand.peak_memory_gb(&members);
+            if limits.memory_gb.is_finite() && mem > limits.memory_gb {
+                return Some(format!(
+                    "site {site} memory demand {mem:.1} GB exceeds capacity {:.1} GB",
+                    limits.memory_gb
+                ));
+            }
+            let storage = self.demand.peak_storage_gb(&members);
+            if limits.storage_gb.is_finite() && storage > limits.storage_gb {
+                return Some(format!(
+                    "site {site} storage demand {storage:.1} GB exceeds capacity {:.1} GB",
+                    limits.storage_gb
+                ));
+            }
+        }
         // Budget (interpretive cost, keeping this diagnostic an oracle
         // that shares nothing with the compiled kernels).
         if let Some(budget) = self.preferences.budget {
@@ -494,10 +579,12 @@ impl QualityModel {
             let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
             let cost = breakdown.total();
             let feasible = plan.len() == self.component_count()
-                && self
-                    .kernel
-                    .constraints()
-                    .feasible_with_peaks(&s.sites, &peaks, || cost);
+                && self.kernel.constraints().feasible_with_peaks(
+                    &s.sites,
+                    &peaks,
+                    |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                    || cost,
+                );
             PlanQuality {
                 performance,
                 availability,
@@ -542,10 +629,12 @@ impl QualityModel {
                     let (breakdown, peaks) =
                         self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
                     let cost = breakdown.total();
-                    let feasible =
-                        self.kernel
-                            .constraints()
-                            .feasible_with_peaks(&s.sites, &peaks, || cost);
+                    let feasible = self.kernel.constraints().feasible_with_peaks(
+                        &s.sites,
+                        &peaks,
+                        |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                        || cost,
+                    );
                     PlanQuality {
                         performance: perf[l],
                         availability,
@@ -581,10 +670,12 @@ impl QualityModel {
             let availability = self.kernel.availability(&sites, self.current.sites());
             let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&sites, &mut s.cost);
             let cost = breakdown.total();
-            let feasible = self
-                .kernel
-                .constraints()
-                .feasible_with_peaks(&sites, &peaks, || cost);
+            let feasible = self.kernel.constraints().feasible_with_peaks(
+                &sites,
+                &peaks,
+                |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                || cost,
+            );
             ScoredPlan {
                 sites,
                 traces,
@@ -627,10 +718,12 @@ impl QualityModel {
             let availability = self.kernel.availability(&sites, self.current.sites());
             let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(&sites, &mut s.cost);
             let cost = breakdown.total();
-            let feasible = self
-                .kernel
-                .constraints()
-                .feasible_with_peaks(&sites, &peaks, || cost);
+            let feasible = self.kernel.constraints().feasible_with_peaks(
+                &sites,
+                &peaks,
+                |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                || cost,
+            );
             ScoredPlan {
                 sites,
                 traces,
@@ -672,10 +765,12 @@ impl QualityModel {
             let availability = self.kernel.availability(sites, self.current.sites());
             let (breakdown, peaks) = self.cost_kernel.evaluate_with_peaks(sites, cost);
             let cost_total = breakdown.total();
-            let feasible = self
-                .kernel
-                .constraints()
-                .feasible_with_peaks(sites, &peaks, || cost_total);
+            let feasible = self.kernel.constraints().feasible_with_peaks(
+                sites,
+                &peaks,
+                |site| self.cost_kernel.site_peaks(cost, site.index()),
+                || cost_total,
+            );
             PlanQuality {
                 performance,
                 availability,

@@ -1,0 +1,583 @@
+//! The resident advisor: a continuously-running event loop over streaming
+//! telemetry (paper §4.3 operationalised).
+//!
+//! [`Atlas`] is a batch advisor: learn once from a
+//! full day of telemetry, recommend once. [`AdvisorService`] keeps the
+//! advisor *resident*: traces stream in through [`AdvisorService::feed`],
+//! the telemetry store retains a bounded window, a [`DriftDetector`] per
+//! API continuously compares the freshest latency window against the
+//! distribution the current model was learned from, and when drift fires
+//! the service relearns **only the APIs whose telemetry changed**
+//! ([`QualityModel::relearn_dirty`] — per-API profile relearn plus per-API
+//! op-arena recompile, bit-identical to a cold rebuild), then re-runs the
+//! recommender and reports how the preferred plan moved.
+//!
+//! ```text
+//!          ┌──────────── feed(batch) ────────────┐
+//!          ▼                                     │
+//!   TelemetryStore ──ingest_batch──▶ retention eviction + per-API epochs
+//!          │                                     │
+//!          ▼ recent window per API               │
+//!   DriftDetector.check ──drifted?──▶ dirty_apis_since(synced epoch)
+//!                                     │
+//!                                     ▼
+//!                   QualityModel::relearn_dirty (profile + kernel, in place)
+//!                                     │
+//!                                     ▼
+//!              Recommender::recommend_with(warm PlanEvaluator)
+//!                                     │
+//!                                     ▼
+//!              ServiceEvent timeline (ingest / drift / relearn / plans)
+//! ```
+//!
+//! Every stage appends [`ServiceEvent`]s to the returned timeline, so a
+//! caller replaying a day of traffic gets an auditable log of what the
+//! advisor saw, when it retrained, how long the drift-to-new-plan path
+//! took, and which components the new recommendation moved.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use atlas_sim::{Placement, SiteId};
+use atlas_telemetry::{TelemetryStore, Trace};
+
+use crate::advisor::{Atlas, AtlasConfig};
+use crate::monitor::{DriftDetector, DriftReport};
+use crate::plan::MigrationPlan;
+use crate::preferences::MigrationPreferences;
+use crate::quality::QualityModel;
+use crate::recommender::{RecommendationReport, Recommender};
+
+/// Configuration of a resident [`AdvisorService`].
+#[derive(Debug, Clone)]
+pub struct AdvisorServiceConfig {
+    /// The wrapped advisor configuration (learning + recommender settings).
+    pub atlas: AtlasConfig,
+    /// The owner's migration preferences, applied to every recommendation
+    /// round.
+    pub preferences: MigrationPreferences,
+    /// Telemetry retention window in seconds: traces whose root started
+    /// more than this long before the newest trace are evicted at ingest.
+    /// `None` retains everything (not recommended for a resident service).
+    pub retention_window_s: Option<u64>,
+    /// Number of the freshest latency samples compared against the learned
+    /// distribution on every drift check.
+    pub drift_window: usize,
+    /// Minimum retained samples an API needs before a detector is armed
+    /// (below this, window-vs-distribution divergence is sampling noise).
+    pub min_detector_samples: usize,
+    /// Factor over the baseline divergence that flags drift
+    /// (see [`DriftDetector::with_threshold_factor`]).
+    pub threshold_factor: f64,
+}
+
+impl AdvisorServiceConfig {
+    /// A service configuration with the detector defaults (50-sample drift
+    /// window, armed from 100 samples, 5× threshold).
+    pub fn new(atlas: AtlasConfig, preferences: MigrationPreferences) -> Self {
+        Self {
+            atlas,
+            preferences,
+            retention_window_s: None,
+            drift_window: 50,
+            min_detector_samples: 100,
+            threshold_factor: DriftDetector::DEFAULT_THRESHOLD_FACTOR,
+        }
+    }
+
+    /// Set the telemetry retention window (builder style).
+    pub fn with_retention_window_s(mut self, window_s: u64) -> Self {
+        self.retention_window_s = Some(window_s);
+        self
+    }
+}
+
+/// One component move between the previously preferred plan and the newly
+/// preferred one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDelta {
+    /// Component name.
+    pub component: String,
+    /// Site under the previous recommendation.
+    pub from: SiteId,
+    /// Site under the new recommendation.
+    pub to: SiteId,
+}
+
+/// One entry of the service timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceEvent {
+    /// A telemetry batch was ingested.
+    Ingested {
+        /// Traces ingested by this batch.
+        traces: usize,
+        /// Traces evicted by the retention window.
+        evicted: usize,
+        /// Store epoch after the batch.
+        epoch: u64,
+    },
+    /// An API's recent latency window drifted from the learned
+    /// distribution.
+    DriftFired {
+        /// The drifted API.
+        api: String,
+        /// The detector's report.
+        report: DriftReport,
+    },
+    /// The model was (re)learned.
+    Relearned {
+        /// The APIs relearned (every API on a cold bootstrap).
+        apis: Vec<String>,
+        /// Whether this was the cold bootstrap (full learn) rather than an
+        /// incremental dirty-API relearn.
+        cold: bool,
+        /// Wall-clock milliseconds of the relearn + recompile.
+        elapsed_ms: f64,
+    },
+    /// The recommender produced a fresh Pareto front.
+    Rerecommended {
+        /// Number of Pareto-optimal plans.
+        plans: usize,
+        /// Component moves of the preferred (performance-optimised) plan
+        /// relative to the previous round's preferred plan.
+        deltas: Vec<PlanDelta>,
+        /// Wall-clock milliseconds from drift confirmation to the new
+        /// recommendation (relearn + recompile + search).
+        latency_ms: f64,
+    },
+}
+
+/// A resident advisor: streaming ingest, continuous per-API drift
+/// detection, incremental relearning and re-recommendation. See the
+/// [module docs](self) for the event loop.
+pub struct AdvisorService {
+    config: AdvisorServiceConfig,
+    store: TelemetryStore,
+    atlas: Atlas,
+    current: Placement,
+    model: Option<QualityModel>,
+    detectors: HashMap<String, DriftDetector>,
+    /// Store epoch the model was last synchronised to.
+    synced_epoch: u64,
+    recommendation: Option<RecommendationReport>,
+    preferred: Option<MigrationPlan>,
+    timeline: Vec<ServiceEvent>,
+}
+
+impl AdvisorService {
+    /// Create a resident advisor for an application currently deployed as
+    /// `current`. The service owns its telemetry store (with the
+    /// configured retention window); feed it traces with
+    /// [`AdvisorService::feed`], then arm the model with
+    /// [`AdvisorService::bootstrap`].
+    pub fn new(config: AdvisorServiceConfig, current: Placement) -> Self {
+        let store = match config.retention_window_s {
+            Some(w) => TelemetryStore::with_retention_window_s(w),
+            None => TelemetryStore::new(),
+        };
+        let atlas = Atlas::new(config.atlas.clone());
+        Self {
+            config,
+            store,
+            atlas,
+            current,
+            model: None,
+            detectors: HashMap::new(),
+            synced_epoch: 0,
+            recommendation: None,
+            preferred: None,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The service's telemetry store (for recording metrics/traffic
+    /// alongside the trace stream).
+    pub fn store(&self) -> &TelemetryStore {
+        &self.store
+    }
+
+    /// The current quality model, if bootstrapped.
+    pub fn model(&self) -> Option<&QualityModel> {
+        self.model.as_ref()
+    }
+
+    /// The latest recommendation report, if any.
+    pub fn recommendation(&self) -> Option<&RecommendationReport> {
+        self.recommendation.as_ref()
+    }
+
+    /// The full event timeline since the service started.
+    pub fn timeline(&self) -> &[ServiceEvent] {
+        &self.timeline
+    }
+
+    /// Whether [`AdvisorService::bootstrap`] has run.
+    pub fn is_bootstrapped(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Ingest one batch of traces and run the event loop: retention
+    /// eviction, per-API drift checks and — when drift fires — incremental
+    /// relearn and re-recommendation. Returns the events this batch
+    /// produced (also appended to [`AdvisorService::timeline`]).
+    ///
+    /// Before [`AdvisorService::bootstrap`] the loop only ingests: there is
+    /// no model to drift from yet.
+    pub fn feed(&mut self, traces: Vec<Trace>) -> Vec<ServiceEvent> {
+        let mark = self.timeline.len();
+        let report = self.store.ingest_batch(traces);
+        self.timeline.push(ServiceEvent::Ingested {
+            traces: report.ingested,
+            evicted: report.evicted,
+            epoch: report.epoch,
+        });
+        if self.model.is_some() {
+            let drifted = self.check_drift();
+            if !drifted.is_empty() {
+                self.resync(&drifted);
+            }
+        }
+        self.timeline[mark..].to_vec()
+    }
+
+    /// Cold-start the model from everything the store currently retains:
+    /// full application learning, first recommendation, and one armed
+    /// drift detector per API with enough samples. Returns the bootstrap
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store holds no traces.
+    pub fn bootstrap(&mut self) -> Vec<ServiceEvent> {
+        assert!(
+            self.store.trace_count() > 0,
+            "feed the service telemetry before bootstrapping"
+        );
+        let mark = self.timeline.len();
+        let start = Instant::now();
+        self.atlas.learn(&self.store);
+        let model = self
+            .atlas
+            .quality_model(self.current.clone(), self.config.preferences.clone());
+        let apis = self.store.apis();
+        self.model = Some(model);
+        self.synced_epoch = self.store.epoch();
+        self.timeline.push(ServiceEvent::Relearned {
+            apis: apis.clone(),
+            cold: true,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        });
+        for api in &apis {
+            self.arm_detector(api);
+        }
+        self.recommend(start);
+        self.timeline[mark..].to_vec()
+    }
+
+    /// (Re)arm the drift detector of one API from the store's retained
+    /// latency distribution: the reference is the full distribution, the
+    /// baseline divergence is the freshest window's divergence from it —
+    /// i.e. the sampling noise a healthy window shows. Later windows
+    /// exceeding that noise by the threshold factor flag drift. APIs with
+    /// fewer than the configured minimum of samples are left unarmed.
+    fn arm_detector(&mut self, api: &str) {
+        let samples = self.store.api_latencies_ms(api);
+        if samples.len() < self.config.min_detector_samples.max(2) {
+            self.detectors.remove(api);
+            return;
+        }
+        let window = self.config.drift_window.min(samples.len() / 2).max(1);
+        let freshest = samples[samples.len() - window..].to_vec();
+        let detector = DriftDetector::new(samples, &freshest)
+            .with_threshold_factor(self.config.threshold_factor);
+        self.detectors.insert(api.to_string(), detector);
+    }
+
+    /// Run every armed detector against its API's freshest latency window;
+    /// returns the drifted APIs (sorted) and logs a
+    /// [`ServiceEvent::DriftFired`] per hit.
+    fn check_drift(&mut self) -> Vec<String> {
+        let mut names: Vec<&String> = self.detectors.keys().collect();
+        names.sort();
+        let mut drifted = Vec::new();
+        let mut events = Vec::new();
+        for api in names {
+            let samples = self.store.api_latencies_ms(api);
+            if samples.len() < self.config.drift_window {
+                continue;
+            }
+            let recent = &samples[samples.len() - self.config.drift_window..];
+            let report = self.detectors[api].check(recent);
+            if report.drifted {
+                drifted.push(api.clone());
+                events.push(ServiceEvent::DriftFired {
+                    api: api.clone(),
+                    report,
+                });
+            }
+        }
+        self.timeline.extend(events);
+        drifted
+    }
+
+    /// The drift response: relearn every API the store marked dirty since
+    /// the last sync (a superset of the drifted ones — cheap, and it keeps
+    /// the model equal to a cold rebuild), re-arm their detectors, and
+    /// re-run the recommender over a warm evaluator.
+    fn resync(&mut self, drifted: &[String]) {
+        let start = Instant::now();
+        let (epoch, dirty) = self.store.dirty_apis_since(self.synced_epoch);
+        let model = self.model.as_mut().expect("resync requires a model");
+        model.relearn_dirty(
+            &self.store,
+            &self.config.atlas.stateful_components,
+            self.config.atlas.traces_per_api,
+            &dirty,
+        );
+        self.synced_epoch = epoch;
+        self.timeline.push(ServiceEvent::Relearned {
+            apis: dirty.clone(),
+            cold: false,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
+        });
+        for api in dirty.iter().chain(drifted) {
+            self.arm_detector(api);
+        }
+        self.recommend(start);
+    }
+
+    /// Run the recommender over the current model through a warm
+    /// [`PlanEvaluator`](crate::eval::PlanEvaluator) (shared across the
+    /// whole GA run — the memo cache makes revisited plans free; it is
+    /// rebuilt per model generation because a relearn invalidates every
+    /// cached score), record the report and log the plan deltas against
+    /// the previous round's preferred plan.
+    fn recommend(&mut self, since: Instant) {
+        let model = self.model.as_ref().expect("recommend requires a model");
+        let recommender = Recommender::new(model, self.config.atlas.recommender.clone());
+        let report = recommender.recommend();
+        let preferred = report
+            .performance_optimized()
+            .map(|p| p.plan.clone())
+            .or_else(|| report.plans.first().map(|p| p.plan.clone()));
+        let deltas = match (&self.preferred, &preferred) {
+            (Some(old), Some(new)) if old.len() == new.len() => model
+                .component_index()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, name)| {
+                    let c = atlas_sim::ComponentId(i);
+                    let (from, to) = (old.site(c), new.site(c));
+                    (from != to).then(|| PlanDelta {
+                        component: name.clone(),
+                        from,
+                        to,
+                    })
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        self.timeline.push(ServiceEvent::Rerecommended {
+            plans: report.plans.len(),
+            deltas,
+            latency_ms: since.elapsed().as_secs_f64() * 1_000.0,
+        });
+        self.preferred = preferred;
+        self.recommendation = Some(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommender::RecommenderConfig;
+    use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadGenerator, WorkloadShape};
+    use atlas_sim::{ClusterSpec, OverloadModel, SimConfig, Simulator};
+    use atlas_telemetry::TraceId;
+
+    const DAY_S: u64 = 60;
+
+    /// A small synthetic scenario's one-day trace corpus (root-start
+    /// ordered) plus the matching service configuration.
+    fn scenario() -> (AdvisorServiceConfig, Placement, Vec<Trace>) {
+        let options = SynthOptions {
+            components: 20,
+            shape: CallGraphShape::Layered,
+            stateful_fraction: 0.2,
+            apis: 3,
+            call_depth: 4,
+            data_scale: 1.0,
+            workload: WorkloadShape::Diurnal,
+            volume_scale: 1.0,
+            site_count: 2,
+            seed: 7,
+        };
+        let scenario = synthesize(options).unwrap();
+        let current = Placement::all_onprem(scenario.topology.component_count());
+        let scratch = TelemetryStore::new();
+        let mut workload = scenario.workload.clone();
+        workload.profile.day_seconds = DAY_S;
+        let sim = Simulator::new(
+            scenario.topology.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed: 7,
+            },
+        );
+        let schedule = WorkloadGenerator::new(workload)
+            .generate(&scenario.topology)
+            .unwrap();
+        sim.run(&schedule, &scratch);
+
+        let mut corpus: Vec<Trace> = scratch
+            .apis()
+            .into_iter()
+            .flat_map(|api| scratch.traces_for_api(&api))
+            .collect();
+        corpus
+            .sort_by(|a, b| (a.root().start_us, a.trace_id).cmp(&(b.root().start_us, b.trace_id)));
+
+        let mut atlas = AtlasConfig::new(scenario.component_index(), scenario.stateful_names());
+        atlas.sites = Some(scenario.catalog.clone());
+        atlas.traces_per_api = 30;
+        atlas.horizon_steps = 8;
+        atlas.recommender = RecommenderConfig {
+            population: 8,
+            max_visited: 60,
+            ..RecommenderConfig::fast()
+        };
+        let preferences = MigrationPreferences::with_cpu_limit(scenario.burst_cpu_limit(5.0, 0.6));
+        let mut config = AdvisorServiceConfig::new(atlas, preferences);
+        config.min_detector_samples = 30;
+        config.drift_window = 20;
+        (config, current, corpus)
+    }
+
+    /// Clone one API's traces as a later, slower day: every span shifted
+    /// forward and its duration scaled, trace ids re-tagged.
+    fn slow_replay(corpus: &[Trace], api: &str, offset_us: u64, factor: u64) -> Vec<Trace> {
+        corpus
+            .iter()
+            .filter(|t| t.root().operation == api)
+            .cloned()
+            .map(|mut t| {
+                t.trace_id = TraceId(t.trace_id.0 ^ (1 << 62));
+                for node in &mut t.nodes {
+                    node.span.trace_id = t.trace_id;
+                    node.span.start_us += offset_us;
+                    node.span.duration_us *= factor;
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn feed_before_bootstrap_only_ingests() {
+        let (config, current, corpus) = scenario();
+        let mut service = AdvisorService::new(config, current);
+        let events = service.feed(corpus);
+        assert!(!service.is_bootstrapped());
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            ServiceEvent::Ingested { traces, evicted: 0, .. } if traces > 0
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "feed the service telemetry")]
+    fn bootstrapping_an_empty_service_panics() {
+        let (config, current, _) = scenario();
+        AdvisorService::new(config, current).bootstrap();
+    }
+
+    #[test]
+    fn bootstrap_learns_recommends_and_stays_calm_on_familiar_traffic() {
+        let (config, current, corpus) = scenario();
+        let mut service = AdvisorService::new(config, current);
+        let replay = slow_replay(
+            &corpus,
+            &corpus[0].root().operation,
+            (DAY_S + 1) * 1_000_000,
+            1,
+        );
+        service.feed(corpus);
+        let events = service.bootstrap();
+        assert!(service.is_bootstrapped());
+        assert!(matches!(
+            &events[0],
+            ServiceEvent::Relearned { cold: true, apis, .. } if apis.len() == 3
+        ));
+        assert!(matches!(&events[1], ServiceEvent::Rerecommended { plans, .. } if *plans > 0));
+        assert!(service.recommendation().is_some());
+
+        // A same-shape replay (duration factor 1) must not trip a detector.
+        let events = service.feed(replay);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ServiceEvent::DriftFired { .. })),
+            "familiar traffic drifted: {events:?}"
+        );
+    }
+
+    #[test]
+    fn drift_episode_relearns_only_the_dirty_api_and_rerecommends() {
+        let (config, current, corpus) = scenario();
+        let mut service = AdvisorService::new(config, current);
+        service.feed(corpus.clone());
+        service.bootstrap();
+
+        let api = corpus[0].root().operation.clone();
+        let before = service.model().unwrap().profile().apis[&api].mean_latency_ms;
+        let events = service.feed(slow_replay(&corpus, &api, (DAY_S + 1) * 1_000_000, 5));
+
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ServiceEvent::DriftFired { api: a, report } if a == &api && report.drifted)),
+            "5x slower traffic must fire the {api} detector: {events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                ServiceEvent::Relearned { cold: false, apis, .. } if apis == &vec![api.clone()]
+            )),
+            "only the drifted API is dirty, so only it relearns: {events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ServiceEvent::Rerecommended { .. })));
+        let after = service.model().unwrap().profile().apis[&api].mean_latency_ms;
+        assert!(
+            after > before * 1.5,
+            "the relearned profile must absorb the slowdown: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn retention_window_evicts_old_traces_during_later_days() {
+        let (mut config, current, corpus) = scenario();
+        config = config.with_retention_window_s(DAY_S + DAY_S / 2);
+        let mut service = AdvisorService::new(config, current);
+        service.feed(corpus.clone());
+        service.bootstrap();
+
+        // Day 2 ends past the retention window, so day-1 traces evict.
+        let api = corpus[0].root().operation.clone();
+        let events = service.feed(slow_replay(&corpus, &api, (DAY_S + 1) * 1_000_000, 1));
+        let evicted: usize = events
+            .iter()
+            .map(|e| match e {
+                ServiceEvent::Ingested { evicted, .. } => *evicted,
+                _ => 0,
+            })
+            .sum();
+        assert!(evicted > 0, "day-2 ingest must evict day-1 traces");
+        assert!(service.store().trace_count() > 0);
+    }
+}

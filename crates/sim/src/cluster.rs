@@ -269,13 +269,13 @@ impl Default for SiteNetwork {
 /// One site of a [`SiteCatalog`]: a capacity pool plus, for elastic sites,
 /// the pricing the autoscaler bills it under.
 ///
-/// **Constraint semantics** (paper Eq. 4): resource-limit feasibility is
-/// enforced for the *on-prem* site (site 0) via
-/// `MigrationPreferences::onprem_*_limit`; elastic sites are
-/// capacity-unbounded by construction. The capacity fields of an owned
-/// site at index > 0 are descriptive for now — generated catalogs only
-/// create elastic non-zero sites, and per-site capacity constraints for
-/// additional owned sites are a recorded ROADMAP follow-on.
+/// **Constraint semantics** (paper Eq. 4): resource-limit feasibility of
+/// the *on-prem* site (site 0) is governed by
+/// `MigrationPreferences::onprem_*_limit` — the paper's operator knobs —
+/// while owned sites at index > 0 are capacity-constrained by their own
+/// finite `cpu_cores` / `memory_gb` / `storage_gb` fields, surfaced to the
+/// constraint kernel through [`SiteCatalog::owned_site_limits`]. Elastic
+/// sites are capacity-unbounded by construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteSpec {
     /// Human-readable site name (e.g. `on-prem`, `aws-us-east`).
@@ -440,6 +440,45 @@ impl SiteCatalog {
     pub fn cost_model(&self) -> SiteCostModel {
         SiteCostModel::from_pricings(self.pricings())
     }
+
+    /// Eq. 4 capacity limits of the owned (non-elastic) sites at index > 0
+    /// that declare at least one finite capacity. Site 0 is omitted: its
+    /// limits are governed by `MigrationPreferences::onprem_*_limit`, the
+    /// paper's operator knobs.
+    pub fn owned_site_limits(&self) -> Vec<OwnedSiteLimits> {
+        self.sites
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, s)| {
+                !s.is_elastic()
+                    && (s.cpu_cores.is_finite()
+                        || s.memory_gb.is_finite()
+                        || s.storage_gb.is_finite())
+            })
+            .map(|(i, s)| OwnedSiteLimits {
+                site: SiteId(i as u16),
+                cpu_cores: s.cpu_cores,
+                memory_gb: s.memory_gb,
+                storage_gb: s.storage_gb,
+            })
+            .collect()
+    }
+}
+
+/// The Eq. 4 capacity limits of one owned site at index > 0, extracted by
+/// [`SiteCatalog::owned_site_limits`] and enforced by the core constraint
+/// kernel alongside the site-0 preference limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OwnedSiteLimits {
+    /// The owned site these limits bound (never site 0).
+    pub site: SiteId,
+    /// CPU-core capacity (finite unless unbounded on this axis).
+    pub cpu_cores: f64,
+    /// Memory capacity in GB.
+    pub memory_gb: f64,
+    /// Storage capacity in GB.
+    pub storage_gb: f64,
 }
 
 impl Default for SiteCatalog {

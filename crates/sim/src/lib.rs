@@ -39,8 +39,8 @@ pub mod topology;
 
 pub use calltree::{CallEdge, CallMode, CallNode, SizeDist, TimeDist};
 pub use cluster::{
-    ClusterSpec, LinkSpec, Location, NetworkModel, NodeSpec, SiteCatalog, SiteId, SiteNetwork,
-    SiteSpec,
+    ClusterSpec, LinkSpec, Location, NetworkModel, NodeSpec, OwnedSiteLimits, SiteCatalog, SiteId,
+    SiteNetwork, SiteSpec,
 };
 pub use component::{ComponentId, ComponentSpec};
 pub use engine::{RequestOutcome, SimConfig, SimReport, Simulator};

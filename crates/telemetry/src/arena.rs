@@ -221,6 +221,122 @@ impl TraceArena {
         *self = Self::default();
     }
 
+    /// Evict every trace whose root starts before `cutoff_us`, compacting
+    /// the columns in place.
+    ///
+    /// Kept traces are renumbered densely in their original relative order,
+    /// and the posting lists are filtered and remapped under the same
+    /// renumbering — the per-API lists stay `(root_start_us, index)`-sorted
+    /// because both the time order and the relative index order survive the
+    /// compaction. Interned name ids are never recycled, so ids observed
+    /// before an eviction stay valid after it.
+    ///
+    /// Returns the sorted names of the APIs that lost at least one trace
+    /// (empty when nothing was evicted).
+    pub fn evict_older_than(&mut self, cutoff_us: Micros) -> Vec<String> {
+        let n = self.trace_ids.len();
+        let keep: Vec<bool> = (0..n).map(|t| self.root_start_us[t] >= cutoff_us).collect();
+        if keep.iter().all(|&k| k) {
+            return Vec::new();
+        }
+
+        let mut affected_ids: Vec<u32> =
+            (0..n).filter(|&t| !keep[t]).map(|t| self.api[t]).collect();
+        affected_ids.sort_unstable();
+        affected_ids.dedup();
+        let mut affected: Vec<String> = affected_ids
+            .into_iter()
+            .map(|id| self.operations.resolve(id).to_string())
+            .collect();
+        affected.sort();
+
+        // New index of each kept trace, assigned in kept order.
+        let mut remap = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for t in 0..n {
+            if keep[t] {
+                remap[t] = next;
+                next += 1;
+            }
+        }
+
+        // Compact the per-trace and per-span columns. `span_parent` holds
+        // within-trace relative indices, so span ranges copy verbatim.
+        let kept = next as usize;
+        let mut trace_ids = Vec::with_capacity(kept);
+        let mut api = Vec::with_capacity(kept);
+        let mut root_start_us = Vec::with_capacity(kept);
+        let mut root_duration_us = Vec::with_capacity(kept);
+        let mut trace_offsets = Vec::with_capacity(kept + 1);
+        trace_offsets.push(0u32);
+        let mut span_parent = Vec::new();
+        let mut span_component = Vec::new();
+        let mut span_operation = Vec::new();
+        let mut span_id = Vec::new();
+        let mut span_start_us = Vec::new();
+        let mut span_duration_us = Vec::new();
+        for t in 0..n {
+            if !keep[t] {
+                continue;
+            }
+            let (lo, hi) = self.span_range(t as u32);
+            trace_ids.push(self.trace_ids[t]);
+            api.push(self.api[t]);
+            root_start_us.push(self.root_start_us[t]);
+            root_duration_us.push(self.root_duration_us[t]);
+            span_parent.extend_from_slice(&self.span_parent[lo..hi]);
+            span_component.extend_from_slice(&self.span_component[lo..hi]);
+            span_operation.extend_from_slice(&self.span_operation[lo..hi]);
+            span_id.extend_from_slice(&self.span_id[lo..hi]);
+            span_start_us.extend_from_slice(&self.span_start_us[lo..hi]);
+            span_duration_us.extend_from_slice(&self.span_duration_us[lo..hi]);
+            trace_offsets.push(span_parent.len() as u32);
+        }
+        self.trace_ids = trace_ids;
+        self.api = api;
+        self.root_start_us = root_start_us;
+        self.root_duration_us = root_duration_us;
+        self.trace_offsets = trace_offsets;
+        self.span_parent = span_parent;
+        self.span_component = span_component;
+        self.span_operation = span_operation;
+        self.span_id = span_id;
+        self.span_start_us = span_start_us;
+        self.span_duration_us = span_duration_us;
+
+        self.by_api.retain(|_, postings| {
+            postings.retain_mut(|t| {
+                let old = *t as usize;
+                if keep[old] {
+                    *t = remap[old];
+                    true
+                } else {
+                    false
+                }
+            });
+            !postings.is_empty()
+        });
+        self.by_edge.retain(|_, postings| {
+            postings.retain_mut(|(t, _)| {
+                let old = *t as usize;
+                if keep[old] {
+                    *t = remap[old];
+                    true
+                } else {
+                    false
+                }
+            });
+            !postings.is_empty()
+        });
+
+        // Eviction keeps exactly the traces at or after the cutoff, so
+        // whenever anything survives the maximum-start trace survives too.
+        if self.trace_ids.is_empty() {
+            self.max_root_start_us = None;
+        }
+        affected
+    }
+
     /// Latest root start timestamp over all traces (µs), if any.
     pub fn max_root_start_us(&self) -> Option<Micros> {
         self.max_root_start_us
@@ -650,6 +766,67 @@ mod tests {
         assert_eq!(reps[0].weight, 3.0);
         // Mean latency is 400 µs; 200 µs is the closest member.
         assert_eq!(reps[0].trace.end_to_end_latency_us(), 200);
+        assert_eq!(reps[1].weight, 1.0);
+    }
+
+    #[test]
+    fn eviction_compacts_columns_and_keeps_indexes_consistent() {
+        let mut arena = TraceArena::new();
+        arena.push(&tree_trace(1, "/a", 1_000_000, 100, &["F", "U"]));
+        arena.push(&tree_trace(2, "/b", 2_000_000, 200, &["F", "M"]));
+        arena.push(&tree_trace(3, "/a", 5_000_000, 300, &["F", "U", "M"]));
+        arena.push(&tree_trace(4, "/b", 9_000_000, 400, &["F", "M"]));
+
+        let affected = arena.evict_older_than(3_000_000);
+        assert_eq!(affected, vec!["/a", "/b"]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.span_count(), 5);
+        assert_eq!(arena.max_root_start_us(), Some(9_000_000));
+
+        // The kept traces round-trip exactly under their new indices.
+        let a = arena.api_trace_indices("/a").to_vec();
+        assert_eq!(a.len(), 1);
+        let t = arena.materialize(a[0]);
+        assert_eq!(t.trace_id, TraceId(3));
+        assert_eq!(t.root().start_us, 5_000_000);
+        assert_eq!(t.nodes.len(), 3);
+
+        // The edge index survives the renumbering: /b's remaining trace
+        // still answers windowed invocation queries.
+        let w = crate::window::Windowing::new(0, 5);
+        let inv = arena.windowed_invocations(&PairKey::new("F", "M"), &w, 2);
+        assert_eq!(inv["/b"], vec![0.0, 1.0]);
+
+        // Evicting nothing reports nothing.
+        assert!(arena.evict_older_than(0).is_empty());
+
+        // Evicting everything empties the arena.
+        let affected = arena.evict_older_than(10_000_000);
+        assert_eq!(affected, vec!["/a", "/b"]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.span_count(), 0);
+        assert_eq!(arena.max_root_start_us(), None);
+        assert!(arena.api_names().is_empty());
+    }
+
+    #[test]
+    fn eviction_preserves_time_sort_and_clustering() {
+        let mut arena = TraceArena::new();
+        // Out-of-order ingest across the cutoff.
+        arena.push(&tree_trace(1, "/a", 9_000_000, 10, &["F", "U"]));
+        arena.push(&tree_trace(2, "/a", 1_000_000, 10, &["F", "U"]));
+        arena.push(&tree_trace(3, "/a", 4_000_000, 10, &["F", "U"]));
+        arena.push(&tree_trace(4, "/a", 6_000_000, 10, &["F", "U", "M"]));
+        arena.evict_older_than(4_000_000);
+        let starts: Vec<Micros> = arena
+            .api_trace_indices("/a")
+            .iter()
+            .map(|&t| arena.view(t).root_start_us())
+            .collect();
+        assert_eq!(starts, vec![4_000_000, 6_000_000, 9_000_000]);
+        let reps = arena.weighted_representatives("/a", 10);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].weight, 2.0);
         assert_eq!(reps[1].weight, 1.0);
     }
 

@@ -32,7 +32,7 @@ pub use arena::{NameInterner, TraceArena, TraceView, WeightedTrace};
 pub use metrics::{ComponentMetrics, MetricKind, MetricPoint, MetricSeries};
 pub use network::{Direction, PairKey, PairwiseTraffic, TrafficSample};
 pub use span::{IdGenerator, Span, SpanId, TraceId};
-pub use store::TelemetryStore;
+pub use store::{IngestReport, TelemetryStore};
 pub use trace::{SiblingRelation, Trace, TraceNode};
 pub use window::{TimeWindow, Windowing};
 

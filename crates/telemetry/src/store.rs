@@ -28,6 +28,17 @@ use crate::Seconds;
 ///
 /// The store is internally synchronised so that a simulator thread can keep
 /// appending while the advisor reads, mirroring a live telemetry backend.
+///
+/// # Streaming ingest
+///
+/// Beyond the batch surface, the store supports resident-service operation:
+/// [`TelemetryStore::ingest_batch`] appends a batch of traces and (when a
+/// retention window is configured) evicts traces older than the window
+/// behind the latest observed root start, keeping every index consistent.
+/// Every mutation of an API's trace set — ingest or eviction — stamps that
+/// API with a monotonically increasing store epoch, so incremental consumers
+/// can ask [`TelemetryStore::dirty_apis_since`] "which APIs changed since my
+/// last sync" instead of relearning the world.
 #[derive(Debug, Default)]
 pub struct TelemetryStore {
     inner: RwLock<StoreInner>,
@@ -38,6 +49,58 @@ struct StoreInner {
     arena: TraceArena,
     metrics: BTreeMap<String, ComponentMetrics>,
     traffic: PairwiseTraffic,
+    /// Monotonic change counter: bumped once per mutating ingest call.
+    epoch: u64,
+    /// API → the epoch of the last change to its trace set (ingest or
+    /// eviction). A `BTreeMap` so dirty sets come out sorted.
+    api_epochs: BTreeMap<String, u64>,
+    /// When set, [`TelemetryStore::ingest_batch`] evicts traces whose root
+    /// starts more than this many seconds before the latest root start.
+    retention_window_s: Option<Seconds>,
+}
+
+impl StoreInner {
+    /// Push one trace, stamping its API with the current epoch.
+    fn push_stamped(&mut self, trace: &Trace) {
+        let api = &trace.root().operation;
+        match self.api_epochs.get_mut(api) {
+            Some(e) => *e = self.epoch,
+            None => {
+                self.api_epochs.insert(api.clone(), self.epoch);
+            }
+        }
+        self.arena.push(trace);
+    }
+
+    /// Enforce the retention window, if any. Returns the eviction count.
+    fn enforce_retention(&mut self) -> usize {
+        let (Some(window_s), Some(max_us)) =
+            (self.retention_window_s, self.arena.max_root_start_us())
+        else {
+            return 0;
+        };
+        let cutoff_us = max_us.saturating_sub(window_s.saturating_mul(1_000_000));
+        if cutoff_us == 0 {
+            return 0;
+        }
+        let before = self.arena.len();
+        for api in self.arena.evict_older_than(cutoff_us) {
+            self.api_epochs.insert(api, self.epoch);
+        }
+        before - self.arena.len()
+    }
+}
+
+/// What one [`TelemetryStore::ingest_batch`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Number of traces appended by the batch.
+    pub ingested: usize,
+    /// Number of traces evicted by the retention window.
+    pub evicted: usize,
+    /// The store epoch after the batch. Pass it (or the epoch returned by
+    /// [`TelemetryStore::dirty_apis_since`]) as the next sync point.
+    pub epoch: u64,
 }
 
 impl TelemetryStore {
@@ -46,21 +109,102 @@ impl TelemetryStore {
         Self::default()
     }
 
+    /// Create an empty store that retains only the trailing `window_s`
+    /// seconds of traces (relative to the latest observed root start).
+    /// Retention is enforced on every [`TelemetryStore::ingest_batch`].
+    pub fn with_retention_window_s(window_s: Seconds) -> Self {
+        let store = Self::default();
+        store.inner.write().retention_window_s = Some(window_s);
+        store
+    }
+
+    /// Change (or clear) the retention window. Takes effect on the next
+    /// [`TelemetryStore::ingest_batch`].
+    pub fn set_retention_window_s(&self, window_s: Option<Seconds>) {
+        self.inner.write().retention_window_s = window_s;
+    }
+
+    /// The configured retention window, if any.
+    pub fn retention_window_s(&self) -> Option<Seconds> {
+        self.inner.read().retention_window_s
+    }
+
     // ------------------------------------------------------------------
-    // Ingestion (used by the simulator).
+    // Ingestion (used by the simulator and the resident service).
     // ------------------------------------------------------------------
 
     /// Ingest a completed trace.
     pub fn ingest_trace(&self, trace: Trace) {
-        self.inner.write().arena.push(&trace);
+        let mut inner = self.inner.write();
+        inner.epoch += 1;
+        inner.push_stamped(&trace);
     }
 
     /// Ingest many traces at once.
     pub fn ingest_traces(&self, traces: impl IntoIterator<Item = Trace>) {
         let mut inner = self.inner.write();
+        let mut bumped = false;
         for trace in traces {
-            inner.arena.push(&trace);
+            if !bumped {
+                inner.epoch += 1;
+                bumped = true;
+            }
+            inner.push_stamped(&trace);
         }
+    }
+
+    /// Streaming ingest: append a batch of traces, then enforce the
+    /// retention window (evicting traces older than the window behind the
+    /// latest root start, with every index kept consistent).
+    ///
+    /// The whole batch shares one epoch; every API whose trace set changed —
+    /// by ingest or by eviction — is stamped with it, so
+    /// [`TelemetryStore::dirty_apis_since`] reports exactly the APIs a
+    /// consumer needs to resync.
+    pub fn ingest_batch(&self, traces: impl IntoIterator<Item = Trace>) -> IngestReport {
+        let mut inner = self.inner.write();
+        let before = inner.arena.len();
+        let mut bumped = false;
+        for trace in traces {
+            if !bumped {
+                inner.epoch += 1;
+                bumped = true;
+            }
+            inner.push_stamped(&trace);
+        }
+        let ingested = inner.arena.len() - before;
+        let evicted = if bumped { inner.enforce_retention() } else { 0 };
+        IngestReport {
+            ingested,
+            evicted,
+            epoch: inner.epoch,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental sync surface (used by the resident advisor).
+    // ------------------------------------------------------------------
+
+    /// The current store epoch. Starts at 0; bumped once per mutating
+    /// ingest call.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().epoch
+    }
+
+    /// The APIs whose trace set changed after epoch `since` (sorted), and
+    /// the current epoch to use as the next sync point.
+    ///
+    /// An API evicted down to zero traces still appears here — consumers
+    /// observe the disappearance and drop the endpoint.
+    pub fn dirty_apis_since(&self, since: u64) -> (u64, Vec<String>) {
+        let inner = self.inner.read();
+        let dirty = inner
+            .api_epochs
+            .iter()
+            .filter(|&(_, &e)| e > since)
+            .map(|(api, _)| api.clone())
+            .collect();
+        (inner.epoch, dirty)
     }
 
     /// Record a component metric observation.
@@ -269,12 +413,16 @@ impl TelemetryStore {
         self.inner.read().arena.api_latencies_ms(api)
     }
 
-    /// Remove every stored trace, metric, and traffic sample.
+    /// Remove every stored trace, metric, and traffic sample. The epoch
+    /// keeps counting (a clear is a change), the dirty set resets, and the
+    /// retention window is preserved.
     pub fn clear(&self) {
         let mut inner = self.inner.write();
         inner.arena.clear();
         inner.metrics.clear();
         inner.traffic = PairwiseTraffic::new();
+        inner.epoch += 1;
+        inner.api_epochs.clear();
     }
 }
 
@@ -405,6 +553,66 @@ mod tests {
         let reps = store.weighted_traces_for_api("/a", 50);
         assert_eq!(reps.len(), 1, "six structurally identical traces");
         assert_eq!(reps[0].weight, 6.0);
+    }
+
+    #[test]
+    fn ingest_batch_reports_and_stamps_epochs() {
+        let store = TelemetryStore::new();
+        assert_eq!(store.epoch(), 0);
+        let report = store.ingest_batch([trace(1, "/a", 0, 10), trace(2, "/b", 1_000_000, 10)]);
+        assert_eq!(report.ingested, 2);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(report.epoch, 1);
+
+        // Both APIs are dirty relative to epoch 0; none relative to 1.
+        let (epoch, dirty) = store.dirty_apis_since(0);
+        assert_eq!(epoch, 1);
+        assert_eq!(dirty, vec!["/a", "/b"]);
+        assert_eq!(store.dirty_apis_since(1).1, Vec::<String>::new());
+
+        // A second batch touching only /b dirties only /b.
+        let report = store.ingest_batch([trace(3, "/b", 2_000_000, 10)]);
+        assert_eq!(report.epoch, 2);
+        assert_eq!(store.dirty_apis_since(1).1, vec!["/b"]);
+
+        // Empty batches change nothing.
+        let report = store.ingest_batch(std::iter::empty());
+        assert_eq!((report.ingested, report.evicted, report.epoch), (0, 0, 2));
+
+        // Single-trace ingest shares the same epoch discipline.
+        store.ingest_trace(trace(4, "/a", 3_000_000, 10));
+        assert_eq!(store.dirty_apis_since(2), (3, vec!["/a".to_string()]));
+    }
+
+    #[test]
+    fn retention_window_evicts_and_dirties_affected_apis() {
+        let store = TelemetryStore::with_retention_window_s(10);
+        assert_eq!(store.retention_window_s(), Some(10));
+        let report = store.ingest_batch([
+            trace(1, "/old", 0, 10),
+            trace(2, "/both", 2_000_000, 10),
+            trace(3, "/both", 5_000_000, 10),
+        ]);
+        assert_eq!(report.evicted, 0, "everything inside the window");
+
+        // A batch at t=15s pushes the cutoff to 5s: /old's trace and
+        // /both's first trace fall out.
+        let report = store.ingest_batch([trace(4, "/new", 15_000_000, 10)]);
+        assert_eq!(report.ingested, 1);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(store.trace_count(), 2);
+        assert_eq!(store.apis(), vec!["/both", "/new"]);
+        assert_eq!(store.api_trace_count("/old"), 0);
+        // Everything that changed this epoch is dirty: the ingested API and
+        // both evicted ones.
+        let (_, dirty) = store.dirty_apis_since(1);
+        assert_eq!(dirty, vec!["/both", "/new", "/old"]);
+
+        // Widening the window stops further eviction.
+        store.set_retention_window_s(Some(1_000));
+        let report = store.ingest_batch([trace(5, "/new", 16_000_000, 10)]);
+        assert_eq!(report.evicted, 0);
+        assert_eq!(store.trace_count(), 3);
     }
 
     #[test]
