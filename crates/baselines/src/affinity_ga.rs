@@ -9,10 +9,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use atlas_core::{random_site, MigrationPlan};
-use atlas_ga::nsga2::survive;
+use atlas_core::{random_site, MigrationPlan, ARCHIVE_CAPACITY};
+use atlas_ga::nsga2::{survive, take_selected};
 use atlas_ga::{
-    alphabet_mutation_tracked, binary_tournament, pareto_front_indices, uniform_crossover,
+    alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover, ParetoArchive,
 };
 use atlas_sim::SiteId;
 
@@ -82,6 +82,15 @@ impl AffinityGaAdvisor {
         let mut requested = 0usize;
         let request_cap = self.max_visited.saturating_mul(8).max(64);
 
+        // Every feasible placement scored during the search is offered to
+        // the external archive under the GA's own two objectives, so the
+        // final front survives population churn.
+        let mut archive: ParetoArchive<Vec<SiteId>, [f64; 2]> =
+            ParetoArchive::new(ARCHIVE_CAPACITY);
+        // The delta path routes children whose diff against their nearer
+        // tournament parent stays small; larger diffs are batch-scored.
+        let change_cap = ((n as f64 * atlas_core::DELTA_DIFF_THRESHOLD) as usize).max(1);
+
         let mut population: Vec<Vec<SiteId>> = (0..self.population)
             .map(|_| {
                 let fraction = rng.gen_range(0.05..0.95);
@@ -96,14 +105,15 @@ impl AffinityGaAdvisor {
         requested += population.len();
         let mut objectives: Vec<[f64; 2]> = scores.iter().map(Self::objectives_of).collect();
         let mut feasible: Vec<bool> = scores.iter().map(|s| s.feasible).collect();
+        for (member, score) in population.iter().zip(&scores) {
+            if score.feasible {
+                archive.insert(member, Self::objectives_of(score));
+            }
+        }
 
         while visited(scorer) < self.max_visited && requested < request_cap {
             let survival = survive(&objectives, &feasible, self.population);
-            population = survival
-                .selected
-                .iter()
-                .map(|&i| population[i].clone())
-                .collect();
+            population = take_selected(population, &survival.selected);
             objectives = survival.selected.iter().map(|&i| objectives[i]).collect();
             feasible = survival.selected.iter().map(|&i| feasible[i]).collect();
             let (rank, crowding) = (survival.rank, survival.crowding);
@@ -115,41 +125,35 @@ impl AffinityGaAdvisor {
                 .min(self.max_visited.saturating_sub(visited(scorer)))
                 .max(1);
             let mut offspring = Vec::with_capacity(offspring_target);
-            // Provenance of each child: the population index of the parent
-            // it is a mutation of (when crossover reproduced one parent
-            // verbatim — the common case once the population converges)
-            // plus the genes that actually changed. Those children are
-            // scored through the scorer's delta path; the rest are batched.
+            // Provenance of each child: the population index of its nearer
+            // tournament parent (fewest differing genes, ties to the first)
+            // plus those gene changes. Small-diff children are scored
+            // through the scorer's allocation-free delta path; children
+            // whose diff exceeds the cap are batched.
             let mut provenance: Vec<Option<(usize, Vec<(usize, SiteId)>)>> =
                 Vec::with_capacity(offspring_target);
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
                 let b = binary_tournament(&mut rng, &rank, &crowding);
                 let mut sites = uniform_crossover(&mut rng, &population[a], &population[b]);
-                let clone_of = if sites == population[a] {
-                    Some(a)
-                } else if sites == population[b] {
-                    Some(b)
-                } else {
-                    None
-                };
-                let mutated = alphabet_mutation_tracked(
-                    &mut rng,
-                    &mut sites,
-                    &site_alphabet,
-                    self.mutation_rate,
-                );
+                alphabet_mutation(&mut rng, &mut sites, &site_alphabet, self.mutation_rate);
                 ctx.apply_pins(&mut sites);
-                // Pins can revert a mutated gene, so diff against the parent
-                // after pinning; population members already satisfy the pins.
-                provenance.push(clone_of.map(|p| {
-                    let changes: Vec<(usize, SiteId)> = mutated
-                        .iter()
-                        .map(|&g| (g, sites[g]))
-                        .filter(|&(g, s)| population[p][g] != s)
-                        .collect();
-                    (p, changes)
-                }));
+                // Diff after pinning: pins can revert a mutated gene, and
+                // population members already satisfy them.
+                let diff = |p: &[SiteId]| -> Vec<(usize, SiteId)> {
+                    (0..n)
+                        .filter(|&g| p[g] != sites[g])
+                        .map(|g| (g, sites[g]))
+                        .collect()
+                };
+                let da = diff(&population[a]);
+                let db = diff(&population[b]);
+                let (parent, changes) = if db.len() < da.len() {
+                    (b, db)
+                } else {
+                    (a, da)
+                };
+                provenance.push((changes.len() <= change_cap).then_some((parent, changes)));
                 offspring.push(sites);
             }
             let child_scores = if scorer.delta_path() {
@@ -174,27 +178,31 @@ impl AffinityGaAdvisor {
             };
             requested += offspring.len();
             for (child, score) in offspring.into_iter().zip(&child_scores) {
+                if score.feasible {
+                    archive.insert(&child, Self::objectives_of(score));
+                }
                 objectives.push(Self::objectives_of(score));
                 feasible.push(score.feasible);
                 population.push(child);
             }
         }
 
-        // Pareto front over the feasible members.
-        let feasible_idx: Vec<usize> = (0..population.len()).filter(|&i| feasible[i]).collect();
-        let candidates: Vec<usize> = if feasible_idx.is_empty() {
-            (0..population.len()).collect()
-        } else {
-            feasible_idx
-        };
-        let objs: Vec<[f64; 2]> = candidates.iter().map(|&i| objectives[i]).collect();
-        let front = pareto_front_indices(&objs);
-        let mut seen = std::collections::HashSet::new();
+        // The answer is the archive front; an empty archive (no feasible
+        // placement within budget) falls back to the Pareto front of the
+        // final population, deduped by borrowed genome (no allocation).
+        if !archive.is_empty() {
+            return archive
+                .entries()
+                .iter()
+                .map(|(sites, _)| BaselineContext::to_plan(sites))
+                .collect();
+        }
+        let front = pareto_front_indices(&objectives);
+        let mut seen: std::collections::HashSet<&[SiteId]> = std::collections::HashSet::new();
         front
             .into_iter()
-            .map(|k| &population[candidates[k]])
-            .filter(|p| seen.insert((*p).clone()))
-            .map(|p| BaselineContext::to_plan(p))
+            .filter(|&i| seen.insert(&population[i]))
+            .map(|i| BaselineContext::to_plan(&population[i]))
             .collect()
     }
 }

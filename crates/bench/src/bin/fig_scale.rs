@@ -41,12 +41,14 @@ fn main() {
                 ("scalar_evals_per_sec", p.scalar_evals_per_sec),
                 ("batch_evals_per_sec", p.batch_evals_per_sec),
                 ("delta_probe_evals_per_sec", p.delta_probe_evals_per_sec),
+                ("search_evals_per_sec", p.search_evals_per_sec),
                 ("ingest_traces_per_sec", p.ingest_traces_per_sec),
                 ("learn_ms", p.learn_ms),
                 ("learn_speedup", p.learn_speedup),
                 ("distinct_trace_ratio", p.distinct_trace_ratio),
                 ("cache_hit_rate", p.cache_hit_rate),
                 ("plans", p.plans as f64),
+                ("front_size", p.front_size as f64),
             ],
         );
     }

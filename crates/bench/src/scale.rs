@@ -4,7 +4,7 @@
 //! application, simulate its learning workload, learn, recommend — at a given
 //! component count and reports the recommendation wall time, the evaluation
 //! throughput and the cache behaviour of the shared
-//! [`PlanEvaluator`](atlas_core::PlanEvaluator). The `scale` bench target and
+//! [`PlanEvaluator`]. The `scale` bench target and
 //! the `fig_scale` binary both drive this module; the bench additionally
 //! writes the machine-readable `BENCH_scale.json` CI tracks alongside
 //! `BENCH_recommender.json`.
@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadShape};
 use atlas_core::{
-    ApiProfile, ApplicationProfile, MigrationPlan, QualityModel, Recommender, RecommenderConfig,
-    LANE_WIDTH,
+    ApiProfile, ApplicationProfile, MigrationPlan, PlanEvaluator, QualityModel, Recommender,
+    RecommenderConfig, ScoredPlan, LANE_WIDTH,
 };
 use atlas_sim::{ComponentId, SiteId};
 use atlas_telemetry::{us_to_ms, TelemetryStore, Trace};
@@ -60,6 +60,11 @@ pub struct ScalePoint {
     pub apis: usize,
     /// Pareto-optimal plans recommended.
     pub plans: usize,
+    /// Size of the recommendation's Pareto front (the external archive
+    /// front — every feasible plan the search visited, non-dominated). The
+    /// CI gate holds this at or above the committed snapshot at the larger
+    /// sweep sizes: the archive must never thin the answer.
+    pub front_size: usize,
     /// End-to-end `Recommender::recommend` wall time in milliseconds.
     pub recommend_ms: f64,
     /// Unique plan evaluations performed by the search.
@@ -86,6 +91,14 @@ pub struct ScalePoint {
     /// Raw single-move `probe_delta` re-score throughput against a retained
     /// parent state (the local-search probe shape).
     pub delta_probe_evals_per_sec: f64,
+    /// Offspring scored per second through the delta-native search path
+    /// ([`PlanEvaluator::evaluate_offspring_batch`]): freshly generated
+    /// GA-shaped children (a few mutated genes against a retained parent)
+    /// in generation-sized batches, with the evaluator's worker threads,
+    /// lane batching, memo cache and diff routing all engaged — the
+    /// throughput the generational loop actually sees. The CI gate requires
+    /// this to stay well ahead of the cold batch path.
+    pub search_evals_per_sec: f64,
     /// Traffic-volume multiplier of the learning workload (1.0 = the normal
     /// sweep; the volume companion runs at [`VOLUME_SCALE_FACTOR`]).
     pub volume_scale: f64,
@@ -183,6 +196,7 @@ pub fn run_scale_point_volume(components: usize, sites: usize, volume_scale: f64
     let stats = report.eval;
     let (scalar_evals_per_sec, batch_evals_per_sec, delta_probe_evals_per_sec) =
         throughput_microbench(&exp.quality, sites);
+    let search_evals_per_sec = search_microbench(&exp.quality, sites);
     let learn = learn_microbench(&exp);
 
     ScalePoint {
@@ -190,6 +204,7 @@ pub fn run_scale_point_volume(components: usize, sites: usize, volume_scale: f64
         sites,
         apis: synth.apis,
         plans: report.plans.len(),
+        front_size: report.plans.len(),
         recommend_ms,
         unique_evaluations: stats.unique_evaluations,
         cache_hits: stats.cache_hits,
@@ -200,6 +215,7 @@ pub fn run_scale_point_volume(components: usize, sites: usize, volume_scale: f64
         scalar_evals_per_sec,
         batch_evals_per_sec,
         delta_probe_evals_per_sec,
+        search_evals_per_sec,
         volume_scale,
         raw_traces: learn.raw_traces,
         representative_traces: learn.representative_traces,
@@ -435,6 +451,63 @@ fn throughput_microbench(quality: &QualityModel, sites: usize) -> (f64, f64, f64
     (scalar, batch, delta)
 }
 
+/// Parent population of the search-throughput microbench (the generational
+/// loop's survivor count at the sweep's search settings).
+const SEARCH_BENCH_PARENTS: usize = 16;
+
+/// Mutated genes per GA-shaped microbench child: one — the smallest GA
+/// step and the delta path's canonical shape. Cold scoring already has its
+/// own figure (`batch_evals_per_sec`), so the search figure deliberately
+/// keeps every child delta-eligible: it isolates the incremental offspring
+/// machinery (parent diffing, memo probing, touched-trace re-scoring,
+/// retained-state assembly) that the generational loop adds on top.
+const SEARCH_BENCH_GENES: usize = 1;
+
+/// Measure the delta-native search throughput, in offspring/sec: score
+/// freshly generated GA-shaped children — each [`SEARCH_BENCH_GENES`]
+/// mutated gene(s) away from one of [`SEARCH_BENCH_PARENTS`] retained
+/// parents, every mutation a real site move — in generation-sized batches
+/// of [`MICROBENCH_PLANS`] through
+/// [`PlanEvaluator::evaluate_offspring_batch`]. Children are generated
+/// inside the timed region (as the real loop does), with worker threads
+/// and diff routing engaged. Each pass scores through a fresh memo cache:
+/// at small component counts the one-gene neighbourhood of the parent set
+/// is finite, and a shared cache would turn the figure into memo-replay
+/// throughput (replay is equally free in every path), swamping the
+/// incremental-scoring signal this number exists to track.
+fn search_microbench(quality: &QualityModel, sites: usize) -> f64 {
+    let n = quality.component_count();
+    let mut rng = StdRng::seed_from_u64(4096);
+    let seeds: Vec<MigrationPlan> = (0..SEARCH_BENCH_PARENTS)
+        .map(|_| {
+            MigrationPlan::from_sites(
+                (0..n)
+                    .map(|_| SiteId(rng.gen_range(0..sites as u16)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let parents: Vec<ScoredPlan> = PlanEvaluator::new(quality).evaluate_scored_batch(&seeds);
+    throughput(|| {
+        let evaluator = PlanEvaluator::new(quality);
+        let mut anchors: Vec<&ScoredPlan> = Vec::with_capacity(MICROBENCH_PLANS);
+        let mut children: Vec<MigrationPlan> = Vec::with_capacity(MICROBENCH_PLANS);
+        for k in 0..MICROBENCH_PLANS {
+            let parent = &parents[k % parents.len()];
+            let mut sites_vec = parent.sites().to_vec();
+            for _ in 0..SEARCH_BENCH_GENES {
+                let g = rng.gen_range(0..n);
+                let hop = rng.gen_range(1..sites.max(2) as u16);
+                sites_vec[g] = SiteId((sites_vec[g].0 + hop) % sites as u16);
+            }
+            anchors.push(parent);
+            children.push(MigrationPlan::from_sites(sites_vec));
+        }
+        std::hint::black_box(evaluator.evaluate_offspring_batch(&anchors, &children));
+        MICROBENCH_PLANS
+    })
+}
+
 /// Component counts to sweep: `ATLAS_SCALE_COMPONENTS` (a comma-separated
 /// list, e.g. `25` in CI) or [`DEFAULT_SIZES`].
 pub fn sizes_from_env() -> Vec<usize> {
@@ -510,6 +583,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "      \"sites\": {},\n",
                 "      \"apis\": {},\n",
                 "      \"plans\": {},\n",
+                "      \"front_size\": {},\n",
                 "      \"recommend_ms\": {:.1},\n",
                 "      \"unique_evaluations\": {},\n",
                 "      \"cache_hits\": {},\n",
@@ -520,6 +594,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
                 "      \"scalar_evals_per_sec\": {:.1},\n",
                 "      \"batch_evals_per_sec\": {:.1},\n",
                 "      \"delta_probe_evals_per_sec\": {:.1},\n",
+                "      \"search_evals_per_sec\": {:.1},\n",
                 "      \"volume_scale\": {:.1},\n",
                 "      \"raw_traces\": {},\n",
                 "      \"representative_traces\": {},\n",
@@ -534,6 +609,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             p.sites,
             p.apis,
             p.plans,
+            p.front_size,
             p.recommend_ms,
             p.unique_evaluations,
             p.cache_hits,
@@ -544,6 +620,7 @@ pub fn scale_json(points: &[ScalePoint]) -> String {
             p.scalar_evals_per_sec,
             p.batch_evals_per_sec,
             p.delta_probe_evals_per_sec,
+            p.search_evals_per_sec,
             p.volume_scale,
             p.raw_traces,
             p.representative_traces,
@@ -592,6 +669,8 @@ mod tests {
         assert!(point.scalar_evals_per_sec > 0.0);
         assert!(point.batch_evals_per_sec > 0.0);
         assert!(point.delta_probe_evals_per_sec > 0.0);
+        assert!(point.search_evals_per_sec > 0.0);
+        assert_eq!(point.front_size, point.plans);
         // Learn metrics: the kernel compiles representatives, never more
         // traces than the raw corpus holds.
         assert!(point.raw_traces > 0);
@@ -642,6 +721,7 @@ mod tests {
             sites: 2,
             apis: 3,
             plans: 4,
+            front_size: 4,
             recommend_ms: 12.5,
             unique_evaluations: 200,
             cache_hits: 40,
@@ -652,6 +732,7 @@ mod tests {
             scalar_evals_per_sec: 30_000.0,
             batch_evals_per_sec: 90_000.0,
             delta_probe_evals_per_sec: 150_000.0,
+            search_evals_per_sec: 200_000.0,
             volume_scale: 1.0,
             raw_traces: 1_200,
             representative_traces: 60,
@@ -675,6 +756,8 @@ mod tests {
         assert!(json.contains("\"scalar_evals_per_sec\": 30000.0"));
         assert!(json.contains("\"batch_evals_per_sec\": 90000.0"));
         assert!(json.contains("\"delta_probe_evals_per_sec\": 150000.0"));
+        assert!(json.contains("\"front_size\": 4"));
+        assert!(json.contains("\"search_evals_per_sec\": 200000.0"));
         assert!(json.contains("\"volume_scale\": 1.0"));
         assert!(json.contains("\"raw_traces\": 1200"));
         assert!(json.contains("\"representative_traces\": 60"));

@@ -6,7 +6,9 @@
 //! * range strategies (`0u8..=1`, `0.0f64..100.0`, `1usize..20`, ...)
 //! * tuples of strategies (`(0u8..3, any::<u64>())`), up to arity 4
 //! * `prop::collection::vec(strategy, len)` with a fixed or ranged length
-//! * `any::<bool>()` / `any::<u64>()` (and the other unsigned widths)
+//! * `prop::array::uniform3(strategy)` fixed-size array strategies
+//! * `any::<bool>()` / `any::<u64>()` (and the other unsigned widths) and
+//!   `prop::bool::ANY`
 //! * `prop_assert!` / `prop_assert_eq!`
 //!
 //! Each generated test runs its body over [`CASES`] deterministically seeded
@@ -173,6 +175,53 @@ pub mod collection {
                 rng.gen_range(self.size.lo..self.size.hi)
             };
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`prop::array::uniform3`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `[S::Value; 3]` arrays whose elements are drawn
+    /// in order from one element strategy.
+    pub struct UniformArray3<S>(S);
+
+    /// Mirror of `proptest::array::uniform3`.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray3<S> {
+        UniformArray3(element)
+    }
+
+    impl<S: Strategy> Strategy for UniformArray3<S> {
+        type Value = [S::Value; 3];
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.0.new_value(rng),
+                self.0.new_value(rng),
+                self.0.new_value(rng),
+            ]
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy drawing `true`/`false` uniformly, mirroring
+    /// `proptest::bool::Any`.
+    pub struct Any;
+
+    /// Mirror of `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.gen()
         }
     }
 }

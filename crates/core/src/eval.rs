@@ -73,13 +73,16 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use atlas_sim::{ComponentId, SiteId};
+
 use crate::plan::MigrationPlan;
-use crate::quality::{PlanQuality, QualityModel};
+use crate::quality::{PlanQuality, QualityModel, ScoredPlan};
 
 /// Evaluation statistics of one [`PlanEvaluator`] over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -148,6 +151,17 @@ pub fn effective_threads(requested: usize) -> usize {
 /// "speedup"), so small batches now run serially and large batches cap
 /// their worker count at one worker per `MIN_ITEMS_PER_WORKER` items.
 pub const MIN_ITEMS_PER_WORKER: usize = 16;
+
+/// Fraction of components that may differ between an offspring and its
+/// retained parent for the offspring to ride the incremental delta path in
+/// [`PlanEvaluator::evaluate_offspring_batch`]. Above the threshold the
+/// change set touches so many compiled traces that a delta re-score decays
+/// into "scalar re-run plus bookkeeping" and loses to the lane-batched cold
+/// path, so wide diffs (early-generation crossover between distant parents,
+/// policy-decoded RL children) fall back to cold scoring. The routing is
+/// purely a speed decision: the delta and cold paths are pinned
+/// bit-identical, so the threshold never changes a score.
+pub const DELTA_DIFF_THRESHOLD: f64 = 0.25;
 
 /// Default number of plans scored per structure-of-arrays lane group by
 /// [`PlanEvaluator::evaluate_batch`] (see
@@ -249,10 +263,47 @@ where
         .collect()
 }
 
+/// Deterministic word-folding hasher for plan-keyed tables (the memo cache
+/// and the batch dedupe maps). A plan key hashes as hundreds of site ids,
+/// and the standard library's DoS-resistant SipHash spends more time on
+/// that than the delta re-score the lookup guards; these tables are
+/// process-local and never fed attacker-chosen keys, so a multiply-xor
+/// fold (one rotate + xor + multiply per 8-byte word) is safe and several
+/// times cheaper. Only lookup speed changes: nothing iterates these maps,
+/// so bucket order — the only thing a hasher can influence — is
+/// unobservable.
+#[derive(Debug, Default)]
+struct PlanKeyHasher(u64);
+
+impl Hasher for PlanKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let fold = |state: u64, word: u64| {
+            (state.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95)
+        };
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.0 = fold(self.0, u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.0 = fold(self.0, u64::from_le_bytes(word));
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A `HashMap` keyed through [`PlanKeyHasher`].
+type PlanKeyMap<K, V> = HashMap<K, V, BuildHasherDefault<PlanKeyHasher>>;
+
 /// Mutable interior of a [`MemoCache`], behind one mutex.
 #[derive(Debug)]
 struct MemoState<K, V> {
-    cache: HashMap<K, V>,
+    cache: PlanKeyMap<K, V>,
     cache_hits: usize,
     batches: usize,
     wall_time: Duration,
@@ -272,7 +323,7 @@ impl<K, V> Default for MemoCache<K, V> {
     fn default() -> Self {
         Self {
             state: Mutex::new(MemoState {
-                cache: HashMap::new(),
+                cache: PlanKeyMap::default(),
                 cache_hits: 0,
                 batches: 0,
                 wall_time: Duration::ZERO,
@@ -320,7 +371,7 @@ where
             Pending(usize),
         }
         let mut uncached: Vec<&K> = Vec::new();
-        let mut pending_of: HashMap<&K, usize> = HashMap::new();
+        let mut pending_of: PlanKeyMap<&K, usize> = PlanKeyMap::default();
         let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
         {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -412,7 +463,7 @@ where
             Pending(usize),
         }
         let mut uncached: Vec<&K> = Vec::new();
-        let mut pending_of: HashMap<&K, usize> = HashMap::new();
+        let mut pending_of: PlanKeyMap<&K, usize> = PlanKeyMap::default();
         let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
         {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -482,6 +533,26 @@ where
             kernel_compile_ms: 0.0,
         }
     }
+}
+
+/// Which cache/batch slot serves one input position of a scored batch:
+/// either a memo-cache hit (quality only — the cache stores no per-trace
+/// state) or the `k`-th freshly computed [`ScoredPlan`].
+enum ScoredSlot {
+    Hit(PlanQuality),
+    Pending(usize),
+}
+
+/// The ascending change set turning `parent` into `child`: one
+/// `(component, new site)` entry per differing position.
+fn diff_changes(parent: &[SiteId], child: &[SiteId]) -> Vec<(ComponentId, SiteId)> {
+    parent
+        .iter()
+        .zip(child)
+        .enumerate()
+        .filter(|&(_, (a, b))| a != b)
+        .map(|(c, (_, &to))| (ComponentId(c), to))
+        .collect()
 }
 
 /// Cached, batched, thread-parallel front end to a [`QualityModel`].
@@ -571,6 +642,233 @@ impl<'a> PlanEvaluator<'a> {
             .get_or_compute_batch_grouped(plans, self.threads, self.lane_width, |group| {
                 self.quality.evaluate_lanes(group)
             })
+    }
+
+    /// [`Self::evaluate_batch`] with the per-trace state retained: every
+    /// returned member is a [`ScoredPlan`] ready to serve as a delta parent
+    /// in [`Self::evaluate_offspring_batch`]. Uncached plans are scored
+    /// through the lane-batched scored kernel
+    /// ([`QualityModel::evaluate_scored_lanes`]); plans already in the memo
+    /// cache come back as [`ScoredPlan::quality_only`] members (the cache
+    /// stores only qualities), which simply fall back to cold scoring when
+    /// later used as parents. Qualities are bit-identical to
+    /// [`Self::evaluate_batch`], and the cache accounting (hits, batches,
+    /// wall time) follows the same rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plan does not cover every component of the wrapped
+    /// model (the retained state needs full-length site assignments).
+    pub fn evaluate_scored_batch(&self, plans: &[MigrationPlan]) -> Vec<ScoredPlan> {
+        let start = Instant::now();
+        let mut uncached: Vec<&MigrationPlan> = Vec::new();
+        let mut pending_of: PlanKeyMap<&MigrationPlan, usize> = PlanKeyMap::default();
+        let mut slots: Vec<ScoredSlot> = Vec::with_capacity(plans.len());
+        {
+            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
+            for plan in plans {
+                if let Some(&value) = state.cache.get(plan) {
+                    state.cache_hits += 1;
+                    slots.push(ScoredSlot::Hit(value));
+                } else if let Some(&k) = pending_of.get(plan) {
+                    state.cache_hits += 1;
+                    slots.push(ScoredSlot::Pending(k));
+                } else {
+                    let k = uncached.len();
+                    uncached.push(plan);
+                    pending_of.insert(plan, k);
+                    slots.push(ScoredSlot::Pending(k));
+                }
+            }
+        }
+        let computed: Vec<ScoredPlan> = if self.lane_width <= 1 {
+            parallel_map(&uncached, self.threads, |p| self.quality.evaluate_scored(p))
+        } else {
+            parallel_map_grouped(&uncached, self.threads, self.lane_width, |group| {
+                self.quality.evaluate_scored_lanes(group)
+            })
+        };
+        let elapsed = start.elapsed();
+        {
+            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (&plan, scored) in uncached.iter().zip(&computed) {
+                state.cache.insert(plan.clone(), scored.quality());
+            }
+            state.batches += 1;
+            state.wall_time += elapsed;
+        }
+        self.assemble_scored(slots, plans, computed)
+    }
+
+    /// Score one generation of GA offspring against their retained parents:
+    /// the delta-native heart of the evolutionary search.
+    ///
+    /// For each `(parents[i], children[i])` pair the memo cache is
+    /// consulted first (hits — including in-batch duplicates — are free and
+    /// come back as [`ScoredPlan::quality_only`] members). Each uncached
+    /// child is then diffed against its parent's site assignment: when the
+    /// parent carries retained per-trace state and the diff touches at most
+    /// [`DELTA_DIFF_THRESHOLD`] of the components, the child is re-scored
+    /// incrementally through [`QualityModel::evaluate_delta`] (only the
+    /// traces referencing a changed component re-run); otherwise it cold-
+    /// scores through the lane-batched scored kernel. Both routes fan out
+    /// across the evaluator's worker threads.
+    ///
+    /// **Bit-identity contract**: the delta path inherits untouched trace
+    /// latencies bit-for-bit and re-sums in the cold path's order, so every
+    /// returned quality — and the retained state itself — is bit-identical
+    /// to cold-scoring the child, at any threshold, lane width or thread
+    /// count. The routing decision is pure speed; pinned by the end-to-end
+    /// delta-on/off tests.
+    pub fn evaluate_offspring_batch(
+        &self,
+        parents: &[&ScoredPlan],
+        children: &[MigrationPlan],
+    ) -> Vec<ScoredPlan> {
+        assert_eq!(
+            parents.len(),
+            children.len(),
+            "one retained parent per child"
+        );
+        let start = Instant::now();
+        let mut uncached: Vec<usize> = Vec::new();
+        let mut pending_of: PlanKeyMap<&MigrationPlan, usize> = PlanKeyMap::default();
+        let mut slots: Vec<ScoredSlot> = Vec::with_capacity(children.len());
+        {
+            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, child) in children.iter().enumerate() {
+                if let Some(&value) = state.cache.get(child) {
+                    state.cache_hits += 1;
+                    slots.push(ScoredSlot::Hit(value));
+                } else if let Some(&k) = pending_of.get(child) {
+                    state.cache_hits += 1;
+                    slots.push(ScoredSlot::Pending(k));
+                } else {
+                    let k = uncached.len();
+                    uncached.push(i);
+                    pending_of.insert(child, k);
+                    slots.push(ScoredSlot::Pending(k));
+                }
+            }
+        }
+        // Route each uncached child: small diff against a state-carrying
+        // parent → incremental; everything else → lane-batched cold.
+        let cap = self.delta_change_cap();
+        let kernel_traces = self.quality.kernel().trace_count();
+        let mut delta_jobs: Vec<(usize, &ScoredPlan, Vec<(ComponentId, SiteId)>)> = Vec::new();
+        let mut cold_jobs: Vec<(usize, &MigrationPlan)> = Vec::new();
+        for (k, &i) in uncached.iter().enumerate() {
+            let (parent, child) = (parents[i], &children[i]);
+            if parent.traces().len() == kernel_traces
+                && child.len() == parent.sites().len()
+                && child.len() == self.quality.component_count()
+            {
+                let changes = diff_changes(parent.sites(), child.sites());
+                if changes.len() <= cap {
+                    delta_jobs.push((k, parent, changes));
+                    continue;
+                }
+            }
+            cold_jobs.push((k, child));
+        }
+        let delta_results = parallel_map(&delta_jobs, self.threads, |(_, parent, changes)| {
+            self.quality.evaluate_delta(parent, changes)
+        });
+        let cold_refs: Vec<&MigrationPlan> = cold_jobs.iter().map(|&(_, p)| p).collect();
+        let cold_results: Vec<ScoredPlan> = if self.lane_width <= 1 {
+            parallel_map(&cold_refs, self.threads, |p| {
+                self.quality.evaluate_scored(p)
+            })
+        } else {
+            parallel_map_grouped(&cold_refs, self.threads, self.lane_width, |group| {
+                self.quality.evaluate_scored_lanes(group)
+            })
+        };
+        let mut computed: Vec<Option<ScoredPlan>> = Vec::with_capacity(uncached.len());
+        computed.resize_with(uncached.len(), || None);
+        for ((k, _, _), scored) in delta_jobs.iter().zip(delta_results) {
+            computed[*k] = Some(scored);
+        }
+        for ((k, _), scored) in cold_jobs.iter().zip(cold_results) {
+            computed[*k] = Some(scored);
+        }
+        let computed: Vec<ScoredPlan> = computed
+            .into_iter()
+            .map(|s| s.expect("every uncached child is routed exactly once"))
+            .collect();
+        let elapsed = start.elapsed();
+        {
+            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (&i, scored) in uncached.iter().zip(&computed) {
+                state.cache.insert(children[i].clone(), scored.quality());
+            }
+            state.batches += 1;
+            state.wall_time += elapsed;
+        }
+        self.assemble_scored(slots, children, computed)
+    }
+
+    /// Single-offspring companion of [`Self::evaluate_offspring_batch`] —
+    /// the shape of an RL training rollout, which scores one child per
+    /// policy sample. Cache first; a small diff against a state-carrying
+    /// parent rides the allocation-free [`QualityModel::probe_delta`];
+    /// anything else cold-scores. Bit-identical to [`Self::evaluate`] by
+    /// the same contract as the batch path.
+    pub fn evaluate_offspring(&self, parent: &ScoredPlan, child: &MigrationPlan) -> PlanQuality {
+        self.cache.get_or_compute(child, |p| {
+            if parent.traces().len() == self.quality.kernel().trace_count()
+                && p.len() == parent.sites().len()
+                && p.len() == self.quality.component_count()
+            {
+                let changes = diff_changes(parent.sites(), p.sites());
+                if changes.len() <= self.delta_change_cap() {
+                    return self.quality.probe_delta(parent, &changes);
+                }
+            }
+            self.quality.evaluate(p)
+        })
+    }
+
+    /// Largest change-set size the delta route accepts:
+    /// `max(1, component_count × DELTA_DIFF_THRESHOLD)`.
+    fn delta_change_cap(&self) -> usize {
+        ((self.quality.component_count() as f64 * DELTA_DIFF_THRESHOLD) as usize).max(1)
+    }
+
+    /// Hand each computed [`ScoredPlan`] to its slot in input order,
+    /// cloning only for in-batch duplicates; cache hits materialise as
+    /// [`ScoredPlan::quality_only`] members.
+    fn assemble_scored(
+        &self,
+        slots: Vec<ScoredSlot>,
+        plans: &[MigrationPlan],
+        computed: Vec<ScoredPlan>,
+    ) -> Vec<ScoredPlan> {
+        let mut uses = vec![0usize; computed.len()];
+        for slot in &slots {
+            if let ScoredSlot::Pending(k) = slot {
+                uses[*k] += 1;
+            }
+        }
+        let mut computed: Vec<Option<ScoredPlan>> = computed.into_iter().map(Some).collect();
+        slots
+            .into_iter()
+            .zip(plans)
+            .map(|(slot, plan)| match slot {
+                ScoredSlot::Hit(quality) => ScoredPlan::quality_only(plan.to_sites(), quality),
+                ScoredSlot::Pending(k) => {
+                    uses[k] -= 1;
+                    if uses[k] == 0 {
+                        computed[k].take().expect("each pending slot taken once")
+                    } else {
+                        computed[k]
+                            .as_ref()
+                            .expect("pending slots are filled")
+                            .clone()
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Distinct plans scored so far (the cache size). This is what the

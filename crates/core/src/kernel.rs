@@ -459,6 +459,54 @@ impl CompiledTrace {
         wend: &mut Vec<f64>,
         acc: &mut [f64],
     ) {
+        self.walk_lanes(soa, lanes, site_count, cur, base, wend);
+        for (slot, &c) in acc[..lanes].iter_mut().zip(cur[..lanes].iter()) {
+            // Same schedule as the scalar path: latency first, then the
+            // clustering weight — `weight * latency` per trace.
+            *slot += self.weight * ((c - self.root_start).max(0.0) / 1_000.0);
+        }
+    }
+
+    /// [`Self::run_lanes`] with each lane's latency also retained into that
+    /// lane's [`ScoredTrace`] vector (the parent state of the delta path).
+    /// The accumulator arithmetic — `acc += weight * latency` with the
+    /// latency computed first — is the same expression as the unscored
+    /// path, so the per-API sums stay bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn run_lanes_scored(
+        &self,
+        soa: &[SiteId],
+        lanes: usize,
+        site_count: usize,
+        cur: &mut [f64],
+        base: &mut Vec<f64>,
+        wend: &mut Vec<f64>,
+        acc: &mut [f64],
+        scored: &mut [Vec<ScoredTrace>],
+    ) {
+        self.walk_lanes(soa, lanes, site_count, cur, base, wend);
+        for l in 0..lanes {
+            let latency_ms = (cur[l] - self.root_start).max(0.0) / 1_000.0;
+            scored[l].push(ScoredTrace {
+                latency_ms,
+                weight: self.weight,
+            });
+            acc[l] += self.weight * latency_ms;
+        }
+    }
+
+    /// The shared op walk of the lane-batched paths: advance every lane's
+    /// cursor through the instruction stream, leaving the per-lane end time
+    /// in `cur`.
+    fn walk_lanes(
+        &self,
+        soa: &[SiteId],
+        lanes: usize,
+        site_count: usize,
+        cur: &mut [f64],
+        base: &mut Vec<f64>,
+        wend: &mut Vec<f64>,
+    ) {
         base.clear();
         wend.clear();
         cur[..lanes].iter_mut().for_each(|c| *c = self.root_start);
@@ -514,11 +562,6 @@ impl CompiledTrace {
                     }
                 }
             }
-        }
-        for (slot, &c) in acc[..lanes].iter_mut().zip(cur[..lanes].iter()) {
-            // Same schedule as the scalar path: latency first, then the
-            // clustering weight — `weight * latency` per trace.
-            *slot += self.weight * ((c - self.root_start).max(0.0) / 1_000.0);
         }
     }
 }
@@ -1084,6 +1127,58 @@ impl CompiledQuality {
             acc[..lanes].iter_mut().for_each(|a| *a = 0.0);
             for trace in &api.traces {
                 trace.run_lanes(soa, lanes, self.site_count, cur, base, wend, acc);
+            }
+            for l in 0..lanes {
+                // Empty-trace APIs estimate 0.0 like the scalar path; the
+                // max(1e-9) floor then matches bitwise.
+                let estimated = if api.traces.is_empty() {
+                    0.0f64
+                } else {
+                    acc[l] / api.trace_weight_total
+                }
+                .max(1e-9);
+                total[l] += api.weight * estimated / api.baseline_ms;
+            }
+            weight_sum += api.weight;
+        }
+        out.extend(total[..lanes].iter().map(|t| t / weight_sum));
+    }
+
+    /// Lane-batched [`Self::performance_scored`]: compute `Q_Perf` for
+    /// every lane of the batch loaded into `scratch` in one walk over the
+    /// instruction arenas, appending per-lane values to `out` and filling
+    /// `scored[l]` with lane `l`'s retained per-trace latencies (flat,
+    /// API-major, the same layout as [`Self::performance_scored`]). Each
+    /// lane's result — including the retained state — is bit-identical to
+    /// the scalar scored path.
+    pub fn performance_scored_lanes(
+        &self,
+        scratch: &mut LaneScratch,
+        lanes: usize,
+        out: &mut Vec<f64>,
+        scored: &mut [Vec<ScoredTrace>],
+    ) {
+        for lane in scored[..lanes].iter_mut() {
+            lane.clear();
+        }
+        if self.apis.is_empty() {
+            out.extend(std::iter::repeat(1.0).take(lanes));
+            return;
+        }
+        let LaneScratch {
+            soa,
+            cur,
+            base,
+            wend,
+            acc,
+            total,
+        } = scratch;
+        total[..lanes].iter_mut().for_each(|t| *t = 0.0);
+        let mut weight_sum = 0.0;
+        for api in &self.apis {
+            acc[..lanes].iter_mut().for_each(|a| *a = 0.0);
+            for trace in &api.traces {
+                trace.run_lanes_scored(soa, lanes, self.site_count, cur, base, wend, acc, scored);
             }
             for l in 0..lanes {
                 // Empty-trace APIs estimate 0.0 like the scalar path; the

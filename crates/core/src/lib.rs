@@ -52,7 +52,7 @@ pub mod service;
 
 pub use advisor::{Atlas, AtlasConfig};
 pub use delay::DelayInjector;
-pub use eval::{EvalStats, PlanEvaluator, LANE_WIDTH};
+pub use eval::{EvalStats, PlanEvaluator, DELTA_DIFF_THRESHOLD, LANE_WIDTH};
 pub use footprint::{FootprintLearner, NetworkFootprint};
 pub use hierarchy::{Dendrogram, DendrogramNode};
 pub use kernel::{CompiledQuality, ConstraintKernel, ScoredTrace};
@@ -61,7 +61,9 @@ pub use plan::MigrationPlan;
 pub use preferences::MigrationPreferences;
 pub use profile::{ApiProfile, ApplicationProfile, ComponentProfile};
 pub use quality::{PlanQuality, QualityModel, ScoredPlan};
-pub use recommender::{random_site, RecommendedPlan, Recommender, RecommenderConfig};
+pub use recommender::{
+    random_site, RecommendedPlan, Recommender, RecommenderConfig, ARCHIVE_CAPACITY,
+};
 pub use rl_crossover::{CrossoverAgent, RlCrossoverConfig};
 pub use security::{BreachDetector, BreachReport};
 pub use service::{AdvisorService, AdvisorServiceConfig, PlanDelta, ServiceEvent};

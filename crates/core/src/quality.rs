@@ -62,6 +62,20 @@ pub struct ScoredPlan {
 }
 
 impl ScoredPlan {
+    /// A member without retained per-trace state: `traces` is empty, so
+    /// this plan can anchor tournaments and fronts but never serve as a
+    /// delta parent ([`QualityModel::evaluate_delta`] needs the full
+    /// per-trace vector). Used for cache-hit offspring — their quality is
+    /// known but the memo cache stores only [`PlanQuality`] — and for the
+    /// delta-off search mode.
+    pub fn quality_only(sites: Vec<SiteId>, quality: PlanQuality) -> Self {
+        Self {
+            sites,
+            traces: Vec::new(),
+            quality,
+        }
+    }
+
     /// The plan's site assignment, indexed like the component index.
     pub fn sites(&self) -> &[SiteId] {
         &self.sites
@@ -686,6 +700,77 @@ impl QualityModel {
                     feasible,
                 },
             }
+        })
+    }
+
+    /// Batched [`Self::evaluate_scored`]: score one group of plans through
+    /// a single structure-of-arrays walk of the compiled arenas, retaining
+    /// every lane's per-trace latencies. Each returned [`ScoredPlan`] —
+    /// quality and retained state alike — is bit-identical to
+    /// [`Self::evaluate_scored`] of the same plan.
+    ///
+    /// Groups of fewer than two plans fall back to the scalar scored path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plan does not cover every component (like
+    /// [`Self::evaluate_scored`]: the delta path needs full-length site
+    /// assignments).
+    pub fn evaluate_scored_lanes(&self, plans: &[&MigrationPlan]) -> Vec<ScoredPlan> {
+        let n = self.component_count();
+        for plan in plans {
+            assert_eq!(
+                plan.len(),
+                n,
+                "delta scoring needs a plan covering every component"
+            );
+        }
+        if plans.len() < 2 {
+            return plans.iter().map(|p| self.evaluate_scored(p)).collect();
+        }
+        for plan in plans {
+            self.debug_assert_in_catalog(plan);
+        }
+        let lanes = plans.len();
+        with_scratch(|s| {
+            let site_views: Vec<&[SiteId]> = plans.iter().map(|p| p.placement().sites()).collect();
+            s.lanes.load(&site_views);
+            let mut perf = Vec::with_capacity(lanes);
+            let mut scored: Vec<Vec<ScoredTrace>> = (0..lanes)
+                .map(|_| Vec::with_capacity(self.kernel.trace_count()))
+                .collect();
+            self.kernel
+                .performance_scored_lanes(&mut s.lanes, lanes, &mut perf, &mut scored);
+            plans
+                .iter()
+                .zip(scored)
+                .enumerate()
+                .map(|(l, (plan, traces))| {
+                    let availability = self
+                        .kernel
+                        .availability(site_views[l], self.current.sites());
+                    fill_sites(&mut s.sites, plan, n);
+                    let (breakdown, peaks) =
+                        self.cost_kernel.evaluate_with_peaks(&s.sites, &mut s.cost);
+                    let cost = breakdown.total();
+                    let feasible = self.kernel.constraints().feasible_with_peaks(
+                        &s.sites,
+                        &peaks,
+                        |site| self.cost_kernel.site_peaks(&s.cost, site.index()),
+                        || cost,
+                    );
+                    ScoredPlan {
+                        sites: site_views[l].to_vec(),
+                        traces,
+                        quality: PlanQuality {
+                            performance: perf[l],
+                            availability,
+                            cost,
+                            feasible,
+                        },
+                    }
+                })
+                .collect()
         })
     }
 

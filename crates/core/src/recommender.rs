@@ -8,6 +8,17 @@
 //! affinity-style baseline ablation). The search budget is expressed as the
 //! total number of plans visited (the paper caps all multi-plan approaches
 //! at 10,000 ≈ 0.002 % of the space).
+//!
+//! The loop is *delta-native*: population members are retained
+//! [`ScoredPlan`]s, each offspring is diffed against its nearer tournament
+//! parent and re-scored incrementally
+//! ([`PlanEvaluator::evaluate_offspring_batch`]) — bit-identical to cold
+//! scoring, so [`RecommenderConfig::delta_search`] is purely a speed
+//! toggle. Every feasible plan the search evaluates (initial population,
+//! GA offspring, RL training rollouts) is offered to an external
+//! [`ParetoArchive`], and the recommendation is that archive's front — a
+//! Pareto-optimal plan discovered early can no longer be displaced from
+//! the answer by later population churn.
 
 use std::collections::HashSet;
 
@@ -15,14 +26,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use atlas_ga::nsga2::survive;
-use atlas_ga::{alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover};
+use atlas_ga::nsga2::{survive, take_selected};
+use atlas_ga::{
+    alphabet_mutation, binary_tournament, pareto_front_indices, uniform_crossover, ParetoArchive,
+};
 use atlas_sim::SiteId;
 
 use crate::eval::{EvalStats, PlanEvaluator};
 use crate::plan::MigrationPlan;
-use crate::quality::{PlanQuality, QualityModel};
+use crate::quality::{PlanQuality, QualityModel, ScoredPlan};
 use crate::rl_crossover::{CrossoverAgent, RlCrossoverConfig};
+
+/// Capacity of the external non-dominated archive accumulating every
+/// feasible plan the search evaluates. Beyond this many mutually
+/// non-dominated plans, the most crowded archive entry is pruned
+/// (NSGA-II crowding over the archive as one front), preserving spread.
+pub const ARCHIVE_CAPACITY: usize = 256;
 
 /// Which crossover operator the search uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +79,13 @@ pub struct RecommenderConfig {
     /// path). Like the thread count, the lane width never changes the
     /// recommendation, only its speed.
     pub lane_width: usize,
+    /// Whether offspring are scored incrementally against their nearer
+    /// tournament parent ([`PlanEvaluator::evaluate_offspring_batch`],
+    /// default) or always cold. Like the thread count and lane width this
+    /// never changes the recommendation, only its speed: the delta kernel
+    /// is bit-identical to cold scoring and the memo-cache accounting is
+    /// the same on both paths.
+    pub delta_search: bool,
 }
 
 impl Default for RecommenderConfig {
@@ -73,6 +99,7 @@ impl Default for RecommenderConfig {
             seed: 23,
             threads: 0,
             lane_width: 0,
+            delta_search: true,
         }
     }
 }
@@ -93,6 +120,7 @@ impl RecommenderConfig {
             seed: 23,
             threads: 0,
             lane_width: 0,
+            delta_search: true,
         }
     }
 
@@ -119,6 +147,14 @@ impl RecommenderConfig {
     /// [`crate::eval::LANE_WIDTH`], `1` = the scalar per-plan path).
     pub fn with_lane_width(mut self, lane_width: usize) -> Self {
         self.lane_width = lane_width;
+        self
+    }
+
+    /// Enable or disable delta offspring scoring (builder style; on by
+    /// default). Never changes the recommendation, only its speed —
+    /// pinned by the end-to-end toggle tests.
+    pub fn with_delta_search(mut self, delta_search: bool) -> Self {
+        self.delta_search = delta_search;
         self
     }
 }
@@ -230,28 +266,54 @@ impl<'a> Recommender<'a> {
         let mut requested = 0usize;
         let request_cap = self.config.max_visited.saturating_mul(8).max(64);
 
+        let delta = self.config.delta_search;
+        // Every feasible plan the search evaluates is offered to the
+        // external archive, so the final front survives population churn.
+        let mut archive: ParetoArchive<MigrationPlan, [f64; 3]> =
+            ParetoArchive::new(ARCHIVE_CAPACITY);
+
         // ① Population initialisation: random plans that respect the pins
         // (cheap to enforce up-front) with varying off-prem fractions.
         // Off-prem genes pick their site uniformly; in the two-site model
         // the site is forced (no extra draw), preserving the historical
         // random stream.
-        let mut population: Vec<MigrationPlan> = Vec::with_capacity(self.config.population);
-        while population.len() < self.config.population {
+        let mut seeds: Vec<MigrationPlan> = Vec::with_capacity(self.config.population);
+        while seeds.len() < self.config.population {
             let cloud_fraction = rng.gen_range(0.05..0.95);
             let sites: Vec<SiteId> = (0..n)
                 .map(|_| random_site(&mut rng, cloud_fraction, site_count))
                 .collect();
             let mut plan = MigrationPlan::from_sites(sites);
             self.apply_pins(&mut plan);
-            population.push(plan);
+            seeds.push(plan);
         }
-        let mut qualities: Vec<PlanQuality> = evaluator.evaluate_batch(&population);
+        // The population retains each member's per-trace scoring state
+        // (ScoredPlan) so offspring can be re-scored incrementally against
+        // their parents. With delta scoring off, members carry only their
+        // quality — the cold path never reads the retained traces.
+        let mut population: Vec<ScoredPlan> = if delta {
+            evaluator.evaluate_scored_batch(&seeds)
+        } else {
+            let qualities = evaluator.evaluate_batch(&seeds);
+            seeds
+                .iter()
+                .zip(qualities)
+                .map(|(plan, quality)| ScoredPlan::quality_only(plan.to_sites(), quality))
+                .collect()
+        };
         requested += population.len();
+        for (plan, member) in seeds.iter().zip(&population) {
+            if member.quality().feasible {
+                archive.insert(plan, member.quality().objectives());
+            }
+        }
 
         // Train the RL crossover agent on the initial population (the paper
-        // trains Λ_θ during the application-learning phase). Each training
-        // rollout evaluates one child plan; unique ones count against the
-        // budget.
+        // trains Λ_θ during the application-learning phase). Parent
+        // qualities come from the retained population; each rollout child
+        // is scored through the evaluator — incrementally against its
+        // nearer parent when delta scoring is on — and unique ones count
+        // against the budget.
         let mut agent = None;
         let mut reward_progression = Vec::new();
         if self.config.strategy == CrossoverStrategy::ReinforcementLearning {
@@ -260,24 +322,36 @@ impl<'a> Recommender<'a> {
             let budget = (self.config.max_visited.saturating_sub(visited(evaluator))) / 2;
             rl_config.iterations = rl_config.iterations.min(budget.max(1));
             let mut a = CrossoverAgent::new(n, rl_config).with_site_count(site_count);
-            reward_progression = a.train(evaluator, &population);
-            requested += reward_progression.len() + population.len();
+            reward_progression = a.train_scored(&population, |pi, pj, child| {
+                let quality = if delta {
+                    let di = hamming(child.sites(), pi.sites());
+                    let dj = hamming(child.sites(), pj.sites());
+                    let parent = if dj < di { pj } else { pi };
+                    evaluator.evaluate_offspring(parent, child)
+                } else {
+                    evaluator.evaluate(child)
+                };
+                if quality.feasible {
+                    archive.insert(child, quality.objectives());
+                }
+                quality
+            });
+            requested += reward_progression.len();
             agent = Some(a);
         }
 
         // ②–⑤ Generations: evaluate, survive, pair, cross over. One fused
         // non-dominated sort per generation yields both the survivors and
-        // the rank/crowding driving the tournaments.
+        // the rank/crowding driving the tournaments. Survivors are moved
+        // (not cloned) into the next generation by index permutation.
         while visited(evaluator) < self.config.max_visited && requested < request_cap {
-            let feasible: Vec<bool> = qualities.iter().map(|q| q.feasible).collect();
-            let objectives: Vec<[f64; 3]> = qualities.iter().map(|q| q.objectives()).collect();
-            let survival = survive(&objectives, &feasible, self.config.population);
-            population = survival
-                .selected
+            let feasible: Vec<bool> = population.iter().map(|p| p.quality().feasible).collect();
+            let objectives: Vec<[f64; 3]> = population
                 .iter()
-                .map(|&i| population[i].clone())
+                .map(|p| p.quality().objectives())
                 .collect();
-            qualities = survival.selected.iter().map(|&i| qualities[i]).collect();
+            let survival = survive(&objectives, &feasible, self.config.population);
+            population = take_selected(population, &survival.selected);
             let (rank, crowding) = (survival.rank, survival.crowding);
 
             // saturating: a concurrently shared evaluator can grow between
@@ -287,24 +361,20 @@ impl<'a> Recommender<'a> {
                 .population
                 .min(self.config.max_visited.saturating_sub(visited(evaluator)))
                 .max(1);
-            let mut offspring = Vec::with_capacity(offspring_target);
+            let mut offspring: Vec<MigrationPlan> = Vec::with_capacity(offspring_target);
+            // For each child, the population index of its nearer tournament
+            // parent (by Hamming distance over the genomes, ties to the
+            // first) — the anchor for incremental re-scoring.
+            let mut parent_of: Vec<usize> = Vec::with_capacity(offspring_target);
             while offspring.len() < offspring_target {
                 let a = binary_tournament(&mut rng, &rank, &crowding);
                 let b = binary_tournament(&mut rng, &rank, &crowding);
-                let child = match (&mut agent, self.config.strategy) {
+                let mut sites = match (&mut agent, self.config.strategy) {
                     (Some(agent), CrossoverStrategy::ReinforcementLearning) => {
-                        agent.crossover(&population[a], &population[b])
+                        agent.crossover_sites(population[a].sites(), population[b].sites())
                     }
-                    _ => {
-                        let sites = uniform_crossover(
-                            &mut rng,
-                            population[a].sites(),
-                            population[b].sites(),
-                        );
-                        MigrationPlan::from_sites(sites)
-                    }
+                    _ => uniform_crossover(&mut rng, population[a].sites(), population[b].sites()),
                 };
-                let mut sites = child.to_sites();
                 alphabet_mutation(
                     &mut rng,
                     &mut sites,
@@ -313,38 +383,67 @@ impl<'a> Recommender<'a> {
                 );
                 let mut child = MigrationPlan::from_sites(sites);
                 self.apply_pins(&mut child);
+                let da = hamming(child.sites(), population[a].sites());
+                let db = hamming(child.sites(), population[b].sites());
+                parent_of.push(if db < da { b } else { a });
                 offspring.push(child);
             }
-            let offspring_quality: Vec<PlanQuality> = evaluator.evaluate_batch(&offspring);
+            let scored: Vec<ScoredPlan> = if delta {
+                let parents: Vec<&ScoredPlan> = parent_of.iter().map(|&i| &population[i]).collect();
+                evaluator.evaluate_offspring_batch(&parents, &offspring)
+            } else {
+                let qualities = evaluator.evaluate_batch(&offspring);
+                offspring
+                    .iter()
+                    .zip(qualities)
+                    .map(|(plan, quality)| ScoredPlan::quality_only(plan.to_sites(), quality))
+                    .collect()
+            };
             requested += offspring.len();
-            population.extend(offspring);
-            qualities.extend(offspring_quality);
+            for (plan, child) in offspring.iter().zip(&scored) {
+                if child.quality().feasible {
+                    archive.insert(plan, child.quality().objectives());
+                }
+            }
+            population.extend(scored);
         }
 
-        // Final survival + Pareto extraction over feasible plans only.
-        let feasible_indices: Vec<usize> = (0..population.len())
-            .filter(|&i| qualities[i].feasible)
-            .collect();
-        let candidate_indices: Vec<usize> = if feasible_indices.is_empty() {
-            (0..population.len()).collect()
+        // The recommendation is the archive: every feasible plan the search
+        // ever evaluated, non-dominated and crowding-pruned. An empty
+        // archive means no feasible plan exists within the budget — fall
+        // back to the Pareto front of the final (infeasible) population so
+        // the caller still sees the least-bad trade-offs.
+        let mut plans: Vec<RecommendedPlan> = if archive.is_empty() {
+            let objectives: Vec<[f64; 3]> = population
+                .iter()
+                .map(|p| p.quality().objectives())
+                .collect();
+            let front = pareto_front_indices(&objectives);
+            // Dedupe by borrowed genome — no per-plan allocation.
+            let mut seen: HashSet<&[SiteId]> = HashSet::new();
+            front
+                .into_iter()
+                .filter(|&i| seen.insert(population[i].sites()))
+                .map(|i| RecommendedPlan {
+                    plan: MigrationPlan::from_sites(population[i].sites().to_vec()),
+                    quality: population[i].quality(),
+                })
+                .collect()
         } else {
-            feasible_indices
+            archive
+                .entries()
+                .iter()
+                .map(|(plan, objectives)| RecommendedPlan {
+                    plan: plan.clone(),
+                    quality: PlanQuality {
+                        performance: objectives[0],
+                        availability: objectives[1],
+                        cost: objectives[2],
+                        feasible: true,
+                    },
+                })
+                .collect()
         };
-        let objectives: Vec<[f64; 3]> = candidate_indices
-            .iter()
-            .map(|&i| qualities[i].objectives())
-            .collect();
-        let front = pareto_front_indices(&objectives);
-        let mut seen = HashSet::new();
-        let mut plans: Vec<RecommendedPlan> = front
-            .into_iter()
-            .map(|k| candidate_indices[k])
-            .filter(|&i| seen.insert(population[i].to_sites()))
-            .map(|i| RecommendedPlan {
-                plan: population[i].clone(),
-                quality: qualities[i],
-            })
-            .collect();
         plans.sort_by(|a, b| {
             a.quality
                 .performance
@@ -373,6 +472,12 @@ impl<'a> Recommender<'a> {
             }
         }
     }
+}
+
+/// Hamming distance between two genomes (number of differing genes).
+/// Used to pick the nearer tournament parent as the delta-scoring anchor.
+fn hamming(a: &[SiteId], b: &[SiteId]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
 }
 
 /// Draw one placement gene: off-prem with probability `cloud_fraction`,
@@ -507,6 +612,19 @@ mod tests {
             assert!(cost.quality.cost <= p.quality.cost + 1e-12);
             assert!(avail.quality.availability <= p.quality.availability + 1e-12);
         }
+    }
+
+    #[test]
+    fn delta_offspring_scoring_never_changes_the_recommendation() {
+        let quality = build_quality(burst_preferences(12.0));
+        let on = Recommender::new(&quality, RecommenderConfig::fast()).recommend();
+        let off = Recommender::new(&quality, RecommenderConfig::fast().with_delta_search(false))
+            .recommend();
+        assert_eq!(on.plans, off.plans, "delta scoring must be invisible");
+        assert_eq!(on.visited, off.visited);
+        assert_eq!(on.reward_progression, off.reward_progression);
+        assert_eq!(on.eval.unique_evaluations, off.eval.unique_evaluations);
+        assert!(!on.plans.is_empty());
     }
 
     #[test]

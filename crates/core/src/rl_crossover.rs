@@ -15,9 +15,11 @@ use rand::{Rng, SeedableRng};
 
 use atlas_nn::{ActorCritic, ActorCriticConfig};
 
+use atlas_sim::SiteId;
+
 use crate::eval::PlanEvaluator;
 use crate::plan::MigrationPlan;
-use crate::quality::PlanQuality;
+use crate::quality::{PlanQuality, ScoredPlan};
 
 /// Hyperparameters of the crossover agent and its training loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,8 +130,31 @@ impl CrossoverAgent {
     /// children are scored once). Returns the per-iteration rewards (the
     /// reward-progression curve of paper Figure 21b).
     pub fn train(&mut self, evaluator: &PlanEvaluator<'_>, dataset: &[MigrationPlan]) -> Vec<f64> {
-        assert!(dataset.len() >= 2, "training needs at least two plans");
         let qualities: Vec<PlanQuality> = evaluator.evaluate_batch(dataset);
+        let scored: Vec<ScoredPlan> = dataset
+            .iter()
+            .zip(qualities)
+            .map(|(plan, quality)| ScoredPlan::quality_only(plan.to_sites(), quality))
+            .collect();
+        self.train_scored(&scored, |_, _, child| evaluator.evaluate(child))
+    }
+
+    /// [`Self::train`] over an already-scored dataset: parent qualities come
+    /// from the retained [`ScoredPlan`]s (no re-evaluation), and each rollout
+    /// child is scored by the caller-supplied closure, which receives both
+    /// tournament parents so it can route the child through a delta path
+    /// (e.g. [`PlanEvaluator::evaluate_offspring`] against the nearer
+    /// parent) and observe every evaluated child (e.g. to feed an external
+    /// Pareto archive). The random stream — parent sampling, policy
+    /// sampling, policy updates — is identical to [`Self::train`], so the
+    /// two entry points train bit-identical agents whenever the closure
+    /// returns the same qualities the shared evaluator would.
+    pub fn train_scored(
+        &mut self,
+        dataset: &[ScoredPlan],
+        mut score: impl FnMut(&ScoredPlan, &ScoredPlan, &MigrationPlan) -> PlanQuality,
+    ) -> Vec<f64> {
+        assert!(dataset.len() >= 2, "training needs at least two plans");
         let mut rewards = Vec::with_capacity(self.config.iterations);
         for _ in 0..self.config.iterations {
             let i = self.rng.gen_range(0..dataset.len());
@@ -137,11 +162,15 @@ impl CrossoverAgent {
             if i == j {
                 j = (j + 1) % dataset.len();
             }
-            let state = self.state_of(&dataset[i], &dataset[j]);
+            let state = self.state_of_sites(dataset[i].sites(), dataset[j].sites());
             let action = self.agent.sample(&state);
-            let child = self.child_of(&action, &dataset[i], &dataset[j]);
-            let child_quality = evaluator.evaluate(&child);
-            let reward = self.reward(&child_quality, &qualities[i], &qualities[j]);
+            let child = MigrationPlan::from_sites(self.child_sites_of(
+                &action,
+                dataset[i].sites(),
+                dataset[j].sites(),
+            ));
+            let child_quality = score(&dataset[i], &dataset[j], &child);
+            let reward = self.reward(&child_quality, &dataset[i].quality(), &dataset[j].quality());
             self.agent.update(&state, &action, reward);
             rewards.push(reward);
         }
@@ -155,9 +184,18 @@ impl CrossoverAgent {
         parent_a: &MigrationPlan,
         parent_b: &MigrationPlan,
     ) -> MigrationPlan {
-        let state = self.state_of(parent_a, parent_b);
+        MigrationPlan::from_sites(self.crossover_sites(parent_a.sites(), parent_b.sites()))
+    }
+
+    /// [`Self::crossover`] over borrowed genomes: samples the learned
+    /// policy on two site assignments and returns the child's sites without
+    /// requiring the parents to exist as [`MigrationPlan`]s (the search
+    /// keeps its population as retained [`ScoredPlan`]s). Consumes the same
+    /// random draws as [`Self::crossover`].
+    pub fn crossover_sites(&mut self, parent_a: &[SiteId], parent_b: &[SiteId]) -> Vec<SiteId> {
+        let state = self.state_of_sites(parent_a, parent_b);
         let action = self.agent.sample(&state);
-        self.child_of(&action, parent_a, parent_b)
+        self.child_sites_of(&action, parent_a, parent_b)
     }
 
     /// Deterministic (greedy) child of two parents.
@@ -167,7 +205,11 @@ impl CrossoverAgent {
         parent_b: &MigrationPlan,
     ) -> MigrationPlan {
         let state = self.state_of(parent_a, parent_b);
-        self.child_of(&self.agent.greedy(&state), parent_a, parent_b)
+        MigrationPlan::from_sites(self.child_sites_of(
+            &self.agent.greedy(&state),
+            parent_a.sites(),
+            parent_b.sites(),
+        ))
     }
 
     /// All rewards observed during training, in order.
@@ -186,38 +228,36 @@ impl CrossoverAgent {
     }
 
     fn state_of(&self, a: &MigrationPlan, b: &MigrationPlan) -> Vec<f64> {
-        let mut state = a.to_features_scaled(self.site_count);
-        state.extend(b.to_features_scaled(self.site_count));
+        self.state_of_sites(a.sites(), b.sites())
+    }
+
+    /// The policy input for a parent pair: both site assignments normalised
+    /// to `[0, 1]`, exactly [`MigrationPlan::to_features_scaled`] applied to
+    /// each genome.
+    fn state_of_sites(&self, a: &[SiteId], b: &[SiteId]) -> Vec<f64> {
+        let scale = (self.site_count.saturating_sub(1)).max(1) as f64;
+        let mut state = Vec::with_capacity(a.len() + b.len());
+        state.extend(a.iter().map(|s| s.0 as f64 / scale));
+        state.extend(b.iter().map(|s| s.0 as f64 / scale));
         state
     }
 
-    /// Decode one policy action into a child plan. Two-site agents emit the
-    /// placement directly (the paper's formulation, bit-identical to the
+    /// Decode one policy action into a child genome. Two-site agents emit
+    /// the placement directly (the paper's formulation, bit-identical to the
     /// historical decode); N-site agents treat the action as a per-gene
     /// parent-inheritance mask.
-    fn child_of(&self, action: &[bool], a: &MigrationPlan, b: &MigrationPlan) -> MigrationPlan {
+    fn child_sites_of(&self, action: &[bool], a: &[SiteId], b: &[SiteId]) -> Vec<SiteId> {
         if self.site_count <= 2 {
-            MigrationPlan::from_bits(
-                &action
-                    .iter()
-                    .map(|&bit| if bit { 1 } else { 0 })
-                    .collect::<Vec<u8>>(),
-            )
+            action
+                .iter()
+                .map(|&bit| if bit { SiteId::CLOUD } else { SiteId::ON_PREM })
+                .collect()
         } else {
-            MigrationPlan::from_sites(
-                action
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &from_a)| {
-                        let c = atlas_sim::ComponentId(i);
-                        if from_a {
-                            a.site(c)
-                        } else {
-                            b.site(c)
-                        }
-                    })
-                    .collect(),
-            )
+            action
+                .iter()
+                .enumerate()
+                .map(|(i, &from_a)| if from_a { a[i] } else { b[i] })
+                .collect()
         }
     }
 }

@@ -10,15 +10,22 @@
 //! * [`nsga2`] — fast non-dominated sorting, crowding distance,
 //!   constraint-aware survival selection and binary tournaments;
 //! * [`operators`] — uniform crossover and alphabet/bit-flip mutation for
-//!   the placement genomes Atlas uses (binary or N-site).
+//!   the placement genomes Atlas uses (binary or N-site);
+//! * [`archive`] — a capped, crowding-pruned external non-dominated archive
+//!   that accumulates every evaluated candidate, so the final front
+//!   survives population churn.
 
 #![deny(missing_docs)]
 
+pub mod archive;
 pub mod nsga2;
 pub mod operators;
 pub mod pareto;
 
-pub use nsga2::{binary_tournament, crowding_distance, fast_non_dominated_sort, select_survivors};
+pub use archive::ParetoArchive;
+pub use nsga2::{
+    binary_tournament, crowding_distance, fast_non_dominated_sort, select_survivors, take_selected,
+};
 pub use operators::{
     alphabet_mutation, alphabet_mutation_tracked, bit_flip_mutation, uniform_crossover,
 };

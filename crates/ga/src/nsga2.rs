@@ -225,6 +225,26 @@ pub fn survive<S: AsRef<[f64]>>(objectives: &[S], feasible: &[bool], capacity: u
     }
 }
 
+/// Retain `items[selected[0]], items[selected[1]], …` in that order,
+/// consuming the input without cloning a single member: the survival
+/// permutation applied by move. `selected` must not repeat an index (as
+/// [`survive`]'s output never does).
+///
+/// This replaces the per-generation `selected.iter().map(|&i|
+/// population[i].clone())` pattern, which deep-cloned every survivor every
+/// generation.
+pub fn take_selected<T>(items: Vec<T>, selected: &[usize]) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    selected
+        .iter()
+        .map(|&i| {
+            slots[i]
+                .take()
+                .expect("selected indices must be unique and in range")
+        })
+        .collect()
+}
+
 /// Rank (front index) and crowding distance of every member, used by the
 /// binary tournament.
 pub fn rank_and_crowding<S: AsRef<[f64]>>(

@@ -620,3 +620,89 @@ fn batch_and_delta_toggles_never_change_any_recommendation() {
         }
     }
 }
+
+/// PR-9 regression: delta-native offspring scoring (population retained as
+/// `ScoredPlan`s, children diffed against their nearer tournament parent and
+/// re-scored incrementally) is a pure acceleration. With the toggle off the
+/// recommender must reproduce byte-identical recommendations, budget
+/// accounting and training trajectories at every thread count, on a seed
+/// application and on a generated 4-site scenario.
+#[test]
+fn delta_offspring_toggle_never_changes_any_recommendation() {
+    let quick = ExperimentOptions {
+        max_visited: 200,
+        population: 12,
+        learn_day_seconds: Some(30),
+        ..ExperimentOptions::quick()
+    };
+    let scenarios: Vec<(&str, Experiment)> = vec![
+        ("social-network", Experiment::set_up(quick.clone())),
+        (
+            "synthetic-4-site",
+            Experiment::set_up(ExperimentOptions {
+                application: Application::Synthetic(SynthOptions {
+                    components: 40,
+                    shape: CallGraphShape::Layered,
+                    stateful_fraction: 0.2,
+                    apis: 6,
+                    call_depth: 4,
+                    site_count: 4,
+                    ..SynthOptions::default()
+                }),
+                seed: 77,
+                ..quick
+            }),
+        ),
+    ];
+
+    for (name, exp) in &scenarios {
+        for threads in [1usize, 2, 8] {
+            let config = RecommenderConfig {
+                max_visited: 200,
+                population: 12,
+                ..RecommenderConfig::fast()
+            }
+            .with_threads(threads);
+            let on =
+                Recommender::new(&exp.quality, config.clone().with_delta_search(true)).recommend();
+            let off = Recommender::new(&exp.quality, config.with_delta_search(false)).recommend();
+            assert!(!on.plans.is_empty(), "{name}/{threads}");
+            assert_eq!(
+                on.plans.len(),
+                off.plans.len(),
+                "{name}/{threads} threads: front size"
+            );
+            for (a, b) in on.plans.iter().zip(&off.plans) {
+                assert_eq!(a.plan, b.plan, "{name}/{threads} threads");
+                assert_eq!(
+                    a.quality.performance.to_bits(),
+                    b.quality.performance.to_bits(),
+                    "{name}/{threads} threads"
+                );
+                assert_eq!(
+                    a.quality.availability.to_bits(),
+                    b.quality.availability.to_bits(),
+                    "{name}/{threads} threads"
+                );
+                assert_eq!(
+                    a.quality.cost.to_bits(),
+                    b.quality.cost.to_bits(),
+                    "{name}/{threads} threads"
+                );
+                assert_eq!(
+                    a.quality.feasible, b.quality.feasible,
+                    "{name}/{threads} threads"
+                );
+            }
+            assert_eq!(on.visited, off.visited, "{name}/{threads} threads");
+            assert_eq!(
+                on.reward_progression, off.reward_progression,
+                "{name}/{threads} threads"
+            );
+            assert_eq!(
+                on.eval.unique_evaluations, off.eval.unique_evaluations,
+                "{name}/{threads} threads"
+            );
+        }
+    }
+}

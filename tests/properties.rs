@@ -12,7 +12,7 @@ use atlas::core::{
     kl_divergence, ApplicationProfile, Atlas, AtlasConfig, MigrationPlan, MigrationPreferences,
     PlanEvaluator, QualityModel,
 };
-use atlas::ga::{dominates, pareto_front_indices};
+use atlas::ga::{dominates, pareto_front_indices, ParetoArchive};
 use atlas::sim::{
     ClusterSpec, ComponentId, Location, NetworkModel, OverloadModel, Placement, SimConfig,
     Simulator, SiteId,
@@ -145,6 +145,74 @@ proptest! {
             if !front.contains(&k) {
                 prop_assert!(objectives.iter().any(|other| dominates(other, &objectives[k])));
             }
+        }
+    }
+
+    /// With capacity for every offer, the external archive holds a mutually
+    /// non-dominated front that contains every Pareto-optimal offer point:
+    /// for arbitrary insertion sequences, nothing Pareto-optimal is ever
+    /// lost and nothing dominated ever survives. Integer-valued objectives
+    /// make duplicates and exact domination chains likely.
+    #[test]
+    fn archive_front_is_non_dominated_and_covers_the_offer_front(
+        offers in prop::collection::vec(prop::array::uniform3(0u32..12), 1..60)
+    ) {
+        let points: Vec<[f64; 3]> =
+            offers.iter().map(|o| [o[0] as f64, o[1] as f64, o[2] as f64]).collect();
+        let mut archive: ParetoArchive<usize, [f64; 3]> = ParetoArchive::new(points.len());
+        for (i, p) in points.iter().enumerate() {
+            archive.insert(&i, *p);
+        }
+        prop_assert!(!archive.is_empty());
+        for (gi, si) in archive.entries() {
+            for (gj, sj) in archive.entries() {
+                if gi != gj {
+                    prop_assert!(!dominates(si, sj));
+                }
+            }
+        }
+        // Front-wise coverage: every Pareto-optimal offer has an archive
+        // entry with equal objectives (equal-objective ties included, since
+        // distinct genomes are never collapsed).
+        let front = pareto_front_indices(&points);
+        for k in front {
+            prop_assert!(
+                archive.entries().iter().any(|(_, s)| *s == points[k]),
+                "front point {:?} missing from the archive", points[k]
+            );
+        }
+    }
+
+    /// The archive front is a front-wise superset of any final population's
+    /// front: for an arbitrary subset of the offers (the plans NSGA-II
+    /// survival happened to keep), every member of that subset's Pareto
+    /// front is equalled or dominated by an archive entry — the external
+    /// archive can only improve on the population front, never lose to it.
+    #[test]
+    fn archive_front_is_a_front_wise_superset_of_any_population_front(
+        offers in prop::collection::vec((prop::array::uniform3(0u32..12), prop::bool::ANY), 1..60)
+    ) {
+        let points: Vec<[f64; 3]> =
+            offers.iter().map(|(o, _)| [o[0] as f64, o[1] as f64, o[2] as f64]).collect();
+        let mut archive: ParetoArchive<usize, [f64; 3]> = ParetoArchive::new(points.len());
+        for (i, p) in points.iter().enumerate() {
+            archive.insert(&i, *p);
+        }
+        let survivors: Vec<[f64; 3]> = offers
+            .iter()
+            .zip(&points)
+            .filter(|((_, kept), _)| *kept)
+            .map(|(_, p)| *p)
+            .collect();
+        for k in pareto_front_indices(&survivors) {
+            let member = survivors[k];
+            prop_assert!(
+                archive
+                    .entries()
+                    .iter()
+                    .any(|(_, s)| *s == member || dominates(s, &member)),
+                "population front point {member:?} neither matched nor dominated"
+            );
         }
     }
 
