@@ -1,14 +1,22 @@
 //! Resident-advisor service bench: stream a generated scenario's day into
 //! an [`atlas_core::AdvisorService`] with a drift corpus spliced mid-way,
 //! and measure ingest throughput, drift-to-new-recommendation latency and
-//! the incremental-vs-cold relearn speedup.
+//! the incremental-vs-cold relearn speedup. A second sweep serves a
+//! round-robin request pattern through a multi-tenant [`atlas_core::AdvisorHub`]
+//! — serial loop vs concurrent worker pool at 1/2/8 per-request evaluator
+//! threads — measuring requests/second, p50/p99 latency and scaling
+//! efficiency while checking bit-identical answers.
 //!
-//! The sweep (default: the 100-component acceptance point; override with
-//! `ATLAS_SERVICE_COMPONENTS=25,100`) emits the machine-readable
+//! The sweeps (defaults: the 100-component acceptance point and the
+//! 4-tenant serving grid; override with `ATLAS_SERVICE_COMPONENTS=25,100`
+//! and `ATLAS_SERVING_TENANTS=2,4`) emit the machine-readable
 //! `BENCH_service.json` at the workspace root so CI can track the service
 //! trajectory across PRs next to `BENCH_scale.json`.
 
-use atlas_bench::service::{run_service_point, service_sizes_from_env, write_service_json};
+use atlas_bench::service::{
+    run_service_point, run_serving_grid, service_sizes_from_env, serving_tenants_from_env,
+    write_service_json,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_service(c: &mut Criterion) {
@@ -41,7 +49,40 @@ fn bench_service(c: &mut Criterion) {
             p.evicted_traces
         );
     }
-    let json = write_service_json(&points);
+
+    // Concurrent-serving grid: the largest day-replay size carries the
+    // acceptance point (100 components by default; CI narrows both sweeps
+    // via the env overrides).
+    let serving_components = *sizes.iter().max().expect("at least one size");
+    let mut serving = Vec::new();
+    for tenants in serving_tenants_from_env() {
+        serving.extend(run_serving_grid(serving_components, tenants));
+    }
+    for s in &serving {
+        println!(
+            "serving: {:>3} components  {} tenants  {} req  rt={}  workers={}  \
+             serial {:>6.1} req/s  concurrent {:>6.1} req/s ({:.2}x, eff {:.2})  \
+             p50 {:>6.2} ms  p99 {:>6.2} ms  {}",
+            s.components,
+            s.tenants,
+            s.requests,
+            s.request_threads,
+            s.workers,
+            s.serial_requests_per_sec,
+            s.concurrent_requests_per_sec,
+            s.speedup_vs_serial,
+            s.scaling_efficiency,
+            s.p50_latency_ms,
+            s.p99_latency_ms,
+            if s.deterministic {
+                "deterministic"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    let json = write_service_json(&points, &serving);
     println!("{json}");
 }
 

@@ -19,15 +19,24 @@
 //!   must score bit-identically (asserted here and pinned by property
 //!   test), and the speedup is the point of the per-API path.
 //!
-//! The `service` bench target runs this and emits `BENCH_service.json` at
+//! A second sweep exercises the multi-tenant serving layer: N independent
+//! tenants behind one [`AdvisorHub`], a round-robin request pattern served
+//! first as a serial loop (the ground truth) and then concurrently at
+//! 1/2/8 per-request evaluator threads, measuring requests/second, p50/p99
+//! request latency, speedup over the serial loop and scaling efficiency —
+//! while asserting every concurrent answer is bit-identical to the serial
+//! one (the hub's epoch-snapshot contract).
+//!
+//! The `service` bench target runs both and emits `BENCH_service.json` at
 //! the workspace root next to `BENCH_scale.json` for CI tracking.
 
 use std::time::Instant;
 
 use atlas_apps::{synthesize, synthesize_drift_phase, SynthScenario, WorkloadGenerator};
+use atlas_core::eval::effective_threads;
 use atlas_core::{
-    AdvisorService, AdvisorServiceConfig, ApplicationProfile, Atlas, AtlasConfig, MigrationPlan,
-    MigrationPreferences, QualityModel, RecommenderConfig, ServiceEvent,
+    AdvisorHub, AdvisorService, AdvisorServiceConfig, ApplicationProfile, Atlas, AtlasConfig,
+    MigrationPlan, MigrationPreferences, QualityModel, RecommenderConfig, ServiceEvent, TenantId,
 };
 use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
 use atlas_telemetry::{Direction, MetricKind, TelemetryStore, Trace, TraceId};
@@ -348,8 +357,203 @@ fn single_api_episode(
     (incremental_ms, cold_ms)
 }
 
-/// Render the machine-readable service snapshot.
-pub fn service_json(points: &[ServicePoint]) -> String {
+/// One measured concurrent-serving point of the tenants × request-threads
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingPoint {
+    /// Number of components of each tenant's application.
+    pub components: usize,
+    /// Number of tenants behind the hub.
+    pub tenants: usize,
+    /// Requests in the round-robin pattern.
+    pub requests: usize,
+    /// Per-request evaluator threads (the grid's second dimension).
+    pub request_threads: usize,
+    /// Hub worker threads actually used by the concurrent run.
+    pub workers: usize,
+    /// Requests/second of the serial loop (one request at a time, one
+    /// evaluator thread) over the same pattern.
+    pub serial_requests_per_sec: f64,
+    /// Requests/second of the hub's concurrent worker pool.
+    pub concurrent_requests_per_sec: f64,
+    /// `concurrent_requests_per_sec / serial_requests_per_sec`.
+    pub speedup_vs_serial: f64,
+    /// `speedup_vs_serial / workers` — 1.0 is perfect scaling.
+    pub scaling_efficiency: f64,
+    /// Median per-request latency of the concurrent run, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile per-request latency of the concurrent run.
+    pub p99_latency_ms: f64,
+    /// Mean per-request unique evaluations (the request-local
+    /// `RecommendationReport::eval` view).
+    pub request_unique_evals: f64,
+    /// Mean per-request memo-cache hits (request-local view).
+    pub request_cache_hits: f64,
+    /// Unique evaluations accumulated by the epoch's shared cache over its
+    /// lifetime (the `eval_lifetime` view), maximised over tenants.
+    pub lifetime_unique_evals: usize,
+    /// Lifetime memo-cache hits of the busiest tenant's epoch cache.
+    pub lifetime_cache_hits: usize,
+    /// Whether every concurrent answer (plans and visited count) was
+    /// bit-identical to the serial ground truth.
+    pub deterministic: bool,
+}
+
+/// `p`-th percentile of an already-sorted latency slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Requests per tenant in the serving pattern.
+const SERVING_ROUNDS: usize = 6;
+
+/// Build a bootstrapped multi-tenant hub: `tenants` independent synthetic
+/// applications (distinct seeds) at the given component count, each fed its
+/// own simulated day and bootstrapped behind the hub.
+fn serving_hub(components: usize, tenants: usize) -> (AdvisorHub, Vec<TenantId>) {
+    let mut hub = AdvisorHub::new();
+    let mut ids = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let mut options = options_for(components);
+        options.seed = options
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1));
+        let scenario = synthesize(options).expect("serving options are valid");
+        let store = simulate_day(&scenario, DAY_SECONDS, options.seed);
+        let corpus = corpus_of(&store);
+
+        let preferences = MigrationPreferences::with_cpu_limit(scenario.burst_cpu_limit(5.0, 0.6));
+        let current = Placement::all_onprem(components);
+        let mut atlas_config =
+            AtlasConfig::new(scenario.component_index(), scenario.stateful_names());
+        atlas_config.sites = Some(scenario.catalog.clone());
+        atlas_config.traces_per_api = TRACES_PER_API;
+        atlas_config.horizon_steps = 8;
+        atlas_config.recommender = RecommenderConfig {
+            population: 16,
+            max_visited: 250,
+            ..RecommenderConfig::fast()
+        };
+        let config = AdvisorServiceConfig::new(atlas_config, preferences);
+        let mut service = AdvisorService::new(config, current);
+        copy_telemetry_context(&store, service.store(), 0);
+        service.feed(corpus);
+        let id = hub.add_tenant(format!("tenant-{t}"), service);
+        hub.bootstrap(id);
+        ids.push(id);
+    }
+    (hub, ids)
+}
+
+/// Run the concurrent-serving grid at one (components, tenants) point:
+/// serve a round-robin request pattern serially (the ground truth), then
+/// concurrently at 1/2/8 per-request evaluator threads, measuring
+/// throughput, latency percentiles and scaling — and checking every
+/// concurrent answer bit-identical to the serial one.
+pub fn run_serving_grid(components: usize, tenants: usize) -> Vec<ServingPoint> {
+    let (mut hub, ids) = serving_hub(components, tenants);
+    let requests: Vec<TenantId> = (0..SERVING_ROUNDS)
+        .flat_map(|_| ids.iter().copied())
+        .collect();
+
+    // Warm each tenant's epoch cache once so both the serial loop and the
+    // concurrent runs measure the steady-state serving path.
+    for &id in &ids {
+        hub.recommend(id, 1);
+    }
+
+    // Serial-loop ground truth: one worker, one evaluator thread.
+    hub.set_threads(1);
+    let start = Instant::now();
+    let serial_reports = hub.serve(&requests, 1);
+    let serial_s = start.elapsed().as_secs_f64();
+    let serial_requests_per_sec = requests.len() as f64 / serial_s.max(1e-9);
+    let mut truths: Vec<HubTruth> = Vec::with_capacity(tenants);
+    for &id in &ids {
+        let report = serial_reports
+            .iter()
+            .find(|r| r.tenant == id)
+            .expect("every tenant appears in the pattern");
+        truths.push(HubTruth {
+            plans: report.report.plans.clone(),
+            visited: report.report.visited,
+        });
+    }
+
+    let mut points = Vec::new();
+    for request_threads in [1usize, 2, 8] {
+        hub.set_threads(0); // all available cores
+        let workers = effective_threads(0).min(requests.len()).max(1);
+        let start = Instant::now();
+        let reports = hub.serve(&requests, request_threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let concurrent_requests_per_sec = requests.len() as f64 / elapsed.max(1e-9);
+        let speedup = concurrent_requests_per_sec / serial_requests_per_sec.max(1e-9);
+
+        let mut latencies: Vec<f64> = reports.iter().map(|r| r.latency_ms).collect();
+        latencies.sort_by(f64::total_cmp);
+
+        let deterministic = reports.iter().all(|r| {
+            let truth = &truths[r.tenant.0];
+            r.report.plans == truth.plans && r.report.visited == truth.visited
+        });
+        let n = reports.len().max(1) as f64;
+        let request_unique_evals = reports
+            .iter()
+            .map(|r| r.report.eval.unique_evaluations as f64)
+            .sum::<f64>()
+            / n;
+        let request_cache_hits = reports
+            .iter()
+            .map(|r| r.report.eval.cache_hits as f64)
+            .sum::<f64>()
+            / n;
+        let lifetime_unique_evals = reports
+            .iter()
+            .map(|r| r.report.eval_lifetime.unique_evaluations)
+            .max()
+            .unwrap_or(0);
+        let lifetime_cache_hits = reports
+            .iter()
+            .map(|r| r.report.eval_lifetime.cache_hits)
+            .max()
+            .unwrap_or(0);
+
+        points.push(ServingPoint {
+            components,
+            tenants,
+            requests: requests.len(),
+            request_threads,
+            workers,
+            serial_requests_per_sec,
+            concurrent_requests_per_sec,
+            speedup_vs_serial: speedup,
+            scaling_efficiency: speedup / workers as f64,
+            p50_latency_ms: percentile(&latencies, 0.50),
+            p99_latency_ms: percentile(&latencies, 0.99),
+            request_unique_evals,
+            request_cache_hits,
+            lifetime_unique_evals,
+            lifetime_cache_hits,
+            deterministic,
+        });
+    }
+    points
+}
+
+/// A tenant's serial ground truth for the determinism check.
+struct HubTruth {
+    plans: Vec<atlas_core::RecommendedPlan>,
+    visited: usize,
+}
+
+/// Render the machine-readable service snapshot: the day-replay `points`
+/// sweep followed by the concurrent-serving grid.
+pub fn service_json(points: &[ServicePoint], serving: &[ServingPoint]) -> String {
     let mut out = String::from("{\n  \"bench\": \"service\",\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -384,13 +588,55 @@ pub fn service_json(points: &[ServicePoint]) -> String {
             if i + 1 == points.len() { "" } else { "," },
         ));
     }
+    out.push_str("  ],\n  \"serving\": [\n");
+    for (i, s) in serving.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"components\": {},\n",
+                "      \"tenants\": {},\n",
+                "      \"requests\": {},\n",
+                "      \"request_threads\": {},\n",
+                "      \"workers\": {},\n",
+                "      \"serial_requests_per_sec\": {:.1},\n",
+                "      \"concurrent_requests_per_sec\": {:.1},\n",
+                "      \"speedup_vs_serial\": {:.2},\n",
+                "      \"scaling_efficiency\": {:.2},\n",
+                "      \"p50_latency_ms\": {:.2},\n",
+                "      \"p99_latency_ms\": {:.2},\n",
+                "      \"request_unique_evals\": {:.1},\n",
+                "      \"request_cache_hits\": {:.1},\n",
+                "      \"lifetime_unique_evals\": {},\n",
+                "      \"lifetime_cache_hits\": {},\n",
+                "      \"deterministic\": {}\n",
+                "    }}{}\n"
+            ),
+            s.components,
+            s.tenants,
+            s.requests,
+            s.request_threads,
+            s.workers,
+            s.serial_requests_per_sec,
+            s.concurrent_requests_per_sec,
+            s.speedup_vs_serial,
+            s.scaling_efficiency,
+            s.p50_latency_ms,
+            s.p99_latency_ms,
+            s.request_unique_evals,
+            s.request_cache_hits,
+            s.lifetime_unique_evals,
+            s.lifetime_cache_hits,
+            if s.deterministic { 1 } else { 0 },
+            if i + 1 == serving.len() { "" } else { "," },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
 
 /// Write `BENCH_service.json` at the workspace root and return the JSON.
-pub fn write_service_json(points: &[ServicePoint]) -> String {
-    let json = service_json(points);
+pub fn write_service_json(points: &[ServicePoint], serving: &[ServingPoint]) -> String {
+    let json = service_json(points, serving);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote BENCH_service.json"),
@@ -409,6 +655,19 @@ pub fn service_sizes_from_env() -> Vec<usize> {
             .filter_map(|t| t.trim().parse().ok())
             .collect(),
         Err(_) => vec![100],
+    }
+}
+
+/// Tenant counts of the concurrent-serving grid (overridable with
+/// `ATLAS_SERVING_TENANTS=2,4`). The default is the acceptance point:
+/// 4 tenants.
+pub fn serving_tenants_from_env() -> Vec<usize> {
+    match std::env::var("ATLAS_SERVING_TENANTS") {
+        Ok(raw) => raw
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![4],
     }
 }
 
@@ -447,15 +706,69 @@ mod tests {
             cold_relearn_ms: 9.0,
             relearn_speedup: 4.5,
         };
-        let json = service_json(&[p]);
+        let s = ServingPoint {
+            components: 100,
+            tenants: 4,
+            requests: 24,
+            request_threads: 2,
+            workers: 8,
+            serial_requests_per_sec: 40.0,
+            concurrent_requests_per_sec: 130.0,
+            speedup_vs_serial: 3.25,
+            scaling_efficiency: 0.41,
+            p50_latency_ms: 21.5,
+            p99_latency_ms: 48.0,
+            request_unique_evals: 0.0,
+            request_cache_hits: 310.5,
+            lifetime_unique_evals: 250,
+            lifetime_cache_hits: 7800,
+            deterministic: true,
+        };
+        let json = service_json(&[p], &[s]);
         assert!(json.contains("\"bench\": \"service\""));
         assert!(json.contains("\"ingest_traces_per_sec\": 50000.0"));
         assert!(json.contains("\"relearn_speedup\": 4.50"));
+        assert!(json.contains("\"serving\": ["));
+        assert!(json.contains("\"tenants\": 4"));
+        assert!(json.contains("\"speedup_vs_serial\": 3.25"));
+        assert!(json.contains("\"p99_latency_ms\": 48.00"));
+        assert!(json.contains("\"deterministic\": 1"));
         assert!(!json.contains(",\n  ]"));
     }
 
     #[test]
     fn sizes_env_parses() {
         assert_eq!(service_sizes_from_env(), vec![100]);
+        assert_eq!(serving_tenants_from_env(), vec![4]);
+    }
+
+    #[test]
+    fn serving_grid_is_deterministic_and_scales() {
+        let points = run_serving_grid(25, 2);
+        assert_eq!(points.len(), 3, "one point per request-thread count");
+        for p in &points {
+            assert_eq!(p.components, 25);
+            assert_eq!(p.tenants, 2);
+            assert_eq!(p.requests, 2 * SERVING_ROUNDS);
+            assert!(p.deterministic, "concurrent != serial at {p:?}");
+            assert!(p.serial_requests_per_sec > 0.0);
+            assert!(p.concurrent_requests_per_sec > 0.0);
+            assert!(p.p50_latency_ms <= p.p99_latency_ms);
+            assert!(p.workers >= 1);
+            // Warm steady-state serving: the epoch caches were pre-warmed,
+            // so requests replay entirely out of the shared memo cache.
+            assert_eq!(p.request_unique_evals, 0.0);
+            assert!(p.request_cache_hits > 0.0);
+            assert!(p.lifetime_unique_evals > 0);
+            assert!(p.lifetime_cache_hits >= p.request_cache_hits as usize);
+        }
+        assert_eq!(
+            [1, 2, 8],
+            [
+                points[0].request_threads,
+                points[1].request_threads,
+                points[2].request_threads
+            ]
+        );
     }
 }

@@ -7,7 +7,11 @@
 //!
 //! * **Memoisation** — results are cached keyed on [`MigrationPlan`]'s
 //!   `Hash`, so duplicate plans (common after pin-application and low-rate
-//!   mutation) are scored exactly once;
+//!   mutation) are scored exactly once. The cache is sharded into
+//!   [`MEMO_SHARDS`] independently-locked segments keyed by the top bits of
+//!   the plan hash, so concurrent recommendation requests sharing one cache
+//!   (the multi-tenant [`hub`](crate::hub)) never serialise on a single
+//!   mutex;
 //! * **Batching** — [`PlanEvaluator::evaluate_batch`] dedupes a whole
 //!   generation and fans the uncached plans out across
 //!   [`std::thread::scope`] workers ([`QualityModel`] is `Send + Sync`, so
@@ -15,6 +19,9 @@
 //! * **Statistics** — [`EvalStats`] reports unique evaluations, cache hits
 //!   and scoring wall time, surfaced in
 //!   [`RecommendationReport`](crate::recommender::RecommendationReport).
+//!   Each evaluator handle additionally keeps *local* counters
+//!   ([`PlanEvaluator::local_stats`]) accumulated off the shared path, so a
+//!   request served over a shared cache can attribute its own hit rate.
 //!
 //! Evaluation is pure, so neither the cache nor the thread count changes any
 //! score: a recommendation run is bit-identical at 1 or N worker threads.
@@ -72,11 +79,12 @@
 //! assert_eq!(stats.cache_hits, 1);
 //! ```
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use atlas_sim::{ComponentId, SiteId};
@@ -130,6 +138,23 @@ impl EvalStats {
             self.unique_evaluations as f64 * 1_000.0 / self.wall_time_ms
         }
     }
+
+    /// The growth of this accounting stream since an `earlier` snapshot of
+    /// it: the per-request view of a warm evaluator. Thread count and
+    /// kernel compile time are properties of the evaluator, not of the
+    /// interval, so they carry over from `self`.
+    pub fn since(&self, earlier: &EvalStats) -> EvalStats {
+        EvalStats {
+            unique_evaluations: self
+                .unique_evaluations
+                .saturating_sub(earlier.unique_evaluations),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            batches: self.batches.saturating_sub(earlier.batches),
+            wall_time_ms: (self.wall_time_ms - earlier.wall_time_ms).max(0.0),
+            threads: self.threads,
+            kernel_compile_ms: self.kernel_compile_ms,
+        }
+    }
 }
 
 /// Resolve a requested thread count: `0` means "one worker per available
@@ -171,6 +196,16 @@ pub const DELTA_DIFF_THRESHOLD: f64 = 0.25;
 /// 250-component scenario: 16 lanes ≈ 1.5× the throughput of 8, and 32
 /// adds only a few percent more).
 pub const LANE_WIDTH: usize = 16;
+
+/// Number of independently-locked segments a [`MemoCache`] splits its
+/// entries across (a power of two; the shard is the top bits of the
+/// [`PlanKeyHasher`] key hash). One global mutex made the memo cache the
+/// serialisation point of multi-tenant serving: every concurrent
+/// recommendation request funnelled its probes and inserts through the same
+/// lock. Sixteen shards spread a uniform hash across sixteen locks, so the
+/// expected contention at N concurrent requests drops by 16× while the
+/// aggregate accounting stays exact (per-shard counters merge on read).
+pub const MEMO_SHARDS: usize = 16;
 
 /// Deterministically map a pure function over a slice with up to `threads`
 /// scoped workers. Results come back in input order regardless of the thread
@@ -263,8 +298,9 @@ where
         .collect()
 }
 
-/// Deterministic word-folding hasher for plan-keyed tables (the memo cache
-/// and the batch dedupe maps). A plan key hashes as hundreds of site ids,
+/// Deterministic word-folding hasher for plan-keyed tables (the memo cache,
+/// its shard selector, the batch dedupe maps and the recommender's
+/// request-local visited set). A plan key hashes as hundreds of site ids,
 /// and the standard library's DoS-resistant SipHash spends more time on
 /// that than the delta re-score the lookup guards; these tables are
 /// process-local and never fed attacker-chosen keys, so a multiply-xor
@@ -273,7 +309,7 @@ where
 /// so bucket order — the only thing a hasher can influence — is
 /// unobservable.
 #[derive(Debug, Default)]
-struct PlanKeyHasher(u64);
+pub struct PlanKeyHasher(u64);
 
 impl Hasher for PlanKeyHasher {
     fn write(&mut self, bytes: &[u8]) {
@@ -300,59 +336,246 @@ impl Hasher for PlanKeyHasher {
 /// A `HashMap` keyed through [`PlanKeyHasher`].
 type PlanKeyMap<K, V> = HashMap<K, V, BuildHasherDefault<PlanKeyHasher>>;
 
-/// Mutable interior of a [`MemoCache`], behind one mutex.
+/// A `HashSet` keyed through [`PlanKeyHasher`] — the recommender's
+/// request-local visited-budget tracker.
+pub type PlanKeySet<K> = HashSet<K, BuildHasherDefault<PlanKeyHasher>>;
+
+/// The [`PlanKeyHasher`] hash of one key (shared by the shard selector and
+/// the shard maps — the [`std::borrow::Borrow`] contract keeps borrowed and
+/// owned forms agreeing).
+fn plan_key_hash<Q: Hash + ?Sized>(key: &Q) -> u64 {
+    let mut hasher = PlanKeyHasher::default();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The shard index of one key hash: the top bits, so the shard selector and
+/// the in-shard bucket index (which hashbrown takes from the low bits) stay
+/// independent.
+fn shard_of(hash: u64) -> usize {
+    (hash >> (64 - MEMO_SHARDS.trailing_zeros())) as usize & (MEMO_SHARDS - 1)
+}
+
+/// One independently-locked segment of a [`MemoCache`]: its slice of the
+/// entries plus the hit counter for probes that landed here. Keeping the
+/// counter inside the shard means hit accounting rides the lock the probe
+/// already holds — no shared atomic on the hot path.
 #[derive(Debug)]
-struct MemoState<K, V> {
+struct MemoShard<K, V> {
     cache: PlanKeyMap<K, V>,
     cache_hits: usize,
-    batches: usize,
-    wall_time: Duration,
+}
+
+/// Outcome counters of one batched cache lookup, as seen by the caller that
+/// issued it: how many requests the cache answered, how many unique keys
+/// the batch computed, and the batch wall time. [`PlanEvaluator`] folds
+/// these into its evaluator-local statistics so per-request accounting
+/// stays exact even when many evaluators share one cache.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOutcome {
+    /// Requests answered from the cache, including in-batch duplicates.
+    pub hits: usize,
+    /// Unique keys computed by this batch.
+    pub computed: usize,
+    /// Wall time of the whole batch (probe + compute + insert).
+    pub elapsed: Duration,
 }
 
 /// The memoisation + batching core shared by [`PlanEvaluator`] and the
-/// baselines' placement scorer: a mutex-guarded result cache with
-/// hit/batch/wall-time accounting and a deduplicated, thread-parallel batch
-/// path. The compute function is supplied per call, so one cache can serve
-/// any pure scoring function over its key type.
+/// baselines' placement scorer: a result cache sharded into [`MEMO_SHARDS`]
+/// independently-locked segments (shard = top bits of the
+/// [`PlanKeyHasher`] key hash) with hit/batch/wall-time accounting and a
+/// deduplicated, thread-parallel batch path. The compute function is
+/// supplied per call, so one cache can serve any pure scoring function over
+/// its key type — and one cache can serve many concurrent callers without
+/// funnelling them through a single mutex.
+///
+/// Batch-level counters (`batches`, in-batch duplicate hits, wall time) are
+/// plain atomics bumped once per batch, not per key; per-key hit counters
+/// live inside the shard the probe already locked.
 #[derive(Debug)]
 pub struct MemoCache<K, V> {
-    state: Mutex<MemoState<K, V>>,
+    shards: Vec<Mutex<MemoShard<K, V>>>,
+    batches: AtomicUsize,
+    /// Requests served by in-batch duplicates of keys being computed (they
+    /// hit no shard, so they are accounted once per batch here).
+    dup_hits: AtomicUsize,
+    wall_time_nanos: AtomicU64,
 }
 
 impl<K, V> Default for MemoCache<K, V> {
     fn default() -> Self {
         Self {
-            state: Mutex::new(MemoState {
-                cache: PlanKeyMap::default(),
-                cache_hits: 0,
-                batches: 0,
-                wall_time: Duration::ZERO,
-            }),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| {
+                    Mutex::new(MemoShard {
+                        cache: PlanKeyMap::default(),
+                        cache_hits: 0,
+                    })
+                })
+                .collect(),
+            batches: AtomicUsize::new(0),
+            dup_hits: AtomicUsize::new(0),
+            wall_time_nanos: AtomicU64::new(0),
         }
     }
 }
 
 impl<K, V> MemoCache<K, V>
 where
-    K: std::hash::Hash + Eq + Clone,
+    K: Hash + Eq + Clone,
     V: Copy,
 {
+    /// Probe one key, counting a cache hit on success. The caller computes
+    /// and [`Self::insert`]s on a miss — the split keeps the (possibly
+    /// expensive) compute outside every lock.
+    pub fn probe(&self, key: &K) -> Option<V> {
+        let mut shard = self.shards[shard_of(plan_key_hash(key))].lock();
+        match shard.cache.get(key) {
+            Some(&value) => {
+                shard.cache_hits += 1;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Record one computed value and the wall time its computation took.
+    /// Two callers racing to compute the same key both insert the same
+    /// value (computation is pure), so last-write-wins is benign.
+    pub fn insert(&self, key: &K, value: V, elapsed: Duration) {
+        self.wall_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let mut shard = self.shards[shard_of(plan_key_hash(key))].lock();
+        shard.cache.insert(key.clone(), value);
+    }
+
+    /// Probe a whole batch, returning the cached value per input position.
+    /// Positions map to shards up front, then each shard is locked exactly
+    /// once — a batch touches at most [`MEMO_SHARDS`] locks regardless of
+    /// its size, and hits are counted in the shard that served them.
+    pub fn probe_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); MEMO_SHARDS];
+        for (i, key) in keys.iter().enumerate() {
+            by_shard[shard_of(plan_key_hash(key))].push(i);
+        }
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        for (s, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].lock();
+            let mut hits = 0usize;
+            for &i in positions {
+                if let Some(&value) = shard.cache.get(&keys[i]) {
+                    out[i] = Some(value);
+                    hits += 1;
+                }
+            }
+            shard.cache_hits += hits;
+        }
+        out
+    }
+
+    /// Record one batch's computed entries plus its accounting: the batch
+    /// counter, the requests served by in-batch duplicates (`dup_hits`) and
+    /// the batch wall time. Entries are grouped so each shard is locked
+    /// once.
+    pub fn insert_batch(&self, entries: &[(&K, V)], dup_hits: usize, elapsed: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.dup_hits.fetch_add(dup_hits, Ordering::Relaxed);
+        self.wall_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); MEMO_SHARDS];
+        for (i, (key, _)) in entries.iter().enumerate() {
+            by_shard[shard_of(plan_key_hash(*key))].push(i);
+        }
+        for (s, positions) in by_shard.iter().enumerate() {
+            if positions.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].lock();
+            for &i in positions {
+                let (key, value) = entries[i];
+                shard.cache.insert(key.clone(), value);
+            }
+        }
+    }
+
     /// Look up one key, computing and caching its value on a miss.
     pub fn get_or_compute(&self, key: &K, compute: impl FnOnce(&K) -> V) -> V {
-        {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(&value) = state.cache.get(key) {
-                state.cache_hits += 1;
-                return value;
-            }
+        if let Some(value) = self.probe(key) {
+            return value;
         }
         let start = Instant::now();
         let value = compute(key);
-        let elapsed = start.elapsed();
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.wall_time += elapsed;
-        state.cache.insert(key.clone(), value);
+        self.insert(key, value, start.elapsed());
         value
+    }
+
+    /// The batched lookup core: dedupe the batch against the cache and
+    /// against itself, compute the remaining unique keys with `compute_all`
+    /// (one value per key, in first-appearance order), insert, and return
+    /// the values in input order together with the [`BatchOutcome`]
+    /// counters of this call.
+    pub fn get_or_compute_batch_outcome<F>(
+        &self,
+        keys: &[K],
+        compute_all: F,
+    ) -> (Vec<V>, BatchOutcome)
+    where
+        F: FnOnce(&[&K]) -> Vec<V>,
+    {
+        let start = Instant::now();
+        // Which cache/batch slot serves each input position.
+        enum Slot<V> {
+            Hit(V),
+            Pending(usize),
+        }
+        let probed = self.probe_batch(keys);
+        let mut uncached: Vec<&K> = Vec::new();
+        let mut pending_of: PlanKeyMap<&K, usize> = PlanKeyMap::default();
+        let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
+        let mut probe_hits = 0usize;
+        let mut dup_hits = 0usize;
+        for (key, cached) in keys.iter().zip(&probed) {
+            if let Some(value) = cached {
+                probe_hits += 1;
+                slots.push(Slot::Hit(*value));
+            } else if let Some(&k) = pending_of.get(key) {
+                dup_hits += 1;
+                slots.push(Slot::Pending(k));
+            } else {
+                let k = uncached.len();
+                uncached.push(key);
+                pending_of.insert(key, k);
+                slots.push(Slot::Pending(k));
+            }
+        }
+        let computed = compute_all(&uncached);
+        debug_assert_eq!(computed.len(), uncached.len(), "one value per unique key");
+        let elapsed = start.elapsed();
+        let entries: Vec<(&K, V)> = uncached
+            .iter()
+            .copied()
+            .zip(computed.iter().copied())
+            .collect();
+        self.insert_batch(&entries, dup_hits, elapsed);
+        let values = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Hit(value) => value,
+                Slot::Pending(k) => computed[k],
+            })
+            .collect();
+        (
+            values,
+            BatchOutcome {
+                hits: probe_hits + dup_hits,
+                computed: uncached.len(),
+                elapsed,
+            },
+        )
     }
 
     /// Look up a batch of keys, returning values in input order. Cached and
@@ -364,56 +587,19 @@ where
         V: Send,
         F: Fn(&K) -> V + Sync,
     {
-        let start = Instant::now();
-        // Which cache/batch slot serves each input position.
-        enum Slot<V> {
-            Hit(V),
-            Pending(usize),
-        }
-        let mut uncached: Vec<&K> = Vec::new();
-        let mut pending_of: PlanKeyMap<&K, usize> = PlanKeyMap::default();
-        let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
-        {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            for key in keys {
-                if let Some(&value) = state.cache.get(key) {
-                    state.cache_hits += 1;
-                    slots.push(Slot::Hit(value));
-                } else if let Some(&k) = pending_of.get(key) {
-                    state.cache_hits += 1;
-                    slots.push(Slot::Pending(k));
-                } else {
-                    let k = uncached.len();
-                    uncached.push(key);
-                    pending_of.insert(key, k);
-                    slots.push(Slot::Pending(k));
-                }
-            }
-        }
-        let computed = parallel_map(&uncached, threads, |key| compute(key));
-        let elapsed = start.elapsed();
-        {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            for (&key, &value) in uncached.iter().zip(&computed) {
-                state.cache.insert(key.clone(), value);
-            }
-            state.batches += 1;
-            state.wall_time += elapsed;
-        }
-        slots
-            .into_iter()
-            .map(|slot| match slot {
-                Slot::Hit(value) => value,
-                Slot::Pending(k) => computed[k],
-            })
-            .collect()
+        self.get_or_compute_batch_outcome(keys, |uncached| {
+            parallel_map(uncached, threads, |key| compute(key))
+        })
+        .0
     }
 
     /// Like [`Self::get_or_compute`], but looked up through a borrowed form
     /// of the key (e.g. `&[SiteId]` for a `Vec<SiteId>` cache), so probes
     /// that hit the cache never allocate an owned key. On a miss, `own`
     /// materialises the owned key for insertion and `compute` scores it.
-    /// Accounting (hits, wall time) is identical to the owned entry point.
+    /// Accounting (hits, wall time) is identical to the owned entry point;
+    /// the [`std::borrow::Borrow`] contract keeps the borrowed and owned
+    /// hashes — and therefore the shard — in agreement.
     pub fn get_or_compute_with<Q>(
         &self,
         key: &Q,
@@ -422,21 +608,21 @@ where
     ) -> V
     where
         K: std::borrow::Borrow<Q>,
-        Q: std::hash::Hash + Eq + ?Sized,
+        Q: Hash + Eq + ?Sized,
     {
         {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            if let Some(&value) = state.cache.get(key) {
-                state.cache_hits += 1;
+            let mut shard = self.shards[shard_of(plan_key_hash(key))].lock();
+            if let Some(&value) = shard.cache.get(key) {
+                shard.cache_hits += 1;
                 return value;
             }
         }
         let start = Instant::now();
         let value = compute(key);
-        let elapsed = start.elapsed();
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.wall_time += elapsed;
-        state.cache.insert(own(key), value);
+        self.wall_time_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let mut shard = self.shards[shard_of(plan_key_hash(key))].lock();
+        shard.cache.insert(own(key), value);
         value
     }
 
@@ -457,78 +643,44 @@ where
         V: Send,
         F: Fn(&[&K]) -> Vec<V> + Sync,
     {
-        let start = Instant::now();
-        enum Slot<V> {
-            Hit(V),
-            Pending(usize),
-        }
-        let mut uncached: Vec<&K> = Vec::new();
-        let mut pending_of: PlanKeyMap<&K, usize> = PlanKeyMap::default();
-        let mut slots: Vec<Slot<V>> = Vec::with_capacity(keys.len());
-        {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            for key in keys {
-                if let Some(&value) = state.cache.get(key) {
-                    state.cache_hits += 1;
-                    slots.push(Slot::Hit(value));
-                } else if let Some(&k) = pending_of.get(key) {
-                    state.cache_hits += 1;
-                    slots.push(Slot::Pending(k));
-                } else {
-                    let k = uncached.len();
-                    uncached.push(key);
-                    pending_of.insert(key, k);
-                    slots.push(Slot::Pending(k));
-                }
-            }
-        }
-        let computed = parallel_map_grouped(&uncached, threads, group, |group_keys| {
-            compute_group(group_keys)
-        });
-        let elapsed = start.elapsed();
-        {
-            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-            for (&key, &value) in uncached.iter().zip(&computed) {
-                state.cache.insert(key.clone(), value);
-            }
-            state.batches += 1;
-            state.wall_time += elapsed;
-        }
-        slots
-            .into_iter()
-            .map(|slot| match slot {
-                Slot::Hit(value) => value,
-                Slot::Pending(k) => computed[k],
+        self.get_or_compute_batch_outcome(keys, |uncached| {
+            parallel_map_grouped(uncached, threads, group, |group_keys| {
+                compute_group(group_keys)
             })
-            .collect()
+        })
+        .0
     }
 
     /// Distinct keys computed so far (the cache size).
     pub fn unique(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache
-            .len()
+        self.shards.iter().map(|s| s.lock().cache.len()).sum()
     }
 
     /// Requests answered from the cache so far.
     pub fn cache_hits(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .cache_hits
+        self.shards
+            .iter()
+            .map(|s| s.lock().cache_hits)
+            .sum::<usize>()
+            + self.dup_hits.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the accounting as [`EvalStats`], stamped with the worker
-    /// count the owner fans batches out across.
+    /// count the owner fans batches out across. Shard counters are merged
+    /// on read, so the totals are exact.
     pub fn stats(&self, threads: usize) -> EvalStats {
-        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut unique_evaluations = 0usize;
+        let mut cache_hits = 0usize;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            unique_evaluations += shard.cache.len();
+            cache_hits += shard.cache_hits;
+        }
         EvalStats {
-            unique_evaluations: state.cache.len(),
-            cache_hits: state.cache_hits,
-            batches: state.batches,
-            wall_time_ms: state.wall_time.as_secs_f64() * 1_000.0,
+            unique_evaluations,
+            cache_hits: cache_hits + self.dup_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            wall_time_ms: self.wall_time_nanos.load(Ordering::Relaxed) as f64 / 1e6,
             threads,
             kernel_compile_ms: 0.0,
         }
@@ -555,17 +707,48 @@ fn diff_changes(parent: &[SiteId], child: &[SiteId]) -> Vec<(ComponentId, SiteId
         .collect()
 }
 
+/// Where a [`PlanEvaluator`]'s memo cache lives: owned by the evaluator
+/// (the default, one cache per evaluator lifetime) or borrowed from a
+/// longer-lived holder — the multi-tenant hub publishes one cache per model
+/// epoch and every request served at that epoch shares it, so a relearn
+/// (which publishes a fresh epoch, and with it a fresh cache) can never
+/// leak a stale score into a request.
+#[derive(Debug)]
+enum CacheRef<'a> {
+    Owned(MemoCache<MigrationPlan, PlanQuality>),
+    Shared(&'a MemoCache<MigrationPlan, PlanQuality>),
+}
+
+/// Per-evaluator accounting, accumulated off the shared cache path: what
+/// *this handle* computed and what the cache answered for it. Atomics keep
+/// the evaluator `Sync`; they are only ever touched by the evaluator's own
+/// calls, so they never contend.
+#[derive(Debug, Default)]
+struct LocalCounters {
+    computed: AtomicUsize,
+    hits: AtomicUsize,
+    batches: AtomicUsize,
+    wall_time_nanos: AtomicU64,
+}
+
 /// Cached, batched, thread-parallel front end to a [`QualityModel`].
 ///
 /// The evaluator is `Sync`: it can be shared by reference across the search,
 /// the RL trainer and bench code, accumulating one cache and one set of
 /// statistics. See the [module docs](self) for an end-to-end example.
+///
+/// The memo cache is either owned (the default) or shared
+/// ([`Self::with_shared_cache`]) — the multi-tenant hub gives each
+/// concurrent request its own evaluator handle over the tenant's
+/// epoch-stamped cache, so [`Self::stats`] reports the cache lifetime while
+/// [`Self::local_stats`] reports just this handle's requests.
 #[derive(Debug)]
 pub struct PlanEvaluator<'a> {
     quality: &'a QualityModel,
     threads: usize,
     lane_width: usize,
-    cache: MemoCache<MigrationPlan, PlanQuality>,
+    cache: CacheRef<'a>,
+    local: LocalCounters,
 }
 
 impl<'a> PlanEvaluator<'a> {
@@ -576,7 +759,27 @@ impl<'a> PlanEvaluator<'a> {
             quality,
             threads: effective_threads(0),
             lane_width: LANE_WIDTH,
-            cache: MemoCache::default(),
+            cache: CacheRef::Owned(MemoCache::default()),
+            local: LocalCounters::default(),
+        }
+    }
+
+    /// Wrap a quality model over a caller-owned memo cache, shared with
+    /// other evaluators of the *same model*: the multi-tenant serving path,
+    /// where every request at one model epoch warms the same cache.
+    /// Scores are pure, so sharing never changes a result — only the hit
+    /// rate. The caller must pair the cache with the model it was filled
+    /// from (the hub re-publishes cache + model together per epoch).
+    pub fn with_shared_cache(
+        quality: &'a QualityModel,
+        cache: &'a MemoCache<MigrationPlan, PlanQuality>,
+    ) -> Self {
+        Self {
+            quality,
+            threads: effective_threads(0),
+            lane_width: LANE_WIDTH,
+            cache: CacheRef::Shared(cache),
+            local: LocalCounters::default(),
         }
     }
 
@@ -617,10 +820,41 @@ impl<'a> PlanEvaluator<'a> {
         self.quality
     }
 
+    /// The memo cache (owned or shared).
+    fn memo(&self) -> &MemoCache<MigrationPlan, PlanQuality> {
+        match &self.cache {
+            CacheRef::Owned(cache) => cache,
+            CacheRef::Shared(cache) => cache,
+        }
+    }
+
+    /// Fold one batch's outcome into the evaluator-local counters.
+    fn absorb(&self, outcome: BatchOutcome) {
+        self.local
+            .computed
+            .fetch_add(outcome.computed, Ordering::Relaxed);
+        self.local.hits.fetch_add(outcome.hits, Ordering::Relaxed);
+        self.local.batches.fetch_add(1, Ordering::Relaxed);
+        self.local
+            .wall_time_nanos
+            .fetch_add(outcome.elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Evaluate one plan, serving duplicates from the cache.
     pub fn evaluate(&self, plan: &MigrationPlan) -> PlanQuality {
-        self.cache
-            .get_or_compute(plan, |p| self.quality.evaluate(p))
+        if let Some(quality) = self.memo().probe(plan) {
+            self.local.hits.fetch_add(1, Ordering::Relaxed);
+            return quality;
+        }
+        let start = Instant::now();
+        let quality = self.quality.evaluate(plan);
+        let elapsed = start.elapsed();
+        self.memo().insert(plan, quality, elapsed);
+        self.local.computed.fetch_add(1, Ordering::Relaxed);
+        self.local
+            .wall_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        quality
     }
 
     /// Evaluate a batch of plans, returning qualities in input order.
@@ -633,15 +867,19 @@ impl<'a> PlanEvaluator<'a> {
     /// [`QualityModel::evaluate`] on each plan directly, at any lane width
     /// or thread count.
     pub fn evaluate_batch(&self, plans: &[MigrationPlan]) -> Vec<PlanQuality> {
-        if self.lane_width <= 1 {
-            return self
-                .cache
-                .get_or_compute_batch(plans, self.threads, |p| self.quality.evaluate(p));
-        }
-        self.cache
-            .get_or_compute_batch_grouped(plans, self.threads, self.lane_width, |group| {
-                self.quality.evaluate_lanes(group)
+        let (values, outcome) = if self.lane_width <= 1 {
+            self.memo().get_or_compute_batch_outcome(plans, |uncached| {
+                parallel_map(uncached, self.threads, |p| self.quality.evaluate(p))
             })
+        } else {
+            self.memo().get_or_compute_batch_outcome(plans, |uncached| {
+                parallel_map_grouped(uncached, self.threads, self.lane_width, |group| {
+                    self.quality.evaluate_lanes(group)
+                })
+            })
+        };
+        self.absorb(outcome);
+        values
     }
 
     /// [`Self::evaluate_batch`] with the per-trace state retained: every
@@ -661,24 +899,24 @@ impl<'a> PlanEvaluator<'a> {
     /// model (the retained state needs full-length site assignments).
     pub fn evaluate_scored_batch(&self, plans: &[MigrationPlan]) -> Vec<ScoredPlan> {
         let start = Instant::now();
+        let probed = self.memo().probe_batch(plans);
         let mut uncached: Vec<&MigrationPlan> = Vec::new();
         let mut pending_of: PlanKeyMap<&MigrationPlan, usize> = PlanKeyMap::default();
         let mut slots: Vec<ScoredSlot> = Vec::with_capacity(plans.len());
-        {
-            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
-            for plan in plans {
-                if let Some(&value) = state.cache.get(plan) {
-                    state.cache_hits += 1;
-                    slots.push(ScoredSlot::Hit(value));
-                } else if let Some(&k) = pending_of.get(plan) {
-                    state.cache_hits += 1;
-                    slots.push(ScoredSlot::Pending(k));
-                } else {
-                    let k = uncached.len();
-                    uncached.push(plan);
-                    pending_of.insert(plan, k);
-                    slots.push(ScoredSlot::Pending(k));
-                }
+        let mut probe_hits = 0usize;
+        let mut dup_hits = 0usize;
+        for (plan, cached) in plans.iter().zip(&probed) {
+            if let Some(value) = cached {
+                probe_hits += 1;
+                slots.push(ScoredSlot::Hit(*value));
+            } else if let Some(&k) = pending_of.get(plan) {
+                dup_hits += 1;
+                slots.push(ScoredSlot::Pending(k));
+            } else {
+                let k = uncached.len();
+                uncached.push(plan);
+                pending_of.insert(plan, k);
+                slots.push(ScoredSlot::Pending(k));
             }
         }
         let computed: Vec<ScoredPlan> = if self.lane_width <= 1 {
@@ -689,14 +927,17 @@ impl<'a> PlanEvaluator<'a> {
             })
         };
         let elapsed = start.elapsed();
-        {
-            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
-            for (&plan, scored) in uncached.iter().zip(&computed) {
-                state.cache.insert(plan.clone(), scored.quality());
-            }
-            state.batches += 1;
-            state.wall_time += elapsed;
-        }
+        let entries: Vec<(&MigrationPlan, PlanQuality)> = uncached
+            .iter()
+            .copied()
+            .zip(computed.iter().map(ScoredPlan::quality))
+            .collect();
+        self.memo().insert_batch(&entries, dup_hits, elapsed);
+        self.absorb(BatchOutcome {
+            hits: probe_hits + dup_hits,
+            computed: uncached.len(),
+            elapsed,
+        });
         self.assemble_scored(slots, plans, computed)
     }
 
@@ -731,24 +972,24 @@ impl<'a> PlanEvaluator<'a> {
             "one retained parent per child"
         );
         let start = Instant::now();
+        let probed = self.memo().probe_batch(children);
         let mut uncached: Vec<usize> = Vec::new();
         let mut pending_of: PlanKeyMap<&MigrationPlan, usize> = PlanKeyMap::default();
         let mut slots: Vec<ScoredSlot> = Vec::with_capacity(children.len());
-        {
-            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
-            for (i, child) in children.iter().enumerate() {
-                if let Some(&value) = state.cache.get(child) {
-                    state.cache_hits += 1;
-                    slots.push(ScoredSlot::Hit(value));
-                } else if let Some(&k) = pending_of.get(child) {
-                    state.cache_hits += 1;
-                    slots.push(ScoredSlot::Pending(k));
-                } else {
-                    let k = uncached.len();
-                    uncached.push(i);
-                    pending_of.insert(child, k);
-                    slots.push(ScoredSlot::Pending(k));
-                }
+        let mut probe_hits = 0usize;
+        let mut dup_hits = 0usize;
+        for (i, (child, cached)) in children.iter().zip(&probed).enumerate() {
+            if let Some(value) = cached {
+                probe_hits += 1;
+                slots.push(ScoredSlot::Hit(*value));
+            } else if let Some(&k) = pending_of.get(child) {
+                dup_hits += 1;
+                slots.push(ScoredSlot::Pending(k));
+            } else {
+                let k = uncached.len();
+                uncached.push(i);
+                pending_of.insert(child, k);
+                slots.push(ScoredSlot::Pending(k));
             }
         }
         // Route each uncached child: small diff against a state-carrying
@@ -797,14 +1038,17 @@ impl<'a> PlanEvaluator<'a> {
             .map(|s| s.expect("every uncached child is routed exactly once"))
             .collect();
         let elapsed = start.elapsed();
-        {
-            let mut state = self.cache.state.lock().unwrap_or_else(|e| e.into_inner());
-            for (&i, scored) in uncached.iter().zip(&computed) {
-                state.cache.insert(children[i].clone(), scored.quality());
-            }
-            state.batches += 1;
-            state.wall_time += elapsed;
-        }
+        let entries: Vec<(&MigrationPlan, PlanQuality)> = uncached
+            .iter()
+            .map(|&i| &children[i])
+            .zip(computed.iter().map(ScoredPlan::quality))
+            .collect();
+        self.memo().insert_batch(&entries, dup_hits, elapsed);
+        self.absorb(BatchOutcome {
+            hits: probe_hits + dup_hits,
+            computed: uncached.len(),
+            elapsed,
+        });
         self.assemble_scored(slots, children, computed)
     }
 
@@ -815,18 +1059,30 @@ impl<'a> PlanEvaluator<'a> {
     /// anything else cold-scores. Bit-identical to [`Self::evaluate`] by
     /// the same contract as the batch path.
     pub fn evaluate_offspring(&self, parent: &ScoredPlan, child: &MigrationPlan) -> PlanQuality {
-        self.cache.get_or_compute(child, |p| {
+        if let Some(quality) = self.memo().probe(child) {
+            self.local.hits.fetch_add(1, Ordering::Relaxed);
+            return quality;
+        }
+        let start = Instant::now();
+        let quality = 'compute: {
             if parent.traces().len() == self.quality.kernel().trace_count()
-                && p.len() == parent.sites().len()
-                && p.len() == self.quality.component_count()
+                && child.len() == parent.sites().len()
+                && child.len() == self.quality.component_count()
             {
-                let changes = diff_changes(parent.sites(), p.sites());
+                let changes = diff_changes(parent.sites(), child.sites());
                 if changes.len() <= self.delta_change_cap() {
-                    return self.quality.probe_delta(parent, &changes);
+                    break 'compute self.quality.probe_delta(parent, &changes);
                 }
             }
-            self.quality.evaluate(p)
-        })
+            self.quality.evaluate(child)
+        };
+        let elapsed = start.elapsed();
+        self.memo().insert(child, quality, elapsed);
+        self.local.computed.fetch_add(1, Ordering::Relaxed);
+        self.local
+            .wall_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        quality
     }
 
     /// Largest change-set size the delta route accepts:
@@ -871,23 +1127,44 @@ impl<'a> PlanEvaluator<'a> {
             .collect()
     }
 
-    /// Distinct plans scored so far (the cache size). This is what the
-    /// recommender's `max_visited` budget counts — cache hits are free.
+    /// Distinct plans scored so far by *anyone* using this evaluator's
+    /// cache (the cache size). On a shared cache this spans every
+    /// evaluator; the recommender's `max_visited` budget instead counts
+    /// request-locally, so concurrent sharing never changes a search.
     pub fn unique_evaluations(&self) -> usize {
-        self.cache.unique()
+        self.memo().unique()
     }
 
-    /// Requests answered from the cache so far.
+    /// Requests answered from the cache so far (cache-wide).
     pub fn cache_hits(&self) -> usize {
-        self.cache.cache_hits()
+        self.memo().cache_hits()
     }
 
-    /// Snapshot of the evaluation statistics, stamped with the wrapped
-    /// model's kernel compile time.
+    /// Snapshot of the cache-lifetime evaluation statistics, stamped with
+    /// the wrapped model's kernel compile time. On a shared cache this is
+    /// the *lifetime* view across every evaluator of the epoch; pair it
+    /// with [`Self::local_stats`] for the per-request view.
     pub fn stats(&self) -> EvalStats {
-        let mut stats = self.cache.stats(self.threads);
+        let mut stats = self.memo().stats(self.threads);
         stats.kernel_compile_ms = self.quality.kernel_compile_ms();
         stats
+    }
+
+    /// Snapshot of the evaluator-local statistics: only the requests issued
+    /// *through this handle*. On an owned cache this coincides with
+    /// [`Self::stats`]; on a shared cache it is the per-request
+    /// attribution (this request's computes, this request's hits), exact
+    /// under any interleaving because the counters live in the handle, not
+    /// the cache.
+    pub fn local_stats(&self) -> EvalStats {
+        EvalStats {
+            unique_evaluations: self.local.computed.load(Ordering::Relaxed),
+            cache_hits: self.local.hits.load(Ordering::Relaxed),
+            batches: self.local.batches.load(Ordering::Relaxed),
+            wall_time_ms: self.local.wall_time_nanos.load(Ordering::Relaxed) as f64 / 1e6,
+            threads: self.threads,
+            kernel_compile_ms: self.quality.kernel_compile_ms(),
+        }
     }
 }
 
@@ -964,6 +1241,7 @@ mod tests {
         require::<QualityModel>();
         require::<PlanEvaluator<'_>>();
         require::<EvalStats>();
+        require::<MemoCache<MigrationPlan, PlanQuality>>();
     }
 
     #[test]
@@ -977,6 +1255,10 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(evaluator.unique_evaluations(), 1);
         assert_eq!(evaluator.cache_hits(), 1);
+        // On an owned cache, local and lifetime views coincide.
+        let local = evaluator.local_stats();
+        assert_eq!(local.unique_evaluations, 1);
+        assert_eq!(local.cache_hits, 1);
     }
 
     #[test]
@@ -1000,6 +1282,11 @@ mod tests {
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.requests(), 12);
         assert!(stats.cache_hit_rate() > 0.5);
+        // The local view agrees with the lifetime view (sole user).
+        let local = evaluator.local_stats();
+        assert_eq!(local.unique_evaluations, 5);
+        assert_eq!(local.cache_hits, 7);
+        assert_eq!(local.batches, 2);
     }
 
     #[test]
@@ -1069,5 +1356,72 @@ mod tests {
             stats.kernel_compile_ms > 0.0,
             "the quality model's kernel compile time is surfaced"
         );
+    }
+
+    /// Two evaluator handles over one shared cache: the cache-wide view
+    /// aggregates both, while each handle's local view attributes exactly
+    /// its own computes and hits — the accounting the multi-tenant hub
+    /// reports per request.
+    #[test]
+    fn shared_cache_splits_local_and_lifetime_stats() {
+        let quality = build_quality();
+        let cache: MemoCache<MigrationPlan, PlanQuality> = MemoCache::default();
+        let batch = plans(quality.component_count(), 12);
+
+        let first = PlanEvaluator::with_shared_cache(&quality, &cache).with_threads(1);
+        let cold = first.evaluate_batch(&batch);
+        assert_eq!(first.local_stats().unique_evaluations, 12);
+        assert_eq!(first.local_stats().cache_hits, 0);
+
+        let second = PlanEvaluator::with_shared_cache(&quality, &cache).with_threads(1);
+        let warm = second.evaluate_batch(&batch);
+        assert_eq!(warm, cold, "a shared cache never changes scores");
+        assert_eq!(
+            second.local_stats().unique_evaluations,
+            0,
+            "the second handle computed nothing"
+        );
+        assert_eq!(second.local_stats().cache_hits, 12);
+
+        // The cache-wide lifetime view aggregates both handles.
+        let lifetime = second.stats();
+        assert_eq!(lifetime.unique_evaluations, 12);
+        assert_eq!(lifetime.cache_hits, 12);
+        assert_eq!(lifetime.batches, 2);
+
+        // The per-request delta of a lifetime stream subtracts cleanly.
+        let delta = lifetime.since(&first.stats());
+        assert_eq!(delta.unique_evaluations, 0);
+    }
+
+    /// Hammer one sharded cache from many threads: every value is correct
+    /// and the merged accounting is exact (requests = hits + uniques).
+    #[test]
+    fn sharded_cache_is_consistent_under_concurrent_batches() {
+        let quality = build_quality();
+        let cache: MemoCache<MigrationPlan, PlanQuality> = MemoCache::default();
+        let n = quality.component_count();
+        let batch = plans(n, 40);
+        let direct: Vec<PlanQuality> = batch.iter().map(|p| quality.evaluate(p)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let evaluator =
+                        PlanEvaluator::with_shared_cache(&quality, &cache).with_threads(1);
+                    let scored = evaluator.evaluate_batch(&batch);
+                    assert_eq!(scored, direct);
+                    let local = evaluator.local_stats();
+                    assert_eq!(local.unique_evaluations + local.cache_hits, batch.len());
+                });
+            }
+        });
+        assert_eq!(cache.unique(), 40, "racing computes insert equal values");
+        let stats = cache.stats(1);
+        // Racing threads may each compute a plan the others also computed
+        // (benign — the values are equal), so the hit count is only bounded
+        // by the requests the cache did not have to answer cold: at least
+        // one thread computed each plan, at most all four did.
+        assert!(stats.cache_hits <= 3 * batch.len());
+        assert_eq!(stats.batches, 4);
     }
 }

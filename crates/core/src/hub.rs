@@ -1,0 +1,686 @@
+//! The multi-tenant advisor hub: concurrent serving over lock-free model
+//! snapshots.
+//!
+//! [`AdvisorService`] is a single-tenant event loop behind `&mut self`: one
+//! application, one model, strictly serial rounds. A hosted advisor serves
+//! *many* applications at once — concurrent recommendation requests must
+//! not queue behind each other, and one tenant's ingest or relearn must not
+//! stall another tenant's (or even its own) in-flight recommendations.
+//! [`AdvisorHub`] provides that serving layer over N independent tenant
+//! services:
+//!
+//! * **Epoch-stamped model snapshots** — whenever a tenant's model
+//!   generation changes (bootstrap or drift-triggered relearn), the hub
+//!   publishes the compiled [`QualityModel`] `Arc` plus a *fresh*
+//!   [`MemoCache`] as one [`MEMO_SHARDS`](crate::eval::MEMO_SHARDS)-sharded,
+//!   epoch-stamped snapshot behind an atomic pointer. Recommendation reads
+//!   ([`AdvisorHub::recommend`]) take the snapshot lock-free: they never
+//!   touch the tenant's service mutex, so ingest, drift detection and
+//!   relearn proceed while any number of recommenders are in flight — and
+//!   a recommender keeps scoring against the epoch it started with even if
+//!   a relearn lands mid-search.
+//! * **Per-epoch shared eval caches** — every request served at one epoch
+//!   warms the same sharded memo cache (scores are pure, so sharing can
+//!   only add cache hits, never change a result), and a new epoch starts
+//!   from an empty cache *by construction*: a stale score cannot survive a
+//!   relearn because the cache it lived in is retired with its epoch.
+//! * **Determinism** — the recommender's search budget is request-local
+//!   (see [`RecommenderConfig::max_visited`]), so a tenant's
+//!   recommendation is bit-identical to running its `AdvisorService`
+//!   serially, at any hub worker count, request-thread count and
+//!   interleaving with other tenants.
+//!
+//! ```text
+//!   feed_all ──┬── tenant A: Mutex<AdvisorService> ─ relearn ─┐ publish
+//!              └── tenant B: Mutex<AdvisorService> ─ relearn ─┤ (epoch++)
+//!                                                             ▼
+//!                         SnapshotCell (atomic ptr) ──▶ { epoch, Arc<QualityModel>,
+//!                                                          sharded MemoCache }
+//!                                                             ▲  lock-free reads
+//!   serve ────── worker pool ── recommend(tenant) ────────────┘
+//! ```
+//!
+//! # Example
+//!
+//! Run two tenants through the hub and serve their recommendations
+//! concurrently — each identical to what the tenant's own serial service
+//! computed at bootstrap:
+//!
+//! ```
+//! use atlas_apps::{synthesize, SynthOptions, WorkloadGenerator};
+//! use atlas_core::hub::{AdvisorHub, TenantId};
+//! use atlas_core::service::{AdvisorService, AdvisorServiceConfig};
+//! use atlas_core::{AtlasConfig, MigrationPreferences, RecommenderConfig};
+//! use atlas_sim::{OverloadModel, Placement, SimConfig, Simulator};
+//! use atlas_telemetry::TelemetryStore;
+//!
+//! // One tiny synthetic tenant application with a compressed day.
+//! fn tenant_service(seed: u64) -> AdvisorService {
+//!     let options = SynthOptions {
+//!         components: 10,
+//!         apis: 2,
+//!         call_depth: 3,
+//!         seed,
+//!         ..SynthOptions::default()
+//!     };
+//!     let scenario = synthesize(options).unwrap();
+//!     let current = Placement::all_onprem(scenario.topology.component_count());
+//!     let mut workload = scenario.workload.clone();
+//!     workload.profile.day_seconds = 30;
+//!     let schedule = WorkloadGenerator::new(workload)
+//!         .generate(&scenario.topology)
+//!         .unwrap();
+//!     let scratch = TelemetryStore::new();
+//!     Simulator::new(
+//!         scenario.topology.clone(),
+//!         current.clone(),
+//!         SimConfig {
+//!             overload: OverloadModel::disabled(),
+//!             ..SimConfig::default()
+//!         },
+//!     )
+//!     .run(&schedule, &scratch);
+//!
+//!     let mut atlas = AtlasConfig::new(scenario.component_index(), scenario.stateful_names());
+//!     atlas.sites = Some(scenario.catalog.clone());
+//!     atlas.traces_per_api = 10;
+//!     atlas.horizon_steps = 4;
+//!     atlas.recommender = RecommenderConfig {
+//!         population: 6,
+//!         max_visited: 30,
+//!         ..RecommenderConfig::fast()
+//!     };
+//!     let config = AdvisorServiceConfig::new(atlas, MigrationPreferences::default());
+//!     let mut service = AdvisorService::new(config, current);
+//!     let mut corpus: Vec<_> = scratch
+//!         .apis()
+//!         .into_iter()
+//!         .flat_map(|api| scratch.traces_for_api(&api))
+//!         .collect();
+//!     corpus.sort_by(|a, b| (a.root().start_us, a.trace_id).cmp(&(b.root().start_us, b.trace_id)));
+//!     service.feed(corpus);
+//!     service
+//! }
+//!
+//! let mut hub = AdvisorHub::new();
+//! let a = hub.add_tenant("checkout", tenant_service(3));
+//! let b = hub.add_tenant("search", tenant_service(4));
+//! hub.bootstrap(a);
+//! hub.bootstrap(b);
+//!
+//! // Four concurrent requests across the two tenants...
+//! let reports = hub.serve(&[a, b, a, b], 1);
+//! assert_eq!(reports.len(), 4);
+//! // ...are bit-identical to each tenant's own serial recommendation.
+//! for report in &reports {
+//!     let serial = hub.with_tenant(report.tenant, |service| {
+//!         service.recommendation().unwrap().plans.clone()
+//!     });
+//!     assert_eq!(report.report.plans, serial);
+//!     assert_eq!(report.epoch, 1);
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use atlas_telemetry::Trace;
+
+use crate::eval::{effective_threads, MemoCache, PlanEvaluator};
+use crate::plan::MigrationPlan;
+use crate::quality::{PlanQuality, QualityModel};
+use crate::recommender::{RecommendationReport, Recommender, RecommenderConfig};
+use crate::service::{AdvisorService, ServiceEvent};
+
+/// Identifier of one tenant registered with an [`AdvisorHub`] (its
+/// registration index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub usize);
+
+/// One published model generation of a tenant: the epoch stamp, the shared
+/// compiled model and the epoch's own sharded eval cache. Retiring the
+/// epoch retires the cache with it, so a score computed against an older
+/// model can never answer a request at a newer one.
+struct PublishedModel {
+    epoch: u64,
+    model: Arc<QualityModel>,
+    cache: MemoCache<MigrationPlan, PlanQuality>,
+}
+
+/// Lock-free publication cell for a tenant's current [`PublishedModel`].
+///
+/// Readers ([`SnapshotCell::load`]) follow one atomic pointer — no lock, no
+/// reference count traffic on the read path. Writers push the new snapshot
+/// into the retention list *first*, then swing the pointer, so the pointer
+/// always targets a retained allocation. Retired snapshots are kept until
+/// [`SnapshotCell::prune`], which requires `&mut self` — exclusive access
+/// proves no `load` borrow is alive, which is what makes the raw-pointer
+/// dereference sound.
+struct SnapshotCell {
+    current: AtomicPtr<PublishedModel>,
+    /// Every snapshot ever published and not yet pruned. Grows by one per
+    /// model generation (relearns are rare events on a human timescale);
+    /// [`AdvisorHub::prune_retired`] trims it to the live snapshot.
+    history: Mutex<Vec<Arc<PublishedModel>>>,
+}
+
+impl SnapshotCell {
+    fn empty() -> Self {
+        Self {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Publish a new snapshot: retain it, then swing the pointer.
+    fn publish(&self, snapshot: Arc<PublishedModel>) {
+        let ptr = Arc::as_ptr(&snapshot) as *mut PublishedModel;
+        self.history.lock().push(snapshot);
+        // Release pairs with the Acquire in `load`: a reader that sees the
+        // new pointer sees the fully-initialised snapshot behind it.
+        self.current.store(ptr, Ordering::Release);
+    }
+
+    /// The current snapshot, or `None` before the first publish. Lock-free.
+    fn load(&self) -> Option<&PublishedModel> {
+        let ptr = self.current.load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        // SAFETY: `ptr` was derived from an `Arc` held in `history`, which
+        // only ever shrinks in `prune(&mut self)` — impossible while the
+        // `&self` borrow of this return value is alive.
+        Some(unsafe { &*ptr })
+    }
+
+    /// Drop every retired snapshot, keeping only the live one. The `&mut`
+    /// receiver guarantees no outstanding [`Self::load`] borrows.
+    fn prune(&mut self) {
+        let live = *self.current.get_mut();
+        self.history
+            .get_mut()
+            .retain(|s| std::ptr::eq(Arc::as_ptr(s), live));
+    }
+}
+
+/// One registered tenant: its serialised service state, its lock-free
+/// snapshot cell, and the request-side configuration captured at
+/// registration (reads never touch the service mutex).
+struct TenantSlot {
+    name: String,
+    service: Mutex<AdvisorService>,
+    snapshot: SnapshotCell,
+    recommender: RecommenderConfig,
+}
+
+/// One answered recommendation request.
+#[derive(Debug, Clone)]
+pub struct HubReport {
+    /// The tenant that was asked.
+    pub tenant: TenantId,
+    /// The model epoch the request was served at (the tenant's
+    /// [`AdvisorService::model_generation`] when its snapshot was
+    /// published).
+    pub epoch: u64,
+    /// Wall-clock latency of this request, in milliseconds.
+    pub latency_ms: f64,
+    /// The recommendation itself. `report.eval` is this request's own
+    /// compute/hit accounting; `report.eval_lifetime` spans every request
+    /// served from the same epoch's shared cache.
+    pub report: RecommendationReport,
+}
+
+/// A multi-tenant serving layer over independent [`AdvisorService`]s. See
+/// the [module docs](self) for the architecture and an end-to-end example.
+pub struct AdvisorHub {
+    tenants: Vec<TenantSlot>,
+    threads: usize,
+}
+
+impl Default for AdvisorHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AdvisorHub {
+    /// An empty hub with one serving worker per available core.
+    pub fn new() -> Self {
+        Self {
+            tenants: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// Set the serving worker-pool size (builder style; `0` = one per
+    /// available core). Like every concurrency knob in the evaluator
+    /// stack, this never changes any recommendation, only throughput.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Retune the serving worker-pool size on a live hub (`0` = one per
+    /// available core). Safe at any time: worker count never changes any
+    /// recommendation.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Register a tenant. If the service is already bootstrapped its model
+    /// is published immediately; otherwise the first
+    /// [`Self::bootstrap`]/[`Self::feed`] that produces a model publishes
+    /// it.
+    pub fn add_tenant(&mut self, name: impl Into<String>, service: AdvisorService) -> TenantId {
+        let slot = TenantSlot {
+            name: name.into(),
+            recommender: service.config().atlas.recommender.clone(),
+            service: Mutex::new(service),
+            snapshot: SnapshotCell::empty(),
+        };
+        Self::republish(&slot, &slot.service.lock());
+        self.tenants.push(slot);
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The name a tenant was registered under.
+    pub fn tenant_name(&self, tenant: TenantId) -> &str {
+        &self.tenants[tenant.0].name
+    }
+
+    /// The model epoch a tenant currently serves at, or `None` before its
+    /// first publish.
+    pub fn published_epoch(&self, tenant: TenantId) -> Option<u64> {
+        self.tenants[tenant.0].snapshot.load().map(|s| s.epoch)
+    }
+
+    /// Run `f` against a tenant's service under its lock — the maintenance
+    /// hatch for inspecting timelines, stores or recommendations. Reads on
+    /// the serving path never come through here.
+    pub fn with_tenant<R>(&self, tenant: TenantId, f: impl FnOnce(&AdvisorService) -> R) -> R {
+        f(&self.tenants[tenant.0].service.lock())
+    }
+
+    /// Publish the service's model if its generation moved past the
+    /// published epoch (or nothing is published yet). Called with the
+    /// tenant's service lock held, so generations publish in order.
+    fn republish(slot: &TenantSlot, service: &AdvisorService) {
+        let generation = service.model_generation();
+        let published = slot.snapshot.load().map(|s| s.epoch);
+        if published == Some(generation) {
+            return;
+        }
+        if let Some(model) = service.shared_model() {
+            slot.snapshot.publish(Arc::new(PublishedModel {
+                epoch: generation,
+                model,
+                // A fresh epoch starts from an empty cache: scores computed
+                // against the previous model retire with its snapshot.
+                cache: MemoCache::default(),
+            }));
+        }
+    }
+
+    /// Ingest one trace batch into one tenant: runs the tenant's full
+    /// event loop (retention, drift, incremental relearn,
+    /// re-recommendation) under its service lock, then republishes the
+    /// model snapshot if the generation moved. Other tenants — and every
+    /// in-flight [`Self::recommend`] — are unaffected.
+    pub fn feed(&self, tenant: TenantId, traces: Vec<Trace>) -> Vec<ServiceEvent> {
+        let slot = &self.tenants[tenant.0];
+        let mut service = slot.service.lock();
+        let events = service.feed(traces);
+        Self::republish(slot, &service);
+        events
+    }
+
+    /// Cold-start one tenant's model from everything its store retains and
+    /// publish the first snapshot. See [`AdvisorService::bootstrap`].
+    pub fn bootstrap(&self, tenant: TenantId) -> Vec<ServiceEvent> {
+        let slot = &self.tenants[tenant.0];
+        let mut service = slot.service.lock();
+        let events = service.bootstrap();
+        Self::republish(slot, &service);
+        events
+    }
+
+    /// Ingest many `(tenant, batch)` pairs, different tenants in parallel:
+    /// one scoped worker per tenant present in the input, each processing
+    /// its tenant's batches in input order (so every tenant observes
+    /// exactly the event sequence a serial replay would produce). Results
+    /// come back in input order.
+    pub fn feed_all(&self, batches: Vec<(TenantId, Vec<Trace>)>) -> Vec<Vec<ServiceEvent>> {
+        let mut per_tenant: Vec<Vec<usize>> = vec![Vec::new(); self.tenants.len()];
+        for (i, (tenant, _)) in batches.iter().enumerate() {
+            per_tenant[tenant.0].push(i);
+        }
+        let slots: Vec<Mutex<Option<Vec<Trace>>>> = batches
+            .into_iter()
+            .map(|(_, traces)| Mutex::new(Some(traces)))
+            .collect();
+        let results: Vec<Mutex<Option<Vec<ServiceEvent>>>> =
+            (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for (tenant, indices) in per_tenant.iter().enumerate() {
+                if indices.is_empty() {
+                    continue;
+                }
+                let slots = &slots;
+                let results = &results;
+                scope.spawn(move || {
+                    for &i in indices {
+                        let traces = slots[i].lock().take().expect("each batch fed once");
+                        let events = self.feed(TenantId(tenant), traces);
+                        *results[i].lock() = Some(events);
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every batch was fed"))
+            .collect()
+    }
+
+    /// Answer one recommendation request lock-free: read the tenant's
+    /// published snapshot, run the recommender over the epoch's shared
+    /// sharded eval cache with `request_threads` evaluator workers (`0` =
+    /// the tenant's configured count), and stamp the result with the epoch
+    /// it was served at. Never touches the tenant's service mutex, so
+    /// ingest and relearn proceed concurrently; a relearn landing
+    /// mid-request is invisible (the request keeps its snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tenant has never published a model (bootstrap it
+    /// first).
+    pub fn recommend(&self, tenant: TenantId, request_threads: usize) -> HubReport {
+        let slot = &self.tenants[tenant.0];
+        let snapshot = slot
+            .snapshot
+            .load()
+            .expect("bootstrap the tenant before requesting recommendations");
+        let start = Instant::now();
+        let mut config = slot.recommender.clone();
+        if request_threads != 0 {
+            config.threads = request_threads;
+        }
+        let evaluator = PlanEvaluator::with_shared_cache(&snapshot.model, &snapshot.cache)
+            .with_threads(config.threads)
+            .with_lane_width(config.lane_width);
+        let report = Recommender::new(&snapshot.model, config).recommend_with(&evaluator);
+        HubReport {
+            tenant,
+            epoch: snapshot.epoch,
+            latency_ms: start.elapsed().as_secs_f64() * 1_000.0,
+            report,
+        }
+    }
+
+    /// Answer a slice of recommendation requests from the hub's worker
+    /// pool, each request with `request_threads` evaluator workers (`1` is
+    /// the natural choice when the pool itself saturates the cores).
+    /// Requests to the same tenant share that epoch's eval cache — pure
+    /// scores, so sharing only adds hits. Results come back in input
+    /// order, each bit-identical to a serial [`Self::recommend`] of the
+    /// same tenant at the same epoch.
+    pub fn serve(&self, requests: &[TenantId], request_threads: usize) -> Vec<HubReport> {
+        let workers = effective_threads(self.threads).min(requests.len()).max(1);
+        if workers <= 1 {
+            return requests
+                .iter()
+                .map(|&tenant| self.recommend(tenant, request_threads))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut reports: Vec<Option<HubReport>> = Vec::with_capacity(requests.len());
+        reports.resize_with(requests.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= requests.len() {
+                                break;
+                            }
+                            answered.push((i, self.recommend(requests[i], request_threads)));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, report) in handle.join().expect("serving worker panicked") {
+                    reports[i] = Some(report);
+                }
+            }
+        });
+        reports
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Drop every retired model snapshot (superseded epochs, their models
+    /// and their eval caches), keeping each tenant's live one. Exclusive
+    /// access proves no in-flight request still reads a retired snapshot,
+    /// which is what makes the reclamation safe.
+    pub fn prune_retired(&mut self) {
+        for slot in &mut self.tenants {
+            slot.snapshot.prune();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advisor::AtlasConfig;
+    use crate::preferences::MigrationPreferences;
+    use crate::service::AdvisorServiceConfig;
+    use atlas_apps::{synthesize, CallGraphShape, SynthOptions, WorkloadGenerator, WorkloadShape};
+    use atlas_sim::{ClusterSpec, OverloadModel, Placement, SimConfig, Simulator};
+    use atlas_telemetry::{TelemetryStore, TraceId};
+
+    const DAY_S: u64 = 60;
+
+    /// A small synthetic tenant: its fed (not yet bootstrapped) service
+    /// plus the day-1 corpus for drift replays.
+    fn tenant(seed: u64) -> (AdvisorService, Vec<Trace>) {
+        let options = SynthOptions {
+            components: 12,
+            shape: CallGraphShape::Layered,
+            stateful_fraction: 0.2,
+            apis: 2,
+            call_depth: 3,
+            data_scale: 1.0,
+            workload: WorkloadShape::Diurnal,
+            volume_scale: 1.0,
+            site_count: 2,
+            seed,
+        };
+        let scenario = synthesize(options).unwrap();
+        let current = Placement::all_onprem(scenario.topology.component_count());
+        let scratch = TelemetryStore::new();
+        let mut workload = scenario.workload.clone();
+        workload.profile.day_seconds = DAY_S;
+        let sim = Simulator::new(
+            scenario.topology.clone(),
+            current.clone(),
+            SimConfig {
+                cluster: ClusterSpec::default(),
+                overload: OverloadModel::disabled(),
+                metric_window_s: 5,
+                seed,
+            },
+        );
+        let schedule = WorkloadGenerator::new(workload)
+            .generate(&scenario.topology)
+            .unwrap();
+        sim.run(&schedule, &scratch);
+        let mut corpus: Vec<Trace> = scratch
+            .apis()
+            .into_iter()
+            .flat_map(|api| scratch.traces_for_api(&api))
+            .collect();
+        corpus
+            .sort_by(|a, b| (a.root().start_us, a.trace_id).cmp(&(b.root().start_us, b.trace_id)));
+
+        let mut atlas = AtlasConfig::new(scenario.component_index(), scenario.stateful_names());
+        atlas.sites = Some(scenario.catalog.clone());
+        atlas.traces_per_api = 20;
+        atlas.horizon_steps = 6;
+        atlas.recommender = crate::recommender::RecommenderConfig {
+            population: 8,
+            max_visited: 40,
+            ..crate::recommender::RecommenderConfig::fast()
+        };
+        let preferences = MigrationPreferences::with_cpu_limit(scenario.burst_cpu_limit(5.0, 0.6));
+        let mut config = AdvisorServiceConfig::new(atlas, preferences);
+        config.min_detector_samples = 30;
+        config.drift_window = 20;
+        let mut service = AdvisorService::new(config, current);
+        service.feed(corpus.clone());
+        (service, corpus)
+    }
+
+    /// Clone one API's traces as a later, slower day.
+    fn slow_replay(corpus: &[Trace], api: &str, offset_us: u64, factor: u64) -> Vec<Trace> {
+        corpus
+            .iter()
+            .filter(|t| t.root().operation == api)
+            .cloned()
+            .map(|mut t| {
+                t.trace_id = TraceId(t.trace_id.0 ^ (1 << 62));
+                for node in &mut t.nodes {
+                    node.span.trace_id = t.trace_id;
+                    node.span.start_us += offset_us;
+                    node.span.duration_us *= factor;
+                }
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hub_is_send_and_sync() {
+        fn require<T: Send + Sync>() {}
+        require::<AdvisorHub>();
+        require::<HubReport>();
+    }
+
+    #[test]
+    fn concurrent_serving_is_bit_identical_to_serial() {
+        let mut hub = AdvisorHub::new();
+        let a = hub.add_tenant("a", tenant(11).0);
+        let b = hub.add_tenant("b", tenant(12).0);
+        hub.bootstrap(a);
+        hub.bootstrap(b);
+        let requests = [a, b, a, b, a, b];
+        let serial: Vec<HubReport> = requests.iter().map(|&t| hub.recommend(t, 1)).collect();
+        for threads in [2, 8] {
+            hub.threads = threads;
+            let concurrent = hub.serve(&requests, 1);
+            for (s, c) in serial.iter().zip(&concurrent) {
+                assert_eq!(s.report.plans, c.report.plans);
+                assert_eq!(s.report.visited, c.report.visited);
+                assert_eq!(s.epoch, c.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn relearn_retires_the_epoch_cache() {
+        let (service, corpus) = tenant(13);
+        let mut hub = AdvisorHub::new().with_threads(2);
+        let t = hub.add_tenant("drifty", service);
+        hub.bootstrap(t);
+        assert_eq!(hub.published_epoch(t), Some(1));
+
+        // Warm the epoch-1 cache with a request.
+        let before = hub.recommend(t, 1);
+        assert_eq!(before.epoch, 1);
+        let warm = hub.recommend(t, 1);
+        assert_eq!(
+            warm.report.eval.unique_evaluations, 0,
+            "the second epoch-1 request replays entirely from the shared cache"
+        );
+        assert_eq!(warm.report.plans, before.report.plans);
+
+        // Drift → relearn → new epoch with a *fresh* cache: the request
+        // after the swap must recompute everything against the new model —
+        // a stale epoch-1 score cannot survive into epoch 2.
+        let api = corpus[0].root().operation.clone();
+        hub.feed(t, slow_replay(&corpus, &api, (DAY_S + 1) * 1_000_000, 5));
+        assert_eq!(hub.published_epoch(t), Some(2));
+        let after = hub.recommend(t, 1);
+        assert_eq!(after.epoch, 2);
+        // The epoch-2 cache starts empty: this request computed every plan
+        // it visited itself, and the cache's lifetime totals are exactly
+        // this one request — nothing was inherited from epoch 1.
+        assert_eq!(after.report.visited, after.report.eval.unique_evaluations);
+        assert_eq!(
+            after.report.eval_lifetime.unique_evaluations, after.report.eval.unique_evaluations,
+            "a stale epoch-1 entry survived into the epoch-2 cache"
+        );
+        assert_eq!(
+            after.report.eval_lifetime.cache_hits,
+            after.report.eval.cache_hits
+        );
+        // And the answer matches the serial service's own post-drift run.
+        let serial = hub.with_tenant(t, |s| s.recommendation().unwrap().plans.clone());
+        assert_eq!(after.report.plans, serial);
+
+        // Pruning reclaims the retired epoch-1 snapshot and leaves serving
+        // intact.
+        hub.prune_retired();
+        let pruned = hub.recommend(t, 1);
+        assert_eq!(pruned.report.plans, after.report.plans);
+        assert_eq!(pruned.epoch, 2);
+    }
+
+    #[test]
+    fn feed_all_ingests_tenants_in_parallel_and_in_order() {
+        let (sa, corpus_a) = tenant(14);
+        let (sb, corpus_b) = tenant(15);
+        let mut hub = AdvisorHub::new();
+        let a = hub.add_tenant("a", sa);
+        let b = hub.add_tenant("b", sb);
+        hub.bootstrap(a);
+        hub.bootstrap(b);
+        let api_a = corpus_a[0].root().operation.clone();
+        let api_b = corpus_b[0].root().operation.clone();
+        let results = hub.feed_all(vec![
+            (
+                a,
+                slow_replay(&corpus_a, &api_a, (DAY_S + 1) * 1_000_000, 1),
+            ),
+            (
+                b,
+                slow_replay(&corpus_b, &api_b, (DAY_S + 1) * 1_000_000, 1),
+            ),
+            (
+                a,
+                slow_replay(&corpus_a, &api_a, (2 * DAY_S + 2) * 1_000_000, 1),
+            ),
+        ]);
+        assert_eq!(results.len(), 3);
+        for events in &results {
+            assert!(matches!(events[0], ServiceEvent::Ingested { traces, .. } if traces > 0));
+        }
+        // Same-shape replays must not drift either tenant.
+        assert_eq!(hub.published_epoch(a), Some(1));
+        assert_eq!(hub.published_epoch(b), Some(1));
+    }
+}

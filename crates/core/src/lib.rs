@@ -30,7 +30,10 @@
 //! [`advisor::Atlas`] wires the stages together behind one entry point for
 //! batch use; [`service::AdvisorService`] runs the same pipeline as a
 //! resident event loop — streaming ingest, continuous drift detection,
-//! incremental dirty-API relearning and re-recommendation.
+//! incremental dirty-API relearning and re-recommendation — and
+//! [`hub::AdvisorHub`] serves many such tenants concurrently over
+//! lock-free, epoch-stamped model snapshots with per-epoch shared eval
+//! caches.
 
 #![deny(missing_docs)]
 
@@ -39,6 +42,7 @@ pub mod delay;
 pub mod eval;
 pub mod footprint;
 pub mod hierarchy;
+pub mod hub;
 pub mod kernel;
 pub mod monitor;
 pub mod plan;
@@ -52,9 +56,12 @@ pub mod service;
 
 pub use advisor::{Atlas, AtlasConfig};
 pub use delay::DelayInjector;
-pub use eval::{EvalStats, PlanEvaluator, DELTA_DIFF_THRESHOLD, LANE_WIDTH};
+pub use eval::{
+    EvalStats, MemoCache, PlanEvaluator, DELTA_DIFF_THRESHOLD, LANE_WIDTH, MEMO_SHARDS,
+};
 pub use footprint::{FootprintLearner, NetworkFootprint};
 pub use hierarchy::{Dendrogram, DendrogramNode};
+pub use hub::{AdvisorHub, HubReport, TenantId};
 pub use kernel::{CompiledQuality, ConstraintKernel, ScoredTrace};
 pub use monitor::{kl_divergence, DriftDetector, DriftReport};
 pub use plan::MigrationPlan;

@@ -32,7 +32,7 @@ use atlas_ga::{
 };
 use atlas_sim::SiteId;
 
-use crate::eval::{EvalStats, PlanEvaluator};
+use crate::eval::{EvalStats, PlanEvaluator, PlanKeySet};
 use crate::plan::MigrationPlan;
 use crate::quality::{PlanQuality, QualityModel, ScoredPlan};
 use crate::rl_crossover::{CrossoverAgent, RlCrossoverConfig};
@@ -57,10 +57,14 @@ pub enum CrossoverStrategy {
 pub struct RecommenderConfig {
     /// Population size (the paper uses 100).
     pub population: usize,
-    /// Search budget: *unique* candidate plans evaluated, including the
-    /// initial population and the RL training rollouts (the paper caps all
-    /// multi-plan approaches at 10,000). Duplicate plans are served from the
-    /// shared evaluation cache and do not burn budget.
+    /// Search budget: *distinct* candidate plans this run asks the
+    /// evaluator to score, including the initial population and the RL
+    /// training rollouts (the paper caps all multi-plan approaches at
+    /// 10,000). Duplicates within the run do not burn budget. The count is
+    /// request-local — it depends only on the run's own trajectory, never
+    /// on how warm a shared evaluator cache happens to be — so a
+    /// recommendation is bit-identical whether its evaluator is cold, warm
+    /// or concurrently shared.
     pub max_visited: usize,
     /// Mutation rate applied to offspring (keeps diversity).
     pub mutation_rate: f64,
@@ -173,16 +177,23 @@ pub struct RecommendedPlan {
 pub struct RecommendationReport {
     /// The Pareto-optimal plans found, sorted by predicted performance.
     pub plans: Vec<RecommendedPlan>,
-    /// Number of *unique* candidate plans evaluated — what the
-    /// [`RecommenderConfig::max_visited`] budget counts. Duplicates served
-    /// from the evaluation cache appear in [`Self::eval`] as cache hits.
+    /// Number of *distinct* candidate plans this run asked the evaluator to
+    /// score — what the [`RecommenderConfig::max_visited`] budget counts.
+    /// Request-local: independent of cache warmth or concurrent sharing.
     pub visited: usize,
     /// Reward progression of the crossover agent (empty for uniform
     /// crossover) — the curve of paper Figure 21b.
     pub reward_progression: Vec<f64>,
-    /// Evaluation statistics of the shared plan evaluator: unique
-    /// evaluations, cache hits, scoring wall time and thread count.
+    /// Per-request evaluation statistics: the computes, cache hits and
+    /// scoring wall time attributable to *this run alone*, exact even when
+    /// the evaluator's cache is shared with other runs or tenants. On a
+    /// fresh evaluator this coincides with [`Self::eval_lifetime`].
     pub eval: EvalStats,
+    /// Cache-lifetime evaluation statistics of the evaluator that served
+    /// this run: everything its memo cache has accumulated across every
+    /// run that shared it. `eval_lifetime.cache_hits - eval.cache_hits` is
+    /// the warmth inherited from (or contributed by) other requests.
+    pub eval_lifetime: EvalStats,
 }
 
 impl RecommendationReport {
@@ -241,12 +252,18 @@ impl<'a> Recommender<'a> {
     }
 
     /// Run the search on a caller-supplied evaluator, sharing its memo cache
-    /// (and accumulating into its statistics). The budget counts unique
-    /// evaluations performed *by this run*: plans already cached by previous
-    /// runs are free.
+    /// (and accumulating into its statistics). The budget counts the
+    /// *distinct plans this run requests* — tracked in a request-local set,
+    /// not by watching the cache grow — so the search trajectory, the
+    /// stopping point and therefore the recommendation are bit-identical
+    /// whether the cache is cold, warm from earlier runs, or being filled
+    /// concurrently by other requests (the multi-tenant hub relies on
+    /// this). [`RecommendationReport::eval`] likewise reports only this
+    /// run's computes and hits.
     pub fn recommend_with(&self, evaluator: &PlanEvaluator<'_>) -> RecommendationReport {
         let n = self.quality.component_count();
         let site_count = self.quality.site_count();
+        let local_start = evaluator.local_stats();
         // The gene alphabet of the search: every site of the catalog. For
         // the paper's two-site model this is {on-prem, cloud} and the whole
         // search consumes the random stream exactly like the historical
@@ -254,15 +271,15 @@ impl<'a> Recommender<'a> {
         // way; the alphabet mutation degenerates to a bit flip).
         let site_alphabet: Vec<SiteId> = (0..site_count as u16).map(SiteId).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let already_cached = evaluator.unique_evaluations();
-        let visited = |evaluator: &PlanEvaluator<'_>| {
-            evaluator
-                .unique_evaluations()
-                .saturating_sub(already_cached)
-        };
-        // The budget counts unique evaluations, so a converged population
-        // producing mostly cached offspring could spin for a long time; cap
-        // the total number of evaluation *requests* as a safety valve.
+        // The request-local visited set: every distinct plan this run asks
+        // the evaluator to score, whether the (possibly shared) cache
+        // answers it or not. Scoring is pure, so tracking requests instead
+        // of cache growth keeps the trajectory — and the recommendation —
+        // independent of cache warmth and of concurrent requests.
+        let mut seen: PlanKeySet<MigrationPlan> = PlanKeySet::default();
+        // The budget counts distinct plans, so a converged population
+        // producing mostly repeated offspring could spin for a long time;
+        // cap the total number of evaluation *requests* as a safety valve.
         let mut requested = 0usize;
         let request_cap = self.config.max_visited.saturating_mul(8).max(64);
 
@@ -303,6 +320,9 @@ impl<'a> Recommender<'a> {
         };
         requested += population.len();
         for (plan, member) in seeds.iter().zip(&population) {
+            if !seen.contains(plan) {
+                seen.insert(plan.clone());
+            }
             if member.quality().feasible {
                 archive.insert(plan, member.quality().objectives());
             }
@@ -319,7 +339,7 @@ impl<'a> Recommender<'a> {
         if self.config.strategy == CrossoverStrategy::ReinforcementLearning {
             let mut rl_config = self.config.rl.clone();
             // Keep training within half of the remaining budget.
-            let budget = (self.config.max_visited.saturating_sub(visited(evaluator))) / 2;
+            let budget = (self.config.max_visited.saturating_sub(seen.len())) / 2;
             rl_config.iterations = rl_config.iterations.min(budget.max(1));
             let mut a = CrossoverAgent::new(n, rl_config).with_site_count(site_count);
             reward_progression = a.train_scored(&population, |pi, pj, child| {
@@ -331,6 +351,9 @@ impl<'a> Recommender<'a> {
                 } else {
                     evaluator.evaluate(child)
                 };
+                if !seen.contains(child) {
+                    seen.insert(child.clone());
+                }
                 if quality.feasible {
                     archive.insert(child, quality.objectives());
                 }
@@ -344,7 +367,7 @@ impl<'a> Recommender<'a> {
         // non-dominated sort per generation yields both the survivors and
         // the rank/crowding driving the tournaments. Survivors are moved
         // (not cloned) into the next generation by index permutation.
-        while visited(evaluator) < self.config.max_visited && requested < request_cap {
+        while seen.len() < self.config.max_visited && requested < request_cap {
             let feasible: Vec<bool> = population.iter().map(|p| p.quality().feasible).collect();
             let objectives: Vec<[f64; 3]> = population
                 .iter()
@@ -354,12 +377,10 @@ impl<'a> Recommender<'a> {
             population = take_selected(population, &survival.selected);
             let (rank, crowding) = (survival.rank, survival.crowding);
 
-            // saturating: a concurrently shared evaluator can grow between
-            // the loop guard and this read.
             let offspring_target = self
                 .config
                 .population
-                .min(self.config.max_visited.saturating_sub(visited(evaluator)))
+                .min(self.config.max_visited.saturating_sub(seen.len()))
                 .max(1);
             let mut offspring: Vec<MigrationPlan> = Vec::with_capacity(offspring_target);
             // For each child, the population index of its nearer tournament
@@ -401,6 +422,9 @@ impl<'a> Recommender<'a> {
             };
             requested += offspring.len();
             for (plan, child) in offspring.iter().zip(&scored) {
+                if !seen.contains(plan) {
+                    seen.insert(plan.clone());
+                }
                 if child.quality().feasible {
                     archive.insert(plan, child.quality().objectives());
                 }
@@ -453,9 +477,10 @@ impl<'a> Recommender<'a> {
 
         RecommendationReport {
             plans,
-            visited: visited(evaluator),
+            visited: seen.len(),
             reward_progression,
-            eval: evaluator.stats(),
+            eval: evaluator.local_stats().since(&local_start),
+            eval_lifetime: evaluator.stats(),
         }
     }
 
@@ -649,14 +674,20 @@ mod tests {
         let evaluator = crate::eval::PlanEvaluator::new(&quality);
         let cold = recommender.recommend_with(&evaluator);
         let warm = recommender.recommend_with(&evaluator);
-        // The second run replays the first from the shared cache (its whole
-        // trajectory is hits), then spends its own budget searching deeper.
-        assert!(warm.eval.cache_hits > cold.eval.cache_hits);
-        assert!(warm.visited <= config.max_visited);
+        // The budget is request-local, so the warm run replays the cold
+        // run's trajectory bit-for-bit — entirely from the shared cache.
+        assert_eq!(warm.plans, cold.plans, "cache warmth never changes plans");
+        assert_eq!(warm.visited, cold.visited);
+        assert_eq!(
+            warm.eval.unique_evaluations, 0,
+            "the warm run computed nothing of its own"
+        );
+        assert!(warm.eval.cache_hits > 0);
+        // The per-request view splits what the lifetime view aggregates.
+        assert_eq!(cold.eval.unique_evaluations, cold.visited);
+        assert!(warm.eval_lifetime.cache_hits >= cold.eval_lifetime.cache_hits);
+        assert_eq!(evaluator.unique_evaluations(), cold.visited);
         assert!(!warm.plans.is_empty());
-        // Budgets are relative to each run: together the two runs evaluated
-        // at most 2 × max_visited unique plans.
-        assert!(evaluator.unique_evaluations() <= 2 * config.max_visited);
     }
 
     #[test]

@@ -35,7 +35,9 @@
 //! advisor saw, when it retrained, how long the drift-to-new-plan path
 //! took, and which components the new recommendation moved.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::mem;
+use std::sync::Arc;
 use std::time::Instant;
 
 use atlas_sim::{Placement, SiteId};
@@ -47,6 +49,11 @@ use crate::plan::MigrationPlan;
 use crate::preferences::MigrationPreferences;
 use crate::quality::QualityModel;
 use crate::recommender::{RecommendationReport, Recommender};
+
+/// Default number of [`ServiceEvent`]s a resident service retains in its
+/// timeline before evicting oldest-first (see
+/// [`AdvisorServiceConfig::timeline_cap`]).
+pub const DEFAULT_TIMELINE_CAP: usize = 1024;
 
 /// Configuration of a resident [`AdvisorService`].
 #[derive(Debug, Clone)]
@@ -69,6 +76,13 @@ pub struct AdvisorServiceConfig {
     /// Factor over the baseline divergence that flags drift
     /// (see [`DriftDetector::with_threshold_factor`]).
     pub threshold_factor: f64,
+    /// Maximum [`ServiceEvent`]s retained in the timeline. A resident
+    /// service emits events forever; once the timeline holds this many,
+    /// each new event evicts the oldest one and bumps
+    /// [`AdvisorService::dropped_events`]. The events *returned* by
+    /// [`AdvisorService::feed`] / [`AdvisorService::bootstrap`] are never
+    /// truncated — only the retained history is bounded.
+    pub timeline_cap: usize,
 }
 
 impl AdvisorServiceConfig {
@@ -82,12 +96,20 @@ impl AdvisorServiceConfig {
             drift_window: 50,
             min_detector_samples: 100,
             threshold_factor: DriftDetector::DEFAULT_THRESHOLD_FACTOR,
+            timeline_cap: DEFAULT_TIMELINE_CAP,
         }
     }
 
     /// Set the telemetry retention window (builder style).
     pub fn with_retention_window_s(mut self, window_s: u64) -> Self {
         self.retention_window_s = Some(window_s);
+        self
+    }
+
+    /// Set the timeline event cap (builder style). See
+    /// [`Self::timeline_cap`].
+    pub fn with_timeline_cap(mut self, cap: usize) -> Self {
+        self.timeline_cap = cap;
         self
     }
 }
@@ -155,13 +177,29 @@ pub struct AdvisorService {
     store: TelemetryStore,
     atlas: Atlas,
     current: Placement,
-    model: Option<QualityModel>,
+    /// The compiled model, shared by `Arc` so a serving layer (the
+    /// multi-tenant [`hub`](crate::hub)) can publish an epoch-stamped
+    /// snapshot that in-flight recommenders keep reading while the service
+    /// relearns the next generation in place (`Arc::make_mut` clones only
+    /// when a snapshot is still held elsewhere).
+    model: Option<Arc<QualityModel>>,
+    /// Bumped every time the model changes: the cold bootstrap and each
+    /// incremental resync. Snapshot holders compare generations to know
+    /// when to republish.
+    model_generation: u64,
     detectors: HashMap<String, DriftDetector>,
     /// Store epoch the model was last synchronised to.
     synced_epoch: u64,
     recommendation: Option<RecommendationReport>,
     preferred: Option<MigrationPlan>,
-    timeline: Vec<ServiceEvent>,
+    /// Bounded event history (oldest evicted beyond
+    /// [`AdvisorServiceConfig::timeline_cap`]).
+    timeline: VecDeque<ServiceEvent>,
+    /// Events of the round in flight, returned (untruncated) by
+    /// `feed`/`bootstrap` before being folded into the bounded timeline.
+    round_events: Vec<ServiceEvent>,
+    /// Events evicted from the timeline so far.
+    dropped_events: u64,
 }
 
 impl AdvisorService {
@@ -182,11 +220,14 @@ impl AdvisorService {
             atlas,
             current,
             model: None,
+            model_generation: 0,
             detectors: HashMap::new(),
             synced_epoch: 0,
             recommendation: None,
             preferred: None,
-            timeline: Vec::new(),
+            timeline: VecDeque::new(),
+            round_events: Vec::new(),
+            dropped_events: 0,
         }
     }
 
@@ -198,7 +239,35 @@ impl AdvisorService {
 
     /// The current quality model, if bootstrapped.
     pub fn model(&self) -> Option<&QualityModel> {
-        self.model.as_ref()
+        self.model.as_deref()
+    }
+
+    /// A shared handle to the current quality model, if bootstrapped: the
+    /// publication primitive of the multi-tenant [`hub`](crate::hub). The
+    /// `Arc` stays valid across later relearns (resync clones-on-write
+    /// instead of mutating a shared model), so a recommender holding it
+    /// never observes a model change mid-search.
+    pub fn shared_model(&self) -> Option<Arc<QualityModel>> {
+        self.model.clone()
+    }
+
+    /// The model generation: `0` before bootstrap, bumped by the bootstrap
+    /// and by every incremental relearn. Two equal generations guarantee
+    /// the same model (and therefore the same scores), so snapshot holders
+    /// use this to decide when a republish — and a fresh eval cache — is
+    /// due.
+    pub fn model_generation(&self) -> u64 {
+        self.model_generation
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &AdvisorServiceConfig {
+        &self.config
+    }
+
+    /// The placement the application is currently deployed as.
+    pub fn current_placement(&self) -> &Placement {
+        &self.current
     }
 
     /// The latest recommendation report, if any.
@@ -206,9 +275,16 @@ impl AdvisorService {
         self.recommendation.as_ref()
     }
 
-    /// The full event timeline since the service started.
-    pub fn timeline(&self) -> &[ServiceEvent] {
+    /// The retained event timeline, oldest first. Bounded by
+    /// [`AdvisorServiceConfig::timeline_cap`]: once full, each new event
+    /// evicts the oldest (counted by [`Self::dropped_events`]).
+    pub fn timeline(&self) -> &VecDeque<ServiceEvent> {
         &self.timeline
+    }
+
+    /// Events evicted from the bounded timeline so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// Whether [`AdvisorService::bootstrap`] has run.
@@ -224,9 +300,8 @@ impl AdvisorService {
     /// Before [`AdvisorService::bootstrap`] the loop only ingests: there is
     /// no model to drift from yet.
     pub fn feed(&mut self, traces: Vec<Trace>) -> Vec<ServiceEvent> {
-        let mark = self.timeline.len();
         let report = self.store.ingest_batch(traces);
-        self.timeline.push(ServiceEvent::Ingested {
+        self.round_events.push(ServiceEvent::Ingested {
             traces: report.ingested,
             evicted: report.evicted,
             epoch: report.epoch,
@@ -237,7 +312,21 @@ impl AdvisorService {
                 self.resync(&drifted);
             }
         }
-        self.timeline[mark..].to_vec()
+        self.finish_round()
+    }
+
+    /// Fold the in-flight round's events into the bounded timeline and
+    /// return them (untruncated — only the retained history is capped).
+    fn finish_round(&mut self) -> Vec<ServiceEvent> {
+        let events = mem::take(&mut self.round_events);
+        for event in &events {
+            if self.timeline.len() >= self.config.timeline_cap.max(1) {
+                self.timeline.pop_front();
+                self.dropped_events += 1;
+            }
+            self.timeline.push_back(event.clone());
+        }
+        events
     }
 
     /// Cold-start the model from everything the store currently retains:
@@ -253,16 +342,16 @@ impl AdvisorService {
             self.store.trace_count() > 0,
             "feed the service telemetry before bootstrapping"
         );
-        let mark = self.timeline.len();
         let start = Instant::now();
         self.atlas.learn(&self.store);
         let model = self
             .atlas
             .quality_model(self.current.clone(), self.config.preferences.clone());
         let apis = self.store.apis();
-        self.model = Some(model);
+        self.model = Some(Arc::new(model));
+        self.model_generation += 1;
         self.synced_epoch = self.store.epoch();
-        self.timeline.push(ServiceEvent::Relearned {
+        self.round_events.push(ServiceEvent::Relearned {
             apis: apis.clone(),
             cold: true,
             elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
@@ -271,7 +360,7 @@ impl AdvisorService {
             self.arm_detector(api);
         }
         self.recommend(start);
-        self.timeline[mark..].to_vec()
+        self.finish_round()
     }
 
     /// (Re)arm the drift detector of one API from the store's retained
@@ -316,7 +405,7 @@ impl AdvisorService {
                 });
             }
         }
-        self.timeline.extend(events);
+        self.round_events.extend(events);
         drifted
     }
 
@@ -327,15 +416,20 @@ impl AdvisorService {
     fn resync(&mut self, drifted: &[String]) {
         let start = Instant::now();
         let (epoch, dirty) = self.store.dirty_apis_since(self.synced_epoch);
-        let model = self.model.as_mut().expect("resync requires a model");
+        // Clone-on-write: if a snapshot holder (the hub, an in-flight
+        // recommender) still shares the Arc, relearn a private copy and
+        // leave the published model untouched — readers at the old
+        // generation stay consistent until the new one is republished.
+        let model = Arc::make_mut(self.model.as_mut().expect("resync requires a model"));
         model.relearn_dirty(
             &self.store,
             &self.config.atlas.stateful_components,
             self.config.atlas.traces_per_api,
             &dirty,
         );
+        self.model_generation += 1;
         self.synced_epoch = epoch;
-        self.timeline.push(ServiceEvent::Relearned {
+        self.round_events.push(ServiceEvent::Relearned {
             apis: dirty.clone(),
             cold: false,
             elapsed_ms: start.elapsed().as_secs_f64() * 1_000.0,
@@ -353,7 +447,7 @@ impl AdvisorService {
     /// cached score), record the report and log the plan deltas against
     /// the previous round's preferred plan.
     fn recommend(&mut self, since: Instant) {
-        let model = self.model.as_ref().expect("recommend requires a model");
+        let model = self.model.as_deref().expect("recommend requires a model");
         let recommender = Recommender::new(model, self.config.atlas.recommender.clone());
         let report = recommender.recommend();
         let preferred = report
@@ -377,7 +471,7 @@ impl AdvisorService {
                 .collect(),
             _ => Vec::new(),
         };
-        self.timeline.push(ServiceEvent::Rerecommended {
+        self.round_events.push(ServiceEvent::Rerecommended {
             plans: report.plans.len(),
             deltas,
             latency_ms: since.elapsed().as_secs_f64() * 1_000.0,
@@ -556,6 +650,66 @@ mod tests {
         assert!(
             after > before * 1.5,
             "the relearned profile must absorb the slowdown: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn timeline_cap_evicts_oldest_events_and_counts_drops() {
+        let (mut config, current, corpus) = scenario();
+        config = config.with_timeline_cap(2);
+        let mut service = AdvisorService::new(config, current);
+        let fed = service.feed(corpus);
+        assert_eq!(fed.len(), 1);
+        assert_eq!(service.dropped_events(), 0);
+
+        // Bootstrap emits Relearned + Rerecommended: together with the
+        // ingest that is 3 events against a cap of 2, so the oldest (the
+        // ingest) evicts — but the *returned* round is never truncated.
+        let booted = service.bootstrap();
+        assert_eq!(booted.len(), 2);
+        assert_eq!(service.timeline().len(), 2);
+        assert_eq!(service.dropped_events(), 1);
+        assert!(
+            matches!(
+                service.timeline().front(),
+                Some(ServiceEvent::Relearned { .. })
+            ),
+            "oldest-first eviction drops the ingest event first"
+        );
+        assert!(matches!(
+            service.timeline().back(),
+            Some(ServiceEvent::Rerecommended { .. })
+        ));
+    }
+
+    #[test]
+    fn model_generation_tracks_bootstrap_and_relearns() {
+        let (config, current, corpus) = scenario();
+        let mut service = AdvisorService::new(config, current);
+        assert_eq!(service.model_generation(), 0);
+        service.feed(corpus.clone());
+        assert_eq!(service.model_generation(), 0, "ingest alone never bumps");
+        service.bootstrap();
+        assert_eq!(service.model_generation(), 1);
+
+        // Hold the published snapshot across a drift-triggered relearn: the
+        // relearn clones-on-write, so the held model is untouched while the
+        // service moves to generation 2.
+        let snapshot = service.shared_model().unwrap();
+        let api = corpus[0].root().operation.clone();
+        let before = snapshot.profile().apis[&api].mean_latency_ms;
+        service.feed(slow_replay(&corpus, &api, (DAY_S + 1) * 1_000_000, 5));
+        assert_eq!(service.model_generation(), 2);
+        let after_held = snapshot.profile().apis[&api].mean_latency_ms;
+        assert_eq!(
+            before.to_bits(),
+            after_held.to_bits(),
+            "a held snapshot never observes a relearn"
+        );
+        let fresh = service.model().unwrap().profile().apis[&api].mean_latency_ms;
+        assert!(
+            fresh > before * 1.5,
+            "the new generation absorbed the drift"
         );
     }
 
